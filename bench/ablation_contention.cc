@@ -1,0 +1,37 @@
+// Ablation — channel sharing at the rendezvous: when several UAV pairs
+// deliver simultaneously near the same relay, DCF contention (Bianchi
+// analysis) taxes every pair beyond the fair 1/n split, so the mission
+// planner should stagger deliveries in time or space.
+#include <cstdio>
+
+#include "core/scenario.h"
+#include "io/table.h"
+#include "mac/ampdu.h"
+#include "mac/contention.h"
+
+int main() {
+  using namespace skyferry;
+  mac::MacTiming timing;
+  mac::MpduFormat f;
+  const double frame_s = mac::ampdu_duration_s(f, phy::mcs(2), phy::ChannelWidth::kCw40MHz,
+                                               phy::GuardInterval::kShort400ns, 14);
+  const double ack_s = mac::block_ack_duration_s(phy::ChannelWidth::kCw40MHz);
+
+  io::Table t("DCF contention at a shared rendezvous (MCS2 aggregates)");
+  t.columns({"pairs", "collision_p", "per-pair share", "per-pair Mb/s @ s(60m)=11",
+             "56 MB batch delay_s"});
+  for (int n : {1, 2, 3, 4, 6, 8}) {
+    const auto r = mac::analyze_contention(n, timing, frame_s, ack_s);
+    const double mbps = 11.0 * r.efficiency_vs_single;
+    const double delay = 56.2 * 8.0 / mbps;
+    t.add_row(io::format_number(n),
+              {r.collision_probability, r.efficiency_vs_single, mbps, delay});
+  }
+  t.print();
+  std::printf(
+      "reading: two co-located deliveries already more than double each\n"
+      "batch's communication delay — the delayed-gratification sweet spot\n"
+      "shifts when the channel is shared, so the planner staggers\n"
+      "rendezvous (core::MissionPlanner plans one sector at a time).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation — the re-positioning cost the paper's Sec. 5 points at: the
+// base model charges Tship = (d0-d)/v as if the airplane could teleport
+// onto a straight line, but a fixed-wing ferry leaves a loiter circle on
+// some heading and must fly a curvature-bounded (Dubins) path. How much
+// does that skew the shipping time and the resulting optimum?
+#include <cmath>
+#include <cstdio>
+
+#include "core/optimizer.h"
+#include "core/scenario.h"
+#include "geo/dubins.h"
+#include "geo/geodesy.h"
+#include "io/table.h"
+
+int main() {
+  using namespace skyferry;
+  const auto scen = core::Scenario::airplane();
+  const double r = scen.platform.min_turn_radius_m;
+  const double v = scen.platform.cruise_speed_mps;
+
+  // The ferry loiters at d0 = 300 m; the rendezvous is toward the origin.
+  // Compare straight-line vs Dubins shipping for different departure
+  // headings (where on the loiter circle the decision lands).
+  io::Table t("straight-line vs Dubins shipping (airplane, r=20 m, v=10 m/s)");
+  t.columns({"departure heading_deg", "target d_m", "straight_s", "dubins_s", "penalty_s"});
+  for (double heading_deg : {0.0, 90.0, 180.0, 270.0}) {
+    for (double d : {250.0, 150.0, 50.0}) {
+      const double leg = scen.d0_m - d;
+      const geo::Pose2 from{0.0, 0.0, geo::deg2rad(heading_deg)};
+      // Arrive tangentially (heading along the track) at the new position.
+      const geo::Pose2 to{leg, 0.0, 0.0};
+      const double straight = leg / v;
+      const double dubins = geo::dubins_tship_s(from, to, r, v);
+      t.add_row(io::format_number(heading_deg) + " deg",
+                {d, straight, dubins, dubins - straight});
+    }
+  }
+  t.print();
+
+  // Effect on the optimum: add the worst-case detour (a full turn) to
+  // every candidate's Tship and re-optimize.
+  std::printf("\nimpact on d_opt (worst-case detour = one full loiter turn, %.1f s):\n",
+              2.0 * M_PI * r / v);
+  io::Table t2("optimum with re-positioning cost");
+  t2.columns({"rho_1/m", "d_opt (base)", "d_opt (with detour)", "U ratio"});
+  for (double rho : {1.11e-4, 1e-3, 5e-3}) {
+    const auto model = scen.paper_throughput();
+    const uav::FailureModel failure(rho);
+    const core::CommDelayModel delay(model, scen.delivery_params());
+    const core::UtilityFunction u(delay, failure);
+    const auto base = core::optimize(u);
+
+    // Detour-adjusted utility: constant extra ship time when moving.
+    const double detour_s = 2.0 * M_PI * r / v;
+    double best_u = 0.0, best_d = scen.d0_m;
+    for (double d = 20.0; d <= scen.d0_m; d += 0.5) {
+      const double tship = (d < scen.d0_m) ? (scen.d0_m - d) / v + detour_s : 0.0;
+      const double ttx = scen.mdata_bytes * 8.0 / model.throughput_bps(d);
+      const double util = failure.discount(scen.d0_m, d) / (tship + ttx);
+      if (util > best_u) {
+        best_u = util;
+        best_d = d;
+      }
+    }
+    t2.add_row(io::format_number(rho),
+               {base.d_opt_m, best_d, best_u / std::max(base.utility, 1e-12)});
+  }
+  t2.print();
+  std::printf(
+      "reading: the fixed detour (~12.6 s) is small against the airplane's\n"
+      "30-70 s delivery delays, so d_opt barely moves at low rho — but it\n"
+      "raises the bar for *any* repositioning, pushing marginal cases to\n"
+      "transmit-now. The planner should charge Dubins time, not crow-flies.\n");
+  return 0;
+}

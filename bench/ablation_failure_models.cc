@@ -1,0 +1,77 @@
+// Ablation — failure-law sensitivity (the paper's conclusion calls for
+// "introducing a specific failure model"): how the optimal transmit
+// distance and achievable utility move when the exponential discount is
+// replaced by linear or Weibull laws with the same mean distance-to-
+// failure.
+#include <cstdio>
+
+#include "core/nonstationary.h"
+#include "core/optimizer.h"
+#include "core/scenario.h"
+#include "io/table.h"
+
+int main() {
+  using namespace skyferry;
+  struct Law {
+    const char* name;
+    uav::FailureLaw law;
+  };
+  const Law laws[] = {{"exponential", uav::FailureLaw::kExponential},
+                      {"linear", uav::FailureLaw::kLinear},
+                      {"weibull(k=2)", uav::FailureLaw::kWeibull}};
+
+  for (const auto& scen : {core::Scenario::airplane(), core::Scenario::quadrocopter()}) {
+    const auto model = scen.paper_throughput();
+    std::printf("\n%s scenario (Mdata=%.1f MB, d0=%.0f m)\n", scen.name.c_str(),
+                scen.mdata_bytes / 1e6, scen.d0_m);
+    io::Table t("failure-law ablation");
+    t.columns({"rho_1/m", "law", "d_opt_m", "U(d_opt)", "survival@d_opt"});
+    for (double rho : {scen.rho_per_m, 1e-3, 5e-3, 1e-2}) {
+      for (const auto& l : laws) {
+        const uav::FailureModel failure(rho, l.law);
+        const core::CommDelayModel delay(model, scen.delivery_params());
+        const core::UtilityFunction u(delay, failure);
+        const auto r = core::optimize(u);
+        t.add_row(io::format_number(rho) + " " + l.name, {r.d_opt_m, r.utility, r.discount});
+      }
+    }
+    t.print();
+  }
+  std::printf(
+      "reading: the laws agree at small rho (discount ~ 1 everywhere); at\n"
+      "high rho the heavier-tailed exponential pulls d_opt toward d0 harder\n"
+      "than Weibull, while the linear law truncates survival entirely —\n"
+      "the paper's qualitative conclusion (a delay-vs-risk sweet spot\n"
+      "exists) survives the change of law.\n");
+
+  // Non-stationary profiles — the case the paper explicitly flags as
+  // breaking its stationary analysis ("Different results are expected,
+  // e.g., for a non-stationary failure rate").
+  {
+    const auto scen = core::Scenario::quadrocopter();
+    const auto model = scen.paper_throughput();
+    const core::CommDelayModel delay(model, scen.delivery_params());
+    io::Table t("non-stationary rho(x) profiles, quadrocopter scenario");
+    t.columns({"profile", "d_opt_m", "U(d_opt)", "survival"});
+    struct Row {
+      const char* name;
+      core::RhoProfile rho;
+    };
+    const Row rows[] = {
+        {"constant (baseline)", core::constant_rho(scen.rho_per_m)},
+        {"hazard zone <40 m (rho=0.05)", core::two_zone_rho(scen.rho_per_m, 0.05, 40.0)},
+        {"rising toward peer (linear)", core::linear_rho(0.05, -4.8e-4)},
+        {"rising away from peer", core::linear_rho(scen.rho_per_m, 2e-5)},
+    };
+    for (const auto& row : rows) {
+      const auto r = core::optimize_nonstationary(delay, row.rho);
+      t.add_row(row.name, {r.d_opt_m, r.utility, r.survival});
+    }
+    t.print();
+    std::printf(
+        "reading: a hazardous close zone parks the optimum at the hazard\n"
+        "boundary instead of the 20 m floor — the stationary optimum is no\n"
+        "longer path-independent, exactly as the paper anticipates.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation — joint (distance, speed) optimization, the paper's
+// "exploiting new dimensions of the optimization problem" extension:
+// how much utility the ferry gains by also choosing its approach speed,
+// accounting for the battery-range cost of flying fast
+// (rho(v) = drain(v) / (v * T_battery)).
+#include <cstdio>
+
+#include "core/joint_optimizer.h"
+#include "core/scenario.h"
+#include "io/csv.h"
+#include "io/table.h"
+
+int main() {
+  using namespace skyferry;
+  io::CsvWriter csv("ablation_joint_speed.csv");
+  csv.header({"platform", "mdata_mb", "v_opt", "d_opt", "utility", "cruise_d_opt",
+              "cruise_utility", "gain_pct"});
+
+  for (const auto& scen : {core::Scenario::airplane(), core::Scenario::quadrocopter()}) {
+    const auto model = scen.paper_throughput();
+    io::Table t("joint speed+distance optimum, " + scen.name + " (cruise v=" +
+                io::format_number(scen.platform.cruise_speed_mps) + " m/s)");
+    t.columns({"Mdata_MB", "v_opt_mps", "d_opt_m", "U", "U@cruise", "gain_%"});
+    for (double mb : {1.0, 5.0, 15.0, 28.0, 45.0, 56.2}) {
+      core::DeliveryParams p = scen.delivery_params();
+      p.mdata_bytes = mb * 1e6;
+      const auto r = core::optimize_joint(model, scen.platform, p);
+      const double gain =
+          r.cruise_baseline.utility > 0.0
+              ? (r.utility / r.cruise_baseline.utility - 1.0) * 100.0
+              : 0.0;
+      t.add_row(io::format_number(mb),
+                {r.v_opt_mps, r.d_opt_m, r.utility, r.cruise_baseline.utility, gain});
+      csv.row(scen.name,
+              std::vector<double>{mb, r.v_opt_mps, r.d_opt_m, r.utility,
+                                  r.cruise_baseline.d_opt_m, r.cruise_baseline.utility, gain});
+    }
+    t.print();
+  }
+  std::printf(
+      "reading: bigger batches justify flying faster than cruise despite the\n"
+      "battery-range penalty; tiny batches fly near the platform's most\n"
+      "range-efficient speed. The gap vs the paper's fixed-cruise model is\n"
+      "the value of the 'speed dimension' its conclusion points at.\n"
+      "csv: ablation_joint_speed.csv\n");
+  return 0;
+}

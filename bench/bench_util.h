@@ -1,0 +1,74 @@
+// Shared helpers for the figure/table regenerators: seeded multi-run
+// link measurements and boxplot collection, mirroring how the paper's
+// field measurements were aggregated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mac/link.h"
+#include "stats/quantile.h"
+
+namespace skyferry::benchutil {
+
+/// Throughput samples from `seeds` independent saturated runs of
+/// `secs` seconds each at fixed geometry, under the vendor-style ARF
+/// auto rate (what the paper's radios actually ran).
+inline std::vector<double> autorate_samples(const phy::ChannelConfig& ch, double distance_m,
+                                            double speed_mps, std::uint64_t seed, int seeds = 3,
+                                            double secs = 60.0) {
+  std::vector<double> all;
+  for (int k = 0; k < seeds; ++k) {
+    mac::LinkConfig cfg;
+    cfg.channel = ch;
+    mac::ArfRate rc;
+    mac::LinkSimulator sim(cfg, rc, seed + 977ULL * k);
+    const auto res = sim.run_saturated(secs, mac::static_geometry(distance_m, speed_mps));
+    for (const auto& s : res.samples) all.push_back(s.mbps);
+  }
+  return all;
+}
+
+/// Same under Minstrel-HT (the "modern rate control" ablation).
+inline std::vector<double> minstrel_samples(const phy::ChannelConfig& ch, double distance_m,
+                                            double speed_mps, std::uint64_t seed, int seeds = 3,
+                                            double secs = 60.0) {
+  std::vector<double> all;
+  for (int k = 0; k < seeds; ++k) {
+    mac::LinkConfig cfg;
+    cfg.channel = ch;
+    mac::MinstrelConfig mcfg;
+    mac::MinstrelHt rc(mcfg, sim::derive_seed(seed + 131ULL * k, "rc"));
+    mac::LinkSimulator sim(cfg, rc, seed + 977ULL * k);
+    const auto res = sim.run_saturated(secs, mac::static_geometry(distance_m, speed_mps));
+    for (const auto& s : res.samples) all.push_back(s.mbps);
+  }
+  return all;
+}
+
+/// Same with a fixed MCS.
+inline std::vector<double> fixed_mcs_samples(const phy::ChannelConfig& ch, int mcs,
+                                             double distance_m, double speed_mps,
+                                             std::uint64_t seed, int seeds = 3,
+                                             double secs = 60.0) {
+  std::vector<double> all;
+  for (int k = 0; k < seeds; ++k) {
+    mac::LinkConfig cfg;
+    cfg.channel = ch;
+    mac::FixedMcs rc(mcs);
+    mac::LinkSimulator sim(cfg, rc, seed + 977ULL * k);
+    const auto res = sim.run_saturated(secs, mac::static_geometry(distance_m, speed_mps));
+    for (const auto& s : res.samples) all.push_back(s.mbps);
+  }
+  return all;
+}
+
+/// Render one boxplot row: d, n, whisker-, q1, median, q3, whisker+, outliers.
+inline std::vector<double> boxplot_row(const stats::BoxplotSummary& b) {
+  return {static_cast<double>(b.n), b.whisker_low, b.q1,
+          b.median,                 b.q3,          b.whisker_high,
+          static_cast<double>(b.outliers.size())};
+}
+
+}  // namespace skyferry::benchutil

@@ -1,0 +1,64 @@
+// Figure 5 — boxplots of UDP throughput vs distance between two flying
+// airplanes (auto PHY rate, 20-320 m). Regenerated with the PHY+MAC
+// simulator under the airplane channel preset; the console prints the
+// boxplot table plus the log2 fit of the medians, which should land near
+// the paper's s_air(d) = -5.56*log2(d) + 49 (R^2 = 0.90).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "io/ascii_chart.h"
+#include "io/csv.h"
+#include "io/gnuplot.h"
+#include "io/table.h"
+#include "stats/regression.h"
+
+int main() {
+  using namespace skyferry;
+  const auto ch = phy::ChannelConfig::airplane();
+
+  io::Table t("Figure 5: throughput vs distance, two airplanes (auto rate)");
+  t.columns({"d_m", "n", "whisk-", "q1", "median", "q3", "whisk+", "outliers"});
+  io::CsvWriter csv("fig5_airplane_throughput.csv");
+  csv.header({"d_m", "n", "whisker_low", "q1", "median", "q3", "whisker_high", "outliers"});
+
+  std::vector<double> ds, medians;
+  io::Series med_series{"sim median", {}, {}};
+  io::Series paper_series{"paper fit", {}, {}};
+  for (double d = 20.0; d <= 320.0; d += 20.0) {
+    // Airplanes circle their waypoints: residual relative speed ~3 m/s.
+    const auto samples =
+        benchutil::autorate_samples(ch, d, 3.0, 5000 + static_cast<std::uint64_t>(d), 4, 60.0);
+    const auto b = stats::boxplot(samples);
+    auto row = benchutil::boxplot_row(b);
+    t.add_row(io::format_number(d), row);
+    row.insert(row.begin(), d);
+    csv.row(row);
+    ds.push_back(d);
+    medians.push_back(b.median);
+    med_series.xs.push_back(d);
+    med_series.ys.push_back(b.median);
+    paper_series.xs.push_back(d);
+    paper_series.ys.push_back(std::max(-5.56 * std::log2(d) + 49.0, 0.0));
+  }
+  t.print();
+
+  io::AsciiChart chart("median throughput vs distance", 70, 14);
+  chart.x_label("d (m)").y_label("Mb/s");
+  chart.add(med_series).add(paper_series);
+  chart.print();
+
+  const auto fit = stats::log2_fit(ds, medians);
+  std::printf("log2 fit of medians: s(d) = %.2f*log2(d) + %.2f  (R^2 = %.2f)\n", fit.a, fit.b,
+              fit.r_squared);
+  std::printf("paper:               s(d) = -5.56*log2(d) + 49.00 (R^2 = 0.90)\n");
+
+  io::GnuplotScript gp("Fig 5: airplane throughput vs distance", "d (m)", "throughput (Mb/s)");
+  gp.terminal("pngcairo size 900,540", "fig5_airplane_throughput.png");
+  gp.add({"fig5_airplane_throughput.csv", 1, 5, "median", "linespoints lw 2", 0, ""});
+  gp.add({"fig5_airplane_throughput.csv", 1, 4, "q1", "lines dt 2", 0, ""});
+  gp.add({"fig5_airplane_throughput.csv", 1, 6, "q3", "lines dt 2", 0, ""});
+  gp.write("fig5_airplane_throughput.gp");
+  std::printf("csv: fig5_airplane_throughput.csv  plot: gnuplot fig5_airplane_throughput.gp\n");
+  return 0;
+}

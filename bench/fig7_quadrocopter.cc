@@ -1,0 +1,72 @@
+// Figure 7 — quadrocopter tests, three panels:
+//   left:   throughput vs distance while both hover (20-80 m)
+//   center: throughput vs distance while one approaches at ~8 m/s
+//   right:  throughput vs cruise speed at d ~ 60 m
+// All with auto PHY rate, like the paper.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "io/ascii_chart.h"
+#include "io/csv.h"
+#include "io/table.h"
+
+int main() {
+  using namespace skyferry;
+  const auto ch = phy::ChannelConfig::quadrocopter();
+  io::CsvWriter csv("fig7_quadrocopter.csv");
+  csv.header({"panel", "x", "whisker_low", "q1", "median", "q3", "whisker_high"});
+
+  // Left: hovering.
+  io::Table tl("Figure 7 (left): hovering, throughput vs distance");
+  tl.columns({"d_m", "n", "whisk-", "q1", "median", "q3", "whisk+", "outliers"});
+  io::Series hover_med{"hover median", {}, {}};
+  for (double d = 20.0; d <= 80.0; d += 20.0) {
+    const auto b = stats::boxplot(
+        benchutil::autorate_samples(ch, d, 0.0, 7000 + static_cast<std::uint64_t>(d), 4, 60.0));
+    tl.add_row(io::format_number(d), benchutil::boxplot_row(b));
+    csv.row("hover", std::vector<double>{d, b.whisker_low, b.q1, b.median, b.q3, b.whisker_high});
+    hover_med.xs.push_back(d);
+    hover_med.ys.push_back(b.median);
+  }
+  tl.print();
+
+  // Center: moving at ~8 m/s.
+  io::Table tc("Figure 7 (center): moving at ~8 m/s, throughput vs distance");
+  tc.columns({"d_m", "n", "whisk-", "q1", "median", "q3", "whisk+", "outliers"});
+  io::Series move_med{"moving median", {}, {}};
+  for (double d = 20.0; d <= 80.0; d += 20.0) {
+    const auto b = stats::boxplot(
+        benchutil::autorate_samples(ch, d, 8.0, 7500 + static_cast<std::uint64_t>(d), 4, 60.0));
+    tc.add_row(io::format_number(d), benchutil::boxplot_row(b));
+    csv.row("moving", std::vector<double>{d, b.whisker_low, b.q1, b.median, b.q3, b.whisker_high});
+    move_med.xs.push_back(d);
+    move_med.ys.push_back(b.median);
+  }
+  tc.print();
+
+  io::AsciiChart chart_lc("hover vs moving medians", 60, 12);
+  chart_lc.x_label("d (m)").y_label("Mb/s");
+  chart_lc.add(hover_med).add(move_med);
+  chart_lc.print();
+
+  // Right: speed sweep at d = 60 m.
+  io::Table tr("Figure 7 (right): throughput vs cruise speed at d=60 m");
+  tr.columns({"v_mps", "n", "whisk-", "q1", "median", "q3", "whisk+", "outliers"});
+  io::Series speed_med{"median", {}, {}};
+  for (double v : {0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 15.0}) {
+    const auto b = stats::boxplot(benchutil::autorate_samples(
+        ch, 60.0, v, 7900 + static_cast<std::uint64_t>(v * 10), 4, 60.0));
+    tr.add_row(io::format_number(v), benchutil::boxplot_row(b));
+    csv.row("speed", std::vector<double>{v, b.whisker_low, b.q1, b.median, b.q3, b.whisker_high});
+    speed_med.xs.push_back(v);
+    speed_med.ys.push_back(b.median);
+  }
+  tr.print();
+
+  io::AsciiChart chart_r("throughput vs speed at d=60 m", 60, 12);
+  chart_r.x_label("v (m/s)").y_label("Mb/s");
+  chart_r.add(speed_med);
+  chart_r.print();
+  std::printf("csv: fig7_quadrocopter.csv\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 8 — U(d) versus d for various failure rates rho, for both
+// baseline scenarios, with the maxima marked; the optimal distance grows
+// with rho. Also prints the d0-sensitivity table backing the paper's
+// "d_opt does not change with smaller d0 until d0 reaches d_opt".
+#include <cstdio>
+
+#include "core/optimizer.h"
+#include "core/scenario.h"
+#include "io/ascii_chart.h"
+#include "io/csv.h"
+#include "io/gnuplot.h"
+#include "io/table.h"
+
+namespace {
+
+using namespace skyferry;
+
+void run_scenario(const core::Scenario& scen, const std::vector<double>& rhos,
+                  io::CsvWriter& csv) {
+  const auto model = scen.paper_throughput();
+  io::AsciiChart chart("Figure 8: U(d), " + scen.name + " scenario", 70, 16);
+  chart.x_label("d (m)").y_label("U(d)");
+  io::Table t("maxima (" + scen.name + ")");
+  t.columns({"rho_1/m", "d_opt_m", "U(d_opt)", "Cdelay(d_opt)_s", "discount"});
+
+  for (double rho : rhos) {
+    const uav::FailureModel failure(rho);
+    const core::CommDelayModel delay(model, scen.delivery_params());
+    const core::UtilityFunction u(delay, failure);
+    io::Series s{"rho=" + io::format_number(rho), {}, {}};
+    for (const auto& pt : u.curve(120)) {
+      s.xs.push_back(pt.d_m);
+      s.ys.push_back(pt.utility);
+      csv.row(scen.name + "/rho=" + io::format_number(rho),
+              std::vector<double>{pt.d_m, pt.utility, pt.discount, pt.cdelay_s});
+    }
+    chart.add(s);
+    const auto r = core::optimize(u);
+    t.add_row(io::format_number(rho), {r.d_opt_m, r.utility, r.cdelay_s, r.discount});
+  }
+  chart.print();
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  io::CsvWriter csv("fig8_utility_curves.csv");
+  csv.header({"series", "d_m", "utility", "discount", "cdelay_s"});
+
+  const auto air = core::Scenario::airplane();
+  const auto quad = core::Scenario::quadrocopter();
+  run_scenario(air, {air.rho_per_m, 1e-3, 2e-3, 5e-3, 1e-2}, csv);
+  run_scenario(quad, {quad.rho_per_m, 1e-3, 2e-3, 5e-3, 1e-2}, csv);
+
+  // d0 sensitivity (paper Sec. 4, text after Fig. 8).
+  std::printf("\nd0 sensitivity, airplane scenario at rho=2e-3:\n");
+  io::Table t("d_opt vs d0");
+  t.columns({"d0_m", "d_opt_m", "transmit_now?"});
+  const auto model = air.paper_throughput();
+  const uav::FailureModel failure(2e-3);
+  for (double d0 : {300.0, 260.0, 220.0, 180.0, 140.0, 100.0, 60.0}) {
+    core::DeliveryParams p = air.delivery_params();
+    p.d0_m = d0;
+    const core::CommDelayModel delay(model, p);
+    const core::UtilityFunction u(delay, failure);
+    const auto r = core::optimize(u);
+    t.add_row(io::format_number(d0), {r.d_opt_m, r.transmit_now ? 1.0 : 0.0});
+  }
+  t.print();
+
+  for (const char* scen_name : {"airplane", "quadrocopter"}) {
+    io::GnuplotScript gp(std::string("Fig 8: U(d), ") + scen_name + " scenario", "d (m)",
+                         "U(d)");
+    gp.terminal("pngcairo size 900,540",
+                std::string("fig8_utility_") + scen_name + ".png");
+    for (const char* rho : {"0.000111", "0.000246", "0.001", "0.002", "0.005", "0.01"}) {
+      io::GnuplotSeries s;
+      s.csv_path = "fig8_utility_curves.csv";
+      s.x_column = 2;
+      s.y_column = 3;
+      s.title = std::string("rho=") + rho;
+      s.style = "lines lw 2";
+      s.filter_column = 1;
+      s.filter_value = std::string(scen_name) + "/rho=" + rho;
+      gp.add(s);
+    }
+    gp.write(std::string("fig8_utility_") + scen_name + ".gp");
+  }
+  std::printf("csv: fig8_utility_curves.csv  plots: gnuplot fig8_utility_{airplane,quadrocopter}.gp\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Google-benchmark micro-benchmarks for the hot paths: the utility
+// optimizer (runs on every rendezvous decision), the PER math (runs per
+// simulated A-MPDU), the event queue, geodesy, and a full link-sim
+// second.
+#include <benchmark/benchmark.h>
+
+#include "core/optimizer.h"
+#include "core/scenario.h"
+#include "core/strategy.h"
+#include "geo/geodesy.h"
+#include "mac/link.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace skyferry;
+
+void BM_OptimizeUtility(benchmark::State& state) {
+  const auto scen = core::Scenario::airplane();
+  const auto model = scen.paper_throughput();
+  const uav::FailureModel failure(scen.rho_per_m);
+  const core::CommDelayModel delay(model, scen.delivery_params());
+  const core::UtilityFunction u(delay, failure);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::optimize(u));
+  }
+}
+BENCHMARK(BM_OptimizeUtility);
+
+void BM_OptimizeBruteForce(benchmark::State& state) {
+  const auto scen = core::Scenario::airplane();
+  const auto model = scen.paper_throughput();
+  const uav::FailureModel failure(scen.rho_per_m);
+  const core::CommDelayModel delay(model, scen.delivery_params());
+  const core::UtilityFunction u(delay, failure);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::optimize_brute_force(u, 20000));
+  }
+}
+BENCHMARK(BM_OptimizeBruteForce);
+
+void BM_PacketErrorRate(benchmark::State& state) {
+  const phy::ErrorModel em({}, 0.9);
+  double snr = 0.0;
+  for (auto _ : state) {
+    snr = (snr < 30.0) ? snr + 0.1 : 0.0;
+    benchmark::DoNotOptimize(
+        em.packet_error_rate(phy::mcs(static_cast<int>(snr) % 16), snr, 12288));
+  }
+}
+BENCHMARK(BM_PacketErrorRate);
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(static_cast<double>((i * 7919) % 10007), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_Haversine(benchmark::State& state) {
+  const geo::GeoPoint a{47.3769, 8.5417, 400.0};
+  geo::GeoPoint b = a;
+  double delta = 0.0;
+  for (auto _ : state) {
+    delta += 1e-6;
+    b.lat_deg = a.lat_deg + delta;
+    benchmark::DoNotOptimize(geo::haversine_m(a, b));
+  }
+}
+BENCHMARK(BM_Haversine);
+
+void BM_LinkSimOneSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    mac::LinkConfig cfg;
+    cfg.channel = phy::ChannelConfig::quadrocopter();
+    mac::FixedMcs rc(1);
+    mac::LinkSimulator sim(cfg, rc, 42);
+    benchmark::DoNotOptimize(sim.run_saturated(1.0, mac::static_geometry(40.0)));
+  }
+}
+BENCHMARK(BM_LinkSimOneSecond);
+
+void BM_StrategyTransferCurve(benchmark::State& state) {
+  const auto model = core::PaperLogThroughput::quadrocopter();
+  const core::SpeedDegradation deg{};
+  const core::DeliveryParams params{80.0, 4.5, 20e6, 20.0};
+  core::StrategySpec spec;
+  spec.kind = core::StrategyKind::kShipThenTransmit;
+  spec.target_distance_m = 60.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::simulate_strategy(spec, model, deg, params));
+  }
+}
+BENCHMARK(BM_StrategyTransferCurve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

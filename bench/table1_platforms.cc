@@ -1,0 +1,40 @@
+// Table 1 — "Main features of our flying platforms": regenerated from
+// the uav::PlatformSpec presets the whole simulator runs on.
+#include <cstdio>
+
+#include "io/table.h"
+#include "uav/failure.h"
+#include "uav/platform.h"
+
+int main() {
+  using namespace skyferry;
+  const auto air = uav::PlatformSpec::swinglet();
+  const auto quad = uav::PlatformSpec::arducopter();
+
+  io::Table t("Table 1: Main features of our flying platforms");
+  t.columns({"Feature", "Airplane", "Quadrocopter"});
+  t.add_row({"Hovering", air.can_hover ? "Yes" : "No", quad.can_hover ? "Yes" : "No"});
+  t.add_row({"Size", "Wingspan: 80 cm", "Frame: 64 cm by 64 cm"});
+  t.add_row({"Weight", "500 g", "1.7 kg"});
+  t.add_row({"Battery autonomy", "30 minutes", "20 minutes"});
+  t.add_row({"Cruise speed", "10 m/s", "4.5 m/s in auto mode"});
+  t.add_row({"Maximum safe altitude", "300 m", "100 m"});
+  t.print();
+
+  io::Table d("Derived quantities used by the model");
+  d.columns({"Quantity", "Airplane", "Quadrocopter"});
+  d.add_row({"Battery range [m]", io::format_number(air.range_m()),
+             io::format_number(quad.range_m())});
+  d.add_row({"1/range [1/m]", io::format_number(1.0 / air.range_m()),
+             io::format_number(1.0 / quad.range_m())});
+  d.add_row({"Paper baseline rho [1/m]",
+             io::format_number(uav::FailureModel::paper_airplane().rho()),
+             io::format_number(uav::FailureModel::paper_quadrocopter().rho())});
+  d.add_row({"Min loiter radius [m]", io::format_number(air.min_turn_radius_m),
+             io::format_number(quad.min_turn_radius_m)});
+  d.print();
+  std::printf(
+      "note: the paper quotes rho as the inverse battery range but its values\n"
+      "differ from Table 1's 1/range by ~2x; we ship both (DESIGN.md §1).\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Ferry relay chain: airplane-to-airplane delivery over a long leg.
+//
+// An airplane surveying a remote sector (500 x 500 m at 70 m altitude)
+// must get 28 MB of imagery back to the ground station 2 km away —
+// beyond 802.11n range, so a second airplane ferries: collect from the
+// scout mid-air at the delayed-gratification optimum, cruise back, and
+// deliver to the ground station, again at the optimum distance.
+// Demonstrates the "any mission UAV can become a ferry" view of Sec. 6.
+#include <cstdio>
+
+#include "core/planner.h"
+#include "ctrl/imaging.h"
+#include "io/table.h"
+#include "mac/link.h"
+#include "uav/failure.h"
+
+namespace {
+
+using namespace skyferry;
+
+struct Hop {
+  const char* name;
+  double d0_m;
+  double mdata_bytes;
+};
+
+struct HopResult {
+  double d_opt_m;
+  double ship_s;
+  double tx_s;
+  double total_s;
+  double naive_s;
+  bool completed;
+};
+
+HopResult run_hop(const Hop& hop, const core::PaperLogThroughput& model,
+                  const uav::FailureModel& failure, double speed_mps, std::uint64_t seed) {
+  const core::DelayedGratificationPlanner planner(model, failure);
+  core::DeliveryParams params{hop.d0_m, speed_mps, hop.mdata_bytes, 20.0};
+  const core::Decision dec = planner.decide(params);
+
+  // Full-stack transfer at the planned distance (airplanes synchronize
+  // trajectories so relative speed ~ 0 during the exchange, Sec. 4).
+  mac::LinkConfig cfg;
+  cfg.channel = phy::ChannelConfig::airplane();
+  mac::ArfRate rc;
+  mac::LinkSimulator link(cfg, rc, seed);
+  const auto res =
+      link.run_transfer(static_cast<std::uint64_t>(hop.mdata_bytes), 1800.0,
+                        mac::static_geometry(dec.strategy.target_distance_m, 2.0));
+
+  const core::CommDelayModel delay(model, params);
+  HopResult r;
+  r.d_opt_m = dec.strategy.target_distance_m;
+  r.ship_s = delay.tship_s(dec.strategy.target_distance_m);
+  r.tx_s = res.duration_s;
+  r.total_s = r.ship_s + r.tx_s;
+  r.naive_s = delay.cdelay_s(hop.d0_m);
+  r.completed = res.completed;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const ctrl::CameraModel camera;
+  const auto plan = ctrl::plan_sector_imaging(camera, 500.0 * 500.0, 70.0);
+  std::printf("remote sector imagery: %u images, %.1f MB\n", plan.batch.num_images,
+              plan.batch.total_mb());
+
+  const auto model = core::PaperLogThroughput::airplane();
+  const auto failure = uav::FailureModel::paper_airplane();
+  const double cruise = uav::PlatformSpec::swinglet().cruise_speed_mps;
+
+  // Hop 1: scout -> ferry, link comes up at 300 m (the paper's d0).
+  // Hop 2: ferry -> ground station, approach from 400 m.
+  const Hop hops[] = {{"scout->ferry", 300.0, plan.batch.total_bytes()},
+                      {"ferry->ground", 400.0, plan.batch.total_bytes()}};
+
+  io::Table t("ferry chain (airplane scenario, full-stack transfers)");
+  t.columns({"hop", "d_opt_m", "ship_s", "tx_s", "total_s", "transmit-now_s"});
+  double total = 0.0;
+  bool all_ok = true;
+  std::uint64_t seed = 77;
+  for (const Hop& hop : hops) {
+    const HopResult r = run_hop(hop, model, failure, cruise, seed++);
+    t.add_row(hop.name, {r.d_opt_m, r.ship_s, r.tx_s, r.total_s, r.naive_s});
+    total += r.total_s;
+    all_ok = all_ok && r.completed;
+  }
+  // The 2 km cruise between the hops at airplane speed.
+  const double cruise_leg_s = 2000.0 / cruise;
+  t.add_row("cruise leg (2 km)", {0.0, cruise_leg_s, 0.0, cruise_leg_s, cruise_leg_s});
+  t.print();
+  std::printf("end-to-end delivery: %.0f s (%s)\n", total + cruise_leg_s,
+              all_ok ? "all hops complete" : "INCOMPLETE HOP");
+  std::printf(
+      "note: hop 2's d0=400 m exceeds the airplane link range (~450 m edge);\n"
+      "the planner still ships to a strong position rather than trickling\n"
+      "from the fringe.\n");
+  return all_ok ? 0 : 1;
+}

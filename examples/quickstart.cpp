@@ -1,0 +1,49 @@
+// Quickstart: the five-minute tour of the SkyFerry public API.
+//
+// A quadrocopter has photographed its sector (56 MB of images) and a
+// relay UAV just came in range 100 m away. Should it transmit *now*, or
+// fly closer first and transmit *later*? We build the throughput model,
+// the failure discount, and ask the planner.
+#include <cstdio>
+
+#include "core/planner.h"
+
+int main() {
+  using namespace skyferry;
+
+  // 1. A scenario preset bundles the paper's baseline constants
+  //    (platform, camera, sector, Mdata, speed, failure rate, d0).
+  const core::Scenario scen = core::Scenario::quadrocopter();
+
+  // 2. s(d): the distance->throughput model. Here the paper's published
+  //    fit; swap in core::TableThroughput to use your own measurements.
+  const core::PaperLogThroughput model = scen.paper_throughput();
+
+  // 3. delta(d): the failure discount, exp(-rho * distance_to_fly).
+  const uav::FailureModel failure = scen.failure_model();
+
+  // 4. Decide.
+  const core::DelayedGratificationPlanner planner(model, failure);
+  const core::Decision d = planner.decide(scen);
+
+  std::printf("scenario           : %s\n", scen.name.c_str());
+  std::printf("batch              : %.1f MB at d0 = %.0f m\n", scen.mdata_bytes / 1e6,
+              scen.d0_m);
+  std::printf("decision           : %s\n", core::to_string(d.strategy.kind).c_str());
+  std::printf("transmit distance  : %.1f m\n", d.strategy.target_distance_m);
+  std::printf("expected delay     : %.1f s (transmit-now would take %.1f s)\n",
+              d.expected_delay_s, d.transmit_now_delay_s);
+  std::printf("delay saving       : %.0f %%\n", d.delay_saving_fraction * 100.0);
+  std::printf("delivery probability: %.4f\n", d.delivery_probability);
+
+  // 5. Inspect the utility curve behind the decision.
+  const core::CommDelayModel delay(model, scen.delivery_params());
+  const core::UtilityFunction u(delay, failure);
+  std::printf("\nU(d) samples:\n");
+  for (double dist = 20.0; dist <= 100.0; dist += 20.0) {
+    const core::UtilityPoint p = u.evaluate(dist);
+    std::printf("  d=%5.1f m  Tship=%6.1f s  Ttx=%6.1f s  U=%.5f\n", dist, p.tship_s, p.ttx_s,
+                p.utility);
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Strategy explorer: a parameter playground on the command line.
+//
+//   strategy_explorer [mdata_mb] [speed_mps] [rho] [d0_m] [airplane|quad]
+//
+// Prints the utility curve, the optimum, the crossover table against
+// transmit-now, and the simulated transfer curves for the main
+// strategies — everything the operator needs to see *why* the planner
+// chose now or later.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/planner.h"
+#include "io/ascii_chart.h"
+#include "io/table.h"
+
+int main(int argc, char** argv) {
+  using namespace skyferry;
+
+  const bool airplane = argc > 5 && std::strcmp(argv[5], "airplane") == 0;
+  core::Scenario scen = airplane ? core::Scenario::airplane() : core::Scenario::quadrocopter();
+  core::DeliveryParams params = scen.delivery_params();
+  double rho = scen.rho_per_m;
+  if (argc > 1) params.mdata_bytes = std::atof(argv[1]) * 1e6;
+  if (argc > 2) params.speed_mps = std::atof(argv[2]);
+  if (argc > 3) rho = std::atof(argv[3]);
+  if (argc > 4) params.d0_m = std::atof(argv[4]);
+
+  const auto model = scen.paper_throughput();
+  const uav::FailureModel failure(rho);
+  const core::CommDelayModel delay(model, params);
+  const core::UtilityFunction u(delay, failure);
+
+  std::printf("platform=%s  Mdata=%.1f MB  v=%.1f m/s  rho=%g /m  d0=%.0f m\n",
+              scen.name.c_str(), params.mdata_bytes / 1e6, params.speed_mps, rho, params.d0_m);
+
+  // Utility curve.
+  io::AsciiChart chart("U(d)", 70, 14);
+  chart.x_label("d (m)").y_label("U");
+  io::Series s{"U(d)", {}, {}};
+  for (const auto& pt : u.curve(100)) {
+    s.xs.push_back(pt.d_m);
+    s.ys.push_back(pt.utility);
+  }
+  chart.add(s);
+  chart.print();
+
+  const core::DelayedGratificationPlanner planner(model, failure);
+  const core::Decision dec = planner.decide(params);
+  std::printf("\noptimum: d_opt=%.1f m  U=%.5f  Cdelay=%.1f s  P(deliver)=%.4f\n",
+              dec.opt.d_opt_m, dec.opt.utility, dec.opt.cdelay_s, dec.delivery_probability);
+  std::printf("decision: %s (vs transmit-now %.1f s -> saves %.0f%%)\n",
+              core::to_string(dec.strategy.kind).c_str(), dec.transmit_now_delay_s,
+              dec.delay_saving_fraction * 100.0);
+
+  // Crossover data sizes: how big must the batch be for each candidate
+  // transmit distance to beat transmitting now?
+  io::Table cross("crossover batch sizes vs transmit-now");
+  cross.columns({"d_m", "Mdata*_MB", "beats transmit-now for this batch?"});
+  for (double d = params.min_distance_m; d < params.d0_m - 1.0; d += (params.d0_m - 20.0) / 8.0) {
+    const double mstar = core::crossover_mdata_bytes(model, params.d0_m, d, params.speed_mps);
+    cross.add_row(io::format_number(d),
+                  {mstar / 1e6, params.mdata_bytes > mstar ? 1.0 : 0.0});
+  }
+  cross.print();
+
+  // Transfer curves for the main strategies.
+  const core::SpeedDegradation deg{};
+  io::AsciiChart tchart("transfer curves", 70, 14);
+  tchart.x_label("time (s)").y_label("MB");
+  for (auto kind : {core::StrategyKind::kTransmitNow, core::StrategyKind::kShipThenTransmit,
+                    core::StrategyKind::kMoveAndTransmit, core::StrategyKind::kMixed}) {
+    core::StrategySpec spec;
+    spec.kind = kind;
+    spec.target_distance_m = dec.opt.d_opt_m;
+    const auto out = simulate_strategy(spec, model, deg, params, 0.05, 7200.0);
+    io::Series ts{spec.label(), {}, {}};
+    const std::size_t stride = std::max<std::size_t>(out.curve.size() / 50, 1);
+    for (std::size_t i = 0; i < out.curve.size(); i += stride) {
+      ts.xs.push_back(out.curve[i].t_s);
+      ts.ys.push_back(out.curve[i].delivered_mb);
+    }
+    tchart.add(ts);
+  }
+  tchart.print();
+  return 0;
+}

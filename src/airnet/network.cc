@@ -1,0 +1,154 @@
+#include "airnet/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "mac/rate_control.h"
+
+namespace skyferry::airnet {
+
+struct AerialNetwork::Transfer {
+  TransferStats stats;
+  mac::ArfRate rate_control;
+  phy::LinkChannel channel;
+  TransferCallback on_complete;
+
+  Transfer(phy::ChannelConfig ch_cfg, std::uint64_t seed)
+      : channel(ch_cfg, seed) {}
+};
+
+AerialNetwork::AerialNetwork(NetworkConfig cfg, std::uint64_t seed)
+    : cfg_(cfg),
+      seed_(seed),
+      error_model_(cfg.error, cfg.channel.spatial_correlation),
+      rng_(sim::derive_seed(seed, "airnet")) {}
+
+AerialNetwork::~AerialNetwork() = default;
+
+NodeId AerialNetwork::add_node(const uav::UavConfig& cfg) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<uav::Uav>(
+      cfg, sim::derive_seed(seed_, "node/" + cfg.id)));
+  if (!ticking_) {
+    ticking_ = true;
+    sim_.schedule(cfg_.kinematics_dt_s, [this] { tick_kinematics(); });
+  }
+  return id;
+}
+
+uav::Uav& AerialNetwork::node(NodeId id) {
+  assert(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+  return *nodes_[static_cast<std::size_t>(id)];
+}
+
+const uav::Uav& AerialNetwork::node(NodeId id) const {
+  assert(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+  return *nodes_[static_cast<std::size_t>(id)];
+}
+
+double AerialNetwork::distance(NodeId a, NodeId b) const {
+  return geo::distance(node(a).position(), node(b).position());
+}
+
+void AerialNetwork::tick_kinematics() {
+  const double t = sim_.now();
+  for (auto& n : nodes_) n->tick(t, cfg_.kinematics_dt_s);
+  sim_.schedule(cfg_.kinematics_dt_s, [this] { tick_kinematics(); });
+}
+
+int AerialNetwork::active_transfers() const noexcept {
+  int n = 0;
+  for (const auto& tr : transfers_) n += tr->stats.completed ? 0 : 1;
+  return n;
+}
+
+TransferId AerialNetwork::start_transfer(NodeId from, NodeId to, const net::DataBatch& batch,
+                                         TransferCallback on_complete) {
+  const auto id = static_cast<TransferId>(transfers_.size());
+  auto tr = std::make_unique<Transfer>(
+      cfg_.channel, sim::derive_seed(seed_, "transfer/" + std::to_string(id)));
+  tr->stats.from = from;
+  tr->stats.to = to;
+  tr->stats.payload_bytes_total = static_cast<std::uint64_t>(batch.total_bytes());
+  tr->stats.started_t_s = sim_.now();
+  tr->on_complete = std::move(on_complete);
+  transfers_.push_back(std::move(tr));
+  sim_.schedule(0.0, [this, id] { exchange(id); });
+  return id;
+}
+
+const TransferStats& AerialNetwork::transfer(TransferId id) const {
+  assert(id >= 0 && static_cast<std::size_t>(id) < transfers_.size());
+  return transfers_[static_cast<std::size_t>(id)]->stats;
+}
+
+void AerialNetwork::exchange(TransferId id) {
+  Transfer& tr = *transfers_[static_cast<std::size_t>(id)];
+  if (tr.stats.completed) return;
+
+  const double t = sim_.now();
+  const uav::Uav& a = node(tr.stats.from);
+  const uav::Uav& b = node(tr.stats.to);
+  const double d = geo::distance(a.position(), b.position());
+  const double rel_speed = (a.state().vel - b.state().vel).norm();
+
+  const int mcs_index = tr.rate_control.select_mcs(t);
+  const phy::McsInfo& m = phy::mcs(mcs_index);
+
+  const std::uint64_t remaining =
+      tr.stats.payload_bytes_total - tr.stats.payload_bytes_delivered;
+  const int payload_per_mpdu = cfg_.mpdu.payload_bits() / 8;
+  const int backlog = static_cast<int>(std::min<std::uint64_t>(
+      (remaining + payload_per_mpdu - 1) / payload_per_mpdu,
+      static_cast<std::uint64_t>(cfg_.ampdu.max_subframes)));
+  const int n = mac::subframes_for(cfg_.ampdu, cfg_.mpdu, m, cfg_.channel.width, cfg_.channel.gi,
+                                   std::max(backlog, 1));
+
+  const double snr_db = tr.channel.snr_db(t, d, rel_speed);
+  int delivered = 0;
+  for (int i = 0; i < n; ++i) {
+    const double mpdu_snr = snr_db + cfg_.per_mpdu_snr_jitter_db * rng_.gaussian();
+    const double per = error_model_.packet_error_rate(m, mpdu_snr, cfg_.mpdu.mpdu_bits());
+    if (!rng_.bernoulli(per)) ++delivered;
+  }
+  const double ba_per = error_model_.packet_error_rate(phy::mcs(0), snr_db, 32 * 8);
+  if (rng_.bernoulli(ba_per)) delivered = 0;
+
+  tr.stats.mpdus_attempted += static_cast<std::uint64_t>(n);
+  tr.stats.mpdus_delivered += static_cast<std::uint64_t>(delivered);
+  tr.stats.payload_bytes_delivered = std::min<std::uint64_t>(
+      tr.stats.payload_bytes_total,
+      tr.stats.payload_bytes_delivered +
+          static_cast<std::uint64_t>(delivered) * static_cast<std::uint64_t>(payload_per_mpdu));
+  tr.rate_control.report(t, mac::TxFeedback{mcs_index, n, delivered});
+
+  if (tr.stats.payload_bytes_delivered >= tr.stats.payload_bytes_total) {
+    tr.stats.completed = true;
+    tr.stats.completed_t_s = t;
+    if (tr.on_complete) tr.on_complete(tr.stats);
+    return;
+  }
+
+  // Airtime of this exchange, stretched by DCF contention when several
+  // transfers share the channel.
+  double dur = mac::exchange_duration_s(cfg_.timing, cfg_.mpdu, m, cfg_.channel.width,
+                                        cfg_.channel.gi, n, delivered == 0 ? 1 : 0);
+  const int contenders = active_transfers();
+  if (contenders > 1) {
+    const double frame_s =
+        mac::ampdu_duration_s(cfg_.mpdu, m, cfg_.channel.width, cfg_.channel.gi, n);
+    const auto c = mac::analyze_contention(contenders, cfg_.timing, frame_s,
+                                           mac::block_ack_duration_s(cfg_.channel.width));
+    // Each transfer's effective service rate shrinks to the per-station
+    // share; stretch the next exchange by its inverse (eff = 1 when alone).
+    if (c.efficiency_vs_single > 1e-6) dur /= c.efficiency_vs_single;
+  }
+  // Total outage (nothing through, rock-bottom rate): back off and retry.
+  if (delivered == 0 && mcs_index == 0) dur = std::max(dur, cfg_.stall_retry_s);
+
+  sim_.schedule(dur, [this, id] { exchange(id); });
+}
+
+void AerialNetwork::run_until(double t_s) { sim_.run_until(t_s); }
+
+}  // namespace skyferry::airnet

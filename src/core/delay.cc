@@ -1,0 +1,19 @@
+#include "core/delay.h"
+
+#include <algorithm>
+
+namespace skyferry::core {
+
+double CommDelayModel::tship_s(double d_m) const noexcept {
+  if (d_m >= p_.d0_m) return 0.0;
+  return (p_.d0_m - d_m) / p_.speed_mps;
+}
+
+double CommDelayModel::ttx_s(double d_m) const noexcept {
+  const double d = std::max(d_m, p_.min_distance_m);
+  const double s = model_.throughput_bps(d);
+  if (s <= 0.0) return kInfiniteDelay;
+  return p_.mdata_bytes * 8.0 / s;
+}
+
+}  // namespace skyferry::core

@@ -1,0 +1,46 @@
+// Communication-delay model (paper Sec. 2.2):
+//   Cdelay(d) = Tship(d) + Ttx(d)
+//   Tship(d)  = (d0 - d) / v          time to fly to the transmit position
+//   Ttx(d)    = Mdata / s(d)          time to push the batch through s(d)
+#pragma once
+
+#include <limits>
+
+#include "core/throughput_model.h"
+
+namespace skyferry::core {
+
+/// Parameters of one delivery decision.
+struct DeliveryParams {
+  double d0_m{0.0};        ///< distance at which the link came in range
+  double speed_mps{1.0};   ///< UAV cruise speed v > 0
+  double mdata_bytes{0.0}; ///< batch size Mdata > 0
+  double min_distance_m{20.0};  ///< anti-collision floor for d
+};
+
+class CommDelayModel {
+ public:
+  /// The throughput model must outlive this object.
+  CommDelayModel(const ThroughputModel& model, DeliveryParams params) noexcept
+      : model_(model), p_(params) {}
+
+  /// Shipping time [s] to distance d (0 when d >= d0).
+  [[nodiscard]] double tship_s(double d_m) const noexcept;
+
+  /// Transmission time [s] at distance d; +inf when s(d) == 0.
+  [[nodiscard]] double ttx_s(double d_m) const noexcept;
+
+  /// Total communication delay [s].
+  [[nodiscard]] double cdelay_s(double d_m) const noexcept { return tship_s(d_m) + ttx_s(d_m); }
+
+  [[nodiscard]] const DeliveryParams& params() const noexcept { return p_; }
+  [[nodiscard]] const ThroughputModel& model() const noexcept { return model_; }
+
+  static constexpr double kInfiniteDelay = std::numeric_limits<double>::infinity();
+
+ private:
+  const ThroughputModel& model_;
+  DeliveryParams p_;
+};
+
+}  // namespace skyferry::core

@@ -1,0 +1,54 @@
+#include "core/joint_optimizer.h"
+
+#include <algorithm>
+
+#include "uav/battery.h"
+#include "uav/failure.h"
+
+namespace skyferry::core {
+
+double rho_for_speed(const uav::PlatformSpec& platform, double speed_mps) noexcept {
+  const uav::Battery battery(platform);
+  const double v = std::max(speed_mps, 1e-3);
+  const double range_m = v * platform.battery_autonomy_s / battery.drain_factor(v);
+  return range_m > 0.0 ? 1.0 / range_m : 0.0;
+}
+
+JointOptimizeResult optimize_joint(const ThroughputModel& model,
+                                   const uav::PlatformSpec& platform,
+                                   const DeliveryParams& params, JointOptimizeOptions opts) {
+  JointOptimizeResult best;
+  best.utility = -1.0;
+
+  const double v_lo = std::max({opts.min_speed_mps, platform.min_speed_mps, 1e-3});
+  const double v_hi = std::max(platform.max_speed_mps, v_lo + 1e-3);
+  const int n = std::max(opts.speed_grid_points, 2);
+
+  for (int i = 0; i < n; ++i) {
+    const double v = v_lo + (v_hi - v_lo) * i / (n - 1);
+    DeliveryParams p = params;
+    p.speed_mps = v;
+    const uav::FailureModel failure(rho_for_speed(platform, v));
+    const CommDelayModel delay(model, p);
+    const UtilityFunction u(delay, failure);
+    const OptimizeResult r = optimize(u, opts.distance_opts);
+    if (r.utility > best.utility) {
+      best.utility = r.utility;
+      best.d_opt_m = r.d_opt_m;
+      best.v_opt_mps = v;
+      best.cdelay_s = r.cdelay_s;
+      best.rho_at_v = failure.rho();
+    }
+  }
+
+  // Cruise-speed baseline for comparison.
+  DeliveryParams cruise = params;
+  cruise.speed_mps = platform.cruise_speed_mps;
+  const uav::FailureModel cruise_failure(rho_for_speed(platform, platform.cruise_speed_mps));
+  const CommDelayModel cruise_delay(model, cruise);
+  const UtilityFunction cruise_u(cruise_delay, cruise_failure);
+  best.cruise_baseline = optimize(cruise_u, opts.distance_opts);
+  return best;
+}
+
+}  // namespace skyferry::core

@@ -1,0 +1,45 @@
+// Joint distance + speed optimization — the paper's "exploiting new
+// dimensions of the optimization problem" extension (Sec. 7).
+//
+// The base model treats the approach speed v as a given. But v is a
+// control input too, and it cuts both ways: flying faster shortens
+// Tship, yet burns battery faster, which *raises* the per-meter failure
+// rate rho(v) = 1/range(v) = drain_factor(v) / (v * T_battery). The
+// joint optimizer maximizes U(d, v) = exp(-rho(v)(d0-d)) / Cdelay(d, v)
+// over both the transmit distance and the approach speed.
+#pragma once
+
+#include "core/optimizer.h"
+#include "uav/platform.h"
+
+namespace skyferry::core {
+
+struct JointOptimizeOptions {
+  int speed_grid_points{64};
+  OptimizeOptions distance_opts{};
+  /// Lower speed bound [m/s]; platform stall speed is also honored.
+  double min_speed_mps{0.5};
+};
+
+struct JointOptimizeResult {
+  double d_opt_m{0.0};
+  double v_opt_mps{0.0};
+  double utility{0.0};
+  double cdelay_s{0.0};
+  double rho_at_v{0.0};
+  /// The fixed-speed result at the platform's cruise speed, for
+  /// comparison (what the base model would have chosen).
+  OptimizeResult cruise_baseline{};
+};
+
+/// Battery-derived failure rate at a commanded speed [1/m].
+[[nodiscard]] double rho_for_speed(const uav::PlatformSpec& platform, double speed_mps) noexcept;
+
+/// Maximize U(d, v) for a delivery on `platform`. `params.speed_mps` is
+/// ignored (it is the optimization variable); all other fields are used.
+[[nodiscard]] JointOptimizeResult optimize_joint(const ThroughputModel& model,
+                                                 const uav::PlatformSpec& platform,
+                                                 const DeliveryParams& params,
+                                                 JointOptimizeOptions opts = {});
+
+}  // namespace skyferry::core

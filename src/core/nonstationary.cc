@@ -1,0 +1,58 @@
+#include "core/nonstationary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skyferry::core {
+
+RhoProfile constant_rho(double rho) {
+  return [rho](double) { return rho; };
+}
+
+RhoProfile two_zone_rho(double far_rho, double near_rho, double boundary_m) {
+  return [=](double x) { return x < boundary_m ? near_rho : far_rho; };
+}
+
+RhoProfile linear_rho(double a, double b) {
+  return [=](double x) { return std::max(a + b * x, 0.0); };
+}
+
+double path_survival(const RhoProfile& rho, double d0_m, double d_m, double step_m) {
+  if (d_m >= d0_m) return 1.0;
+  double integral = 0.0;
+  const double lo = d_m;
+  const double hi = d0_m;
+  const int n = std::max(1, static_cast<int>(std::ceil((hi - lo) / step_m)));
+  const double h = (hi - lo) / n;
+  for (int i = 0; i < n; ++i) {
+    integral += rho(lo + (i + 0.5) * h) * h;  // midpoint rule
+  }
+  return std::exp(-integral);
+}
+
+double nonstationary_utility(const CommDelayModel& delay, const RhoProfile& rho, double d_m) {
+  const double c = delay.cdelay_s(d_m);
+  if (!(c > 0.0) || !std::isfinite(c)) return 0.0;
+  return path_survival(rho, delay.params().d0_m, d_m) / c;
+}
+
+NonstationaryResult optimize_nonstationary(const CommDelayModel& delay, const RhoProfile& rho,
+                                           int grid_points) {
+  NonstationaryResult best;
+  const double lo = delay.params().min_distance_m;
+  const double hi = delay.params().d0_m;
+  const int n = std::max(grid_points, 2);
+  for (int i = 0; i < n; ++i) {
+    const double d = lo + (hi - lo) * i / (n - 1);
+    const double u = nonstationary_utility(delay, rho, d);
+    if (u > best.utility) {
+      best.utility = u;
+      best.d_opt_m = d;
+    }
+  }
+  best.survival = path_survival(rho, hi, best.d_opt_m);
+  best.cdelay_s = delay.cdelay_s(best.d_opt_m);
+  return best;
+}
+
+}  // namespace skyferry::core

@@ -1,0 +1,53 @@
+// Non-stationary failure rates — the paper's Sec. 4 caveat: "Different
+// results are expected, e.g., for a non-stationary failure rate", and
+// its conclusion asks for "a specific failure model".
+//
+// Here rho varies along the approach path: rho(x) as a function of the
+// distance-to-peer x, so the survival of the leg from d0 down to d is
+// delta(d) = exp(-∫_d^{d0} rho(x) dx). A rising rho near the peer
+// (obstacle-rich landing zone, downwash turbulence near a hovering
+// receiver) breaks the stationarity that made the base optimum
+// path-independent — exactly the regime the paper flags.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/delay.h"
+
+namespace skyferry::core {
+
+/// rho(x): failure rate [1/m] at distance-to-peer x [m].
+using RhoProfile = std::function<double(double x_m)>;
+
+/// Constant profile (reduces to the paper's stationary model).
+[[nodiscard]] RhoProfile constant_rho(double rho);
+
+/// Two-zone profile: `far_rho` beyond `boundary_m`, `near_rho` inside —
+/// the "hazardous close approach" model.
+[[nodiscard]] RhoProfile two_zone_rho(double far_rho, double near_rho, double boundary_m);
+
+/// Linear-in-x profile clamped at >= 0: rho(x) = a + b*x.
+[[nodiscard]] RhoProfile linear_rho(double a, double b);
+
+/// Non-stationary discount: delta(d) = exp(-∫_d^{d0} rho(x) dx),
+/// integrated with the midpoint rule at `step_m` resolution.
+[[nodiscard]] double path_survival(const RhoProfile& rho, double d0_m, double d_m,
+                                   double step_m = 0.5);
+
+/// Utility and optimum under a non-stationary failure profile.
+struct NonstationaryResult {
+  double d_opt_m{0.0};
+  double utility{0.0};
+  double survival{0.0};
+  double cdelay_s{0.0};
+};
+
+[[nodiscard]] double nonstationary_utility(const CommDelayModel& delay, const RhoProfile& rho,
+                                           double d_m);
+
+[[nodiscard]] NonstationaryResult optimize_nonstationary(const CommDelayModel& delay,
+                                                         const RhoProfile& rho,
+                                                         int grid_points = 600);
+
+}  // namespace skyferry::core

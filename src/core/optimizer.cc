@@ -1,0 +1,102 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skyferry::core {
+namespace {
+
+constexpr double kGolden = 0.6180339887498949;  // 1/phi
+
+OptimizeResult finish(const UtilityFunction& u, double d, int evals) {
+  OptimizeResult r;
+  const UtilityPoint p = u.evaluate(d);
+  r.d_opt_m = d;
+  r.utility = p.utility;
+  r.cdelay_s = p.cdelay_s;
+  r.discount = p.discount;
+  const double lo = u.delay().params().min_distance_m;
+  const double hi = u.delay().params().d0_m;
+  const double eps = 1e-6 * std::max(hi - lo, 1.0);
+  r.at_floor = d <= lo + eps;
+  r.transmit_now = d >= hi - eps;
+  r.interior = !r.at_floor && !r.transmit_now;
+  r.evaluations = evals;
+  return r;
+}
+
+}  // namespace
+
+OptimizeResult optimize(const UtilityFunction& u, OptimizeOptions opt) {
+  const double lo = u.delay().params().min_distance_m;
+  const double hi = u.delay().params().d0_m;
+  int evals = 0;
+
+  if (hi <= lo) return finish(u, hi, 1);
+
+  // Stage 1: coarse grid scan.
+  const int n = std::max(opt.grid_points, 8);
+  double best_d = lo;
+  double best_u = -1.0;
+  int best_i = 0;
+  for (int i = 0; i < n; ++i) {
+    const double d = lo + (hi - lo) * i / (n - 1);
+    const double val = u(d);
+    ++evals;
+    if (val > best_u) {
+      best_u = val;
+      best_d = d;
+      best_i = i;
+    }
+  }
+
+  // Stage 2: golden-section refinement within the neighbors of the best
+  // grid point (U is unimodal there even if globally it is not).
+  double a = lo + (hi - lo) * std::max(best_i - 1, 0) / (n - 1);
+  double b = lo + (hi - lo) * std::min(best_i + 1, n - 1) / (n - 1);
+  double x1 = b - kGolden * (b - a);
+  double x2 = a + kGolden * (b - a);
+  double f1 = u(x1);
+  double f2 = u(x2);
+  evals += 2;
+  for (int i = 0; i < opt.max_refine_iters && (b - a) > opt.tolerance_m; ++i) {
+    if (f1 < f2) {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kGolden * (b - a);
+      f2 = u(x2);
+    } else {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kGolden * (b - a);
+      f1 = u(x1);
+    }
+    ++evals;
+  }
+  const double mid = 0.5 * (a + b);
+  // Keep whichever of {grid best, refined mid} is actually better.
+  const double refined = u(mid);
+  ++evals;
+  return finish(u, refined >= best_u ? mid : best_d, evals);
+}
+
+OptimizeResult optimize_brute_force(const UtilityFunction& u, int points) {
+  const double lo = u.delay().params().min_distance_m;
+  const double hi = u.delay().params().d0_m;
+  double best_d = lo;
+  double best_u = -1.0;
+  const int n = std::max(points, 2);
+  for (int i = 0; i < n; ++i) {
+    const double d = lo + (hi - lo) * i / (n - 1);
+    const double val = u(d);
+    if (val > best_u) {
+      best_u = val;
+      best_d = d;
+    }
+  }
+  return finish(u, best_d, n);
+}
+
+}  // namespace skyferry::core

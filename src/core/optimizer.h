@@ -1,0 +1,38 @@
+// Solver for the paper's Eq. (2): d_opt = argmax U(d), s.t.
+// d_min <= d <= d0. U is concave for small rho but not in general, so we
+// grid-scan first and refine the best bracket with golden-section search.
+#pragma once
+
+#include "core/utility.h"
+
+namespace skyferry::core {
+
+struct OptimizeOptions {
+  int grid_points{256};
+  double tolerance_m{0.01};
+  int max_refine_iters{80};
+};
+
+struct OptimizeResult {
+  double d_opt_m{0.0};
+  double utility{0.0};
+  double cdelay_s{0.0};
+  double discount{0.0};
+  /// True when the optimum is strictly inside (d_min, d0): the UAV should
+  /// move before transmitting but not all the way to the floor.
+  bool interior{false};
+  /// True when d_opt == d0 (transmit immediately).
+  bool transmit_now{false};
+  /// True when d_opt == d_min (move to the anti-collision floor).
+  bool at_floor{false};
+  int evaluations{0};
+};
+
+/// Maximize a utility function over [d_min, d0].
+[[nodiscard]] OptimizeResult optimize(const UtilityFunction& u, OptimizeOptions opt = {});
+
+/// Brute-force argmax on a fine grid (reference implementation used by
+/// the property tests to validate `optimize`).
+[[nodiscard]] OptimizeResult optimize_brute_force(const UtilityFunction& u, int points = 20000);
+
+}  // namespace skyferry::core

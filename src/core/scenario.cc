@@ -1,0 +1,40 @@
+#include "core/scenario.h"
+
+namespace skyferry::core {
+
+PaperLogThroughput Scenario::paper_throughput() const {
+  return platform.kind == uav::PlatformKind::kAirplane ? PaperLogThroughput::airplane()
+                                                       : PaperLogThroughput::quadrocopter();
+}
+
+Scenario Scenario::airplane() {
+  Scenario s;
+  s.name = "airplane";
+  s.platform = uav::PlatformSpec::swinglet();
+  s.camera = ctrl::CameraModel{};
+  s.sector_width_m = 500.0;
+  s.sector_height_m = 500.0;
+  s.survey_altitude_m = 70.0;
+  s.mdata_bytes = 28e6;
+  s.speed_mps = 10.0;
+  s.rho_per_m = 1.11e-4;
+  s.d0_m = 300.0;
+  return s;
+}
+
+Scenario Scenario::quadrocopter() {
+  Scenario s;
+  s.name = "quadrocopter";
+  s.platform = uav::PlatformSpec::arducopter();
+  s.camera = ctrl::CameraModel{};
+  s.sector_width_m = 100.0;
+  s.sector_height_m = 100.0;
+  s.survey_altitude_m = 10.0;
+  s.mdata_bytes = 56.2e6;
+  s.speed_mps = 4.5;
+  s.rho_per_m = 2.46e-4;
+  s.d0_m = 100.0;
+  return s;
+}
+
+}  // namespace skyferry::core

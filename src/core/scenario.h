@@ -1,0 +1,46 @@
+// The paper's two baseline evaluation scenarios (Sec. 4) bundled with
+// every derived constant, so benches, tests and examples share one truth.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/throughput_model.h"
+#include "core/delay.h"
+#include "ctrl/imaging.h"
+#include "uav/failure.h"
+#include "uav/platform.h"
+
+namespace skyferry::core {
+
+struct Scenario {
+  std::string name;
+  uav::PlatformSpec platform;
+  ctrl::CameraModel camera;
+  double sector_width_m{0.0};
+  double sector_height_m{0.0};
+  double survey_altitude_m{0.0};
+  double mdata_bytes{0.0};
+  double speed_mps{0.0};
+  double rho_per_m{0.0};
+  double d0_m{0.0};
+  double min_distance_m{20.0};
+
+  [[nodiscard]] DeliveryParams delivery_params() const noexcept {
+    return {d0_m, speed_mps, mdata_bytes, min_distance_m};
+  }
+  [[nodiscard]] uav::FailureModel failure_model() const noexcept {
+    return uav::FailureModel(rho_per_m);
+  }
+  /// The paper's throughput fit matching the platform.
+  [[nodiscard]] PaperLogThroughput paper_throughput() const;
+
+  /// Airplane scenario: Mdata=28 MB, v=10 m/s, rho=1.11e-4/m,
+  /// sector 500x500 m, d0=300 m, altitude 70 m.
+  static Scenario airplane();
+  /// Quadrocopter scenario: Mdata=56.2 MB, v=4.5 m/s, rho=2.46e-4/m,
+  /// sector 100x100 m, d0=100 m, altitude 10 m.
+  static Scenario quadrocopter();
+};
+
+}  // namespace skyferry::core

@@ -1,0 +1,105 @@
+#include "core/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "uav/failure.h"
+
+namespace skyferry::core {
+namespace {
+
+struct Optimum {
+  double d{0.0};
+  double u{0.0};
+};
+
+Optimum solve(const ThroughputModel& model, const DeliveryParams& params, double rho) {
+  const uav::FailureModel failure(rho);
+  const CommDelayModel delay(model, params);
+  const UtilityFunction u(delay, failure);
+  const OptimizeResult r = optimize(u);
+  return {r.d_opt_m, r.utility};
+}
+
+/// Relative central difference of f at x: (f(x(1+h)) - f(x(1-h))) / (2h f(x)).
+template <typename F>
+void relative_diff(F f, double base_d, double base_u, double rel_step, double* out_d,
+                   double* out_u) {
+  const Optimum hi = f(1.0 + rel_step);
+  const Optimum lo = f(1.0 - rel_step);
+  *out_d = (base_d != 0.0) ? (hi.d - lo.d) / (2.0 * rel_step * base_d) : 0.0;
+  *out_u = (base_u != 0.0) ? (hi.u - lo.u) / (2.0 * rel_step * base_u) : 0.0;
+}
+
+}  // namespace
+
+Sensitivity analyze_sensitivity(const ThroughputModel& model, const DeliveryParams& params,
+                                double rho, double rel_step) {
+  Sensitivity s;
+  const Optimum base = solve(model, params, rho);
+  if (base.u <= 0.0) return s;
+
+  relative_diff(
+      [&](double k) {
+        DeliveryParams p = params;
+        p.mdata_bytes *= k;
+        return solve(model, p, rho);
+      },
+      base.d, base.u, rel_step, &s.d_opt_wrt_mdata, &s.utility_wrt_mdata);
+
+  relative_diff(
+      [&](double k) {
+        DeliveryParams p = params;
+        p.speed_mps *= k;
+        return solve(model, p, rho);
+      },
+      base.d, base.u, rel_step, &s.d_opt_wrt_speed, &s.utility_wrt_speed);
+
+  relative_diff([&](double k) { return solve(model, params, rho * k); }, base.d, base.u,
+                rel_step, &s.d_opt_wrt_rho, &s.utility_wrt_rho);
+
+  relative_diff(
+      [&](double k) {
+        DeliveryParams p = params;
+        p.d0_m *= k;
+        return solve(model, p, rho);
+      },
+      base.d, base.u, rel_step, &s.d_opt_wrt_d0, &s.utility_wrt_d0);
+
+  return s;
+}
+
+std::vector<ParetoPoint> pareto_frontier(const ThroughputModel& model,
+                                         const DeliveryParams& params, double rho, int points) {
+  const uav::FailureModel failure(rho);
+  const CommDelayModel delay(model, params);
+  std::vector<ParetoPoint> pts;
+  const int n = std::max(points, 2);
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double d =
+        params.min_distance_m + (params.d0_m - params.min_distance_m) * i / (n - 1);
+    ParetoPoint p;
+    p.d_m = d;
+    p.cdelay_s = delay.cdelay_s(d);
+    p.delivery_probability = failure.discount(params.d0_m, d);
+    pts.push_back(p);
+  }
+  // Dominance: point j dominates i when delay_j <= delay_i and
+  // prob_j >= prob_i with at least one strict.
+  for (auto& pi : pts) {
+    for (const auto& pj : pts) {
+      const bool no_worse =
+          pj.cdelay_s <= pi.cdelay_s && pj.delivery_probability >= pi.delivery_probability;
+      const bool strictly_better =
+          pj.cdelay_s < pi.cdelay_s || pj.delivery_probability > pi.delivery_probability;
+      if (no_worse && strictly_better) {
+        pi.dominated = true;
+        break;
+      }
+    }
+  }
+  return pts;
+}
+
+}  // namespace skyferry::core

@@ -1,0 +1,49 @@
+// Decision diagnostics: parameter sensitivities and the delay-vs-risk
+// Pareto frontier behind a delayed-gratification decision. Operators ask
+// two questions the point optimum cannot answer: "how fragile is this
+// d_opt to my parameter estimates?" and "what delivery probability am I
+// trading for each second of delay?".
+#pragma once
+
+#include <vector>
+
+#include "core/optimizer.h"
+
+namespace skyferry::core {
+
+/// Relative sensitivities of d_opt and U(d_opt) to each model parameter:
+/// s_x = (dY / Y) / (dx / x), evaluated by central finite differences
+/// with a `rel_step` perturbation.
+struct Sensitivity {
+  double d_opt_wrt_mdata{0.0};
+  double d_opt_wrt_speed{0.0};
+  double d_opt_wrt_rho{0.0};
+  double d_opt_wrt_d0{0.0};
+  double utility_wrt_mdata{0.0};
+  double utility_wrt_speed{0.0};
+  double utility_wrt_rho{0.0};
+  double utility_wrt_d0{0.0};
+};
+
+[[nodiscard]] Sensitivity analyze_sensitivity(const ThroughputModel& model,
+                                              const DeliveryParams& params, double rho,
+                                              double rel_step = 0.05);
+
+/// One point of the Pareto frontier: commit to transmitting at distance
+/// d and you get this delay and this delivery probability.
+struct ParetoPoint {
+  double d_m{0.0};
+  double cdelay_s{0.0};
+  double delivery_probability{0.0};
+  bool dominated{false};  ///< some other d is better in both coordinates
+};
+
+/// The delay/probability frontier over d in [d_min, d0]. Points are
+/// returned in increasing d with the `dominated` flag resolved; the
+/// non-dominated subset is the actual Pareto set the operator chooses
+/// from (the utility optimum is one point on it).
+[[nodiscard]] std::vector<ParetoPoint> pareto_frontier(const ThroughputModel& model,
+                                                       const DeliveryParams& params, double rho,
+                                                       int points = 100);
+
+}  // namespace skyferry::core

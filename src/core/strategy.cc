@@ -1,0 +1,141 @@
+#include "core/strategy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace skyferry::core {
+
+std::string to_string(StrategyKind k) {
+  switch (k) {
+    case StrategyKind::kTransmitNow: return "transmit-now";
+    case StrategyKind::kShipThenTransmit: return "ship-then-transmit";
+    case StrategyKind::kMoveAndTransmit: return "move-and-transmit";
+    case StrategyKind::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+std::string StrategySpec::label() const {
+  switch (kind) {
+    case StrategyKind::kTransmitNow:
+      return "transmit-now";
+    case StrategyKind::kShipThenTransmit:
+      return "d=" + std::to_string(static_cast<int>(std::lround(target_distance_m)));
+    case StrategyKind::kMoveAndTransmit:
+      return "moving";
+    case StrategyKind::kMixed:
+      return "mixed@" + std::to_string(static_cast<int>(std::lround(target_distance_m)));
+  }
+  return "?";
+}
+
+StrategyOutcome simulate_strategy(const StrategySpec& spec, const ThroughputModel& hover_model,
+                                  const SpeedDegradation& degradation,
+                                  const DeliveryParams& params, double dt_s, double max_time_s) {
+  StrategyOutcome out;
+  out.spec = spec;
+
+  const double floor_d = params.min_distance_m;
+  double target = params.d0_m;
+  bool tx_while_moving = false;
+  switch (spec.kind) {
+    case StrategyKind::kTransmitNow:
+      target = params.d0_m;
+      break;
+    case StrategyKind::kShipThenTransmit:
+      target = std::clamp(spec.target_distance_m, floor_d, params.d0_m);
+      break;
+    case StrategyKind::kMoveAndTransmit:
+      target = floor_d;
+      tx_while_moving = true;
+      break;
+    case StrategyKind::kMixed:
+      target = std::clamp(spec.target_distance_m, floor_d, params.d0_m);
+      tx_while_moving = true;
+      break;
+  }
+
+  double d = params.d0_m;
+  double t = 0.0;
+  double remaining_bits = params.mdata_bytes * 8.0;
+  const double total_mb = params.mdata_bytes / 1e6;
+
+  out.curve.push_back({0.0, 0.0});
+
+  while (remaining_bits > 0.0 && t < max_time_s) {
+    const bool moving = d > target + 1e-9;
+    // 'Move and transmit' keeps the platform under way for the whole
+    // transfer (the paper's moving experiment transits the rendezvous;
+    // stopping would be the ship-then-transmit strategy instead), so its
+    // speed penalty persists after reaching the minimum distance.
+    const bool under_way = moving || spec.kind == StrategyKind::kMoveAndTransmit;
+    const double v = under_way ? params.speed_mps : 0.0;
+
+    double rate = 0.0;
+    if (!moving || tx_while_moving) {
+      rate = hover_model.throughput_bps(std::max(d, floor_d)) * degradation.factor(v);
+    }
+
+    // Step: bounded by dt, arrival at target, and transfer completion.
+    double step = dt_s;
+    if (moving) {
+      step = std::min(step, (d - target) / params.speed_mps);
+      out.ship_time_s += (rate > 0.0) ? 0.0 : step;
+    }
+    if (rate > 0.0) {
+      step = std::min(step, remaining_bits / rate);
+      out.transmit_time_s += step;
+      remaining_bits -= rate * step;
+    } else if (!moving) {
+      // Parked with zero throughput: the transfer can never finish.
+      out.completed = false;
+      out.completion_time_s = t;
+      out.final_distance_m = d;
+      return out;
+    }
+
+    if (moving) d = std::max(target, d - params.speed_mps * step);
+    t += step;
+
+    const double delivered = total_mb - remaining_bits / 8e6;
+    out.curve.push_back({t, delivered});
+  }
+
+  out.completed = remaining_bits <= 0.0;
+  out.completion_time_s = t;
+  out.final_distance_m = d;
+  return out;
+}
+
+std::vector<StrategyOutcome> compare_strategies(const std::vector<double>& distances,
+                                                const ThroughputModel& hover_model,
+                                                const SpeedDegradation& degradation,
+                                                const DeliveryParams& params, double dt_s) {
+  std::vector<StrategyOutcome> outcomes;
+  outcomes.reserve(distances.size() + 1);
+  for (double d : distances) {
+    StrategySpec spec;
+    spec.kind = (d >= params.d0_m) ? StrategyKind::kTransmitNow : StrategyKind::kShipThenTransmit;
+    spec.target_distance_m = d;
+    outcomes.push_back(simulate_strategy(spec, hover_model, degradation, params, dt_s));
+  }
+  StrategySpec moving;
+  moving.kind = StrategyKind::kMoveAndTransmit;
+  outcomes.push_back(simulate_strategy(moving, hover_model, degradation, params, dt_s));
+  return outcomes;
+}
+
+double crossover_mdata_bytes(const ThroughputModel& model, double d0_m, double d_m,
+                             double speed_mps) noexcept {
+  const double s0 = model.throughput_bps(d0_m);
+  const double sd = model.throughput_bps(d_m);
+  if (sd <= s0 || sd <= 0.0) return std::numeric_limits<double>::infinity();
+  if (s0 <= 0.0) return 0.0;  // cannot transmit at d0 at all: any data favors moving
+  const double tship = (d0_m - d_m) / speed_mps;
+  // Tship + M/sd = M/s0  =>  M = Tship / (1/s0 - 1/sd)   [bits]
+  const double bits = tship / (1.0 / s0 - 1.0 / sd);
+  return bits / 8.0;
+}
+
+}  // namespace skyferry::core

@@ -1,0 +1,73 @@
+// Delivery strategies and their transfer dynamics (paper Sec. 2.2 and
+// Fig. 1): 'transmit now' (hover-and-transmit at d0), 'ship then
+// transmit' (fly silently to d, then hover-and-transmit), 'move and
+// transmit' (transmit while approaching, throughput degraded by speed),
+// and the mixed form (transmit while shipping to d, then hover).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/throughput_model.h"
+#include "core/delay.h"
+
+namespace skyferry::core {
+
+enum class StrategyKind {
+  kTransmitNow,      ///< hover and transmit at d0
+  kShipThenTransmit, ///< fly to target_distance silently, then transmit
+  kMoveAndTransmit,  ///< transmit continuously while closing in
+  kMixed,            ///< transmit while shipping to target_distance, then hover
+};
+
+[[nodiscard]] std::string to_string(StrategyKind k);
+
+struct StrategySpec {
+  StrategyKind kind{StrategyKind::kTransmitNow};
+  /// Transmit position for kShipThenTransmit/kMixed [m]; ignored otherwise.
+  double target_distance_m{0.0};
+
+  [[nodiscard]] std::string label() const;
+};
+
+/// One point of the cumulative-transfer curve (the axes of Fig. 1).
+struct TransferPoint {
+  double t_s{0.0};
+  double delivered_mb{0.0};
+};
+
+struct StrategyOutcome {
+  StrategySpec spec;
+  bool completed{false};
+  double completion_time_s{0.0};  ///< time when the last byte landed
+  double ship_time_s{0.0};        ///< silent flying time before transmitting
+  double transmit_time_s{0.0};    ///< time spent transmitting
+  double final_distance_m{0.0};   ///< where the transfer finished
+  std::vector<TransferPoint> curve;
+};
+
+/// Deterministic (median-model) simulation of a strategy's transfer.
+///
+/// `hover_model` gives s(d) at rest; `degradation` applies while moving.
+/// Integration step `dt_s` bounds the curve resolution. The transfer
+/// aborts (completed=false) at `max_time_s`.
+[[nodiscard]] StrategyOutcome simulate_strategy(const StrategySpec& spec,
+                                                const ThroughputModel& hover_model,
+                                                const SpeedDegradation& degradation,
+                                                const DeliveryParams& params, double dt_s = 0.05,
+                                                double max_time_s = 3600.0);
+
+/// Convenience: run the Figure-1 comparison — ship-then-transmit at each
+/// distance in `distances`, plus transmit-now at d0 (covered when d0 is in
+/// the list) and move-and-transmit.
+[[nodiscard]] std::vector<StrategyOutcome> compare_strategies(
+    const std::vector<double>& distances, const ThroughputModel& hover_model,
+    const SpeedDegradation& degradation, const DeliveryParams& params, double dt_s = 0.05);
+
+/// Data size at which ship-then-transmit(d) starts beating
+/// transmit-now(d0): Mdata* = Tship(d) / (1/s(d0) - 1/s(d)) (bytes).
+/// Returns +inf when d does not improve throughput over d0.
+[[nodiscard]] double crossover_mdata_bytes(const ThroughputModel& model, double d0_m, double d_m,
+                                           double speed_mps) noexcept;
+
+}  // namespace skyferry::core

@@ -1,0 +1,42 @@
+#include "core/throughput_io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "io/csv_reader.h"
+
+namespace skyferry::core {
+
+std::optional<TableThroughput> load_throughput_csv(const std::string& path,
+                                                   const std::string& d_column,
+                                                   const std::string& mbps_column,
+                                                   std::string model_name) {
+  const auto doc = io::read_csv_file(path);
+  if (!doc) return std::nullopt;
+  const auto dc = doc->column(d_column);
+  const auto mc = doc->column(mbps_column);
+  if (!dc || !mc) return std::nullopt;
+
+  const auto ds = doc->numeric_column(*dc);
+  const auto ms = doc->numeric_column(*mc);
+
+  // Average duplicate distances (multiple samples per bin).
+  std::map<double, std::pair<double, int>> by_d;
+  for (std::size_t i = 0; i < ds.size() && i < ms.size(); ++i) {
+    if (std::isnan(ds[i]) || std::isnan(ms[i])) continue;
+    auto& [sum, n] = by_d[ds[i]];
+    sum += ms[i];
+    ++n;
+  }
+  if (by_d.size() < 2) return std::nullopt;
+
+  std::vector<std::pair<double, double>> points;
+  points.reserve(by_d.size());
+  for (const auto& [d, acc] : by_d) {
+    points.emplace_back(d, acc.first / acc.second * 1e6);  // Mb/s -> bit/s
+  }
+  return TableThroughput(std::move(points), std::move(model_name));
+}
+
+}  // namespace skyferry::core

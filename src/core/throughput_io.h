@@ -1,0 +1,24 @@
+// Loading measured throughput tables. Users with their own field data
+// (a CSV of distance, Mb/s rows — e.g. the output of
+// bench/fig5_airplane_throughput) plug it straight into the planner via
+// TableThroughput.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/throughput_model.h"
+
+namespace skyferry::core {
+
+/// Build a TableThroughput from a CSV file with a header. `d_column` and
+/// `mbps_column` name the distance [m] and throughput [Mb/s] columns
+/// (defaults match the bench CSVs). Rows are sorted by distance and
+/// duplicate distances averaged. Returns nullopt when the file is
+/// unreadable, the columns are missing, or fewer than two valid rows
+/// remain.
+[[nodiscard]] std::optional<TableThroughput> load_throughput_csv(
+    const std::string& path, const std::string& d_column = "d_m",
+    const std::string& mbps_column = "median", std::string model_name = "measured");
+
+}  // namespace skyferry::core

@@ -1,0 +1,39 @@
+#include "core/utility.h"
+
+#include <cassert>
+
+namespace skyferry::core {
+
+double UtilityFunction::operator()(double d_m) const noexcept {
+  const double c = delay_.cdelay_s(d_m);
+  if (!(c > 0.0) || c == CommDelayModel::kInfiniteDelay) return 0.0;
+  return failure_.discount(delay_.params().d0_m, d_m) / c;
+}
+
+UtilityPoint UtilityFunction::evaluate(double d_m) const noexcept {
+  UtilityPoint p;
+  p.d_m = d_m;
+  p.tship_s = delay_.tship_s(d_m);
+  p.ttx_s = delay_.ttx_s(d_m);
+  p.cdelay_s = p.tship_s + p.ttx_s;
+  p.discount = failure_.discount(delay_.params().d0_m, d_m);
+  p.utility = (p.cdelay_s > 0.0 && p.cdelay_s != CommDelayModel::kInfiniteDelay)
+                  ? p.discount / p.cdelay_s
+                  : 0.0;
+  return p;
+}
+
+std::vector<UtilityPoint> UtilityFunction::curve(int n) const {
+  assert(n >= 2);
+  std::vector<UtilityPoint> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  const double lo = delay_.params().min_distance_m;
+  const double hi = delay_.params().d0_m;
+  for (int i = 0; i < n; ++i) {
+    const double d = lo + (hi - lo) * i / (n - 1);
+    pts.push_back(evaluate(d));
+  }
+  return pts;
+}
+
+}  // namespace skyferry::core

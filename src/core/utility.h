@@ -1,0 +1,47 @@
+// Delayed-gratification utility (paper Eq. 1):
+//   U(d) = δ(d) · u(d) = exp(-ρ(d0-d)) / Cdelay(d)
+// δ is the failure-discount (probability of surviving the approach),
+// u = 1/Cdelay the instantaneous benefit of transmitting at d.
+#pragma once
+
+#include <vector>
+
+#include "core/delay.h"
+#include "uav/failure.h"
+
+namespace skyferry::core {
+
+/// One evaluated point of the utility curve.
+struct UtilityPoint {
+  double d_m{0.0};
+  double utility{0.0};
+  double discount{0.0};
+  double cdelay_s{0.0};
+  double tship_s{0.0};
+  double ttx_s{0.0};
+};
+
+class UtilityFunction {
+ public:
+  /// Both referenced models must outlive this object.
+  UtilityFunction(const CommDelayModel& delay, const uav::FailureModel& failure) noexcept
+      : delay_(delay), failure_(failure) {}
+
+  /// U(d); 0 where Cdelay is infinite.
+  [[nodiscard]] double operator()(double d_m) const noexcept;
+
+  /// Full decomposition at d.
+  [[nodiscard]] UtilityPoint evaluate(double d_m) const noexcept;
+
+  /// Sample the curve on [d_min, d0] with `n` points (n >= 2).
+  [[nodiscard]] std::vector<UtilityPoint> curve(int n = 200) const;
+
+  [[nodiscard]] const CommDelayModel& delay() const noexcept { return delay_; }
+  [[nodiscard]] const uav::FailureModel& failure() const noexcept { return failure_; }
+
+ private:
+  const CommDelayModel& delay_;
+  const uav::FailureModel& failure_;
+};
+
+}  // namespace skyferry::core

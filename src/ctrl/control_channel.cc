@@ -1,0 +1,30 @@
+#include "ctrl/control_channel.h"
+
+#include <algorithm>
+
+namespace skyferry::ctrl {
+
+std::size_t wire_bytes(const ControlMessage& m) noexcept {
+  return std::visit([](const auto& v) { return v.wire_bytes(); }, m);
+}
+
+ControlChannel::ControlChannel(sim::Simulator& sim, ControlChannelConfig cfg)
+    : sim_(sim), cfg_(cfg) {}
+
+bool ControlChannel::send(const ControlMessage& msg, double distance_m, DeliveryFn on_delivery) {
+  if (distance_m > cfg_.range_m) {
+    ++dropped_;
+    return false;
+  }
+  const double bits =
+      static_cast<double>(wire_bytes(msg) + cfg_.per_message_overhead_bytes) * 8.0;
+  const double tx_time = bits / cfg_.bandwidth_bps;
+  const double start = std::max(sim_.now(), busy_until_);
+  const double done = start + tx_time;
+  busy_until_ = done;
+  ++sent_;
+  sim_.schedule_at(done, [msg, done, fn = std::move(on_delivery)] { fn(msg, done); });
+  return true;
+}
+
+}  // namespace skyferry::ctrl

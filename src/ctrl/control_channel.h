@@ -1,0 +1,47 @@
+// XBeePro-like control channel (paper Sec. 3): 802.15.4 at 2.4 GHz,
+// up to 250 kb/s, ~1.5 km range, reserved for telemetry and waypoint
+// commands. Modeled as a serialization queue with range gating.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "ctrl/messages.h"
+#include "sim/simulator.h"
+
+namespace skyferry::ctrl {
+
+struct ControlChannelConfig {
+  double bandwidth_bps{250e3};
+  double range_m{1500.0};
+  double per_message_overhead_bytes{16};  ///< framing + MAC overhead
+};
+
+/// Point-to-point control link between a UAV and the ground station (or
+/// two UAVs). Messages serialize FIFO at the channel bandwidth; messages
+/// sent while the endpoints are out of range are dropped.
+class ControlChannel {
+ public:
+  using DeliveryFn = std::function<void(const ControlMessage&, double t_s)>;
+
+  ControlChannel(sim::Simulator& sim, ControlChannelConfig cfg = {});
+
+  /// Send a message given the current distance between the endpoints.
+  /// Returns false (counted as dropped) when out of range.
+  bool send(const ControlMessage& msg, double distance_m, DeliveryFn on_delivery);
+
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t dropped_out_of_range() const noexcept { return dropped_; }
+  [[nodiscard]] double busy_until_s() const noexcept { return busy_until_; }
+  [[nodiscard]] const ControlChannelConfig& config() const noexcept { return cfg_; }
+
+ private:
+  sim::Simulator& sim_;
+  ControlChannelConfig cfg_;
+  double busy_until_{0.0};
+  std::uint64_t sent_{0};
+  std::uint64_t dropped_{0};
+};
+
+}  // namespace skyferry::ctrl

@@ -1,0 +1,62 @@
+#include "ctrl/estimator.h"
+
+#include <algorithm>
+
+namespace skyferry::ctrl {
+
+void DistanceEstimator::update(const Telemetry& telemetry) {
+  const geo::Vec3 z = frame_.to_enu(telemetry.position);
+  auto it = peers_.find(telemetry.uav_id);
+  if (it == peers_.end()) {
+    PeerEstimate e;
+    e.position = z;
+    e.velocity = {};
+    e.updated_t_s = telemetry.t_s;
+    peers_.emplace(telemetry.uav_id, e);
+    return;
+  }
+  PeerEstimate& e = it->second;
+  const double dt = std::max(telemetry.t_s - e.updated_t_s, 1e-3);
+  // Alpha-beta filter: predict, then blend in the innovation.
+  const geo::Vec3 predicted = e.position + e.velocity * dt;
+  const geo::Vec3 innovation = z - predicted;
+  e.position = predicted + innovation * cfg_.alpha;
+  e.velocity += innovation * (cfg_.beta / dt);
+  e.updated_t_s = telemetry.t_s;
+}
+
+std::optional<PeerEstimate> DistanceEstimator::estimate(const std::string& uav_id,
+                                                        double now_s) const {
+  const auto it = peers_.find(uav_id);
+  if (it == peers_.end()) return std::nullopt;
+  const PeerEstimate& e = it->second;
+  const double age = now_s - e.updated_t_s;
+  if (age > cfg_.staleness_limit_s || age < 0.0) return std::nullopt;
+  PeerEstimate out = e;
+  out.position = e.position + e.velocity * age;  // dead-reckon forward
+  out.updated_t_s = now_s;
+  return out;
+}
+
+std::optional<double> DistanceEstimator::distance(const std::string& a, const std::string& b,
+                                                  double now_s) const {
+  const auto ea = estimate(a, now_s);
+  const auto eb = estimate(b, now_s);
+  if (!ea || !eb) return std::nullopt;
+  return geo::distance(ea->position, eb->position);
+}
+
+std::optional<double> DistanceEstimator::closing_speed(const std::string& a,
+                                                       const std::string& b,
+                                                       double now_s) const {
+  const auto ea = estimate(a, now_s);
+  const auto eb = estimate(b, now_s);
+  if (!ea || !eb) return std::nullopt;
+  const geo::Vec3 dp = eb->position - ea->position;
+  const double dist = dp.norm();
+  if (dist < 1e-6) return 0.0;
+  const geo::Vec3 dv = eb->velocity - ea->velocity;
+  return dot(dv, dp / dist);
+}
+
+}  // namespace skyferry::ctrl

@@ -1,0 +1,63 @@
+// Peer-state estimation from telemetry. The central planner never sees
+// true positions — it sees 1 Hz XBee telemetry carrying GPS fixes with
+// meter-scale error and serialization latency. DistanceEstimator runs an
+// alpha-beta filter per peer and answers the two questions the
+// delayed-gratification decision needs: the current distance d0 and its
+// rate of change (closing speed).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "ctrl/messages.h"
+#include "geo/geodesy.h"
+#include "geo/vec3.h"
+
+namespace skyferry::ctrl {
+
+struct EstimatorConfig {
+  double alpha{0.5};  ///< position correction gain
+  double beta{0.2};   ///< velocity correction gain
+  /// Discard estimates older than this (telemetry loss / out of range).
+  double staleness_limit_s{5.0};
+};
+
+/// Filtered kinematic state of one peer in the local ENU frame.
+struct PeerEstimate {
+  geo::Vec3 position;
+  geo::Vec3 velocity;
+  double updated_t_s{0.0};
+};
+
+class DistanceEstimator {
+ public:
+  DistanceEstimator(EstimatorConfig cfg, geo::LocalFrame frame) noexcept
+      : cfg_(cfg), frame_(frame) {}
+
+  /// Ingest one telemetry message (timestamped at transmission).
+  void update(const Telemetry& telemetry);
+
+  /// Latest (extrapolated to `now_s`) estimate for a peer; nullopt when
+  /// unknown or stale.
+  [[nodiscard]] std::optional<PeerEstimate> estimate(const std::string& uav_id,
+                                                     double now_s) const;
+
+  /// Estimated distance between two peers at `now_s` [m]; nullopt when
+  /// either is unknown/stale.
+  [[nodiscard]] std::optional<double> distance(const std::string& a, const std::string& b,
+                                               double now_s) const;
+
+  /// Estimated closing speed between two peers [m/s] (< 0 = approaching).
+  [[nodiscard]] std::optional<double> closing_speed(const std::string& a, const std::string& b,
+                                                    double now_s) const;
+
+  [[nodiscard]] std::size_t tracked_peers() const noexcept { return peers_.size(); }
+
+ private:
+  EstimatorConfig cfg_;
+  geo::LocalFrame frame_;
+  std::unordered_map<std::string, PeerEstimate> peers_;
+};
+
+}  // namespace skyferry::ctrl

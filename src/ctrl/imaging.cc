@@ -1,0 +1,36 @@
+#include "ctrl/imaging.h"
+
+#include <cmath>
+
+#include "geo/geodesy.h"
+
+namespace skyferry::ctrl {
+
+double CameraModel::aspect() const noexcept {
+  return static_cast<double>(res_width_px) / static_cast<double>(res_height_px);
+}
+
+double CameraModel::fov_m(double altitude_m) const noexcept {
+  return 2.0 * altitude_m * std::tan(geo::deg2rad(lens_angle_deg) / 2.0);
+}
+
+double CameraModel::image_area_m2(double altitude_m) const noexcept {
+  const double fov = fov_m(altitude_m);
+  const double k = aspect();
+  // A = (k*FOV/sqrt(k^2+1)) * (FOV/sqrt(k^2+1)) = FOV^2 * k / (k^2+1).
+  return fov * fov * k / (k * k + 1.0);
+}
+
+SectorImagingPlan plan_sector_imaging(const CameraModel& cam, double sector_area_m2,
+                                      double altitude_m) noexcept {
+  SectorImagingPlan plan;
+  plan.sector_area_m2 = sector_area_m2;
+  plan.altitude_m = altitude_m;
+  const double a_img = cam.image_area_m2(altitude_m);
+  plan.images_required = (a_img > 0.0) ? sector_area_m2 / a_img : 0.0;
+  plan.batch.num_images = static_cast<std::uint32_t>(std::ceil(plan.images_required));
+  plan.batch.image_bytes = cam.image_bytes;
+  return plan;
+}
+
+}  // namespace skyferry::ctrl

@@ -1,0 +1,42 @@
+// Camera / imaging model — the paper's M_data derivation (Sec. 2.2 and
+// footnotes 3-4): a picture is a k-aspect rectangle whose diagonal is the
+// ground field of view FOV(h) = 2*h*tan(lens/2); the covered area is
+// A_image = FOV^2 * k / (k^2+1); a sector of A_sector needs
+// A_sector/A_image pictures of M_image bytes each.
+#pragma once
+
+#include "net/packet.h"
+
+namespace skyferry::ctrl {
+
+struct CameraModel {
+  int res_width_px{1280};
+  int res_height_px{720};
+  double lens_angle_deg{65.0};
+  /// JPG100 at 24 bit/px for 1280x720 (paper footnote 3).
+  double image_bytes{0.39e6};
+
+  /// Aspect ratio k = width/height.
+  [[nodiscard]] double aspect() const noexcept;
+
+  /// Diagonal ground field of view [m] at altitude h.
+  [[nodiscard]] double fov_m(double altitude_m) const noexcept;
+
+  /// Ground area covered by one picture [m^2] at altitude h.
+  [[nodiscard]] double image_area_m2(double altitude_m) const noexcept;
+};
+
+/// Imaging plan for a rectangular sector.
+struct SectorImagingPlan {
+  double sector_area_m2{0.0};
+  double altitude_m{0.0};
+  double images_required{0.0};  ///< A_sector / A_image (fractional)
+  net::DataBatch batch;         ///< ceil(images) pictures of image_bytes
+};
+
+/// Compute the pictures and data volume needed to cover `sector_area_m2`
+/// from `altitude_m` — the paper's M_data = A_sector/A_image * M_image.
+[[nodiscard]] SectorImagingPlan plan_sector_imaging(const CameraModel& cam, double sector_area_m2,
+                                                    double altitude_m) noexcept;
+
+}  // namespace skyferry::ctrl

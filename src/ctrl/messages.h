@@ -1,0 +1,54 @@
+// Control-plane messages exchanged between UAVs and the ground-station
+// planner over the low-rate long-range channel (paper Sec. 3): telemetry
+// up, waypoint commands down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "geo/geodesy.h"
+#include "geo/vec3.h"
+
+namespace skyferry::ctrl {
+
+/// Light-weight UAV status report (GPS coordinates, speed, battery...).
+struct Telemetry {
+  std::string uav_id;
+  double t_s{0.0};
+  geo::GeoPoint position;
+  double speed_mps{0.0};
+  double battery_soc{1.0};
+  std::uint32_t images_collected{0};
+
+  /// Serialized size [bytes]: id + fixed binary fields (conservative).
+  [[nodiscard]] std::size_t wire_bytes() const noexcept { return uav_id.size() + 44; }
+};
+
+/// New waypoint from the central planner.
+struct WaypointCommand {
+  std::string uav_id;
+  geo::GeoPoint target;
+  double speed_mps{0.0};
+  double hold_s{0.0};
+
+  [[nodiscard]] std::size_t wire_bytes() const noexcept { return uav_id.size() + 36; }
+};
+
+/// Instruction to start transmitting the collected batch at the planned
+/// rendezvous distance.
+struct TransmitCommand {
+  std::string uav_id;
+  std::string peer_id;
+  double transmit_distance_m{0.0};
+
+  [[nodiscard]] std::size_t wire_bytes() const noexcept {
+    return uav_id.size() + peer_id.size() + 12;
+  }
+};
+
+using ControlMessage = std::variant<Telemetry, WaypointCommand, TransmitCommand>;
+
+[[nodiscard]] std::size_t wire_bytes(const ControlMessage& m) noexcept;
+
+}  // namespace skyferry::ctrl

@@ -1,0 +1,77 @@
+#include "ctrl/sector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace skyferry::ctrl {
+
+bool Sector::contains(const geo::Vec3& p) const noexcept {
+  return p.x >= origin.x && p.x <= origin.x + width_m && p.y >= origin.y &&
+         p.y <= origin.y + height_m;
+}
+
+std::vector<Sector> make_sector_grid(double width_m, double height_m, int nx, int ny,
+                                     double altitude_m) {
+  assert(nx >= 1 && ny >= 1);
+  std::vector<Sector> sectors;
+  sectors.reserve(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny));
+  const double w = width_m / nx;
+  const double h = height_m / ny;
+  int idx = 0;
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      Sector s;
+      s.origin = {i * w, j * h, altitude_m};
+      s.width_m = w;
+      s.height_m = h;
+      s.index = idx++;
+      sectors.push_back(s);
+    }
+  }
+  return sectors;
+}
+
+std::vector<geo::Vec3> lawnmower_path(const Sector& s, double track_spacing_m) {
+  std::vector<geo::Vec3> path;
+  const double spacing = std::clamp(track_spacing_m, 0.5, std::max(s.width_m, 0.5));
+  const int tracks = std::max(1, static_cast<int>(std::ceil(s.width_m / spacing)) + 1);
+  for (int i = 0; i < tracks; ++i) {
+    const double x = s.origin.x + std::min(i * spacing, s.width_m);
+    const double y_lo = s.origin.y;
+    const double y_hi = s.origin.y + s.height_m;
+    if (i % 2 == 0) {
+      path.push_back({x, y_lo, s.origin.z});
+      path.push_back({x, y_hi, s.origin.z});
+    } else {
+      path.push_back({x, y_hi, s.origin.z});
+      path.push_back({x, y_lo, s.origin.z});
+    }
+  }
+  return path;
+}
+
+double path_length_m(const std::vector<geo::Vec3>& path) noexcept {
+  double len = 0.0;
+  for (std::size_t i = 1; i < path.size(); ++i) len += geo::distance(path[i - 1], path[i]);
+  return len;
+}
+
+double coverage_track_spacing_m(const CameraModel& cam, double altitude_m) noexcept {
+  // Footprint short side: FOV / sqrt(k^2+1).
+  const double k = cam.aspect();
+  return cam.fov_m(altitude_m) / std::sqrt(k * k + 1.0);
+}
+
+SweepEstimate estimate_sweep(const Sector& s, const CameraModel& cam, double speed_mps) {
+  SweepEstimate e;
+  const double alt = s.origin.z;
+  const auto path = lawnmower_path(s, coverage_track_spacing_m(cam, alt));
+  e.path_m = path_length_m(path);
+  e.duration_s = (speed_mps > 0.0) ? e.path_m / speed_mps : 0.0;
+  const SectorImagingPlan plan = plan_sector_imaging(cam, s.area_m2(), alt);
+  e.images = plan.batch.num_images;
+  return e;
+}
+
+}  // namespace skyferry::ctrl

@@ -1,0 +1,55 @@
+// Mission-area decomposition and coverage paths. The paper divides the
+// area of interest into sectors, one UAV exclusively responsible per
+// sector (Sec. 2.2). SectorGrid splits a rectangle into per-UAV sectors;
+// lawnmower_path produces the boustrophedon sweep whose track spacing
+// matches the camera footprint so the sweep photographs the whole sector.
+#pragma once
+
+#include <vector>
+
+#include "ctrl/imaging.h"
+#include "geo/vec3.h"
+
+namespace skyferry::ctrl {
+
+/// Axis-aligned rectangular sector in the local ENU frame.
+struct Sector {
+  geo::Vec3 origin;  ///< south-west corner (z = survey altitude)
+  double width_m{0.0};   ///< east extent
+  double height_m{0.0};  ///< north extent
+  int index{0};
+
+  [[nodiscard]] double area_m2() const noexcept { return width_m * height_m; }
+  [[nodiscard]] geo::Vec3 center() const noexcept {
+    return {origin.x + width_m / 2.0, origin.y + height_m / 2.0, origin.z};
+  }
+  [[nodiscard]] bool contains(const geo::Vec3& p) const noexcept;
+};
+
+/// Split a W x H rectangle into nx * ny equal sectors at `altitude_m`.
+[[nodiscard]] std::vector<Sector> make_sector_grid(double width_m, double height_m, int nx, int ny,
+                                                   double altitude_m);
+
+/// Boustrophedon ("lawnmower") sweep over a sector with the given track
+/// spacing; returns the turning points. Spacing is clamped to the sector
+/// width. The path starts at the sector origin corner.
+[[nodiscard]] std::vector<geo::Vec3> lawnmower_path(const Sector& s, double track_spacing_m);
+
+/// Total length [m] of a polyline path.
+[[nodiscard]] double path_length_m(const std::vector<geo::Vec3>& path) noexcept;
+
+/// Track spacing that guarantees full photographic coverage: the short
+/// side of the camera footprint at the survey altitude.
+[[nodiscard]] double coverage_track_spacing_m(const CameraModel& cam, double altitude_m) noexcept;
+
+/// Time [s] to sweep a sector at `speed_mps` with full coverage, plus the
+/// number of images captured at the camera's along-track footprint.
+struct SweepEstimate {
+  double duration_s{0.0};
+  double path_m{0.0};
+  std::uint32_t images{0};
+};
+[[nodiscard]] SweepEstimate estimate_sweep(const Sector& s, const CameraModel& cam,
+                                           double speed_mps);
+
+}  // namespace skyferry::ctrl

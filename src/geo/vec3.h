@@ -1,0 +1,84 @@
+// 3-D vector type used throughout SkyFerry for local ENU positions,
+// velocities and displacements (meters, meters/second).
+#pragma once
+
+#include <cmath>
+
+namespace skyferry::geo {
+
+/// Plain 3-D vector in a local East-North-Up frame.
+/// x = east [m], y = north [m], z = up [m] (altitude above the local origin).
+struct Vec3 {
+  double x{0.0};
+  double y{0.0};
+  double z{0.0};
+
+  constexpr Vec3& operator+=(const Vec3& o) noexcept {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) noexcept {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) noexcept {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+  constexpr Vec3& operator/=(double s) noexcept {
+    x /= s;
+    y /= s;
+    z /= s;
+    return *this;
+  }
+
+  [[nodiscard]] double norm() const noexcept { return std::sqrt(x * x + y * y + z * z); }
+  [[nodiscard]] constexpr double norm_sq() const noexcept { return x * x + y * y + z * z; }
+
+  /// Length of the horizontal (east/north) component.
+  [[nodiscard]] double horizontal_norm() const noexcept { return std::hypot(x, y); }
+
+  /// Unit vector in the same direction; the zero vector maps to itself.
+  [[nodiscard]] Vec3 normalized() const noexcept {
+    const double n = norm();
+    if (n == 0.0) return {};
+    return {x / n, y / n, z / n};
+  }
+};
+
+constexpr Vec3 operator+(Vec3 a, const Vec3& b) noexcept { return a += b; }
+constexpr Vec3 operator-(Vec3 a, const Vec3& b) noexcept { return a -= b; }
+constexpr Vec3 operator*(Vec3 a, double s) noexcept { return a *= s; }
+constexpr Vec3 operator*(double s, Vec3 a) noexcept { return a *= s; }
+constexpr Vec3 operator/(Vec3 a, double s) noexcept { return a /= s; }
+constexpr Vec3 operator-(const Vec3& a) noexcept { return {-a.x, -a.y, -a.z}; }
+
+constexpr bool operator==(const Vec3& a, const Vec3& b) noexcept {
+  return a.x == b.x && a.y == b.y && a.z == b.z;
+}
+
+[[nodiscard]] constexpr double dot(const Vec3& a, const Vec3& b) noexcept {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+[[nodiscard]] constexpr Vec3 cross(const Vec3& a, const Vec3& b) noexcept {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+/// Euclidean (slant) distance between two points.
+[[nodiscard]] inline double distance(const Vec3& a, const Vec3& b) noexcept {
+  return (a - b).norm();
+}
+
+/// Ground (horizontal) distance between two points, ignoring altitude.
+[[nodiscard]] inline double ground_distance(const Vec3& a, const Vec3& b) noexcept {
+  return (a - b).horizontal_norm();
+}
+
+}  // namespace skyferry::geo

@@ -1,0 +1,132 @@
+#include "io/ascii_chart.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace skyferry::io {
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&', '$', '~'};
+
+}  // namespace
+
+AsciiChart& AsciiChart::add(Series s) {
+  assert(s.xs.size() == s.ys.size());
+  series_.push_back(std::move(s));
+  return *this;
+}
+
+std::string AsciiChart::str() const {
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << '\n';
+
+  // Data bounds.
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = xmin;
+  double ymax = -xmin;
+  bool any = false;
+  for (const Series& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      xmin = std::min(xmin, s.xs[i]);
+      xmax = std::max(xmax, s.xs[i]);
+      ymin = std::min(ymin, s.ys[i]);
+      ymax = std::max(ymax, s.ys[i]);
+      any = true;
+    }
+  }
+  if (!any) {
+    os << "(no data)\n";
+    return os.str();
+  }
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_), ' '));
+  auto to_col = [&](double x) {
+    return static_cast<int>(std::lround((x - xmin) / (xmax - xmin) * (width_ - 1)));
+  };
+  auto to_row = [&](double y) {
+    return (height_ - 1) - static_cast<int>(std::lround((y - ymin) / (ymax - ymin) * (height_ - 1)));
+  };
+
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char g = kGlyphs[si % sizeof(kGlyphs)];
+    const Series& s = series_[si];
+    // Draw line segments between consecutive points, then the points
+    // themselves on top so series remain distinguishable where they cross.
+    for (std::size_t i = 1; i < s.xs.size(); ++i) {
+      const int c0 = to_col(s.xs[i - 1]);
+      const int r0 = to_row(s.ys[i - 1]);
+      const int c1 = to_col(s.xs[i]);
+      const int r1 = to_row(s.ys[i]);
+      const int steps = std::max({std::abs(c1 - c0), std::abs(r1 - r0), 1});
+      for (int k = 0; k <= steps; ++k) {
+        const int c = c0 + (c1 - c0) * k / steps;
+        const int r = r0 + (r1 - r0) * k / steps;
+        char& cell = grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+        if (cell == ' ') cell = '.';
+      }
+    }
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      grid[static_cast<std::size_t>(to_row(s.ys[i]))][static_cast<std::size_t>(to_col(s.xs[i]))] = g;
+    }
+  }
+
+  // Y axis: label width for tick values.
+  char buf[32];
+  auto fmt = [&](double v) {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+    return std::string(buf);
+  };
+  std::size_t ylab_w = 0;
+  for (int r = 0; r < height_; ++r) {
+    const double v = ymax - (ymax - ymin) * r / (height_ - 1);
+    ylab_w = std::max(ylab_w, fmt(v).size());
+  }
+
+  if (!y_label_.empty()) os << std::string(ylab_w + 2, ' ') << y_label_ << '\n';
+  for (int r = 0; r < height_; ++r) {
+    const bool tick = (r % 5 == 0) || r == height_ - 1;
+    const double v = ymax - (ymax - ymin) * r / (height_ - 1);
+    std::string lab = tick ? fmt(v) : std::string{};
+    os << std::string(ylab_w - lab.size(), ' ') << lab << (tick ? " +" : " |")
+       << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(ylab_w + 1, ' ') << '+' << std::string(static_cast<std::size_t>(width_), '-')
+     << '\n';
+  // X ticks: min, mid, max.
+  const std::string xl = fmt(xmin);
+  const std::string xm = fmt((xmin + xmax) / 2);
+  const std::string xr = fmt(xmax);
+  std::string xline(static_cast<std::size_t>(width_) + ylab_w + 2, ' ');
+  auto place = [&](const std::string& s, std::size_t col) {
+    for (std::size_t i = 0; i < s.size() && col + i < xline.size(); ++i) xline[col + i] = s[i];
+  };
+  place(xl, ylab_w + 2);
+  place(xm, ylab_w + 2 + static_cast<std::size_t>(width_) / 2 - xm.size() / 2);
+  place(xr, ylab_w + 2 + static_cast<std::size_t>(width_) - xr.size());
+  os << xline << '\n';
+  if (!x_label_.empty())
+    os << std::string(ylab_w + 2 + static_cast<std::size_t>(width_) / 2 - x_label_.size() / 2, ' ')
+       << x_label_ << '\n';
+
+  os << "legend:";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    os << "  " << kGlyphs[si % sizeof(kGlyphs)] << " = " << series_[si].name;
+  }
+  os << '\n';
+  return os.str();
+}
+
+void AsciiChart::print() const {
+  const std::string s = str();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+}
+
+}  // namespace skyferry::io

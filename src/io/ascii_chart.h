@@ -1,0 +1,49 @@
+// Terminal line/scatter chart. Lets every figure bench render the actual
+// *shape* of the paper figure (crossing transfer curves, U(d) humps,
+// boxplot medians) directly in the console output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace skyferry::io {
+
+/// One named series of (x, y) points.
+struct Series {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+/// Character-grid chart: plots series with distinct glyphs, draws axes
+/// with tick labels, and prints a legend.
+class AsciiChart {
+ public:
+  AsciiChart(std::string title, int width = 72, int height = 20)
+      : title_(std::move(title)), width_(width), height_(height) {}
+
+  AsciiChart& x_label(std::string s) {
+    x_label_ = std::move(s);
+    return *this;
+  }
+  AsciiChart& y_label(std::string s) {
+    y_label_ = std::move(s);
+    return *this;
+  }
+
+  /// Add a series; sizes of xs and ys must match.
+  AsciiChart& add(Series s);
+
+  [[nodiscard]] std::string str() const;
+  void print() const;
+
+ private:
+  std::string title_;
+  int width_;
+  int height_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Series> series_;
+};
+
+}  // namespace skyferry::io

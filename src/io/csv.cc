@@ -1,0 +1,71 @@
+#include "io/csv.h"
+
+#include <cstdio>
+
+namespace skyferry::io {
+
+std::string format_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+void CsvWriter::put_field(std::string_view s, bool first) {
+  if (!first) out_ << ',';
+  const bool needs_quotes = s.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quotes) {
+    out_ << s;
+    return;
+  }
+  out_ << '"';
+  for (char c : s) {
+    if (c == '"') out_ << '"';
+    out_ << c;
+  }
+  out_ << '"';
+}
+
+void CsvWriter::put_number(double v, bool first) {
+  if (!first) out_ << ',';
+  out_ << format_number(v);
+}
+
+void CsvWriter::header(std::initializer_list<std::string_view> names) {
+  bool first = true;
+  for (std::string_view n : names) {
+    put_field(n, first);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  bool first = true;
+  for (double v : values) {
+    put_number(v, first);
+    first = false;
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row(std::span<const double> values) {
+  bool first = true;
+  for (double v : values) {
+    put_number(v, first);
+    first = false;
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row(std::string_view label, std::span<const double> values) {
+  put_field(label, true);
+  for (double v : values) put_number(v, false);
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace skyferry::io

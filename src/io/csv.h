@@ -1,0 +1,41 @@
+// Minimal CSV writer. Every figure bench dumps its raw series next to the
+// printed summary so the plots can be regenerated with any external tool.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/format.h"
+
+namespace skyferry::io {
+
+/// RFC-4180-style CSV writer (quotes fields containing comma/quote/newline).
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Check ok() before writing.
+  explicit CsvWriter(const std::string& path);
+
+  [[nodiscard]] bool ok() const noexcept { return static_cast<bool>(out_); }
+
+  void header(std::initializer_list<std::string_view> names);
+  void row(std::initializer_list<double> values);
+  void row(std::span<const double> values);
+  /// Mixed row: leading string cell (e.g. a label) then numeric cells.
+  void row(std::string_view label, std::span<const double> values);
+
+  /// Number of data rows written (excluding the header).
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  void put_field(std::string_view s, bool first);
+  void put_number(double v, bool first);
+
+  std::ofstream out_;
+  std::size_t rows_{0};
+};
+
+}  // namespace skyferry::io

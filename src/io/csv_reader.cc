@@ -1,0 +1,92 @@
+#include "io/csv_reader.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace skyferry::io {
+namespace {
+
+std::vector<std::string> parse_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell += c;
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+}  // namespace
+
+std::optional<std::size_t> CsvDocument::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<double> CsvDocument::numeric_column(std::size_t index) const {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    if (index >= row.size()) {
+      out.push_back(std::numeric_limits<double>::quiet_NaN());
+      continue;
+    }
+    char* end = nullptr;
+    const double v = std::strtod(row[index].c_str(), &end);
+    out.push_back((end == row[index].c_str()) ? std::numeric_limits<double>::quiet_NaN() : v);
+  }
+  return out;
+}
+
+CsvDocument parse_csv(const std::string& text, bool has_header) {
+  CsvDocument doc;
+  std::istringstream in(text);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto cells = parse_line(line);
+    if (first && has_header) {
+      doc.header = std::move(cells);
+    } else {
+      doc.rows.push_back(std::move(cells));
+    }
+    first = false;
+  }
+  return doc;
+}
+
+std::optional<CsvDocument> read_csv_file(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_csv(ss.str(), has_header);
+}
+
+}  // namespace skyferry::io

@@ -1,0 +1,33 @@
+// Minimal CSV reader — the inverse of CsvWriter. Lets users feed their
+// own measured throughput traces (distance, Mb/s) into
+// core::TableThroughput instead of the paper's fits, and lets the tests
+// round-trip everything the benches emit.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace skyferry::io {
+
+/// One parsed CSV document: a header row (possibly empty) + data rows of
+/// string cells. Handles RFC-4180 quoting as produced by CsvWriter.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Column index by header name; nullopt if absent.
+  [[nodiscard]] std::optional<std::size_t> column(const std::string& name) const;
+
+  /// Numeric view of a column (non-numeric cells become NaN).
+  [[nodiscard]] std::vector<double> numeric_column(std::size_t index) const;
+};
+
+/// Parse CSV text. `has_header` controls whether row 0 is the header.
+[[nodiscard]] CsvDocument parse_csv(const std::string& text, bool has_header = true);
+
+/// Read and parse a CSV file; nullopt when the file cannot be read.
+[[nodiscard]] std::optional<CsvDocument> read_csv_file(const std::string& path,
+                                                       bool has_header = true);
+
+}  // namespace skyferry::io

@@ -1,0 +1,11 @@
+// Number formatting shared by the CSV writer and table printer.
+#pragma once
+
+#include <string>
+
+namespace skyferry::io {
+
+/// Format a double with enough precision to round-trip plot data (%.6g).
+[[nodiscard]] std::string format_number(double v);
+
+}  // namespace skyferry::io

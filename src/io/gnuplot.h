@@ -1,0 +1,63 @@
+// Gnuplot script emission. The C++ side produces CSVs and ASCII charts;
+// for publication-grade figures each bench can also drop a ready-to-run
+// .gp script next to its CSV so `gnuplot fig5.gp` regenerates the actual
+// paper-style plot without any hand-written plotting code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace skyferry::io {
+
+/// One plotted series backed by CSV columns.
+struct GnuplotSeries {
+  std::string csv_path;
+  int x_column{1};  ///< 1-based, gnuplot convention
+  int y_column{2};
+  std::string title;
+  std::string style{"linespoints"};
+  /// Optional filter: plot only rows whose column `filter_column`
+  /// equals `filter_value` (for long-format CSVs).
+  int filter_column{0};  ///< 0 = no filter
+  std::string filter_value;
+};
+
+class GnuplotScript {
+ public:
+  GnuplotScript(std::string title, std::string xlabel, std::string ylabel)
+      : title_(std::move(title)), xlabel_(std::move(xlabel)), ylabel_(std::move(ylabel)) {}
+
+  GnuplotScript& add(GnuplotSeries s) {
+    series_.push_back(std::move(s));
+    return *this;
+  }
+
+  GnuplotScript& logscale_x(bool on = true) {
+    logx_ = on;
+    return *this;
+  }
+
+  /// Output terminal: "pngcairo" (default), "svg", "dumb", ...
+  GnuplotScript& terminal(std::string t, std::string outfile) {
+    terminal_ = std::move(t);
+    outfile_ = std::move(outfile);
+    return *this;
+  }
+
+  /// Render the script text.
+  [[nodiscard]] std::string str() const;
+
+  /// Write to a file; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::string xlabel_;
+  std::string ylabel_;
+  std::string terminal_{"pngcairo size 800,500"};
+  std::string outfile_;
+  bool logx_{false};
+  std::vector<GnuplotSeries> series_;
+};
+
+}  // namespace skyferry::io

@@ -1,0 +1,69 @@
+#include "io/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace skyferry::io {
+
+Table& Table::columns(std::vector<std::string> names) {
+  header_ = std::move(names);
+  return *this;
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::add_row(const std::string& label, const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(format_number(v));
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::str() const {
+  // Column widths over header + all rows.
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> width(ncols, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+  }
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < ncols; ++c) os << std::string(width[c] + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& s = (c < cells.size()) ? cells[c] : std::string{};
+      os << ' ' << s << std::string(width[c] - s.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  rule();
+  if (!header_.empty()) {
+    line(header_);
+    rule();
+  }
+  for (const auto& r : rows_) line(r);
+  rule();
+  return os.str();
+}
+
+void Table::print() const {
+  const std::string s = str();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+}
+
+}  // namespace skyferry::io

@@ -1,0 +1,40 @@
+// ASCII table printer used by the figure/table benches to print the same
+// rows the paper reports, aligned for terminal reading.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/format.h"
+
+namespace skyferry::io {
+
+/// Column-aligned ASCII table with a header row and optional title.
+/// Cells are strings; numeric helpers format through format_number.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  Table& columns(std::vector<std::string> names);
+
+  /// Add a row of already-formatted cells; short rows are padded.
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Add a row of [label, numbers...].
+  Table& add_row(const std::string& label, const std::vector<double>& values);
+
+  /// Render with box-drawing separators.
+  [[nodiscard]] std::string str() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace skyferry::io

@@ -1,0 +1,60 @@
+#include "mac/ampdu.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skyferry::mac {
+
+int MpduFormat::mpdu_bits() const noexcept {
+  return (msdu_bytes + udp_ip_overhead + llc_snap_bytes + mac_header_bytes + fcs_bytes) * 8;
+}
+
+int MpduFormat::subframe_bits() const noexcept {
+  const int bytes = delimiter_bytes + mpdu_bits() / 8;
+  const int padded = (bytes + 3) / 4 * 4;
+  return padded * 8;
+}
+
+int subframes_for(const AmpduPolicy& p, const MpduFormat& f, const phy::McsInfo& m,
+                  phy::ChannelWidth w, phy::GuardInterval gi, int backlog_mpdus) noexcept {
+  int n = std::max(1, std::min(p.max_subframes, backlog_mpdus));
+
+  // Byte cap.
+  const int sub_bytes = f.subframe_bits() / 8;
+  if (sub_bytes > 0) n = std::min(n, std::max(1, p.max_ampdu_bytes / sub_bytes));
+
+  // Airtime cap.
+  while (n > 1 && ampdu_duration_s(f, m, w, gi, n) > p.max_duration_s) --n;
+
+  // Host fill-rate cap: during one exchange (~duration of the previous
+  // aggregate + ack turnaround) the host can only enqueue so many MPDUs.
+  if (p.host_fill_rate_bps > 0.0) {
+    const double exchange_s = ampdu_duration_s(f, m, w, gi, n) + 100e-6;
+    const int fillable = std::max(
+        1, static_cast<int>(p.host_fill_rate_bps * exchange_s / f.subframe_bits()));
+    n = std::min(n, fillable);
+  }
+  return n;
+}
+
+double ampdu_duration_s(const MpduFormat& f, const phy::McsInfo& m, phy::ChannelWidth w,
+                        phy::GuardInterval gi, int n) noexcept {
+  return phy::frame_duration_s(m, w, gi, n * f.subframe_bits());
+}
+
+double exchange_duration_s(const MacTiming& t, const MpduFormat& f, const phy::McsInfo& m,
+                           phy::ChannelWidth w, phy::GuardInterval gi, int n,
+                           int retry_stage) noexcept {
+  return t.difs_s() + t.mean_backoff_s(retry_stage) + ampdu_duration_s(f, m, w, gi, n) +
+         t.sifs_s + block_ack_duration_s(w);
+}
+
+double ideal_goodput_bps(const MacTiming& t, const AmpduPolicy& p, const MpduFormat& f,
+                         const phy::McsInfo& m, phy::ChannelWidth w,
+                         phy::GuardInterval gi) noexcept {
+  const int n = subframes_for(p, f, m, w, gi, p.max_subframes);
+  const double dur = exchange_duration_s(t, f, m, w, gi, n, 0);
+  return static_cast<double>(n) * f.payload_bits() / dur;
+}
+
+}  // namespace skyferry::mac

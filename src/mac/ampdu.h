@@ -1,0 +1,65 @@
+// A-MPDU aggregation and Block-ACK accounting. The paper's radios use
+// A-MPDU frame aggregation with Block ACK and a default of 14 subframes,
+// noting that a slow embedded host may not fill the aggregate at high PHY
+// rates (Sec. 3.1) — modeled here via `host_fill_rate_bps`.
+#pragma once
+
+#include <vector>
+
+#include "mac/timing.h"
+#include "phy/mcs.h"
+
+namespace skyferry::mac {
+
+/// Sizing of one MPDU carrying a UDP datagram.
+struct MpduFormat {
+  int msdu_bytes{1470};       ///< UDP payload (iperf default datagram)
+  int udp_ip_overhead{28};    ///< UDP (8) + IPv4 (20) headers
+  int llc_snap_bytes{8};
+  int mac_header_bytes{26};   ///< QoS data header (3-address)
+  int fcs_bytes{4};
+  int delimiter_bytes{4};     ///< A-MPDU subframe delimiter
+  // Subframes are padded to 4-byte boundaries inside an aggregate.
+
+  /// Bits of one MPDU on air, excluding the delimiter.
+  [[nodiscard]] int mpdu_bits() const noexcept;
+  /// Bits of one subframe (delimiter + MPDU, padded to 4 bytes).
+  [[nodiscard]] int subframe_bits() const noexcept;
+  /// Application payload bits delivered per successful MPDU.
+  [[nodiscard]] int payload_bits() const noexcept { return msdu_bytes * 8; }
+};
+
+/// Aggregation policy constraints.
+struct AmpduPolicy {
+  int max_subframes{14};        ///< driver default in the paper
+  int max_ampdu_bytes{65535};   ///< HT A-MPDU length cap
+  double max_duration_s{4e-3};  ///< regulatory TXOP-ish airtime cap
+  /// How fast the embedded host can feed the radio; caps the useful
+  /// aggregate size at high PHY rates (0 = infinitely fast host).
+  double host_fill_rate_bps{0.0};
+};
+
+/// Number of subframes to aggregate for a transmission at `m`, honoring
+/// subframe, byte, duration, and host-fill-rate caps (at least 1).
+[[nodiscard]] int subframes_for(const AmpduPolicy& p, const MpduFormat& f, const phy::McsInfo& m,
+                                phy::ChannelWidth w, phy::GuardInterval gi,
+                                int backlog_mpdus) noexcept;
+
+/// Airtime [s] of an A-MPDU with `n` subframes at MCS `m`.
+[[nodiscard]] double ampdu_duration_s(const MpduFormat& f, const phy::McsInfo& m,
+                                      phy::ChannelWidth w, phy::GuardInterval gi, int n) noexcept;
+
+/// Duration [s] of one complete DCF A-MPDU exchange: DIFS + mean backoff
+/// for `retry_stage` + A-MPDU + SIFS + Block ACK.
+[[nodiscard]] double exchange_duration_s(const MacTiming& t, const MpduFormat& f,
+                                         const phy::McsInfo& m, phy::ChannelWidth w,
+                                         phy::GuardInterval gi, int n, int retry_stage) noexcept;
+
+/// Ideal saturated goodput [bit/s] at an MCS with zero loss — the upper
+/// envelope used to sanity-check simulated throughput and to seed the
+/// rate-control expected-goodput table.
+[[nodiscard]] double ideal_goodput_bps(const MacTiming& t, const AmpduPolicy& p,
+                                       const MpduFormat& f, const phy::McsInfo& m,
+                                       phy::ChannelWidth w, phy::GuardInterval gi) noexcept;
+
+}  // namespace skyferry::mac

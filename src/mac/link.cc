@@ -1,0 +1,115 @@
+#include "mac/link.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace skyferry::mac {
+
+GeometryFn static_geometry(double distance_m, double relative_speed_mps) {
+  return [distance_m, relative_speed_mps](double) {
+    return Geometry{distance_m, relative_speed_mps};
+  };
+}
+
+LinkSimulator::LinkSimulator(LinkConfig cfg, RateController& rate_control, std::uint64_t seed)
+    : cfg_(cfg),
+      rc_(rate_control),
+      channel_(cfg.channel, sim::derive_seed(seed, "channel")),
+      error_model_(cfg.error, cfg.channel.spatial_correlation),
+      rng_(sim::derive_seed(seed, "mac")) {}
+
+LinkRunResult LinkSimulator::run_saturated(double duration_s, const GeometryFn& geometry) {
+  return run_internal(std::numeric_limits<std::uint64_t>::max(), duration_s, geometry);
+}
+
+LinkRunResult LinkSimulator::run_transfer(std::uint64_t payload_bytes, double max_duration_s,
+                                          const GeometryFn& geometry) {
+  return run_internal(payload_bytes, max_duration_s, geometry);
+}
+
+LinkRunResult LinkSimulator::run_internal(std::uint64_t payload_bytes_limit, double duration_s,
+                                          const GeometryFn& geometry) {
+  LinkRunResult res;
+  const std::uint64_t payload_bits_limit =
+      (payload_bytes_limit == std::numeric_limits<std::uint64_t>::max())
+          ? payload_bytes_limit
+          : payload_bytes_limit * 8;
+
+  double t = 0.0;
+  int retry_stage = 0;
+  std::uint64_t window_bits = 0;
+  double window_start = 0.0;
+
+  const int mpdu_bits = cfg_.mpdu.mpdu_bits();
+  const int payload_bits_per_mpdu = cfg_.mpdu.payload_bits();
+
+  auto flush_window = [&](double now) {
+    const double span = now - window_start;
+    if (span <= 0.0) return;
+    res.samples.push_back({now, static_cast<double>(window_bits) / span / 1e6});
+    res.transfer_curve_mb.push_back(
+        {now, static_cast<double>(res.payload_bits_delivered) / 8e6});
+    window_bits = 0;
+    window_start = now;
+  };
+
+  while (t < duration_s && res.payload_bits_delivered < payload_bits_limit) {
+    const Geometry g = geometry(t);
+    const int mcs_index = rc_.select_mcs(t);
+    const phy::McsInfo& m = phy::mcs(mcs_index);
+
+    // Remaining backlog in MPDUs (saturated runs: unbounded).
+    int backlog = cfg_.ampdu.max_subframes;
+    if (payload_bits_limit != std::numeric_limits<std::uint64_t>::max()) {
+      const std::uint64_t remaining_bits = payload_bits_limit - res.payload_bits_delivered;
+      backlog = static_cast<int>(std::min<std::uint64_t>(
+          (remaining_bits + payload_bits_per_mpdu - 1) / payload_bits_per_mpdu,
+          static_cast<std::uint64_t>(cfg_.ampdu.max_subframes)));
+    }
+    const int n = subframes_for(cfg_.ampdu, cfg_.mpdu, m, cfg_.channel.width, cfg_.channel.gi,
+                                std::max(backlog, 1));
+
+    // One SNR draw governs the aggregate (all subframes share the fade);
+    // per-MPDU jitter (frequency selectivity) decorrelates subframe fates.
+    const double snr_db = channel_.snr_db(t, g.distance_m, g.relative_speed_mps);
+
+    int delivered = 0;
+    for (int i = 0; i < n; ++i) {
+      const double mpdu_snr =
+          snr_db + cfg_.per_mpdu_snr_jitter_db * rng_.gaussian();
+      const double per = error_model_.packet_error_rate(m, mpdu_snr, mpdu_bits);
+      if (!rng_.bernoulli(per)) ++delivered;
+    }
+
+    // Block ACK must survive too (32-byte frame at basic rate, same fade);
+    // a lost BA voids the whole exchange for the sender.
+    const double ba_per = error_model_.packet_error_rate(phy::mcs(0), snr_db, 32 * 8);
+    if (rng_.bernoulli(ba_per)) delivered = 0;
+
+    res.mpdus_attempted += static_cast<std::uint64_t>(n);
+    res.mpdus_delivered += static_cast<std::uint64_t>(delivered);
+    res.payload_bits_delivered +=
+        static_cast<std::uint64_t>(delivered) * static_cast<std::uint64_t>(payload_bits_per_mpdu);
+    window_bits +=
+        static_cast<std::uint64_t>(delivered) * static_cast<std::uint64_t>(payload_bits_per_mpdu);
+    ++res.exchanges;
+
+    rc_.report(t, TxFeedback{mcs_index, n, delivered});
+
+    retry_stage = (delivered == 0) ? std::min(retry_stage + 1, cfg_.timing.retry_limit)
+                                   : 0;
+
+    t += exchange_duration_s(cfg_.timing, cfg_.mpdu, m, cfg_.channel.width, cfg_.channel.gi, n,
+                             retry_stage);
+
+    if (t - window_start >= cfg_.meter_window_s) flush_window(t);
+  }
+
+  flush_window(t);
+  res.duration_s = t;
+  res.completed = res.payload_bits_delivered >= payload_bits_limit ||
+                  payload_bits_limit == std::numeric_limits<std::uint64_t>::max();
+  return res;
+}
+
+}  // namespace skyferry::mac

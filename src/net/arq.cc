@@ -1,0 +1,96 @@
+#include "net/arq.h"
+
+#include <algorithm>
+
+namespace skyferry::net {
+
+ArqSender::ArqSender(ArqConfig cfg, std::uint32_t total_packets, FlowId flow) noexcept
+    : cfg_(cfg), total_(total_packets), flow_(flow), state_(total_packets, State::kUnsent) {}
+
+std::uint32_t ArqSender::in_flight() const noexcept {
+  std::uint32_t n = 0;
+  for (State s : state_) n += (s == State::kInFlight) ? 1 : 0;
+  return n;
+}
+
+std::optional<Packet> ArqSender::next_packet(double now_s) {
+  if (complete()) return std::nullopt;
+  if (in_flight() >= cfg_.window) return std::nullopt;
+
+  auto make = [&](std::uint32_t seq, bool retx) {
+    state_[seq] = State::kInFlight;
+    ++transmissions_;
+    if (retx) ++retransmissions_;
+    Packet p;
+    p.flow = flow_;
+    p.seq = seq;
+    p.payload_bytes = cfg_.datagram_bytes;
+    p.created_t_s = now_s;
+    return p;
+  };
+
+  // Gaps first (selective repeat).
+  for (std::uint32_t s = 0; s < next_new_; ++s) {
+    if (state_[s] == State::kNacked) return make(s, true);
+  }
+  if (next_new_ < total_) {
+    const std::uint32_t s = next_new_++;
+    return make(s, false);
+  }
+  return std::nullopt;
+}
+
+void ArqSender::on_ack(const SelectiveAck& ack) {
+  const std::uint32_t cum = std::min(ack.cumulative, total_);
+  for (std::uint32_t s = 0; s < cum; ++s) {
+    if (state_[s] != State::kAcked) {
+      state_[s] = State::kAcked;
+      ++acked_count_;
+    }
+  }
+  for (std::uint32_t i = 0; i < ack.window_bitmap.size(); ++i) {
+    const std::uint32_t s = cum + i;
+    if (s >= total_) break;
+    if (ack.window_bitmap[i]) {
+      if (state_[s] != State::kAcked) {
+        state_[s] = State::kAcked;
+        ++acked_count_;
+      }
+    } else if (state_[s] == State::kInFlight && s < next_new_) {
+      // Reported missing: schedule a retransmission.
+      state_[s] = State::kNacked;
+    }
+  }
+}
+
+bool ArqSender::complete() const noexcept { return acked_count_ == total_; }
+
+ArqReceiver::ArqReceiver(ArqConfig cfg, std::uint32_t total_packets) noexcept
+    : cfg_(cfg), total_(total_packets), received_(total_packets, false) {}
+
+SelectiveAck ArqReceiver::make_ack() const {
+  SelectiveAck ack;
+  ack.cumulative = cumulative_;
+  const std::uint32_t span = std::min(cfg_.window, total_ - cumulative_);
+  ack.window_bitmap.reserve(span);
+  for (std::uint32_t i = 0; i < span; ++i) ack.window_bitmap.push_back(received_[cumulative_ + i]);
+  return ack;
+}
+
+std::optional<SelectiveAck> ArqReceiver::on_packet(const Packet& p) {
+  if (p.seq >= total_) return std::nullopt;
+  if (received_[p.seq]) {
+    ++duplicates_;
+  } else {
+    received_[p.seq] = true;
+    ++received_count_;
+    while (cumulative_ < total_ && received_[cumulative_]) ++cumulative_;
+  }
+  if (++since_ack_ >= cfg_.ack_every || complete()) {
+    since_ack_ = 0;
+    return make_ack();
+  }
+  return std::nullopt;
+}
+
+}  // namespace skyferry::net

@@ -1,0 +1,89 @@
+// Selective-repeat ARQ for end-to-end batch delivery.
+//
+// The MAC's Block ACK recovers per-hop losses, but the mission needs a
+// transport-level guarantee that every image datagram eventually lands
+// (a half-delivered image is useless to the rescuers). This is a
+// windowed selective-repeat layer over the datagram link: the sender
+// streams the batch, the receiver returns selective-ack bitmaps, and
+// gaps are retransmitted until the batch completes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace skyferry::net {
+
+/// Selective acknowledgment: everything below `cumulative` received,
+/// plus the bitmap for the window starting there.
+struct SelectiveAck {
+  std::uint32_t cumulative{0};
+  std::vector<bool> window_bitmap;
+};
+
+struct ArqConfig {
+  std::uint32_t window{64};          ///< max unacked packets in flight
+  std::uint32_t datagram_bytes{1470};
+  /// Receiver emits an ack every this many delivered packets.
+  std::uint32_t ack_every{16};
+};
+
+class ArqSender {
+ public:
+  /// A batch of `total_packets` datagrams, each `cfg.datagram_bytes`.
+  ArqSender(ArqConfig cfg, std::uint32_t total_packets, FlowId flow = 0) noexcept;
+
+  /// Next packet to transmit, if the window allows: retransmissions of
+  /// known gaps first, then new data. Returns nullopt when the window is
+  /// full or the batch is fully acked.
+  std::optional<Packet> next_packet(double now_s);
+
+  /// Process a selective ack from the receiver.
+  void on_ack(const SelectiveAck& ack);
+
+  [[nodiscard]] bool complete() const noexcept;
+  [[nodiscard]] std::uint32_t total_packets() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t transmissions() const noexcept { return transmissions_; }
+  [[nodiscard]] std::uint64_t retransmissions() const noexcept { return retransmissions_; }
+  [[nodiscard]] std::uint32_t in_flight() const noexcept;
+
+ private:
+  enum class State : std::uint8_t { kUnsent, kInFlight, kAcked, kNacked };
+
+  ArqConfig cfg_;
+  std::uint32_t total_;
+  FlowId flow_;
+  std::vector<State> state_;
+  std::uint32_t next_new_{0};
+  std::uint32_t acked_count_{0};
+  std::uint64_t transmissions_{0};
+  std::uint64_t retransmissions_{0};
+};
+
+class ArqReceiver {
+ public:
+  explicit ArqReceiver(ArqConfig cfg, std::uint32_t total_packets) noexcept;
+
+  /// Record a delivered packet; returns an ack to send back when due.
+  std::optional<SelectiveAck> on_packet(const Packet& p);
+
+  /// Force an ack (receiver timer).
+  [[nodiscard]] SelectiveAck make_ack() const;
+
+  [[nodiscard]] bool complete() const noexcept { return received_count_ == total_; }
+  [[nodiscard]] std::uint32_t received_count() const noexcept { return received_count_; }
+  [[nodiscard]] std::uint64_t duplicates() const noexcept { return duplicates_; }
+
+ private:
+  ArqConfig cfg_;
+  std::uint32_t total_;
+  std::vector<bool> received_;
+  std::uint32_t cumulative_{0};
+  std::uint32_t received_count_{0};
+  std::uint32_t since_ack_{0};
+  std::uint64_t duplicates_{0};
+};
+
+}  // namespace skyferry::net

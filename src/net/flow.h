@@ -1,0 +1,88 @@
+// Traffic sources and sinks.
+//
+// BatchSource packetizes a collected image batch (the paper's Mdata) into
+// UDP-sized datagrams; IperfSource generates saturated or rate-limited
+// test traffic like the iperf tool used in the paper's field measurements;
+// FlowSink tracks in-order delivery, duplicates and per-image completion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/queue.h"
+
+namespace skyferry::net {
+
+/// Packetizes a DataBatch into a queue. Every packet knows which image it
+/// belongs to, so partial deliveries can report "70% of Mdata" like the
+/// paper's Figure 2.
+class BatchSource {
+ public:
+  BatchSource(FlowId flow, DataBatch batch, std::uint32_t datagram_bytes = 1470) noexcept;
+
+  /// Enqueue the entire batch. Returns packets enqueued.
+  std::size_t load_into(PacketQueue& q, double now_s);
+
+  [[nodiscard]] const DataBatch& batch() const noexcept { return batch_; }
+  [[nodiscard]] std::uint32_t total_packets() const noexcept { return total_packets_; }
+  [[nodiscard]] std::uint32_t datagram_bytes() const noexcept { return datagram_bytes_; }
+
+ private:
+  FlowId flow_;
+  DataBatch batch_;
+  std::uint32_t datagram_bytes_;
+  std::uint32_t total_packets_;
+  std::uint32_t packets_per_image_;
+};
+
+/// iperf-style UDP generator: fills a queue either saturated (keep
+/// `backlog` packets queued) or paced at a target bitrate.
+class IperfSource {
+ public:
+  IperfSource(FlowId flow, std::uint32_t datagram_bytes = 1470,
+              double target_bps = 0.0 /* 0 = saturated */) noexcept;
+
+  /// Top up `q` given the current time; call before each MAC service.
+  void pump(PacketQueue& q, double now_s, std::size_t backlog = 64);
+
+  [[nodiscard]] std::uint64_t generated() const noexcept { return seq_; }
+
+ private:
+  FlowId flow_;
+  std::uint32_t datagram_bytes_;
+  double target_bps_;
+  std::uint32_t seq_{0};
+  double credit_bytes_{0.0};
+  double last_t_{0.0};
+};
+
+/// Receiver-side accounting.
+class FlowSink {
+ public:
+  /// Record a delivered packet. Duplicates (same seq) are counted but not
+  /// double-credited.
+  void deliver(const Packet& p, double now_s);
+
+  [[nodiscard]] std::uint64_t unique_packets() const noexcept { return unique_; }
+  [[nodiscard]] std::uint64_t duplicate_packets() const noexcept { return dup_; }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] double last_delivery_t_s() const noexcept { return last_t_; }
+
+  /// Number of images for which every datagram arrived, given the
+  /// packets-per-image of the source.
+  [[nodiscard]] std::uint32_t complete_images(std::uint32_t packets_per_image) const noexcept;
+
+  /// Highest sequence seen + 1 (0 when nothing arrived).
+  [[nodiscard]] std::uint32_t highest_seq_plus_one() const noexcept { return high_seq_; }
+
+ private:
+  std::vector<bool> seen_;
+  std::uint64_t unique_{0};
+  std::uint64_t dup_{0};
+  std::uint64_t bytes_{0};
+  std::uint32_t high_seq_{0};
+  double last_t_{0.0};
+};
+
+}  // namespace skyferry::net

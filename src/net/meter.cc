@@ -1,0 +1,39 @@
+#include "net/meter.h"
+
+namespace skyferry::net {
+
+void ThroughputMeter::record(double t_s, std::uint64_t bytes) {
+  if (!started_) {
+    window_start_ = t_s;
+    started_ = true;
+  }
+  last_t_ = t_s;
+  total_bytes_ += bytes;
+  window_bytes_ += bytes;
+  while (t_s - window_start_ >= window_s_) {
+    const double end = window_start_ + window_s_;
+    samples_.push_back({end, static_cast<double>(window_bytes_) * 8.0 / window_s_ / 1e6});
+    window_bytes_ = 0;
+    window_start_ = end;
+  }
+}
+
+void ThroughputMeter::flush() {
+  if (!started_) return;
+  const double span = last_t_ - window_start_;
+  if (span > 0.0 && window_bytes_ > 0) {
+    samples_.push_back({last_t_, static_cast<double>(window_bytes_) * 8.0 / span / 1e6});
+  }
+  window_bytes_ = 0;
+  window_start_ = last_t_;
+}
+
+double ThroughputMeter::mean_mbps() const noexcept {
+  if (!started_ || last_t_ <= 0.0) return 0.0;
+  // Mean over the span from the first record to the last.
+  const double span = last_t_;
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(total_bytes_) * 8.0 / span / 1e6;
+}
+
+}  // namespace skyferry::net

@@ -1,0 +1,43 @@
+// Windowed throughput meter — the measurement instrument behind every
+// throughput figure: feed delivered bytes with timestamps, read back
+// per-window Mb/s samples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace skyferry::net {
+
+class ThroughputMeter {
+ public:
+  explicit ThroughputMeter(double window_s = 0.5) noexcept : window_s_(window_s) {}
+
+  /// Record `bytes` delivered at time `t_s` (nondecreasing).
+  void record(double t_s, std::uint64_t bytes);
+
+  /// Close the current partial window (call at end of run).
+  void flush();
+
+  struct Sample {
+    double t_end_s{0.0};
+    double mbps{0.0};
+  };
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept { return samples_; }
+
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+  [[nodiscard]] double window_s() const noexcept { return window_s_; }
+
+  /// Mean goodput over everything recorded so far [Mb/s].
+  [[nodiscard]] double mean_mbps() const noexcept;
+
+ private:
+  double window_s_;
+  double window_start_{0.0};
+  double last_t_{0.0};
+  std::uint64_t window_bytes_{0};
+  std::uint64_t total_bytes_{0};
+  bool started_{false};
+  std::vector<Sample> samples_;
+};
+
+}  // namespace skyferry::net

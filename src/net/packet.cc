@@ -1,0 +1,7 @@
+#include "net/packet.h"
+
+// Packet is a plain aggregate; this TU anchors the header in the build so
+// misuse (ODR, missing includes) surfaces at library build time.
+namespace skyferry::net {
+static_assert(sizeof(Packet) <= 32, "Packet must stay a small value type");
+}  // namespace skyferry::net

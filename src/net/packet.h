@@ -1,0 +1,34 @@
+// Application packets: the unit that traverses queue -> MAC -> receiver.
+// SkyFerry ships image batches as sequences of UDP-sized datagrams, so a
+// packet carries flow id, sequence number and payload size; image
+// metadata rides along for mission accounting.
+#pragma once
+
+#include <cstdint>
+
+namespace skyferry::net {
+
+using FlowId = std::uint32_t;
+
+struct Packet {
+  FlowId flow{0};
+  std::uint32_t seq{0};
+  std::uint32_t payload_bytes{1470};
+  double created_t_s{0.0};
+  /// Index of the source image within the mission batch (for tracing
+  /// which images made it before a failure), or kNoImage.
+  std::uint32_t image_index{kNoImage};
+
+  static constexpr std::uint32_t kNoImage = 0xffffffff;
+};
+
+/// Batch description: a collected set of images to be shipped as Mdata.
+struct DataBatch {
+  std::uint32_t num_images{0};
+  double image_bytes{0.0};
+
+  [[nodiscard]] double total_bytes() const noexcept { return num_images * image_bytes; }
+  [[nodiscard]] double total_mb() const noexcept { return total_bytes() / 1e6; }
+};
+
+}  // namespace skyferry::net

@@ -1,0 +1,38 @@
+#include "net/queue.h"
+
+namespace skyferry::net {
+
+bool PacketQueue::push(const Packet& p) {
+  if (capacity_bytes_ != 0 && bytes_ + p.payload_bytes > capacity_bytes_) {
+    ++drops_;
+    return false;
+  }
+  q_.push_back(p);
+  bytes_ += p.payload_bytes;
+  return true;
+}
+
+std::optional<Packet> PacketQueue::pop() {
+  if (q_.empty()) return std::nullopt;
+  Packet p = q_.front();
+  q_.pop_front();
+  bytes_ -= p.payload_bytes;
+  return p;
+}
+
+const Packet* PacketQueue::front() const noexcept { return q_.empty() ? nullptr : &q_.front(); }
+
+void PacketQueue::push_front(const Packet& p) {
+  // Head re-insertion is exempt from the capacity check: the bytes were
+  // already admitted once and dropping a retransmission would violate
+  // the Block-ACK reliability contract.
+  q_.push_front(p);
+  bytes_ += p.payload_bytes;
+}
+
+void PacketQueue::clear() noexcept {
+  q_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace skyferry::net

@@ -1,0 +1,47 @@
+// Bounded FIFO transmit queue with byte accounting and drop counters —
+// the interface between the application flows and the MAC.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "net/packet.h"
+
+namespace skyferry::net {
+
+class PacketQueue {
+ public:
+  /// `capacity_bytes` = 0 means unbounded.
+  explicit PacketQueue(std::uint64_t capacity_bytes = 0) noexcept
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Enqueue; returns false (and counts a drop) when full.
+  bool push(const Packet& p);
+
+  /// Dequeue the head packet, if any.
+  std::optional<Packet> pop();
+
+  /// Peek without removing. Null when empty.
+  [[nodiscard]] const Packet* front() const noexcept;
+
+  /// Re-queue a packet at the *head* (Block-ACK retransmission keeps
+  /// in-order delivery of the batch).
+  void push_front(const Packet& p);
+
+  [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return q_.size(); }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  [[nodiscard]] std::uint64_t capacity_bytes() const noexcept { return capacity_bytes_; }
+
+  void clear() noexcept;
+
+ private:
+  std::uint64_t capacity_bytes_;
+  std::uint64_t bytes_{0};
+  std::uint64_t drops_{0};
+  std::deque<Packet> q_;
+};
+
+}  // namespace skyferry::net

@@ -1,0 +1,46 @@
+#include "phy/antenna.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skyferry::phy {
+namespace {
+constexpr double kGravity = 9.80665;
+}
+
+geo::Vec3 DipoleAntenna::body_z_in_world(const Attitude& a) noexcept {
+  // ZYX (yaw-pitch-roll) rotation applied to the body z-axis (0,0,1).
+  const double cr = std::cos(a.roll), sr = std::sin(a.roll);
+  const double cp = std::cos(a.pitch), sp = std::sin(a.pitch);
+  const double cy = std::cos(a.yaw), sy = std::sin(a.yaw);
+  // Third column of R = Rz(yaw)*Ry(pitch)*Rx(roll) with ENU axes
+  // (x=east, y=north, z=up); yaw measured from north, clockwise.
+  return {sy * sp * cr + cy * sr, cy * sp * cr - sy * sr, cp * cr};
+}
+
+double DipoleAntenna::gain_dbi(const Attitude& attitude, const geo::Vec3& direction) const noexcept {
+  const geo::Vec3 axis = body_z_in_world(attitude);
+  const geo::Vec3 dir = direction.normalized();
+  if (dir.norm() < 0.5) return peak_dbi_;  // degenerate direction: be neutral
+  const double cos_theta = std::clamp(dot(axis, dir), -1.0, 1.0);
+  const double sin_theta = std::sqrt(std::max(1.0 - cos_theta * cos_theta, 0.0));
+  // Half-wave dipole pattern: F(theta) = cos(pi/2 * cos(theta)) / sin(theta).
+  if (sin_theta < 1e-3) return peak_dbi_ - 40.0;  // deep null along the axis
+  const double f = std::cos(0.5 * M_PI * cos_theta) / sin_theta;
+  const double gain_db = 20.0 * std::log10(std::max(std::abs(f), 1e-3));
+  return peak_dbi_ + gain_db;
+}
+
+double link_antenna_gain_db(const DipoleAntenna& ant, const geo::Vec3& pos_a,
+                            const Attitude& att_a, const geo::Vec3& pos_b,
+                            const Attitude& att_b) noexcept {
+  const geo::Vec3 ab = pos_b - pos_a;
+  return ant.gain_dbi(att_a, ab) + ant.gain_dbi(att_b, -ab);
+}
+
+double coordinated_turn_bank_rad(double speed_mps, double radius_m) noexcept {
+  if (radius_m <= 0.0) return 0.0;
+  return std::atan2(speed_mps * speed_mps, kGravity * radius_m);
+}
+
+}  // namespace skyferry::phy

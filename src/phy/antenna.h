@@ -1,0 +1,54 @@
+// Antenna orientation model. The paper (and its references [14][15])
+// identifies antenna orientation as a major aerial-link impairment: the
+// planar omnis on the airframe have a dipole-like pattern with nulls
+// along the antenna axis, so banking and pitching swing the peer in and
+// out of the null. This module computes the gain between two airframes
+// given their attitudes — the physical origin of the "attitude events"
+// that the statistical FadingConfig models.
+#pragma once
+
+#include "geo/vec3.h"
+
+namespace skyferry::phy {
+
+/// Airframe attitude (ZYX Euler angles, radians).
+struct Attitude {
+  double roll{0.0};   ///< bank, positive = right wing down
+  double pitch{0.0};  ///< nose up positive
+  double yaw{0.0};    ///< heading, 0 = north, clockwise positive
+};
+
+/// Vertical half-wave-dipole-like pattern mounted along the airframe's
+/// z-axis: omnidirectional in the body's horizontal plane, nulls along
+/// the body z-axis.
+class DipoleAntenna {
+ public:
+  /// Peak gain [dBi] in the equatorial plane (half-wave dipole: 2.15).
+  explicit DipoleAntenna(double peak_gain_dbi = 2.15) noexcept : peak_dbi_(peak_gain_dbi) {}
+
+  /// Gain [dBi] toward a direction given in the *world* frame, for an
+  /// airframe with the given attitude. `direction` need not be a unit
+  /// vector but must be nonzero.
+  [[nodiscard]] double gain_dbi(const Attitude& attitude, const geo::Vec3& direction) const noexcept;
+
+  /// Antenna boresight (body z-axis) expressed in the world frame.
+  [[nodiscard]] static geo::Vec3 body_z_in_world(const Attitude& attitude) noexcept;
+
+  [[nodiscard]] double peak_gain_dbi() const noexcept { return peak_dbi_; }
+
+ private:
+  double peak_dbi_;
+};
+
+/// Combined antenna gain [dB] of a link between two airframes at the
+/// given world positions and attitudes (tx gain + rx gain).
+[[nodiscard]] double link_antenna_gain_db(const DipoleAntenna& ant, const geo::Vec3& pos_a,
+                                          const Attitude& att_a, const geo::Vec3& pos_b,
+                                          const Attitude& att_b) noexcept;
+
+/// Bank angle [rad] of a coordinated turn at speed v and turn radius r:
+/// tan(phi) = v^2 / (g r). Airplanes loitering on the paper's 20 m
+/// minimum-radius circle at 10 m/s bank ~27 degrees continuously.
+[[nodiscard]] double coordinated_turn_bank_rad(double speed_mps, double radius_m) noexcept;
+
+}  // namespace skyferry::phy

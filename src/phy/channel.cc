@@ -1,0 +1,55 @@
+#include "phy/channel.h"
+
+namespace skyferry::phy {
+
+ChannelConfig ChannelConfig::airplane() noexcept {
+  ChannelConfig c;
+  c.snr_model = AerialSnrModel::airplane();
+  c.fading.rician_k_hover = 5.0;  // airplanes circle; never truly static
+  c.fading.rician_k_moving = 1.5;
+  c.fading.shadowing_sigma_db = 3.5;
+  c.fading.attitude_event_rate_hz = 0.15;  // banking every several seconds
+  c.fading.attitude_loss_mean_db = 9.0;
+  c.fading.attitude_duration_mean_s = 1.2;
+  c.fading.mobility_loss_db_per_mps = 0.8;
+  c.spatial_correlation = 0.9;
+  return c;
+}
+
+ChannelConfig ChannelConfig::quadrocopter() noexcept {
+  ChannelConfig c;
+  c.snr_model = AerialSnrModel::quadrocopter();
+  c.fading.rician_k_hover = 10.0;
+  c.fading.rician_k_moving = 2.0;
+  c.fading.shadowing_sigma_db = 1.5;
+  c.fading.attitude_event_rate_hz = 0.05;
+  c.fading.attitude_loss_mean_db = 6.0;
+  c.fading.attitude_duration_mean_s = 1.0;
+  c.fading.mobility_loss_db_per_mps = 0.8;
+  c.spatial_correlation = 0.85;
+  return c;
+}
+
+ChannelConfig ChannelConfig::indoor() noexcept {
+  ChannelConfig c;
+  c.snr_model = AerialSnrModel::indoor();
+  c.fading.rician_k_hover = 15.0;
+  c.fading.rician_k_moving = 10.0;
+  c.fading.shadowing_sigma_db = 1.0;
+  c.fading.attitude_event_rate_hz = 0.0;
+  c.spatial_correlation = 0.3;  // rich indoor scattering: MIMO works
+  return c;
+}
+
+LinkChannel::LinkChannel(ChannelConfig cfg, std::uint64_t seed) noexcept
+    : cfg_(cfg), fading_(cfg.fading, sim::Rng(seed)) {}
+
+double LinkChannel::snr_db(double t_s, double distance_m, double relative_speed_mps) noexcept {
+  return cfg_.snr_model.median_snr_db(distance_m) + fading_.sample_db(t_s, relative_speed_mps);
+}
+
+double LinkChannel::median_snr_db(double distance_m) const noexcept {
+  return cfg_.snr_model.median_snr_db(distance_m);
+}
+
+}  // namespace skyferry::phy

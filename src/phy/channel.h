@@ -1,0 +1,52 @@
+// Composed per-link aerial channel: median SNR vs distance + small-scale
+// fading + mobility dynamics + platform-specific attitude effects.
+// This is the simulator's stand-in for the paper's outdoor 802.11n links.
+#pragma once
+
+#include <cstdint>
+
+#include "phy/fading.h"
+#include "phy/mcs.h"
+#include "phy/pathloss.h"
+#include "phy/per.h"
+
+namespace skyferry::phy {
+
+/// Everything needed to instantiate one link's channel.
+struct ChannelConfig {
+  AerialSnrModel snr_model{AerialSnrModel::airplane()};
+  FadingConfig fading{};
+  /// MIMO spatial correlation in [0,1]; aerial LoS links are rank-poor.
+  double spatial_correlation{0.9};
+  ChannelWidth width{ChannelWidth::kCw40MHz};
+  GuardInterval gi{GuardInterval::kShort400ns};
+
+  /// Airplane-to-airplane link preset (Swinglet pair; constant banking
+  /// while circling waypoints -> frequent attitude losses, wide spread).
+  static ChannelConfig airplane() noexcept;
+  /// Quadrocopter-to-quadrocopter link preset (stable hover, low altitude).
+  static ChannelConfig quadrocopter() noexcept;
+  /// Indoor lab reference channel (paper: ~176 Mb/s on the bench).
+  static ChannelConfig indoor() noexcept;
+};
+
+/// One directional link's time-evolving channel. Sampling is causal:
+/// call snr_db with nondecreasing time.
+class LinkChannel {
+ public:
+  LinkChannel(ChannelConfig cfg, std::uint64_t seed) noexcept;
+
+  /// Instantaneous SNR [dB] at time t for the given geometry.
+  [[nodiscard]] double snr_db(double t_s, double distance_m, double relative_speed_mps) noexcept;
+
+  /// Median (fading-free) SNR [dB] at a distance.
+  [[nodiscard]] double median_snr_db(double distance_m) const noexcept;
+
+  [[nodiscard]] const ChannelConfig& config() const noexcept { return cfg_; }
+
+ private:
+  ChannelConfig cfg_;
+  FadingProcess fading_;
+};
+
+}  // namespace skyferry::phy

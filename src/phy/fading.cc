@@ -1,0 +1,76 @@
+#include "phy/fading.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skyferry::phy {
+namespace {
+constexpr double kSpeedOfLight = 299792458.0;
+/// Granularity at which the attitude-event process is advanced.
+constexpr double kAttitudeCheckPeriodS = 0.1;
+}  // namespace
+
+double coherence_time_s(double relative_speed_mps, double freq_hz,
+                        double max_coherence_s) noexcept {
+  const double v = std::abs(relative_speed_mps);
+  if (v < 1e-6) return max_coherence_s;
+  const double doppler_hz = v * freq_hz / kSpeedOfLight;
+  return std::min(0.423 / doppler_hz, max_coherence_s);
+}
+
+FadingProcess::FadingProcess(FadingConfig cfg, sim::Rng rng) noexcept
+    : cfg_(cfg), rng_(rng) {}
+
+double FadingProcess::k_factor(double relative_speed_mps) const noexcept {
+  // Smooth interpolation between hover-K and moving-K: platform vibration
+  // and attitude dynamics destroy the LoS dominance as speed grows.
+  const double v = std::abs(relative_speed_mps);
+  const double w = v / (v + cfg_.speed_k_rolloff);
+  return cfg_.rician_k_hover + (cfg_.rician_k_moving - cfg_.rician_k_hover) * w;
+}
+
+void FadingProcess::redraw_fast(double speed_mps) noexcept {
+  const double k = k_factor(speed_mps);
+  const double env = rng_.rician_envelope(k);
+  // Power gain in dB; envelope normalized to unit mean power.
+  fast_db_ = 20.0 * std::log10(std::max(env, 1e-6));
+}
+
+double FadingProcess::sample_db(double t_s, double relative_speed_mps) noexcept {
+  // Advance slow shadowing (Gauss-Markov) by the elapsed time.
+  const double dt = std::max(t_s - last_t_, 0.0);
+  const double a = std::exp(-dt / cfg_.shadowing_tau_s);
+  shadow_db_ = a * shadow_db_ +
+               cfg_.shadowing_sigma_db * std::sqrt(std::max(1.0 - a * a, 0.0)) * rng_.gaussian();
+
+  // Attitude-event process: Poisson arrivals checked on a coarse grid,
+  // each event holding a loss for an exponential duration — a banking
+  // turn misaligns the antennas for seconds, not milliseconds.
+  if (cfg_.attitude_event_rate_hz > 0.0) {
+    while (next_attitude_check_t_ <= t_s) {
+      if (next_attitude_check_t_ > attitude_until_ &&
+          rng_.bernoulli(cfg_.attitude_event_rate_hz * kAttitudeCheckPeriodS)) {
+        attitude_depth_db_ = rng_.exponential(1.0 / cfg_.attitude_loss_mean_db);
+        attitude_until_ = next_attitude_check_t_ +
+                          rng_.exponential(1.0 / cfg_.attitude_duration_mean_s);
+      }
+      next_attitude_check_t_ += kAttitudeCheckPeriodS;
+    }
+  }
+  const double attitude_db = (t_s < attitude_until_) ? -attitude_depth_db_ : 0.0;
+
+  // Re-draw the fast component once per coherence interval.
+  if (t_s >= next_redraw_t_) {
+    redraw_fast(relative_speed_mps);
+    const double tc = coherence_time_s(relative_speed_mps, cfg_.freq_hz);
+    next_redraw_t_ = t_s + tc;
+  }
+
+  // Doppler-induced channel aging / ICI: SNR loss proportional to speed.
+  const double mobility_db = -cfg_.mobility_loss_db_per_mps * std::abs(relative_speed_mps);
+
+  last_t_ = t_s;
+  return fast_db_ + shadow_db_ + attitude_db + mobility_db;
+}
+
+}  // namespace skyferry::phy

@@ -1,0 +1,73 @@
+// Small-scale fading and mobility-induced channel dynamics.
+//
+// Hovering UAVs see a slowly varying Rician channel (strong LoS);
+// moving UAVs see fast fading whose coherence time shrinks with the
+// Doppler spread — the root cause of the throughput collapse the paper
+// measures at speed (Fig. 7 center/right) and of auto-rate's failure to
+// track the channel (Fig. 6).
+#pragma once
+
+#include "sim/rng.h"
+
+namespace skyferry::phy {
+
+/// Channel coherence time [s] from relative speed and carrier frequency
+/// (Clarke's model, 0.423/f_D). Clamped for v -> 0 to `max_coherence_s`.
+[[nodiscard]] double coherence_time_s(double relative_speed_mps, double freq_hz,
+                                      double max_coherence_s = 1.0) noexcept;
+
+struct FadingConfig {
+  double rician_k_hover{8.0};     ///< K-factor (linear) for a hovering link
+  double rician_k_moving{2.0};    ///< K-factor under flight dynamics
+  double speed_k_rolloff{4.0};    ///< speed [m/s] at which K is halfway between the two
+  double shadowing_sigma_db{2.0}; ///< slow log-normal shadowing spread
+  double shadowing_tau_s{5.0};    ///< shadowing decorrelation time
+  double freq_hz{5.2e9};
+  /// Airframe-attitude loss events (banking, antenna misalignment).
+  /// Airplanes circling to mimic hovering bank constantly -> higher event
+  /// rate & spread. Events are *persistent*: a banking maneuver holds the
+  /// antenna null for seconds, which is exactly what defeats the 100 ms
+  /// auto-rate statistics loop (paper Fig. 6).
+  double attitude_event_rate_hz{0.0};      ///< events per second
+  double attitude_loss_mean_db{8.0};       ///< mean depth of an event
+  double attitude_duration_mean_s{1.5};    ///< mean duration of an event
+  /// Extra SNR loss proportional to relative speed [dB per m/s]: channel
+  /// aging + inter-carrier interference at high Doppler. This is what
+  /// collapses throughput with speed in Fig. 7 (right).
+  double mobility_loss_db_per_mps{0.0};
+};
+
+/// Time-evolving per-link fading process. Call `sample_db(t, speed)` with
+/// nondecreasing t; internally the channel re-draws each coherence
+/// interval and the shadowing wanders as a Gauss-Markov process.
+class FadingProcess {
+ public:
+  FadingProcess(FadingConfig cfg, sim::Rng rng) noexcept;
+
+  /// Total fading gain [dB] (fast fading + shadowing + attitude events)
+  /// at simulation time `t_s` with current relative speed [m/s].
+  [[nodiscard]] double sample_db(double t_s, double relative_speed_mps) noexcept;
+
+  /// Effective Rician K at a relative speed (for tests).
+  [[nodiscard]] double k_factor(double relative_speed_mps) const noexcept;
+
+  [[nodiscard]] const FadingConfig& config() const noexcept { return cfg_; }
+
+  /// True while an attitude event is currently active (for tests).
+  [[nodiscard]] bool attitude_event_active() const noexcept { return attitude_until_ > last_t_; }
+
+ private:
+  void redraw_fast(double speed_mps) noexcept;
+
+  FadingConfig cfg_;
+  sim::Rng rng_;
+  double next_redraw_t_{-1.0};
+  double last_t_{0.0};
+  double fast_db_{0.0};
+  double shadow_db_{0.0};
+  double attitude_until_{-1.0};
+  double attitude_depth_db_{0.0};
+  double next_attitude_check_t_{0.0};
+};
+
+}  // namespace skyferry::phy

@@ -1,0 +1,64 @@
+#include "phy/mcs.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace skyferry::phy {
+
+std::string_view to_string(Modulation m) noexcept {
+  switch (m) {
+    case Modulation::kBpsk: return "BPSK";
+    case Modulation::kQpsk: return "QPSK";
+    case Modulation::kQam16: return "16-QAM";
+    case Modulation::kQam64: return "64-QAM";
+  }
+  return "?";
+}
+
+const std::array<McsInfo, kNumMcs>& mcs_table() noexcept {
+  // IEEE 802.11n-2009 Table 20-30..20-37 (equal-modulation cases).
+  static const std::array<McsInfo, kNumMcs> table = {{
+      {0, 1, Modulation::kBpsk, {1, 2}},
+      {1, 1, Modulation::kQpsk, {1, 2}},
+      {2, 1, Modulation::kQpsk, {3, 4}},
+      {3, 1, Modulation::kQam16, {1, 2}},
+      {4, 1, Modulation::kQam16, {3, 4}},
+      {5, 1, Modulation::kQam64, {2, 3}},
+      {6, 1, Modulation::kQam64, {3, 4}},
+      {7, 1, Modulation::kQam64, {5, 6}},
+      {8, 2, Modulation::kBpsk, {1, 2}},
+      {9, 2, Modulation::kQpsk, {1, 2}},
+      {10, 2, Modulation::kQpsk, {3, 4}},
+      {11, 2, Modulation::kQam16, {1, 2}},
+      {12, 2, Modulation::kQam16, {3, 4}},
+      {13, 2, Modulation::kQam64, {2, 3}},
+      {14, 2, Modulation::kQam64, {3, 4}},
+      {15, 2, Modulation::kQam64, {5, 6}},
+  }};
+  return table;
+}
+
+const McsInfo& mcs(int index) noexcept {
+  assert(index >= 0 && index < kNumMcs);
+  return mcs_table()[static_cast<std::size_t>(index)];
+}
+
+double preamble_duration_s(int streams) noexcept {
+  // HT-mixed format: L-STF (8us) + L-LTF (8us) + L-SIG (4us) +
+  // HT-SIG (8us) + HT-STF (4us) + one HT-LTF per stream (4us each).
+  return (8.0 + 8.0 + 4.0 + 8.0 + 4.0 + 4.0 * streams) * 1e-6;
+}
+
+double frame_duration_s(const McsInfo& m, ChannelWidth w, GuardInterval gi,
+                        int psdu_bits) noexcept {
+  const double ndbps =
+      static_cast<double>(m.spatial_streams) * static_cast<double>(data_subcarriers(w)) *
+      static_cast<double>(bits_per_symbol(m.modulation)) * m.coding.value();
+  // SERVICE field (16 bits) + tail (6 bits per encoder; one BCC encoder
+  // assumed) then round up to whole OFDM symbols.
+  const double total_bits = static_cast<double>(psdu_bits) + 16.0 + 6.0;
+  const double symbols = std::ceil(total_bits / ndbps);
+  return preamble_duration_s(m.spatial_streams) + symbols * symbol_duration_s(gi);
+}
+
+}  // namespace skyferry::phy

@@ -1,0 +1,89 @@
+// IEEE 802.11n HT modulation-and-coding-scheme (MCS) tables and PHY data
+// rates. The paper's radios run 802.11n at 40 MHz with a 400 ns guard
+// interval and compare fixed MCS 1/2/3/8 against auto-rate (Sec. 3.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace skyferry::phy {
+
+enum class Modulation : std::uint8_t { kBpsk, kQpsk, kQam16, kQam64 };
+
+/// Bits carried per subcarrier per symbol for a modulation.
+[[nodiscard]] constexpr int bits_per_symbol(Modulation m) noexcept {
+  switch (m) {
+    case Modulation::kBpsk: return 1;
+    case Modulation::kQpsk: return 2;
+    case Modulation::kQam16: return 4;
+    case Modulation::kQam64: return 6;
+  }
+  return 1;
+}
+
+[[nodiscard]] std::string_view to_string(Modulation m) noexcept;
+
+/// Convolutional coding rate as numerator/denominator.
+struct CodingRate {
+  int num{1};
+  int den{2};
+  [[nodiscard]] constexpr double value() const noexcept {
+    return static_cast<double>(num) / static_cast<double>(den);
+  }
+};
+
+enum class ChannelWidth : std::uint8_t { kCw20MHz, kCw40MHz };
+enum class GuardInterval : std::uint8_t { kLong800ns, kShort400ns };
+
+/// Number of data subcarriers for an HT channel width (52 / 108).
+[[nodiscard]] constexpr int data_subcarriers(ChannelWidth w) noexcept {
+  return w == ChannelWidth::kCw20MHz ? 52 : 108;
+}
+
+/// OFDM symbol duration [s] including the guard interval.
+[[nodiscard]] constexpr double symbol_duration_s(GuardInterval gi) noexcept {
+  return gi == GuardInterval::kLong800ns ? 4.0e-6 : 3.6e-6;
+}
+
+/// Static description of one HT MCS index (0..15; one or two streams).
+/// MCS 0..7 are single-stream; 8..15 are the two-stream (SDM) repeats.
+/// On our hardware single-stream MCS are transmitted with STBC over the
+/// two antennas (the paper observes STBC [MCS1-3] beating SDM [MCS8]).
+struct McsInfo {
+  int index{0};
+  int spatial_streams{1};
+  Modulation modulation{Modulation::kBpsk};
+  CodingRate coding{};
+
+  /// PHY data rate [bit/s].
+  [[nodiscard]] constexpr double phy_rate_bps(ChannelWidth w, GuardInterval gi) const noexcept {
+    const double ndbps = static_cast<double>(spatial_streams) *
+                         static_cast<double>(data_subcarriers(w)) *
+                         static_cast<double>(bits_per_symbol(modulation)) * coding.value();
+    return ndbps / symbol_duration_s(gi);
+  }
+
+  /// True for the two-stream spatial-division-multiplexed MCS (8..15).
+  [[nodiscard]] constexpr bool is_sdm() const noexcept { return spatial_streams > 1; }
+};
+
+inline constexpr int kNumMcs = 16;
+
+/// Lookup table of MCS 0..15.
+[[nodiscard]] const std::array<McsInfo, kNumMcs>& mcs_table() noexcept;
+
+/// Lookup a single MCS. Precondition: 0 <= index < kNumMcs.
+[[nodiscard]] const McsInfo& mcs(int index) noexcept;
+
+/// Time on air [s] of a PSDU of `psdu_bits` at the given MCS, including
+/// the HT-mixed-format preamble. Matches the standard's duration math to
+/// symbol granularity.
+[[nodiscard]] double frame_duration_s(const McsInfo& m, ChannelWidth w, GuardInterval gi,
+                                      int psdu_bits) noexcept;
+
+/// Duration [s] of the HT-mixed preamble + PLCP header for `streams`
+/// spatial streams (L-STF+L-LTF+L-SIG + HT-SIG + HT-STF + HT-LTFs).
+[[nodiscard]] double preamble_duration_s(int streams) noexcept;
+
+}  // namespace skyferry::phy

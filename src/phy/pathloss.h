@@ -1,0 +1,74 @@
+// Path-loss and median-SNR models for aerial line-of-sight links.
+//
+// The paper reduces the 802.11n aerial link to a distance-dependent median
+// throughput; underneath that sits a median received SNR falling roughly
+// linearly in log-distance. AerialSnrModel is calibrated so that the full
+// PHY+MAC simulator reproduces the paper's fitted median throughputs
+// (s_air, s_quad) — see DESIGN.md §4 and tests/phy/calibration_test.cc.
+#pragma once
+
+namespace skyferry::phy {
+
+/// Free-space path loss [dB] at distance d [m] and carrier f [Hz].
+[[nodiscard]] double free_space_path_loss_db(double distance_m, double freq_hz) noexcept;
+
+/// Log-distance path loss [dB]: PL(d) = PL(d_ref) + 10*n*log10(d/d_ref).
+class LogDistancePathLoss {
+ public:
+  /// `exponent` n (2 = free space), reference distance and loss at it.
+  LogDistancePathLoss(double exponent, double ref_distance_m, double ref_loss_db) noexcept
+      : n_(exponent), d_ref_(ref_distance_m), pl_ref_(ref_loss_db) {}
+
+  /// Convenience: free-space-calibrated reference at 1 m for carrier f.
+  static LogDistancePathLoss from_freespace_ref(double exponent, double freq_hz) noexcept;
+
+  [[nodiscard]] double loss_db(double distance_m) const noexcept;
+  [[nodiscard]] double exponent() const noexcept { return n_; }
+
+ private:
+  double n_;
+  double d_ref_;
+  double pl_ref_;
+};
+
+/// Link-budget constants of the paper's platform (Ralink RT3572 USB,
+/// 5 GHz channel 40, 40 MHz, planar omni antennas on small airframes).
+struct LinkBudget {
+  double tx_power_dbm{15.0};
+  double tx_antenna_gain_dbi{2.0};
+  double rx_antenna_gain_dbi{2.0};
+  double noise_figure_db{6.0};
+  double bandwidth_hz{40e6};
+  double freq_hz{5.2e9};  // channel 40
+
+  /// Thermal noise floor + noise figure [dBm].
+  [[nodiscard]] double noise_floor_dbm() const noexcept;
+};
+
+/// Median *effective* SNR [dB] versus distance for an aerial link:
+/// snr(d) = a - b*log2(d). "Effective" folds in everything that degrades
+/// small-UAV links beyond free space (airframe shadowing, antenna
+/// orientation, ground reflections), which is how the measured medians
+/// behave. Calibration constants are chosen per platform.
+class AerialSnrModel {
+ public:
+  AerialSnrModel(double a_db, double b_db_per_octave) noexcept : a_(a_db), b_(b_db_per_octave) {}
+
+  /// Calibrated airplane link (Swinglet pair, 80-100 m altitude).
+  /// Constants chosen so the simulated auto-rate medians regress to the
+  /// paper's airplane fit (bench/calibrate_channel).
+  static AerialSnrModel airplane() noexcept { return {35.43, 4.31}; }
+  /// Calibrated quadrocopter link (Arducopter pair, 10 m altitude).
+  static AerialSnrModel quadrocopter() noexcept { return {44.20, 6.68}; }
+  /// Indoor lab reference (paper: ~176 Mb/s in the lab): high flat SNR.
+  static AerialSnrModel indoor() noexcept { return {45.0, 1.0}; }
+
+  /// Median SNR [dB] at distance d [m]; d clamped to >= 1 m.
+  [[nodiscard]] double median_snr_db(double distance_m) const noexcept;
+
+ private:
+  double a_;
+  double b_;
+};
+
+}  // namespace skyferry::phy

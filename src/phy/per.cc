@@ -1,0 +1,81 @@
+#include "phy/per.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skyferry::phy {
+
+double q_function(double x) noexcept { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+namespace {
+
+/// Canonical Gray-coded square M-QAM BER approximation over AWGN:
+/// BER ≈ 4/log2(M) * (1 - 1/sqrt(M)) * Q( sqrt(3*SNR/(M-1)) ).
+double mqam_ber(int m_points, double snr_linear) noexcept {
+  const double log2m = std::log2(static_cast<double>(m_points));
+  const double coef = 4.0 / log2m * (1.0 - 1.0 / std::sqrt(static_cast<double>(m_points)));
+  return coef * q_function(std::sqrt(3.0 * snr_linear / (m_points - 1)));
+}
+
+}  // namespace
+
+double uncoded_ber(Modulation m, double snr_linear) noexcept {
+  const double s = std::max(snr_linear, 0.0);
+  double ber = 0.5;
+  switch (m) {
+    case Modulation::kBpsk:
+      ber = q_function(std::sqrt(2.0 * s));
+      break;
+    case Modulation::kQpsk:
+      // Gray-coded QPSK: per-bit error equals BPSK at the same Eb/N0; at
+      // equal symbol SNR each of the two bits sees half the symbol energy.
+      ber = q_function(std::sqrt(s));
+      break;
+    case Modulation::kQam16:
+      ber = mqam_ber(16, s);
+      break;
+    case Modulation::kQam64:
+      ber = mqam_ber(64, s);
+      break;
+  }
+  return std::clamp(ber, 0.0, 0.5);
+}
+
+double ErrorModel::coding_gain_db(CodingRate r) const noexcept {
+  if (r.num == 1 && r.den == 2) return cfg_.coding_gain_half_db;
+  if (r.num == 2 && r.den == 3) return cfg_.coding_gain_two_thirds_db;
+  if (r.num == 3 && r.den == 4) return cfg_.coding_gain_three_quarters_db;
+  return cfg_.coding_gain_five_sixths_db;
+}
+
+void ErrorModel::set_spatial_correlation(double c) noexcept {
+  spatial_correlation_ = std::clamp(c, 0.0, 1.0);
+}
+
+double ErrorModel::effective_snr_db(const McsInfo& m, double snr_db) const noexcept {
+  double eff = snr_db + coding_gain_db(m.coding);
+  if (m.is_sdm()) {
+    eff -= cfg_.sdm_power_split_db;
+    eff -= cfg_.sdm_max_correlation_penalty_db * spatial_correlation_;
+  } else {
+    eff += cfg_.stbc_gain_db;
+  }
+  return eff;
+}
+
+double ErrorModel::bit_error_rate(const McsInfo& m, double snr_db) const noexcept {
+  const double eff_db = effective_snr_db(m, snr_db);
+  const double s = std::pow(10.0, eff_db / 10.0);
+  return uncoded_ber(m.modulation, s);
+}
+
+double ErrorModel::packet_error_rate(const McsInfo& m, double snr_db, int bits) const noexcept {
+  const double ber = bit_error_rate(m, snr_db);
+  if (ber <= 0.0) return 0.0;
+  if (ber >= 0.5) return 1.0;
+  // PER = 1 - (1-BER)^bits, computed in log space for stability.
+  const double log_ok = static_cast<double>(bits) * std::log1p(-ber);
+  return std::clamp(1.0 - std::exp(log_ok), 0.0, 1.0);
+}
+
+}  // namespace skyferry::phy

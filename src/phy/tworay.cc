@@ -1,0 +1,41 @@
+#include "phy/tworay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+namespace skyferry::phy {
+namespace {
+constexpr double kSpeedOfLight = 299792458.0;
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+double TwoRayGround::path_gain_db(double distance_m, double h_tx_m, double h_rx_m) const noexcept {
+  const double d = std::max(distance_m, 0.1);
+  const double lambda = kSpeedOfLight / cfg_.freq_hz;
+
+  // Direct and ground-reflected path lengths.
+  const double dh = h_tx_m - h_rx_m;
+  const double sh = h_tx_m + h_rx_m;
+  const double r_los = std::sqrt(d * d + dh * dh);
+  const double r_ref = std::sqrt(d * d + sh * sh);
+
+  const double k = 2.0 * kPi / lambda;
+  // Free-space field amplitude ~ lambda/(4 pi r); ground bounce with
+  // reflection coefficient -|G| (phase reversal at grazing incidence).
+  const std::complex<double> e_los =
+      std::polar(lambda / (4.0 * kPi * r_los), -k * r_los);
+  const std::complex<double> e_ref =
+      std::polar(cfg_.reflection_coeff * lambda / (4.0 * kPi * r_ref), -k * r_ref + kPi);
+
+  const double amp = std::abs(e_los + e_ref);
+  const double gain = amp * amp;
+  return 10.0 * std::log10(std::max(gain, 1e-30));
+}
+
+double TwoRayGround::breakpoint_distance_m(double h_tx_m, double h_rx_m) const noexcept {
+  const double lambda = kSpeedOfLight / cfg_.freq_hz;
+  return 4.0 * kPi * h_tx_m * h_rx_m / lambda;
+}
+
+}  // namespace skyferry::phy

@@ -1,0 +1,116 @@
+#include "sim/rng.h"
+
+#include <cmath>
+
+namespace skyferry::sim {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // Seed the four words via splitmix64 as recommended by the authors;
+  // guards against an all-zero state.
+  std::uint64_t sm = seed;
+  for (auto& w : s_) w = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) noexcept {
+  // Lemire's multiply-shift rejection method for unbiased bounded ints.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::gaussian() noexcept {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  // Box-Muller; u1 in (0,1] so log is finite.
+  const double u1 = (static_cast<double>(next_u64() >> 11) + 1.0) * 0x1.0p-53;
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  spare_ = r * std::sin(kTwoPi * u2);
+  has_spare_ = true;
+  return r * std::cos(kTwoPi * u2);
+}
+
+double Rng::gaussian(double mean, double sigma) noexcept { return mean + sigma * gaussian(); }
+
+double Rng::exponential(double lambda) noexcept {
+  const double u = (static_cast<double>(next_u64() >> 11) + 1.0) * 0x1.0p-53;  // (0,1]
+  return -std::log(u) / lambda;
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::rician_envelope(double k_factor) noexcept {
+  // Complex gaussian with LoS component: normalize so E[r^2] = 1.
+  // LoS amplitude nu and scatter sigma per component:
+  //   nu^2 = K/(K+1),  2*sigma^2 = 1/(K+1).
+  const double k = (k_factor < 0.0) ? 0.0 : k_factor;
+  const double nu = std::sqrt(k / (k + 1.0));
+  const double sigma = std::sqrt(1.0 / (2.0 * (k + 1.0)));
+  const double i = nu + sigma * gaussian();
+  const double q = sigma * gaussian();
+  return std::sqrt(i * i + q * q);
+}
+
+std::uint64_t derive_seed(std::uint64_t master, std::string_view component) noexcept {
+  // FNV-1a over the component name, mixed with the master seed.
+  std::uint64_t h = 1469598103934665603ULL ^ master;
+  for (char c : component) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  // Final avalanche so adjacent names give unrelated streams.
+  std::uint64_t x = h;
+  return splitmix64(x);
+}
+
+}  // namespace skyferry::sim

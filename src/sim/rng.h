@@ -1,0 +1,54 @@
+// Deterministic random-number streams. Every stochastic component
+// (fading, rate control, GPS noise, failure draws) pulls from its own
+// named stream derived from one master seed, so figures regenerate
+// bit-identically and components can be re-seeded independently.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace skyferry::sim {
+
+/// xoshiro256++ generator — fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t uniform_int(std::uint64_t n) noexcept;
+
+  /// Standard normal via Box-Muller (cached spare).
+  double gaussian() noexcept;
+  double gaussian(double mean, double sigma) noexcept;
+
+  /// Exponential with rate lambda (mean 1/lambda). Precondition: lambda > 0.
+  double exponential(double lambda) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Magnitude of a Rician-fading envelope with K-factor (linear, not dB)
+  /// normalized to unit mean *power* (E[r^2] = 1). K=0 degenerates to
+  /// Rayleigh. Used by the PHY fading model.
+  double rician_envelope(double k_factor) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  bool has_spare_{false};
+  double spare_{0.0};
+};
+
+/// Derive a child seed from a master seed and a component name, so that
+/// e.g. "fading/link0" and "gps/uav1" draw independent streams.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t master, std::string_view component) noexcept;
+
+}  // namespace skyferry::sim

@@ -1,0 +1,84 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace skyferry::sim {
+
+EventId Simulator::schedule(double delay_s, EventFn fn) {
+  return schedule_at(now_ + std::max(delay_s, 0.0), std::move(fn));
+}
+
+EventId Simulator::schedule_at(double t_s, EventFn fn) {
+  const EventId id = next_id_++;
+  queue_.push(Event{std::max(t_s, now_), id, std::move(fn)});
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  if (is_cancelled(id)) return false;
+  // We cannot remove from the middle of a priority_queue; remember the id
+  // and skip the event when it surfaces.
+  cancelled_.push_back(id);
+  ++cancelled_count_;
+  return true;
+}
+
+bool Simulator::is_cancelled(EventId id) const {
+  return std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end();
+}
+
+void Simulator::execute_next() {
+  Event ev = queue_.top();
+  queue_.pop();
+  if (is_cancelled(ev.id)) {
+    cancelled_.erase(std::find(cancelled_.begin(), cancelled_.end(), ev.id));
+    --cancelled_count_;
+    return;
+  }
+  assert(ev.t >= now_);
+  now_ = ev.t;
+  ++executed_;
+  ev.fn();
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const bool was_cancelled = is_cancelled(queue_.top().id);
+    execute_next();
+    if (!was_cancelled) return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(double t_end_s) {
+  while (!queue_.empty() && queue_.top().t <= t_end_s) execute_next();
+  if (now_ < t_end_s) now_ = t_end_s;
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) execute_next();
+}
+
+void Simulator::reset() {
+  queue_ = {};
+  cancelled_.clear();
+  cancelled_count_ = 0;
+  now_ = 0.0;
+  executed_ = 0;
+}
+
+EventId schedule_periodic(Simulator& sim, double period_s, std::function<bool()> fn) {
+  // Self-rescheduling closure; stops (and frees itself) when fn() is false.
+  auto tick = std::make_shared<std::function<void()>>();
+  auto shared_fn = std::make_shared<std::function<bool()>>(std::move(fn));
+  *tick = [&sim, period_s, tick, shared_fn]() {
+    if ((*shared_fn)()) sim.schedule(period_s, *tick);
+  };
+  return sim.schedule(period_s, *tick);
+}
+
+}  // namespace skyferry::sim

@@ -1,0 +1,82 @@
+// Discrete-event simulation engine: a clock plus a time-ordered event
+// queue with stable FIFO ordering for simultaneous events. Flight,
+// link and mission simulations all run on this engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace skyferry::sim {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+/// Single-threaded discrete-event simulator.
+///
+/// Events scheduled for the same time fire in scheduling order. Events
+/// may schedule further events and may cancel pending ones. Time never
+/// goes backwards.
+class Simulator {
+ public:
+  /// Current simulation time [s].
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Number of events executed so far.
+  [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
+
+  /// Number of events still pending (including cancelled placeholders).
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size() - cancelled_count_; }
+
+  /// Schedule `fn` to run `delay_s` seconds from now (delay clamped to >= 0).
+  EventId schedule(double delay_s, EventFn fn);
+
+  /// Schedule `fn` at absolute time `t_s` (clamped to >= now()).
+  EventId schedule_at(double t_s, EventFn fn);
+
+  /// Cancel a pending event. Returns false if already executed/cancelled.
+  bool cancel(EventId id);
+
+  /// Run until the queue empties or `t_end_s` is reached, whichever is
+  /// first. The clock is left at min(t_end_s, last event time).
+  void run_until(double t_end_s);
+
+  /// Run until the queue empties.
+  void run();
+
+  /// Execute the single next event, if any. Returns false when idle.
+  bool step();
+
+  /// Drop all pending events and reset the clock to zero.
+  void reset();
+
+ private:
+  struct Event {
+    double t;
+    EventId id;  // also provides FIFO tie-break: ids are monotonically increasing
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.id > b.id;
+    }
+  };
+
+  [[nodiscard]] bool is_cancelled(EventId id) const;
+  void execute_next();
+
+  double now_{0.0};
+  EventId next_id_{1};
+  std::uint64_t executed_{0};
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<EventId> cancelled_;  // small, sorted-on-demand set
+  std::size_t cancelled_count_{0};
+};
+
+/// Helper: schedule `fn` every `period_s` seconds starting at now+period,
+/// until it returns false. Returns the first event's id.
+EventId schedule_periodic(Simulator& sim, double period_s, std::function<bool()> fn);
+
+}  // namespace skyferry::sim

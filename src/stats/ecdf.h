@@ -1,0 +1,50 @@
+// Empirical CDFs and bootstrap confidence intervals — the tools needed
+// to report measured throughput distributions with honest uncertainty
+// (the paper shows boxplots; downstream users often want CDFs and CIs).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace skyferry::stats {
+
+/// Empirical cumulative distribution function over a sample.
+class Ecdf {
+ public:
+  explicit Ecdf(std::span<const double> xs);
+
+  /// F(x) = fraction of samples <= x.
+  [[nodiscard]] double operator()(double x) const noexcept;
+
+  /// Generalized inverse: smallest sample x with F(x) >= q, q in (0,1].
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return sorted_.empty(); }
+  [[nodiscard]] const std::vector<double>& sorted_samples() const noexcept { return sorted_; }
+
+  /// Kolmogorov-Smirnov distance to another ECDF.
+  [[nodiscard]] double ks_distance(const Ecdf& other) const noexcept;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Percentile-bootstrap confidence interval for a statistic of a sample.
+struct BootstrapCi {
+  double point{0.0};  ///< statistic on the original sample
+  double lo{0.0};
+  double hi{0.0};
+  int resamples{0};
+};
+
+/// Bootstrap CI for the *median* at confidence `level` (e.g. 0.95).
+[[nodiscard]] BootstrapCi bootstrap_median_ci(std::span<const double> xs, double level = 0.95,
+                                              int resamples = 1000, std::uint64_t seed = 1);
+
+/// Bootstrap CI for the *mean*.
+[[nodiscard]] BootstrapCi bootstrap_mean_ci(std::span<const double> xs, double level = 0.95,
+                                            int resamples = 1000, std::uint64_t seed = 1);
+
+}  // namespace skyferry::stats

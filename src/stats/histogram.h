@@ -1,0 +1,47 @@
+// Fixed-bin histogram used by the benches to summarise sample
+// distributions (throughput spread, transfer-time distributions).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace skyferry::stats {
+
+/// Equal-width histogram over [lo, hi). Samples outside the range are
+/// counted in underflow/overflow, never silently dropped.
+class Histogram {
+ public:
+  /// Precondition: bins >= 1 and hi > lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_all(std::span<const double> xs) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t count(std::size_t bin) const noexcept { return counts_[bin]; }
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_center(std::size_t bin) const noexcept;
+
+  /// Fraction of in-range samples in `bin` (0 if histogram is empty).
+  [[nodiscard]] double density(std::size_t bin) const noexcept;
+
+  /// Bin index with the highest count (ties resolved to the lowest index).
+  [[nodiscard]] std::size_t mode_bin() const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_{0};
+  std::size_t overflow_{0};
+  std::size_t total_{0};
+};
+
+}  // namespace skyferry::stats

@@ -1,0 +1,64 @@
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skyferry::stats {
+
+double quantile_sorted(std::span<const double> xs, double q) noexcept {
+  if (xs.empty()) return 0.0;
+  if (xs.size() == 1) return xs[0];
+  const double qc = std::clamp(q, 0.0, 1.0);
+  const double h = qc * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double w = h - static_cast<double>(lo);
+  return xs[lo] + w * (xs[hi] - xs[lo]);
+}
+
+double quantile(std::span<const double> xs, double q) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, q);
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+BoxplotSummary boxplot(std::span<const double> xs) {
+  BoxplotSummary b;
+  b.n = xs.size();
+  if (xs.empty()) return b;
+
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  b.min = sorted.front();
+  b.max = sorted.back();
+  b.q1 = quantile_sorted(sorted, 0.25);
+  b.median = quantile_sorted(sorted, 0.50);
+  b.q3 = quantile_sorted(sorted, 0.75);
+
+  const double fence_lo = b.q1 - 1.5 * b.iqr();
+  const double fence_hi = b.q3 + 1.5 * b.iqr();
+
+  b.whisker_low = b.min;
+  b.whisker_high = b.max;
+  for (double x : sorted) {
+    if (x >= fence_lo) {
+      b.whisker_low = x;
+      break;
+    }
+  }
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    if (*it <= fence_hi) {
+      b.whisker_high = *it;
+      break;
+    }
+  }
+  for (double x : sorted) {
+    if (x < fence_lo || x > fence_hi) b.outliers.push_back(x);
+  }
+  return b;
+}
+
+}  // namespace skyferry::stats

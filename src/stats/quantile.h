@@ -1,0 +1,40 @@
+// Quantiles and boxplot summaries. Figures 5 and 7 of the paper are
+// throughput-vs-distance boxplots; BoxplotSummary carries the exact
+// five-number-plus-whiskers data needed to redraw them.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace skyferry::stats {
+
+/// Linear-interpolation quantile (type-7, the default of R/NumPy/Matlab).
+/// `q` in [0,1]. Returns 0 for an empty sample. Does not require `xs`
+/// to be sorted (copies internally); use quantile_sorted to avoid the copy.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Same, but `xs` must already be ascending.
+[[nodiscard]] double quantile_sorted(std::span<const double> xs, double q) noexcept;
+
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Matplotlib/Tukey-style boxplot statistics: quartiles, whiskers at the
+/// most extreme data points within 1.5*IQR of the box, and the outliers
+/// beyond them.
+struct BoxplotSummary {
+  std::size_t n{0};
+  double min{0.0};
+  double q1{0.0};
+  double median{0.0};
+  double q3{0.0};
+  double max{0.0};
+  double whisker_low{0.0};   ///< smallest sample >= q1 - 1.5*IQR
+  double whisker_high{0.0};  ///< largest sample <= q3 + 1.5*IQR
+  std::vector<double> outliers;
+
+  [[nodiscard]] double iqr() const noexcept { return q3 - q1; }
+};
+
+[[nodiscard]] BoxplotSummary boxplot(std::span<const double> xs);
+
+}  // namespace skyferry::stats

@@ -1,0 +1,55 @@
+#include "uav/failure.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace skyferry::uav {
+
+FailureModel::FailureModel(double rho, FailureLaw law, double weibull_shape) noexcept
+    : rho_(std::max(rho, 0.0)), law_(law), shape_(std::max(weibull_shape, 0.1)) {}
+
+FailureModel FailureModel::from_battery(const PlatformSpec& spec) noexcept {
+  const double range = spec.range_m();
+  return FailureModel(range > 0.0 ? 1.0 / range : 0.0);
+}
+
+double FailureModel::survival(double distance_m) const noexcept {
+  const double d = std::max(distance_m, 0.0);
+  switch (law_) {
+    case FailureLaw::kExponential:
+      return std::exp(-rho_ * d);
+    case FailureLaw::kLinear:
+      return std::max(0.0, 1.0 - rho_ * d);
+    case FailureLaw::kWeibull: {
+      // Scale chosen so the mean distance-to-failure matches 1/rho.
+      if (rho_ <= 0.0) return 1.0;
+      const double lambda = 1.0 / (rho_ * std::tgamma(1.0 + 1.0 / shape_));
+      return std::exp(-std::pow(d / lambda, shape_));
+    }
+  }
+  return 1.0;
+}
+
+double FailureModel::discount(double d0_m, double d_m) const noexcept {
+  return survival(d0_m - d_m);
+}
+
+double FailureModel::sample_failure_distance(sim::Rng& rng) const noexcept {
+  if (rho_ <= 0.0) return std::numeric_limits<double>::infinity();
+  switch (law_) {
+    case FailureLaw::kExponential:
+      return rng.exponential(rho_);
+    case FailureLaw::kLinear:
+      // Inverse CDF of F(d)=rho*d on [0, 1/rho].
+      return rng.uniform() / rho_;
+    case FailureLaw::kWeibull: {
+      const double lambda = 1.0 / (rho_ * std::tgamma(1.0 + 1.0 / shape_));
+      const double u = std::max(rng.uniform(), 1e-300);
+      return lambda * std::pow(-std::log(u), 1.0 / shape_);
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace skyferry::uav

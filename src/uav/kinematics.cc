@@ -1,0 +1,80 @@
+#include "uav/kinematics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/geodesy.h"
+
+namespace skyferry::uav {
+
+double KinematicState::heading_rad() const noexcept { return std::atan2(vel.x, vel.y); }
+
+KinematicLimits KinematicLimits::for_platform(const PlatformSpec& spec) noexcept {
+  KinematicLimits lim;
+  lim.max_speed_mps = spec.max_speed_mps;
+  lim.min_speed_mps = spec.min_speed_mps;
+  if (spec.kind == PlatformKind::kAirplane) {
+    lim.max_accel_mps2 = 2.0;
+    // Coordinated-turn rate at cruise bounded by the minimum turn radius:
+    // omega = v / r.
+    lim.max_turn_rate_rad_s =
+        spec.min_turn_radius_m > 0.0 ? spec.cruise_speed_mps / spec.min_turn_radius_m : 0.5;
+    lim.max_climb_rate_mps = 3.0;
+  } else {
+    lim.max_accel_mps2 = 4.0;
+    lim.max_turn_rate_rad_s = 2.0;
+    lim.max_climb_rate_mps = 2.5;
+  }
+  return lim;
+}
+
+KinematicState step(const KinematicState& s, const VelocityCommand& cmd,
+                    const KinematicLimits& lim, double dt_s) noexcept {
+  KinematicState out = s;
+
+  // Clamp the commanded speed into the platform envelope.
+  geo::Vec3 want = cmd.desired_vel;
+  double want_speed = want.norm();
+  if (want_speed > lim.max_speed_mps) {
+    want = want.normalized() * lim.max_speed_mps;
+    want_speed = lim.max_speed_mps;
+  }
+  if (want_speed < lim.min_speed_mps && lim.min_speed_mps > 0.0) {
+    // Fixed-wing: cannot slow below stall. Keep direction (or current
+    // heading if the command is "stop") at stall speed.
+    geo::Vec3 dir = (want_speed > 1e-9) ? want.normalized() : s.vel.normalized();
+    if (dir.norm() < 1e-9) dir = {1.0, 0.0, 0.0};
+    want = dir * lim.min_speed_mps;
+  }
+
+  // Turn-rate limit on the horizontal heading change.
+  const double cur_speed = s.vel.norm();
+  if (cur_speed > 1e-6 && want.horizontal_norm() > 1e-6 && s.vel.horizontal_norm() > 1e-6) {
+    const double cur_hdg = std::atan2(s.vel.x, s.vel.y);
+    const double want_hdg = std::atan2(want.x, want.y);
+    double dh = want_hdg - cur_hdg;
+    while (dh > geo::kPi) dh -= 2.0 * geo::kPi;
+    while (dh < -geo::kPi) dh += 2.0 * geo::kPi;
+    const double max_dh = lim.max_turn_rate_rad_s * dt_s;
+    if (std::abs(dh) > max_dh) {
+      const double new_hdg = cur_hdg + std::copysign(max_dh, dh);
+      const double hspeed = want.horizontal_norm();
+      want.x = hspeed * std::sin(new_hdg);
+      want.y = hspeed * std::cos(new_hdg);
+    }
+  }
+
+  // Climb-rate limit.
+  want.z = std::clamp(want.z, -lim.max_climb_rate_mps, lim.max_climb_rate_mps);
+
+  // Acceleration limit toward the (possibly adjusted) target velocity.
+  const geo::Vec3 dv = want - s.vel;
+  const double dv_n = dv.norm();
+  const double max_dv = lim.max_accel_mps2 * dt_s;
+  out.vel = (dv_n <= max_dv || dv_n < 1e-12) ? want : s.vel + dv.normalized() * max_dv;
+
+  out.pos = s.pos + out.vel * dt_s;
+  return out;
+}
+
+}  // namespace skyferry::uav

@@ -1,0 +1,39 @@
+// Point-mass kinematics with platform constraints: speed envelope, bounded
+// acceleration and turn rate. Fixed-wing platforms never drop below stall
+// speed; rotorcraft can decelerate to hover.
+#pragma once
+
+#include "geo/vec3.h"
+#include "uav/platform.h"
+
+namespace skyferry::uav {
+
+struct KinematicState {
+  geo::Vec3 pos;         ///< ENU [m]
+  geo::Vec3 vel;         ///< ENU [m/s]
+
+  [[nodiscard]] double speed() const noexcept { return vel.norm(); }
+  [[nodiscard]] double heading_rad() const noexcept;  ///< atan2(east, north)
+};
+
+struct KinematicLimits {
+  double max_speed_mps{15.0};
+  double min_speed_mps{0.0};
+  double max_accel_mps2{3.0};
+  double max_turn_rate_rad_s{0.8};
+  double max_climb_rate_mps{3.0};
+
+  static KinematicLimits for_platform(const PlatformSpec& spec) noexcept;
+};
+
+/// Commanded motion for one integration step.
+struct VelocityCommand {
+  geo::Vec3 desired_vel;  ///< target velocity vector [m/s]
+};
+
+/// Integrate one step of dt seconds toward the commanded velocity,
+/// respecting acceleration, turn-rate and speed-envelope limits.
+[[nodiscard]] KinematicState step(const KinematicState& s, const VelocityCommand& cmd,
+                                  const KinematicLimits& lim, double dt_s) noexcept;
+
+}  // namespace skyferry::uav

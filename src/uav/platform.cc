@@ -1,0 +1,37 @@
+#include "uav/platform.h"
+
+namespace skyferry::uav {
+
+PlatformSpec PlatformSpec::swinglet() {
+  PlatformSpec s;
+  s.name = "Swinglet (airplane)";
+  s.kind = PlatformKind::kAirplane;
+  s.can_hover = false;
+  s.size_m = 0.80;           // wingspan 80 cm
+  s.weight_kg = 0.5;
+  s.battery_autonomy_s = 30.0 * 60.0;
+  s.cruise_speed_mps = 10.0;
+  s.max_safe_altitude_m = 300.0;
+  s.min_turn_radius_m = 20.0;
+  s.min_speed_mps = 7.0;
+  s.max_speed_mps = 20.0;
+  return s;
+}
+
+PlatformSpec PlatformSpec::arducopter() {
+  PlatformSpec s;
+  s.name = "Arducopter (quadrocopter)";
+  s.kind = PlatformKind::kQuadrocopter;
+  s.can_hover = true;
+  s.size_m = 0.64;           // 64 cm x 64 cm frame
+  s.weight_kg = 1.7;
+  s.battery_autonomy_s = 20.0 * 60.0;
+  s.cruise_speed_mps = 4.5;  // auto mode
+  s.max_safe_altitude_m = 100.0;
+  s.min_turn_radius_m = 0.0;
+  s.min_speed_mps = 0.0;
+  s.max_speed_mps = 15.0;
+  return s;
+}
+
+}  // namespace skyferry::uav

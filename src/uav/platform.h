@@ -1,0 +1,37 @@
+// Flying-platform characteristics — Table 1 of the paper, plus the
+// dynamics limits the autopilot needs (turn radius, speed envelope).
+#pragma once
+
+#include <string>
+
+namespace skyferry::uav {
+
+enum class PlatformKind { kAirplane, kQuadrocopter };
+
+struct PlatformSpec {
+  std::string name;
+  PlatformKind kind{PlatformKind::kQuadrocopter};
+  bool can_hover{true};
+  /// Characteristic size: wingspan for airplanes, frame edge for quads [m].
+  double size_m{0.0};
+  double weight_kg{0.0};
+  double battery_autonomy_s{0.0};
+  double cruise_speed_mps{0.0};
+  double max_safe_altitude_m{0.0};
+  /// Fixed-wing aircraft cannot stop: they loiter on a circle of at least
+  /// this radius (paper: >= 20 m). Zero for hovering platforms.
+  double min_turn_radius_m{0.0};
+  /// Minimum sustainable airspeed (stall limit); zero for quads.
+  double min_speed_mps{0.0};
+  double max_speed_mps{0.0};
+
+  /// Distance the platform can cover at cruise on one battery [m].
+  [[nodiscard]] double range_m() const noexcept { return cruise_speed_mps * battery_autonomy_s; }
+
+  /// Swinglet fixed-wing airplane (Table 1).
+  static PlatformSpec swinglet();
+  /// Arducopter quadrocopter (Table 1).
+  static PlatformSpec arducopter();
+};
+
+}  // namespace skyferry::uav

@@ -1,0 +1,45 @@
+#include "uav/wind.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace skyferry::uav {
+
+WindModel::WindModel(WindConfig cfg, std::uint64_t seed) noexcept
+    : cfg_(cfg), rng_(seed) {}
+
+geo::Vec3 WindModel::sample(double t_s) noexcept {
+  const double dt = std::max(t_s - last_t_, 0.0);
+  last_t_ = t_s;
+  const double a = std::exp(-dt / cfg_.gust_tau_s);
+  const double drive = cfg_.gust_sigma_mps * std::sqrt(std::max(1.0 - a * a, 0.0));
+  gust_.x = a * gust_.x + drive * rng_.gaussian();
+  gust_.y = a * gust_.y + drive * rng_.gaussian();
+  gust_.z = 0.5 * (a * gust_.z + drive * rng_.gaussian());  // vertical gusts weaker
+  return cfg_.mean_mps + gust_;
+}
+
+double ground_speed_along_track(double airspeed_mps, const geo::Vec3& wind,
+                                const geo::Vec3& track_dir) noexcept {
+  const geo::Vec3 dir = track_dir.normalized();
+  if (dir.norm() < 0.5) return airspeed_mps;
+  // Crab solution: the cross-track wind component must be cancelled by
+  // the airspeed vector; what remains goes along-track.
+  const double w_along = dot(wind, dir);
+  const geo::Vec3 w_cross = wind - dir * w_along;
+  const double cross2 = w_cross.norm_sq();
+  const double a2 = airspeed_mps * airspeed_mps;
+  if (cross2 >= a2) return 0.0;  // cannot hold the track
+  const double v_along = std::sqrt(a2 - cross2) + w_along;
+  return std::max(v_along, 0.0);
+}
+
+double wind_adjusted_tship_s(double distance_m, double airspeed_mps, const geo::Vec3& wind,
+                             const geo::Vec3& track_dir) noexcept {
+  const double v = ground_speed_along_track(airspeed_mps, wind, track_dir);
+  if (v <= 0.0) return std::numeric_limits<double>::infinity();
+  return distance_m / v;
+}
+
+}  // namespace skyferry::uav

@@ -1,0 +1,49 @@
+// Wind model: steady wind plus Ornstein-Uhlenbeck gusts. The paper's
+// shipping-time model assumes still air; wind skews Tship (head/tail
+// wind changes ground speed) and is the dominant outdoor disturbance for
+// sub-kilogram airframes like the Swinglet.
+#pragma once
+
+#include <cstdint>
+
+#include "geo/vec3.h"
+#include "sim/rng.h"
+
+namespace skyferry::uav {
+
+struct WindConfig {
+  geo::Vec3 mean_mps{};          ///< steady wind vector (ENU)
+  double gust_sigma_mps{1.0};    ///< 1-sigma gust magnitude per axis
+  double gust_tau_s{3.0};        ///< gust decorrelation time
+};
+
+/// Time-correlated wind sampler. Call with nondecreasing time.
+class WindModel {
+ public:
+  WindModel(WindConfig cfg, std::uint64_t seed) noexcept;
+
+  /// Wind vector [m/s] at time t.
+  [[nodiscard]] geo::Vec3 sample(double t_s) noexcept;
+
+  [[nodiscard]] const WindConfig& config() const noexcept { return cfg_; }
+
+ private:
+  WindConfig cfg_;
+  sim::Rng rng_;
+  geo::Vec3 gust_{};
+  double last_t_{0.0};
+};
+
+/// Ground speed along a track toward a target when flying at `airspeed`
+/// through `wind`: the along-track component of airspeed+wind, assuming
+/// the autopilot crabs to stay on track. Returns 0 when the wind is too
+/// strong to make progress.
+[[nodiscard]] double ground_speed_along_track(double airspeed_mps, const geo::Vec3& wind,
+                                              const geo::Vec3& track_dir) noexcept;
+
+/// Shipping time over `distance_m` with head/tail wind folded in.
+[[nodiscard]] double wind_adjusted_tship_s(double distance_m, double airspeed_mps,
+                                           const geo::Vec3& wind,
+                                           const geo::Vec3& track_dir) noexcept;
+
+}  // namespace skyferry::uav

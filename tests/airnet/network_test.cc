@@ -1,0 +1,135 @@
+#include "airnet/network.h"
+
+#include <gtest/gtest.h>
+
+namespace skyferry::airnet {
+namespace {
+
+uav::UavConfig quad(const std::string& id, const geo::Vec3& pos) {
+  uav::UavConfig cfg;
+  cfg.id = id;
+  cfg.platform = uav::PlatformSpec::arducopter();
+  cfg.start_pos = pos;
+  return cfg;
+}
+
+TEST(AerialNetwork, NodesFlyUnderNetworkClock) {
+  AerialNetwork net(NetworkConfig{}, 1);
+  const NodeId a = net.add_node(quad("a", {0.0, 0.0, 10.0}));
+  net.node(a).goto_and_hold({30.0, 0.0, 10.0});
+  net.run_until(30.0);
+  EXPECT_NEAR(net.node(a).position().x, 30.0, 4.0);
+  EXPECT_DOUBLE_EQ(net.now(), 30.0);
+}
+
+TEST(AerialNetwork, TransferCompletesBetweenHoveringNodes) {
+  AerialNetwork net(NetworkConfig{}, 2);
+  const NodeId a = net.add_node(quad("tx", {0.0, 0.0, 10.0}));
+  const NodeId b = net.add_node(quad("rx", {40.0, 0.0, 10.0}));
+  net.node(a).goto_and_hold({0.0, 0.0, 10.0});
+  net.node(b).goto_and_hold({40.0, 0.0, 10.0});
+
+  bool done = false;
+  double done_t = 0.0;
+  const TransferId id =
+      net.start_transfer(a, b, net::DataBatch{10, 1.0e6}, [&](const TransferStats& s) {
+        done = true;
+        done_t = s.completed_t_s;
+      });
+  net.run_until(120.0);
+  EXPECT_TRUE(done);
+  EXPECT_GT(done_t, 0.0);
+  const TransferStats& st = net.transfer(id);
+  EXPECT_TRUE(st.completed);
+  EXPECT_GE(st.payload_bytes_delivered, 10'000'000u);
+  EXPECT_GT(st.mpdus_attempted, st.mpdus_delivered);  // some loss existed
+}
+
+TEST(AerialNetwork, CloserTransferFinishesFaster) {
+  auto time_at = [](double d) {
+    AerialNetwork net(NetworkConfig{}, 3);
+    const NodeId a = net.add_node(quad("tx", {0.0, 0.0, 10.0}));
+    const NodeId b = net.add_node(quad("rx", {d, 0.0, 10.0}));
+    net.node(a).goto_and_hold({0.0, 0.0, 10.0});
+    net.node(b).goto_and_hold({d, 0.0, 10.0});
+    net.start_transfer(a, b, net::DataBatch{20, 1.0e6});
+    net.run_until(600.0);
+    return net.transfer(0).completed ? net.transfer(0).completed_t_s : 1e9;
+  };
+  EXPECT_LT(time_at(25.0), time_at(70.0));
+}
+
+TEST(AerialNetwork, FerryApproachSpeedsUpDelivery) {
+  // The delayed-gratification maneuver on the live network: the ferry
+  // flies from 90 m to 25 m while the transfer runs; it must finish
+  // sooner than a ferry parked at 90 m.
+  auto run = [](bool approach) {
+    AerialNetwork net(NetworkConfig{}, 4);
+    const NodeId ferry = net.add_node(quad("ferry", {90.0, 0.0, 10.0}));
+    const NodeId relay = net.add_node(quad("relay", {0.0, 0.0, 10.0}));
+    net.node(relay).goto_and_hold({0.0, 0.0, 10.0});
+    net.node(ferry).goto_and_hold(approach ? geo::Vec3{25.0, 0.0, 10.0}
+                                           : geo::Vec3{90.0, 0.0, 10.0});
+    net.start_transfer(ferry, relay, net::DataBatch{30, 1.0e6});
+    net.run_until(900.0);
+    return net.transfer(0).completed ? net.transfer(0).completed_t_s : 1e9;
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST(AerialNetwork, ContentionSlowsParallelTransfers) {
+  auto total_time = [](bool parallel) {
+    AerialNetwork net(NetworkConfig{}, 5);
+    const NodeId a1 = net.add_node(quad("a1", {0.0, 0.0, 10.0}));
+    const NodeId b1 = net.add_node(quad("b1", {30.0, 0.0, 10.0}));
+    const NodeId a2 = net.add_node(quad("a2", {0.0, 50.0, 10.0}));
+    const NodeId b2 = net.add_node(quad("b2", {30.0, 50.0, 10.0}));
+    for (NodeId n : {a1, b1, a2, b2}) {
+      net.node(n).goto_and_hold(net.node(n).position());
+    }
+    const net::DataBatch batch{15, 1.0e6};
+    if (parallel) {
+      net.start_transfer(a1, b1, batch);
+      net.start_transfer(a2, b2, batch);
+      net.run_until(900.0);
+      return std::max(net.transfer(0).completed_t_s, net.transfer(1).completed_t_s);
+    }
+    net.start_transfer(a1, b1, batch);
+    net.run_until(900.0);
+    return net.transfer(0).completed_t_s;
+  };
+  const double alone = total_time(false);
+  const double shared = total_time(true);
+  EXPECT_GT(shared, alone * 1.5);  // DCF sharing costs more than fair split
+}
+
+TEST(AerialNetwork, OutOfRangeTransferStallsWithoutCompleting) {
+  AerialNetwork net(NetworkConfig{}, 6);
+  const NodeId a = net.add_node(quad("tx", {0.0, 0.0, 10.0}));
+  const NodeId b = net.add_node(quad("rx", {400.0, 0.0, 10.0}));
+  net.node(a).goto_and_hold({0.0, 0.0, 10.0});
+  net.node(b).goto_and_hold({400.0, 0.0, 10.0});
+  net.start_transfer(a, b, net::DataBatch{5, 1.0e6});
+  net.run_until(30.0);
+  EXPECT_FALSE(net.transfer(0).completed);
+  EXPECT_LT(net.transfer(0).progress(), 0.2);
+  // The stall backoff keeps the event count sane (no busy spinning).
+  EXPECT_LT(net.simulator().events_executed(), 100000u);
+}
+
+TEST(AerialNetwork, DeterministicForSeed) {
+  auto run = [] {
+    AerialNetwork net(NetworkConfig{}, 77);
+    const NodeId a = net.add_node(quad("tx", {0.0, 0.0, 10.0}));
+    const NodeId b = net.add_node(quad("rx", {50.0, 0.0, 10.0}));
+    net.node(a).goto_and_hold({0.0, 0.0, 10.0});
+    net.node(b).goto_and_hold({50.0, 0.0, 10.0});
+    net.start_transfer(a, b, net::DataBatch{8, 1.0e6});
+    net.run_until(300.0);
+    return net.transfer(0).completed_t_s;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace skyferry::airnet

@@ -1,0 +1,65 @@
+#include "core/delay.h"
+
+#include <gtest/gtest.h>
+
+namespace skyferry::core {
+namespace {
+
+TEST(CommDelay, ShippingTime) {
+  const auto m = PaperLogThroughput::quadrocopter();
+  CommDelayModel delay(m, {100.0, 4.5, 56.2e6, 20.0});
+  EXPECT_NEAR(delay.tship_s(60.0), 40.0 / 4.5, 1e-12);
+  EXPECT_DOUBLE_EQ(delay.tship_s(100.0), 0.0);
+  // d beyond d0 never happens (paper footnote 2) but must be harmless.
+  EXPECT_DOUBLE_EQ(delay.tship_s(150.0), 0.0);
+}
+
+TEST(CommDelay, TransmissionTime) {
+  const auto m = PaperLogThroughput::quadrocopter();
+  CommDelayModel delay(m, {100.0, 4.5, 56.2e6, 20.0});
+  // Ttx = Mdata / s(d).
+  EXPECT_NEAR(delay.ttx_s(60.0), 56.2e6 * 8.0 / m.throughput_bps(60.0), 1e-9);
+  // Below the floor, throughput saturates at s(20 m).
+  EXPECT_DOUBLE_EQ(delay.ttx_s(5.0), delay.ttx_s(20.0));
+}
+
+TEST(CommDelay, InfiniteWhenOutOfRange) {
+  const auto m = PaperLogThroughput::quadrocopter();  // range ~124 m
+  CommDelayModel delay(m, {200.0, 4.5, 10e6, 20.0});
+  EXPECT_EQ(delay.ttx_s(200.0), CommDelayModel::kInfiniteDelay);
+  EXPECT_EQ(delay.cdelay_s(200.0), CommDelayModel::kInfiniteDelay);
+  // Moving into range fixes it.
+  EXPECT_LT(delay.cdelay_s(60.0), CommDelayModel::kInfiniteDelay);
+}
+
+TEST(CommDelay, TradeoffShape) {
+  // Moving closer trades shipping time against transmission time: Tship
+  // grows, Ttx shrinks.
+  const auto m = PaperLogThroughput::airplane();
+  CommDelayModel delay(m, {300.0, 10.0, 28e6, 20.0});
+  EXPECT_GT(delay.tship_s(100.0), delay.tship_s(200.0));
+  EXPECT_LT(delay.ttx_s(100.0), delay.ttx_s(200.0));
+}
+
+TEST(CommDelay, AirplaneScenarioNumbers) {
+  // Sanity-pin the baseline scenario: transmitting immediately at 300 m
+  // moves 28 MB at 3.25 Mb/s -> ~69 s.
+  const auto m = PaperLogThroughput::airplane();
+  CommDelayModel delay(m, {300.0, 10.0, 28e6, 20.0});
+  EXPECT_NEAR(delay.cdelay_s(300.0), 28e6 * 8.0 / 3.25e6, 1.5);
+  // At 100 m: 20 s flight + 28 MB at 12.06 Mb/s ~ 38.6 s. Much better.
+  EXPECT_NEAR(delay.cdelay_s(100.0), 20.0 + 224.0 / 12.06, 1.0);
+  EXPECT_LT(delay.cdelay_s(100.0), delay.cdelay_s(300.0));
+}
+
+TEST(CommDelay, FasterUavShipsCheaper) {
+  const auto m = PaperLogThroughput::airplane();
+  CommDelayModel slow(m, {300.0, 5.0, 28e6, 20.0});
+  CommDelayModel fast(m, {300.0, 20.0, 28e6, 20.0});
+  EXPECT_GT(slow.cdelay_s(50.0), fast.cdelay_s(50.0));
+  // Transmission time itself is speed-independent.
+  EXPECT_DOUBLE_EQ(slow.ttx_s(50.0), fast.ttx_s(50.0));
+}
+
+}  // namespace
+}  // namespace skyferry::core

@@ -1,0 +1,80 @@
+#include "core/joint_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+
+namespace skyferry::core {
+namespace {
+
+TEST(RhoForSpeed, CruiseMatchesBatteryRange) {
+  const auto quad = uav::PlatformSpec::arducopter();
+  // At cruise the drain factor is 1, so rho = 1/(v*T).
+  EXPECT_NEAR(rho_for_speed(quad, quad.cruise_speed_mps), 1.0 / quad.range_m(), 1e-9);
+}
+
+TEST(RhoForSpeed, CrawlingIsRiskyForQuads) {
+  // Hover-ish speeds still burn battery (induced power), so the range
+  // collapses and rho explodes as v -> 0.
+  const auto quad = uav::PlatformSpec::arducopter();
+  EXPECT_GT(rho_for_speed(quad, 0.2), 5.0 * rho_for_speed(quad, quad.cruise_speed_mps));
+}
+
+TEST(RhoForSpeed, SpeedingCostsRange) {
+  const auto quad = uav::PlatformSpec::arducopter();
+  // Far above cruise, the v^2 drain term beats the linear speed gain.
+  EXPECT_GT(rho_for_speed(quad, 15.0), rho_for_speed(quad, 6.0));
+}
+
+TEST(JointOptimizer, BeatsOrMatchesCruiseBaseline) {
+  for (const auto& scen : {Scenario::airplane(), Scenario::quadrocopter()}) {
+    const auto model = scen.paper_throughput();
+    const auto r = optimize_joint(model, scen.platform, scen.delivery_params());
+    EXPECT_GE(r.utility, r.cruise_baseline.utility - 1e-12) << scen.name;
+    EXPECT_GT(r.v_opt_mps, 0.0);
+    EXPECT_LE(r.v_opt_mps, scen.platform.max_speed_mps + 1e-9);
+    EXPECT_GE(r.v_opt_mps, scen.platform.min_speed_mps - 1e-9);
+  }
+}
+
+TEST(JointOptimizer, FliesFasterThanCruiseForBigBatches) {
+  // Large Mdata at long d0: shipping dominates, so the joint optimizer
+  // picks a speed above cruise despite the battery cost.
+  const auto scen = Scenario::airplane();
+  const auto model = scen.paper_throughput();
+  DeliveryParams p = scen.delivery_params();
+  p.mdata_bytes = 45e6;
+  const auto r = optimize_joint(model, scen.platform, p);
+  EXPECT_GT(r.v_opt_mps, scen.platform.cruise_speed_mps);
+}
+
+TEST(JointOptimizer, RespectsStallSpeed) {
+  const auto scen = Scenario::airplane();
+  const auto model = scen.paper_throughput();
+  DeliveryParams p = scen.delivery_params();
+  p.mdata_bytes = 100e3;  // tiny batch: speed hardly matters
+  const auto r = optimize_joint(model, scen.platform, p);
+  EXPECT_GE(r.v_opt_mps, scen.platform.min_speed_mps - 1e-9);
+}
+
+TEST(JointOptimizer, ReportsConsistentRho) {
+  const auto scen = Scenario::quadrocopter();
+  const auto model = scen.paper_throughput();
+  const auto r = optimize_joint(model, scen.platform, scen.delivery_params());
+  EXPECT_NEAR(r.rho_at_v, rho_for_speed(scen.platform, r.v_opt_mps), 1e-12);
+}
+
+TEST(JointOptimizer, UtilityMatchesManualEvaluation) {
+  const auto scen = Scenario::quadrocopter();
+  const auto model = scen.paper_throughput();
+  const auto r = optimize_joint(model, scen.platform, scen.delivery_params());
+  DeliveryParams p = scen.delivery_params();
+  p.speed_mps = r.v_opt_mps;
+  const uav::FailureModel failure(r.rho_at_v);
+  const CommDelayModel delay(model, p);
+  const UtilityFunction u(delay, failure);
+  EXPECT_NEAR(u(r.d_opt_m), r.utility, r.utility * 1e-6);
+}
+
+}  // namespace
+}  // namespace skyferry::core

@@ -1,0 +1,106 @@
+#include "core/mission.h"
+
+#include <gtest/gtest.h>
+
+namespace skyferry::core {
+namespace {
+
+MissionConfig quad_mission() {
+  MissionConfig cfg;
+  cfg.area_width_m = 200.0;
+  cfg.area_height_m = 100.0;
+  cfg.uav_count = 2;
+  cfg.survey_altitude_m = 10.0;
+  cfg.platform = uav::PlatformSpec::arducopter();
+  cfg.rho_per_m = 2.46e-4;
+  cfg.rendezvous_d0_m = 100.0;
+  return cfg;
+}
+
+TEST(MissionPlanner, SplitsAreaAcrossUavs) {
+  const auto model = PaperLogThroughput::quadrocopter();
+  MissionPlanner planner(model, quad_mission());
+  const MissionPlan plan = planner.plan();
+  ASSERT_EQ(plan.sectors.size(), 2u);
+  // Two 100x100 sectors of ~56 MB each.
+  EXPECT_NEAR(plan.total_data_mb, 2.0 * 56.5, 3.0);
+}
+
+TEST(MissionPlanner, FeasibleWithinBattery) {
+  const auto model = PaperLogThroughput::quadrocopter();
+  MissionPlanner planner(model, quad_mission());
+  const MissionPlan plan = planner.plan();
+  EXPECT_TRUE(plan.feasible);
+  for (const auto& s : plan.sectors) {
+    EXPECT_LE(s.total_time_s, s.battery_time_budget_s);
+    EXPECT_GT(s.total_time_s, 0.0);
+  }
+  EXPECT_GT(plan.makespan_s, 0.0);
+}
+
+TEST(MissionPlanner, InfeasibleWhenAreaTooLarge) {
+  MissionConfig cfg = quad_mission();
+  cfg.area_width_m = 2000.0;
+  cfg.area_height_m = 2000.0;
+  const auto model = PaperLogThroughput::quadrocopter();
+  MissionPlanner planner(model, cfg);
+  const MissionPlan plan = planner.plan();
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(MissionPlanner, MoreRoundsDeliverEarlierButCostTravel) {
+  const auto model = PaperLogThroughput::quadrocopter();
+  MissionConfig one = quad_mission();
+  MissionConfig four = quad_mission();
+  four.delivery_rounds_per_sector = 4;
+  const MissionPlan p1 = MissionPlanner(model, one).plan();
+  const MissionPlan p4 = MissionPlanner(model, four).plan();
+  ASSERT_EQ(p4.sectors[0].rounds.size(), 4u);
+  // Splitting adds ferry round trips: total time grows.
+  EXPECT_GE(p4.makespan_s, p1.makespan_s);
+  // But each round risks less data: per-round delivery probability is
+  // the same (same d0), while the data-at-risk per failure shrinks.
+  EXPECT_NEAR(p4.sectors[0].rounds[0].batch_bytes * 4.0,
+              p1.sectors[0].rounds[0].batch_bytes, 1.0);
+}
+
+TEST(MissionPlanner, DeliveryProbabilityCompounds) {
+  const auto model = PaperLogThroughput::quadrocopter();
+  MissionConfig cfg = quad_mission();
+  cfg.delivery_rounds_per_sector = 3;
+  const MissionPlan plan = MissionPlanner(model, cfg).plan();
+  const auto& s = plan.sectors[0];
+  double expected = 1.0;
+  for (const auto& r : s.rounds) expected *= r.decision.delivery_probability;
+  EXPECT_NEAR(s.mission_delivery_probability, expected, 1e-12);
+  EXPECT_LT(s.mission_delivery_probability, 1.0);
+}
+
+TEST(MissionPlanner, RendezvousUsesDelayedGratification) {
+  const auto model = PaperLogThroughput::quadrocopter();
+  const MissionPlan plan = MissionPlanner(model, quad_mission()).plan();
+  const auto& dec = plan.sectors[0].rounds[0].decision;
+  // A 56 MB batch at d0=100 m must ship closer, not transmit now.
+  EXPECT_EQ(dec.strategy.kind, StrategyKind::kShipThenTransmit);
+  EXPECT_LT(dec.strategy.target_distance_m, 100.0);
+}
+
+TEST(MissionPlanner, AirplaneMissionScales) {
+  MissionConfig cfg;
+  cfg.area_width_m = 1000.0;
+  cfg.area_height_m = 500.0;
+  cfg.uav_count = 2;
+  cfg.survey_altitude_m = 70.0;
+  cfg.platform = uav::PlatformSpec::swinglet();
+  cfg.rho_per_m = 1.11e-4;
+  cfg.rendezvous_d0_m = 300.0;
+  const auto model = PaperLogThroughput::airplane();
+  const MissionPlan plan = MissionPlanner(model, cfg).plan();
+  ASSERT_EQ(plan.sectors.size(), 2u);
+  EXPECT_TRUE(plan.feasible);
+  // Each 500x500 sector carries the paper's 28 MB batch.
+  EXPECT_NEAR(plan.sectors[0].rounds[0].batch_bytes / 1e6, 28.0, 1.5);
+}
+
+}  // namespace
+}  // namespace skyferry::core

@@ -1,0 +1,90 @@
+#include "core/nonstationary.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "core/scenario.h"
+
+namespace skyferry::core {
+namespace {
+
+struct Fixture {
+  Scenario scen = Scenario::quadrocopter();
+  PaperLogThroughput model = scen.paper_throughput();
+  CommDelayModel delay{model, scen.delivery_params()};
+};
+
+TEST(PathSurvival, ConstantProfileMatchesClosedForm) {
+  const auto rho = constant_rho(2.46e-4);
+  for (double d : {20.0, 50.0, 80.0}) {
+    EXPECT_NEAR(path_survival(rho, 100.0, d), std::exp(-2.46e-4 * (100.0 - d)), 1e-6) << d;
+  }
+}
+
+TEST(PathSurvival, NoMovementNoRisk) {
+  const auto rho = constant_rho(0.01);
+  EXPECT_DOUBLE_EQ(path_survival(rho, 100.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(path_survival(rho, 100.0, 150.0), 1.0);
+}
+
+TEST(PathSurvival, TwoZoneIntegratesPiecewise) {
+  // rho = 1e-3 beyond 50 m, 1e-2 inside. Leg 100 -> 20 m crosses both.
+  const auto rho = two_zone_rho(1e-3, 1e-2, 50.0);
+  const double expected = std::exp(-(1e-3 * 50.0 + 1e-2 * 30.0));
+  EXPECT_NEAR(path_survival(rho, 100.0, 20.0), expected, 1e-4);
+}
+
+TEST(PathSurvival, LinearProfileClosedForm) {
+  // rho(x) = b*x: integral over [d, d0] = b(d0^2 - d^2)/2.
+  const double b = 1e-6;
+  const auto rho = linear_rho(0.0, b);
+  const double expected = std::exp(-b * (100.0 * 100.0 - 20.0 * 20.0) / 2.0);
+  EXPECT_NEAR(path_survival(rho, 100.0, 20.0), expected, 1e-5);
+}
+
+TEST(Nonstationary, ConstantProfileMatchesStationaryOptimizer) {
+  Fixture f;
+  const auto r = optimize_nonstationary(f.delay, constant_rho(f.scen.rho_per_m));
+  const uav::FailureModel failure(f.scen.rho_per_m);
+  const UtilityFunction u(f.delay, failure);
+  const auto base = optimize(u);
+  EXPECT_NEAR(r.d_opt_m, base.d_opt_m, 0.5);
+  EXPECT_NEAR(r.utility, base.utility, base.utility * 1e-3);
+}
+
+TEST(Nonstationary, HazardousCloseZonePushesOptimumOut) {
+  // The paper's flagged case: when the close approach is dangerous, the
+  // stationary optimum (the 20 m floor for the quad baseline) is no
+  // longer optimal — the UAV should stop at the hazard boundary.
+  Fixture f;
+  const auto base = optimize_nonstationary(f.delay, constant_rho(f.scen.rho_per_m));
+  ASSERT_NEAR(base.d_opt_m, 20.0, 1.0);  // stationary: go all the way in
+
+  const auto hazardous = two_zone_rho(f.scen.rho_per_m, 0.05, 40.0);
+  const auto r = optimize_nonstationary(f.delay, hazardous);
+  EXPECT_GT(r.d_opt_m, 38.0);
+  EXPECT_LT(r.d_opt_m, 60.0);  // stops at/near the hazard boundary
+}
+
+TEST(Nonstationary, RisingRhoTowardPeerKeepsDistance) {
+  Fixture f;
+  // rho grows sharply toward the peer (x small -> rho large): 0.05/m at
+  // the peer falling to 0.002/m at 100 m — a genuinely dangerous close
+  // approach (downwash, obstacles).
+  const auto rho = linear_rho(0.05, -4.8e-4);
+  const auto r = optimize_nonstationary(f.delay, rho);
+  const auto base = optimize_nonstationary(f.delay, constant_rho(f.scen.rho_per_m));
+  EXPECT_GT(r.d_opt_m, base.d_opt_m + 20.0);
+  EXPECT_LT(r.d_opt_m, 100.0);  // but still worth approaching somewhat
+}
+
+TEST(Nonstationary, UtilityZeroOutOfRange) {
+  const PaperLogThroughput model = PaperLogThroughput::quadrocopter();
+  const CommDelayModel delay(model, {200.0, 4.5, 10e6, 150.0});
+  EXPECT_DOUBLE_EQ(nonstationary_utility(delay, constant_rho(1e-3), 200.0), 0.0);
+}
+
+}  // namespace
+}  // namespace skyferry::core

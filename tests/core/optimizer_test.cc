@@ -1,0 +1,123 @@
+#include "core/optimizer.h"
+
+#include <gtest/gtest.h>
+
+namespace skyferry::core {
+namespace {
+
+TEST(Optimizer, QuadBaselineOptimumAtFloor) {
+  // Quad baseline: 56 MB is so much data relative to the link that the
+  // best plan is to fly all the way to the 20 m anti-collision floor.
+  const auto model = PaperLogThroughput::quadrocopter();
+  const DeliveryParams params{100.0, 4.5, 56.2e6, 20.0};
+  const uav::FailureModel failure(2.46e-4);
+  const CommDelayModel delay(model, params);
+  const UtilityFunction u(delay, failure);
+  const OptimizeResult r = optimize(u);
+  EXPECT_TRUE(r.at_floor);
+  EXPECT_NEAR(r.d_opt_m, 20.0, 0.5);
+  EXPECT_GT(r.utility, 0.0);
+  EXPECT_GT(r.evaluations, 0);
+}
+
+TEST(Optimizer, ModerateRiskGivesInteriorOptimum) {
+  // With a clearly elevated failure rate, the airplane scenario trades
+  // off to an interior transmit distance (Fig. 8's moving maxima).
+  const auto model = PaperLogThroughput::airplane();
+  const DeliveryParams params{300.0, 10.0, 28e6, 20.0};
+  const uav::FailureModel failure(2e-3);
+  const CommDelayModel delay(model, params);
+  const UtilityFunction u(delay, failure);
+  const OptimizeResult r = optimize(u);
+  EXPECT_TRUE(r.interior) << r.d_opt_m;
+  EXPECT_GT(r.d_opt_m, 50.0);
+  EXPECT_LT(r.d_opt_m, 295.0);
+}
+
+TEST(Optimizer, MatchesBruteForce) {
+  const auto model = PaperLogThroughput::airplane();
+  for (double rho : {1.11e-4, 1e-3, 5e-3, 1e-2}) {
+    const DeliveryParams params{300.0, 10.0, 28e6, 20.0};
+    const uav::FailureModel failure(rho);
+    const CommDelayModel delay(model, params);
+    const UtilityFunction u(delay, failure);
+    const OptimizeResult fast = optimize(u);
+    const OptimizeResult slow = optimize_brute_force(u);
+    EXPECT_NEAR(fast.d_opt_m, slow.d_opt_m, 0.5) << "rho=" << rho;
+    EXPECT_GE(fast.utility, slow.utility - 1e-9) << "rho=" << rho;
+  }
+}
+
+TEST(Optimizer, DoptIncreasesWithRho) {
+  // Paper Fig. 8: "the optimal distance d_opt increases with the failure
+  // rate rho" — risk pushes the UAV to transmit sooner (farther away).
+  const auto model = PaperLogThroughput::airplane();
+  const DeliveryParams params{300.0, 10.0, 28e6, 20.0};
+  double prev = 0.0;
+  for (double rho : {1.11e-4, 1e-3, 2e-3, 5e-3, 1e-2}) {
+    const uav::FailureModel failure(rho);
+    const CommDelayModel delay(model, params);
+    const UtilityFunction u(delay, failure);
+    const OptimizeResult r = optimize(u);
+    EXPECT_GE(r.d_opt_m, prev - 0.5) << "rho=" << rho;
+    prev = r.d_opt_m;
+  }
+}
+
+TEST(Optimizer, HugeRhoTransmitsImmediately) {
+  const auto model = PaperLogThroughput::airplane();
+  const DeliveryParams params{300.0, 10.0, 28e6, 20.0};
+  const uav::FailureModel failure(1.0);  // certain death if it moves
+  const CommDelayModel delay(model, params);
+  const UtilityFunction u(delay, failure);
+  const OptimizeResult r = optimize(u);
+  EXPECT_TRUE(r.transmit_now);
+  EXPECT_NEAR(r.d_opt_m, 300.0, 0.5);
+}
+
+TEST(Optimizer, TinyDataTransmitsImmediately) {
+  // Shipping can never pay off for a few kilobytes.
+  const auto model = PaperLogThroughput::airplane();
+  const DeliveryParams params{300.0, 10.0, 1e3, 20.0};
+  const uav::FailureModel failure(1.11e-4);
+  const CommDelayModel delay(model, params);
+  const UtilityFunction u(delay, failure);
+  const OptimizeResult r = optimize(u);
+  EXPECT_TRUE(r.transmit_now);
+}
+
+TEST(Optimizer, OutOfRangeForcesApproach) {
+  // d0 beyond the link range: transmit-now yields zero utility, so the
+  // optimizer must move the UAV into range.
+  const auto model = PaperLogThroughput::quadrocopter();  // range ~124 m
+  const DeliveryParams params{200.0, 4.5, 10e6, 20.0};
+  const uav::FailureModel failure(2.46e-4);
+  const CommDelayModel delay(model, params);
+  const UtilityFunction u(delay, failure);
+  const OptimizeResult r = optimize(u);
+  EXPECT_LT(r.d_opt_m, 124.0);
+  EXPECT_GT(r.utility, 0.0);
+}
+
+TEST(Optimizer, DegenerateIntervalD0AtFloor) {
+  const auto model = PaperLogThroughput::quadrocopter();
+  const DeliveryParams params{20.0, 4.5, 10e6, 20.0};
+  const uav::FailureModel failure(2.46e-4);
+  const CommDelayModel delay(model, params);
+  const UtilityFunction u(delay, failure);
+  const OptimizeResult r = optimize(u);
+  EXPECT_NEAR(r.d_opt_m, 20.0, 1e-6);
+}
+
+TEST(Optimizer, FlagsAreConsistent) {
+  const auto model = PaperLogThroughput::quadrocopter();
+  const DeliveryParams params{100.0, 4.5, 56.2e6, 20.0};
+  const uav::FailureModel failure(2.46e-4);
+  const CommDelayModel delay(model, params);
+  const UtilityFunction u(delay, failure);
+  const OptimizeResult r = optimize(u);
+  EXPECT_EQ(r.interior, !r.transmit_now && !r.at_floor);
+}
+
+}  // namespace
+}  // namespace skyferry::core

@@ -1,0 +1,65 @@
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+namespace skyferry::core {
+namespace {
+
+TEST(Planner, QuadScenarioRecommendsShipping) {
+  const Scenario s = Scenario::quadrocopter();
+  const auto model = s.paper_throughput();
+  const DelayedGratificationPlanner planner(model, s.failure_model());
+  const Decision dec = planner.decide(s);
+  EXPECT_EQ(dec.strategy.kind, StrategyKind::kShipThenTransmit);
+  EXPECT_LT(dec.strategy.target_distance_m, 100.0);
+  EXPECT_GT(dec.strategy.target_distance_m, 20.0 - 1e-6);
+  EXPECT_GT(dec.delay_saving_fraction, 0.2);  // shipping pays off a lot
+  EXPECT_GT(dec.delivery_probability, 0.95);  // baseline rho is small
+  EXPECT_LT(dec.expected_delay_s, dec.transmit_now_delay_s);
+}
+
+TEST(Planner, TinyBatchTransmitsNow) {
+  const Scenario s = Scenario::airplane();
+  const auto model = s.paper_throughput();
+  const DelayedGratificationPlanner planner(model, s.failure_model());
+  DeliveryParams p = s.delivery_params();
+  p.mdata_bytes = 10e3;
+  const Decision dec = planner.decide(p);
+  EXPECT_EQ(dec.strategy.kind, StrategyKind::kTransmitNow);
+  EXPECT_DOUBLE_EQ(dec.delivery_probability, 1.0);
+  EXPECT_NEAR(dec.delay_saving_fraction, 0.0, 1e-9);
+}
+
+TEST(Planner, OutOfRangePeerStillPlanned) {
+  const auto model = PaperLogThroughput::quadrocopter();
+  const DelayedGratificationPlanner planner(model, uav::FailureModel(2.46e-4));
+  const DeliveryParams p{200.0, 4.5, 10e6, 20.0};
+  const Decision dec = planner.decide(p);
+  EXPECT_EQ(dec.strategy.kind, StrategyKind::kShipThenTransmit);
+  EXPECT_LT(dec.strategy.target_distance_m, 124.0);
+  // Against an impossible transmit-now, the plan saves "everything".
+  EXPECT_DOUBLE_EQ(dec.delay_saving_fraction, 1.0);
+}
+
+TEST(Planner, RiskierWorldShortensTheDetour) {
+  const Scenario s = Scenario::airplane();
+  const auto model = s.paper_throughput();
+  const DelayedGratificationPlanner safe(model, uav::FailureModel(1.11e-4));
+  const DelayedGratificationPlanner risky(model, uav::FailureModel(5e-3));
+  const Decision d_safe = safe.decide(s);
+  const Decision d_risky = risky.decide(s);
+  EXPECT_GT(d_risky.strategy.target_distance_m, d_safe.strategy.target_distance_m);
+}
+
+TEST(Planner, DecisionInternallyConsistent) {
+  const Scenario s = Scenario::quadrocopter();
+  const auto model = s.paper_throughput();
+  const DelayedGratificationPlanner planner(model, s.failure_model());
+  const Decision dec = planner.decide(s);
+  EXPECT_DOUBLE_EQ(dec.strategy.target_distance_m, dec.opt.d_opt_m);
+  EXPECT_DOUBLE_EQ(dec.delivery_probability, dec.opt.discount);
+  EXPECT_DOUBLE_EQ(dec.expected_delay_s, dec.opt.cdelay_s);
+}
+
+}  // namespace
+}  // namespace skyferry::core

@@ -1,0 +1,100 @@
+#include "core/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+
+namespace skyferry::core {
+namespace {
+
+TEST(Sensitivity, SignsMatchFigure9) {
+  // Use an interior-optimum setting so derivatives are informative.
+  const auto scen = Scenario::airplane();
+  const auto model = scen.paper_throughput();
+  DeliveryParams p = scen.delivery_params();
+  p.mdata_bytes = 10e6;
+  p.speed_mps = 10.0;
+  const Sensitivity s = analyze_sensitivity(model, p, 1e-3);
+  // More data -> move closer (d_opt down); more risk -> stay farther.
+  EXPECT_LT(s.d_opt_wrt_mdata, 0.0);
+  EXPECT_GT(s.d_opt_wrt_rho, 0.0);
+  // More data -> lower utility; more risk -> lower utility.
+  EXPECT_LT(s.utility_wrt_mdata, 0.0);
+  EXPECT_LT(s.utility_wrt_rho, 0.0);
+  // Faster UAV -> higher utility.
+  EXPECT_GT(s.utility_wrt_speed, 0.0);
+}
+
+TEST(Sensitivity, DegenerateUtilityIsZeroed) {
+  // Out-of-range everywhere: utility 0, sensitivities must not blow up.
+  const auto model = PaperLogThroughput::quadrocopter();
+  const DeliveryParams p{2000.0, 4.5, 10e6, 1500.0};
+  const Sensitivity s = analyze_sensitivity(model, p, 2.46e-4);
+  EXPECT_DOUBLE_EQ(s.d_opt_wrt_mdata, 0.0);
+  EXPECT_DOUBLE_EQ(s.utility_wrt_rho, 0.0);
+}
+
+TEST(Pareto, FrontierShapes) {
+  const auto scen = Scenario::quadrocopter();
+  const auto model = scen.paper_throughput();
+  const auto pts = pareto_frontier(model, scen.delivery_params(), scen.rho_per_m, 80);
+  ASSERT_EQ(pts.size(), 80u);
+  // Delivery probability rises monotonically with d (less flying).
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].delivery_probability, pts[i - 1].delivery_probability - 1e-12);
+  }
+  // Endpoints: transmitting at d0 is perfectly safe.
+  EXPECT_NEAR(pts.back().delivery_probability, 1.0, 1e-12);
+}
+
+TEST(Pareto, NonDominatedSetIsNonEmptyAndConsistent) {
+  const auto scen = Scenario::quadrocopter();
+  const auto model = scen.paper_throughput();
+  const auto pts = pareto_frontier(model, scen.delivery_params(), scen.rho_per_m, 60);
+  int non_dominated = 0;
+  double min_delay = 1e300;
+  for (const auto& p : pts) {
+    if (!p.dominated) ++non_dominated;
+    min_delay = std::min(min_delay, p.cdelay_s);
+  }
+  EXPECT_GT(non_dominated, 1);
+  // The minimum-delay point can never be dominated.
+  for (const auto& p : pts) {
+    if (p.cdelay_s == min_delay) EXPECT_FALSE(p.dominated);
+  }
+  // The d = d0 point (max probability) can never be dominated either.
+  EXPECT_FALSE(pts.back().dominated);
+}
+
+TEST(Pareto, UtilityOptimumIsOnTheFrontier) {
+  const auto scen = Scenario::quadrocopter();
+  const auto model = scen.paper_throughput();
+  const uav::FailureModel failure(scen.rho_per_m);
+  const CommDelayModel delay(model, scen.delivery_params());
+  const UtilityFunction u(delay, failure);
+  const auto opt = optimize(u);
+
+  const auto pts = pareto_frontier(model, scen.delivery_params(), scen.rho_per_m, 400);
+  // Find the frontier point nearest the optimum distance.
+  const ParetoPoint* nearest = &pts.front();
+  for (const auto& p : pts) {
+    if (std::abs(p.d_m - opt.d_opt_m) < std::abs(nearest->d_m - opt.d_opt_m)) nearest = &p;
+  }
+  EXPECT_FALSE(nearest->dominated);
+}
+
+TEST(Pareto, ZeroRiskCollapsesToDelayOnly) {
+  // With rho = 0 every point has probability 1, so only the min-delay
+  // point(s) are non-dominated.
+  const auto scen = Scenario::quadrocopter();
+  const auto model = scen.paper_throughput();
+  const auto pts = pareto_frontier(model, scen.delivery_params(), 0.0, 50);
+  double min_delay = 1e300;
+  for (const auto& p : pts) min_delay = std::min(min_delay, p.cdelay_s);
+  for (const auto& p : pts) {
+    if (!p.dominated) EXPECT_NEAR(p.cdelay_s, min_delay, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace skyferry::core

@@ -1,0 +1,93 @@
+#include "core/throughput_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace skyferry::core {
+namespace {
+
+TEST(PaperLogThroughput, AirplaneFitValues) {
+  const auto m = PaperLogThroughput::airplane();
+  // s(d) = 1e6 * (-5.56*log2(d) + 49).
+  EXPECT_NEAR(m.throughput_bps(100.0) / 1e6, -5.56 * std::log2(100.0) + 49.0, 1e-6);
+  EXPECT_NEAR(m.throughput_bps(20.0) / 1e6, 24.97, 0.05);
+  EXPECT_NEAR(m.throughput_bps(300.0) / 1e6, 3.25, 0.05);
+  EXPECT_EQ(m.name(), "paper-airplane");
+}
+
+TEST(PaperLogThroughput, QuadFitValues) {
+  const auto m = PaperLogThroughput::quadrocopter();
+  EXPECT_NEAR(m.throughput_bps(20.0) / 1e6, 27.62, 0.05);
+  EXPECT_NEAR(m.throughput_bps(60.0) / 1e6, 10.98, 0.05);
+  EXPECT_NEAR(m.throughput_bps(80.0) / 1e6, 6.62, 0.05);
+}
+
+TEST(PaperLogThroughput, ClampsAtZero) {
+  const auto m = PaperLogThroughput::quadrocopter();
+  EXPECT_DOUBLE_EQ(m.throughput_bps(500.0), 0.0);
+}
+
+TEST(PaperLogThroughput, ClampsBelowMinDistance) {
+  const auto m = PaperLogThroughput::airplane();
+  // The 20 m anti-collision floor: s(5) == s(20).
+  EXPECT_DOUBLE_EQ(m.throughput_bps(5.0), m.throughput_bps(20.0));
+}
+
+TEST(PaperLogThroughput, MaxRange) {
+  // Airplane fit crosses zero at 2^(49/5.56) ~ 450 m; quad at ~124 m.
+  EXPECT_NEAR(PaperLogThroughput::airplane().max_range_m(), 450.0, 3.0);
+  EXPECT_NEAR(PaperLogThroughput::quadrocopter().max_range_m(), 124.0, 1.0);
+}
+
+TEST(PaperLogThroughput, MonotoneDecreasing) {
+  const auto m = PaperLogThroughput::airplane();
+  double prev = 1e12;
+  for (double d = 20.0; d <= 460.0; d += 10.0) {
+    const double s = m.throughput_bps(d);
+    EXPECT_LE(s, prev + 1e-9);
+    prev = s;
+  }
+}
+
+TEST(TableThroughput, InterpolatesAndClamps) {
+  TableThroughput m({{20.0, 25e6}, {40.0, 19e6}, {80.0, 7e6}}, "table");
+  EXPECT_DOUBLE_EQ(m.throughput_bps(20.0), 25e6);
+  EXPECT_DOUBLE_EQ(m.throughput_bps(30.0), 22e6);
+  EXPECT_DOUBLE_EQ(m.throughput_bps(10.0), 25e6);   // clamp low
+  EXPECT_DOUBLE_EQ(m.throughput_bps(100.0), 7e6);   // clamp high
+  EXPECT_EQ(m.name(), "table");
+}
+
+TEST(TableThroughput, MaxRangeFindsZeroCrossing) {
+  TableThroughput m({{20.0, 10e6}, {100.0, 0.0}}, "t");
+  EXPECT_NEAR(m.max_range_m(), 100.0, 1.0);
+  TableThroughput m2({{20.0, 10e6}, {60.0, 5e6}, {100.0, 1e6}}, "t2");
+  EXPECT_DOUBLE_EQ(m2.max_range_m(), 100.0);
+}
+
+TEST(TableThroughput, DefaultMaxRangeBisection) {
+  // The generic bisection in the interface also works for the log model.
+  const PaperLogThroughput air = PaperLogThroughput::airplane();
+  const ThroughputModel& as_interface = air;
+  EXPECT_NEAR(as_interface.ThroughputModel::max_range_m(), 450.0, 5.0);
+}
+
+TEST(SpeedDegradation, HalfRateAtVHalf) {
+  SpeedDegradation g{5.0};
+  EXPECT_DOUBLE_EQ(g.factor(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(g.factor(5.0), 0.5);
+  EXPECT_NEAR(g.factor(15.0), 0.1, 0.01);
+}
+
+TEST(SpeedAwareThroughput, CombinesDistanceAndSpeed) {
+  const auto base = PaperLogThroughput::quadrocopter();
+  SpeedAwareThroughput m(base, {5.0});
+  EXPECT_DOUBLE_EQ(m.throughput_bps(60.0, 0.0), base.throughput_bps(60.0));
+  EXPECT_DOUBLE_EQ(m.throughput_bps(60.0, 5.0), base.throughput_bps(60.0) * 0.5);
+  // The paper's Fig. 7 right: at ~8 m/s throughput collapses to ~1/3.
+  EXPECT_NEAR(m.throughput_bps(60.0, 8.0) / base.throughput_bps(60.0), 0.28, 0.03);
+}
+
+}  // namespace
+}  // namespace skyferry::core

@@ -1,0 +1,84 @@
+#include "core/utility.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace skyferry::core {
+namespace {
+
+struct Fixture {
+  PaperLogThroughput model = PaperLogThroughput::quadrocopter();
+  DeliveryParams params{100.0, 4.5, 56.2e6, 20.0};
+  uav::FailureModel failure{2.46e-4};
+  CommDelayModel delay{model, params};
+  UtilityFunction u{delay, failure};
+};
+
+TEST(Utility, MatchesPaperEquationOne) {
+  Fixture f;
+  for (double d : {20.0, 40.0, 60.0, 80.0, 100.0}) {
+    const double expected = std::exp(-2.46e-4 * (100.0 - d)) / f.delay.cdelay_s(d);
+    EXPECT_NEAR(f.u(d), expected, 1e-12) << d;
+  }
+}
+
+TEST(Utility, ZeroWhenOutOfRange) {
+  PaperLogThroughput model = PaperLogThroughput::quadrocopter();
+  DeliveryParams params{200.0, 4.5, 10e6, 20.0};
+  uav::FailureModel failure(2.46e-4);
+  CommDelayModel delay(model, params);
+  UtilityFunction u(delay, failure);
+  EXPECT_DOUBLE_EQ(u(200.0), 0.0);
+  EXPECT_GT(u(60.0), 0.0);
+}
+
+TEST(Utility, EvaluateDecomposes) {
+  Fixture f;
+  const UtilityPoint p = f.u.evaluate(60.0);
+  EXPECT_DOUBLE_EQ(p.d_m, 60.0);
+  EXPECT_NEAR(p.tship_s, 40.0 / 4.5, 1e-12);
+  EXPECT_NEAR(p.cdelay_s, p.tship_s + p.ttx_s, 1e-12);
+  EXPECT_NEAR(p.utility, p.discount / p.cdelay_s, 1e-15);
+  EXPECT_NEAR(p.discount, std::exp(-2.46e-4 * 40.0), 1e-12);
+}
+
+TEST(Utility, CurveSpansFloorToD0) {
+  Fixture f;
+  const auto pts = f.u.curve(50);
+  ASSERT_EQ(pts.size(), 50u);
+  EXPECT_DOUBLE_EQ(pts.front().d_m, 20.0);
+  EXPECT_DOUBLE_EQ(pts.back().d_m, 100.0);
+}
+
+TEST(Utility, ZeroRhoMeansNoDiscount) {
+  Fixture f;
+  uav::FailureModel no_fail(0.0);
+  UtilityFunction u0(f.delay, no_fail);
+  for (double d : {20.0, 50.0, 90.0}) {
+    EXPECT_DOUBLE_EQ(u0.evaluate(d).discount, 1.0);
+    EXPECT_NEAR(u0(d), 1.0 / f.delay.cdelay_s(d), 1e-15);
+  }
+}
+
+TEST(Utility, HigherRhoPenalizesMoving) {
+  // Discounting only punishes positions far from d0.
+  Fixture f;
+  uav::FailureModel risky(0.01);
+  UtilityFunction u_risky(f.delay, risky);
+  const double ratio_far = u_risky(20.0) / f.u(20.0);
+  const double ratio_near = u_risky(95.0) / f.u(95.0);
+  EXPECT_LT(ratio_far, ratio_near);
+  EXPECT_DOUBLE_EQ(u_risky(100.0) / f.u(100.0), 1.0);
+}
+
+TEST(Utility, PaperFigure8ShapeQuad) {
+  // Baseline quad scenario: U has an interior hump (higher near 20-60 m
+  // than at d0) because moving closer pays off for 56 MB.
+  Fixture f;
+  EXPECT_GT(f.u(40.0), f.u(100.0));
+  EXPECT_GT(f.u(40.0), f.u(95.0));
+}
+
+}  // namespace
+}  // namespace skyferry::core

@@ -1,0 +1,123 @@
+#include "ctrl/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/gps.h"
+#include "sim/rng.h"
+
+namespace skyferry::ctrl {
+namespace {
+
+const geo::GeoPoint kOrigin{47.3769, 8.5417, 400.0};
+
+Telemetry make_telemetry(const geo::LocalFrame& frame, const std::string& id, double t,
+                         const geo::Vec3& enu) {
+  Telemetry tm;
+  tm.uav_id = id;
+  tm.t_s = t;
+  tm.position = frame.to_geo(enu);
+  return tm;
+}
+
+TEST(DistanceEstimator, SingleFixGivesPosition) {
+  const geo::LocalFrame frame(kOrigin);
+  DistanceEstimator est({}, frame);
+  est.update(make_telemetry(frame, "u1", 0.0, {10.0, 20.0, 30.0}));
+  const auto e = est.estimate("u1", 0.5);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_NEAR(e->position.x, 10.0, 0.01);
+  EXPECT_NEAR(e->position.y, 20.0, 0.01);
+  EXPECT_EQ(est.tracked_peers(), 1u);
+}
+
+TEST(DistanceEstimator, UnknownPeerIsNullopt) {
+  const geo::LocalFrame frame(kOrigin);
+  DistanceEstimator est({}, frame);
+  EXPECT_FALSE(est.estimate("ghost", 0.0).has_value());
+  EXPECT_FALSE(est.distance("a", "b", 0.0).has_value());
+}
+
+TEST(DistanceEstimator, StaleEstimateExpires) {
+  const geo::LocalFrame frame(kOrigin);
+  EstimatorConfig cfg;
+  cfg.staleness_limit_s = 2.0;
+  DistanceEstimator est(cfg, frame);
+  est.update(make_telemetry(frame, "u1", 0.0, {}));
+  EXPECT_TRUE(est.estimate("u1", 1.5).has_value());
+  EXPECT_FALSE(est.estimate("u1", 3.0).has_value());
+}
+
+TEST(DistanceEstimator, LearnsVelocityAndDeadReckons) {
+  const geo::LocalFrame frame(kOrigin);
+  DistanceEstimator est({}, frame);
+  // Peer moving east at 5 m/s, telemetry at 1 Hz.
+  for (double t = 0.0; t <= 10.0; t += 1.0) {
+    est.update(make_telemetry(frame, "u1", t, {5.0 * t, 0.0, 10.0}));
+  }
+  const auto e = est.estimate("u1", 12.0);  // 2 s after the last fix
+  ASSERT_TRUE(e.has_value());
+  EXPECT_NEAR(e->velocity.x, 5.0, 0.5);
+  EXPECT_NEAR(e->position.x, 60.0, 2.0);  // extrapolated
+}
+
+TEST(DistanceEstimator, DistanceBetweenPeers) {
+  const geo::LocalFrame frame(kOrigin);
+  DistanceEstimator est({}, frame);
+  est.update(make_telemetry(frame, "a", 0.0, {0.0, 0.0, 10.0}));
+  est.update(make_telemetry(frame, "b", 0.0, {80.0, 0.0, 10.0}));
+  const auto d = est.distance("a", "b", 0.5);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NEAR(*d, 80.0, 0.5);
+}
+
+TEST(DistanceEstimator, ClosingSpeedSign) {
+  const geo::LocalFrame frame(kOrigin);
+  DistanceEstimator est({}, frame);
+  // b approaches a from the east at ~4.5 m/s.
+  for (double t = 0.0; t <= 8.0; t += 1.0) {
+    est.update(make_telemetry(frame, "a", t, {0.0, 0.0, 10.0}));
+    est.update(make_telemetry(frame, "b", t, {100.0 - 4.5 * t, 0.0, 10.0}));
+  }
+  const auto v = est.closing_speed("a", "b", 8.0);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NEAR(*v, -4.5, 1.0);  // negative = approaching
+}
+
+TEST(DistanceEstimator, FiltersGpsNoiseBelowRawError) {
+  // Noisy fixes: the filtered distance error should not exceed the raw
+  // per-fix GPS error budget.
+  const geo::LocalFrame frame(kOrigin);
+  DistanceEstimator est({}, frame);
+  geo::GpsReceiver gps_a({}, 1), gps_b({}, 2);
+  double err_sum = 0.0;
+  int n = 0;
+  for (double t = 0.0; t <= 60.0; t += 1.0) {
+    est.update(make_telemetry(frame, "a", t, gps_a.measure({0.0, 0.0, 10.0}, 1.0)));
+    est.update(make_telemetry(frame, "b", t, gps_b.measure({60.0, 0.0, 10.0}, 1.0)));
+    if (t > 10.0) {
+      const auto d = est.distance("a", "b", t);
+      ASSERT_TRUE(d.has_value());
+      err_sum += std::abs(*d - 60.0);
+      ++n;
+    }
+  }
+  EXPECT_LT(err_sum / n, 6.0);
+}
+
+TEST(DistanceEstimator, PlannerLoopUsesEstimatedD0) {
+  // The full decision loop on estimated (not true) distance: the
+  // resulting d_opt must be close to the true-distance decision.
+  const geo::LocalFrame frame(kOrigin);
+  DistanceEstimator est({}, frame);
+  geo::GpsReceiver gps_a({}, 3), gps_b({}, 4);
+  for (double t = 0.0; t <= 20.0; t += 1.0) {
+    est.update(make_telemetry(frame, "relay", t, gps_a.measure({0.0, 0.0, 10.0}, 1.0)));
+    est.update(make_telemetry(frame, "ferry", t, gps_b.measure({100.0, 0.0, 10.0}, 1.0)));
+  }
+  const auto d0 = est.distance("relay", "ferry", 20.0);
+  ASSERT_TRUE(d0.has_value());
+  EXPECT_NEAR(*d0, 100.0, 6.0);
+}
+
+}  // namespace
+}  // namespace skyferry::ctrl

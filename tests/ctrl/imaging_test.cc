@@ -1,0 +1,64 @@
+#include "ctrl/imaging.h"
+
+#include <gtest/gtest.h>
+
+namespace skyferry::ctrl {
+namespace {
+
+// The paper's footnotes 3 and 4 give exact derived values for the two
+// scenarios; these tests pin our implementation to them.
+
+TEST(CameraModel, AspectRatio) {
+  CameraModel cam;
+  EXPECT_NEAR(cam.aspect(), 16.0 / 9.0, 1e-9);
+}
+
+TEST(CameraModel, AirplaneScenarioFootnote3) {
+  CameraModel cam;
+  // Altitude 70 m, lens 65 deg: FOV ~ 90 m, A_image ~ 3432 m^2.
+  EXPECT_NEAR(cam.fov_m(70.0), 90.0, 1.0);
+  EXPECT_NEAR(cam.image_area_m2(70.0), 3432.0, 80.0);
+}
+
+TEST(CameraModel, QuadScenarioFootnote4) {
+  CameraModel cam;
+  // Altitude 10 m: FOV ~ 12.7 m, A_image ~ 69.4 m^2.
+  EXPECT_NEAR(cam.fov_m(10.0), 12.7, 0.1);
+  EXPECT_NEAR(cam.image_area_m2(10.0), 69.4, 1.5);
+}
+
+TEST(PlanSectorImaging, AirplaneMdataIs28MB) {
+  CameraModel cam;
+  const SectorImagingPlan plan = plan_sector_imaging(cam, 500.0 * 500.0, 70.0);
+  // ~73 images x 0.39 MB ~ 28 MB.
+  EXPECT_NEAR(plan.images_required, 72.8, 2.0);
+  EXPECT_NEAR(plan.batch.total_mb(), 28.0, 1.0);
+}
+
+TEST(PlanSectorImaging, QuadMdataIs56MB) {
+  CameraModel cam;
+  const SectorImagingPlan plan = plan_sector_imaging(cam, 100.0 * 100.0, 10.0);
+  EXPECT_NEAR(plan.images_required, 144.0, 4.0);
+  EXPECT_NEAR(plan.batch.total_mb(), 56.2, 1.5);
+}
+
+TEST(PlanSectorImaging, LowerAltitudeNeedsMoreImages) {
+  CameraModel cam;
+  const auto high = plan_sector_imaging(cam, 1e4, 70.0);
+  const auto low = plan_sector_imaging(cam, 1e4, 10.0);
+  EXPECT_GT(low.images_required, high.images_required * 10.0);
+}
+
+TEST(PlanSectorImaging, ZeroAltitudeIsSafe) {
+  CameraModel cam;
+  const auto plan = plan_sector_imaging(cam, 1e4, 0.0);
+  EXPECT_EQ(plan.batch.num_images, 0u);
+}
+
+TEST(CameraModel, FovScalesLinearlyWithAltitude) {
+  CameraModel cam;
+  EXPECT_NEAR(cam.fov_m(140.0), 2.0 * cam.fov_m(70.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace skyferry::ctrl

@@ -1,0 +1,105 @@
+#include "ctrl/sector.h"
+
+#include <gtest/gtest.h>
+
+namespace skyferry::ctrl {
+namespace {
+
+TEST(SectorGrid, SplitsAreaExactly) {
+  const auto sectors = make_sector_grid(1000.0, 500.0, 2, 1, 70.0);
+  ASSERT_EQ(sectors.size(), 2u);
+  EXPECT_DOUBLE_EQ(sectors[0].area_m2(), 250000.0);
+  EXPECT_DOUBLE_EQ(sectors[0].width_m, 500.0);
+  EXPECT_DOUBLE_EQ(sectors[1].origin.x, 500.0);
+  EXPECT_DOUBLE_EQ(sectors[0].origin.z, 70.0);
+  EXPECT_EQ(sectors[0].index, 0);
+  EXPECT_EQ(sectors[1].index, 1);
+}
+
+TEST(SectorGrid, GridIndexingRowMajor) {
+  const auto sectors = make_sector_grid(100.0, 100.0, 2, 2, 10.0);
+  ASSERT_EQ(sectors.size(), 4u);
+  EXPECT_DOUBLE_EQ(sectors[3].origin.x, 50.0);
+  EXPECT_DOUBLE_EQ(sectors[3].origin.y, 50.0);
+}
+
+TEST(Sector, ContainsAndCenter) {
+  Sector s;
+  s.origin = {10.0, 20.0, 5.0};
+  s.width_m = 30.0;
+  s.height_m = 40.0;
+  EXPECT_TRUE(s.contains({25.0, 40.0, 0.0}));
+  EXPECT_FALSE(s.contains({45.0, 40.0, 0.0}));
+  EXPECT_DOUBLE_EQ(s.center().x, 25.0);
+  EXPECT_DOUBLE_EQ(s.center().y, 40.0);
+}
+
+TEST(LawnmowerPath, CoversAllTracks) {
+  Sector s;
+  s.origin = {0.0, 0.0, 10.0};
+  s.width_m = 100.0;
+  s.height_m = 50.0;
+  const auto path = lawnmower_path(s, 10.0);
+  // 11 tracks x 2 points each.
+  EXPECT_EQ(path.size(), 22u);
+  // Alternating sweep: consecutive same-x pairs, alternating y direction.
+  EXPECT_DOUBLE_EQ(path[0].y, 0.0);
+  EXPECT_DOUBLE_EQ(path[1].y, 50.0);
+  EXPECT_DOUBLE_EQ(path[2].y, 50.0);
+  EXPECT_DOUBLE_EQ(path[3].y, 0.0);
+  // Last track clamped to the sector edge.
+  EXPECT_DOUBLE_EQ(path.back().x, 100.0);
+}
+
+TEST(LawnmowerPath, LengthLowerBound) {
+  Sector s;
+  s.origin = {0.0, 0.0, 10.0};
+  s.width_m = 100.0;
+  s.height_m = 50.0;
+  const auto path = lawnmower_path(s, 10.0);
+  // At least 11 sweeps of 50 m.
+  EXPECT_GE(path_length_m(path), 11 * 50.0);
+}
+
+TEST(CoverageSpacing, MatchesFootprintShortSide) {
+  CameraModel cam;
+  // FOV(70 m) ~ 90 m; k=16/9 -> short side = FOV/sqrt(k^2+1) ~ 44 m.
+  EXPECT_NEAR(coverage_track_spacing_m(cam, 70.0), 44.0, 1.5);
+}
+
+TEST(EstimateSweep, AirplaneSectorIsFlyable) {
+  // The paper's airplane sector (500x500 m) at 70 m altitude must be
+  // coverable within one battery charge at cruise speed.
+  Sector s;
+  s.origin = {0.0, 0.0, 70.0};
+  s.width_m = 500.0;
+  s.height_m = 500.0;
+  CameraModel cam;
+  const auto est = estimate_sweep(s, cam, 10.0);
+  EXPECT_GT(est.duration_s, 100.0);
+  EXPECT_LT(est.duration_s, 1800.0);  // 30 min battery
+  EXPECT_NEAR(est.images, 73u, 3u);
+}
+
+TEST(EstimateSweep, QuadSectorIsFlyable) {
+  Sector s;
+  s.origin = {0.0, 0.0, 10.0};
+  s.width_m = 100.0;
+  s.height_m = 100.0;
+  CameraModel cam;
+  const auto est = estimate_sweep(s, cam, 4.5);
+  EXPECT_LT(est.duration_s, 1200.0);  // 20 min battery
+  EXPECT_NEAR(est.images, 145u, 5u);
+}
+
+TEST(LawnmowerPath, TinySectorStillHasOneTrack) {
+  Sector s;
+  s.origin = {0.0, 0.0, 10.0};
+  s.width_m = 1.0;
+  s.height_m = 5.0;
+  const auto path = lawnmower_path(s, 10.0);
+  EXPECT_GE(path.size(), 2u);
+}
+
+}  // namespace
+}  // namespace skyferry::ctrl

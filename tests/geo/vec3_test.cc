@@ -1,0 +1,75 @@
+#include "geo/vec3.h"
+
+#include <gtest/gtest.h>
+
+namespace skyferry::geo {
+namespace {
+
+TEST(Vec3, DefaultIsZero) {
+  Vec3 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+  EXPECT_EQ(v.z, 0.0);
+  EXPECT_EQ(v.norm(), 0.0);
+}
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{4.0, -5.0, 6.0};
+  EXPECT_EQ(a + b, (Vec3{5.0, -3.0, 9.0}));
+  EXPECT_EQ(a - b, (Vec3{-3.0, 7.0, -3.0}));
+  EXPECT_EQ(a * 2.0, (Vec3{2.0, 4.0, 6.0}));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_EQ(a / 2.0, (Vec3{0.5, 1.0, 1.5}));
+  EXPECT_EQ(-a, (Vec3{-1.0, -2.0, -3.0}));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1.0, 1.0, 1.0};
+  v += {1.0, 2.0, 3.0};
+  EXPECT_EQ(v, (Vec3{2.0, 3.0, 4.0}));
+  v -= {1.0, 1.0, 1.0};
+  EXPECT_EQ(v, (Vec3{1.0, 2.0, 3.0}));
+  v *= 3.0;
+  EXPECT_EQ(v, (Vec3{3.0, 6.0, 9.0}));
+  v /= 3.0;
+  EXPECT_EQ(v, (Vec3{1.0, 2.0, 3.0}));
+}
+
+TEST(Vec3, NormAndNormalize) {
+  const Vec3 v{3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm_sq(), 25.0);
+  const Vec3 n = v.normalized();
+  EXPECT_DOUBLE_EQ(n.norm(), 1.0);
+  EXPECT_DOUBLE_EQ(n.x, 0.6);
+  EXPECT_DOUBLE_EQ(n.y, 0.8);
+}
+
+TEST(Vec3, NormalizeZeroIsZero) {
+  const Vec3 z;
+  EXPECT_EQ(z.normalized(), z);
+}
+
+TEST(Vec3, HorizontalNormIgnoresAltitude) {
+  const Vec3 v{3.0, 4.0, 100.0};
+  EXPECT_DOUBLE_EQ(v.horizontal_norm(), 5.0);
+}
+
+TEST(Vec3, DotAndCross) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 0.0);
+  EXPECT_EQ(cross(x, y), (Vec3{0.0, 0.0, 1.0}));
+  EXPECT_DOUBLE_EQ(dot(x, x), 1.0);
+}
+
+TEST(Vec3, Distance) {
+  const Vec3 a{0.0, 0.0, 0.0};
+  const Vec3 b{3.0, 4.0, 12.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), 13.0);
+  EXPECT_DOUBLE_EQ(ground_distance(a, b), 5.0);
+}
+
+}  // namespace
+}  // namespace skyferry::geo

@@ -1,0 +1,114 @@
+// Calibration gate: the PHY+MAC simulator, run like the paper's iperf
+// measurements (auto-rate, saturated UDP), must reproduce the *shape* of
+// the paper's measured throughput-vs-distance medians — a log-linear
+// decay with the right sign, a good log2 fit, and sane absolute values.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mac/link.h"
+#include "stats/quantile.h"
+#include "stats/regression.h"
+
+namespace skyferry {
+namespace {
+
+/// Median auto-rate goodput [Mb/s] at a distance, averaged over several
+/// independent runs (the slow shadowing needs long horizons to settle).
+/// The instrument is the vendor-style ARF controller — what the paper's
+/// Ralink radios ran — matching the channel calibration.
+double median_autorate_mbps(const phy::ChannelConfig& ch, double d, std::uint64_t seed,
+                            double secs = 60.0, int seeds = 3) {
+  double sum = 0.0;
+  for (int k = 0; k < seeds; ++k) {
+    mac::LinkConfig cfg;
+    cfg.channel = ch;
+    mac::ArfRate rc;
+    mac::LinkSimulator sim(cfg, rc, seed + 977ULL * k);
+    const auto res = sim.run_saturated(secs, mac::static_geometry(d));
+    std::vector<double> mbps;
+    for (const auto& s : res.samples) mbps.push_back(s.mbps);
+    sum += stats::median(mbps);
+  }
+  return sum / seeds;
+}
+
+TEST(Calibration, AirplaneMediansFollowLogFit) {
+  const auto ch = phy::ChannelConfig::airplane();
+  std::vector<double> ds, medians;
+  for (double d = 20.0; d <= 300.0; d += 40.0) {
+    ds.push_back(d);
+    medians.push_back(median_autorate_mbps(ch, d, 1000 + static_cast<std::uint64_t>(d)));
+  }
+  // Overall decay: near vs far.
+  EXPECT_GT(medians.front(), medians.back() + 3.0);
+  // Log-linear shape, like the paper's fit (R^2 = 0.90 there; ours is
+  // noisier because the airplane channel carries banking outages).
+  const auto fit = stats::log2_fit(ds, medians);
+  EXPECT_LT(fit.a, -2.0);
+  EXPECT_GT(fit.r_squared, 0.55);
+  // Paper's near-distance reality check: ~20-25 Mb/s at short range,
+  // clearly below the 802.11n indoor regime.
+  EXPECT_GT(medians.front(), 12.0);
+  EXPECT_LT(medians.front(), 48.0);
+}
+
+TEST(Calibration, QuadrocopterMediansNearPaperFit) {
+  const auto ch = phy::ChannelConfig::quadrocopter();
+  std::vector<double> ds, medians;
+  for (double d = 20.0; d <= 80.0; d += 20.0) {
+    ds.push_back(d);
+    medians.push_back(median_autorate_mbps(ch, d, 2000 + static_cast<std::uint64_t>(d)));
+  }
+  // Compare each median with the paper's fit within a factor band.
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const double paper = -10.5 * std::log2(ds[i]) + 73.0;
+    EXPECT_GT(medians[i], paper * 0.4) << "d=" << ds[i];
+    EXPECT_LT(medians[i], paper * 2.5) << "d=" << ds[i];
+  }
+  const auto fit = stats::log2_fit(ds, medians);
+  EXPECT_LT(fit.a, -3.0);
+}
+
+TEST(Calibration, QuadSpreadSmallerThanAirplane) {
+  // Fig. 5 vs Fig. 7 (left): quad boxes are much tighter at comparable
+  // distances. Compare relative spread (IQR / median) so the different
+  // absolute rates do not confound the comparison.
+  auto rel_iqr_at = [&](const phy::ChannelConfig& ch, double d, std::uint64_t seed) {
+    std::vector<double> mbps;
+    for (int k = 0; k < 3; ++k) {
+      mac::LinkConfig cfg;
+      cfg.channel = ch;
+      mac::ArfRate rc;
+      mac::LinkSimulator sim(cfg, rc, seed + 977ULL * k);
+      const auto res = sim.run_saturated(60.0, mac::static_geometry(d));
+      for (const auto& s : res.samples) mbps.push_back(s.mbps);
+    }
+    const auto b = stats::boxplot(mbps);
+    return b.median > 0.0 ? b.iqr() / b.median : 1e9;
+  };
+  // Aggregate over each platform's measured range (quads 20-80 m,
+  // airplanes 20-320 m) the way the paper's figures do.
+  double air = 0.0, quad = 0.0;
+  for (double d : {20.0, 80.0, 160.0, 240.0}) {
+    air += rel_iqr_at(phy::ChannelConfig::airplane(), d, 31 + static_cast<std::uint64_t>(d));
+  }
+  for (double d : {20.0, 40.0, 60.0, 80.0}) {
+    quad += rel_iqr_at(phy::ChannelConfig::quadrocopter(), d, 31 + static_cast<std::uint64_t>(d));
+  }
+  EXPECT_LT(quad / 4.0, air / 4.0 * 1.2);
+}
+
+TEST(Calibration, IndoorReachesHighThroughput) {
+  // Paper Sec. 3.1: indoor lab tests reached ~176 Mb/s; aerial links got
+  // 802.11g-like ~20 Mb/s. Our indoor preset must be several times
+  // faster than any aerial distance.
+  const double indoor = median_autorate_mbps(phy::ChannelConfig::indoor(), 5.0, 41, 10.0);
+  const double aerial = median_autorate_mbps(phy::ChannelConfig::airplane(), 100.0, 41, 10.0);
+  EXPECT_GT(indoor, 80.0);
+  EXPECT_GT(indoor, 3.0 * aerial);
+}
+
+}  // namespace
+}  // namespace skyferry

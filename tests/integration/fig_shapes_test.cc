@@ -1,0 +1,221 @@
+// Shape tests for the paper's figures: each asserts the qualitative
+// result (who wins, what is monotone, where the optimum sits) that the
+// corresponding bench regenerates quantitatively.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "core/scenario.h"
+#include "core/strategy.h"
+#include "mac/link.h"
+#include "stats/quantile.h"
+
+namespace skyferry {
+namespace {
+
+double median_mbps(mac::LinkSimulator& sim, double secs, const mac::GeometryFn& geom) {
+  const auto res = sim.run_saturated(secs, geom);
+  std::vector<double> mbps;
+  for (const auto& s : res.samples) mbps.push_back(s.mbps);
+  return stats::median(mbps);
+}
+
+// ---- Figure 6: best fixed MCS vs auto rate --------------------------------
+
+TEST(Fig6Shape, FixedMcsBeatsVendorAutorate) {
+  // "the throughput obtained using the best among the set of MCS rates
+  // outperforms PHY auto rate adaptation (with 100% or more higher
+  // throughput at each distance)" — our vendor-ARF model reproduces a
+  // conservative >= 1.3x at the near/mid distances (see EXPERIMENTS.md
+  // for the far-range discussion).
+  const auto ch = phy::ChannelConfig::airplane();
+  for (double d : {40.0, 60.0, 100.0}) {
+    mac::LinkConfig cfg;
+    cfg.channel = ch;
+
+    double auto_sum = 0.0;
+    double best_sum = 0.0;
+    for (int k = 0; k < 3; ++k) {
+      mac::ArfRate auto_rc;
+      mac::LinkSimulator auto_sim(cfg, auto_rc, 77 + 977ULL * k);
+      auto_sum += median_mbps(auto_sim, 60.0, mac::static_geometry(d, 3.0));
+
+      double best_fixed = 0.0;
+      for (int mcs : {0, 1, 2, 3, 8}) {
+        mac::FixedMcs rc(mcs);
+        mac::LinkSimulator sim(cfg, rc, 77 + 977ULL * k);
+        best_fixed = std::max(best_fixed, median_mbps(sim, 60.0, mac::static_geometry(d, 3.0)));
+      }
+      best_sum += best_fixed;
+    }
+    EXPECT_GT(best_sum, 1.3 * std::max(auto_sum, 0.5)) << "d=" << d;
+  }
+}
+
+TEST(Fig6Shape, BestMcsShiftsDownWithDistance) {
+  // MCS3 rules close in; far out a more robust (lower) single-stream MCS
+  // takes over.
+  const auto ch = phy::ChannelConfig::airplane();
+  auto best_mcs_at = [&](double d) {
+    double best = -1.0;
+    int arg = -1;
+    for (int mcs : {0, 1, 2, 3, 4}) {
+      mac::FixedMcs rc(mcs);
+      mac::LinkConfig cfg;
+      cfg.channel = ch;
+      mac::LinkSimulator sim(cfg, rc, 99);
+      const double m = median_mbps(sim, 15.0, mac::static_geometry(d));
+      if (m > best) {
+        best = m;
+        arg = mcs;
+      }
+    }
+    return arg;
+  };
+  const int near_mcs = best_mcs_at(40.0);
+  const int far_mcs = best_mcs_at(280.0);
+  EXPECT_GE(near_mcs, 2);
+  EXPECT_LE(far_mcs, near_mcs);
+}
+
+// ---- Figure 7: hover vs moving, speed sweep --------------------------------
+
+TEST(Fig7Shape, MovingThroughputDropsVsHover) {
+  const auto ch = phy::ChannelConfig::quadrocopter();
+  mac::LinkConfig cfg;
+  cfg.channel = ch;
+  mac::ArfRate rc1, rc2;
+  mac::LinkSimulator hover(cfg, rc1, 55);
+  mac::LinkSimulator moving(cfg, rc2, 55);
+  const double m_hover = median_mbps(hover, 60.0, mac::static_geometry(60.0, 0.0));
+  const double m_moving = median_mbps(moving, 60.0, mac::static_geometry(60.0, 8.0));
+  EXPECT_LT(m_moving, m_hover);
+}
+
+TEST(Fig7Shape, ThroughputMonotoneDecreasingInSpeed) {
+  const auto ch = phy::ChannelConfig::quadrocopter();
+  std::vector<double> medians;
+  for (double v : {0.0, 4.0, 8.0, 15.0}) {
+    mac::LinkConfig cfg;
+    cfg.channel = ch;
+    mac::ArfRate rc;
+    mac::LinkSimulator sim(cfg, rc, 66);
+    medians.push_back(median_mbps(sim, 60.0, mac::static_geometry(60.0, v)));
+  }
+  EXPECT_GT(medians[0], medians[2]);  // 0 vs 8 m/s: clear drop
+  EXPECT_GT(medians[1], medians[3]);  // 4 vs 15 m/s
+}
+
+// ---- Figure 8: utility curves ----------------------------------------------
+
+TEST(Fig8Shape, DoptIncreasesWithRhoBothScenarios) {
+  for (const auto& scen : {core::Scenario::airplane(), core::Scenario::quadrocopter()}) {
+    const auto model = scen.paper_throughput();
+    double prev = 0.0;
+    for (double rho : {scen.rho_per_m, 1e-3, 2e-3, 5e-3, 1e-2}) {
+      const uav::FailureModel failure(rho);
+      const core::CommDelayModel delay(model, scen.delivery_params());
+      const core::UtilityFunction u(delay, failure);
+      const auto r = core::optimize(u);
+      EXPECT_GE(r.d_opt_m, prev - 1.0) << scen.name << " rho=" << rho;
+      prev = r.d_opt_m;
+    }
+  }
+}
+
+TEST(Fig8Shape, DoptInvariantToD0UntilItBinds) {
+  // Paper: "d_opt does not change having smaller d0 ... as long as d0
+  // does not reach d_opt. Once d0 = d_opt, it becomes beneficial to
+  // transmit immediately."
+  const auto scen = core::Scenario::airplane();
+  const auto model = scen.paper_throughput();
+  const uav::FailureModel failure(scen.rho_per_m);
+
+  auto dopt_for = [&](double d0) {
+    core::DeliveryParams p = scen.delivery_params();
+    p.d0_m = d0;
+    const core::CommDelayModel delay(model, p);
+    const core::UtilityFunction u(delay, failure);
+    return core::optimize(u).d_opt_m;
+  };
+
+  const double dopt_300 = dopt_for(300.0);
+  ASSERT_LT(dopt_300, 250.0);
+  EXPECT_NEAR(dopt_for(280.0), dopt_300, 1.0);
+  EXPECT_NEAR(dopt_for(260.0), dopt_300, 1.0);
+  // Once d0 <= dopt, transmit immediately (d_opt == d0).
+  const double small_d0 = dopt_300 * 0.8;
+  EXPECT_NEAR(dopt_for(small_d0), small_d0, 1.0);
+}
+
+// ---- Figure 9: Mdata and speed sweeps --------------------------------------
+
+TEST(Fig9Shape, LargerDataMovesCloserAndLowersUtility) {
+  const auto scen = core::Scenario::airplane();
+  const auto model = scen.paper_throughput();
+  const uav::FailureModel failure(scen.rho_per_m);
+  double prev_d = 1e9;
+  double prev_u = 1e9;
+  for (double mdata_mb : {5.0, 7.0, 10.0, 15.0, 25.0, 45.0}) {
+    core::DeliveryParams p = scen.delivery_params();
+    p.mdata_bytes = mdata_mb * 1e6;
+    const core::CommDelayModel delay(model, p);
+    const core::UtilityFunction u(delay, failure);
+    const auto r = core::optimize(u);
+    EXPECT_LE(r.d_opt_m, prev_d + 1.0) << mdata_mb;
+    EXPECT_LT(r.utility, prev_u) << mdata_mb;
+    prev_d = r.d_opt_m;
+    prev_u = r.utility;
+  }
+}
+
+TEST(Fig9Shape, HigherSpeedMovesCloser) {
+  const auto scen = core::Scenario::airplane();
+  const auto model = scen.paper_throughput();
+  const uav::FailureModel failure(scen.rho_per_m);
+  double prev_d = 1e9;
+  for (double v : {3.0, 5.0, 10.0, 15.0, 20.0}) {
+    core::DeliveryParams p = scen.delivery_params();
+    p.mdata_bytes = 10e6;
+    p.speed_mps = v;
+    const core::CommDelayModel delay(model, p);
+    const core::UtilityFunction u(delay, failure);
+    const auto r = core::optimize(u);
+    EXPECT_LE(r.d_opt_m, prev_d + 1.0) << v;
+    prev_d = r.d_opt_m;
+  }
+}
+
+// ---- Figure 1 over the full stack ------------------------------------------
+
+TEST(Fig1FullStack, ShipTo60BeatsTransmitAt80For20MB) {
+  // Reproduce the headline crossover with the full PHY+MAC simulator
+  // instead of the median model: ship 20 m (4.44 s at 4.5 m/s), then
+  // transfer 20 MB at 60 m, vs transferring immediately at 80 m.
+  // Averaged over several channel realizations (slow shadowing makes a
+  // single transfer a coin-flip near the crossover).
+  mac::LinkConfig cfg;
+  cfg.channel = phy::ChannelConfig::quadrocopter();
+
+  double sum60 = 0.0, sum80 = 0.0;
+  const int kSeeds = 6;
+  for (int k = 0; k < kSeeds; ++k) {
+    mac::MinstrelConfig mcfg;
+    mac::MinstrelHt rc80(mcfg, 3 + k), rc60(mcfg, 3 + k);
+    mac::LinkSimulator sim80(cfg, rc80, 808 + 31ULL * k);
+    mac::LinkSimulator sim60(cfg, rc60, 808 + 31ULL * k);
+    const auto r80 = sim80.run_transfer(20'000'000, 600.0, mac::static_geometry(80.0));
+    const auto r60 = sim60.run_transfer(20'000'000, 600.0, mac::static_geometry(60.0));
+    ASSERT_TRUE(r80.completed);
+    ASSERT_TRUE(r60.completed);
+    sum80 += r80.duration_s;
+    sum60 += r60.duration_s;
+  }
+  const double tship = 20.0 / 4.5;
+  EXPECT_LT(tship + sum60 / kSeeds, sum80 / kSeeds);
+}
+
+}  // namespace
+}  // namespace skyferry

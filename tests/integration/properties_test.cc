@@ -1,0 +1,194 @@
+// Property suites (parameterized sweeps) over the delayed-gratification
+// math: optimizer correctness against brute force, monotonicity laws,
+// and unimodality of U in the small-rho regime.
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "core/scenario.h"
+
+namespace skyferry::core {
+namespace {
+
+// (platform: 0=airplane 1=quad, mdata_mb, speed, rho)
+using ParamTuple = std::tuple<int, double, double, double>;
+
+class DelayedGratificationProperty : public ::testing::TestWithParam<ParamTuple> {
+ protected:
+  void SetUp() override {
+    const auto [plat, mdata_mb, v, rho] = GetParam();
+    scen_ = plat == 0 ? Scenario::airplane() : Scenario::quadrocopter();
+    params_ = scen_.delivery_params();
+    params_.mdata_bytes = mdata_mb * 1e6;
+    params_.speed_mps = v;
+    rho_ = rho;
+  }
+
+  Scenario scen_;
+  DeliveryParams params_;
+  double rho_{0.0};
+};
+
+TEST_P(DelayedGratificationProperty, OptimizerMatchesBruteForce) {
+  const auto model = scen_.paper_throughput();
+  const uav::FailureModel failure(rho_);
+  const CommDelayModel delay(model, params_);
+  const UtilityFunction u(delay, failure);
+  const auto fast = optimize(u);
+  const auto slow = optimize_brute_force(u, 40000);
+  // Equal utility (the argmax may sit on a flat stretch).
+  EXPECT_NEAR(fast.utility, slow.utility, std::abs(slow.utility) * 1e-4 + 1e-12);
+  EXPECT_NEAR(fast.d_opt_m, slow.d_opt_m, 1.0);
+}
+
+TEST_P(DelayedGratificationProperty, UtilityNonNegativeAndBounded) {
+  const auto model = scen_.paper_throughput();
+  const uav::FailureModel failure(rho_);
+  const CommDelayModel delay(model, params_);
+  const UtilityFunction u(delay, failure);
+  for (const auto& pt : u.curve(100)) {
+    EXPECT_GE(pt.utility, 0.0);
+    EXPECT_LE(pt.discount, 1.0);
+    EXPECT_GE(pt.discount, 0.0);
+    if (std::isfinite(pt.cdelay_s)) {
+      EXPECT_GE(pt.cdelay_s, 0.0);
+    }
+  }
+}
+
+TEST_P(DelayedGratificationProperty, SmallRhoCurveIsNearlyUnimodal) {
+  // The paper: "U(d) can be approximated with a concave function for
+  // rho << 1" — an approximation: shallow secondary bumps exist near the
+  // 20 m clamp. We assert no *material* secondary structure: every
+  // valley's depth (prominence of a second peak) stays within 3% of the
+  // global maximum.
+  if (rho_ > 2e-3) GTEST_SKIP() << "only claimed for small rho";
+  const auto model = scen_.paper_throughput();
+  const uav::FailureModel failure(rho_);
+  const CommDelayModel delay(model, params_);
+  const UtilityFunction u(delay, failure);
+  const auto pts = u.curve(400);
+  double peak = 0.0;
+  for (const auto& p : pts) peak = std::max(peak, p.utility);
+  ASSERT_GT(peak, 0.0);
+  // Scan: once we've fallen below a running max, count it as a material
+  // valley only if the curve later recovers by more than 3% of the peak.
+  double running_max = 0.0;
+  double valley_floor = 1e300;
+  int material_valleys = 0;
+  for (const auto& p : pts) {
+    if (p.utility > running_max) {
+      running_max = p.utility;
+      valley_floor = 1e300;
+      continue;
+    }
+    valley_floor = std::min(valley_floor, p.utility);
+    if (p.utility - valley_floor > 0.03 * peak) {
+      ++material_valleys;
+      running_max = p.utility;
+      valley_floor = 1e300;
+    }
+  }
+  EXPECT_EQ(material_valleys, 0);
+}
+
+TEST_P(DelayedGratificationProperty, DiscountNeverIncreasesUtilityAnywhere) {
+  // With failure risk, utility at every d is <= the risk-free utility.
+  const auto model = scen_.paper_throughput();
+  const uav::FailureModel failure(rho_);
+  const uav::FailureModel no_failure(0.0);
+  const CommDelayModel delay(model, params_);
+  const UtilityFunction u(delay, failure);
+  const UtilityFunction u0(delay, no_failure);
+  for (double d = params_.min_distance_m; d <= params_.d0_m; d += 10.0) {
+    EXPECT_LE(u(d), u0(d) + 1e-15);
+  }
+}
+
+TEST_P(DelayedGratificationProperty, OptimalCdelayNeverWorseThanTransmitNow_WhenSafe) {
+  // With rho = 0, the optimum minimizes Cdelay, so it can only improve on
+  // transmitting immediately.
+  const auto model = scen_.paper_throughput();
+  const uav::FailureModel no_failure(0.0);
+  const CommDelayModel delay(model, params_);
+  const UtilityFunction u(delay, no_failure);
+  const auto r = optimize(u);
+  const double now_delay = delay.cdelay_s(params_.d0_m);
+  if (std::isfinite(now_delay)) {
+    EXPECT_LE(r.cdelay_s, now_delay + 0.05);
+  } else {
+    EXPECT_TRUE(std::isfinite(r.cdelay_s));
+  }
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<ParamTuple>& info) {
+  const auto [plat, m, v, rho] = info.param;
+  std::string name = plat == 0 ? "air" : "quad";
+  name += "_m" + std::to_string(static_cast<int>(m));
+  name += "_v" + std::to_string(static_cast<int>(v));
+  name += "_rho" + std::to_string(static_cast<int>(rho * 1e6));
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DelayedGratificationProperty,
+    ::testing::Combine(::testing::Values(0, 1),                         // platform
+                       ::testing::Values(1.0, 5.0, 15.0, 28.0, 45.0),   // Mdata MB
+                       ::testing::Values(1.0, 4.5, 10.0, 20.0),         // speed
+                       ::testing::Values(0.0, 1.11e-4, 1e-3, 1e-2)),    // rho
+    sweep_name);
+
+// Monotonicity sweeps need ordered comparisons across parameters, so they
+// live outside the combinatorial fixture.
+
+TEST(MonotonicityProperties, DoptMonotoneInRho) {
+  for (int plat = 0; plat < 2; ++plat) {
+    const Scenario scen = plat == 0 ? Scenario::airplane() : Scenario::quadrocopter();
+    const auto model = scen.paper_throughput();
+    double prev = 0.0;
+    for (double rho = 1e-5; rho <= 3e-2; rho *= 2.0) {
+      const uav::FailureModel failure(rho);
+      const CommDelayModel delay(model, scen.delivery_params());
+      const UtilityFunction u(delay, failure);
+      const double dopt = optimize(u).d_opt_m;
+      EXPECT_GE(dopt, prev - 1.0) << scen.name << " rho=" << rho;
+      prev = dopt;
+    }
+  }
+}
+
+TEST(MonotonicityProperties, DoptMonotoneNonIncreasingInMdata) {
+  const Scenario scen = Scenario::airplane();
+  const auto model = scen.paper_throughput();
+  const uav::FailureModel failure(scen.rho_per_m);
+  double prev = 1e9;
+  for (double mb = 1.0; mb <= 64.0; mb *= 2.0) {
+    DeliveryParams p = scen.delivery_params();
+    p.mdata_bytes = mb * 1e6;
+    const CommDelayModel delay(model, p);
+    const UtilityFunction u(delay, failure);
+    const double dopt = optimize(u).d_opt_m;
+    EXPECT_LE(dopt, prev + 1.0) << mb;
+    prev = dopt;
+  }
+}
+
+TEST(MonotonicityProperties, UtilityAtOptimumMonotoneInRho) {
+  // More risk can never increase the achievable utility.
+  const Scenario scen = Scenario::quadrocopter();
+  const auto model = scen.paper_throughput();
+  double prev = 1e9;
+  for (double rho = 0.0; rho <= 1e-2; rho += 1e-3) {
+    const uav::FailureModel failure(rho);
+    const CommDelayModel delay(model, scen.delivery_params());
+    const UtilityFunction u(delay, failure);
+    const double best = optimize(u).utility;
+    EXPECT_LE(best, prev + 1e-12);
+    prev = best;
+  }
+}
+
+}  // namespace
+}  // namespace skyferry::core

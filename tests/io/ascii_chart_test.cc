@@ -1,0 +1,50 @@
+#include "io/ascii_chart.h"
+
+#include <gtest/gtest.h>
+
+namespace skyferry::io {
+namespace {
+
+TEST(AsciiChart, EmptyChart) {
+  AsciiChart c("empty");
+  const std::string s = c.str();
+  EXPECT_NE(s.find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiChart, RendersSeriesAndLegend) {
+  AsciiChart c("U(d) curves", 60, 15);
+  c.x_label("d (m)").y_label("U");
+  Series s1{"rho=0.001", {20.0, 100.0, 300.0}, {0.01, 0.02, 0.005}};
+  Series s2{"rho=0.01", {20.0, 100.0, 300.0}, {0.02, 0.015, 0.001}};
+  c.add(s1).add(s2);
+  const std::string out = c.str();
+  EXPECT_NE(out.find("U(d) curves"), std::string::npos);
+  EXPECT_NE(out.find("rho=0.001"), std::string::npos);
+  EXPECT_NE(out.find("rho=0.01"), std::string::npos);
+  EXPECT_NE(out.find("d (m)"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(AsciiChart, SinglePointSeries) {
+  AsciiChart c("point");
+  c.add({"p", {1.0}, {1.0}});
+  EXPECT_FALSE(c.str().empty());
+}
+
+TEST(AsciiChart, ConstantSeriesDoesNotDivideByZero) {
+  AsciiChart c("flat");
+  c.add({"flat", {0.0, 1.0, 2.0}, {5.0, 5.0, 5.0}});
+  EXPECT_FALSE(c.str().empty());
+}
+
+TEST(AsciiChart, AxisTicksPresent) {
+  AsciiChart c("ticks", 40, 10);
+  c.add({"s", {0.0, 100.0}, {0.0, 50.0}});
+  const std::string out = c.str();
+  EXPECT_NE(out.find("100"), std::string::npos);  // x max tick
+  EXPECT_NE(out.find("50"), std::string::npos);   // y max tick
+}
+
+}  // namespace
+}  // namespace skyferry::io

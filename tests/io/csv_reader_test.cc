@@ -1,0 +1,77 @@
+#include "io/csv_reader.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "io/csv.h"
+
+namespace skyferry::io {
+namespace {
+
+TEST(CsvReader, ParsesHeaderAndRows) {
+  const auto doc = parse_csv("d_m,mbps\n20,25.2\n40,19.4\n");
+  ASSERT_EQ(doc.header.size(), 2u);
+  EXPECT_EQ(doc.header[0], "d_m");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][1], "19.4");
+}
+
+TEST(CsvReader, NoHeaderMode) {
+  const auto doc = parse_csv("1,2\n3,4\n", false);
+  EXPECT_TRUE(doc.header.empty());
+  ASSERT_EQ(doc.rows.size(), 2u);
+}
+
+TEST(CsvReader, QuotedFields) {
+  const auto doc = parse_csv("label,x\n\"a,b\",1\n\"say \"\"hi\"\"\",2\n");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][0], "a,b");
+  EXPECT_EQ(doc.rows[1][0], "say \"hi\"");
+}
+
+TEST(CsvReader, ColumnLookup) {
+  const auto doc = parse_csv("a,b,c\n1,2,3\n");
+  EXPECT_EQ(doc.column("b").value(), 1u);
+  EXPECT_FALSE(doc.column("zz").has_value());
+}
+
+TEST(CsvReader, NumericColumnWithBadCells) {
+  const auto doc = parse_csv("x\n1.5\nnot-a-number\n2.5\n");
+  const auto xs = doc.numeric_column(0);
+  ASSERT_EQ(xs.size(), 3u);
+  EXPECT_DOUBLE_EQ(xs[0], 1.5);
+  EXPECT_TRUE(std::isnan(xs[1]));
+  EXPECT_DOUBLE_EQ(xs[2], 2.5);
+}
+
+TEST(CsvReader, HandlesCrlfAndBlankLines) {
+  const auto doc = parse_csv("a,b\r\n1,2\r\n\r\n3,4\r\n");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][0], "3");
+}
+
+TEST(CsvReader, MissingFileIsNullopt) {
+  EXPECT_FALSE(read_csv_file("/nonexistent/skyferry.csv").has_value());
+}
+
+TEST(CsvReader, RoundTripsCsvWriter) {
+  const std::string path = ::testing::TempDir() + "/skyferry_roundtrip.csv";
+  {
+    CsvWriter w(path);
+    w.header({"d_m", "mbps", "label,with,commas"});
+    w.row({20.0, 25.25});
+    w.row("fixed-mcs3", std::vector<double>{42.0});
+  }
+  const auto doc = read_csv_file(path);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->header[2], "label,with,commas");
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[0][1], "25.25");
+  EXPECT_EQ(doc->rows[1][0], "fixed-mcs3");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace skyferry::io

@@ -1,0 +1,79 @@
+#include "io/gnuplot.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace skyferry::io {
+namespace {
+
+TEST(Gnuplot, BasicScriptStructure) {
+  GnuplotScript gp("U(d)", "d (m)", "utility");
+  gp.add({"fig8.csv", 2, 3, "rho=1e-3", "lines", 0, ""});
+  const std::string s = gp.str();
+  EXPECT_NE(s.find("set datafile separator ','"), std::string::npos);
+  EXPECT_NE(s.find("set title 'U(d)'"), std::string::npos);
+  EXPECT_NE(s.find("set xlabel 'd (m)'"), std::string::npos);
+  EXPECT_NE(s.find("'fig8.csv' using 2:3 with lines title 'rho=1e-3'"), std::string::npos);
+}
+
+TEST(Gnuplot, MultipleSeriesJoinedWithCommas) {
+  GnuplotScript gp("t", "x", "y");
+  gp.add({"a.csv", 1, 2, "s1", "linespoints", 0, ""});
+  gp.add({"a.csv", 1, 3, "s2", "lines", 0, ""});
+  const std::string s = gp.str();
+  EXPECT_NE(s.find("title 's1', \\"), std::string::npos);
+  EXPECT_NE(s.find("using 1:3 with lines title 's2'"), std::string::npos);
+}
+
+TEST(Gnuplot, LongFormatFilter) {
+  GnuplotScript gp("t", "x", "y");
+  GnuplotSeries s;
+  s.csv_path = "fig8.csv";
+  s.x_column = 2;
+  s.y_column = 3;
+  s.title = "quad";
+  s.filter_column = 1;
+  s.filter_value = "quadrocopter/rho=0.001";
+  gp.add(s);
+  const std::string out = gp.str();
+  EXPECT_NE(out.find("strcol(1) eq 'quadrocopter/rho=0.001'"), std::string::npos);
+}
+
+TEST(Gnuplot, TerminalAndOutput) {
+  GnuplotScript gp("t", "x", "y");
+  gp.terminal("svg", "fig.svg");
+  gp.add({"a.csv", 1, 2, "s", "lines", 0, ""});
+  const std::string s = gp.str();
+  EXPECT_NE(s.find("set terminal svg"), std::string::npos);
+  EXPECT_NE(s.find("set output 'fig.svg'"), std::string::npos);
+}
+
+TEST(Gnuplot, LogscaleOption) {
+  GnuplotScript gp("t", "d", "y");
+  gp.logscale_x();
+  gp.add({"a.csv", 1, 2, "s", "lines", 0, ""});
+  EXPECT_NE(gp.str().find("set logscale x 2"), std::string::npos);
+}
+
+TEST(Gnuplot, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/skyferry_test.gp";
+  GnuplotScript gp("t", "x", "y");
+  gp.add({"a.csv", 1, 2, "s", "lines", 0, ""});
+  ASSERT_TRUE(gp.write(path));
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), gp.str());
+  std::remove(path.c_str());
+}
+
+TEST(Gnuplot, WriteToBadPathFails) {
+  GnuplotScript gp("t", "x", "y");
+  EXPECT_FALSE(gp.write("/nonexistent/dir/x.gp"));
+}
+
+}  // namespace
+}  // namespace skyferry::io

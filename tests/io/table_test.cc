@@ -1,0 +1,64 @@
+#include "io/table.h"
+
+#include <gtest/gtest.h>
+
+namespace skyferry::io {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("Platforms");
+  t.columns({"Feature", "Airplane", "Quadrocopter"});
+  t.add_row({"Hovering", "No", "Yes"});
+  t.add_row({"Weight", "500 g", "1.7 kg"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("Platforms"), std::string::npos);
+  EXPECT_NE(s.find("Feature"), std::string::npos);
+  EXPECT_NE(s.find("Hovering"), std::string::npos);
+  EXPECT_NE(s.find("1.7 kg"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t;
+  t.columns({"a", "long-header"});
+  t.add_row({"wide-cell-content", "x"});
+  const std::string s = t.str();
+  // Every rendered line between rules must be the same width.
+  std::size_t width = 0;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t nl = s.find('\n', pos);
+    const std::size_t len = nl - pos;
+    if (width == 0) {
+      width = len;
+    } else {
+      EXPECT_EQ(len, width);
+    }
+    pos = nl + 1;
+  }
+}
+
+TEST(Table, NumericRowHelper) {
+  Table t;
+  t.columns({"d", "u"});
+  t.add_row("20", std::vector<double>{0.0123});
+  EXPECT_NE(t.str().find("0.0123"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t;
+  t.columns({"a", "b", "c"});
+  t.add_row({"only-one"});
+  // Must not crash and must render three columns.
+  const std::string s = t.str();
+  EXPECT_NE(s.find("only-one"), std::string::npos);
+}
+
+TEST(Table, EmptyTable) {
+  Table t;
+  const std::string s = t.str();
+  EXPECT_FALSE(s.empty());
+}
+
+}  // namespace
+}  // namespace skyferry::io

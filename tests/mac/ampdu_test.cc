@@ -1,0 +1,121 @@
+#include "mac/ampdu.h"
+
+#include <gtest/gtest.h>
+
+namespace skyferry::mac {
+namespace {
+
+constexpr auto kW = phy::ChannelWidth::kCw40MHz;
+constexpr auto kGi = phy::GuardInterval::kShort400ns;
+
+TEST(MpduFormat, BitCounts) {
+  MpduFormat f;
+  // 1470 + 28 + 8 + 26 + 4 = 1536 bytes = 12288 bits.
+  EXPECT_EQ(f.mpdu_bits(), 12288);
+  // + 4 delimiter = 1540, already 4-aligned.
+  EXPECT_EQ(f.subframe_bits(), 12320);
+  EXPECT_EQ(f.payload_bits(), 11760);
+}
+
+TEST(MpduFormat, PaddingRoundsUp) {
+  MpduFormat f;
+  f.msdu_bytes = 1471;  // forces a 1541-byte subframe -> pad to 1544
+  EXPECT_EQ(f.subframe_bits(), 1544 * 8);
+}
+
+TEST(SubframesFor, RespectsBacklogAndCap) {
+  AmpduPolicy p;
+  MpduFormat f;
+  EXPECT_EQ(subframes_for(p, f, phy::mcs(7), kW, kGi, 100), 14);  // cap at default
+  EXPECT_EQ(subframes_for(p, f, phy::mcs(7), kW, kGi, 3), 3);     // backlog-limited
+  EXPECT_EQ(subframes_for(p, f, phy::mcs(7), kW, kGi, 0), 1);     // at least one
+}
+
+TEST(SubframesFor, ByteCap) {
+  AmpduPolicy p;
+  p.max_subframes = 64;
+  p.max_ampdu_bytes = 10000;  // fits only 6 subframes of 1540 B
+  MpduFormat f;
+  EXPECT_EQ(subframes_for(p, f, phy::mcs(7), kW, kGi, 64), 6);
+}
+
+TEST(SubframesFor, DurationCapBitesAtLowMcs) {
+  AmpduPolicy p;
+  p.max_duration_s = 2e-3;
+  MpduFormat f;
+  // At MCS0 (15 Mb/s), 14 subframes (172 kbit) would take ~11.5 ms.
+  const int n = subframes_for(p, f, phy::mcs(0), kW, kGi, 14);
+  EXPECT_LT(n, 14);
+  EXPECT_GE(n, 1);
+  EXPECT_LE(ampdu_duration_s(f, phy::mcs(0), kW, kGi, n), p.max_duration_s * 1.05);
+}
+
+TEST(SubframesFor, SlowHostLimitsAggregation) {
+  // The paper: "If the physical rate is too high, the embedded system may
+  // not fill the buffer fast enough, resulting in fewer A-MPDU sub-frames."
+  AmpduPolicy fast_host;
+  AmpduPolicy slow_host;
+  slow_host.host_fill_rate_bps = 30e6;
+  MpduFormat f;
+  const int n_fast = subframes_for(fast_host, f, phy::mcs(7), kW, kGi, 14);
+  const int n_slow = subframes_for(slow_host, f, phy::mcs(7), kW, kGi, 14);
+  EXPECT_EQ(n_fast, 14);
+  EXPECT_LT(n_slow, 14);
+  // At a low PHY rate the slow host keeps up again.
+  EXPECT_EQ(subframes_for(slow_host, f, phy::mcs(0), kW, kGi, 14),
+            subframes_for(fast_host, f, phy::mcs(0), kW, kGi, 14));
+}
+
+TEST(AmpduDuration, GrowsWithSubframes) {
+  MpduFormat f;
+  const double d1 = ampdu_duration_s(f, phy::mcs(7), kW, kGi, 1);
+  const double d14 = ampdu_duration_s(f, phy::mcs(7), kW, kGi, 14);
+  EXPECT_GT(d14, d1 * 10.0);
+}
+
+TEST(ExchangeDuration, IncludesOverheads) {
+  MacTiming t;
+  MpduFormat f;
+  const double ampdu = ampdu_duration_s(f, phy::mcs(7), kW, kGi, 14);
+  const double exch = exchange_duration_s(t, f, phy::mcs(7), kW, kGi, 14, 0);
+  EXPECT_GT(exch, ampdu + t.difs_s() + t.sifs_s);
+}
+
+TEST(IdealGoodput, Mcs7FortyMhzAggregated) {
+  MacTiming t;
+  AmpduPolicy p;
+  MpduFormat f;
+  const double gp = ideal_goodput_bps(t, p, f, phy::mcs(7), kW, kGi) / 1e6;
+  // 14 aggregated 1470 B datagrams at 150 Mb/s PHY: ~120 Mb/s goodput.
+  EXPECT_GT(gp, 110.0);
+  EXPECT_LT(gp, 130.0);
+}
+
+TEST(IdealGoodput, MonotoneInSingleStreamMcs) {
+  MacTiming t;
+  AmpduPolicy p;
+  MpduFormat f;
+  double prev = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    const double gp = ideal_goodput_bps(t, p, f, phy::mcs(i), kW, kGi);
+    EXPECT_GT(gp, prev) << "mcs" << i;
+    prev = gp;
+  }
+}
+
+TEST(IdealGoodput, EfficiencyDropsAtHighRate) {
+  // Fixed per-exchange overhead: MAC efficiency (goodput/PHY rate) falls
+  // as the PHY rate rises.
+  MacTiming t;
+  AmpduPolicy p;
+  MpduFormat f;
+  const double eff0 =
+      ideal_goodput_bps(t, p, f, phy::mcs(0), kW, kGi) / phy::mcs(0).phy_rate_bps(kW, kGi);
+  const double eff7 =
+      ideal_goodput_bps(t, p, f, phy::mcs(7), kW, kGi) / phy::mcs(7).phy_rate_bps(kW, kGi);
+  EXPECT_GT(eff0, eff7);
+  EXPECT_GT(eff7, 0.6);  // aggregation keeps 11n efficient
+}
+
+}  // namespace
+}  // namespace skyferry::mac

@@ -1,0 +1,110 @@
+#include "mac/link.h"
+
+#include <gtest/gtest.h>
+
+namespace skyferry::mac {
+namespace {
+
+LinkConfig quad_cfg() {
+  LinkConfig cfg;
+  cfg.channel = phy::ChannelConfig::quadrocopter();
+  return cfg;
+}
+
+TEST(LinkSimulator, CloseRangeFixedMcsDeliversWell) {
+  // MCS1 (QPSK 1/2 + STBC) is the right rate at 20 m on the calibrated
+  // quad link — consistent with the paper measuring only ~27 Mb/s there.
+  LinkConfig cfg = quad_cfg();
+  FixedMcs rc(1);
+  LinkSimulator sim(cfg, rc, 42);
+  const auto res = sim.run_saturated(10.0, static_geometry(20.0));
+  EXPECT_GT(res.mean_goodput_mbps(), 15.0);
+  EXPECT_LT(res.loss_rate(), 0.3);
+  EXPECT_GT(res.exchanges, 100u);
+}
+
+TEST(LinkSimulator, ThroughputDecreasesWithDistance) {
+  double prev = 1e9;
+  for (double d : {20.0, 60.0, 100.0}) {
+    FixedMcs rc(1);
+    LinkSimulator sim(quad_cfg(), rc, 7);
+    const auto res = sim.run_saturated(20.0, static_geometry(d));
+    EXPECT_LT(res.mean_goodput_mbps(), prev + 1.0) << d;
+    prev = res.mean_goodput_mbps();
+  }
+}
+
+TEST(LinkSimulator, MovingDegradesThroughput) {
+  // The paper's Fig. 7 center: transmitting while approaching at ~8 m/s
+  // loses badly against hovering at the same distance.
+  MinstrelConfig mc;
+  MinstrelHt rc_hover(mc, 1);
+  MinstrelHt rc_move(mc, 1);
+  LinkSimulator hover(quad_cfg(), rc_hover, 11);
+  LinkSimulator move(quad_cfg(), rc_move, 11);
+  const auto r_hover = hover.run_saturated(30.0, static_geometry(60.0, 0.0));
+  const auto r_move = move.run_saturated(30.0, static_geometry(60.0, 8.0));
+  EXPECT_LT(r_move.mean_goodput_mbps(), r_hover.mean_goodput_mbps() * 0.8);
+}
+
+TEST(LinkSimulator, TransferCompletesAndIsMonotone) {
+  FixedMcs rc(1);
+  LinkSimulator sim(quad_cfg(), rc, 13);
+  const auto res = sim.run_transfer(5'000'000, 120.0, static_geometry(40.0));
+  EXPECT_TRUE(res.completed);
+  EXPECT_GE(res.payload_bits_delivered, 5'000'000ull * 8ull);
+  // Cumulative transfer curve must be nondecreasing.
+  for (std::size_t i = 1; i < res.transfer_curve_mb.size(); ++i) {
+    EXPECT_GE(res.transfer_curve_mb[i].mbps, res.transfer_curve_mb[i - 1].mbps);
+    EXPECT_GT(res.transfer_curve_mb[i].t_s, res.transfer_curve_mb[i - 1].t_s);
+  }
+}
+
+TEST(LinkSimulator, TransferTimesOutOutOfRange) {
+  FixedMcs rc(7);  // high MCS at extreme range: nothing gets through
+  LinkConfig cfg = quad_cfg();
+  LinkSimulator sim(cfg, rc, 17);
+  const auto res = sim.run_transfer(1'000'000, 5.0, static_geometry(400.0));
+  EXPECT_FALSE(res.completed);
+  EXPECT_GE(res.duration_s, 5.0);
+  EXPECT_LT(res.payload_bits_delivered, 1'000'000ull * 8ull);
+}
+
+TEST(LinkSimulator, DeterministicForSeed) {
+  FixedMcs rc1(3), rc2(3);
+  LinkSimulator a(quad_cfg(), rc1, 99);
+  LinkSimulator b(quad_cfg(), rc2, 99);
+  const auto ra = a.run_saturated(5.0, static_geometry(50.0));
+  const auto rb = b.run_saturated(5.0, static_geometry(50.0));
+  EXPECT_EQ(ra.payload_bits_delivered, rb.payload_bits_delivered);
+  EXPECT_EQ(ra.exchanges, rb.exchanges);
+}
+
+TEST(LinkSimulator, GeometryFunctionIsHonored) {
+  // Approach geometry: distance shrinks over time, so later windows see
+  // higher throughput than the first ones.
+  FixedMcs rc(2);
+  LinkSimulator sim(quad_cfg(), rc, 21);
+  auto geom = [](double t) {
+    const double d = std::max(100.0 - 4.0 * t, 20.0);
+    return Geometry{d, d > 20.0 ? 4.0 : 0.0};
+  };
+  const auto res = sim.run_saturated(40.0, geom);
+  ASSERT_GE(res.samples.size(), 10u);
+  double early = 0.0, late = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) early += res.samples[i].mbps;
+  for (std::size_t i = res.samples.size() - 5; i < res.samples.size(); ++i)
+    late += res.samples[i].mbps;
+  EXPECT_GT(late, early);
+}
+
+TEST(LinkSimulator, SamplesCoverDuration) {
+  FixedMcs rc(3);
+  LinkSimulator sim(quad_cfg(), rc, 23);
+  const auto res = sim.run_saturated(10.0, static_geometry(30.0));
+  ASSERT_FALSE(res.samples.empty());
+  EXPECT_NEAR(res.samples.back().t_s, res.duration_s, 0.6);
+}
+
+}  // namespace
+}  // namespace skyferry::mac

@@ -1,0 +1,212 @@
+#include "mac/rate_control.h"
+
+#include <gtest/gtest.h>
+
+namespace skyferry::mac {
+namespace {
+
+TEST(FixedMcs, AlwaysReturnsConfigured) {
+  FixedMcs rc(3);
+  for (double t = 0.0; t < 10.0; t += 0.5) EXPECT_EQ(rc.select_mcs(t), 3);
+  rc.report(1.0, {3, 14, 0});  // feedback is ignored
+  EXPECT_EQ(rc.select_mcs(11.0), 3);
+  EXPECT_EQ(rc.name(), "fixed-mcs3");
+}
+
+TEST(ArfRate, LadderOrderedByRateWithSdmInterleaved) {
+  ArfRate rc;
+  ASSERT_EQ(rc.ladder_size(), phy::kNumMcs);
+  // Rung 0 is the most robust rate; rates are nondecreasing up the ladder.
+  EXPECT_EQ(rc.mcs_at(0), 0);
+  double prev = 0.0;
+  bool sdm_seen_before_top_single_stream = false;
+  int top_single_rung = 0;
+  for (int r = 0; r < rc.ladder_size(); ++r) {
+    const auto& m = phy::mcs(rc.mcs_at(r));
+    const double rate =
+        m.phy_rate_bps(phy::ChannelWidth::kCw40MHz, phy::GuardInterval::kShort400ns);
+    EXPECT_GE(rate, prev - 1.0);
+    prev = rate;
+    if (rc.mcs_at(r) == 7) top_single_rung = r;
+  }
+  for (int r = 0; r < top_single_rung; ++r) {
+    if (phy::mcs(rc.mcs_at(r)).is_sdm()) sdm_seen_before_top_single_stream = true;
+  }
+  // The pathological property: broken SDM rungs sit *inside* the ladder,
+  // so ARF keeps probing them on the way up.
+  EXPECT_TRUE(sdm_seen_before_top_single_stream);
+}
+
+TEST(ArfRate, ClimbsOnSuccessStreak) {
+  ArfConfig cfg;
+  cfg.up_after_successes = 5;
+  ArfRate rc(cfg);
+  EXPECT_EQ(rc.rung(), 0);
+  for (int i = 0; i < 5; ++i) rc.report(0.0, {rc.select_mcs(0.0), 14, 14});
+  EXPECT_EQ(rc.rung(), 1);
+}
+
+TEST(ArfRate, DropsAfterConsecutiveFailures) {
+  ArfConfig cfg;
+  cfg.up_after_successes = 5;
+  cfg.down_after_failures = 3;
+  ArfRate rc(cfg);
+  for (int i = 0; i < 5; ++i) rc.report(0.0, {rc.select_mcs(0.0), 14, 14});
+  ASSERT_EQ(rc.rung(), 1);
+  for (int i = 0; i < 3; ++i) rc.report(0.0, {rc.select_mcs(0.0), 14, 0});
+  EXPECT_EQ(rc.rung(), 0);
+  // Never below the bottom rung.
+  for (int i = 0; i < 10; ++i) rc.report(0.0, {rc.select_mcs(0.0), 14, 0});
+  EXPECT_EQ(rc.rung(), 0);
+}
+
+TEST(ArfRate, ProbeTimeoutKeepsRetestingBrokenRung) {
+  // With a broken rung above, ARF keeps wasting exchanges on probes —
+  // the airtime leak behind the paper's fixed-vs-auto gap.
+  ArfConfig cfg;
+  ArfRate rc(cfg);
+  int probes_at_rung1 = 0;
+  for (int i = 0; i < 400; ++i) {
+    const int mcs = rc.select_mcs(0.0);
+    const bool works = rc.rung() == 0;  // rung 1 is broken
+    if (rc.rung() == 1) ++probes_at_rung1;
+    rc.report(0.0, {mcs, 14, works ? 14 : 0});
+  }
+  EXPECT_GT(probes_at_rung1, 10);
+  EXPECT_LE(rc.rung(), 1);
+}
+
+TEST(ArfRate, PartialDeliveryThresholdGovernsSuccess) {
+  ArfConfig cfg;
+  cfg.up_after_successes = 2;
+  cfg.success_fraction = 0.5;
+  ArfRate rc(cfg);
+  // 6/14 delivered (43%) is a failure; 8/14 (57%) is a success.
+  rc.report(0.0, {0, 14, 8});
+  rc.report(0.0, {0, 14, 8});
+  EXPECT_EQ(rc.rung(), 1);
+  ArfRate rc2(cfg);
+  for (int i = 0; i < 4; ++i) rc2.report(0.0, {0, 14, 6});
+  EXPECT_EQ(rc2.rung(), 0);
+}
+
+class MinstrelTest : public ::testing::Test {
+ protected:
+  MinstrelConfig cfg_;
+};
+
+TEST_F(MinstrelTest, StartsOnLowestAllowedRate) {
+  MinstrelHt rc(cfg_, 1);
+  EXPECT_EQ(rc.best_mcs(), 0);
+
+  MinstrelConfig masked = cfg_;
+  masked.allowed.fill(false);
+  masked.allowed[2] = true;
+  masked.allowed[5] = true;
+  MinstrelHt rc2(masked, 1);
+  EXPECT_EQ(rc2.best_mcs(), 2);
+}
+
+TEST_F(MinstrelTest, LearnsGoodHighRate) {
+  MinstrelHt rc(cfg_, 2);
+  // Perfect channel: every attempted rate succeeds fully.
+  double t = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    const int m = rc.select_mcs(t);
+    rc.report(t, {m, 14, 14});
+    t += 0.002;
+  }
+  // With everything succeeding, the elected rate must be the highest
+  // ideal-goodput one (MCS15).
+  EXPECT_EQ(rc.best_mcs(), 15);
+}
+
+TEST_F(MinstrelTest, AvoidsFailingHighRates) {
+  MinstrelHt rc(cfg_, 3);
+  // Channel where anything above MCS2 always fails.
+  double t = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    const int m = rc.select_mcs(t);
+    const int ok = (m <= 2) ? 14 : 0;
+    rc.report(t, {m, 14, ok});
+    t += 0.002;
+  }
+  EXPECT_LE(rc.best_mcs(), 2);
+  EXPECT_GT(rc.probability(1), 0.9);
+  EXPECT_LT(rc.probability(7), 0.1);
+}
+
+TEST_F(MinstrelTest, SamplesOtherRates) {
+  MinstrelHt rc(cfg_, 4);
+  // Even with a stable best rate, sampling must occasionally pick others.
+  double t = 0.0;
+  bool sampled_other = false;
+  for (int i = 0; i < 500; ++i) {
+    const int m = rc.select_mcs(t);
+    if (m != rc.best_mcs()) sampled_other = true;
+    rc.report(t, {m, 14, m == 0 ? 14 : 0});
+    t += 0.002;
+  }
+  EXPECT_TRUE(sampled_other);
+}
+
+TEST_F(MinstrelTest, EwmaIsSticky) {
+  // After learning a good rate, a short failure burst within one update
+  // interval must not immediately dethrone it (that staleness is the
+  // aerial-channel pathology).
+  MinstrelConfig cfg = cfg_;
+  cfg.update_interval_s = 0.5;
+  MinstrelHt rc(cfg, 5);
+  double t = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    const int m = rc.select_mcs(t);
+    rc.report(t, {m, 14, m <= 7 ? 14 : 0});
+    t += 0.002;
+  }
+  const int learned = rc.best_mcs();
+  EXPECT_EQ(learned, 7);
+  // Burst of failures for 100 ms (within the 500 ms window).
+  for (int i = 0; i < 50; ++i) {
+    const int m = rc.select_mcs(t);
+    rc.report(t, {m, 14, 0});
+    t += 0.002;
+  }
+  EXPECT_EQ(rc.best_mcs(), learned);
+}
+
+TEST_F(MinstrelTest, CollapsesToLowestWhenAllFail) {
+  MinstrelHt rc(cfg_, 6);
+  double t = 0.0;
+  // Learn a good state first.
+  for (int i = 0; i < 2000; ++i) {
+    const int m = rc.select_mcs(t);
+    rc.report(t, {m, 14, 14});
+    t += 0.002;
+  }
+  EXPECT_GT(rc.best_mcs(), 0);
+  // Then the channel dies. Minstrel's stale EWMA stats cascade through
+  // the rarely-sampled rates, so full collapse takes many intervals —
+  // give it an extended outage.
+  for (int i = 0; i < 30000; ++i) {
+    const int m = rc.select_mcs(t);
+    rc.report(t, {m, 14, 0});
+    t += 0.002;
+  }
+  EXPECT_EQ(rc.best_mcs(), 0);
+}
+
+TEST_F(MinstrelTest, DeterministicForSeed) {
+  MinstrelHt a(cfg_, 77), b(cfg_, 77);
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const int ma = a.select_mcs(t);
+    const int mb = b.select_mcs(t);
+    EXPECT_EQ(ma, mb);
+    a.report(t, {ma, 14, 7});
+    b.report(t, {mb, 14, 7});
+    t += 0.002;
+  }
+}
+
+}  // namespace
+}  // namespace skyferry::mac

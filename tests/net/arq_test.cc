@@ -1,0 +1,155 @@
+#include "net/arq.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace skyferry::net {
+namespace {
+
+/// Drive a full batch through a Bernoulli-lossy channel until complete.
+struct LossyRun {
+  std::uint64_t transmissions{0};
+  std::uint64_t retransmissions{0};
+  std::uint64_t acks{0};
+  bool completed{false};
+};
+
+LossyRun run_lossy(std::uint32_t packets, double loss, std::uint64_t seed,
+                   std::uint64_t max_steps = 2000000) {
+  ArqConfig cfg;
+  ArqSender tx(cfg, packets);
+  ArqReceiver rx(cfg, packets);
+  sim::Rng rng(seed);
+  LossyRun out;
+  std::uint64_t steps = 0;
+  while (!tx.complete() && steps++ < max_steps) {
+    auto p = tx.next_packet(0.0);
+    if (!p) {
+      // Window stalled: receiver-side ack timer fires.
+      tx.on_ack(rx.make_ack());
+      ++out.acks;
+      continue;
+    }
+    if (!rng.bernoulli(loss)) {
+      if (auto ack = rx.on_packet(*p)) {
+        tx.on_ack(*ack);  // acks assumed reliable (tiny frames)
+        ++out.acks;
+      }
+    }
+  }
+  out.transmissions = tx.transmissions();
+  out.retransmissions = tx.retransmissions();
+  out.completed = tx.complete() && rx.complete();
+  return out;
+}
+
+TEST(Arq, LosslessChannelNoRetransmissions) {
+  const auto r = run_lossy(1000, 0.0, 1);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.transmissions, 1000u);
+  EXPECT_EQ(r.retransmissions, 0u);
+}
+
+TEST(Arq, CompletesUnderHeavyLoss) {
+  const auto r = run_lossy(2000, 0.4, 2);
+  EXPECT_TRUE(r.completed);
+  // Expected transmissions ~ n / (1 - loss).
+  EXPECT_NEAR(static_cast<double>(r.transmissions), 2000.0 / 0.6, 2000.0 * 0.15);
+}
+
+TEST(Arq, RetransmissionCountMatchesLossRate) {
+  const auto r = run_lossy(5000, 0.1, 3);
+  EXPECT_TRUE(r.completed);
+  const double retx_rate =
+      static_cast<double>(r.retransmissions) / static_cast<double>(r.transmissions);
+  EXPECT_NEAR(retx_rate, 0.1, 0.03);
+}
+
+TEST(Arq, WindowLimitsInFlight) {
+  ArqConfig cfg;
+  cfg.window = 8;
+  ArqSender tx(cfg, 100);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(tx.next_packet(0.0).has_value());
+  EXPECT_FALSE(tx.next_packet(0.0).has_value());  // window full
+  EXPECT_EQ(tx.in_flight(), 8u);
+}
+
+TEST(Arq, SelectiveAckReleasesWindow) {
+  ArqConfig cfg;
+  cfg.window = 4;
+  ArqSender tx(cfg, 100);
+  for (int i = 0; i < 4; ++i) tx.next_packet(0.0);
+  SelectiveAck ack;
+  ack.cumulative = 2;  // first two landed
+  tx.on_ack(ack);
+  EXPECT_TRUE(tx.next_packet(0.0).has_value());
+}
+
+TEST(Arq, GapIsRetransmittedFirst) {
+  ArqConfig cfg;
+  cfg.window = 8;
+  ArqSender tx(cfg, 100);
+  for (int i = 0; i < 4; ++i) tx.next_packet(0.0);
+  // Packet 1 lost: bitmap says 0 received, 1 missing, 2/3 received.
+  SelectiveAck ack;
+  ack.cumulative = 1;
+  ack.window_bitmap = {false, true, true};
+  tx.on_ack(ack);
+  const auto p = tx.next_packet(0.0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->seq, 1u);
+  EXPECT_EQ(tx.retransmissions(), 1u);
+}
+
+TEST(Arq, ReceiverTracksDuplicates) {
+  ArqConfig cfg;
+  ArqReceiver rx(cfg, 10);
+  Packet p;
+  p.seq = 0;
+  rx.on_packet(p);
+  rx.on_packet(p);
+  EXPECT_EQ(rx.duplicates(), 1u);
+  EXPECT_EQ(rx.received_count(), 1u);
+}
+
+TEST(Arq, AckCadence) {
+  ArqConfig cfg;
+  cfg.ack_every = 4;
+  ArqReceiver rx(cfg, 100);
+  int acks = 0;
+  for (std::uint32_t s = 0; s < 12; ++s) {
+    Packet p;
+    p.seq = s;
+    if (rx.on_packet(p)) ++acks;
+  }
+  EXPECT_EQ(acks, 3);
+}
+
+TEST(Arq, FinalPacketForcesAck) {
+  ArqConfig cfg;
+  cfg.ack_every = 100;  // cadence would never fire
+  ArqReceiver rx(cfg, 3);
+  Packet p;
+  p.seq = 0;
+  EXPECT_FALSE(rx.on_packet(p).has_value());
+  p.seq = 1;
+  EXPECT_FALSE(rx.on_packet(p).has_value());
+  p.seq = 2;
+  const auto ack = rx.on_packet(p);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->cumulative, 3u);
+  EXPECT_TRUE(rx.complete());
+}
+
+TEST(Arq, OutOfRangeSequenceIgnored) {
+  ArqConfig cfg;
+  ArqReceiver rx(cfg, 5);
+  Packet p;
+  p.seq = 99;
+  EXPECT_FALSE(rx.on_packet(p).has_value());
+  EXPECT_EQ(rx.received_count(), 0u);
+}
+
+}  // namespace
+}  // namespace skyferry::net

@@ -1,0 +1,104 @@
+#include "net/flow.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace skyferry::net {
+namespace {
+
+TEST(BatchSource, PacketizesPaperQuadBatch) {
+  // Quad scenario: 145 images x 0.39 MB = 56.55 MB (paper rounds 56.2).
+  DataBatch batch{145, 0.39e6};
+  BatchSource src(1, batch);
+  EXPECT_NEAR(batch.total_mb(), 56.55, 0.01);
+  // ceil(0.39e6/1470) = 266 packets per image.
+  EXPECT_EQ(src.total_packets(), 266u * 145u);
+
+  PacketQueue q;
+  EXPECT_EQ(src.load_into(q, 0.0), src.total_packets());
+  EXPECT_EQ(q.size(), src.total_packets());
+}
+
+TEST(BatchSource, PacketsCarryImageIndex) {
+  DataBatch batch{3, 2940.0};  // 2 packets per image
+  BatchSource src(1, batch);
+  PacketQueue q;
+  src.load_into(q, 1.5);
+  EXPECT_EQ(q.size(), 6u);
+  int seq = 0;
+  while (auto p = q.pop()) {
+    EXPECT_EQ(p->seq, static_cast<std::uint32_t>(seq));
+    EXPECT_EQ(p->image_index, static_cast<std::uint32_t>(seq / 2));
+    EXPECT_DOUBLE_EQ(p->created_t_s, 1.5);
+    ++seq;
+  }
+}
+
+TEST(BatchSource, StopsWhenQueueFull) {
+  DataBatch batch{10, 14700.0};
+  BatchSource src(1, batch);
+  PacketQueue q(1470 * 5);
+  EXPECT_EQ(src.load_into(q, 0.0), 5u);
+}
+
+TEST(IperfSource, SaturatedKeepsBacklog) {
+  IperfSource src(2);
+  PacketQueue q;
+  src.pump(q, 0.0, 64);
+  EXPECT_EQ(q.size(), 64u);
+  // Drain some; the next pump refills.
+  for (int i = 0; i < 10; ++i) q.pop();
+  src.pump(q, 0.1, 64);
+  EXPECT_EQ(q.size(), 64u);
+}
+
+TEST(IperfSource, PacedRate) {
+  const double rate = 8e6;  // 1 MB/s
+  IperfSource src(3, 1000, rate);
+  PacketQueue q;
+  src.pump(q, 0.0, 0);
+  const auto before = q.size();
+  src.pump(q, 1.0, 0);  // one second: 1000 packets of 1000 B
+  EXPECT_EQ(q.size() - before, 1000u);
+}
+
+TEST(FlowSink, CountsUniqueAndDuplicates) {
+  FlowSink sink;
+  Packet p;
+  p.seq = 0;
+  p.payload_bytes = 100;
+  sink.deliver(p, 1.0);
+  sink.deliver(p, 2.0);  // duplicate
+  p.seq = 1;
+  sink.deliver(p, 3.0);
+  EXPECT_EQ(sink.unique_packets(), 2u);
+  EXPECT_EQ(sink.duplicate_packets(), 1u);
+  EXPECT_EQ(sink.bytes(), 200u);
+  EXPECT_DOUBLE_EQ(sink.last_delivery_t_s(), 3.0);
+}
+
+TEST(FlowSink, CompleteImagesRequiresAllPackets) {
+  FlowSink sink;
+  Packet p;
+  p.payload_bytes = 10;
+  // Images of 3 packets each; deliver image0 fully, image1 partially.
+  for (std::uint32_t s : {0u, 1u, 2u, 3u, 5u}) {
+    p.seq = s;
+    sink.deliver(p, 0.0);
+  }
+  EXPECT_EQ(sink.complete_images(3), 1u);
+  p.seq = 4;
+  sink.deliver(p, 0.0);
+  EXPECT_EQ(sink.complete_images(3), 2u);
+}
+
+TEST(FlowSink, EmptySink) {
+  FlowSink sink;
+  EXPECT_EQ(sink.unique_packets(), 0u);
+  EXPECT_EQ(sink.complete_images(10), 0u);
+  EXPECT_EQ(sink.highest_seq_plus_one(), 0u);
+}
+
+}  // namespace
+}  // namespace skyferry::net

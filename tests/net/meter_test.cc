@@ -1,0 +1,64 @@
+#include "net/meter.h"
+
+#include <gtest/gtest.h>
+
+namespace skyferry::net {
+namespace {
+
+TEST(ThroughputMeter, WindowedSamples) {
+  ThroughputMeter m(1.0);
+  // 1 MB per second for 3 seconds.
+  for (int i = 0; i < 30; ++i) m.record(i * 0.1, 100000);
+  m.flush();
+  ASSERT_GE(m.samples().size(), 2u);
+  // Each full window: 1e6 bytes -> 8 Mb/s.
+  EXPECT_NEAR(m.samples()[0].mbps, 8.0, 0.9);
+  EXPECT_NEAR(m.samples()[1].mbps, 8.0, 0.9);
+}
+
+TEST(ThroughputMeter, TotalBytes) {
+  ThroughputMeter m(0.5);
+  m.record(0.0, 100);
+  m.record(0.2, 200);
+  EXPECT_EQ(m.total_bytes(), 300u);
+}
+
+TEST(ThroughputMeter, FlushClosesPartialWindow) {
+  ThroughputMeter m(10.0);
+  m.record(0.0, 1000);
+  m.record(1.0, 1000);
+  EXPECT_TRUE(m.samples().empty());
+  m.flush();
+  ASSERT_EQ(m.samples().size(), 1u);
+  EXPECT_NEAR(m.samples()[0].mbps, 2000.0 * 8.0 / 1.0 / 1e6, 1e-6);
+}
+
+TEST(ThroughputMeter, EmptyFlushIsSafe) {
+  ThroughputMeter m;
+  m.flush();
+  EXPECT_TRUE(m.samples().empty());
+  EXPECT_DOUBLE_EQ(m.mean_mbps(), 0.0);
+}
+
+TEST(ThroughputMeter, MeanOverRun) {
+  ThroughputMeter m(0.5);
+  // 2 MB over 4 seconds = 4 Mb/s.
+  for (int i = 1; i <= 4; ++i) m.record(static_cast<double>(i), 500000);
+  EXPECT_NEAR(m.mean_mbps(), 4.0, 0.1);
+}
+
+TEST(ThroughputMeter, IdleGapYieldsZeroWindows) {
+  ThroughputMeter m(1.0);
+  m.record(0.0, 1000);
+  m.record(5.0, 1000);  // 4 idle windows in between
+  ASSERT_GE(m.samples().size(), 4u);
+  // Middle windows must report ~0.
+  bool has_zero = false;
+  for (const auto& s : m.samples()) {
+    if (s.mbps == 0.0) has_zero = true;
+  }
+  EXPECT_TRUE(has_zero);
+}
+
+}  // namespace
+}  // namespace skyferry::net

@@ -1,0 +1,75 @@
+#include "net/queue.h"
+
+#include <gtest/gtest.h>
+
+namespace skyferry::net {
+namespace {
+
+Packet pkt(std::uint32_t seq, std::uint32_t bytes = 1470) {
+  Packet p;
+  p.seq = seq;
+  p.payload_bytes = bytes;
+  return p;
+}
+
+TEST(PacketQueue, FifoOrder) {
+  PacketQueue q;
+  q.push(pkt(1));
+  q.push(pkt(2));
+  q.push(pkt(3));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop()->seq, 1u);
+  EXPECT_EQ(q.pop()->seq, 2u);
+  EXPECT_EQ(q.pop()->seq, 3u);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(PacketQueue, ByteAccounting) {
+  PacketQueue q;
+  q.push(pkt(1, 100));
+  q.push(pkt(2, 200));
+  EXPECT_EQ(q.bytes(), 300u);
+  q.pop();
+  EXPECT_EQ(q.bytes(), 200u);
+  q.clear();
+  EXPECT_EQ(q.bytes(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(PacketQueue, CapacityDrops) {
+  PacketQueue q(250);
+  EXPECT_TRUE(q.push(pkt(1, 100)));
+  EXPECT_TRUE(q.push(pkt(2, 100)));
+  EXPECT_FALSE(q.push(pkt(3, 100)));  // would exceed 250
+  EXPECT_EQ(q.drops(), 1u);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(PacketQueue, UnboundedByDefault) {
+  PacketQueue q;
+  for (std::uint32_t i = 0; i < 10000; ++i) ASSERT_TRUE(q.push(pkt(i)));
+  EXPECT_EQ(q.drops(), 0u);
+}
+
+TEST(PacketQueue, FrontPeeks) {
+  PacketQueue q;
+  EXPECT_EQ(q.front(), nullptr);
+  q.push(pkt(42));
+  ASSERT_NE(q.front(), nullptr);
+  EXPECT_EQ(q.front()->seq, 42u);
+  EXPECT_EQ(q.size(), 1u);  // peek does not consume
+}
+
+TEST(PacketQueue, PushFrontForRetransmission) {
+  PacketQueue q(1470 * 2);
+  q.push(pkt(1));
+  q.push(pkt(2));
+  auto head = q.pop();
+  // Retransmission path bypasses the capacity check.
+  q.push_front(*head);
+  EXPECT_EQ(q.front()->seq, 1u);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+}  // namespace
+}  // namespace skyferry::net

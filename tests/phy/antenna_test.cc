@@ -1,0 +1,96 @@
+#include "phy/antenna.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesy.h"
+
+namespace skyferry::phy {
+namespace {
+
+TEST(DipoleAntenna, PeakInEquatorialPlane) {
+  DipoleAntenna ant;
+  const Attitude level{};  // antenna axis straight up
+  // Horizontal directions get the peak gain.
+  EXPECT_NEAR(ant.gain_dbi(level, {1.0, 0.0, 0.0}), 2.15, 0.01);
+  EXPECT_NEAR(ant.gain_dbi(level, {0.0, 1.0, 0.0}), 2.15, 0.01);
+  EXPECT_NEAR(ant.gain_dbi(level, {-1.0, -1.0, 0.0}), 2.15, 0.01);
+}
+
+TEST(DipoleAntenna, NullAlongAxis) {
+  DipoleAntenna ant;
+  const Attitude level{};
+  EXPECT_LT(ant.gain_dbi(level, {0.0, 0.0, 1.0}), -20.0);
+  EXPECT_LT(ant.gain_dbi(level, {0.0, 0.0, -1.0}), -20.0);
+}
+
+TEST(DipoleAntenna, BankSwingsNullTowardPeer) {
+  DipoleAntenna ant;
+  // Peer due east at the same altitude. Banking 90 degrees points the
+  // antenna axis east: the peer falls into the null.
+  const geo::Vec3 to_peer{1.0, 0.0, 0.0};
+  const Attitude level{};
+  Attitude banked{};
+  banked.roll = geo::deg2rad(90.0);
+  banked.yaw = 0.0;  // heading north: roll tilts the z-axis east
+  EXPECT_GT(ant.gain_dbi(level, to_peer), 0.0);
+  EXPECT_LT(ant.gain_dbi(banked, to_peer), -15.0);
+}
+
+TEST(DipoleAntenna, ModerateBankLosesModerately) {
+  DipoleAntenna ant;
+  const geo::Vec3 to_peer{1.0, 0.0, 0.0};
+  Attitude banked{};
+  banked.roll = geo::deg2rad(27.0);  // the loiter-circle bank (see below)
+  const double loss = ant.gain_dbi(Attitude{}, to_peer) - ant.gain_dbi(banked, to_peer);
+  EXPECT_GT(loss, 0.2);
+  EXPECT_LT(loss, 6.0);
+}
+
+TEST(DipoleAntenna, BodyAxisRotation) {
+  // Level flight: body z == world up.
+  const geo::Vec3 up = DipoleAntenna::body_z_in_world(Attitude{});
+  EXPECT_NEAR(up.z, 1.0, 1e-12);
+  // 90-degree roll at yaw 0 (heading north): z-axis points east.
+  Attitude a{};
+  a.roll = geo::deg2rad(90.0);
+  const geo::Vec3 east = DipoleAntenna::body_z_in_world(a);
+  EXPECT_NEAR(east.x, 1.0, 1e-9);
+  EXPECT_NEAR(east.z, 0.0, 1e-9);
+}
+
+TEST(LinkAntennaGain, SymmetricLevelLink) {
+  DipoleAntenna ant;
+  const double g = link_antenna_gain_db(ant, {0.0, 0.0, 80.0}, Attitude{}, {100.0, 0.0, 80.0},
+                                        Attitude{});
+  EXPECT_NEAR(g, 2.0 * 2.15, 0.05);
+}
+
+TEST(LinkAntennaGain, AltitudeOffsetCostsGain) {
+  DipoleAntenna ant;
+  // The paper separates the airplanes by 20 m of altitude: at short
+  // ranges that elevates the peer out of the equatorial plane.
+  const double level = link_antenna_gain_db(ant, {0.0, 0.0, 80.0}, Attitude{},
+                                            {30.0, 0.0, 80.0}, Attitude{});
+  const double offset = link_antenna_gain_db(ant, {0.0, 0.0, 80.0}, Attitude{},
+                                             {30.0, 0.0, 100.0}, Attitude{});
+  EXPECT_LT(offset, level);
+}
+
+TEST(CoordinatedTurn, LoiterBankAngle) {
+  // Swinglet loitering: 10 m/s on a 20 m circle -> tan(phi) = 100/196.
+  const double bank = coordinated_turn_bank_rad(10.0, 20.0);
+  EXPECT_NEAR(bank, std::atan2(100.0, 9.80665 * 20.0), 1e-12);
+  EXPECT_NEAR(geo::rad2deg(bank), 27.0, 1.0);
+  // Degenerate radius.
+  EXPECT_DOUBLE_EQ(coordinated_turn_bank_rad(10.0, 0.0), 0.0);
+}
+
+TEST(CoordinatedTurn, FasterOrTighterBanksMore) {
+  EXPECT_GT(coordinated_turn_bank_rad(15.0, 20.0), coordinated_turn_bank_rad(10.0, 20.0));
+  EXPECT_GT(coordinated_turn_bank_rad(10.0, 20.0), coordinated_turn_bank_rad(10.0, 40.0));
+}
+
+}  // namespace
+}  // namespace skyferry::phy

@@ -1,0 +1,66 @@
+#include "phy/channel.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "stats/quantile.h"
+
+namespace skyferry::phy {
+namespace {
+
+TEST(ChannelConfig, PresetsDiffer) {
+  const auto air = ChannelConfig::airplane();
+  const auto quad = ChannelConfig::quadrocopter();
+  EXPECT_GT(air.fading.attitude_event_rate_hz, quad.fading.attitude_event_rate_hz);
+  EXPECT_GT(air.fading.shadowing_sigma_db, quad.fading.shadowing_sigma_db);
+  const auto indoor = ChannelConfig::indoor();
+  EXPECT_LT(indoor.spatial_correlation, quad.spatial_correlation);
+}
+
+TEST(LinkChannel, MedianSnrTracksModel) {
+  LinkChannel ch(ChannelConfig::airplane(), 1);
+  EXPECT_DOUBLE_EQ(ch.median_snr_db(100.0),
+                   AerialSnrModel::airplane().median_snr_db(100.0));
+}
+
+TEST(LinkChannel, SampledMedianNearModelMedian) {
+  LinkChannel ch(ChannelConfig::quadrocopter(), 17);
+  std::vector<double> snrs;
+  for (double t = 0.0; t < 3000.0; t += 1.1) snrs.push_back(ch.snr_db(t, 60.0, 0.0));
+  const double med = stats::median(snrs);
+  EXPECT_NEAR(med, ch.median_snr_db(60.0), 3.0);
+}
+
+TEST(LinkChannel, AirplaneSpreadExceedsQuad) {
+  // The paper's Fig. 5 vs Fig. 7: airplane links show far more variance.
+  LinkChannel air(ChannelConfig::airplane(), 3);
+  LinkChannel quad(ChannelConfig::quadrocopter(), 3);
+  stats::RunningStats sa, sq;
+  for (double t = 0.0; t < 2000.0; t += 1.1) {
+    sa.add(air.snr_db(t, 60.0, 0.0));
+    sq.add(quad.snr_db(t, 60.0, 0.0));
+  }
+  EXPECT_GT(sa.stddev(), sq.stddev());
+}
+
+TEST(LinkChannel, CloserIsBetter) {
+  LinkChannel ch(ChannelConfig::airplane(), 5);
+  stats::RunningStats near_snr, far_snr;
+  for (double t = 0.0; t < 1000.0; t += 1.1) {
+    near_snr.add(ch.snr_db(t, 40.0, 0.0));
+  }
+  LinkChannel ch2(ChannelConfig::airplane(), 5);
+  for (double t = 0.0; t < 1000.0; t += 1.1) {
+    far_snr.add(ch2.snr_db(t, 240.0, 0.0));
+  }
+  EXPECT_GT(near_snr.mean(), far_snr.mean() + 5.0);
+}
+
+TEST(LinkChannel, DefaultsAre40MHzShortGi) {
+  const ChannelConfig cfg = ChannelConfig::airplane();
+  EXPECT_EQ(cfg.width, ChannelWidth::kCw40MHz);
+  EXPECT_EQ(cfg.gi, GuardInterval::kShort400ns);
+}
+
+}  // namespace
+}  // namespace skyferry::phy

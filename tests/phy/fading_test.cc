@@ -1,0 +1,144 @@
+#include "phy/fading.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+
+namespace skyferry::phy {
+namespace {
+
+TEST(CoherenceTime, ShrinksWithSpeed) {
+  const double f = 5.2e9;
+  const double t_slow = coherence_time_s(1.0, f);
+  const double t_fast = coherence_time_s(20.0, f);
+  EXPECT_GT(t_slow, t_fast);
+  EXPECT_NEAR(t_slow / t_fast, 20.0, 0.01);
+}
+
+TEST(CoherenceTime, ClampedWhenStatic) {
+  EXPECT_DOUBLE_EQ(coherence_time_s(0.0, 5.2e9, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(coherence_time_s(1e-9, 5.2e9, 1.0), 1.0);
+}
+
+TEST(CoherenceTime, KnownValue) {
+  // v=10 m/s at 5.2 GHz: fD = 173.4 Hz, Tc = 0.423/fD ~ 2.44 ms.
+  EXPECT_NEAR(coherence_time_s(10.0, 5.2e9), 2.44e-3, 0.05e-3);
+}
+
+TEST(FadingProcess, KFactorInterpolatesWithSpeed) {
+  FadingConfig cfg;
+  cfg.rician_k_hover = 10.0;
+  cfg.rician_k_moving = 2.0;
+  cfg.speed_k_rolloff = 4.0;
+  FadingProcess fp(cfg, sim::Rng(1));
+  EXPECT_DOUBLE_EQ(fp.k_factor(0.0), 10.0);
+  EXPECT_LT(fp.k_factor(8.0), 6.0);
+  EXPECT_GT(fp.k_factor(8.0), 2.0);
+  EXPECT_NEAR(fp.k_factor(1000.0), 2.0, 0.1);
+}
+
+TEST(FadingProcess, HoverIsLessVariableThanMoving) {
+  FadingConfig cfg;
+  auto spread = [&](double speed) {
+    FadingProcess fp(cfg, sim::Rng(7));
+    stats::RunningStats rs;
+    for (double t = 0.0; t < 60.0; t += 0.02) rs.add(fp.sample_db(t, speed));
+    return rs.stddev();
+  };
+  EXPECT_LT(spread(0.0), spread(10.0));
+}
+
+TEST(FadingProcess, MeanGainNearZeroDb) {
+  // Unit-mean-power fading: mean *linear power* gain ~ 1. (The mean of
+  // the dB samples is negative by Jensen; check the linear domain.)
+  FadingConfig cfg;
+  cfg.shadowing_sigma_db = 0.0;
+  cfg.attitude_event_rate_hz = 0.0;
+  FadingProcess fp(cfg, sim::Rng(3));
+  stats::RunningStats lin;
+  for (double t = 0.0; t < 2000.0; t += 1.1) {  // > coherence: fresh draws
+    lin.add(std::pow(10.0, fp.sample_db(t, 0.0) / 10.0));
+  }
+  EXPECT_NEAR(lin.mean(), 1.0, 0.1);
+}
+
+TEST(FadingProcess, AttitudeEventsOnlyLose) {
+  // Frequent banking events must push the average gain down.
+  FadingConfig base;
+  base.shadowing_sigma_db = 0.0;
+  FadingConfig with = base;
+  with.attitude_event_rate_hz = 1.0;
+  with.attitude_loss_mean_db = 10.0;
+  with.attitude_duration_mean_s = 1.0;
+  FadingProcess a(base, sim::Rng(5));
+  FadingProcess b(with, sim::Rng(5));
+  stats::RunningStats da, db;
+  for (double t = 0.0; t < 500.0; t += 1.1) {
+    da.add(a.sample_db(t, 0.0));
+    db.add(b.sample_db(t, 0.0));
+  }
+  EXPECT_LT(db.mean(), da.mean() - 2.0);
+}
+
+TEST(FadingProcess, AttitudeEventsPersistForSeconds) {
+  // Once a banking event starts, the loss must hold for a macroscopic
+  // duration — this persistence is what defeats the auto-rate loop.
+  FadingConfig cfg;
+  cfg.shadowing_sigma_db = 0.0;
+  cfg.rician_k_hover = 1e6;  // freeze fast fading at ~0 dB
+  cfg.attitude_event_rate_hz = 5.0;
+  cfg.attitude_loss_mean_db = 20.0;
+  cfg.attitude_duration_mean_s = 2.0;
+  FadingProcess fp(cfg, sim::Rng(21));
+  int run_len = 0, max_run = 0;
+  for (double t = 0.0; t < 200.0; t += 0.05) {
+    if (fp.sample_db(t, 0.0) < -5.0) {
+      ++run_len;
+      max_run = std::max(max_run, run_len);
+    } else {
+      run_len = 0;
+    }
+  }
+  // At least one event lasting >= 1 s (20 consecutive 50 ms samples).
+  EXPECT_GE(max_run, 20);
+}
+
+TEST(FadingProcess, MobilityLossScalesWithSpeed) {
+  FadingConfig cfg;
+  cfg.shadowing_sigma_db = 0.0;
+  cfg.rician_k_hover = 1e6;
+  cfg.rician_k_moving = 1e6;  // isolate the deterministic mobility term
+  cfg.mobility_loss_db_per_mps = 0.8;
+  FadingProcess fp(cfg, sim::Rng(1));
+  const double at0 = fp.sample_db(0.0, 0.0);
+  FadingProcess fp2(cfg, sim::Rng(1));
+  const double at10 = fp2.sample_db(0.0, 10.0);
+  EXPECT_NEAR(at0 - at10, 8.0, 0.5);
+}
+
+TEST(FadingProcess, DeterministicForSeed) {
+  FadingConfig cfg;
+  FadingProcess a(cfg, sim::Rng(9));
+  FadingProcess b(cfg, sim::Rng(9));
+  for (double t = 0.0; t < 10.0; t += 0.3) {
+    EXPECT_EQ(a.sample_db(t, 3.0), b.sample_db(t, 3.0));
+  }
+}
+
+TEST(FadingProcess, ConstantWithinCoherenceInterval) {
+  FadingConfig cfg;
+  cfg.shadowing_sigma_db = 0.0;  // isolate the fast component
+  FadingProcess fp(cfg, sim::Rng(11));
+  const double v = 0.0;  // coherence clamped to 1 s
+  const double g0 = fp.sample_db(0.0, v);
+  const double g1 = fp.sample_db(0.5, v);  // same coherence interval
+  EXPECT_DOUBLE_EQ(g0, g1);
+  const double g2 = fp.sample_db(1.5, v);  // next interval: re-drawn
+  EXPECT_NE(g0, g2);
+}
+
+}  // namespace
+}  // namespace skyferry::phy

@@ -1,0 +1,84 @@
+#include "phy/tworay.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "phy/pathloss.h"
+
+namespace skyferry::phy {
+namespace {
+
+TEST(TwoRay, BreakpointFormula) {
+  TwoRayGround tr;
+  // 4*pi*h1*h2/lambda at 5.2 GHz (lambda ~ 5.77 cm).
+  EXPECT_NEAR(tr.breakpoint_distance_m(10.0, 10.0), 4.0 * M_PI * 100.0 / 0.05765, 30.0);
+}
+
+TEST(TwoRay, QuadAltitudeBreakpointInsideMeasuredRange) {
+  // At the quads' 10 m altitude the breakpoint (~21.8 km!? no — with
+  // h1=h2=10 m it's ~21.8 km/1000... compute: 4*pi*100/0.0577 ~ 21.8 km)
+  // — the paper's quad range sits in the oscillatory near region, while
+  // an effective reflection-affected decay shows up through the ripple.
+  TwoRayGround tr;
+  const double bp_quad = tr.breakpoint_distance_m(10.0, 10.0);
+  const double bp_air = tr.breakpoint_distance_m(90.0, 90.0);
+  EXPECT_GT(bp_air, bp_quad);  // higher platforms: reflection matters later
+}
+
+TEST(TwoRay, FarFieldFollowsFourthPowerLaw) {
+  TwoRayGround tr({5.2e9, 1.0});
+  const double h = 2.0;  // low antennas so the far field is reachable
+  const double bp = tr.breakpoint_distance_m(h, h);
+  const double l1 = tr.path_loss_db(4.0 * bp, h, h);
+  const double l2 = tr.path_loss_db(8.0 * bp, h, h);
+  // d^4: 12 dB per distance doubling.
+  EXPECT_NEAR(l2 - l1, 12.0, 1.0);
+}
+
+TEST(TwoRay, NearFieldOscillatesAroundFreeSpace) {
+  TwoRayGround tr;
+  const double h = 10.0;
+  // Constructive and destructive interference: gain relative to free
+  // space should both exceed and undercut 0 dB somewhere near in.
+  bool above = false, below = false;
+  for (double d = 20.0; d <= 200.0; d += 1.0) {
+    const double rel = -tr.path_loss_db(d, h, h) + free_space_path_loss_db(d, 5.2e9);
+    if (rel > 1.0) above = true;
+    if (rel < -1.0) below = true;
+  }
+  EXPECT_TRUE(above);
+  EXPECT_TRUE(below);
+}
+
+TEST(TwoRay, LossGrowsWithDistanceOnAverage) {
+  TwoRayGround tr;
+  // Average loss over windows must increase with distance.
+  auto avg_loss = [&](double lo, double hi) {
+    double sum = 0.0;
+    int n = 0;
+    for (double d = lo; d < hi; d += 2.0) {
+      sum += tr.path_loss_db(d, 10.0, 10.0);
+      ++n;
+    }
+    return sum / n;
+  };
+  EXPECT_LT(avg_loss(20.0, 60.0), avg_loss(200.0, 240.0));
+}
+
+TEST(TwoRay, HigherAltitudeLessGroundEffect) {
+  // At the airplanes' altitude the two-ray loss stays closer to free
+  // space over the measured range than at the quads' altitude.
+  TwoRayGround tr;
+  double worst_air = 0.0, worst_quad = 0.0;
+  for (double d = 20.0; d <= 120.0; d += 2.0) {
+    const double fs = free_space_path_loss_db(d, 5.2e9);
+    worst_air = std::max(worst_air, tr.path_loss_db(d, 90.0, 90.0) - fs);
+    worst_quad = std::max(worst_quad, tr.path_loss_db(d, 10.0, 10.0) - fs);
+  }
+  EXPECT_LE(worst_air, worst_quad + 1e-9);
+}
+
+}  // namespace
+}  // namespace skyferry::phy

@@ -1,0 +1,139 @@
+#include "sim/rng.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+
+namespace skyferry::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  stats::RunningStats rs;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    rs.add(u);
+  }
+  EXPECT_NEAR(rs.mean(), 0.5, 0.01);
+  EXPECT_NEAR(rs.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntUnbiasedCoverage) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(10)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  stats::RunningStats rs;
+  for (int i = 0; i < 200000; ++i) rs.add(rng.gaussian());
+  EXPECT_NEAR(rs.mean(), 0.0, 0.01);
+  EXPECT_NEAR(rs.stddev(), 1.0, 0.01);
+}
+
+TEST(Rng, GaussianScaled) {
+  Rng rng(17);
+  stats::RunningStats rs;
+  for (int i = 0; i < 100000; ++i) rs.add(rng.gaussian(10.0, 2.0));
+  EXPECT_NEAR(rs.mean(), 10.0, 0.05);
+  EXPECT_NEAR(rs.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(19);
+  stats::RunningStats rs;
+  const double lambda = 0.25;
+  for (int i = 0; i < 100000; ++i) rs.add(rng.exponential(lambda));
+  EXPECT_NEAR(rs.mean(), 1.0 / lambda, 0.1);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, RicianUnitMeanPower) {
+  // E[r^2] must be 1 for any K (normalized fading).
+  for (double k : {0.0, 1.0, 5.0, 10.0}) {
+    Rng rng(29);
+    stats::RunningStats power;
+    for (int i = 0; i < 100000; ++i) {
+      const double r = rng.rician_envelope(k);
+      power.add(r * r);
+    }
+    EXPECT_NEAR(power.mean(), 1.0, 0.02) << "K=" << k;
+  }
+}
+
+TEST(Rng, RicianHighKConcentratesNearOne) {
+  Rng rng(31);
+  stats::RunningStats rs;
+  for (int i = 0; i < 50000; ++i) rs.add(rng.rician_envelope(100.0));
+  // Strong LoS: envelope tightly around 1.
+  EXPECT_NEAR(rs.mean(), 1.0, 0.01);
+  EXPECT_LT(rs.stddev(), 0.1);
+}
+
+TEST(Rng, RicianK0IsRayleigh) {
+  Rng rng(37);
+  stats::RunningStats rs;
+  for (int i = 0; i < 100000; ++i) rs.add(rng.rician_envelope(0.0));
+  // Rayleigh with unit mean power: E[r] = sqrt(pi)/2 ~ 0.8862.
+  EXPECT_NEAR(rs.mean(), std::sqrt(M_PI) / 2.0, 0.01);
+}
+
+TEST(DeriveSeed, DistinctComponentsDistinctSeeds) {
+  const auto a = derive_seed(42, "fading/link0");
+  const auto b = derive_seed(42, "fading/link1");
+  const auto c = derive_seed(43, "fading/link0");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a, derive_seed(42, "fading/link0"));
+}
+
+}  // namespace
+}  // namespace skyferry::sim

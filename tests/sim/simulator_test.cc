@@ -1,0 +1,154 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace skyferry::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.events_executed(), 0u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, FifoForSimultaneousEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule(1.0, [&] { sim.schedule(2.0, [&] { fired_at = sim.now(); }); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 3.0);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double-cancel reports failure
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelInvalidId) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(0));
+  EXPECT_FALSE(sim.cancel(12345));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(1.0, [&] { ++count; });
+  sim.schedule(2.0, [&] { ++count; });
+  sim.schedule(5.0, [&] { ++count; });
+  sim.run_until(2.5);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  sim.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.schedule(5.0, [] {});
+  sim.run();
+  double t = -1.0;
+  sim.schedule(-3.0, [&] { t = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(t, 5.0);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(1.0, [&] { ++count; });
+  sim.schedule(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, StepSkipsCancelled) {
+  Simulator sim;
+  bool ran = false;
+  const EventId a = sim.schedule(1.0, [&] { ran = true; });
+  sim.cancel(a);
+  int count = 0;
+  sim.schedule(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());  // skips the cancelled one, runs the real one
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulator, ResetClearsEverything) {
+  Simulator sim;
+  sim.schedule(1.0, [] {});
+  sim.run();
+  sim.schedule(9.0, [] {});
+  sim.reset();
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(SchedulePeriodic, RepeatsUntilFalse) {
+  Simulator sim;
+  int ticks = 0;
+  schedule_periodic(sim, 1.0, [&] { return ++ticks < 5; });
+  sim.run();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, ManyEventsStressOrder) {
+  Simulator sim;
+  double last = -1.0;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    // Deterministic pseudo-shuffled times.
+    const double t = static_cast<double>((i * 7919) % 10007) / 10.0;
+    sim.schedule_at(t, [&, t] {
+      if (sim.now() < last) monotone = false;
+      last = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sim.events_executed(), 10000u);
+}
+
+}  // namespace
+}  // namespace skyferry::sim

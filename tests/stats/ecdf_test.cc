@@ -1,0 +1,98 @@
+#include "stats/ecdf.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace skyferry::stats {
+namespace {
+
+TEST(Ecdf, StepFunctionBasics) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const Ecdf f(xs);
+  EXPECT_DOUBLE_EQ(f(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(f(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(f(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(f(99.0), 1.0);
+}
+
+TEST(Ecdf, EmptySample) {
+  const std::vector<double> xs;
+  const Ecdf f(xs);
+  EXPECT_TRUE(f.empty());
+  EXPECT_DOUBLE_EQ(f(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.quantile(0.5), 0.0);
+}
+
+TEST(Ecdf, QuantileInverse) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  const Ecdf f(xs);
+  EXPECT_DOUBLE_EQ(f.quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(f.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(f.quantile(1.0), 50.0);
+}
+
+TEST(Ecdf, KsDistanceIdenticalIsZero) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const Ecdf a(xs), b(xs);
+  EXPECT_DOUBLE_EQ(a.ks_distance(b), 0.0);
+}
+
+TEST(Ecdf, KsDistanceDisjointIsOne) {
+  const std::vector<double> lo{1.0, 2.0};
+  const std::vector<double> hi{10.0, 20.0};
+  EXPECT_DOUBLE_EQ(Ecdf(lo).ks_distance(Ecdf(hi)), 1.0);
+}
+
+TEST(Ecdf, KsDetectsShift) {
+  sim::Rng rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.gaussian(0.0, 1.0));
+    b.push_back(rng.gaussian(0.5, 1.0));
+  }
+  const double d = Ecdf(a).ks_distance(Ecdf(b));
+  EXPECT_GT(d, 0.1);
+  EXPECT_LT(d, 0.35);
+}
+
+TEST(Bootstrap, MedianCiCoversTruth) {
+  sim::Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.gaussian(10.0, 2.0));
+  const auto ci = bootstrap_median_ci(xs, 0.95, 500, 3);
+  EXPECT_LT(ci.lo, 10.0);
+  EXPECT_GT(ci.hi, 10.0);
+  EXPECT_NEAR(ci.point, 10.0, 0.4);
+  EXPECT_LT(ci.hi - ci.lo, 1.0);
+}
+
+TEST(Bootstrap, MeanCiNarrowerWithMoreData) {
+  sim::Rng rng(9);
+  std::vector<double> small, large;
+  for (int i = 0; i < 50; ++i) small.push_back(rng.gaussian(0.0, 1.0));
+  for (int i = 0; i < 5000; ++i) large.push_back(rng.gaussian(0.0, 1.0));
+  const auto ci_small = bootstrap_mean_ci(small, 0.95, 400, 1);
+  const auto ci_large = bootstrap_mean_ci(large, 0.95, 400, 1);
+  EXPECT_LT(ci_large.hi - ci_large.lo, ci_small.hi - ci_small.lo);
+}
+
+TEST(Bootstrap, EmptySampleIsSafe) {
+  const std::vector<double> xs;
+  const auto ci = bootstrap_median_ci(xs);
+  EXPECT_DOUBLE_EQ(ci.point, 0.0);
+}
+
+TEST(Bootstrap, DeterministicForSeed) {
+  const std::vector<double> xs{1.0, 5.0, 3.0, 8.0, 2.0, 9.0};
+  const auto a = bootstrap_median_ci(xs, 0.9, 300, 42);
+  const auto b = bootstrap_median_ci(xs, 0.9, 300, 42);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+}  // namespace
+}  // namespace skyferry::stats

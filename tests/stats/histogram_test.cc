@@ -1,0 +1,63 @@
+#include "stats/histogram.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace skyferry::stats {
+namespace {
+
+TEST(Histogram, BinsAndCenters) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bins(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+}
+
+TEST(Histogram, CountsInRange) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(1.9);
+  h.add(2.0);  // boundary goes to the upper bin
+  h.add(9.99);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderOverflowTracked) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.1);
+  h.add(1.0);  // hi is exclusive
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, Density) {
+  Histogram h(0.0, 4.0, 4);
+  const std::vector<double> xs{0.5, 0.6, 1.5, 2.5};
+  h.add_all(xs);
+  EXPECT_DOUBLE_EQ(h.density(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.density(1), 0.25);
+  EXPECT_DOUBLE_EQ(h.density(3), 0.0);
+}
+
+TEST(Histogram, ModeBin) {
+  Histogram h(0.0, 3.0, 3);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  EXPECT_EQ(h.mode_bin(), 1u);
+}
+
+TEST(Histogram, EmptyDensityIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.density(0), 0.0);
+}
+
+}  // namespace
+}  // namespace skyferry::stats

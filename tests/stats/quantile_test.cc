@@ -1,0 +1,86 @@
+#include "stats/quantile.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace skyferry::stats {
+namespace {
+
+TEST(Quantile, EmptyReturnsZero) {
+  const std::vector<double> xs;
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 0.0);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> xs{7.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 7.0);
+}
+
+TEST(Quantile, Type7Interpolation) {
+  // NumPy default (linear): quantile([1,2,3,4], .5) == 2.5.
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 3.25);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+}
+
+TEST(Quantile, UnsortedInput) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Quantile, OutOfRangeQClamped) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.5), 3.0);
+}
+
+TEST(Boxplot, FiveNumberSummary) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  const BoxplotSummary b = boxplot(xs);
+  EXPECT_EQ(b.n, 100u);
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.max, 100.0);
+  EXPECT_NEAR(b.median, 50.5, 1e-12);
+  EXPECT_NEAR(b.q1, 25.75, 1e-12);
+  EXPECT_NEAR(b.q3, 75.25, 1e-12);
+  EXPECT_TRUE(b.outliers.empty());
+  EXPECT_DOUBLE_EQ(b.whisker_low, 1.0);
+  EXPECT_DOUBLE_EQ(b.whisker_high, 100.0);
+}
+
+TEST(Boxplot, DetectsOutliers) {
+  std::vector<double> xs{10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0, 100.0};
+  const BoxplotSummary b = boxplot(xs);
+  ASSERT_EQ(b.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.outliers[0], 100.0);
+  EXPECT_DOUBLE_EQ(b.whisker_high, 16.0);  // whisker stops at the fence
+  EXPECT_DOUBLE_EQ(b.max, 100.0);
+}
+
+TEST(Boxplot, EmptyInput) {
+  const std::vector<double> xs;
+  const BoxplotSummary b = boxplot(xs);
+  EXPECT_EQ(b.n, 0u);
+  EXPECT_TRUE(b.outliers.empty());
+}
+
+TEST(Boxplot, ConstantSample) {
+  const std::vector<double> xs{5.0, 5.0, 5.0, 5.0};
+  const BoxplotSummary b = boxplot(xs);
+  EXPECT_DOUBLE_EQ(b.iqr(), 0.0);
+  EXPECT_DOUBLE_EQ(b.median, 5.0);
+  EXPECT_DOUBLE_EQ(b.whisker_low, 5.0);
+  EXPECT_DOUBLE_EQ(b.whisker_high, 5.0);
+  EXPECT_TRUE(b.outliers.empty());
+}
+
+}  // namespace
+}  // namespace skyferry::stats

@@ -1,0 +1,120 @@
+#include "uav/autopilot.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesy.h"
+
+namespace skyferry::uav {
+namespace {
+
+/// Fly the autopilot for `duration` seconds, returning the final state.
+KinematicState fly(Autopilot& ap, const PlatformSpec& spec, KinematicState s, double duration,
+                   double dt = 0.05) {
+  const KinematicLimits lim = KinematicLimits::for_platform(spec);
+  for (double t = 0.0; t < duration; t += dt) {
+    s = step(s, ap.update(s, t, dt), lim, dt);
+  }
+  return s;
+}
+
+TEST(Autopilot, QuadReachesWaypointAndHovers) {
+  const PlatformSpec spec = PlatformSpec::arducopter();
+  Autopilot ap(spec);
+  ap.add_waypoint({{50.0, 0.0, 10.0}, 0.0, 3.0, -1.0});  // hold forever
+  KinematicState s;
+  s = fly(ap, spec, s, 60.0);
+  EXPECT_NEAR(geo::distance(s.pos, {50.0, 0.0, 10.0}), 0.0, 4.0);
+  EXPECT_LT(s.vel.norm(), 0.5);  // hovering
+  EXPECT_TRUE(ap.is_holding());
+}
+
+TEST(Autopilot, AirplaneLoitersOnCircle) {
+  const PlatformSpec spec = PlatformSpec::swinglet();
+  Autopilot ap(spec);
+  ap.add_waypoint({{200.0, 0.0, 80.0}, 0.0, 5.0, -1.0});
+  KinematicState s;
+  s.vel = {10.0, 0.0, 0.0};
+  s = fly(ap, spec, s, 120.0);
+  EXPECT_TRUE(ap.is_holding());
+  // Still flying (cannot hover)...
+  EXPECT_GT(s.vel.norm(), spec.min_speed_mps - 0.5);
+  // ...on a circle near the minimum turn radius around the waypoint.
+  const double rho = geo::ground_distance(s.pos, {200.0, 0.0, 80.0});
+  EXPECT_NEAR(rho, spec.min_turn_radius_m, 12.0);
+}
+
+TEST(Autopilot, SequencesWaypoints) {
+  const PlatformSpec spec = PlatformSpec::arducopter();
+  Autopilot ap(spec);
+  ap.add_waypoint({{30.0, 0.0, 10.0}, 0.0, 3.0, 1.0});
+  ap.add_waypoint({{30.0, 30.0, 10.0}, 0.0, 3.0, -1.0});
+  KinematicState s;
+  s = fly(ap, spec, s, 120.0);
+  EXPECT_NEAR(geo::distance(s.pos, {30.0, 30.0, 10.0}), 0.0, 4.0);
+  EXPECT_EQ(ap.waypoints_left(), 0u);
+}
+
+TEST(Autopilot, SetPlanReplacesQueue) {
+  const PlatformSpec spec = PlatformSpec::arducopter();
+  Autopilot ap(spec);
+  ap.add_waypoint({{100.0, 0.0, 10.0}, 0.0, 3.0, -1.0});
+  std::deque<Waypoint> plan;
+  plan.push_back({{0.0, 40.0, 10.0}, 0.0, 3.0, -1.0});
+  ap.set_plan(plan);
+  KinematicState s;
+  s = fly(ap, spec, s, 60.0);
+  EXPECT_NEAR(geo::distance(s.pos, {0.0, 40.0, 10.0}), 0.0, 4.0);
+}
+
+TEST(Autopilot, HoldTimerExpires) {
+  const PlatformSpec spec = PlatformSpec::arducopter();
+  Autopilot ap(spec);
+  ap.add_waypoint({{10.0, 0.0, 5.0}, 0.0, 3.0, 2.0});
+  KinematicState s;
+  s = fly(ap, spec, s, 60.0);
+  // After arriving and holding 2 s with no further waypoints: idle.
+  EXPECT_EQ(ap.phase(), AutopilotPhase::kIdle);
+}
+
+TEST(Autopilot, IdleQuadStays) {
+  const PlatformSpec spec = PlatformSpec::arducopter();
+  Autopilot ap(spec);
+  KinematicState s;
+  s.pos = {5.0, 5.0, 5.0};
+  const KinematicState end = fly(ap, spec, s, 10.0);
+  EXPECT_NEAR(geo::distance(end.pos, s.pos), 0.0, 0.1);
+}
+
+TEST(Autopilot, IdleAirplaneKeepsFlying) {
+  const PlatformSpec spec = PlatformSpec::swinglet();
+  Autopilot ap(spec);
+  KinematicState s;
+  s.vel = {10.0, 0.0, 0.0};
+  const KinematicState end = fly(ap, spec, s, 10.0);
+  EXPECT_GT(geo::distance(end.pos, s.pos), 50.0);
+}
+
+TEST(Autopilot, ShuttlePatternCoversDistanceRange) {
+  // Mimic the paper's Fig. 4(a): two waypoints, fly back and forth.
+  const PlatformSpec spec = PlatformSpec::swinglet();
+  Autopilot ap(spec);
+  for (int i = 0; i < 3; ++i) {
+    ap.add_waypoint({{0.0, 0.0, 80.0}, 0.0, 25.0, 0.0});
+    ap.add_waypoint({{400.0, 0.0, 80.0}, 0.0, 25.0, 0.0});
+  }
+  KinematicState s;
+  s.pos = {200.0, 50.0, 80.0};
+  s.vel = {10.0, 0.0, 0.0};
+  const KinematicLimits lim = KinematicLimits::for_platform(spec);
+  double min_x = 1e9, max_x = -1e9;
+  for (double t = 0.0; t < 300.0; t += 0.05) {
+    s = step(s, ap.update(s, t, 0.05), lim, 0.05);
+    min_x = std::min(min_x, s.pos.x);
+    max_x = std::max(max_x, s.pos.x);
+  }
+  EXPECT_LT(min_x, 80.0);
+  EXPECT_GT(max_x, 320.0);
+}
+
+}  // namespace
+}  // namespace skyferry::uav

@@ -1,0 +1,92 @@
+#include "uav/failure.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+
+namespace skyferry::uav {
+namespace {
+
+TEST(FailureModel, PaperBaselineValues) {
+  EXPECT_DOUBLE_EQ(FailureModel::paper_airplane().rho(), 1.11e-4);
+  EXPECT_DOUBLE_EQ(FailureModel::paper_quadrocopter().rho(), 2.46e-4);
+}
+
+TEST(FailureModel, FromBatteryIsInverseRange) {
+  const auto air = FailureModel::from_battery(PlatformSpec::swinglet());
+  EXPECT_NEAR(air.rho(), 1.0 / 18000.0, 1e-12);
+  const auto quad = FailureModel::from_battery(PlatformSpec::arducopter());
+  EXPECT_NEAR(quad.rho(), 1.0 / 5400.0, 1e-12);
+}
+
+TEST(FailureModel, ExponentialSurvival) {
+  const FailureModel m(0.001);
+  EXPECT_DOUBLE_EQ(m.survival(0.0), 1.0);
+  EXPECT_NEAR(m.survival(1000.0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(m.survival(2000.0), std::exp(-2.0), 1e-12);
+}
+
+TEST(FailureModel, DiscountMatchesPaperForm) {
+  // delta(d) = exp(-rho*(d0-d)).
+  const FailureModel m(2.46e-4);
+  const double d0 = 100.0;
+  for (double d : {20.0, 50.0, 80.0, 100.0}) {
+    EXPECT_NEAR(m.discount(d0, d), std::exp(-2.46e-4 * (d0 - d)), 1e-12);
+  }
+  // At d = d0 no movement is needed: no discount.
+  EXPECT_DOUBLE_EQ(m.discount(d0, d0), 1.0);
+}
+
+TEST(FailureModel, SurvivalMonotoneDecreasing) {
+  for (auto law : {FailureLaw::kExponential, FailureLaw::kLinear, FailureLaw::kWeibull}) {
+    const FailureModel m(0.002, law);
+    double prev = 1.1;
+    for (double d = 0.0; d <= 600.0; d += 50.0) {
+      const double s = m.survival(d);
+      EXPECT_LE(s, prev + 1e-12);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+      prev = s;
+    }
+  }
+}
+
+TEST(FailureModel, ZeroRhoNeverFails) {
+  const FailureModel m(0.0);
+  EXPECT_DOUBLE_EQ(m.survival(1e9), 1.0);
+}
+
+TEST(FailureModel, LinearHitsZero) {
+  const FailureModel m(0.001, FailureLaw::kLinear);
+  EXPECT_DOUBLE_EQ(m.survival(1000.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.survival(5000.0), 0.0);
+  EXPECT_NEAR(m.survival(500.0), 0.5, 1e-12);
+}
+
+TEST(FailureModel, SampledFailureDistanceMeanMatches) {
+  // All three laws are parameterized so the mean distance-to-failure is
+  // 1/rho.
+  for (auto law : {FailureLaw::kExponential, FailureLaw::kLinear, FailureLaw::kWeibull}) {
+    const FailureModel m(0.01, law);
+    sim::Rng rng(42);
+    stats::RunningStats rs;
+    for (int i = 0; i < 50000; ++i) rs.add(m.sample_failure_distance(rng));
+    const double expected_mean = (law == FailureLaw::kLinear) ? 50.0 : 100.0;
+    // Linear law: uniform on [0, 1/rho] has mean 1/(2 rho).
+    EXPECT_NEAR(rs.mean(), expected_mean, expected_mean * 0.05)
+        << static_cast<int>(law);
+  }
+}
+
+TEST(FailureModel, WeibullSharperKnee) {
+  // Weibull shape 2 has fewer early failures than exponential at the
+  // same mean: survival at small d is higher.
+  const FailureModel exp_m(0.001, FailureLaw::kExponential);
+  const FailureModel wei_m(0.001, FailureLaw::kWeibull, 2.0);
+  EXPECT_GT(wei_m.survival(100.0), exp_m.survival(100.0));
+}
+
+}  // namespace
+}  // namespace skyferry::uav

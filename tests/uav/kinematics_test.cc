@@ -1,0 +1,107 @@
+#include "uav/kinematics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace skyferry::uav {
+namespace {
+
+TEST(KinematicLimits, PlatformEnvelopes) {
+  const auto air = KinematicLimits::for_platform(PlatformSpec::swinglet());
+  EXPECT_GT(air.min_speed_mps, 0.0);  // fixed-wing cannot stop
+  EXPECT_NEAR(air.max_turn_rate_rad_s, 0.5, 0.01);  // v/r = 10/20
+
+  const auto quad = KinematicLimits::for_platform(PlatformSpec::arducopter());
+  EXPECT_DOUBLE_EQ(quad.min_speed_mps, 0.0);
+  EXPECT_GT(quad.max_turn_rate_rad_s, air.max_turn_rate_rad_s);
+}
+
+TEST(Kinematics, ReachesCommandedVelocity) {
+  KinematicState s;
+  KinematicLimits lim;
+  const VelocityCommand cmd{{3.0, 0.0, 0.0}};
+  for (int i = 0; i < 100; ++i) s = step(s, cmd, lim, 0.1);
+  EXPECT_NEAR(s.vel.x, 3.0, 1e-6);
+  EXPECT_GT(s.pos.x, 0.0);
+}
+
+TEST(Kinematics, AccelerationIsBounded) {
+  KinematicState s;
+  KinematicLimits lim;
+  lim.max_accel_mps2 = 2.0;
+  const VelocityCommand cmd{{100.0, 0.0, 0.0}};
+  const KinematicState next = step(s, cmd, lim, 0.1);
+  EXPECT_LE(next.vel.norm(), 2.0 * 0.1 + 1e-9);
+}
+
+TEST(Kinematics, SpeedClampedToMax) {
+  KinematicState s;
+  KinematicLimits lim;
+  lim.max_speed_mps = 5.0;
+  lim.max_accel_mps2 = 1000.0;  // irrelevantly large
+  const VelocityCommand cmd{{100.0, 0.0, 0.0}};
+  const KinematicState next = step(s, cmd, lim, 1.0);
+  EXPECT_LE(next.vel.norm(), 5.0 + 1e-9);
+}
+
+TEST(Kinematics, FixedWingCannotStop) {
+  KinematicLimits lim = KinematicLimits::for_platform(PlatformSpec::swinglet());
+  KinematicState s;
+  s.vel = {10.0, 0.0, 0.0};
+  const VelocityCommand stop{{0.0, 0.0, 0.0}};
+  for (int i = 0; i < 200; ++i) s = step(s, stop, lim, 0.1);
+  EXPECT_GE(s.vel.norm(), lim.min_speed_mps - 1e-6);
+}
+
+TEST(Kinematics, QuadCanStop) {
+  KinematicLimits lim = KinematicLimits::for_platform(PlatformSpec::arducopter());
+  KinematicState s;
+  s.vel = {4.0, 0.0, 0.0};
+  const VelocityCommand stop{{0.0, 0.0, 0.0}};
+  for (int i = 0; i < 100; ++i) s = step(s, stop, lim, 0.1);
+  EXPECT_NEAR(s.vel.norm(), 0.0, 1e-6);
+}
+
+TEST(Kinematics, TurnRateLimited) {
+  KinematicLimits lim;
+  lim.max_turn_rate_rad_s = 0.5;
+  lim.max_accel_mps2 = 1000.0;
+  KinematicState s;
+  s.vel = {0.0, 10.0, 0.0};  // heading north
+  // Command due south (180 deg turn).
+  const VelocityCommand cmd{{0.0, -10.0, 0.0}};
+  const KinematicState next = step(s, cmd, lim, 0.1);
+  const double dh = std::abs(next.heading_rad() - s.heading_rad());
+  EXPECT_LE(dh, 0.5 * 0.1 + 1e-6);
+}
+
+TEST(Kinematics, ClimbRateLimited) {
+  KinematicLimits lim;
+  lim.max_climb_rate_mps = 2.0;
+  lim.max_accel_mps2 = 1000.0;
+  KinematicState s;
+  const VelocityCommand cmd{{0.0, 0.0, 50.0}};
+  const KinematicState next = step(s, cmd, lim, 1.0);
+  EXPECT_LE(next.vel.z, 2.0 + 1e-9);
+}
+
+TEST(Kinematics, PositionIntegratesVelocity) {
+  KinematicState s;
+  s.vel = {2.0, 3.0, 0.0};
+  KinematicLimits lim;
+  const KinematicState next = step(s, VelocityCommand{s.vel}, lim, 0.5);
+  EXPECT_NEAR(next.pos.x, 1.0, 1e-9);
+  EXPECT_NEAR(next.pos.y, 1.5, 1e-9);
+}
+
+TEST(Kinematics, HeadingConvention) {
+  KinematicState s;
+  s.vel = {1.0, 0.0, 0.0};  // east
+  EXPECT_NEAR(s.heading_rad(), M_PI / 2.0, 1e-9);
+  s.vel = {0.0, 1.0, 0.0};  // north
+  EXPECT_NEAR(s.heading_rad(), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace skyferry::uav

@@ -1,0 +1,51 @@
+#include "uav/platform.h"
+
+#include <gtest/gtest.h>
+
+namespace skyferry::uav {
+namespace {
+
+// Table 1 of the paper, verbatim.
+TEST(Platform, SwingletMatchesTable1) {
+  const PlatformSpec s = PlatformSpec::swinglet();
+  EXPECT_EQ(s.kind, PlatformKind::kAirplane);
+  EXPECT_FALSE(s.can_hover);
+  EXPECT_DOUBLE_EQ(s.size_m, 0.80);
+  EXPECT_DOUBLE_EQ(s.weight_kg, 0.5);
+  EXPECT_DOUBLE_EQ(s.battery_autonomy_s, 1800.0);
+  EXPECT_DOUBLE_EQ(s.cruise_speed_mps, 10.0);
+  EXPECT_DOUBLE_EQ(s.max_safe_altitude_m, 300.0);
+  EXPECT_DOUBLE_EQ(s.min_turn_radius_m, 20.0);
+}
+
+TEST(Platform, ArducopterMatchesTable1) {
+  const PlatformSpec s = PlatformSpec::arducopter();
+  EXPECT_EQ(s.kind, PlatformKind::kQuadrocopter);
+  EXPECT_TRUE(s.can_hover);
+  EXPECT_DOUBLE_EQ(s.size_m, 0.64);
+  EXPECT_DOUBLE_EQ(s.weight_kg, 1.7);
+  EXPECT_DOUBLE_EQ(s.battery_autonomy_s, 1200.0);
+  EXPECT_DOUBLE_EQ(s.cruise_speed_mps, 4.5);
+  EXPECT_DOUBLE_EQ(s.max_safe_altitude_m, 100.0);
+  EXPECT_DOUBLE_EQ(s.min_turn_radius_m, 0.0);
+}
+
+TEST(Platform, QuadIsHeavierAirplaneIsFaster) {
+  // The paper's qualitative comparison.
+  const PlatformSpec air = PlatformSpec::swinglet();
+  const PlatformSpec quad = PlatformSpec::arducopter();
+  EXPECT_GT(quad.weight_kg, air.weight_kg);
+  EXPECT_GT(air.cruise_speed_mps, quad.cruise_speed_mps);
+  EXPECT_GT(air.max_safe_altitude_m, quad.max_safe_altitude_m);
+  EXPECT_GT(air.battery_autonomy_s, quad.battery_autonomy_s);
+}
+
+TEST(Platform, RangeIsSpeedTimesEndurance) {
+  const PlatformSpec air = PlatformSpec::swinglet();
+  EXPECT_DOUBLE_EQ(air.range_m(), 18000.0);
+  const PlatformSpec quad = PlatformSpec::arducopter();
+  EXPECT_DOUBLE_EQ(quad.range_m(), 5400.0);
+}
+
+}  // namespace
+}  // namespace skyferry::uav

@@ -1,0 +1,85 @@
+#include "uav/wind.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+
+namespace skyferry::uav {
+namespace {
+
+TEST(WindModel, MeanConverges) {
+  WindConfig cfg;
+  cfg.mean_mps = {3.0, -1.0, 0.0};
+  cfg.gust_sigma_mps = 2.0;
+  WindModel wind(cfg, 1);
+  stats::RunningStats wx, wy;
+  for (double t = 0.0; t < 20000.0; t += 10.0) {
+    const geo::Vec3 w = wind.sample(t);
+    wx.add(w.x);
+    wy.add(w.y);
+  }
+  EXPECT_NEAR(wx.mean(), 3.0, 0.3);
+  EXPECT_NEAR(wy.mean(), -1.0, 0.3);
+  EXPECT_NEAR(wx.stddev(), 2.0, 0.4);
+}
+
+TEST(WindModel, GustsAreTimeCorrelated) {
+  WindConfig cfg;
+  cfg.gust_tau_s = 10.0;
+  WindModel wind(cfg, 2);
+  const geo::Vec3 w0 = wind.sample(0.0);
+  const geo::Vec3 w1 = wind.sample(0.1);  // << tau: nearly unchanged
+  EXPECT_LT((w1 - w0).norm(), 0.8);
+}
+
+TEST(WindModel, DeterministicPerSeed) {
+  WindConfig cfg;
+  WindModel a(cfg, 7), b(cfg, 7);
+  for (double t = 0.0; t < 10.0; t += 0.5) {
+    EXPECT_EQ(a.sample(t).x, b.sample(t).x);
+  }
+}
+
+TEST(GroundSpeed, StillAirIsAirspeed) {
+  EXPECT_DOUBLE_EQ(ground_speed_along_track(10.0, {}, {1.0, 0.0, 0.0}), 10.0);
+}
+
+TEST(GroundSpeed, TailwindAddsHeadwindSubtracts) {
+  const geo::Vec3 east{1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(ground_speed_along_track(10.0, {4.0, 0.0, 0.0}, east), 14.0);
+  EXPECT_DOUBLE_EQ(ground_speed_along_track(10.0, {-4.0, 0.0, 0.0}, east), 6.0);
+}
+
+TEST(GroundSpeed, CrosswindCostsViaCrabbing) {
+  const geo::Vec3 east{1.0, 0.0, 0.0};
+  const double v = ground_speed_along_track(10.0, {0.0, 6.0, 0.0}, east);
+  EXPECT_NEAR(v, 8.0, 1e-9);  // sqrt(100-36)
+}
+
+TEST(GroundSpeed, OverpoweringWindStops) {
+  const geo::Vec3 east{1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(ground_speed_along_track(5.0, {0.0, 7.0, 0.0}, east), 0.0);
+  EXPECT_DOUBLE_EQ(ground_speed_along_track(5.0, {-9.0, 0.0, 0.0}, east), 0.0);
+}
+
+TEST(WindAdjustedTship, MatchesSpeed) {
+  const geo::Vec3 east{1.0, 0.0, 0.0};
+  EXPECT_NEAR(wind_adjusted_tship_s(100.0, 10.0, {-5.0, 0.0, 0.0}, east), 20.0, 1e-9);
+  EXPECT_TRUE(std::isinf(wind_adjusted_tship_s(100.0, 5.0, {-6.0, 0.0, 0.0}, east)));
+}
+
+TEST(WindAdjustedTship, PaperShippingSkew) {
+  // The quad scenario ships 80 m at 4.5 m/s (17.8 s). A 2 m/s headwind
+  // stretches that by ~44%; the planner's Tship model can absorb this
+  // via wind_adjusted_tship_s.
+  const geo::Vec3 track{1.0, 0.0, 0.0};
+  const double still = wind_adjusted_tship_s(80.0, 4.5, {}, track);
+  const double head = wind_adjusted_tship_s(80.0, 4.5, {-2.0, 0.0, 0.0}, track);
+  EXPECT_NEAR(still, 17.78, 0.01);
+  EXPECT_NEAR(head / still, 4.5 / 2.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace skyferry::uav
