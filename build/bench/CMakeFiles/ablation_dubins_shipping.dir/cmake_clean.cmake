@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dubins_shipping.dir/ablation_dubins_shipping.cc.o"
+  "CMakeFiles/ablation_dubins_shipping.dir/ablation_dubins_shipping.cc.o.d"
+  "ablation_dubins_shipping"
+  "ablation_dubins_shipping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dubins_shipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_failure_models.dir/ablation_failure_models.cc.o"
+  "CMakeFiles/ablation_failure_models.dir/ablation_failure_models.cc.o.d"
+  "ablation_failure_models"
+  "ablation_failure_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_failure_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_joint_speed.dir/ablation_joint_speed.cc.o"
+  "CMakeFiles/ablation_joint_speed.dir/ablation_joint_speed.cc.o.d"
+  "ablation_joint_speed"
+  "ablation_joint_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_joint_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

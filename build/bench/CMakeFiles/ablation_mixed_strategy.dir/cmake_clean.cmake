@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mixed_strategy.dir/ablation_mixed_strategy.cc.o"
+  "CMakeFiles/ablation_mixed_strategy.dir/ablation_mixed_strategy.cc.o.d"
+  "ablation_mixed_strategy"
+  "ablation_mixed_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mixed_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

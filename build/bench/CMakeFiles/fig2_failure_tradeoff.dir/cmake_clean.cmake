@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_failure_tradeoff.dir/fig2_failure_tradeoff.cc.o"
+  "CMakeFiles/fig2_failure_tradeoff.dir/fig2_failure_tradeoff.cc.o.d"
+  "fig2_failure_tradeoff"
+  "fig2_failure_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_failure_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_gps_traces.dir/fig4_gps_traces.cc.o"
+  "CMakeFiles/fig4_gps_traces.dir/fig4_gps_traces.cc.o.d"
+  "fig4_gps_traces"
+  "fig4_gps_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_gps_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

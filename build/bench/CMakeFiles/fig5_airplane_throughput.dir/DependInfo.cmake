@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_airplane_throughput.cc" "bench/CMakeFiles/fig5_airplane_throughput.dir/fig5_airplane_throughput.cc.o" "gcc" "bench/CMakeFiles/fig5_airplane_throughput.dir/fig5_airplane_throughput.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/skyferry_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/skyferry_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/uav/CMakeFiles/skyferry_uav.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skyferry_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/skyferry_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/skyferry_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skyferry_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/skyferry_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/skyferry_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/skyferry_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_mcs_vs_autorate.dir/fig6_mcs_vs_autorate.cc.o"
+  "CMakeFiles/fig6_mcs_vs_autorate.dir/fig6_mcs_vs_autorate.cc.o.d"
+  "fig6_mcs_vs_autorate"
+  "fig6_mcs_vs_autorate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mcs_vs_autorate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

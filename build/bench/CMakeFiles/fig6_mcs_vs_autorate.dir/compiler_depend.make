@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_mcs_vs_autorate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_mcs_vs_autorate.
+# This may be replaced when dependencies are built.

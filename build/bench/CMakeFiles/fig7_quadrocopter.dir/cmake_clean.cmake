@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_quadrocopter.dir/fig7_quadrocopter.cc.o"
+  "CMakeFiles/fig7_quadrocopter.dir/fig7_quadrocopter.cc.o.d"
+  "fig7_quadrocopter"
+  "fig7_quadrocopter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_quadrocopter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_datasize_speed.dir/fig9_datasize_speed.cc.o"
+  "CMakeFiles/fig9_datasize_speed.dir/fig9_datasize_speed.cc.o.d"
+  "fig9_datasize_speed"
+  "fig9_datasize_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_datasize_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ferry_relay.dir/ferry_relay.cpp.o"
+  "CMakeFiles/ferry_relay.dir/ferry_relay.cpp.o.d"
+  "ferry_relay"
+  "ferry_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ferry_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarm_mission.dir/swarm_mission.cpp.o"
+  "CMakeFiles/swarm_mission.dir/swarm_mission.cpp.o.d"
+  "swarm_mission"
+  "swarm_mission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarm_mission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

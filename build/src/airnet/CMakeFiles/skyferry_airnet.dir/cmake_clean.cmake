@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyferry_airnet.dir/network.cc.o"
+  "CMakeFiles/skyferry_airnet.dir/network.cc.o.d"
+  "libskyferry_airnet.a"
+  "libskyferry_airnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyferry_airnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

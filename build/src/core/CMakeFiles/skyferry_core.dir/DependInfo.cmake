@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/delay.cc" "src/core/CMakeFiles/skyferry_core.dir/delay.cc.o" "gcc" "src/core/CMakeFiles/skyferry_core.dir/delay.cc.o.d"
+  "/root/repo/src/core/joint_optimizer.cc" "src/core/CMakeFiles/skyferry_core.dir/joint_optimizer.cc.o" "gcc" "src/core/CMakeFiles/skyferry_core.dir/joint_optimizer.cc.o.d"
+  "/root/repo/src/core/mission.cc" "src/core/CMakeFiles/skyferry_core.dir/mission.cc.o" "gcc" "src/core/CMakeFiles/skyferry_core.dir/mission.cc.o.d"
+  "/root/repo/src/core/nonstationary.cc" "src/core/CMakeFiles/skyferry_core.dir/nonstationary.cc.o" "gcc" "src/core/CMakeFiles/skyferry_core.dir/nonstationary.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/core/CMakeFiles/skyferry_core.dir/optimizer.cc.o" "gcc" "src/core/CMakeFiles/skyferry_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/core/CMakeFiles/skyferry_core.dir/planner.cc.o" "gcc" "src/core/CMakeFiles/skyferry_core.dir/planner.cc.o.d"
+  "/root/repo/src/core/scenario.cc" "src/core/CMakeFiles/skyferry_core.dir/scenario.cc.o" "gcc" "src/core/CMakeFiles/skyferry_core.dir/scenario.cc.o.d"
+  "/root/repo/src/core/sensitivity.cc" "src/core/CMakeFiles/skyferry_core.dir/sensitivity.cc.o" "gcc" "src/core/CMakeFiles/skyferry_core.dir/sensitivity.cc.o.d"
+  "/root/repo/src/core/strategy.cc" "src/core/CMakeFiles/skyferry_core.dir/strategy.cc.o" "gcc" "src/core/CMakeFiles/skyferry_core.dir/strategy.cc.o.d"
+  "/root/repo/src/core/throughput_io.cc" "src/core/CMakeFiles/skyferry_core.dir/throughput_io.cc.o" "gcc" "src/core/CMakeFiles/skyferry_core.dir/throughput_io.cc.o.d"
+  "/root/repo/src/core/throughput_model.cc" "src/core/CMakeFiles/skyferry_core.dir/throughput_model.cc.o" "gcc" "src/core/CMakeFiles/skyferry_core.dir/throughput_model.cc.o.d"
+  "/root/repo/src/core/utility.cc" "src/core/CMakeFiles/skyferry_core.dir/utility.cc.o" "gcc" "src/core/CMakeFiles/skyferry_core.dir/utility.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uav/CMakeFiles/skyferry_uav.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/skyferry_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/skyferry_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/skyferry_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/skyferry_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skyferry_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skyferry_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyferry_core.dir/delay.cc.o"
+  "CMakeFiles/skyferry_core.dir/delay.cc.o.d"
+  "CMakeFiles/skyferry_core.dir/joint_optimizer.cc.o"
+  "CMakeFiles/skyferry_core.dir/joint_optimizer.cc.o.d"
+  "CMakeFiles/skyferry_core.dir/mission.cc.o"
+  "CMakeFiles/skyferry_core.dir/mission.cc.o.d"
+  "CMakeFiles/skyferry_core.dir/nonstationary.cc.o"
+  "CMakeFiles/skyferry_core.dir/nonstationary.cc.o.d"
+  "CMakeFiles/skyferry_core.dir/optimizer.cc.o"
+  "CMakeFiles/skyferry_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/skyferry_core.dir/planner.cc.o"
+  "CMakeFiles/skyferry_core.dir/planner.cc.o.d"
+  "CMakeFiles/skyferry_core.dir/scenario.cc.o"
+  "CMakeFiles/skyferry_core.dir/scenario.cc.o.d"
+  "CMakeFiles/skyferry_core.dir/sensitivity.cc.o"
+  "CMakeFiles/skyferry_core.dir/sensitivity.cc.o.d"
+  "CMakeFiles/skyferry_core.dir/strategy.cc.o"
+  "CMakeFiles/skyferry_core.dir/strategy.cc.o.d"
+  "CMakeFiles/skyferry_core.dir/throughput_io.cc.o"
+  "CMakeFiles/skyferry_core.dir/throughput_io.cc.o.d"
+  "CMakeFiles/skyferry_core.dir/throughput_model.cc.o"
+  "CMakeFiles/skyferry_core.dir/throughput_model.cc.o.d"
+  "CMakeFiles/skyferry_core.dir/utility.cc.o"
+  "CMakeFiles/skyferry_core.dir/utility.cc.o.d"
+  "libskyferry_core.a"
+  "libskyferry_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyferry_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

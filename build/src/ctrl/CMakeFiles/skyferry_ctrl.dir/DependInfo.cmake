@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctrl/control_channel.cc" "src/ctrl/CMakeFiles/skyferry_ctrl.dir/control_channel.cc.o" "gcc" "src/ctrl/CMakeFiles/skyferry_ctrl.dir/control_channel.cc.o.d"
+  "/root/repo/src/ctrl/estimator.cc" "src/ctrl/CMakeFiles/skyferry_ctrl.dir/estimator.cc.o" "gcc" "src/ctrl/CMakeFiles/skyferry_ctrl.dir/estimator.cc.o.d"
+  "/root/repo/src/ctrl/imaging.cc" "src/ctrl/CMakeFiles/skyferry_ctrl.dir/imaging.cc.o" "gcc" "src/ctrl/CMakeFiles/skyferry_ctrl.dir/imaging.cc.o.d"
+  "/root/repo/src/ctrl/sector.cc" "src/ctrl/CMakeFiles/skyferry_ctrl.dir/sector.cc.o" "gcc" "src/ctrl/CMakeFiles/skyferry_ctrl.dir/sector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/skyferry_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skyferry_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skyferry_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

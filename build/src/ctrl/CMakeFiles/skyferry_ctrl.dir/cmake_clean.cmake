@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyferry_ctrl.dir/control_channel.cc.o"
+  "CMakeFiles/skyferry_ctrl.dir/control_channel.cc.o.d"
+  "CMakeFiles/skyferry_ctrl.dir/estimator.cc.o"
+  "CMakeFiles/skyferry_ctrl.dir/estimator.cc.o.d"
+  "CMakeFiles/skyferry_ctrl.dir/imaging.cc.o"
+  "CMakeFiles/skyferry_ctrl.dir/imaging.cc.o.d"
+  "CMakeFiles/skyferry_ctrl.dir/sector.cc.o"
+  "CMakeFiles/skyferry_ctrl.dir/sector.cc.o.d"
+  "libskyferry_ctrl.a"
+  "libskyferry_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyferry_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyferry_geo.dir/dubins.cc.o"
+  "CMakeFiles/skyferry_geo.dir/dubins.cc.o.d"
+  "CMakeFiles/skyferry_geo.dir/geodesy.cc.o"
+  "CMakeFiles/skyferry_geo.dir/geodesy.cc.o.d"
+  "CMakeFiles/skyferry_geo.dir/gps.cc.o"
+  "CMakeFiles/skyferry_geo.dir/gps.cc.o.d"
+  "CMakeFiles/skyferry_geo.dir/trajectory.cc.o"
+  "CMakeFiles/skyferry_geo.dir/trajectory.cc.o.d"
+  "libskyferry_geo.a"
+  "libskyferry_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyferry_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

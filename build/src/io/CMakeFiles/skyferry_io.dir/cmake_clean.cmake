@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyferry_io.dir/ascii_chart.cc.o"
+  "CMakeFiles/skyferry_io.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/skyferry_io.dir/csv.cc.o"
+  "CMakeFiles/skyferry_io.dir/csv.cc.o.d"
+  "CMakeFiles/skyferry_io.dir/csv_reader.cc.o"
+  "CMakeFiles/skyferry_io.dir/csv_reader.cc.o.d"
+  "CMakeFiles/skyferry_io.dir/gnuplot.cc.o"
+  "CMakeFiles/skyferry_io.dir/gnuplot.cc.o.d"
+  "CMakeFiles/skyferry_io.dir/table.cc.o"
+  "CMakeFiles/skyferry_io.dir/table.cc.o.d"
+  "libskyferry_io.a"
+  "libskyferry_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyferry_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

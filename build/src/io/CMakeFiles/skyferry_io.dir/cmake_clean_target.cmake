@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libskyferry_io.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/ampdu.cc" "src/mac/CMakeFiles/skyferry_mac.dir/ampdu.cc.o" "gcc" "src/mac/CMakeFiles/skyferry_mac.dir/ampdu.cc.o.d"
+  "/root/repo/src/mac/contention.cc" "src/mac/CMakeFiles/skyferry_mac.dir/contention.cc.o" "gcc" "src/mac/CMakeFiles/skyferry_mac.dir/contention.cc.o.d"
+  "/root/repo/src/mac/link.cc" "src/mac/CMakeFiles/skyferry_mac.dir/link.cc.o" "gcc" "src/mac/CMakeFiles/skyferry_mac.dir/link.cc.o.d"
+  "/root/repo/src/mac/rate_control.cc" "src/mac/CMakeFiles/skyferry_mac.dir/rate_control.cc.o" "gcc" "src/mac/CMakeFiles/skyferry_mac.dir/rate_control.cc.o.d"
+  "/root/repo/src/mac/timing.cc" "src/mac/CMakeFiles/skyferry_mac.dir/timing.cc.o" "gcc" "src/mac/CMakeFiles/skyferry_mac.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/skyferry_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skyferry_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

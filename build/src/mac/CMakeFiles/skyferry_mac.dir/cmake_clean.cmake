@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyferry_mac.dir/ampdu.cc.o"
+  "CMakeFiles/skyferry_mac.dir/ampdu.cc.o.d"
+  "CMakeFiles/skyferry_mac.dir/contention.cc.o"
+  "CMakeFiles/skyferry_mac.dir/contention.cc.o.d"
+  "CMakeFiles/skyferry_mac.dir/link.cc.o"
+  "CMakeFiles/skyferry_mac.dir/link.cc.o.d"
+  "CMakeFiles/skyferry_mac.dir/rate_control.cc.o"
+  "CMakeFiles/skyferry_mac.dir/rate_control.cc.o.d"
+  "CMakeFiles/skyferry_mac.dir/timing.cc.o"
+  "CMakeFiles/skyferry_mac.dir/timing.cc.o.d"
+  "libskyferry_mac.a"
+  "libskyferry_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyferry_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

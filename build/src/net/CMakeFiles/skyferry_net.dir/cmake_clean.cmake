@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyferry_net.dir/arq.cc.o"
+  "CMakeFiles/skyferry_net.dir/arq.cc.o.d"
+  "CMakeFiles/skyferry_net.dir/flow.cc.o"
+  "CMakeFiles/skyferry_net.dir/flow.cc.o.d"
+  "CMakeFiles/skyferry_net.dir/meter.cc.o"
+  "CMakeFiles/skyferry_net.dir/meter.cc.o.d"
+  "CMakeFiles/skyferry_net.dir/packet.cc.o"
+  "CMakeFiles/skyferry_net.dir/packet.cc.o.d"
+  "CMakeFiles/skyferry_net.dir/queue.cc.o"
+  "CMakeFiles/skyferry_net.dir/queue.cc.o.d"
+  "libskyferry_net.a"
+  "libskyferry_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyferry_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

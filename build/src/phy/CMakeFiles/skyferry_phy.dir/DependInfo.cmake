@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/antenna.cc" "src/phy/CMakeFiles/skyferry_phy.dir/antenna.cc.o" "gcc" "src/phy/CMakeFiles/skyferry_phy.dir/antenna.cc.o.d"
+  "/root/repo/src/phy/channel.cc" "src/phy/CMakeFiles/skyferry_phy.dir/channel.cc.o" "gcc" "src/phy/CMakeFiles/skyferry_phy.dir/channel.cc.o.d"
+  "/root/repo/src/phy/fading.cc" "src/phy/CMakeFiles/skyferry_phy.dir/fading.cc.o" "gcc" "src/phy/CMakeFiles/skyferry_phy.dir/fading.cc.o.d"
+  "/root/repo/src/phy/mcs.cc" "src/phy/CMakeFiles/skyferry_phy.dir/mcs.cc.o" "gcc" "src/phy/CMakeFiles/skyferry_phy.dir/mcs.cc.o.d"
+  "/root/repo/src/phy/pathloss.cc" "src/phy/CMakeFiles/skyferry_phy.dir/pathloss.cc.o" "gcc" "src/phy/CMakeFiles/skyferry_phy.dir/pathloss.cc.o.d"
+  "/root/repo/src/phy/per.cc" "src/phy/CMakeFiles/skyferry_phy.dir/per.cc.o" "gcc" "src/phy/CMakeFiles/skyferry_phy.dir/per.cc.o.d"
+  "/root/repo/src/phy/tworay.cc" "src/phy/CMakeFiles/skyferry_phy.dir/tworay.cc.o" "gcc" "src/phy/CMakeFiles/skyferry_phy.dir/tworay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/skyferry_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyferry_phy.dir/antenna.cc.o"
+  "CMakeFiles/skyferry_phy.dir/antenna.cc.o.d"
+  "CMakeFiles/skyferry_phy.dir/channel.cc.o"
+  "CMakeFiles/skyferry_phy.dir/channel.cc.o.d"
+  "CMakeFiles/skyferry_phy.dir/fading.cc.o"
+  "CMakeFiles/skyferry_phy.dir/fading.cc.o.d"
+  "CMakeFiles/skyferry_phy.dir/mcs.cc.o"
+  "CMakeFiles/skyferry_phy.dir/mcs.cc.o.d"
+  "CMakeFiles/skyferry_phy.dir/pathloss.cc.o"
+  "CMakeFiles/skyferry_phy.dir/pathloss.cc.o.d"
+  "CMakeFiles/skyferry_phy.dir/per.cc.o"
+  "CMakeFiles/skyferry_phy.dir/per.cc.o.d"
+  "CMakeFiles/skyferry_phy.dir/tworay.cc.o"
+  "CMakeFiles/skyferry_phy.dir/tworay.cc.o.d"
+  "libskyferry_phy.a"
+  "libskyferry_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyferry_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

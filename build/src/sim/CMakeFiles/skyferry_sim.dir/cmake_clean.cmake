@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyferry_sim.dir/rng.cc.o"
+  "CMakeFiles/skyferry_sim.dir/rng.cc.o.d"
+  "CMakeFiles/skyferry_sim.dir/simulator.cc.o"
+  "CMakeFiles/skyferry_sim.dir/simulator.cc.o.d"
+  "libskyferry_sim.a"
+  "libskyferry_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyferry_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

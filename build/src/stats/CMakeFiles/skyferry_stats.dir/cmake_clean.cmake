@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyferry_stats.dir/descriptive.cc.o"
+  "CMakeFiles/skyferry_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/skyferry_stats.dir/ecdf.cc.o"
+  "CMakeFiles/skyferry_stats.dir/ecdf.cc.o.d"
+  "CMakeFiles/skyferry_stats.dir/histogram.cc.o"
+  "CMakeFiles/skyferry_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/skyferry_stats.dir/quantile.cc.o"
+  "CMakeFiles/skyferry_stats.dir/quantile.cc.o.d"
+  "CMakeFiles/skyferry_stats.dir/regression.cc.o"
+  "CMakeFiles/skyferry_stats.dir/regression.cc.o.d"
+  "libskyferry_stats.a"
+  "libskyferry_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyferry_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

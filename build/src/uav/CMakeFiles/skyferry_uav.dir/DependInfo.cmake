@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uav/autopilot.cc" "src/uav/CMakeFiles/skyferry_uav.dir/autopilot.cc.o" "gcc" "src/uav/CMakeFiles/skyferry_uav.dir/autopilot.cc.o.d"
+  "/root/repo/src/uav/battery.cc" "src/uav/CMakeFiles/skyferry_uav.dir/battery.cc.o" "gcc" "src/uav/CMakeFiles/skyferry_uav.dir/battery.cc.o.d"
+  "/root/repo/src/uav/failure.cc" "src/uav/CMakeFiles/skyferry_uav.dir/failure.cc.o" "gcc" "src/uav/CMakeFiles/skyferry_uav.dir/failure.cc.o.d"
+  "/root/repo/src/uav/kinematics.cc" "src/uav/CMakeFiles/skyferry_uav.dir/kinematics.cc.o" "gcc" "src/uav/CMakeFiles/skyferry_uav.dir/kinematics.cc.o.d"
+  "/root/repo/src/uav/platform.cc" "src/uav/CMakeFiles/skyferry_uav.dir/platform.cc.o" "gcc" "src/uav/CMakeFiles/skyferry_uav.dir/platform.cc.o.d"
+  "/root/repo/src/uav/uav.cc" "src/uav/CMakeFiles/skyferry_uav.dir/uav.cc.o" "gcc" "src/uav/CMakeFiles/skyferry_uav.dir/uav.cc.o.d"
+  "/root/repo/src/uav/wind.cc" "src/uav/CMakeFiles/skyferry_uav.dir/wind.cc.o" "gcc" "src/uav/CMakeFiles/skyferry_uav.dir/wind.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/skyferry_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skyferry_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyferry_uav.dir/autopilot.cc.o"
+  "CMakeFiles/skyferry_uav.dir/autopilot.cc.o.d"
+  "CMakeFiles/skyferry_uav.dir/battery.cc.o"
+  "CMakeFiles/skyferry_uav.dir/battery.cc.o.d"
+  "CMakeFiles/skyferry_uav.dir/failure.cc.o"
+  "CMakeFiles/skyferry_uav.dir/failure.cc.o.d"
+  "CMakeFiles/skyferry_uav.dir/kinematics.cc.o"
+  "CMakeFiles/skyferry_uav.dir/kinematics.cc.o.d"
+  "CMakeFiles/skyferry_uav.dir/platform.cc.o"
+  "CMakeFiles/skyferry_uav.dir/platform.cc.o.d"
+  "CMakeFiles/skyferry_uav.dir/uav.cc.o"
+  "CMakeFiles/skyferry_uav.dir/uav.cc.o.d"
+  "CMakeFiles/skyferry_uav.dir/wind.cc.o"
+  "CMakeFiles/skyferry_uav.dir/wind.cc.o.d"
+  "libskyferry_uav.a"
+  "libskyferry_uav.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyferry_uav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

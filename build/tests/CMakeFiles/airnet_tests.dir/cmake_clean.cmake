@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airnet_tests.dir/airnet/network_test.cc.o"
+  "CMakeFiles/airnet_tests.dir/airnet/network_test.cc.o.d"
+  "airnet_tests"
+  "airnet_tests.pdb"
+  "airnet_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airnet_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

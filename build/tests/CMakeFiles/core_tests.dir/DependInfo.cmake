@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/delay_test.cc" "tests/CMakeFiles/core_tests.dir/core/delay_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/delay_test.cc.o.d"
+  "/root/repo/tests/core/joint_optimizer_test.cc" "tests/CMakeFiles/core_tests.dir/core/joint_optimizer_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/joint_optimizer_test.cc.o.d"
+  "/root/repo/tests/core/mission_test.cc" "tests/CMakeFiles/core_tests.dir/core/mission_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/mission_test.cc.o.d"
+  "/root/repo/tests/core/nonstationary_test.cc" "tests/CMakeFiles/core_tests.dir/core/nonstationary_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/nonstationary_test.cc.o.d"
+  "/root/repo/tests/core/optimizer_test.cc" "tests/CMakeFiles/core_tests.dir/core/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/optimizer_test.cc.o.d"
+  "/root/repo/tests/core/planner_test.cc" "tests/CMakeFiles/core_tests.dir/core/planner_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/planner_test.cc.o.d"
+  "/root/repo/tests/core/scenario_test.cc" "tests/CMakeFiles/core_tests.dir/core/scenario_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/scenario_test.cc.o.d"
+  "/root/repo/tests/core/sensitivity_test.cc" "tests/CMakeFiles/core_tests.dir/core/sensitivity_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/sensitivity_test.cc.o.d"
+  "/root/repo/tests/core/strategy_test.cc" "tests/CMakeFiles/core_tests.dir/core/strategy_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/strategy_test.cc.o.d"
+  "/root/repo/tests/core/throughput_io_test.cc" "tests/CMakeFiles/core_tests.dir/core/throughput_io_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/throughput_io_test.cc.o.d"
+  "/root/repo/tests/core/throughput_model_test.cc" "tests/CMakeFiles/core_tests.dir/core/throughput_model_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/throughput_model_test.cc.o.d"
+  "/root/repo/tests/core/utility_test.cc" "tests/CMakeFiles/core_tests.dir/core/utility_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/utility_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/skyferry_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/airnet/CMakeFiles/skyferry_airnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/skyferry_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/uav/CMakeFiles/skyferry_uav.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skyferry_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/skyferry_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/skyferry_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skyferry_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/skyferry_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/skyferry_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/skyferry_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/delay_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/delay_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/joint_optimizer_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/joint_optimizer_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/mission_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/mission_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/nonstationary_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/nonstationary_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/optimizer_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/optimizer_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/planner_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/planner_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/scenario_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/scenario_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/sensitivity_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/sensitivity_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/strategy_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/strategy_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/throughput_io_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/throughput_io_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/throughput_model_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/throughput_model_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/utility_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/utility_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctrl_tests.dir/ctrl/control_channel_test.cc.o"
+  "CMakeFiles/ctrl_tests.dir/ctrl/control_channel_test.cc.o.d"
+  "CMakeFiles/ctrl_tests.dir/ctrl/estimator_test.cc.o"
+  "CMakeFiles/ctrl_tests.dir/ctrl/estimator_test.cc.o.d"
+  "CMakeFiles/ctrl_tests.dir/ctrl/imaging_test.cc.o"
+  "CMakeFiles/ctrl_tests.dir/ctrl/imaging_test.cc.o.d"
+  "CMakeFiles/ctrl_tests.dir/ctrl/sector_test.cc.o"
+  "CMakeFiles/ctrl_tests.dir/ctrl/sector_test.cc.o.d"
+  "ctrl_tests"
+  "ctrl_tests.pdb"
+  "ctrl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctrl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

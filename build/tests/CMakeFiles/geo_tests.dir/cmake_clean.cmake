@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_tests.dir/geo/dubins_test.cc.o"
+  "CMakeFiles/geo_tests.dir/geo/dubins_test.cc.o.d"
+  "CMakeFiles/geo_tests.dir/geo/geodesy_test.cc.o"
+  "CMakeFiles/geo_tests.dir/geo/geodesy_test.cc.o.d"
+  "CMakeFiles/geo_tests.dir/geo/gps_test.cc.o"
+  "CMakeFiles/geo_tests.dir/geo/gps_test.cc.o.d"
+  "CMakeFiles/geo_tests.dir/geo/trajectory_test.cc.o"
+  "CMakeFiles/geo_tests.dir/geo/trajectory_test.cc.o.d"
+  "CMakeFiles/geo_tests.dir/geo/vec3_test.cc.o"
+  "CMakeFiles/geo_tests.dir/geo/vec3_test.cc.o.d"
+  "geo_tests"
+  "geo_tests.pdb"
+  "geo_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

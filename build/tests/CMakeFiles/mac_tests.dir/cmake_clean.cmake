@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_tests.dir/mac/ampdu_test.cc.o"
+  "CMakeFiles/mac_tests.dir/mac/ampdu_test.cc.o.d"
+  "CMakeFiles/mac_tests.dir/mac/contention_test.cc.o"
+  "CMakeFiles/mac_tests.dir/mac/contention_test.cc.o.d"
+  "CMakeFiles/mac_tests.dir/mac/link_test.cc.o"
+  "CMakeFiles/mac_tests.dir/mac/link_test.cc.o.d"
+  "CMakeFiles/mac_tests.dir/mac/rate_control_test.cc.o"
+  "CMakeFiles/mac_tests.dir/mac/rate_control_test.cc.o.d"
+  "CMakeFiles/mac_tests.dir/mac/timing_test.cc.o"
+  "CMakeFiles/mac_tests.dir/mac/timing_test.cc.o.d"
+  "mac_tests"
+  "mac_tests.pdb"
+  "mac_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

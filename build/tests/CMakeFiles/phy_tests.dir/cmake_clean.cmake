@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_tests.dir/phy/antenna_test.cc.o"
+  "CMakeFiles/phy_tests.dir/phy/antenna_test.cc.o.d"
+  "CMakeFiles/phy_tests.dir/phy/channel_test.cc.o"
+  "CMakeFiles/phy_tests.dir/phy/channel_test.cc.o.d"
+  "CMakeFiles/phy_tests.dir/phy/fading_test.cc.o"
+  "CMakeFiles/phy_tests.dir/phy/fading_test.cc.o.d"
+  "CMakeFiles/phy_tests.dir/phy/mcs_test.cc.o"
+  "CMakeFiles/phy_tests.dir/phy/mcs_test.cc.o.d"
+  "CMakeFiles/phy_tests.dir/phy/pathloss_test.cc.o"
+  "CMakeFiles/phy_tests.dir/phy/pathloss_test.cc.o.d"
+  "CMakeFiles/phy_tests.dir/phy/per_test.cc.o"
+  "CMakeFiles/phy_tests.dir/phy/per_test.cc.o.d"
+  "CMakeFiles/phy_tests.dir/phy/tworay_test.cc.o"
+  "CMakeFiles/phy_tests.dir/phy/tworay_test.cc.o.d"
+  "phy_tests"
+  "phy_tests.pdb"
+  "phy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

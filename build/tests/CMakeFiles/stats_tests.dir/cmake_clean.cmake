@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_tests.dir/stats/descriptive_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/descriptive_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/ecdf_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/ecdf_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/histogram_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/histogram_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/quantile_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/quantile_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/regression_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/regression_test.cc.o.d"
+  "stats_tests"
+  "stats_tests.pdb"
+  "stats_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/uav/autopilot_test.cc" "tests/CMakeFiles/uav_tests.dir/uav/autopilot_test.cc.o" "gcc" "tests/CMakeFiles/uav_tests.dir/uav/autopilot_test.cc.o.d"
+  "/root/repo/tests/uav/battery_test.cc" "tests/CMakeFiles/uav_tests.dir/uav/battery_test.cc.o" "gcc" "tests/CMakeFiles/uav_tests.dir/uav/battery_test.cc.o.d"
+  "/root/repo/tests/uav/failure_test.cc" "tests/CMakeFiles/uav_tests.dir/uav/failure_test.cc.o" "gcc" "tests/CMakeFiles/uav_tests.dir/uav/failure_test.cc.o.d"
+  "/root/repo/tests/uav/kinematics_test.cc" "tests/CMakeFiles/uav_tests.dir/uav/kinematics_test.cc.o" "gcc" "tests/CMakeFiles/uav_tests.dir/uav/kinematics_test.cc.o.d"
+  "/root/repo/tests/uav/platform_test.cc" "tests/CMakeFiles/uav_tests.dir/uav/platform_test.cc.o" "gcc" "tests/CMakeFiles/uav_tests.dir/uav/platform_test.cc.o.d"
+  "/root/repo/tests/uav/uav_test.cc" "tests/CMakeFiles/uav_tests.dir/uav/uav_test.cc.o" "gcc" "tests/CMakeFiles/uav_tests.dir/uav/uav_test.cc.o.d"
+  "/root/repo/tests/uav/wind_test.cc" "tests/CMakeFiles/uav_tests.dir/uav/wind_test.cc.o" "gcc" "tests/CMakeFiles/uav_tests.dir/uav/wind_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/skyferry_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/airnet/CMakeFiles/skyferry_airnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/skyferry_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/uav/CMakeFiles/skyferry_uav.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skyferry_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/skyferry_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/skyferry_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skyferry_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/skyferry_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/skyferry_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/skyferry_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uav_tests.dir/uav/autopilot_test.cc.o"
+  "CMakeFiles/uav_tests.dir/uav/autopilot_test.cc.o.d"
+  "CMakeFiles/uav_tests.dir/uav/battery_test.cc.o"
+  "CMakeFiles/uav_tests.dir/uav/battery_test.cc.o.d"
+  "CMakeFiles/uav_tests.dir/uav/failure_test.cc.o"
+  "CMakeFiles/uav_tests.dir/uav/failure_test.cc.o.d"
+  "CMakeFiles/uav_tests.dir/uav/kinematics_test.cc.o"
+  "CMakeFiles/uav_tests.dir/uav/kinematics_test.cc.o.d"
+  "CMakeFiles/uav_tests.dir/uav/platform_test.cc.o"
+  "CMakeFiles/uav_tests.dir/uav/platform_test.cc.o.d"
+  "CMakeFiles/uav_tests.dir/uav/uav_test.cc.o"
+  "CMakeFiles/uav_tests.dir/uav/uav_test.cc.o.d"
+  "CMakeFiles/uav_tests.dir/uav/wind_test.cc.o"
+  "CMakeFiles/uav_tests.dir/uav/wind_test.cc.o.d"
+  "uav_tests"
+  "uav_tests.pdb"
+  "uav_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uav_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
