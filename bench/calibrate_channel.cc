@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "io/csv.h"
 #include "io/table.h"
 #include "mac/link.h"
@@ -32,13 +33,14 @@ double median_autorate_mbps(phy::ChannelConfig ch, std::uint64_t seed, double se
 }
 
 /// Median goodput at a fixed flat SNR, averaged over seeds.
-double goodput_at_snr(const phy::ChannelConfig& base, double snr_db) {
+double goodput_at_snr(const phy::ChannelConfig& base, double snr_db, std::uint64_t seed) {
   phy::ChannelConfig ch = base;
   ch.snr_model = phy::AerialSnrModel(snr_db, 0.0);
   double sum = 0.0;
   const int kSeeds = 3;
   for (int s = 0; s < kSeeds; ++s) {
-    sum += median_autorate_mbps(ch, 10007ULL * (s + 1) + static_cast<std::uint64_t>(snr_db * 10));
+    sum += median_autorate_mbps(ch, seed + 10007ULL * (s + 1) +
+                                        static_cast<std::uint64_t>(snr_db * 10));
   }
   return sum / kSeeds;
 }
@@ -65,12 +67,12 @@ struct PlatformCal {
   std::vector<double> distances;
 };
 
-void calibrate(const PlatformCal& p) {
+void calibrate(const PlatformCal& p, std::uint64_t seed) {
   std::printf("\n=== %s ===\n", p.name);
   std::vector<double> snrs, gps;
   for (double snr = -4.0; snr <= 26.0; snr += 1.0) {
     snrs.push_back(snr);
-    gps.push_back(goodput_at_snr(p.cfg, snr));
+    gps.push_back(goodput_at_snr(p.cfg, snr, seed));
   }
   // Isotonic smoothing (pool adjacent violators, simple backward pass).
   for (std::size_t i = gps.size(); i-- > 1;) {
@@ -99,11 +101,15 @@ void calibrate(const PlatformCal& p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::uint64_t seed = benchutil::parse_seed(argc, argv, 0);
+  benchutil::print_seed_header("calibrate_channel", seed);
   calibrate({"quadrocopter", phy::ChannelConfig::quadrocopter(), -10.5, 73.0,
-             {20, 30, 40, 50, 60, 70, 80, 90, 100}});
+             {20, 30, 40, 50, 60, 70, 80, 90, 100}},
+            seed);
   calibrate({"airplane", phy::ChannelConfig::airplane(), -5.56, 49.0,
-             {20, 40, 60, 80, 100, 140, 180, 220, 260, 300}});
+             {20, 40, 60, 80, 100, 140, 180, 220, 260, 300}},
+            seed);
 
   std::printf("\n=== preset distance sweep vs paper fits (current constants) ===\n");
   io::Table t2("distance sweep");
@@ -127,10 +133,10 @@ int main() {
     };
     const double quad_sim =
         d <= 130.0 ? preset_median(phy::ChannelConfig::quadrocopter(),
-                                   3000 + static_cast<std::uint64_t>(d))
+                                   seed + 3000 + static_cast<std::uint64_t>(d))
                    : 0.0;
     const double air_sim =
-        preset_median(phy::ChannelConfig::airplane(), 4000 + static_cast<std::uint64_t>(d));
+        preset_median(phy::ChannelConfig::airplane(), seed + 4000 + static_cast<std::uint64_t>(d));
     t2.add_row(io::format_number(d), {quad_sim, quad_paper, air_sim, air_paper});
   }
   t2.print();

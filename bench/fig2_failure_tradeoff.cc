@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/scenario.h"
 #include "core/strategy.h"
 #include "io/table.h"
@@ -67,7 +68,9 @@ MonteCarloResult run(const core::Scenario& scen, double target_d, double rho, in
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::uint64_t seed = benchutil::parse_seed(argc, argv, 42);
+  benchutil::print_seed_header("fig2_failure_tradeoff", seed);
   const core::Scenario scen = core::Scenario::quadrocopter();
   std::printf("Figure 2 tradeoff, quadrocopter scenario (Mdata=%.1f MB, d0=%.0f m)\n",
               scen.mdata_bytes / 1e6, scen.d0_m);
@@ -77,7 +80,7 @@ int main() {
     t.columns({"strategy", "P(deliver all)", "P(lost before tx)", "delay if ok [s]",
                "expected value = P*1/delay"});
     for (double d : {scen.d0_m, 60.0, scen.min_distance_m}) {
-      const auto mc = run(scen, d, rho, 20000, 42);
+      const auto mc = run(scen, d, rho, 20000, seed);
       const double ev = mc.mean_delay_when_complete > 0.0
                             ? mc.p_full_delivery / mc.mean_delay_when_complete
                             : 0.0;

@@ -13,8 +13,10 @@
 #include "io/table.h"
 #include "stats/regression.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace skyferry;
+  const std::uint64_t seed = benchutil::parse_seed(argc, argv, 5000);
+  benchutil::print_seed_header("fig5_airplane_throughput", seed);
   const auto ch = phy::ChannelConfig::airplane();
 
   io::Table t("Figure 5: throughput vs distance, two airplanes (auto rate)");
@@ -28,7 +30,7 @@ int main() {
   for (double d = 20.0; d <= 320.0; d += 20.0) {
     // Airplanes circle their waypoints: residual relative speed ~3 m/s.
     const auto samples =
-        benchutil::autorate_samples(ch, d, 3.0, 5000 + static_cast<std::uint64_t>(d), 4, 60.0);
+        benchutil::autorate_samples(ch, d, 3.0, seed + static_cast<std::uint64_t>(d), 4, 60.0);
     const auto b = stats::boxplot(samples);
     auto row = benchutil::boxplot_row(b);
     t.add_row(io::format_number(d), row);

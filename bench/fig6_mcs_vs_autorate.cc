@@ -14,8 +14,10 @@
 #include "io/csv.h"
 #include "io/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace skyferry;
+  const std::uint64_t master_seed = benchutil::parse_seed(argc, argv, 6000);
+  benchutil::print_seed_header("fig6_mcs_vs_autorate", master_seed);
   const auto ch = phy::ChannelConfig::airplane();
   const double kRelSpeed = 3.0;  // residual motion while "circling"
 
@@ -29,7 +31,7 @@ int main() {
   io::Series s_auto{"autorate (vendor ARF)", {}, {}};
   io::Series s_best{"best fixed MCS", {}, {}};
   for (double d = 20.0; d <= 260.0; d += 20.0) {
-    const std::uint64_t seed = 6000 + static_cast<std::uint64_t>(d);
+    const std::uint64_t seed = master_seed + static_cast<std::uint64_t>(d);
     const double auto_med =
         stats::median(benchutil::autorate_samples(ch, d, kRelSpeed, seed, 4, 60.0));
     const double minstrel_med =
@@ -70,8 +72,8 @@ int main() {
       cfg.channel = ch;
       mac::MinstrelConfig mcfg;
       mcfg.update_interval_s = interval;
-      mac::MinstrelHt rc(mcfg, 71 + 13ULL * k);
-      mac::LinkSimulator sim(cfg, rc, 7100 + 977ULL * k);
+      mac::MinstrelHt rc(mcfg, master_seed + 71 + 13ULL * k);
+      mac::LinkSimulator sim(cfg, rc, master_seed + 1100 + 977ULL * k);
       const auto res = sim.run_saturated(60.0, mac::static_geometry(100.0, kRelSpeed));
       std::vector<double> mbps;
       for (const auto& s : res.samples) mbps.push_back(s.mbps);

@@ -10,8 +10,10 @@
 #include "io/csv.h"
 #include "io/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace skyferry;
+  const std::uint64_t seed = benchutil::parse_seed(argc, argv, 7000);
+  benchutil::print_seed_header("fig7_quadrocopter", seed);
   const auto ch = phy::ChannelConfig::quadrocopter();
   io::CsvWriter csv("fig7_quadrocopter.csv");
   csv.header({"panel", "x", "whisker_low", "q1", "median", "q3", "whisker_high"});
@@ -22,7 +24,7 @@ int main() {
   io::Series hover_med{"hover median", {}, {}};
   for (double d = 20.0; d <= 80.0; d += 20.0) {
     const auto b = stats::boxplot(
-        benchutil::autorate_samples(ch, d, 0.0, 7000 + static_cast<std::uint64_t>(d), 4, 60.0));
+        benchutil::autorate_samples(ch, d, 0.0, seed + static_cast<std::uint64_t>(d), 4, 60.0));
     tl.add_row(io::format_number(d), benchutil::boxplot_row(b));
     csv.row("hover", std::vector<double>{d, b.whisker_low, b.q1, b.median, b.q3, b.whisker_high});
     hover_med.xs.push_back(d);
@@ -36,7 +38,7 @@ int main() {
   io::Series move_med{"moving median", {}, {}};
   for (double d = 20.0; d <= 80.0; d += 20.0) {
     const auto b = stats::boxplot(
-        benchutil::autorate_samples(ch, d, 8.0, 7500 + static_cast<std::uint64_t>(d), 4, 60.0));
+        benchutil::autorate_samples(ch, d, 8.0, seed + 500 + static_cast<std::uint64_t>(d), 4, 60.0));
     tc.add_row(io::format_number(d), benchutil::boxplot_row(b));
     csv.row("moving", std::vector<double>{d, b.whisker_low, b.q1, b.median, b.q3, b.whisker_high});
     move_med.xs.push_back(d);
@@ -55,7 +57,7 @@ int main() {
   io::Series speed_med{"median", {}, {}};
   for (double v : {0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 15.0}) {
     const auto b = stats::boxplot(benchutil::autorate_samples(
-        ch, 60.0, v, 7900 + static_cast<std::uint64_t>(v * 10), 4, 60.0));
+        ch, 60.0, v, seed + 900 + static_cast<std::uint64_t>(v * 10), 4, 60.0));
     tr.add_row(io::format_number(v), benchutil::boxplot_row(b));
     csv.row("speed", std::vector<double>{v, b.whisker_low, b.q1, b.median, b.q3, b.whisker_high});
     speed_med.xs.push_back(v);

@@ -1,0 +1,88 @@
+// Monte-Carlo delivery guarantees — the executable counterpart of the
+// paper's analytic δ(d). Runs N seeded fault-injected mission trials per
+// scenario and failure law and prints: empirical vs analytic approach
+// survival (the exponential rows must agree — the paper's model as a
+// regression test), full-delivery probability, the delivered-MB
+// distribution, completion-time quantiles, and the recovery-path
+// counters (rendezvous retries, ARQ retransmissions). The linear and
+// Weibull rows quantify how far the ablation laws drift from the
+// exponential assumption the planner reasons with.
+//
+// Usage: mc_delivery_probability [--trials N] [--seed S]
+#include <cstdio>
+
+#include "bench_util.h"
+#include "fault/monte_carlo.h"
+#include "io/table.h"
+
+int main(int argc, char** argv) {
+  using namespace skyferry;
+  const std::uint64_t seed = benchutil::parse_seed(argc, argv, 1);
+  const int trials = static_cast<int>(benchutil::parse_long(argc, argv, "--trials", 2000));
+  benchutil::print_seed_header("mc_delivery_probability", seed);
+  std::printf("# trials per row: %d\n", trials);
+
+  struct Law {
+    const char* name;
+    uav::FailureLaw law;
+  };
+  const Law laws[] = {{"exponential", uav::FailureLaw::kExponential},
+                      {"linear", uav::FailureLaw::kLinear},
+                      {"weibull(k=2)", uav::FailureLaw::kWeibull}};
+
+  for (const auto& scen : {core::Scenario::airplane(), core::Scenario::quadrocopter()}) {
+    std::printf("\n%s scenario (Mdata=%.1f MB, d0=%.0f m, rho=%.3g /m)\n", scen.name.c_str(),
+                scen.mdata_bytes / 1e6, scen.d0_m, scen.rho_per_m);
+    io::Table t("crash-only Monte-Carlo vs analytic delta(d)");
+    t.columns({"law", "surv_emp", "surv_analytic", "P(full)", "mean_frac", "med_MB", "p90_s"});
+    for (const auto& l : laws) {
+      fault::MonteCarloConfig cfg;
+      cfg.spec.scenario = scen;
+      cfg.spec.faults = fault::FaultPlan::crashes_only(scen.rho_per_m, l.law);
+      cfg.trials = trials;
+      cfg.seed = seed;
+      const auto s = fault::run_monte_carlo(cfg);
+      t.add_row(l.name, {s.empirical_approach_survival, s.analytic_approach_survival,
+                         s.empirical_delivery_probability, s.mean_delivered_fraction,
+                         s.delivered_mb.median, s.completion_p90_s});
+    }
+    t.print();
+  }
+
+  // Everything-at-once: crashes + link-outage bursts + control loss + GPS
+  // dropout, quadrocopter scenario. The recovery layer earns its keep
+  // here: partial deliveries instead of zeros, resumed transfers instead
+  // of restarts.
+  {
+    fault::MonteCarloConfig cfg;
+    cfg.spec.scenario = core::Scenario::quadrocopter();
+    cfg.spec.faults = fault::FaultPlan::harsh();
+    cfg.trials = trials;
+    cfg.seed = seed;
+    const auto s = fault::run_monte_carlo(cfg);
+    std::printf("\nharsh plan, quadrocopter (outages 1/30 s x 2 s, 10%% ctrl loss, GPS dropouts)\n");
+    io::Table t("degraded-mode delivery");
+    t.columns({"metric", "value"});
+    t.add_row("P(full delivery)", {s.empirical_delivery_probability});
+    t.add_row("P(survive approach)", {s.empirical_approach_survival});
+    t.add_row("mean delivered fraction", {s.mean_delivered_fraction});
+    t.add_row("delivered MB median", {s.delivered_mb.median});
+    t.add_row("delivered MB q1", {s.delivered_mb.q1});
+    t.add_row("completion p50 s", {s.completion_p50_s});
+    t.add_row("completion p99 s", {s.completion_p99_s});
+    t.add_row("mean rendezvous attempts", {s.mean_rendezvous_attempts});
+    t.add_row("mean control retries", {s.mean_control_retries});
+    t.add_row("mean ARQ retransmissions", {s.mean_arq_retransmissions});
+    t.add_row("crashes", {static_cast<double>(s.crashes)});
+    t.add_row("negotiation failures", {static_cast<double>(s.negotiation_failures)});
+    t.print();
+  }
+  std::printf(
+      "reading: the exponential rows validate the paper's closed form —\n"
+      "empirical approach survival tracks delta(d)=exp(-rho*(d0-d_opt));\n"
+      "linear/weibull rows show the same planner decision under a\n"
+      "different truth. Under the harsh plan the mean delivered fraction\n"
+      "stays well above P(full): resumable ARQ turns crashes into partial\n"
+      "deliveries instead of losses.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full verification: normal build + tests, then an ASan+UBSan build + tests.
+#
+# Usage: scripts/check.sh [--no-sanitize]
+#
+# Build trees:
+#   build/           normal (RelWithDebInfo by default via CMakeLists)
+#   build-sanitize/  -DSKYFERRY_SANITIZE=ON (address,undefined)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_sanitize=1
+if [[ "${1:-}" == "--no-sanitize" ]]; then
+  run_sanitize=0
+fi
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== normal build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "$run_sanitize" == "1" ]]; then
+  echo "== sanitized build (ASan+UBSan) =="
+  cmake -B build-sanitize -S . -DSKYFERRY_SANITIZE=ON >/dev/null
+  cmake --build build-sanitize -j "$jobs"
+  ctest --test-dir build-sanitize --output-on-failure -j "$jobs"
+fi
+
+echo "== all checks passed =="

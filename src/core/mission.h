@@ -52,6 +52,9 @@ struct SectorMissionPlan {
   /// Probability that every round's approach survives (independent
   /// exponential legs multiply).
   double mission_delivery_probability{1.0};
+  /// Orphaned area [m^2] this sector absorbed from a crashed scout
+  /// (recovery re-plan only; 0 in the nominal plan).
+  double absorbed_orphan_area_m2{0.0};
 };
 
 struct MissionPlan {
@@ -69,9 +72,18 @@ class MissionPlanner {
 
   [[nodiscard]] MissionPlan plan() const;
 
+  /// Recovery re-plan after a scout crash: the crashed scout had swept
+  /// `completed_fraction` of its sector; the unswept remainder is absorbed
+  /// by the least-loaded survivor (its sector grows by the orphaned area
+  /// and its now-or-later decisions are re-run). With no survivors the
+  /// returned plan is infeasible and empty.
+  [[nodiscard]] MissionPlan replan_after_crash(int crashed_sector_index,
+                                               double completed_fraction) const;
+
   [[nodiscard]] const MissionConfig& config() const noexcept { return cfg_; }
 
  private:
+  [[nodiscard]] std::vector<ctrl::Sector> make_grid() const;
   [[nodiscard]] SectorMissionPlan plan_sector(const ctrl::Sector& sector, int index) const;
 
   const ThroughputModel& model_;

@@ -1,6 +1,8 @@
 #include "ctrl/control_channel.h"
 
 #include <algorithm>
+#include <cmath>
+#include <memory>
 
 namespace skyferry::ctrl {
 
@@ -9,7 +11,7 @@ std::size_t wire_bytes(const ControlMessage& m) noexcept {
 }
 
 ControlChannel::ControlChannel(sim::Simulator& sim, ControlChannelConfig cfg)
-    : sim_(sim), cfg_(cfg) {}
+    : sim_(sim), cfg_(cfg), loss_rng_(cfg.loss_seed) {}
 
 bool ControlChannel::send(const ControlMessage& msg, double distance_m, DeliveryFn on_delivery) {
   if (distance_m > cfg_.range_m) {
@@ -23,8 +25,55 @@ bool ControlChannel::send(const ControlMessage& msg, double distance_m, Delivery
   const double done = start + tx_time;
   busy_until_ = done;
   ++sent_;
+  if (loss_rng_.bernoulli(cfg_.loss_probability)) {
+    // The airtime is spent but the frame never arrives.
+    ++dropped_loss_;
+    return true;
+  }
   sim_.schedule_at(done, [msg, done, fn = std::move(on_delivery)] { fn(msg, done); });
   return true;
+}
+
+void ControlChannel::send_reliable(const ControlMessage& msg, DistanceFn distance,
+                                   DeliveryFn on_delivery, FailureFn on_failure,
+                                   ReliableSendOptions opt) {
+  struct Attempt {
+    ControlChannel* ch;
+    ControlMessage msg;
+    DistanceFn distance;
+    DeliveryFn on_delivery;
+    FailureFn on_failure;
+    ReliableSendOptions opt;
+    int attempt{0};
+    bool delivered{false};
+  };
+  // Each scheduled retry holds its own copy of the shared state; no
+  // self-referential closure, so the state frees once the last timer fires.
+  struct TryOnce {
+    std::shared_ptr<Attempt> st;
+    void operator()() const {
+      if (st->delivered) return;
+      if (st->attempt >= st->opt.max_attempts) {
+        ++st->ch->reliable_failures_;
+        if (st->on_failure) st->on_failure(st->attempt);
+        return;
+      }
+      const int n = st->attempt++;
+      if (n > 0) ++st->ch->reliable_retries_;
+      auto s = st;
+      st->ch->send(st->msg, st->distance(), [s](const ControlMessage& m, double t) {
+        if (s->delivered) return;  // a late duplicate from an earlier attempt
+        s->delivered = true;
+        s->on_delivery(m, t);
+      });
+      const double timeout =
+          std::min(st->opt.initial_timeout_s * std::pow(st->opt.backoff_multiplier, n),
+                   st->opt.max_timeout_s);
+      st->ch->sim_.schedule(timeout, TryOnce{st});
+    }
+  };
+  TryOnce{std::make_shared<Attempt>(Attempt{this, msg, std::move(distance), std::move(on_delivery),
+                                            std::move(on_failure), opt})}();
 }
 
 }  // namespace skyferry::ctrl

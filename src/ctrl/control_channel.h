@@ -1,6 +1,8 @@
 // XBeePro-like control channel (paper Sec. 3): 802.15.4 at 2.4 GHz,
 // up to 250 kb/s, ~1.5 km range, reserved for telemetry and waypoint
-// commands. Modeled as a serialization queue with range gating.
+// commands. Modeled as a serialization queue with range gating and an
+// optional i.i.d. per-message loss process (interference/fades the range
+// gate alone cannot express).
 #pragma once
 
 #include <deque>
@@ -8,6 +10,7 @@
 #include <vector>
 
 #include "ctrl/messages.h"
+#include "sim/rng.h"
 #include "sim/simulator.h"
 
 namespace skyferry::ctrl {
@@ -16,6 +19,20 @@ struct ControlChannelConfig {
   double bandwidth_bps{250e3};
   double range_m{1500.0};
   double per_message_overhead_bytes{16};  ///< framing + MAC overhead
+  /// Probability an in-range message is silently lost in the air
+  /// (sender pays the airtime but the delivery callback never fires).
+  double loss_probability{0.0};
+  /// Seed of the deterministic loss stream.
+  std::uint64_t loss_seed{0x5eedc7a1ULL};
+};
+
+/// Retry policy of `send_reliable`: stop-and-wait with exponential
+/// backoff on the ack timeout.
+struct ReliableSendOptions {
+  int max_attempts{5};
+  double initial_timeout_s{0.25};
+  double backoff_multiplier{2.0};
+  double max_timeout_s{5.0};
 };
 
 /// Point-to-point control link between a UAV and the ground station (or
@@ -24,24 +41,44 @@ struct ControlChannelConfig {
 class ControlChannel {
  public:
   using DeliveryFn = std::function<void(const ControlMessage&, double t_s)>;
+  /// Current endpoint separation; re-evaluated on every retry attempt.
+  using DistanceFn = std::function<double()>;
+  using FailureFn = std::function<void(int attempts)>;
 
   ControlChannel(sim::Simulator& sim, ControlChannelConfig cfg = {});
 
   /// Send a message given the current distance between the endpoints.
-  /// Returns false (counted as dropped) when out of range.
+  /// Returns false (counted as dropped) when out of range. An in-range
+  /// message may still be lost with `cfg.loss_probability`; the sender
+  /// cannot tell (returns true) — use `send_reliable` when it matters.
   bool send(const ControlMessage& msg, double distance_m, DeliveryFn on_delivery);
+
+  /// Fire-and-confirm wrapper: retries `send` with exponentially backed-off
+  /// timeouts until the message is delivered or `opt.max_attempts` attempts
+  /// have been spent, then calls `on_failure` (if set). `distance` is
+  /// polled at each attempt, so a moving endpoint can come into range
+  /// mid-retry. Delivery fires `on_delivery` exactly once.
+  void send_reliable(const ControlMessage& msg, DistanceFn distance, DeliveryFn on_delivery,
+                     FailureFn on_failure = {}, ReliableSendOptions opt = {});
 
   [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
   [[nodiscard]] std::uint64_t dropped_out_of_range() const noexcept { return dropped_; }
+  [[nodiscard]] std::uint64_t dropped_loss() const noexcept { return dropped_loss_; }
+  [[nodiscard]] std::uint64_t reliable_retries() const noexcept { return reliable_retries_; }
+  [[nodiscard]] std::uint64_t reliable_failures() const noexcept { return reliable_failures_; }
   [[nodiscard]] double busy_until_s() const noexcept { return busy_until_; }
   [[nodiscard]] const ControlChannelConfig& config() const noexcept { return cfg_; }
 
  private:
   sim::Simulator& sim_;
   ControlChannelConfig cfg_;
+  sim::Rng loss_rng_;
   double busy_until_{0.0};
   std::uint64_t sent_{0};
   std::uint64_t dropped_{0};
+  std::uint64_t dropped_loss_{0};
+  std::uint64_t reliable_retries_{0};
+  std::uint64_t reliable_failures_{0};
 };
 
 }  // namespace skyferry::ctrl

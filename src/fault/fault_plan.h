@@ -1,0 +1,90 @@
+// Declarative fault-injection plan. The analytic side of the repo only
+// *assumes* failures (δ(d) = exp(-ρ·Δd)); this plan describes which
+// failures a simulation actually *executes*: UAV crashes drawn from the
+// platform failure law, link-outage bursts that zero s(d), i.i.d.
+// control-message loss, and GPS dropout windows. All stochastic draws
+// derive from one seed so a trial replays bit-identically.
+#pragma once
+
+#include <cstdint>
+
+#include "uav/failure.h"
+
+namespace skyferry::fault {
+
+/// Crash process: one distance-to-failure per UAV drawn from the same
+/// FailureModel the planner reasons with — the assumption under test.
+struct CrashFaults {
+  bool enabled{false};
+  double rho_per_m{0.0};
+  uav::FailureLaw law{uav::FailureLaw::kExponential};
+  double weibull_shape{2.0};
+
+  [[nodiscard]] uav::FailureModel model() const noexcept {
+    return uav::FailureModel(rho_per_m, law, weibull_shape);
+  }
+};
+
+/// Alternating up/down renewal process: outages arrive Poisson at
+/// `rate_per_s` (while up) and last Exp(`mean_duration_s`). During an
+/// outage the data link delivers nothing — s(d) is effectively zero.
+struct LinkOutageFaults {
+  double rate_per_s{0.0};
+  double mean_duration_s{0.0};
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return rate_per_s > 0.0 && mean_duration_s > 0.0;
+  }
+};
+
+/// Per-message Bernoulli loss on the low-rate control channel.
+struct ControlLossFaults {
+  double loss_probability{0.0};
+};
+
+/// GPS dropout windows (same renewal shape as link outages). A UAV
+/// without a fix holds position instead of progressing.
+struct GpsDropoutFaults {
+  double rate_per_s{0.0};
+  double mean_duration_s{0.0};
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return rate_per_s > 0.0 && mean_duration_s > 0.0;
+  }
+};
+
+struct FaultPlan {
+  CrashFaults crash;
+  LinkOutageFaults link_outage;
+  ControlLossFaults control_loss;
+  GpsDropoutFaults gps_dropout;
+  std::uint64_t seed{1};
+
+  /// Nothing injected — a trial under this plan is the deterministic
+  /// median story the analytic model tells.
+  static FaultPlan none() noexcept { return {}; }
+
+  /// Crashes only, at the given paper rate — the δ(d) validation plan.
+  static FaultPlan crashes_only(double rho_per_m,
+                                uav::FailureLaw law = uav::FailureLaw::kExponential) noexcept {
+    FaultPlan p;
+    p.crash.enabled = true;
+    p.crash.rho_per_m = rho_per_m;
+    p.crash.law = law;
+    return p;
+  }
+
+  /// Everything at once: crashes at the quadrocopter rate, 30 s mean
+  /// inter-outage with 2 s fades, 10% control loss, sparse GPS dropouts.
+  static FaultPlan harsh() noexcept {
+    FaultPlan p;
+    p.crash.enabled = true;
+    p.crash.rho_per_m = 2.46e-4;
+    p.link_outage = {1.0 / 30.0, 2.0};
+    p.control_loss = {0.10};
+    p.gps_dropout = {1.0 / 120.0, 3.0};
+    return p;
+  }
+};
+
+}  // namespace skyferry::fault

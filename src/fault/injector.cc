@@ -1,0 +1,79 @@
+#include "fault/injector.h"
+
+#include <limits>
+#include <string>
+
+namespace skyferry::fault {
+
+const char* to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kUavCrash: return "uav-crash";
+    case FaultKind::kLinkDown: return "link-down";
+    case FaultKind::kLinkUp: return "link-up";
+    case FaultKind::kControlLoss: return "control-loss";
+    case FaultKind::kGpsDown: return "gps-down";
+    case FaultKind::kGpsUp: return "gps-up";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(sim::Simulator& sim, FaultPlan plan)
+    : sim_(sim),
+      plan_(plan),
+      crash_rng_(sim::derive_seed(plan.seed, "fault/crash")),
+      link_rng_(sim::derive_seed(plan.seed, "fault/link")),
+      ctrl_rng_(sim::derive_seed(plan.seed, "fault/ctrl")),
+      gps_rng_(sim::derive_seed(plan.seed, "fault/gps")) {}
+
+void FaultInjector::start(double t_end_s) {
+  if (plan_.link_outage.enabled()) schedule_link_flip(t_end_s);
+  if (plan_.gps_dropout.enabled()) schedule_gps_flip(t_end_s);
+}
+
+void FaultInjector::schedule_link_flip(double t_end_s) {
+  // While up, the next outage arrives Exp(rate); while down, the fade
+  // ends after Exp(1/mean_duration).
+  const double delay = link_up_ ? link_rng_.exponential(plan_.link_outage.rate_per_s)
+                                : link_rng_.exponential(1.0 / plan_.link_outage.mean_duration_s);
+  if (sim_.now() + delay > t_end_s) return;
+  sim_.schedule(delay, [this, t_end_s] {
+    link_up_ = !link_up_;
+    log_.push_back({link_up_ ? FaultKind::kLinkUp : FaultKind::kLinkDown, sim_.now(), -1});
+    for (const auto& fn : link_observers_) fn(link_up_, sim_.now());
+    schedule_link_flip(t_end_s);
+  });
+}
+
+void FaultInjector::schedule_gps_flip(double t_end_s) {
+  const double delay = gps_up_ ? gps_rng_.exponential(plan_.gps_dropout.rate_per_s)
+                               : gps_rng_.exponential(1.0 / plan_.gps_dropout.mean_duration_s);
+  if (sim_.now() + delay > t_end_s) return;
+  sim_.schedule(delay, [this, t_end_s] {
+    gps_up_ = !gps_up_;
+    log_.push_back({gps_up_ ? FaultKind::kGpsUp : FaultKind::kGpsDown, sim_.now(), -1});
+    for (const auto& fn : gps_observers_) fn(gps_up_, sim_.now());
+    schedule_gps_flip(t_end_s);
+  });
+}
+
+double FaultInjector::sample_crash_distance(int uav_index) {
+  if (!plan_.crash.enabled) return std::numeric_limits<double>::infinity();
+  // An independent stream per UAV: adding a scout never shifts the draws
+  // of the others.
+  sim::Rng per_uav(sim::derive_seed(plan_.seed, "fault/crash/" + std::to_string(uav_index)));
+  return plan_.crash.model().sample_failure_distance(per_uav);
+}
+
+void FaultInjector::record_crash(int uav_index) {
+  log_.push_back({FaultKind::kUavCrash, sim_.now(), uav_index});
+}
+
+bool FaultInjector::drop_control_message() {
+  if (ctrl_rng_.bernoulli(plan_.control_loss.loss_probability)) {
+    log_.push_back({FaultKind::kControlLoss, sim_.now(), -1});
+    return true;
+  }
+  return false;
+}
+
+}  // namespace skyferry::fault

@@ -1,0 +1,81 @@
+// Event-driven fault injector on top of sim::Simulator. Owns the fault
+// randomness (one derived Rng stream per fault class, so enabling one
+// class never perturbs another's draws), maintains the current link/GPS
+// up-down state, and logs every injected event for post-trial forensics.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace skyferry::fault {
+
+enum class FaultKind : std::uint8_t {
+  kUavCrash,
+  kLinkDown,
+  kLinkUp,
+  kControlLoss,
+  kGpsDown,
+  kGpsUp,
+};
+
+[[nodiscard]] const char* to_string(FaultKind k) noexcept;
+
+struct FaultEvent {
+  FaultKind kind;
+  double t_s{0.0};
+  int uav{-1};  ///< crash events only; -1 for link/control/GPS faults
+};
+
+class FaultInjector {
+ public:
+  using StateChangeFn = std::function<void(bool up, double t_s)>;
+
+  FaultInjector(sim::Simulator& sim, FaultPlan plan);
+
+  /// Arm the link-outage and GPS-dropout renewal processes until
+  /// `t_end_s`. Call once per trial, before sim.run().
+  void start(double t_end_s);
+
+  /// Distance-to-failure for UAV `uav_index`, drawn once per trial from
+  /// an independent stream (+inf when crashes are disabled). Record the
+  /// corresponding crash via `record_crash` when the simulation decides
+  /// the distance was actually exceeded.
+  [[nodiscard]] double sample_crash_distance(int uav_index);
+  void record_crash(int uav_index);
+
+  /// One Bernoulli draw per control message.
+  [[nodiscard]] bool drop_control_message();
+
+  [[nodiscard]] bool link_up() const noexcept { return link_up_; }
+  [[nodiscard]] bool gps_up() const noexcept { return gps_up_; }
+
+  /// Observers fire on every link/GPS state flip (after the state updates).
+  void on_link_change(StateChangeFn fn) { link_observers_.push_back(std::move(fn)); }
+  void on_gps_change(StateChangeFn fn) { gps_observers_.push_back(std::move(fn)); }
+
+  [[nodiscard]] const std::vector<FaultEvent>& log() const noexcept { return log_; }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  void schedule_link_flip(double t_end_s);
+  void schedule_gps_flip(double t_end_s);
+
+  sim::Simulator& sim_;
+  FaultPlan plan_;
+  sim::Rng crash_rng_;
+  sim::Rng link_rng_;
+  sim::Rng ctrl_rng_;
+  sim::Rng gps_rng_;
+  bool link_up_{true};
+  bool gps_up_{true};
+  std::vector<StateChangeFn> link_observers_;
+  std::vector<StateChangeFn> gps_observers_;
+  std::vector<FaultEvent> log_;
+};
+
+}  // namespace skyferry::fault

@@ -1,0 +1,306 @@
+#include "fault/mission_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/planner.h"
+#include "ctrl/messages.h"
+#include "sim/simulator.h"
+
+namespace skyferry::fault {
+namespace {
+
+ctrl::ControlChannelConfig make_control_cfg(const FaultPlan& plan) {
+  ctrl::ControlChannelConfig cfg;
+  cfg.loss_probability = plan.control_loss.loss_probability;
+  cfg.loss_seed = sim::derive_seed(plan.seed, "fault/ctrlchan");
+  return cfg;
+}
+
+net::ArqConfig size_arq(const TrialSpec& spec, double batch_bytes) {
+  net::ArqConfig arq = spec.arq;
+  if (arq.datagram_bytes == 0) {
+    const double target = std::max<double>(spec.target_packets, 1.0);
+    arq.datagram_bytes = static_cast<std::uint32_t>(
+        std::clamp(std::ceil(batch_bytes / target), 256.0, 1048576.0));
+  }
+  return arq;
+}
+
+/// Single-scout trial state machine: Approach -> Negotiate -> Transfer,
+/// with crash/outage/loss events arriving from the injector throughout.
+class MissionTrial {
+ public:
+  MissionTrial(const TrialSpec& spec, std::uint64_t seed)
+      : spec_(spec),
+        model_(spec.scenario.paper_throughput()),
+        plan_([&] {
+          FaultPlan p = spec.faults;
+          p.seed = seed;
+          return p;
+        }()),
+        injector_(sim_, plan_),
+        control_(sim_, make_control_cfg(plan_)),
+        backoff_rng_(sim::derive_seed(plan_.seed, "fault/backoff")),
+        transfer_(size_arq(spec, spec.scenario.mdata_bytes), spec.scenario.mdata_bytes) {}
+
+  TrialResult run();
+
+ private:
+  void begin_approach();
+  void resume_approach();   // movement segment while GPS is up
+  void pause_approach(double t_s);
+  void arrive();
+  void negotiate();
+  void begin_transfer_attempt();
+  void pump();
+  void on_stall_tick();
+  void retreat_and_backoff();
+  void crash();
+  void finalize(bool delivered);
+
+  [[nodiscard]] double throughput_bps() const {
+    return model_.throughput_bps(result_.d_opt_m);
+  }
+
+  const TrialSpec& spec_;
+  core::PaperLogThroughput model_;
+  sim::Simulator sim_;
+  FaultPlan plan_;
+  FaultInjector injector_;
+  ctrl::ControlChannel control_;
+  sim::Rng backoff_rng_;
+  ResumableTransfer transfer_;
+  TrialResult result_;
+
+  // Approach bookkeeping: distance accrues only while moving (GPS up).
+  double distance_flown_m_{0.0};
+  double segment_start_t_{0.0};
+  double remaining_approach_m_{0.0};
+  bool approaching_{false};
+  sim::EventId arrival_event_{0};
+  sim::EventId crash_event_{0};
+
+  // Transfer bookkeeping.
+  bool transferring_{false};
+  double data_busy_until_{0.0};
+  std::uint32_t last_progress_{0};
+  int consecutive_stalls_{0};
+  int stall_generation_{0};
+  bool done_{false};
+};
+
+TrialResult MissionTrial::run() {
+  const auto& scen = spec_.scenario;
+  const core::DelayedGratificationPlanner planner(model_, scen.failure_model());
+  const core::Decision decision = planner.decide(scen.delivery_params());
+
+  result_.d_opt_m = decision.strategy.target_distance_m;
+  result_.approach_distance_m = scen.d0_m - result_.d_opt_m;
+  result_.analytic_delivery_probability = decision.delivery_probability;
+  result_.total_bytes = scen.mdata_bytes;
+  result_.crash_distance_m = injector_.sample_crash_distance(0);
+
+  injector_.start(spec_.max_time_s);
+  injector_.on_gps_change([this](bool up, double t) {
+    if (done_ || !approaching_) return;
+    if (up) {
+      resume_approach();
+    } else {
+      pause_approach(t);
+    }
+  });
+
+  begin_approach();
+  sim_.run_until(spec_.max_time_s);
+  if (!done_) {
+    result_.timed_out = true;
+    finalize(false);
+  }
+  for (const auto& ev : injector_.log()) {
+    result_.link_outages += (ev.kind == FaultKind::kLinkDown) ? 1 : 0;
+    result_.gps_dropouts += (ev.kind == FaultKind::kGpsDown) ? 1 : 0;
+  }
+  return result_;
+}
+
+void MissionTrial::begin_approach() {
+  remaining_approach_m_ = std::max(result_.approach_distance_m, 0.0);
+  approaching_ = true;
+  if (injector_.gps_up()) {
+    resume_approach();
+  }  // else: the first gps-up flip starts the movement
+}
+
+void MissionTrial::resume_approach() {
+  const double v = spec_.scenario.speed_mps;
+  segment_start_t_ = sim_.now();
+  arrival_event_ = sim_.schedule(remaining_approach_m_ / v, [this] {
+    if (done_ || !approaching_) return;
+    distance_flown_m_ += remaining_approach_m_;
+    remaining_approach_m_ = 0.0;
+    arrive();
+  });
+  // Crash mid-segment: the sampled failure distance falls inside it.
+  const double to_crash = result_.crash_distance_m - distance_flown_m_;
+  if (to_crash < remaining_approach_m_) {
+    crash_event_ = sim_.schedule(std::max(to_crash, 0.0) / v, [this] {
+      if (done_) return;
+      crash();
+    });
+  }
+}
+
+void MissionTrial::pause_approach(double t_s) {
+  const double v = spec_.scenario.speed_mps;
+  const double covered = std::max(0.0, (t_s - segment_start_t_)) * v;
+  distance_flown_m_ += std::min(covered, remaining_approach_m_);
+  remaining_approach_m_ = std::max(0.0, remaining_approach_m_ - covered);
+  if (arrival_event_) sim_.cancel(arrival_event_);
+  if (crash_event_) sim_.cancel(crash_event_);
+  arrival_event_ = crash_event_ = 0;
+}
+
+void MissionTrial::arrive() {
+  approaching_ = false;
+  result_.survived_approach = true;
+  if (arrival_event_) sim_.cancel(arrival_event_);
+  arrival_event_ = 0;
+
+  // Post-approach loiter burns failure distance at cruise speed until the
+  // mission ends; the remaining budget converts to one absolute deadline.
+  if (spec_.loiter_burns_distance && std::isfinite(result_.crash_distance_m)) {
+    const double budget_m = result_.crash_distance_m - distance_flown_m_;
+    crash_event_ = sim_.schedule(budget_m / spec_.scenario.speed_mps, [this] {
+      if (done_) return;
+      crash();
+    });
+  }
+  negotiate();
+}
+
+void MissionTrial::negotiate() {
+  ctrl::TransmitCommand cmd;
+  cmd.uav_id = "scout0";
+  cmd.peer_id = "collector";
+  cmd.transmit_distance_m = result_.d_opt_m;
+  const double d = result_.d_opt_m;
+  control_.send_reliable(
+      cmd, [d] { return d; },
+      [this](const ctrl::ControlMessage&, double) {
+        if (done_) return;
+        begin_transfer_attempt();
+      },
+      [this](int) {
+        if (done_) return;
+        result_.negotiation_failed = true;
+        finalize(false);
+      },
+      spec_.negotiation);
+}
+
+void MissionTrial::begin_transfer_attempt() {
+  transfer_.begin_attempt();
+  ++result_.rendezvous_attempts;
+  transferring_ = true;
+  consecutive_stalls_ = 0;
+  last_progress_ = transfer_.receiver().received_count();
+  const int gen = ++stall_generation_;
+  sim::schedule_periodic(sim_, spec_.stall_timeout_s, [this, gen] {
+    if (done_ || !transferring_ || gen != stall_generation_) return false;
+    on_stall_tick();
+    return !done_ && transferring_ && gen == stall_generation_;
+  });
+  pump();
+}
+
+void MissionTrial::pump() {
+  if (done_ || !transferring_) return;
+  if (sim_.now() < data_busy_until_) return;  // one datagram in the air at a time
+  if (transfer_.complete()) {
+    finalize(true);
+    return;
+  }
+  auto p = transfer_.sender().next_packet(sim_.now());
+  if (!p) return;  // window full: wait for acks or the stall timer
+  const double s = throughput_bps();
+  if (s <= 0.0) return;  // no usable rate at this distance; stall timer retreats
+  const double airtime = static_cast<double>(p->payload_bytes) * 8.0 / s;
+  data_busy_until_ = sim_.now() + airtime;
+  const net::Packet sent = *p;
+  sim_.schedule(airtime, [this, sent] {
+    if (done_ || !transferring_) return;
+    if (injector_.link_up()) {
+      if (auto ack = transfer_.receiver().on_packet(sent)) {
+        // The tiny selective-ack rides the same link; an outage eats it.
+        if (injector_.link_up()) transfer_.sender().on_ack(*ack);
+      }
+    }
+    pump();
+  });
+}
+
+void MissionTrial::on_stall_tick() {
+  const std::uint32_t got = transfer_.receiver().received_count();
+  if (got != last_progress_) {
+    last_progress_ = got;
+    consecutive_stalls_ = 0;
+    return;
+  }
+  ++consecutive_stalls_;
+  if (consecutive_stalls_ >= spec_.retreat_after_stalls) {
+    retreat_and_backoff();
+    return;
+  }
+  // Declare the in-flight window lost and push retransmissions.
+  transfer_.sender().on_timeout();
+  pump();
+}
+
+void MissionTrial::retreat_and_backoff() {
+  const int attempt = transfer_.attempts() - 1;
+  if (spec_.retreat_backoff.exhausted(attempt)) {
+    finalize(false);
+    return;
+  }
+  result_.arq_retransmissions = transfer_.sender().retransmissions();
+  transfer_.suspend();
+  transferring_ = false;
+  ++stall_generation_;
+  data_busy_until_ = 0.0;
+  sim_.schedule(spec_.retreat_backoff.delay_s(attempt, backoff_rng_), [this] {
+    if (done_) return;
+    negotiate();  // re-negotiate the rendezvous, then resume the transfer
+  });
+}
+
+void MissionTrial::crash() {
+  injector_.record_crash(0);
+  result_.crashed = true;
+  finalize(false);
+}
+
+void MissionTrial::finalize(bool delivered) {
+  if (done_) return;
+  done_ = true;
+  if (transferring_) {
+    result_.arq_retransmissions = transfer_.sender().retransmissions();
+    transfer_.suspend();
+    transferring_ = false;
+  }
+  result_.delivered_all = delivered;
+  result_.delivered_bytes = transfer_.attempts() > 0 ? transfer_.delivered_bytes() : 0.0;
+  if (delivered) result_.delivered_bytes = result_.total_bytes;
+  result_.completion_time_s = sim_.now();
+  result_.control_retries = control_.reliable_retries();
+}
+
+}  // namespace
+
+TrialResult run_mission_trial(const TrialSpec& spec, std::uint64_t seed) {
+  MissionTrial trial(spec, seed);
+  return trial.run();
+}
+
+}  // namespace skyferry::fault

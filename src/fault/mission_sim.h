@@ -1,0 +1,75 @@
+// One fault-injected delivery mission, end to end, on the discrete-event
+// simulator: a scout with a collected batch runs the now-or-later
+// decision, ferries to the transmit position (GPS dropouts pause the
+// approach, a sampled crash distance may end it), negotiates the
+// rendezvous over the lossy control channel with retry/backoff, then
+// pushes the batch through selective-repeat ARQ at s(d_opt) while link
+// outages eat packets. A stalled transfer retreats, backs off, and
+// *resumes* from the ARQ checkpoint — a crash yields the delivered
+// prefix, not nothing. This is the executable counterpart of the
+// analytic δ(d)·u(d) story.
+#pragma once
+
+#include <cstdint>
+
+#include "core/scenario.h"
+#include "ctrl/control_channel.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+#include "fault/recovery.h"
+#include "net/arq.h"
+
+namespace skyferry::fault {
+
+struct TrialSpec {
+  core::Scenario scenario{core::Scenario::quadrocopter()};
+  FaultPlan faults{};
+  /// ARQ transfer config. datagram_bytes == 0 auto-sizes the datagram so
+  /// the batch is ~`target_packets` packets (keeps trials cheap without
+  /// changing the delivered-bytes resolution materially).
+  net::ArqConfig arq{64, 0, 16};
+  std::uint32_t target_packets{256};
+  /// Rendezvous-negotiation retry policy (control channel).
+  ctrl::ReliableSendOptions negotiation{};
+  /// Retreat-and-retry policy when the data link stalls mid-transfer.
+  BackoffPolicy retreat_backoff{2.0, 2.0, 30.0, 6, 0.1};
+  /// Ack-progress stall window; after `retreat_after_stalls` consecutive
+  /// stalled windows the attempt suspends and backs off.
+  double stall_timeout_s{2.0};
+  int retreat_after_stalls{3};
+  double max_time_s{7200.0};
+  /// Fixed-wing scouts loiter at cruise speed while negotiating and
+  /// transmitting, so post-approach time keeps burning failure distance.
+  bool loiter_burns_distance{true};
+};
+
+struct TrialResult {
+  // Decision inputs/outputs.
+  double d_opt_m{0.0};
+  double approach_distance_m{0.0};  ///< d0 - d_opt
+  double analytic_delivery_probability{0.0};  ///< δ(d_opt)
+
+  // Outcome.
+  bool survived_approach{false};
+  bool crashed{false};
+  bool negotiation_failed{false};
+  bool delivered_all{false};
+  bool timed_out{false};
+  double delivered_bytes{0.0};
+  double total_bytes{0.0};
+  double completion_time_s{0.0};  ///< delivery time, or end time otherwise
+  double crash_distance_m{0.0};   ///< sampled distance-to-failure (inf if off)
+
+  // Recovery-path accounting.
+  int rendezvous_attempts{0};   ///< transfer attempts (resumes included)
+  std::uint64_t control_retries{0};
+  std::uint64_t arq_retransmissions{0};
+  std::uint64_t link_outages{0};
+  std::uint64_t gps_dropouts{0};
+};
+
+/// Run one seeded trial. `seed` overrides spec.faults.seed, so a caller
+/// can sweep seeds without rebuilding the spec.
+[[nodiscard]] TrialResult run_mission_trial(const TrialSpec& spec, std::uint64_t seed);
+
+}  // namespace skyferry::fault

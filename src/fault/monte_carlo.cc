@@ -1,0 +1,67 @@
+#include "fault/monte_carlo.h"
+
+#include <algorithm>
+#include <string>
+
+#include "sim/rng.h"
+
+namespace skyferry::fault {
+
+MonteCarloSummary run_monte_carlo(const MonteCarloConfig& cfg) {
+  MonteCarloSummary out;
+  out.trials = std::max(cfg.trials, 0);
+  out.seed = cfg.seed;
+  if (out.trials == 0) return out;
+
+  std::vector<double> delivered_mb;
+  std::vector<double> completion_s;
+  delivered_mb.reserve(static_cast<std::size_t>(out.trials));
+
+  long delivered = 0, survived = 0;
+  double frac_sum = 0.0, attempts_sum = 0.0, retries_sum = 0.0, retx_sum = 0.0;
+
+  for (int i = 0; i < out.trials; ++i) {
+    const std::uint64_t trial_seed = sim::derive_seed(cfg.seed, "trial/" + std::to_string(i));
+    const TrialResult r = run_mission_trial(cfg.spec, trial_seed);
+
+    delivered += r.delivered_all ? 1 : 0;
+    survived += r.survived_approach ? 1 : 0;
+    out.crashes += r.crashed ? 1 : 0;
+    out.negotiation_failures += r.negotiation_failed ? 1 : 0;
+    out.timeouts += r.timed_out ? 1 : 0;
+    frac_sum += (r.total_bytes > 0.0) ? r.delivered_bytes / r.total_bytes : 0.0;
+    attempts_sum += r.rendezvous_attempts;
+    retries_sum += static_cast<double>(r.control_retries);
+    retx_sum += static_cast<double>(r.arq_retransmissions);
+    delivered_mb.push_back(r.delivered_bytes / 1e6);
+    if (r.delivered_all) completion_s.push_back(r.completion_time_s);
+
+    if (i == 0) {
+      // The decision is deterministic, so trial 0 carries the analytic side.
+      out.analytic_approach_survival =
+          cfg.spec.faults.crash.enabled
+              ? cfg.spec.faults.crash.model().survival(r.approach_distance_m)
+              : 1.0;
+      out.planner_delivery_probability = r.analytic_delivery_probability;
+    }
+    if (cfg.keep_trials) out.trial_results.push_back(r);
+  }
+
+  const double n = static_cast<double>(out.trials);
+  out.empirical_delivery_probability = static_cast<double>(delivered) / n;
+  out.empirical_approach_survival = static_cast<double>(survived) / n;
+  out.mean_delivered_fraction = frac_sum / n;
+  out.mean_rendezvous_attempts = attempts_sum / n;
+  out.mean_control_retries = retries_sum / n;
+  out.mean_arq_retransmissions = retx_sum / n;
+  out.delivered_mb = stats::boxplot(delivered_mb);
+  if (!completion_s.empty()) {
+    std::sort(completion_s.begin(), completion_s.end());
+    out.completion_p50_s = stats::quantile_sorted(completion_s, 0.50);
+    out.completion_p90_s = stats::quantile_sorted(completion_s, 0.90);
+    out.completion_p99_s = stats::quantile_sorted(completion_s, 0.99);
+  }
+  return out;
+}
+
+}  // namespace skyferry::fault

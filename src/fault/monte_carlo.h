@@ -1,0 +1,59 @@
+// Monte-Carlo delivery-guarantee harness: N seeded fault-injected
+// mission trials, reduced to empirical delivery probability, the
+// delivered-data distribution, and completion-time quantiles. The
+// empirical approach survival is reported next to the analytic δ(d) the
+// planner believed — for the paper's exponential law the two must agree
+// (the paper's own model becomes a regression test); for the linear and
+// Weibull ablation laws the gap quantifies how optimistic/pessimistic
+// the exponential assumption is.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/mission_sim.h"
+#include "stats/quantile.h"
+
+namespace skyferry::fault {
+
+struct MonteCarloConfig {
+  TrialSpec spec{};
+  int trials{2000};
+  std::uint64_t seed{1};
+  /// Keep the per-trial results (delivered MB etc.) in the summary.
+  bool keep_trials{false};
+};
+
+struct MonteCarloSummary {
+  int trials{0};
+  std::uint64_t seed{0};
+
+  // The headline guarantees.
+  double empirical_delivery_probability{0.0};  ///< P(full batch delivered)
+  double empirical_approach_survival{0.0};     ///< P(reached the transmit position)
+  double analytic_approach_survival{0.0};      ///< δ(d_opt) under the *injected* law
+  double planner_delivery_probability{0.0};    ///< δ(d_opt) the planner assumed
+
+  // Delivered-data distribution (partial deliveries are the point).
+  double mean_delivered_fraction{0.0};
+  stats::BoxplotSummary delivered_mb{};
+
+  // Completion-time quantiles over fully delivered trials [s].
+  double completion_p50_s{0.0};
+  double completion_p90_s{0.0};
+  double completion_p99_s{0.0};
+
+  // Failure/recovery accounting.
+  int crashes{0};
+  int negotiation_failures{0};
+  int timeouts{0};
+  double mean_rendezvous_attempts{0.0};
+  double mean_control_retries{0.0};
+  double mean_arq_retransmissions{0.0};
+
+  std::vector<TrialResult> trial_results;  ///< only when keep_trials
+};
+
+[[nodiscard]] MonteCarloSummary run_monte_carlo(const MonteCarloConfig& cfg);
+
+}  // namespace skyferry::fault

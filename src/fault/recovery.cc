@@ -1,0 +1,64 @@
+#include "fault/recovery.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skyferry::fault {
+
+double BackoffPolicy::delay_s(int attempt, sim::Rng& rng) const noexcept {
+  const double base =
+      std::min(initial_s * std::pow(multiplier, std::max(attempt, 0)), max_s);
+  const double j = std::clamp(jitter_fraction, 0.0, 1.0);
+  return base * rng.uniform(1.0 - j, 1.0 + j);
+}
+
+ResumableTransfer::ResumableTransfer(net::ArqConfig cfg, double total_bytes) noexcept
+    : cfg_(cfg), total_bytes_(std::max(total_bytes, 0.0)) {
+  const double dg = std::max<double>(cfg_.datagram_bytes, 1.0);
+  total_packets_ = static_cast<std::uint32_t>(std::ceil(total_bytes_ / dg));
+}
+
+void ResumableTransfer::begin_attempt() {
+  ++attempts_;
+  if (has_checkpoint_) {
+    sender_.emplace(net::ArqSender::resume(cfg_, sender_ckpt_));
+    receiver_.emplace(net::ArqReceiver::resume(cfg_, receiver_ckpt_));
+  } else {
+    sender_.emplace(cfg_, total_packets_);
+    receiver_.emplace(cfg_, total_packets_);
+  }
+}
+
+void ResumableTransfer::suspend() {
+  if (!sender_) return;
+  sender_ckpt_ = sender_->checkpoint();
+  receiver_ckpt_ = receiver_->checkpoint();
+  has_checkpoint_ = true;
+  sender_.reset();
+  receiver_.reset();
+}
+
+bool ResumableTransfer::complete() const noexcept {
+  if (total_packets_ == 0) return true;
+  if (sender_) return receiver_->complete();
+  if (!has_checkpoint_) return false;
+  std::uint32_t got = 0;
+  for (bool b : receiver_ckpt_.received) got += b ? 1u : 0u;
+  return got == total_packets_;
+}
+
+double ResumableTransfer::delivered_bytes() const noexcept {
+  const double dg = static_cast<double>(cfg_.datagram_bytes);
+  double raw = 0.0;
+  if (sender_) {
+    raw = receiver_->delivered_bytes();
+  } else if (has_checkpoint_) {
+    std::uint32_t got = 0;
+    for (bool b : receiver_ckpt_.received) got += b ? 1u : 0u;
+    raw = static_cast<double>(got) * dg;
+  }
+  // The last datagram may be padding; never report more than the batch.
+  return std::min(raw, total_bytes_);
+}
+
+}  // namespace skyferry::fault

@@ -1,0 +1,69 @@
+// Recovery primitives: resumable batch transfers (checkpoint/restore of
+// the selective-repeat ARQ state across rendezvous attempts, so an
+// interrupted transfer keeps its partial progress) and exponential
+// backoff for retrying rendezvous negotiation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/arq.h"
+#include "sim/rng.h"
+
+namespace skyferry::fault {
+
+/// Exponential backoff with multiplicative jitter. Attempt numbering is
+/// zero-based: delay_s(0) is the wait before the first retry.
+struct BackoffPolicy {
+  double initial_s{1.0};
+  double multiplier{2.0};
+  double max_s{60.0};
+  int max_attempts{8};
+  /// Uniform jitter in [1-j, 1+j] applied to the deterministic delay, so
+  /// two UAVs backing off from the same collision do not re-collide.
+  double jitter_fraction{0.1};
+
+  [[nodiscard]] double delay_s(int attempt, sim::Rng& rng) const noexcept;
+  [[nodiscard]] bool exhausted(int attempt) const noexcept { return attempt >= max_attempts; }
+};
+
+/// A batch transfer that survives interruption. Between attempts the
+/// ARQ endpoints are frozen (`suspend`); the next `begin_attempt` thaws
+/// them with every unconfirmed packet re-armed for retransmission. What
+/// the receiver already holds stays delivered — a crash mid-transfer
+/// yields the checkpointed prefix, not nothing.
+class ResumableTransfer {
+ public:
+  ResumableTransfer(net::ArqConfig cfg, double total_bytes) noexcept;
+
+  /// Start attempt #attempts(): fresh endpoints on the first call,
+  /// checkpoint-restored ones afterwards.
+  void begin_attempt();
+
+  /// Freeze both endpoints (link lost, retreat, or crash).
+  void suspend();
+
+  [[nodiscard]] bool active() const noexcept { return sender_.has_value(); }
+  [[nodiscard]] net::ArqSender& sender() { return *sender_; }
+  [[nodiscard]] net::ArqReceiver& receiver() { return *receiver_; }
+
+  [[nodiscard]] bool complete() const noexcept;
+  /// Bytes safely landed at the receiver (live or checkpointed).
+  [[nodiscard]] double delivered_bytes() const noexcept;
+  [[nodiscard]] double total_bytes() const noexcept { return total_bytes_; }
+  [[nodiscard]] std::uint32_t total_packets() const noexcept { return total_packets_; }
+  [[nodiscard]] int attempts() const noexcept { return attempts_; }
+
+ private:
+  net::ArqConfig cfg_;
+  double total_bytes_;
+  std::uint32_t total_packets_;
+  int attempts_{0};
+  std::optional<net::ArqSender> sender_;
+  std::optional<net::ArqReceiver> receiver_;
+  net::ArqSenderState sender_ckpt_;
+  net::ArqReceiverState receiver_ckpt_;
+  bool has_checkpoint_{false};
+};
+
+}  // namespace skyferry::fault

@@ -65,6 +65,44 @@ void ArqSender::on_ack(const SelectiveAck& ack) {
 
 bool ArqSender::complete() const noexcept { return acked_count_ == total_; }
 
+void ArqSender::on_timeout() noexcept {
+  for (std::uint32_t s = 0; s < next_new_; ++s) {
+    if (state_[s] == State::kInFlight) state_[s] = State::kNacked;
+  }
+}
+
+ArqSenderState ArqSender::checkpoint() const {
+  ArqSenderState st;
+  st.total = total_;
+  st.acked.resize(total_, false);
+  for (std::uint32_t s = 0; s < total_; ++s) st.acked[s] = (state_[s] == State::kAcked);
+  st.frontier = next_new_;
+  st.transmissions = transmissions_;
+  st.retransmissions = retransmissions_;
+  return st;
+}
+
+ArqSender ArqSender::resume(ArqConfig cfg, const ArqSenderState& st, FlowId flow) {
+  ArqSender s(cfg, st.total, flow);
+  const std::uint32_t n = std::min<std::uint32_t>(st.total,
+                                                  static_cast<std::uint32_t>(st.acked.size()));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (st.acked[i]) {
+      s.state_[i] = State::kAcked;
+      ++s.acked_count_;
+    }
+  }
+  // Unacked packets below the old send frontier were sent at least once
+  // but never confirmed: retransmit them. Beyond the frontier stays fresh.
+  s.next_new_ = std::min(st.frontier, st.total);
+  for (std::uint32_t i = 0; i < s.next_new_; ++i) {
+    if (s.state_[i] == State::kUnsent) s.state_[i] = State::kNacked;
+  }
+  s.transmissions_ = st.transmissions;
+  s.retransmissions_ = st.retransmissions;
+  return s;
+}
+
 ArqReceiver::ArqReceiver(ArqConfig cfg, std::uint32_t total_packets) noexcept
     : cfg_(cfg), total_(total_packets), received_(total_packets, false) {}
 
@@ -75,6 +113,29 @@ SelectiveAck ArqReceiver::make_ack() const {
   ack.window_bitmap.reserve(span);
   for (std::uint32_t i = 0; i < span; ++i) ack.window_bitmap.push_back(received_[cumulative_ + i]);
   return ack;
+}
+
+ArqReceiverState ArqReceiver::checkpoint() const {
+  ArqReceiverState st;
+  st.total = total_;
+  st.received = received_;
+  st.duplicates = duplicates_;
+  return st;
+}
+
+ArqReceiver ArqReceiver::resume(ArqConfig cfg, const ArqReceiverState& st) {
+  ArqReceiver r(cfg, st.total);
+  const std::uint32_t n = std::min<std::uint32_t>(st.total,
+                                                  static_cast<std::uint32_t>(st.received.size()));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (st.received[i]) {
+      r.received_[i] = true;
+      ++r.received_count_;
+    }
+  }
+  while (r.cumulative_ < r.total_ && r.received_[r.cumulative_]) ++r.cumulative_;
+  r.duplicates_ = st.duplicates;
+  return r;
 }
 
 std::optional<SelectiveAck> ArqReceiver::on_packet(const Packet& p) {

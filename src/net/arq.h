@@ -30,6 +30,27 @@ struct ArqConfig {
   std::uint32_t ack_every{16};
 };
 
+/// Frozen sender-side transfer progress: which packets the peer has
+/// confirmed. Packets in flight at checkpoint time are *not* recorded as
+/// such — a restore treats them as lost (the crash/outage that forced the
+/// checkpoint also killed whatever was in the air).
+struct ArqSenderState {
+  std::uint32_t total{0};
+  std::vector<bool> acked;
+  /// Highest sequence ever handed to the link plus one; packets at or
+  /// beyond it were never sent and resume as fresh transmissions.
+  std::uint32_t frontier{0};
+  std::uint64_t transmissions{0};
+  std::uint64_t retransmissions{0};
+};
+
+/// Frozen receiver-side state: the received bitmap plus counters.
+struct ArqReceiverState {
+  std::uint32_t total{0};
+  std::vector<bool> received;
+  std::uint64_t duplicates{0};
+};
+
 class ArqSender {
  public:
   /// A batch of `total_packets` datagrams, each `cfg.datagram_bytes`.
@@ -42,6 +63,18 @@ class ArqSender {
 
   /// Process a selective ack from the receiver.
   void on_ack(const SelectiveAck& ack);
+
+  /// Ack-progress stall: declare everything in flight lost so it is
+  /// retransmitted (a selective-repeat retransmission timer).
+  void on_timeout() noexcept;
+
+  /// Snapshot the resumable part of the transfer (acked set + counters).
+  [[nodiscard]] ArqSenderState checkpoint() const;
+
+  /// Rebuild a sender mid-batch from a checkpoint: acked packets stay
+  /// acked, everything else (including the in-flight set at checkpoint
+  /// time) becomes eligible for (re)transmission.
+  static ArqSender resume(ArqConfig cfg, const ArqSenderState& st, FlowId flow = 0);
 
   [[nodiscard]] bool complete() const noexcept;
   [[nodiscard]] std::uint32_t total_packets() const noexcept { return total_; }
@@ -72,8 +105,16 @@ class ArqReceiver {
   /// Force an ack (receiver timer).
   [[nodiscard]] SelectiveAck make_ack() const;
 
+  /// Snapshot / rebuild for resumable transfers (mirrors ArqSender).
+  [[nodiscard]] ArqReceiverState checkpoint() const;
+  static ArqReceiver resume(ArqConfig cfg, const ArqReceiverState& st);
+
   [[nodiscard]] bool complete() const noexcept { return received_count_ == total_; }
   [[nodiscard]] std::uint32_t received_count() const noexcept { return received_count_; }
+  /// Application bytes landed so far (partial delivery is real delivery).
+  [[nodiscard]] double delivered_bytes() const noexcept {
+    return static_cast<double>(received_count_) * static_cast<double>(cfg_.datagram_bytes);
+  }
   [[nodiscard]] std::uint64_t duplicates() const noexcept { return duplicates_; }
 
  private:

@@ -2,16 +2,25 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <memory>
 #include <utility>
 
 namespace skyferry::sim {
 
 EventId Simulator::schedule(double delay_s, EventFn fn) {
+  if (!std::isfinite(delay_s)) {
+    ++rejected_nonfinite_;
+    return 0;
+  }
   return schedule_at(now_ + std::max(delay_s, 0.0), std::move(fn));
 }
 
 EventId Simulator::schedule_at(double t_s, EventFn fn) {
+  if (!std::isfinite(t_s)) {
+    ++rejected_nonfinite_;
+    return 0;
+  }
   const EventId id = next_id_++;
   queue_.push(Event{std::max(t_s, now_), id, std::move(fn)});
   return id;
@@ -69,16 +78,22 @@ void Simulator::reset() {
   cancelled_count_ = 0;
   now_ = 0.0;
   executed_ = 0;
+  rejected_nonfinite_ = 0;
 }
 
 EventId schedule_periodic(Simulator& sim, double period_s, std::function<bool()> fn) {
-  // Self-rescheduling closure; stops (and frees itself) when fn() is false.
-  auto tick = std::make_shared<std::function<void()>>();
-  auto shared_fn = std::make_shared<std::function<bool()>>(std::move(fn));
-  *tick = [&sim, period_s, tick, shared_fn]() {
-    if ((*shared_fn)()) sim.schedule(period_s, *tick);
+  // Self-rescheduling tick; each scheduled copy owns a reference to fn, so
+  // the chain frees itself when fn() returns false (no shared_ptr cycle).
+  struct Tick {
+    Simulator* sim;
+    double period;
+    std::shared_ptr<std::function<bool()>> fn;
+    void operator()() const {
+      if ((*fn)()) sim->schedule(period, Tick{sim, period, fn});
+    }
   };
-  return sim.schedule(period_s, *tick);
+  return sim.schedule(period_s,
+                      Tick{&sim, period_s, std::make_shared<std::function<bool()>>(std::move(fn))});
 }
 
 }  // namespace skyferry::sim

@@ -30,10 +30,17 @@ class Simulator {
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size() - cancelled_count_; }
 
   /// Schedule `fn` to run `delay_s` seconds from now (delay clamped to >= 0).
+  /// A NaN/Inf delay is rejected: the event is dropped, the rejection is
+  /// counted, and the invalid id 0 is returned.
   EventId schedule(double delay_s, EventFn fn);
 
-  /// Schedule `fn` at absolute time `t_s` (clamped to >= now()).
+  /// Schedule `fn` at absolute time `t_s` (clamped to >= now()). A NaN/Inf
+  /// time is rejected (counted, returns the invalid id 0) so a corrupted
+  /// sample cannot wedge the queue with an event that never surfaces.
   EventId schedule_at(double t_s, EventFn fn);
+
+  /// Number of schedule calls rejected for non-finite times.
+  [[nodiscard]] std::uint64_t rejected_nonfinite() const noexcept { return rejected_nonfinite_; }
 
   /// Cancel a pending event. Returns false if already executed/cancelled.
   bool cancel(EventId id);
@@ -70,6 +77,7 @@ class Simulator {
   double now_{0.0};
   EventId next_id_{1};
   std::uint64_t executed_{0};
+  std::uint64_t rejected_nonfinite_{0};
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::vector<EventId> cancelled_;  // small, sorted-on-demand set
   std::size_t cancelled_count_{0};

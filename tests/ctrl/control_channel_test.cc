@@ -74,6 +74,112 @@ TEST(ControlChannel, LowBandwidthIsSlow) {
   EXPECT_GT(image_bits / cfg.bandwidth_bps, 12.0);
 }
 
+TEST(ControlChannel, LossProbabilityDropsRoughlyThatFraction) {
+  sim::Simulator sim;
+  ControlChannelConfig cfg;
+  cfg.loss_probability = 0.25;
+  cfg.loss_seed = 77;
+  ControlChannel ch(sim, cfg);
+  int delivered = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    ch.send(make_telemetry(), 100.0, [&](const ControlMessage&, double) { ++delivered; });
+  }
+  sim.run();
+  EXPECT_EQ(ch.sent(), static_cast<std::uint64_t>(n));
+  EXPECT_EQ(static_cast<std::uint64_t>(n - delivered), ch.dropped_loss());
+  EXPECT_NEAR(static_cast<double>(ch.dropped_loss()) / n, 0.25, 0.03);
+}
+
+TEST(ControlChannel, ZeroLossKeepsOldBehaviour) {
+  sim::Simulator sim;
+  ControlChannel ch(sim);
+  int delivered = 0;
+  for (int i = 0; i < 100; ++i) {
+    ch.send(make_telemetry(), 100.0, [&](const ControlMessage&, double) { ++delivered; });
+  }
+  sim.run();
+  EXPECT_EQ(delivered, 100);
+  EXPECT_EQ(ch.dropped_loss(), 0u);
+}
+
+TEST(ControlChannel, SendReliableRetriesThroughLoss) {
+  sim::Simulator sim;
+  ControlChannelConfig cfg;
+  cfg.loss_probability = 0.6;
+  cfg.loss_seed = 5;
+  ControlChannel ch(sim, cfg);
+  int delivered = 0;
+  ReliableSendOptions opt;
+  opt.max_attempts = 20;
+  opt.initial_timeout_s = 0.05;
+  ch.send_reliable(
+      make_telemetry(), [] { return 100.0; },
+      [&](const ControlMessage&, double) { ++delivered; }, {}, opt);
+  sim.run();
+  EXPECT_EQ(delivered, 1);  // exactly once, despite retries
+  EXPECT_GE(ch.sent(), 1u);
+}
+
+TEST(ControlChannel, SendReliableGivesUpAfterMaxAttempts) {
+  sim::Simulator sim;
+  ControlChannelConfig cfg;
+  cfg.loss_probability = 1.0;  // the air eats everything
+  ControlChannel ch(sim, cfg);
+  int delivered = 0;
+  int failed_after = 0;
+  ReliableSendOptions opt;
+  opt.max_attempts = 4;
+  opt.initial_timeout_s = 0.1;
+  ch.send_reliable(
+      make_telemetry(), [] { return 100.0; },
+      [&](const ControlMessage&, double) { ++delivered; },
+      [&](int attempts) { failed_after = attempts; }, opt);
+  sim.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(failed_after, 4);
+  EXPECT_EQ(ch.reliable_failures(), 1u);
+  EXPECT_EQ(ch.reliable_retries(), 3u);  // attempts beyond the first
+}
+
+TEST(ControlChannel, SendReliableBacksOffExponentially) {
+  // With everything lost, attempt k fires after sum of the backed-off
+  // timeouts; the final failure lands once the last timeout expires.
+  sim::Simulator sim;
+  ControlChannelConfig cfg;
+  cfg.loss_probability = 1.0;
+  ControlChannel ch(sim, cfg);
+  double failed_at = -1.0;
+  ReliableSendOptions opt;
+  opt.max_attempts = 3;
+  opt.initial_timeout_s = 1.0;
+  opt.backoff_multiplier = 2.0;
+  opt.max_timeout_s = 100.0;
+  ch.send_reliable(
+      make_telemetry(), [] { return 100.0; }, [](const ControlMessage&, double) {},
+      [&](int) { failed_at = sim.now(); }, opt);
+  sim.run();
+  EXPECT_NEAR(failed_at, 1.0 + 2.0 + 4.0, 1e-9);
+}
+
+TEST(ControlChannel, SendReliableReachesMovingEndpoint) {
+  // Out of range at first, in range from t >= 2 s: retries poll the
+  // distance and eventually land the message.
+  sim::Simulator sim;
+  ControlChannel ch(sim);
+  bool got = false;
+  ReliableSendOptions opt;
+  opt.max_attempts = 10;
+  opt.initial_timeout_s = 1.0;
+  opt.backoff_multiplier = 1.0;
+  ch.send_reliable(
+      make_telemetry(), [&] { return sim.now() < 2.0 ? 5000.0 : 100.0; },
+      [&](const ControlMessage&, double) { got = true; }, {}, opt);
+  sim.run();
+  EXPECT_TRUE(got);
+  EXPECT_GE(ch.dropped_out_of_range(), 2u);
+}
+
 TEST(ControlChannel, VariantDispatch) {
   sim::Simulator sim;
   ControlChannel ch(sim);

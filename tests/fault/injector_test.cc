@@ -1,0 +1,117 @@
+#include "fault/injector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace skyferry::fault {
+namespace {
+
+TEST(FaultPlan, NonePlanInjectsNothing) {
+  sim::Simulator sim;
+  FaultInjector inj(sim, FaultPlan::none());
+  inj.start(1e4);
+  sim.run();
+  EXPECT_TRUE(inj.log().empty());
+  EXPECT_TRUE(inj.link_up());
+  EXPECT_TRUE(inj.gps_up());
+  EXPECT_FALSE(inj.drop_control_message());
+  EXPECT_TRUE(std::isinf(inj.sample_crash_distance(0)));
+}
+
+TEST(FaultInjector, LinkOutagesAlternateAndLog) {
+  sim::Simulator sim;
+  FaultPlan plan;
+  plan.link_outage = {1.0 / 20.0, 2.0};  // ~every 20 s, ~2 s fades
+  plan.seed = 99;
+  FaultInjector inj(sim, plan);
+  int downs = 0, ups = 0;
+  bool last_up = true;
+  inj.on_link_change([&](bool up, double) {
+    // Strict alternation: every flip inverts the previous state.
+    EXPECT_NE(up, last_up);
+    last_up = up;
+    downs += up ? 0 : 1;
+    ups += up ? 1 : 0;
+  });
+  inj.start(2000.0);
+  sim.run();
+  EXPECT_GT(downs, 10);  // ~100 expected at rate 1/20 over 2000 s
+  EXPECT_NEAR(static_cast<double>(ups), static_cast<double>(downs), 1.0);
+  // Every observer flip also landed in the log.
+  EXPECT_EQ(inj.log().size(), static_cast<std::size_t>(downs + ups));
+}
+
+TEST(FaultInjector, OutageProcessIsSeedDeterministic) {
+  auto trace = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    FaultPlan plan;
+    plan.link_outage = {0.05, 1.5};
+    plan.seed = seed;
+    FaultInjector inj(sim, plan);
+    inj.start(500.0);
+    sim.run();
+    std::vector<double> ts;
+    for (const auto& e : inj.log()) ts.push_back(e.t_s);
+    return ts;
+  };
+  EXPECT_EQ(trace(7), trace(7));
+  EXPECT_NE(trace(7), trace(8));
+}
+
+TEST(FaultInjector, ControlLossMatchesProbability) {
+  sim::Simulator sim;
+  FaultPlan plan;
+  plan.control_loss.loss_probability = 0.3;
+  plan.seed = 4242;
+  FaultInjector inj(sim, plan);
+  int lost = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) lost += inj.drop_control_message() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(lost) / n, 0.3, 0.02);
+  EXPECT_EQ(inj.log().size(), static_cast<std::size_t>(lost));
+}
+
+TEST(FaultInjector, CrashDistancePerUavIsIndependentAndStable) {
+  sim::Simulator sim;
+  FaultPlan plan = FaultPlan::crashes_only(1e-3);
+  plan.seed = 5;
+  FaultInjector inj(sim, plan);
+  const double d0 = inj.sample_crash_distance(0);
+  const double d1 = inj.sample_crash_distance(1);
+  EXPECT_NE(d0, d1);
+  // Re-draw of the same UAV gives the same distance: one failure point
+  // per UAV per trial, independent of call order.
+  EXPECT_DOUBLE_EQ(inj.sample_crash_distance(0), d0);
+  EXPECT_DOUBLE_EQ(inj.sample_crash_distance(1), d1);
+  EXPECT_GT(d0, 0.0);
+}
+
+TEST(FaultInjector, GpsDropoutsIndependentOfLinkStream) {
+  // Enabling GPS dropouts must not perturb the link-outage draw sequence.
+  auto link_trace = [](bool with_gps) {
+    sim::Simulator sim;
+    FaultPlan plan;
+    plan.link_outage = {0.05, 1.0};
+    if (with_gps) plan.gps_dropout = {0.02, 2.0};
+    plan.seed = 31;
+    FaultInjector inj(sim, plan);
+    inj.start(500.0);
+    sim.run();
+    std::vector<double> ts;
+    for (const auto& e : inj.log()) {
+      if (e.kind == FaultKind::kLinkDown || e.kind == FaultKind::kLinkUp) ts.push_back(e.t_s);
+    }
+    return ts;
+  };
+  EXPECT_EQ(link_trace(false), link_trace(true));
+}
+
+TEST(FaultKindNames, AllDistinct) {
+  EXPECT_STREQ(to_string(FaultKind::kUavCrash), "uav-crash");
+  EXPECT_STREQ(to_string(FaultKind::kLinkDown), "link-down");
+  EXPECT_STREQ(to_string(FaultKind::kControlLoss), "control-loss");
+}
+
+}  // namespace
+}  // namespace skyferry::fault

@@ -1,0 +1,102 @@
+#include "fault/monte_carlo.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace skyferry::fault {
+namespace {
+
+MonteCarloConfig crash_only_config(const core::Scenario& scen, int trials,
+                                   uav::FailureLaw law = uav::FailureLaw::kExponential) {
+  MonteCarloConfig cfg;
+  cfg.spec.scenario = scen;
+  cfg.spec.faults = FaultPlan::crashes_only(scen.rho_per_m, law);
+  cfg.trials = trials;
+  cfg.seed = 12345;
+  return cfg;
+}
+
+// The acceptance gate: 2000+ seeded trials reproduce the paper's
+// analytic exponential survival exp(-rho * (d0 - d_opt)) within 2%
+// absolute, at both published rho values.
+TEST(MonteCarlo, EmpiricalSurvivalMatchesAnalyticExponentialAirplane) {
+  const auto scen = core::Scenario::airplane();  // rho = 1.11e-4
+  const auto s = run_monte_carlo(crash_only_config(scen, 2000));
+  ASSERT_EQ(s.trials, 2000);
+  EXPECT_NEAR(s.empirical_approach_survival, s.analytic_approach_survival, 0.02);
+  // For the exponential law the injected truth IS the planner's delta(d).
+  EXPECT_NEAR(s.analytic_approach_survival, s.planner_delivery_probability, 1e-9);
+}
+
+TEST(MonteCarlo, EmpiricalSurvivalMatchesAnalyticExponentialQuadrocopter) {
+  const auto scen = core::Scenario::quadrocopter();  // rho = 2.46e-4
+  const auto s = run_monte_carlo(crash_only_config(scen, 2000));
+  EXPECT_NEAR(s.empirical_approach_survival, s.analytic_approach_survival, 0.02);
+  EXPECT_NEAR(s.analytic_approach_survival, s.planner_delivery_probability, 1e-9);
+}
+
+TEST(MonteCarlo, AblationLawsDivergeFromExponentialAssumption) {
+  // Under the Weibull(k=2) truth early failures are rarer than the
+  // exponential planner assumes: empirical survival beats the planner's
+  // delta. The harness quantifies the gap instead of hiding it.
+  const auto scen = core::Scenario::quadrocopter();
+  const auto s = run_monte_carlo(crash_only_config(scen, 1500, uav::FailureLaw::kWeibull));
+  EXPECT_GT(s.empirical_approach_survival, s.planner_delivery_probability);
+  // The injected-law analytic column still matches its own empirical.
+  EXPECT_NEAR(s.empirical_approach_survival, s.analytic_approach_survival, 0.02);
+}
+
+TEST(MonteCarlo, SameSeedReproducesBitIdenticalSummary) {
+  const auto scen = core::Scenario::quadrocopter();
+  const auto a = run_monte_carlo(crash_only_config(scen, 200));
+  const auto b = run_monte_carlo(crash_only_config(scen, 200));
+  EXPECT_DOUBLE_EQ(a.empirical_delivery_probability, b.empirical_delivery_probability);
+  EXPECT_DOUBLE_EQ(a.empirical_approach_survival, b.empirical_approach_survival);
+  EXPECT_DOUBLE_EQ(a.mean_delivered_fraction, b.mean_delivered_fraction);
+  EXPECT_DOUBLE_EQ(a.completion_p99_s, b.completion_p99_s);
+
+  auto cfg = crash_only_config(scen, 200);
+  cfg.seed = 999;
+  const auto c = run_monte_carlo(cfg);
+  EXPECT_NE(a.empirical_approach_survival, c.empirical_approach_survival);
+}
+
+TEST(MonteCarlo, PartialDeliveriesLiftMeanFractionAboveFullProbability) {
+  // Resumable ARQ means a crashed trial still counts its delivered
+  // prefix: the mean delivered fraction must dominate P(full delivery).
+  const auto scen = core::Scenario::quadrocopter();
+  auto cfg = crash_only_config(scen, 800);
+  cfg.spec.faults.crash.rho_per_m = 2e-3;  // enough crashes to matter
+  const auto s = run_monte_carlo(cfg);
+  EXPECT_LT(s.empirical_delivery_probability, 1.0);
+  EXPECT_GT(s.mean_delivered_fraction, s.empirical_delivery_probability);
+}
+
+TEST(MonteCarlo, NoFaultsDeliversEverythingDeterministically) {
+  MonteCarloConfig cfg;
+  cfg.spec.scenario = core::Scenario::airplane();
+  cfg.spec.faults = FaultPlan::none();
+  cfg.trials = 50;
+  const auto s = run_monte_carlo(cfg);
+  EXPECT_DOUBLE_EQ(s.empirical_delivery_probability, 1.0);
+  EXPECT_DOUBLE_EQ(s.empirical_approach_survival, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean_delivered_fraction, 1.0);
+  EXPECT_GT(s.completion_p50_s, 0.0);
+  // Without faults every trial is the same deterministic story.
+  EXPECT_DOUBLE_EQ(s.completion_p50_s, s.completion_p99_s);
+}
+
+TEST(MonteCarlo, KeepTrialsRetainsPerTrialResults) {
+  auto cfg = crash_only_config(core::Scenario::quadrocopter(), 25);
+  cfg.keep_trials = true;
+  const auto s = run_monte_carlo(cfg);
+  ASSERT_EQ(s.trial_results.size(), 25u);
+  for (const auto& r : s.trial_results) {
+    EXPECT_GE(r.delivered_bytes, 0.0);
+    EXPECT_LE(r.delivered_bytes, r.total_bytes + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace skyferry::fault

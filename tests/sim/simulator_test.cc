@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -148,6 +149,34 @@ TEST(Simulator, ManyEventsStressOrder) {
   sim.run();
   EXPECT_TRUE(monotone);
   EXPECT_EQ(sim.events_executed(), 10000u);
+}
+
+TEST(Simulator, RejectsNonFiniteTimes) {
+  // Regression: a NaN/Inf time (e.g. division by a zero throughput
+  // sample) used to enqueue an event that could never surface and wedged
+  // the queue. Such schedules are now counted and dropped.
+  Simulator sim;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  bool fired = false;
+  EXPECT_EQ(sim.schedule(nan, [&] { fired = true; }), 0u);
+  EXPECT_EQ(sim.schedule(inf, [&] { fired = true; }), 0u);
+  EXPECT_EQ(sim.schedule_at(nan, [&] { fired = true; }), 0u);
+  EXPECT_EQ(sim.schedule_at(-inf, [&] { fired = true; }), 0u);
+  EXPECT_EQ(sim.rejected_nonfinite(), 4u);
+  EXPECT_EQ(sim.pending(), 0u);
+
+  // A healthy event after the corrupt ones still runs to completion.
+  sim.schedule(1.0, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+  EXPECT_EQ(sim.events_executed(), 1u);
+
+  // The invalid id 0 is not cancellable and reset clears the counter.
+  EXPECT_FALSE(sim.cancel(0));
+  sim.reset();
+  EXPECT_EQ(sim.rejected_nonfinite(), 0u);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "uav/failure.h"
 
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -77,6 +78,69 @@ TEST(FailureModel, SampledFailureDistanceMeanMatches) {
     // Linear law: uniform on [0, 1/rho] has mean 1/(2 rho).
     EXPECT_NEAR(rs.mean(), expected_mean, expected_mean * 0.05)
         << static_cast<int>(law);
+  }
+}
+
+TEST(FailureModel, SampleInverseCdfRoundTripsAgainstSurvival) {
+  // sample_failure_distance is the inverse CDF applied to a uniform draw,
+  // so the empirical P(D > x) must reproduce survival(x) for every law —
+  // including the kLinear and kWeibull variants.
+  for (auto law : {FailureLaw::kExponential, FailureLaw::kLinear, FailureLaw::kWeibull}) {
+    const FailureModel m(0.004, law);
+    sim::Rng rng(1234);
+    const int n = 40000;
+    std::vector<double> samples;
+    samples.reserve(n);
+    for (int i = 0; i < n; ++i) samples.push_back(m.sample_failure_distance(rng));
+    for (double x : {25.0, 100.0, 250.0, 500.0}) {
+      int beyond = 0;
+      for (double d : samples) beyond += (d > x) ? 1 : 0;
+      EXPECT_NEAR(static_cast<double>(beyond) / n, m.survival(x), 0.01)
+          << "law " << static_cast<int>(law) << " at x=" << x;
+    }
+  }
+}
+
+TEST(FailureModel, SurvivalOfSampledDistanceIsUniform) {
+  // S(D) ~ Uniform(0,1) when D is drawn from the law itself — a direct
+  // inverse-CDF consistency check that needs no binning.
+  for (auto law : {FailureLaw::kExponential, FailureLaw::kWeibull}) {
+    const FailureModel m(0.002, law);
+    sim::Rng rng(77);
+    stats::RunningStats rs;
+    for (int i = 0; i < 20000; ++i) rs.add(m.survival(m.sample_failure_distance(rng)));
+    EXPECT_NEAR(rs.mean(), 0.5, 0.01) << static_cast<int>(law);
+    EXPECT_NEAR(rs.variance(), 1.0 / 12.0, 0.005) << static_cast<int>(law);
+  }
+}
+
+TEST(FailureModel, LinearSamplesNeverExceedSupport) {
+  const FailureModel m(0.001, FailureLaw::kLinear);
+  sim::Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = m.sample_failure_distance(rng);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1000.0);  // support of the linear law is [0, 1/rho)
+  }
+}
+
+TEST(FailureModel, FromBatteryIsExponentialLaw) {
+  // from_battery derives rho = 1/range and always uses the paper's
+  // exponential law, whatever the platform.
+  for (const auto& spec : {PlatformSpec::swinglet(), PlatformSpec::arducopter()}) {
+    const auto m = FailureModel::from_battery(spec);
+    EXPECT_EQ(m.law(), FailureLaw::kExponential);
+    EXPECT_NEAR(m.rho(), 1.0 / spec.range_m(), 1e-15);
+    // survival over one full battery range = 1/e for the exponential law.
+    EXPECT_NEAR(m.survival(spec.range_m()), std::exp(-1.0), 1e-12);
+  }
+}
+
+TEST(FailureModel, WeibullShapeOneDegeneratesToExponential) {
+  const FailureModel wei(0.003, FailureLaw::kWeibull, 1.0);
+  const FailureModel exp_m(0.003, FailureLaw::kExponential);
+  for (double d = 0.0; d <= 1000.0; d += 100.0) {
+    EXPECT_NEAR(wei.survival(d), exp_m.survival(d), 1e-9) << d;
   }
 }
 
