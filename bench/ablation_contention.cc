@@ -5,11 +5,15 @@
 #include <cstdio>
 
 #include "core/scenario.h"
+#include "exp/cli.h"
 #include "io/table.h"
 #include "mac/ampdu.h"
 #include "mac/contention.h"
 
-int main() {
+int main(int argc, char** argv) {
+  skyferry::exp::Cli cli("ablation_contention");
+  cli.parse_or_exit(argc, argv);
+  cli.print_replay_header();
   using namespace skyferry;
   mac::MacTiming timing;
   mac::MpduFormat f;

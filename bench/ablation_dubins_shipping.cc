@@ -8,11 +8,15 @@
 
 #include "core/optimizer.h"
 #include "core/scenario.h"
+#include "exp/cli.h"
 #include "geo/dubins.h"
 #include "geo/geodesy.h"
 #include "io/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  skyferry::exp::Cli cli("ablation_dubins_shipping");
+  cli.parse_or_exit(argc, argv);
+  cli.print_replay_header();
   using namespace skyferry;
   const auto scen = core::Scenario::airplane();
   const double r = scen.platform.min_turn_radius_m;

@@ -7,10 +7,14 @@
 
 #include "core/joint_optimizer.h"
 #include "core/scenario.h"
+#include "exp/cli.h"
 #include "io/csv.h"
 #include "io/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  skyferry::exp::Cli cli("ablation_joint_speed");
+  cli.parse_or_exit(argc, argv);
+  cli.print_replay_header();
   using namespace skyferry;
   io::CsvWriter csv("ablation_joint_speed.csv");
   csv.header({"platform", "mdata_mb", "v_opt", "d_opt", "utility", "cruise_d_opt",

@@ -6,9 +6,13 @@
 #include <cstdio>
 
 #include "core/planner.h"
+#include "exp/cli.h"
 #include "io/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  skyferry::exp::Cli cli("ablation_mixed_strategy");
+  cli.parse_or_exit(argc, argv);
+  cli.print_replay_header();
   using namespace skyferry;
   const auto scen = core::Scenario::quadrocopter();
   const auto model = scen.paper_throughput();

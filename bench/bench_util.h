@@ -1,50 +1,16 @@
 // Shared helpers for the figure/table regenerators: seeded multi-run
 // link measurements and boxplot collection, mirroring how the paper's
-// field measurements were aggregated.
+// field measurements were aggregated. Flag parsing and replay headers
+// live in exp::Cli — every bench main() registers typed flags there.
 #pragma once
 
 #include <cstdint>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <string>
 #include <vector>
 
 #include "mac/link.h"
 #include "stats/quantile.h"
 
 namespace skyferry::benchutil {
-
-/// Parse `--seed N` (or `--seed=N`) from argv; fall back to `def`.
-/// Every stochastic bench routes its master seed through this so any
-/// run can be replayed exactly.
-inline std::uint64_t parse_seed(int argc, char** argv, std::uint64_t def) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
-      return std::strtoull(argv[i + 1], nullptr, 10);
-    if (std::strncmp(argv[i], "--seed=", 7) == 0) return std::strtoull(argv[i] + 7, nullptr, 10);
-  }
-  return def;
-}
-
-/// Parse `--flag N` / `--flag=N` integer options (e.g. --trials).
-inline long parse_long(int argc, char** argv, const char* flag, long def) {
-  const std::size_t len = std::strlen(flag);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc)
-      return std::strtol(argv[i + 1], nullptr, 10);
-    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=')
-      return std::strtol(argv[i] + len + 1, nullptr, 10);
-  }
-  return def;
-}
-
-/// Print the reproducibility header: the seed every draw derives from.
-inline void print_seed_header(const char* bench, std::uint64_t seed) {
-  std::printf("# %s  seed=%llu  (replay: %s --seed %llu)\n", bench,
-              static_cast<unsigned long long>(seed), bench,
-              static_cast<unsigned long long>(seed));
-}
 
 /// Throughput samples from `seeds` independent saturated runs of
 /// `secs` seconds each at fixed geometry, under the vendor-style ARF

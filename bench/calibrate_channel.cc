@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "exp/cli.h"
 #include "io/csv.h"
 #include "io/table.h"
 #include "mac/link.h"
@@ -102,8 +103,11 @@ void calibrate(const PlatformCal& p, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = benchutil::parse_seed(argc, argv, 0);
-  benchutil::print_seed_header("calibrate_channel", seed);
+  std::uint64_t seed = 0;
+  exp::Cli cli("calibrate_channel");
+  cli.flag("--seed", &seed, "master seed");
+  cli.parse_or_exit(argc, argv);
+  cli.print_replay_header();
   calibrate({"quadrocopter", phy::ChannelConfig::quadrocopter(), -10.5, 73.0,
              {20, 30, 40, 50, 60, 70, 80, 90, 100}},
             seed);

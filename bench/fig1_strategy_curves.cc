@@ -10,12 +10,16 @@
 #include <cstdio>
 
 #include "core/strategy.h"
+#include "exp/cli.h"
 #include "io/ascii_chart.h"
 #include "io/csv.h"
 #include "io/table.h"
 #include "mac/link.h"
 
-int main() {
+int main(int argc, char** argv) {
+  skyferry::exp::Cli cli("fig1_strategy_curves");
+  cli.parse_or_exit(argc, argv);
+  cli.print_replay_header();
   using namespace skyferry;
   const auto model = core::PaperLogThroughput::quadrocopter();
   const core::SpeedDegradation deg{};

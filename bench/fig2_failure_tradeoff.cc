@@ -3,12 +3,18 @@
 // distance. A Monte-Carlo over the exponential failure process reports
 // how much of Mdata each strategy delivers on average and how often the
 // batch is lost mid-approach — the "70% / 40% / 0%" story of the figure.
+//
+// The (rho, d) grid is an exp::Sweep and the 20000 trials per point fan
+// out across the experiment engine; results are independent of --threads.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/scenario.h"
 #include "core/strategy.h"
+#include "exp/cli.h"
+#include "exp/runner.h"
 #include "io/table.h"
 #include "sim/rng.h"
 #include "uav/failure.h"
@@ -24,71 +30,98 @@ struct MonteCarloResult {
   double mean_delay_when_complete{0.0};
 };
 
-/// Simulate `trials` deliveries with failures injected along the
-/// approach (and during the hover transmission; hovering risk scaled by
-/// the distance-equivalent of the time spent).
-MonteCarloResult run(const core::Scenario& scen, double target_d, double rho, int trials,
-                     std::uint64_t seed) {
-  const auto model = scen.paper_throughput();
-  const core::SpeedDegradation deg{};
-  core::DeliveryParams params = scen.delivery_params();
-
-  core::StrategySpec spec;
-  spec.kind = (target_d >= params.d0_m) ? core::StrategyKind::kTransmitNow
-                                        : core::StrategyKind::kShipThenTransmit;
-  spec.target_distance_m = target_d;
-  const auto out = simulate_strategy(spec, model, deg, params);
-
-  const uav::FailureModel failure(rho);
-  sim::Rng rng(seed);
+/// Reduce one sweep point's trials: each trial is a sampled
+/// distance-to-failure compared against the shipping distance (during
+/// the hover transmission the UAV is static; the paper's model attaches
+/// risk to distance traveled, so hovering is failure-free). Trials are
+/// int, not bool: vector<bool> packs bits and parallel slot writes
+/// would race.
+MonteCarloResult reduce(const std::vector<int>& delivered, double completion_time_s) {
   MonteCarloResult mc;
-  double complete_delay_sum = 0.0;
   int completes = 0;
-  for (int i = 0; i < trials; ++i) {
-    // Failure strikes after a random distance of flight.
-    const double fail_dist = failure.sample_failure_distance(rng);
-    const double ship_dist = params.d0_m - target_d;
-    if (fail_dist < ship_dist) {
-      // Went down before transmitting anything.
+  for (const int ok : delivered) {
+    if (ok != 0) {
+      ++completes;
+    } else {
       ++mc.p_failed_before_tx;
-      continue;
     }
-    // During the hover transmission the UAV is static: the paper's model
-    // attaches risk to distance traveled, so hovering is failure-free.
-    mc.mean_delivered_fraction += 1.0;
-    ++completes;
-    complete_delay_sum += out.completion_time_s;
   }
-  mc.p_full_delivery = static_cast<double>(completes) / trials;
-  mc.p_failed_before_tx /= trials;
-  mc.mean_delivered_fraction /= trials;
-  mc.mean_delay_when_complete = completes ? complete_delay_sum / completes : 0.0;
+  const double n = static_cast<double>(delivered.size());
+  mc.p_full_delivery = completes / n;
+  mc.p_failed_before_tx /= n;
+  mc.mean_delivered_fraction = mc.p_full_delivery;
+  mc.mean_delay_when_complete = completes ? completion_time_s : 0.0;
   return mc;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = benchutil::parse_seed(argc, argv, 42);
-  benchutil::print_seed_header("fig2_failure_tradeoff", seed);
+  std::uint64_t seed = 42;
+  int trials = 20000;
+  int threads = 0;
+  exp::Cli cli("fig2_failure_tradeoff");
+  cli.flag("--seed", &seed, "master seed (forked per trial)")
+      .flag("--trials", &trials, "trials per (rho, d) point")
+      .flag("--threads", &threads, "worker threads, 0 = one per hardware thread");
+  cli.parse_or_exit(argc, argv);
+  cli.print_replay_header();
+
   const core::Scenario scen = core::Scenario::quadrocopter();
   std::printf("Figure 2 tradeoff, quadrocopter scenario (Mdata=%.1f MB, d0=%.0f m)\n",
               scen.mdata_bytes / 1e6, scen.d0_m);
 
-  for (double rho : {scen.rho_per_m, 2e-3, 8e-3}) {
-    io::Table t("rho = " + io::format_number(rho) + " [1/m]");
+  const std::vector<double> rhos{scen.rho_per_m, 2e-3, 8e-3};
+  const std::vector<double> targets{scen.d0_m, 60.0, scen.min_distance_m};
+  const auto points = exp::Sweep{}.axis("rho", rhos).axis("d", targets).cartesian();
+
+  // Per-point deterministic precomputation: the strategy outcome (delay
+  // etc.) is not stochastic, only the failure draw is.
+  const auto model = scen.paper_throughput();
+  const core::SpeedDegradation deg{};
+  const core::DeliveryParams params = scen.delivery_params();
+  std::vector<double> completion_s(points.size(), 0.0);
+  for (const auto& p : points) {
+    const double target_d = p.at("d");
+    core::StrategySpec spec;
+    spec.kind = (target_d >= params.d0_m) ? core::StrategyKind::kTransmitNow
+                                          : core::StrategyKind::kShipThenTransmit;
+    spec.target_distance_m = target_d;
+    completion_s[p.index] = simulate_strategy(spec, model, deg, params).completion_time_s;
+  }
+
+  exp::RunnerConfig rc;
+  rc.threads = threads;
+  rc.trials = trials;
+  rc.seed = seed;
+  const auto run = exp::Runner(rc).run(points, [&](const exp::Point& p, std::uint64_t s) {
+    const uav::FailureModel failure(p.at("rho"));
+    sim::Rng rng(s);
+    // Failure strikes after a random distance of flight; delivered iff
+    // the UAV out-flies it over the shipping leg.
+    return failure.sample_failure_distance(rng) >= params.d0_m - p.at("d") ? 1 : 0;
+  });
+
+  for (std::size_t r = 0; r < rhos.size(); ++r) {
+    io::Table t("rho = " + io::format_number(rhos[r]) + " [1/m]");
     t.columns({"strategy", "P(deliver all)", "P(lost before tx)", "delay if ok [s]",
                "expected value = P*1/delay"});
-    for (double d : {scen.d0_m, 60.0, scen.min_distance_m}) {
-      const auto mc = run(scen, d, rho, 20000, seed);
+    for (std::size_t k = 0; k < targets.size(); ++k) {
+      const std::size_t idx = r * targets.size() + k;
+      const auto mc = reduce(run.results[idx], completion_s[idx]);
       const double ev = mc.mean_delay_when_complete > 0.0
                             ? mc.p_full_delivery / mc.mean_delay_when_complete
                             : 0.0;
-      t.add_row("d=" + io::format_number(d),
+      t.add_row("d=" + io::format_number(targets[k]),
                 {mc.p_full_delivery, mc.p_failed_before_tx, mc.mean_delay_when_complete, ev});
     }
     t.print();
   }
+  std::printf("%s\n", run.stats.summary_line().c_str());
+  exp::RunStats stats = run.stats;
+  stats.name = "fig2_failure_tradeoff";
+  if (stats.write_json("fig2_failure_tradeoff_stats.json"))
+    std::printf("stats: fig2_failure_tradeoff_stats.json\n");
   std::printf(
       "reading: at the baseline rho every strategy almost always survives, so\n"
       "the shortest-delay plan wins; as rho grows the deep approach starts\n"

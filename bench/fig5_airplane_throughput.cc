@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "exp/cli.h"
 #include "io/ascii_chart.h"
 #include "io/csv.h"
 #include "io/gnuplot.h"
@@ -15,8 +16,11 @@
 
 int main(int argc, char** argv) {
   using namespace skyferry;
-  const std::uint64_t seed = benchutil::parse_seed(argc, argv, 5000);
-  benchutil::print_seed_header("fig5_airplane_throughput", seed);
+  std::uint64_t seed = 5000;
+  exp::Cli cli("fig5_airplane_throughput");
+  cli.flag("--seed", &seed, "master seed");
+  cli.parse_or_exit(argc, argv);
+  cli.print_replay_header();
   const auto ch = phy::ChannelConfig::airplane();
 
   io::Table t("Figure 5: throughput vs distance, two airplanes (auto rate)");

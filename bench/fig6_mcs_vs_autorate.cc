@@ -3,45 +3,112 @@
 // >= 100% at every distance, with MCS3 best close in, MCS1 at mid
 // range and the two-stream MCS8 competitive only far out.
 //
+// Engine-backed: the (distance x rate-control) grid is an exp::Sweep and
+// each trial is one 60 s saturated link simulation under a forked seed,
+// so the grid parallelizes across --threads without changing a number.
+//
 // Also runs the rate-control reaction-time ablation DESIGN.md calls out:
 // how the auto-rate gap depends on the Minstrel update interval relative
 // to the channel coherence time.
 #include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "exp/cli.h"
+#include "exp/runner.h"
 #include "io/ascii_chart.h"
 #include "io/csv.h"
 #include "io/table.h"
 
+namespace {
+
+using namespace skyferry;
+
+// Rate-control configurations swept alongside distance. 0 = vendor ARF
+// autorate, 1 = Minstrel-HT, 2.. = fixed MCS {0,1,2,3,8}.
+constexpr int kConfigs = 7;
+constexpr int kFixedMcs[5] = {0, 1, 2, 3, 8};
+
+/// One 60 s saturated run at (d, config); returns the median of its
+/// per-second throughput samples [Mb/s].
+double link_trial(const phy::ChannelConfig& ch, double d, double rel_speed, int config,
+                  std::uint64_t seed) {
+  mac::LinkConfig cfg;
+  cfg.channel = ch;
+  std::vector<double> mbps;
+  const auto geometry = mac::static_geometry(d, rel_speed);
+  if (config == 0) {
+    mac::ArfRate rc;
+    mac::LinkSimulator sim(cfg, rc, seed);
+    for (const auto& s : sim.run_saturated(60.0, geometry).samples) mbps.push_back(s.mbps);
+  } else if (config == 1) {
+    mac::MinstrelConfig mcfg;
+    mac::MinstrelHt rc(mcfg, sim::derive_seed(seed, "rc"));
+    mac::LinkSimulator sim(cfg, rc, seed);
+    for (const auto& s : sim.run_saturated(60.0, geometry).samples) mbps.push_back(s.mbps);
+  } else {
+    mac::FixedMcs rc(kFixedMcs[config - 2]);
+    mac::LinkSimulator sim(cfg, rc, seed);
+    for (const auto& s : sim.run_saturated(60.0, geometry).samples) mbps.push_back(s.mbps);
+  }
+  return stats::median(mbps);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace skyferry;
-  const std::uint64_t master_seed = benchutil::parse_seed(argc, argv, 6000);
-  benchutil::print_seed_header("fig6_mcs_vs_autorate", master_seed);
+  std::uint64_t seed = 6000;
+  int trials = 4;
+  int threads = 0;
+  std::string out = "fig6_mcs_vs_autorate";
+  exp::Cli cli("fig6_mcs_vs_autorate");
+  cli.flag("--seed", &seed, "master seed (forked per trial)")
+      .flag("--trials", &trials, "independent 60 s runs per (d, rate-control) point")
+      .flag("--threads", &threads, "worker threads, 0 = one per hardware thread")
+      .flag("--out", &out, "output basename for <out>.csv and <out>_stats.json");
+  cli.parse_or_exit(argc, argv);
+  cli.print_replay_header();
   const auto ch = phy::ChannelConfig::airplane();
   const double kRelSpeed = 3.0;  // residual motion while "circling"
+
+  std::vector<double> distances;
+  for (double d = 20.0; d <= 260.0; d += 20.0) distances.push_back(d);
+  std::vector<double> configs;
+  for (int c = 0; c < kConfigs; ++c) configs.push_back(c);
+  const auto points = exp::Sweep{}.axis("d", distances).axis("config", configs).cartesian();
+
+  exp::RunnerConfig rc;
+  rc.threads = threads;
+  rc.trials = trials;
+  rc.seed = seed;
+  rc.chunk = 1;  // each trial is a whole 60 s link sim — balance, don't batch
+  auto run = exp::Runner(rc).run(points, [&](const exp::Point& p, std::uint64_t s) {
+    return link_trial(ch, p.at("d"), kRelSpeed, static_cast<int>(p.at("config")), s);
+  });
 
   io::Table t("Figure 6: best fixed MCS vs auto rate (median Mb/s)");
   t.columns({"d_m", "auto(ARF)", "mcs0", "mcs1", "mcs2", "mcs3", "mcs8", "best", "best/auto",
              "minstrel"});
-  io::CsvWriter csv("fig6_mcs_vs_autorate.csv");
+  io::CsvWriter csv(out + ".csv");
   csv.header({"d_m", "autorate_arf", "mcs0", "mcs1", "mcs2", "mcs3", "mcs8", "best_fixed",
               "ratio", "minstrel"});
 
   io::Series s_auto{"autorate (vendor ARF)", {}, {}};
   io::Series s_best{"best fixed MCS", {}, {}};
-  for (double d = 20.0; d <= 260.0; d += 20.0) {
-    const std::uint64_t seed = master_seed + static_cast<std::uint64_t>(d);
-    const double auto_med =
-        stats::median(benchutil::autorate_samples(ch, d, kRelSpeed, seed, 4, 60.0));
-    const double minstrel_med =
-        stats::median(benchutil::minstrel_samples(ch, d, kRelSpeed, seed + 3, 4, 60.0));
+  for (std::size_t di = 0; di < distances.size(); ++di) {
+    // Median across the per-trial medians of this (d, config) cell.
+    const auto cell = [&](int config) {
+      return stats::median(run.results[di * kConfigs + static_cast<std::size_t>(config)]);
+    };
+    const double d = distances[di];
+    const double auto_med = cell(0);
+    const double minstrel_med = cell(1);
     double fixed_med[5];
-    const int mcs_set[5] = {0, 1, 2, 3, 8};
     double best = 0.0;
     for (int i = 0; i < 5; ++i) {
-      fixed_med[i] = stats::median(
-          benchutil::fixed_mcs_samples(ch, mcs_set[i], d, kRelSpeed, seed + 7ULL * i, 4, 60.0));
+      fixed_med[i] = cell(2 + i);
       best = std::max(best, fixed_med[i]);
     }
     const double ratio = auto_med > 0.1 ? best / auto_med : 0.0;
@@ -61,27 +128,39 @@ int main(int argc, char** argv) {
   chart.add(s_best).add(s_auto);
   chart.print();
 
-  // Ablation: Minstrel update interval vs the gap at a mid distance.
+  // Ablation: Minstrel update interval vs the gap at a mid distance —
+  // same engine, interval axis instead of rate-control configs.
   std::printf("\nablation: auto-rate staleness (d=100 m, rel. speed %.0f m/s)\n", kRelSpeed);
+  const auto ab_points =
+      exp::Sweep{}.axis("interval", {0.02, 0.05, 0.1, 0.3, 1.0}).cartesian();
+  exp::RunnerConfig abrc = rc;
+  abrc.seed = sim::derive_seed(seed, "fig6/ablation");
+  const auto ab_run = exp::Runner(abrc).run(ab_points, [&](const exp::Point& p, std::uint64_t s) {
+    mac::LinkConfig cfg;
+    cfg.channel = ch;
+    mac::MinstrelConfig mcfg;
+    mcfg.update_interval_s = p.at("interval");
+    mac::MinstrelHt rctrl(mcfg, sim::derive_seed(s, "rc"));
+    mac::LinkSimulator sim(cfg, rctrl, s);
+    std::vector<double> mbps;
+    for (const auto& smp : sim.run_saturated(60.0, mac::static_geometry(100.0, kRelSpeed)).samples)
+      mbps.push_back(smp.mbps);
+    return stats::median(mbps);
+  });
   io::Table ab("minstrel update interval vs achieved median");
   ab.columns({"update_interval_s", "median Mb/s"});
-  for (double interval : {0.02, 0.05, 0.1, 0.3, 1.0}) {
+  for (const auto& p : ab_points) {
     double sum = 0.0;
-    for (int k = 0; k < 4; ++k) {
-      mac::LinkConfig cfg;
-      cfg.channel = ch;
-      mac::MinstrelConfig mcfg;
-      mcfg.update_interval_s = interval;
-      mac::MinstrelHt rc(mcfg, master_seed + 71 + 13ULL * k);
-      mac::LinkSimulator sim(cfg, rc, master_seed + 1100 + 977ULL * k);
-      const auto res = sim.run_saturated(60.0, mac::static_geometry(100.0, kRelSpeed));
-      std::vector<double> mbps;
-      for (const auto& s : res.samples) mbps.push_back(s.mbps);
-      sum += stats::median(mbps);
-    }
-    ab.add_row(io::format_number(interval), {sum / 4.0});
+    for (double v : ab_run.results[p.index]) sum += v;
+    ab.add_row(io::format_number(p.at("interval")),
+               {sum / static_cast<double>(ab_run.results[p.index].size())});
   }
   ab.print();
-  std::printf("csv: fig6_mcs_vs_autorate.csv\n");
+
+  run.stats.merge(ab_run.stats);
+  run.stats.name = "fig6_mcs_vs_autorate";
+  std::printf("%s\n", run.stats.summary_line().c_str());
+  if (run.stats.write_json(out + "_stats.json"))
+    std::printf("csv: %s.csv  stats: %s_stats.json\n", out.c_str(), out.c_str());
   return 0;
 }

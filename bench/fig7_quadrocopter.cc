@@ -6,14 +6,18 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "exp/cli.h"
 #include "io/ascii_chart.h"
 #include "io/csv.h"
 #include "io/table.h"
 
 int main(int argc, char** argv) {
   using namespace skyferry;
-  const std::uint64_t seed = benchutil::parse_seed(argc, argv, 7000);
-  benchutil::print_seed_header("fig7_quadrocopter", seed);
+  std::uint64_t seed = 7000;
+  exp::Cli cli("fig7_quadrocopter");
+  cli.flag("--seed", &seed, "master seed");
+  cli.parse_or_exit(argc, argv);
+  cli.print_replay_header();
   const auto ch = phy::ChannelConfig::quadrocopter();
   io::CsvWriter csv("fig7_quadrocopter.csv");
   csv.header({"panel", "x", "whisker_low", "q1", "median", "q3", "whisker_high"});

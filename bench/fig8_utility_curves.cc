@@ -6,6 +6,7 @@
 
 #include "core/optimizer.h"
 #include "core/scenario.h"
+#include "exp/cli.h"
 #include "io/ascii_chart.h"
 #include "io/csv.h"
 #include "io/gnuplot.h"
@@ -44,7 +45,10 @@ void run_scenario(const core::Scenario& scen, const std::vector<double>& rhos,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  skyferry::exp::Cli cli("fig8_utility_curves");
+  cli.parse_or_exit(argc, argv);
+  cli.print_replay_header();
   io::CsvWriter csv("fig8_utility_curves.csv");
   csv.header({"series", "d_m", "utility", "discount", "cdelay_s"});
 
@@ -65,7 +69,8 @@ int main() {
     const core::CommDelayModel delay(model, p);
     const core::UtilityFunction u(delay, failure);
     const auto r = core::optimize(u);
-    t.add_row(io::format_number(d0), {r.d_opt_m, r.transmit_now ? 1.0 : 0.0});
+    t.add_row(io::format_number(d0),
+              {r.d_opt_m, r.boundary == core::Boundary::kTransmitNow ? 1.0 : 0.0});
   }
   t.print();
 

@@ -7,11 +7,15 @@
 
 #include "core/optimizer.h"
 #include "core/scenario.h"
+#include "exp/cli.h"
 #include "io/ascii_chart.h"
 #include "io/csv.h"
 #include "io/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  skyferry::exp::Cli cli("fig9_datasize_speed");
+  cli.parse_or_exit(argc, argv);
+  cli.print_replay_header();
   using namespace skyferry;
   const auto scen = core::Scenario::airplane();
   const auto model = scen.paper_throughput();

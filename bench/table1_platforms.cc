@@ -3,10 +3,14 @@
 #include <cstdio>
 
 #include "io/table.h"
+#include "exp/cli.h"
 #include "uav/failure.h"
 #include "uav/platform.h"
 
-int main() {
+int main(int argc, char** argv) {
+  skyferry::exp::Cli cli("table1_platforms");
+  cli.parse_or_exit(argc, argv);
+  cli.print_replay_header();
   using namespace skyferry;
   const auto air = uav::PlatformSpec::swinglet();
   const auto quad = uav::PlatformSpec::arducopter();

@@ -1,19 +1,28 @@
 #!/usr/bin/env bash
-# Full verification: normal build + tests, then an ASan+UBSan build + tests.
+# Full verification: normal build + tests, then an ASan+UBSan build +
+# tests, then a TSan build running the concurrency-sensitive suites
+# (experiment engine, Monte-Carlo, RNG forking) to catch data races in
+# the parallel trial fan-out.
 #
-# Usage: scripts/check.sh [--no-sanitize]
+# Usage: scripts/check.sh [--no-sanitize] [--no-tsan]
 #
 # Build trees:
 #   build/           normal (RelWithDebInfo by default via CMakeLists)
 #   build-sanitize/  -DSKYFERRY_SANITIZE=ON (address,undefined)
+#   build-tsan/      -DSKYFERRY_SANITIZE=thread
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_sanitize=1
-if [[ "${1:-}" == "--no-sanitize" ]]; then
-  run_sanitize=0
-fi
+run_tsan=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-sanitize) run_sanitize=0 ;;
+    --no-tsan) run_tsan=0 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
@@ -27,6 +36,14 @@ if [[ "$run_sanitize" == "1" ]]; then
   cmake -B build-sanitize -S . -DSKYFERRY_SANITIZE=ON >/dev/null
   cmake --build build-sanitize -j "$jobs"
   ctest --test-dir build-sanitize --output-on-failure -j "$jobs"
+fi
+
+if [[ "$run_tsan" == "1" ]]; then
+  echo "== thread-sanitized build (TSan, engine + Monte-Carlo tests) =="
+  cmake -B build-tsan -S . -DSKYFERRY_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$jobs" --target exp_tests fault_tests sim_tests
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+    -R 'ThreadPool|Sweep|Runner|Cli|MonteCarlo|MissionTrial|Fork|Rng'
 fi
 
 echo "== all checks passed =="

@@ -18,14 +18,32 @@ OptimizeResult finish(const UtilityFunction& u, double d, int evals) {
   const double lo = u.delay().params().min_distance_m;
   const double hi = u.delay().params().d0_m;
   const double eps = 1e-6 * std::max(hi - lo, 1.0);
-  r.at_floor = d <= lo + eps;
-  r.transmit_now = d >= hi - eps;
-  r.interior = !r.at_floor && !r.transmit_now;
+  // In the degenerate hi <= lo interval both ends coincide; classify as
+  // transmit-now, matching the precedence the planner always applied.
+  if (d >= hi - eps) {
+    r.boundary = Boundary::kTransmitNow;
+  } else if (d <= lo + eps) {
+    r.boundary = Boundary::kAtFloor;
+  } else {
+    r.boundary = Boundary::kInterior;
+  }
   r.evaluations = evals;
   return r;
 }
 
 }  // namespace
+
+const char* to_string(Boundary b) noexcept {
+  switch (b) {
+    case Boundary::kInterior:
+      return "interior";
+    case Boundary::kTransmitNow:
+      return "transmit-now";
+    case Boundary::kAtFloor:
+      return "at-floor";
+  }
+  return "?";
+}
 
 OptimizeResult optimize(const UtilityFunction& u, OptimizeOptions opt) {
   const double lo = u.delay().params().min_distance_m;

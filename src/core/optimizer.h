@@ -13,19 +13,41 @@ struct OptimizeOptions {
   int max_refine_iters{80};
 };
 
+/// Where the optimum landed relative to the feasible interval [d_min, d0].
+/// Exactly one of the three holds — which the former trio of mutually
+/// exclusive bools (`interior`/`transmit_now`/`at_floor`) could not
+/// express in the type.
+enum class Boundary {
+  /// Strictly inside (d_min, d0): move before transmitting, but not all
+  /// the way to the floor.
+  kInterior,
+  /// d_opt == d0: transmit immediately.
+  kTransmitNow,
+  /// d_opt == d_min: ship to the anti-collision floor first.
+  kAtFloor,
+};
+
+[[nodiscard]] const char* to_string(Boundary b) noexcept;
+
 struct OptimizeResult {
   double d_opt_m{0.0};
   double utility{0.0};
   double cdelay_s{0.0};
   double discount{0.0};
-  /// True when the optimum is strictly inside (d_min, d0): the UAV should
-  /// move before transmitting but not all the way to the floor.
-  bool interior{false};
-  /// True when d_opt == d0 (transmit immediately).
-  bool transmit_now{false};
-  /// True when d_opt == d_min (move to the anti-collision floor).
-  bool at_floor{false};
+  Boundary boundary{Boundary::kInterior};
   int evaluations{0};
+
+  // Deprecated shims for the pre-enum flag API.
+  [[deprecated("use boundary == Boundary::kInterior")]] [[nodiscard]] bool interior() const noexcept {
+    return boundary == Boundary::kInterior;
+  }
+  [[deprecated("use boundary == Boundary::kTransmitNow")]] [[nodiscard]] bool transmit_now()
+      const noexcept {
+    return boundary == Boundary::kTransmitNow;
+  }
+  [[deprecated("use boundary == Boundary::kAtFloor")]] [[nodiscard]] bool at_floor() const noexcept {
+    return boundary == Boundary::kAtFloor;
+  }
 };
 
 /// Maximize a utility function over [d_min, d0].

@@ -10,8 +10,9 @@ Decision DelayedGratificationPlanner::decide(const DeliveryParams& params) const
   const UtilityFunction u(delay, failure_);
   dec.opt = optimize(u, opt_);
 
-  dec.strategy.kind = dec.opt.transmit_now ? StrategyKind::kTransmitNow
-                                           : StrategyKind::kShipThenTransmit;
+  dec.strategy.kind = dec.opt.boundary == Boundary::kTransmitNow
+                          ? StrategyKind::kTransmitNow
+                          : StrategyKind::kShipThenTransmit;
   dec.strategy.target_distance_m = dec.opt.d_opt_m;
 
   dec.delivery_probability = dec.opt.discount;

@@ -1,0 +1,145 @@
+#include "exp/cli.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "io/format.h"
+
+namespace skyferry::exp {
+namespace {
+
+bool full_number(const char* s, const char* end) { return end != s && *end == '\0'; }
+
+}  // namespace
+
+Cli::Cli(std::string bench) : bench_(std::move(bench)) {}
+
+Cli& Cli::add(std::string name, Type type, void* target, std::string help) {
+  if (name.rfind("--", 0) != 0) throw CliError("flag '" + name + "' must start with --");
+  for (const auto& f : flags_)
+    if (f.name == name) throw CliError("duplicate flag '" + name + "'");
+  flags_.push_back({std::move(name), type, target, std::move(help)});
+  return *this;
+}
+
+Cli& Cli::flag(std::string name, int* target, std::string help) {
+  return add(std::move(name), Type::kInt, target, std::move(help));
+}
+Cli& Cli::flag(std::string name, std::uint64_t* target, std::string help) {
+  return add(std::move(name), Type::kUint64, target, std::move(help));
+}
+Cli& Cli::flag(std::string name, double* target, std::string help) {
+  return add(std::move(name), Type::kDouble, target, std::move(help));
+}
+Cli& Cli::flag(std::string name, std::string* target, std::string help) {
+  return add(std::move(name), Type::kString, target, std::move(help));
+}
+
+void Cli::assign(const Flag& f, std::string_view value) const {
+  const std::string v(value);
+  char* end = nullptr;
+  errno = 0;
+  switch (f.type) {
+    case Type::kInt: {
+      const long x = std::strtol(v.c_str(), &end, 10);
+      if (!full_number(v.c_str(), end) || errno == ERANGE)
+        throw CliError(bench_ + ": flag " + f.name + " expects an integer, got '" + v + "'");
+      *static_cast<int*>(f.target) = static_cast<int>(x);
+      return;
+    }
+    case Type::kUint64: {
+      if (!v.empty() && v[0] == '-')
+        throw CliError(bench_ + ": flag " + f.name + " expects a non-negative integer, got '" +
+                       v + "'");
+      const unsigned long long x = std::strtoull(v.c_str(), &end, 10);
+      if (!full_number(v.c_str(), end) || errno == ERANGE)
+        throw CliError(bench_ + ": flag " + f.name + " expects an integer, got '" + v + "'");
+      *static_cast<std::uint64_t*>(f.target) = static_cast<std::uint64_t>(x);
+      return;
+    }
+    case Type::kDouble: {
+      const double x = std::strtod(v.c_str(), &end);
+      if (!full_number(v.c_str(), end))
+        throw CliError(bench_ + ": flag " + f.name + " expects a number, got '" + v + "'");
+      *static_cast<double*>(f.target) = x;
+      return;
+    }
+    case Type::kString:
+      *static_cast<std::string*>(f.target) = v;
+      return;
+  }
+}
+
+void Cli::parse(int argc, char** argv) const {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    const std::size_t eq = arg.find('=');
+    const std::string_view name = eq == std::string_view::npos ? arg : arg.substr(0, eq);
+    const Flag* match = nullptr;
+    for (const auto& f : flags_)
+      if (f.name == name) {
+        match = &f;
+        break;
+      }
+    if (match == nullptr)
+      throw CliError(bench_ + ": unknown flag '" + std::string(name) + "' (see --help)");
+    if (eq != std::string_view::npos) {
+      assign(*match, arg.substr(eq + 1));
+    } else {
+      if (i + 1 >= argc)
+        throw CliError(bench_ + ": flag " + match->name + " needs a value");
+      assign(*match, argv[++i]);
+    }
+  }
+}
+
+void Cli::parse_or_exit(int argc, char** argv) const {
+  try {
+    parse(argc, argv);
+  } catch (const CliError& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), usage().c_str());
+    std::exit(2);
+  }
+}
+
+std::string Cli::value_string(const Flag& f) const {
+  switch (f.type) {
+    case Type::kInt:
+      return std::to_string(*static_cast<const int*>(f.target));
+    case Type::kUint64:
+      return std::to_string(*static_cast<const std::uint64_t*>(f.target));
+    case Type::kDouble:
+      return io::format_number(*static_cast<const double*>(f.target));
+    case Type::kString:
+      return *static_cast<const std::string*>(f.target);
+  }
+  return {};
+}
+
+void Cli::print_replay_header() const {
+  std::string line = "# " + bench_;
+  std::string replay = bench_;
+  for (const auto& f : flags_) {
+    const std::string v = value_string(f);
+    line += "  " + f.name.substr(2) + "=" + v;
+    replay += " " + f.name + " " + (v.empty() ? "''" : v);
+  }
+  std::printf("%s  (replay: %s)\n", line.c_str(), replay.c_str());
+}
+
+std::string Cli::usage() const {
+  std::string u = "usage: " + bench_;
+  for (const auto& f : flags_) u += " [" + f.name + " <v>]";
+  u += "\n";
+  for (const auto& f : flags_) {
+    u += "  " + f.name + "  " + f.help + " (default " + value_string(f) + ")\n";
+  }
+  return u;
+}
+
+}  // namespace skyferry::exp

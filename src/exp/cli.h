@@ -1,0 +1,68 @@
+// Typed command-line flags for the bench binaries, replacing the ad-hoc
+// strcmp loops that each main() used to carry. Flags are registered
+// against typed storage (--seed/--trials/--threads/--out and any
+// bench-specific extras), unknown flags and malformed values are hard
+// errors instead of silently ignored, and the replay header is printed
+// from the *parsed* values so the header always reproduces the run.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skyferry::exp {
+
+/// Thrown on an unknown flag, a missing value, or a value that does not
+/// parse as the flag's type.
+struct CliError : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
+
+class Cli {
+ public:
+  /// `bench` names the binary in the usage string and replay header.
+  explicit Cli(std::string bench);
+
+  // Register a flag (fluent). `name` includes the dashes: "--seed".
+  // The target keeps its current value when the flag is absent, so the
+  // initializer at the call site is the documented default.
+  Cli& flag(std::string name, int* target, std::string help);
+  Cli& flag(std::string name, std::uint64_t* target, std::string help);
+  Cli& flag(std::string name, double* target, std::string help);
+  Cli& flag(std::string name, std::string* target, std::string help);
+
+  /// Parse `--name value` / `--name=value` argv forms. Throws CliError;
+  /// `--help` prints usage to stdout and exits 0.
+  void parse(int argc, char** argv) const;
+
+  /// parse(), but report the error plus usage on stderr and exit(2)
+  /// instead of throwing — what bench main()s call.
+  void parse_or_exit(int argc, char** argv) const;
+
+  /// "# bench seed=1 trials=2000 (replay: bench --seed 1 --trials 2000)"
+  /// printed to stdout — every registered flag, current values.
+  void print_replay_header() const;
+
+  [[nodiscard]] std::string usage() const;
+  [[nodiscard]] const std::string& bench() const noexcept { return bench_; }
+
+ private:
+  enum class Type { kInt, kUint64, kDouble, kString };
+  struct Flag {
+    std::string name;
+    Type type;
+    void* target;
+    std::string help;
+  };
+
+  Cli& add(std::string name, Type type, void* target, std::string help);
+  void assign(const Flag& f, std::string_view value) const;
+  [[nodiscard]] std::string value_string(const Flag& f) const;
+
+  std::string bench_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace skyferry::exp

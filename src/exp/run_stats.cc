@@ -1,0 +1,92 @@
+#include "exp/run_stats.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace skyferry::exp {
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void escape_into(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+}  // namespace
+
+void RunStats::merge(const RunStats& other) {
+  if (name.empty()) name = other.name;
+  if (other.threads > threads) threads = other.threads;
+  points += other.points;
+  trials_per_point = other.trials_per_point;
+  if (seed == 0) seed = other.seed;
+  chunk = other.chunk;
+  wall_s += other.wall_s;
+  total_trial_s += other.total_trial_s;
+  per_point.insert(per_point.end(), other.per_point.begin(), other.per_point.end());
+
+  // Derived rates from the merged totals.
+  std::size_t total_trials = 0;
+  for (const auto& p : per_point) total_trials += static_cast<std::size_t>(p.trials);
+  trials_per_s = wall_s > 0.0 ? static_cast<double>(total_trials) / wall_s : 0.0;
+  occupancy = (wall_s > 0.0 && threads > 0) ? total_trial_s / (wall_s * threads) : 0.0;
+  speedup_vs_serial = wall_s > 0.0 ? total_trial_s / wall_s : 0.0;
+}
+
+std::string RunStats::summary_line() const {
+  char buf[256];
+  long long total = 0;
+  for (const auto& p : per_point) total += p.trials;
+  if (total == 0) total = static_cast<long long>(points) * trials_per_point;
+  std::snprintf(buf, sizeof(buf),
+                "# stats: %d threads, %lld trials over %zu points in %.3f s "
+                "(%.0f trials/s, occupancy %.2f, speedup vs serial %.2fx)",
+                threads, total, points, wall_s, trials_per_s, occupancy, speedup_vs_serial);
+  return buf;
+}
+
+std::string RunStats::to_json() const {
+  std::string j = "{\n";
+  j += "  \"name\": \"";
+  escape_into(j, name);
+  j += "\",\n";
+  j += "  \"threads\": " + std::to_string(threads) + ",\n";
+  j += "  \"points\": " + std::to_string(points) + ",\n";
+  j += "  \"trials_per_point\": " + std::to_string(trials_per_point) + ",\n";
+  j += "  \"seed\": " + std::to_string(seed) + ",\n";
+  j += "  \"chunk\": " + std::to_string(chunk) + ",\n";
+  j += "  \"wall_s\": " + num(wall_s) + ",\n";
+  j += "  \"total_trial_s\": " + num(total_trial_s) + ",\n";
+  j += "  \"trials_per_s\": " + num(trials_per_s) + ",\n";
+  j += "  \"occupancy\": " + num(occupancy) + ",\n";
+  j += "  \"speedup_vs_serial\": " + num(speedup_vs_serial) + ",\n";
+  j += "  \"per_point\": [";
+  for (std::size_t i = 0; i < per_point.size(); ++i) {
+    const auto& p = per_point[i];
+    j += i ? ",\n    " : "\n    ";
+    j += "{\"point\": " + std::to_string(p.point_index) + ", \"label\": \"";
+    escape_into(j, p.label);
+    j += "\", \"trials\": " + std::to_string(p.trials);
+    j += ", \"p50_ms\": " + num(p.p50_ms);
+    j += ", \"p99_ms\": " + num(p.p99_ms) + "}";
+  }
+  j += per_point.empty() ? "]\n" : "\n  ]\n";
+  j += "}\n";
+  return j;
+}
+
+bool RunStats::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << to_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace skyferry::exp

@@ -1,0 +1,60 @@
+// Lightweight observability for engine runs: wall time, throughput,
+// pool occupancy and per-point trial-latency quantiles. Printed in the
+// replay header and emitted as machine-readable stats.json next to the
+// CSV so speedups can be measured from artifacts instead of eyeballs.
+//
+// Everything here is *timing* — the simulation results themselves stay
+// bit-identical across thread counts; only this sidecar varies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace skyferry::exp {
+
+/// Trial-latency quantiles for one sweep point [ms].
+struct PointStats {
+  std::size_t point_index{0};
+  std::string label;  ///< Point::label(), empty for axis-less runs
+  int trials{0};
+  double p50_ms{0.0};
+  double p99_ms{0.0};
+};
+
+struct RunStats {
+  std::string name;          ///< bench/run name for the header and json
+  int threads{1};            ///< resolved worker count
+  std::size_t points{0};
+  int trials_per_point{0};
+  std::uint64_t seed{0};
+  int chunk{1};              ///< trials per enqueued task
+
+  double wall_s{0.0};            ///< end-to-end run() wall time
+  double total_trial_s{0.0};     ///< sum of individual trial latencies
+  double trials_per_s{0.0};      ///< total trials / wall_s
+  /// total_trial_s / (wall_s * threads): 1.0 = workers never idle.
+  double occupancy{0.0};
+  /// total_trial_s / wall_s — the measured parallel speedup vs running
+  /// the same trials back to back on one thread.
+  double speedup_vs_serial{0.0};
+
+  std::vector<PointStats> per_point;
+
+  /// Merge another run's counters into this one (benches that make
+  /// several engine runs aggregate them into a single stats.json).
+  void merge(const RunStats& other);
+
+  /// One-line summary for the replay header:
+  /// "# stats: 8 threads, 2000 trials in 1.23 s (1626 trials/s, occupancy 0.97)"
+  [[nodiscard]] std::string summary_line() const;
+
+  /// Machine-readable JSON (object with a per_point array).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write to_json() to `path`; returns false if the file can't be opened.
+  bool write_json(const std::string& path) const;
+};
+
+}  // namespace skyferry::exp

@@ -1,0 +1,59 @@
+#include "exp/thread_pool.h"
+
+#include <algorithm>
+
+namespace skyferry::exp {
+
+int resolve_threads(int requested) noexcept {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::max(hw, 1u));
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = resolve_threads(threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this](const std::stop_token& stop) { worker_loop(stop); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  // jthread destructors request_stop + join; wake everyone so they see
+  // stopping_ after the queue drains.
+  for (auto& w : workers_) w.request_stop();
+  cv_.notify_all();
+}
+
+void ThreadPool::enqueue(std::function<void()> fn) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop(const std::stop_token& stop) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return !queue_.empty() || stopping_ || stop.stop_requested(); });
+      if (queue_.empty()) {
+        // Only exit once the queue is drained: every submitted future
+        // must be satisfied even if the pool is being torn down.
+        if (stopping_ || stop.stop_requested()) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // packaged_task routes any exception into the future.
+    task();
+  }
+}
+
+}  // namespace skyferry::exp

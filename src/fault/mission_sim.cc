@@ -9,6 +9,29 @@
 #include "sim/simulator.h"
 
 namespace skyferry::fault {
+
+void TrialSpec::validate() const {
+  auto finite = [](double v) { return std::isfinite(v); };
+  if (scenario.name.empty()) throw ConfigError("TrialSpec: scenario has no name (empty scenario?)");
+  if (!finite(scenario.d0_m) || scenario.d0_m <= 0.0)
+    throw ConfigError("TrialSpec: scenario.d0_m must be finite and > 0");
+  if (!finite(scenario.min_distance_m) || scenario.min_distance_m < 0.0)
+    throw ConfigError("TrialSpec: scenario.min_distance_m must be finite and >= 0");
+  if (!finite(scenario.mdata_bytes) || scenario.mdata_bytes <= 0.0)
+    throw ConfigError("TrialSpec: scenario.mdata_bytes must be finite and > 0");
+  if (!finite(scenario.speed_mps) || scenario.speed_mps <= 0.0)
+    throw ConfigError("TrialSpec: scenario.speed_mps must be finite and > 0");
+  if (!finite(scenario.rho_per_m) || scenario.rho_per_m < 0.0)
+    throw ConfigError("TrialSpec: scenario.rho_per_m must be finite and >= 0");
+  if (!finite(max_time_s) || max_time_s <= 0.0)
+    throw ConfigError("TrialSpec: max_time_s must be finite and > 0");
+  if (!finite(stall_timeout_s) || stall_timeout_s <= 0.0)
+    throw ConfigError("TrialSpec: stall_timeout_s must be finite and > 0");
+  if (retreat_after_stalls <= 0) throw ConfigError("TrialSpec: retreat_after_stalls must be > 0");
+  if (target_packets == 0 && arq.datagram_bytes == 0)
+    throw ConfigError("TrialSpec: target_packets and arq.datagram_bytes cannot both be 0");
+}
+
 namespace {
 
 ctrl::ControlChannelConfig make_control_cfg(const FaultPlan& plan) {

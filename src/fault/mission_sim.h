@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <utility>
 
 #include "core/scenario.h"
 #include "ctrl/control_channel.h"
@@ -20,6 +22,13 @@
 #include "net/arq.h"
 
 namespace skyferry::fault {
+
+/// Typed rejection of a malformed TrialSpec/MonteCarloConfig — thrown by
+/// validate() before a bad value can become UB (NaN distances, zero
+/// trials, empty scenarios) deep inside the simulator.
+struct ConfigError : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
 
 struct TrialSpec {
   core::Scenario scenario{core::Scenario::quadrocopter()};
@@ -41,6 +50,32 @@ struct TrialSpec {
   /// Fixed-wing scouts loiter at cruise speed while negotiating and
   /// transmitting, so post-approach time keeps burning failure distance.
   bool loiter_burns_distance{true};
+
+  // Fluent construction: spec.with_scenario(...).with_faults(...).
+  TrialSpec& with_scenario(core::Scenario s) {
+    scenario = std::move(s);
+    return *this;
+  }
+  TrialSpec& with_faults(FaultPlan p) {
+    faults = p;
+    return *this;
+  }
+  TrialSpec& with_arq(net::ArqConfig c) {
+    arq = c;
+    return *this;
+  }
+  TrialSpec& with_target_packets(std::uint32_t n) {
+    target_packets = n;
+    return *this;
+  }
+  TrialSpec& with_max_time(double seconds) {
+    max_time_s = seconds;
+    return *this;
+  }
+
+  /// Reject values that would otherwise surface as NaN propagation or
+  /// infinite loops deep in the mission simulator. Throws ConfigError.
+  void validate() const;
 };
 
 struct TrialResult {

@@ -1,29 +1,47 @@
 #include "fault/monte_carlo.h"
 
 #include <algorithm>
-#include <string>
 
-#include "sim/rng.h"
+#include "exp/runner.h"
 
 namespace skyferry::fault {
 
+void MonteCarloConfig::validate() const {
+  if (trials <= 0) throw ConfigError("MonteCarloConfig: trials must be > 0");
+  spec.validate();
+}
+
 MonteCarloSummary run_monte_carlo(const MonteCarloConfig& cfg) {
+  cfg.validate();
+
   MonteCarloSummary out;
-  out.trials = std::max(cfg.trials, 0);
+  out.trials = cfg.trials;
   out.seed = cfg.seed;
-  if (out.trials == 0) return out;
+
+  // Fan the trials across the pool. Each slot is written exactly once at
+  // its trial index, so the reduction below is order-deterministic no
+  // matter how the chunks were scheduled.
+  exp::RunnerConfig rc;
+  rc.threads = cfg.threads;
+  rc.trials = cfg.trials;
+  rc.seed = cfg.seed;
+  auto run = exp::Runner(rc).run_trials(
+      [&cfg](const exp::Point&, std::uint64_t trial_seed) {
+        return run_mission_trial(cfg.spec, trial_seed);
+      });
+  std::vector<TrialResult>& results = run.results[0];
+  out.run_stats = std::move(run.stats);
+  out.run_stats.name = "run_monte_carlo";
 
   std::vector<double> delivered_mb;
   std::vector<double> completion_s;
-  delivered_mb.reserve(static_cast<std::size_t>(out.trials));
+  delivered_mb.reserve(results.size());
 
   long delivered = 0, survived = 0;
   double frac_sum = 0.0, attempts_sum = 0.0, retries_sum = 0.0, retx_sum = 0.0;
 
-  for (int i = 0; i < out.trials; ++i) {
-    const std::uint64_t trial_seed = sim::derive_seed(cfg.seed, "trial/" + std::to_string(i));
-    const TrialResult r = run_mission_trial(cfg.spec, trial_seed);
-
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const TrialResult& r = results[i];
     delivered += r.delivered_all ? 1 : 0;
     survived += r.survived_approach ? 1 : 0;
     out.crashes += r.crashed ? 1 : 0;
@@ -44,8 +62,8 @@ MonteCarloSummary run_monte_carlo(const MonteCarloConfig& cfg) {
               : 1.0;
       out.planner_delivery_probability = r.analytic_delivery_probability;
     }
-    if (cfg.keep_trials) out.trial_results.push_back(r);
   }
+  if (cfg.keep_trials) out.trial_results = std::move(results);
 
   const double n = static_cast<double>(out.trials);
   out.empirical_delivery_probability = static_cast<double>(delivered) / n;

@@ -6,11 +6,16 @@
 // (the paper's own model becomes a regression test); for the linear and
 // Weibull ablation laws the gap quantifies how optimistic/pessimistic
 // the exponential assumption is.
+//
+// Trials fan out across the experiment engine (exp::Runner): per-trial
+// seeds come from sim::fork(seed, 0, trial), results reduce in trial
+// order, so the summary is bit-identical for every thread count.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "exp/run_stats.h"
 #include "fault/mission_sim.h"
 #include "stats/quantile.h"
 
@@ -20,8 +25,37 @@ struct MonteCarloConfig {
   TrialSpec spec{};
   int trials{2000};
   std::uint64_t seed{1};
+  /// Worker threads for the trial fan-out; <= 0 means one per hardware
+  /// thread. The summary does not depend on this — only wall time does.
+  int threads{0};
   /// Keep the per-trial results (delivered MB etc.) in the summary.
   bool keep_trials{false};
+
+  // Fluent construction: cfg.with_trials(2000).with_seed(1).
+  MonteCarloConfig& with_spec(TrialSpec s) {
+    spec = std::move(s);
+    return *this;
+  }
+  MonteCarloConfig& with_trials(int n) {
+    trials = n;
+    return *this;
+  }
+  MonteCarloConfig& with_seed(std::uint64_t s) {
+    seed = s;
+    return *this;
+  }
+  MonteCarloConfig& with_threads(int n) {
+    threads = n;
+    return *this;
+  }
+  MonteCarloConfig& with_keep_trials(bool keep) {
+    keep_trials = keep;
+    return *this;
+  }
+
+  /// Throws ConfigError on non-positive trials or a malformed spec
+  /// (NaN distances, empty scenario, ...). run_monte_carlo calls this.
+  void validate() const;
 };
 
 struct MonteCarloSummary {
@@ -52,6 +86,10 @@ struct MonteCarloSummary {
   double mean_arq_retransmissions{0.0};
 
   std::vector<TrialResult> trial_results;  ///< only when keep_trials
+
+  /// Engine timing sidecar (wall time, trials/s, occupancy, latency
+  /// quantiles). Timing only — never feeds back into the results above.
+  exp::RunStats run_stats;
 };
 
 [[nodiscard]] MonteCarloSummary run_monte_carlo(const MonteCarloConfig& cfg);

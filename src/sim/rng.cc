@@ -113,4 +113,17 @@ std::uint64_t derive_seed(std::uint64_t master, std::string_view component) noex
   return splitmix64(x);
 }
 
+std::uint64_t fork(std::uint64_t master, std::uint64_t point, std::uint64_t trial) noexcept {
+  // Three rounds of splitmix64 keyed by master, point and trial. Each
+  // input fully avalanches before the next is folded in, so adjacent
+  // (point, trial) indices yield unrelated seeds — rng_test checks the
+  // first 1e4 draws of neighboring trial streams for overlap.
+  std::uint64_t x = master ^ 0xa0761d6478bd642fULL;
+  std::uint64_t s = splitmix64(x);
+  x = s ^ point;
+  s = splitmix64(x);
+  x = s ^ trial;
+  return splitmix64(x);
+}
+
 }  // namespace skyferry::sim

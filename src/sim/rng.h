@@ -51,4 +51,12 @@ class Rng {
 /// e.g. "fading/link0" and "gps/uav1" draw independent streams.
 [[nodiscard]] std::uint64_t derive_seed(std::uint64_t master, std::string_view component) noexcept;
 
+/// Derive the seed of trial `trial` at sweep point `point` from one
+/// master seed. This is the experiment engine's seeding discipline:
+/// every (point, trial) pair gets its own statistically independent
+/// stream, computed from indices alone, so results are bit-identical no
+/// matter how trials are scheduled across threads.
+[[nodiscard]] std::uint64_t fork(std::uint64_t master, std::uint64_t point,
+                                 std::uint64_t trial) noexcept;
+
 }  // namespace skyferry::sim

@@ -14,7 +14,7 @@ TEST(Optimizer, QuadBaselineOptimumAtFloor) {
   const CommDelayModel delay(model, params);
   const UtilityFunction u(delay, failure);
   const OptimizeResult r = optimize(u);
-  EXPECT_TRUE(r.at_floor);
+  EXPECT_EQ(r.boundary, Boundary::kAtFloor);
   EXPECT_NEAR(r.d_opt_m, 20.0, 0.5);
   EXPECT_GT(r.utility, 0.0);
   EXPECT_GT(r.evaluations, 0);
@@ -29,7 +29,7 @@ TEST(Optimizer, ModerateRiskGivesInteriorOptimum) {
   const CommDelayModel delay(model, params);
   const UtilityFunction u(delay, failure);
   const OptimizeResult r = optimize(u);
-  EXPECT_TRUE(r.interior) << r.d_opt_m;
+  EXPECT_EQ(r.boundary, Boundary::kInterior) << r.d_opt_m;
   EXPECT_GT(r.d_opt_m, 50.0);
   EXPECT_LT(r.d_opt_m, 295.0);
 }
@@ -71,7 +71,7 @@ TEST(Optimizer, HugeRhoTransmitsImmediately) {
   const CommDelayModel delay(model, params);
   const UtilityFunction u(delay, failure);
   const OptimizeResult r = optimize(u);
-  EXPECT_TRUE(r.transmit_now);
+  EXPECT_EQ(r.boundary, Boundary::kTransmitNow);
   EXPECT_NEAR(r.d_opt_m, 300.0, 0.5);
 }
 
@@ -83,7 +83,7 @@ TEST(Optimizer, TinyDataTransmitsImmediately) {
   const CommDelayModel delay(model, params);
   const UtilityFunction u(delay, failure);
   const OptimizeResult r = optimize(u);
-  EXPECT_TRUE(r.transmit_now);
+  EXPECT_EQ(r.boundary, Boundary::kTransmitNow);
 }
 
 TEST(Optimizer, OutOfRangeForcesApproach) {
@@ -107,16 +107,32 @@ TEST(Optimizer, DegenerateIntervalD0AtFloor) {
   const UtilityFunction u(delay, failure);
   const OptimizeResult r = optimize(u);
   EXPECT_NEAR(r.d_opt_m, 20.0, 1e-6);
+  // Both ends coincide; classified as transmit-now (the planner's old
+  // flag precedence), never as two flags at once like the bool API.
+  EXPECT_EQ(r.boundary, Boundary::kTransmitNow);
 }
 
-TEST(Optimizer, FlagsAreConsistent) {
+TEST(Optimizer, BoundaryToStringCoversAllStates) {
+  EXPECT_STREQ(to_string(Boundary::kInterior), "interior");
+  EXPECT_STREQ(to_string(Boundary::kTransmitNow), "transmit-now");
+  EXPECT_STREQ(to_string(Boundary::kAtFloor), "at-floor");
+}
+
+TEST(Optimizer, DeprecatedBoolShimsMatchBoundary) {
   const auto model = PaperLogThroughput::quadrocopter();
   const DeliveryParams params{100.0, 4.5, 56.2e6, 20.0};
   const uav::FailureModel failure(2.46e-4);
   const CommDelayModel delay(model, params);
   const UtilityFunction u(delay, failure);
   const OptimizeResult r = optimize(u);
-  EXPECT_EQ(r.interior, !r.transmit_now && !r.at_floor);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_EQ(r.interior(), r.boundary == Boundary::kInterior);
+  EXPECT_EQ(r.transmit_now(), r.boundary == Boundary::kTransmitNow);
+  EXPECT_EQ(r.at_floor(), r.boundary == Boundary::kAtFloor);
+  // Exactly one state holds by construction now.
+  EXPECT_EQ(r.interior() + r.transmit_now() + r.at_floor(), 1);
+#pragma GCC diagnostic pop
 }
 
 }  // namespace

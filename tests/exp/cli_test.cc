@@ -1,0 +1,114 @@
+#include "exp/cli.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace skyferry::exp {
+namespace {
+
+// argv helper: gtest owns the strings, parse() reads char**.
+class Args {
+ public:
+  explicit Args(std::vector<std::string> args) : store_(std::move(args)) {
+    ptrs_.push_back(const_cast<char*>("bench"));
+    for (auto& s : store_) ptrs_.push_back(s.data());
+  }
+  [[nodiscard]] int argc() const { return static_cast<int>(ptrs_.size()); }
+  [[nodiscard]] char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> store_;
+  std::vector<char*> ptrs_;
+};
+
+struct StdFlags {
+  std::uint64_t seed{1};
+  int trials{2000};
+  int threads{0};
+  double scale{1.5};
+  std::string out{"run.csv"};
+  Cli cli{"bench"};
+
+  StdFlags() {
+    cli.flag("--seed", &seed, "master seed")
+        .flag("--trials", &trials, "trials per point")
+        .flag("--threads", &threads, "worker threads (0 = hardware)")
+        .flag("--scale", &scale, "scale factor")
+        .flag("--out", &out, "output csv");
+  }
+};
+
+TEST(Cli, ParsesSpaceAndEqualsForms) {
+  StdFlags f;
+  Args a({"--seed", "42", "--trials=500", "--threads", "8", "--scale=2.25", "--out=x.csv"});
+  f.cli.parse(a.argc(), a.argv());
+  EXPECT_EQ(f.seed, 42u);
+  EXPECT_EQ(f.trials, 500);
+  EXPECT_EQ(f.threads, 8);
+  EXPECT_DOUBLE_EQ(f.scale, 2.25);
+  EXPECT_EQ(f.out, "x.csv");
+}
+
+TEST(Cli, AbsentFlagsKeepDefaults) {
+  StdFlags f;
+  Args a({"--seed", "9"});
+  f.cli.parse(a.argc(), a.argv());
+  EXPECT_EQ(f.seed, 9u);
+  EXPECT_EQ(f.trials, 2000);
+  EXPECT_EQ(f.out, "run.csv");
+}
+
+TEST(Cli, UnknownFlagIsAnErrorNotSilence) {
+  StdFlags f;
+  Args a({"--sead", "42"});  // the typo the old strcmp loops swallowed
+  EXPECT_THROW(f.cli.parse(a.argc(), a.argv()), CliError);
+}
+
+TEST(Cli, MalformedValuesAreTypedErrors) {
+  {
+    StdFlags f;
+    Args a({"--trials", "20x0"});
+    EXPECT_THROW(f.cli.parse(a.argc(), a.argv()), CliError);
+  }
+  {
+    StdFlags f;
+    Args a({"--seed", "-3"});  // seed is unsigned
+    EXPECT_THROW(f.cli.parse(a.argc(), a.argv()), CliError);
+  }
+  {
+    StdFlags f;
+    Args a({"--scale", "fast"});
+    EXPECT_THROW(f.cli.parse(a.argc(), a.argv()), CliError);
+  }
+  {
+    StdFlags f;
+    Args a({"--trials"});  // dangling flag
+    EXPECT_THROW(f.cli.parse(a.argc(), a.argv()), CliError);
+  }
+}
+
+TEST(Cli, DuplicateFlagRegistrationThrows) {
+  int x = 0;
+  Cli cli("bench");
+  cli.flag("--x", &x, "x");
+  EXPECT_THROW(cli.flag("--x", &x, "again"), CliError);
+}
+
+TEST(Cli, FlagsMustStartWithDashes) {
+  int x = 0;
+  Cli cli("bench");
+  EXPECT_THROW(cli.flag("x", &x, "no dashes"), CliError);
+}
+
+TEST(Cli, UsageListsEveryFlagWithDefault) {
+  StdFlags f;
+  const std::string u = f.cli.usage();
+  for (const char* needle : {"--seed", "--trials", "--threads", "--scale", "--out", "run.csv"})
+    EXPECT_NE(u.find(needle), std::string::npos) << needle;
+}
+
+}  // namespace
+}  // namespace skyferry::exp

@@ -1,0 +1,128 @@
+#include "exp/runner.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace skyferry::exp {
+namespace {
+
+// A miniature stochastic trial: a few hundred draws reduced to one
+// number, fully determined by the forked seed.
+double mini_trial(const Point& p, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  double acc = p.has("offset") ? p.at("offset") : 0.0;
+  for (int i = 0; i < 300; ++i) acc += rng.uniform();
+  return acc;
+}
+
+RunnerConfig cfg_with_threads(int threads) {
+  RunnerConfig cfg;
+  cfg.threads = threads;
+  cfg.trials = 64;
+  cfg.seed = 2024;
+  return cfg;
+}
+
+TEST(Runner, BitIdenticalResultsAcrossThreadCounts) {
+  const auto points = Sweep{}.axis("offset", {0.0, 10.0, 20.0}).cartesian();
+  const auto serial = Runner(cfg_with_threads(1)).run(points, mini_trial);
+  for (int threads : {2, 8}) {
+    const auto parallel = Runner(cfg_with_threads(threads)).run(points, mini_trial);
+    ASSERT_EQ(parallel.results.size(), serial.results.size());
+    for (std::size_t p = 0; p < serial.results.size(); ++p) {
+      ASSERT_EQ(parallel.results[p].size(), serial.results[p].size());
+      for (std::size_t t = 0; t < serial.results[p].size(); ++t) {
+        // Bit-identical, not approximately equal: same forked seed, same
+        // slot, regardless of which worker ran it.
+        EXPECT_EQ(parallel.results[p][t], serial.results[p][t])
+            << "point " << p << " trial " << t << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(Runner, ChunkSizeDoesNotChangeResults) {
+  const auto points = Sweep{}.axis("offset", {0.0, 5.0}).cartesian();
+  auto cfg = cfg_with_threads(4);
+  const auto a = Runner(cfg).run(points, mini_trial);
+  cfg.chunk = 1;
+  const auto b = Runner(cfg).run(points, mini_trial);
+  cfg.chunk = 1000;  // bigger than trials: one task per point
+  const auto c = Runner(cfg).run(points, mini_trial);
+  EXPECT_EQ(a.results, b.results);
+  EXPECT_EQ(a.results, c.results);
+}
+
+TEST(Runner, TrialSeedsDependOnPointAndTrialIndex) {
+  RunnerConfig cfg;
+  cfg.threads = 2;
+  cfg.trials = 8;
+  cfg.seed = 7;
+  const auto points = Sweep{}.axis("x", {1.0, 2.0}).cartesian();
+  const auto out = Runner(cfg).run(
+      points, [](const Point&, std::uint64_t seed) { return seed; });
+  // All 16 seeds distinct, and they match sim::fork directly.
+  for (std::size_t p = 0; p < 2; ++p)
+    for (std::size_t t = 0; t < 8; ++t)
+      EXPECT_EQ(out.results[p][t], sim::fork(7, p, t));
+}
+
+TEST(Runner, ExceptionInTrialPropagates) {
+  RunnerConfig cfg;
+  cfg.threads = 4;
+  cfg.trials = 32;
+  const auto points = Sweep{}.cartesian();
+  Runner runner(cfg);
+  EXPECT_THROW(runner.run(points,
+                          [](const Point&, std::uint64_t seed) -> int {
+                            if (seed % 3 == 0) throw std::runtime_error("boom");
+                            return 1;
+                          }),
+               std::runtime_error);
+}
+
+TEST(Runner, StatsAreFilledIn) {
+  RunnerConfig cfg;
+  cfg.threads = 2;
+  cfg.trials = 16;
+  cfg.seed = 99;
+  const auto points = Sweep{}.axis("offset", {0.0, 1.0}).cartesian();
+  const auto out = Runner(cfg).run(points, mini_trial);
+  const RunStats& st = out.stats;
+  EXPECT_EQ(st.threads, 2);
+  EXPECT_EQ(st.points, 2u);
+  EXPECT_EQ(st.trials_per_point, 16);
+  EXPECT_EQ(st.seed, 99u);
+  EXPECT_GT(st.wall_s, 0.0);
+  EXPECT_GT(st.trials_per_s, 0.0);
+  EXPECT_GE(st.occupancy, 0.0);
+  ASSERT_EQ(st.per_point.size(), 2u);
+  EXPECT_EQ(st.per_point[1].label, "offset=1");
+  EXPECT_GE(st.per_point[0].p99_ms, st.per_point[0].p50_ms);
+  // JSON sidecar includes the headline counters.
+  const std::string json = st.to_json();
+  EXPECT_NE(json.find("\"threads\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"speedup_vs_serial\""), std::string::npos);
+  EXPECT_NE(json.find("\"per_point\""), std::string::npos);
+}
+
+TEST(Runner, RunTrialsIsSinglePointSugar) {
+  RunnerConfig cfg;
+  cfg.threads = 2;
+  cfg.trials = 10;
+  cfg.seed = 5;
+  const auto out = Runner(cfg).run_trials(
+      [](const Point& p, std::uint64_t seed) { return static_cast<double>(seed + p.index); });
+  ASSERT_EQ(out.results.size(), 1u);
+  ASSERT_EQ(out.results[0].size(), 10u);
+  for (std::size_t t = 0; t < 10; ++t)
+    EXPECT_DOUBLE_EQ(out.results[0][t], static_cast<double>(sim::fork(5, 0, t)));
+}
+
+}  // namespace
+}  // namespace skyferry::exp

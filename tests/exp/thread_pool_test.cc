@@ -1,0 +1,86 @@
+#include "exp/thread_pool.h"
+
+#include <atomic>
+#include <latch>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace skyferry::exp {
+namespace {
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_EQ(resolve_threads(3), 3);
+  EXPECT_EQ(resolve_threads(1), 1);
+  EXPECT_GE(resolve_threads(0), 1);
+  EXPECT_GE(resolve_threads(-5), 1);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("trial exploded"); });
+  EXPECT_THROW(
+      {
+        try {
+          f.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "trial exploded");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // The worker survives the exception and keeps serving tasks.
+  auto g = pool.submit([] { return 7; });
+  EXPECT_EQ(g.get(), 7);
+}
+
+TEST(ThreadPool, AllSubmittedTasksRun) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    std::vector<std::future<void>> fs;
+    for (int i = 0; i < 500; ++i)
+      fs.push_back(pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); }));
+    for (auto& f : fs) f.get();
+  }
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, TasksQueuedAtDestructionStillComplete) {
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> fs;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i)
+      fs.push_back(pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); }));
+    // Destructor must drain the queue before joining.
+  }
+  for (auto& f : fs) f.get();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, WorkersRunTrulyConcurrently) {
+  // Two tasks that each wait for the other can only finish if two
+  // workers execute them at the same time (deadlocks under 1 worker).
+  ThreadPool pool(2);
+  std::latch rendezvous(2);
+  auto meet = [&rendezvous] {
+    rendezvous.arrive_and_wait();
+    return true;
+  };
+  auto a = pool.submit(meet);
+  auto b = pool.submit(meet);
+  EXPECT_TRUE(a.get());
+  EXPECT_TRUE(b.get());
+}
+
+}  // namespace
+}  // namespace skyferry::exp

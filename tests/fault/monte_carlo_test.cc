@@ -1,6 +1,7 @@
 #include "fault/monte_carlo.h"
 
 #include <cmath>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -45,6 +46,115 @@ TEST(MonteCarlo, AblationLawsDivergeFromExponentialAssumption) {
   EXPECT_GT(s.empirical_approach_survival, s.planner_delivery_probability);
   // The injected-law analytic column still matches its own empirical.
   EXPECT_NEAR(s.empirical_approach_survival, s.analytic_approach_survival, 0.02);
+}
+
+TEST(MonteCarlo, SummaryIdenticalAcrossThreadCounts) {
+  // The engine's core guarantee: per-trial seeds come from
+  // sim::fork(seed, 0, trial) and reduce in trial order, so the thread
+  // count is invisible in the results — bit for bit.
+  const auto scen = core::Scenario::quadrocopter();
+  auto cfg = crash_only_config(scen, 300);
+  cfg.spec.faults = FaultPlan::harsh();  // exercise every fault stream
+  cfg.threads = 1;
+  const auto one = run_monte_carlo(cfg);
+  for (int threads : {2, 8}) {
+    cfg.threads = threads;
+    const auto many = run_monte_carlo(cfg);
+    EXPECT_EQ(one.empirical_delivery_probability, many.empirical_delivery_probability) << threads;
+    EXPECT_EQ(one.empirical_approach_survival, many.empirical_approach_survival) << threads;
+    EXPECT_EQ(one.mean_delivered_fraction, many.mean_delivered_fraction) << threads;
+    EXPECT_EQ(one.delivered_mb.median, many.delivered_mb.median) << threads;
+    EXPECT_EQ(one.delivered_mb.q1, many.delivered_mb.q1) << threads;
+    EXPECT_EQ(one.completion_p50_s, many.completion_p50_s) << threads;
+    EXPECT_EQ(one.completion_p99_s, many.completion_p99_s) << threads;
+    EXPECT_EQ(one.crashes, many.crashes) << threads;
+    EXPECT_EQ(one.negotiation_failures, many.negotiation_failures) << threads;
+    EXPECT_EQ(one.mean_arq_retransmissions, many.mean_arq_retransmissions) << threads;
+    EXPECT_EQ(many.run_stats.threads, threads);
+  }
+}
+
+TEST(MonteCarlo, PerTrialResultsIdenticalAcrossThreadCounts) {
+  const auto scen = core::Scenario::quadrocopter();
+  auto cfg = crash_only_config(scen, 120);
+  cfg.keep_trials = true;
+  cfg.threads = 1;
+  const auto one = run_monte_carlo(cfg);
+  cfg.threads = 8;
+  const auto eight = run_monte_carlo(cfg);
+  ASSERT_EQ(one.trial_results.size(), eight.trial_results.size());
+  for (std::size_t i = 0; i < one.trial_results.size(); ++i) {
+    EXPECT_EQ(one.trial_results[i].delivered_bytes, eight.trial_results[i].delivered_bytes) << i;
+    EXPECT_EQ(one.trial_results[i].completion_time_s, eight.trial_results[i].completion_time_s)
+        << i;
+    EXPECT_EQ(one.trial_results[i].crashed, eight.trial_results[i].crashed) << i;
+  }
+}
+
+TEST(MonteCarlo, FluentSettersBuildTheSameConfig) {
+  const auto scen = core::Scenario::airplane();
+  const auto fluent = MonteCarloConfig{}
+                          .with_spec(TrialSpec{}
+                                         .with_scenario(scen)
+                                         .with_faults(FaultPlan::crashes_only(scen.rho_per_m)))
+                          .with_trials(150)
+                          .with_seed(12345)
+                          .with_threads(2)
+                          .with_keep_trials(false);
+  const auto a = run_monte_carlo(fluent);
+  const auto b = run_monte_carlo(crash_only_config(scen, 150));
+  EXPECT_EQ(a.empirical_approach_survival, b.empirical_approach_survival);
+  EXPECT_EQ(a.completion_p50_s, b.completion_p50_s);
+}
+
+TEST(MonteCarlo, ValidateRejectsBadConfigsTyped) {
+  const auto scen = core::Scenario::quadrocopter();
+  // Non-positive trials.
+  EXPECT_THROW(run_monte_carlo(crash_only_config(scen, 0)), ConfigError);
+  EXPECT_THROW(run_monte_carlo(crash_only_config(scen, -5)), ConfigError);
+  // NaN distance.
+  {
+    auto cfg = crash_only_config(scen, 10);
+    cfg.spec.scenario.d0_m = std::nan("");
+    EXPECT_THROW(run_monte_carlo(cfg), ConfigError);
+  }
+  {
+    auto cfg = crash_only_config(scen, 10);
+    cfg.spec.scenario.min_distance_m = std::nan("");
+    EXPECT_THROW(run_monte_carlo(cfg), ConfigError);
+  }
+  // Empty scenario.
+  {
+    auto cfg = crash_only_config(scen, 10);
+    cfg.spec.scenario = core::Scenario{};
+    EXPECT_THROW(run_monte_carlo(cfg), ConfigError);
+  }
+  // Degenerate timing/transfer knobs.
+  {
+    auto cfg = crash_only_config(scen, 10);
+    cfg.spec.max_time_s = 0.0;
+    EXPECT_THROW(run_monte_carlo(cfg), ConfigError);
+  }
+  // The error is typed, not a bare invalid_argument from strtod et al.
+  try {
+    run_monte_carlo(crash_only_config(scen, 0));
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("trials"), std::string::npos);
+  }
+}
+
+TEST(MonteCarlo, RunStatsSidecarIsPopulated) {
+  const auto scen = core::Scenario::quadrocopter();
+  auto cfg = crash_only_config(scen, 64);
+  cfg.threads = 2;
+  const auto s = run_monte_carlo(cfg);
+  EXPECT_EQ(s.run_stats.threads, 2);
+  EXPECT_EQ(s.run_stats.trials_per_point, 64);
+  EXPECT_GT(s.run_stats.wall_s, 0.0);
+  EXPECT_GT(s.run_stats.trials_per_s, 0.0);
+  EXPECT_GT(s.run_stats.total_trial_s, 0.0);
+  EXPECT_NE(s.run_stats.to_json().find("\"trials_per_s\""), std::string::npos);
 }
 
 TEST(MonteCarlo, SameSeedReproducesBitIdenticalSummary) {
