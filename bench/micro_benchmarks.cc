@@ -1,14 +1,21 @@
 // Google-benchmark micro-benchmarks for the hot paths: the utility
 // optimizer (runs on every rendezvous decision), the PER math (runs per
-// simulated A-MPDU), the event queue, geodesy, and a full link-sim
-// second.
+// simulated A-MPDU), its PerTable fast path, binomial aggregate
+// sampling, the event queue, geodesy, full link-sim seconds at both
+// fidelities, and one Monte-Carlo mission trial.
+//
+// The benchmarks named in BENCH_link_sim.json are the regression gate:
+// scripts/bench_regress.sh runs this binary with --benchmark_format=json
+// and fails on >25% regression of any baselined counter.
 #include <benchmark/benchmark.h>
 
 #include "core/optimizer.h"
 #include "core/scenario.h"
 #include "core/strategy.h"
+#include "fault/mission_sim.h"
 #include "geo/geodesy.h"
 #include "mac/link.h"
+#include "phy/per_table.h"
 #include "sim/simulator.h"
 
 namespace {
@@ -50,6 +57,38 @@ void BM_PacketErrorRate(benchmark::State& state) {
 }
 BENCHMARK(BM_PacketErrorRate);
 
+void BM_PerTableLookup(benchmark::State& state) {
+  const phy::ErrorModel em({}, 0.9);
+  const phy::PerTable tab(em, phy::mcs(3), 12288);
+  double snr = 0.0, acc = 0.0;
+  for (auto _ : state) {
+    snr = (snr < 30.0) ? snr + 0.1 : 0.0;
+    acc += tab.per(snr);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_PerTableLookup);
+
+void BM_PerTableMarginal(benchmark::State& state) {
+  const phy::ErrorModel em({}, 0.9);
+  const phy::PerTable tab(em, phy::mcs(3), 12288);
+  double snr = 0.0, acc = 0.0;
+  for (auto _ : state) {
+    snr = (snr < 30.0) ? snr + 0.1 : 0.0;
+    acc += tab.marginal_per(snr, 2.0);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_PerTableMarginal);
+
+void BM_RngBinomial(benchmark::State& state) {
+  sim::Rng rng(42);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc += rng.binomial(64, 0.3);
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngBinomial);
+
 void BM_EventQueue(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim;
@@ -74,16 +113,66 @@ void BM_Haversine(benchmark::State& state) {
 }
 BENCHMARK(BM_Haversine);
 
-void BM_LinkSimOneSecond(benchmark::State& state) {
+// One saturated simulated link-second (simulator construction included —
+// that is how Monte-Carlo consumers pay for it; the PER tables are
+// shared across iterations the same way a Monte-Carlo sweep shares them
+// across trials). The 60 m operating point sits mid-waterfall for the
+// quadrocopter link at MCS 1, where the analytic PER chain actually
+// runs. The regression harness tracks the kPerMpdu/kAggregate ratio:
+// kAggregate must stay >= 10x faster (see BENCH_link_sim.json).
+void link_sim_second(benchmark::State& state, mac::LinkFidelity fidelity, double jitter_db) {
+  mac::LinkConfig cfg;
+  cfg.channel = phy::ChannelConfig::quadrocopter();
+  cfg.fidelity = fidelity;
+  cfg.per_mpdu_snr_jitter_db = jitter_db;
+  cfg.shared_tables = mac::make_shared_per_tables(cfg);
   for (auto _ : state) {
-    mac::LinkConfig cfg;
-    cfg.channel = phy::ChannelConfig::quadrocopter();
     mac::FixedMcs rc(1);
     mac::LinkSimulator sim(cfg, rc, 42);
-    benchmark::DoNotOptimize(sim.run_saturated(1.0, mac::static_geometry(40.0)));
+    benchmark::DoNotOptimize(sim.run_saturated(1.0, mac::static_geometry(60.0)));
   }
 }
-BENCHMARK(BM_LinkSimOneSecond);
+
+void BM_LinkSimSecondPerMpdu(benchmark::State& state) {
+  link_sim_second(state, mac::LinkFidelity::kPerMpdu, 2.0);
+}
+BENCHMARK(BM_LinkSimSecondPerMpdu);
+
+void BM_LinkSimSecondAggregate(benchmark::State& state) {
+  link_sim_second(state, mac::LinkFidelity::kAggregate, 2.0);
+}
+BENCHMARK(BM_LinkSimSecondAggregate);
+
+void BM_LinkSimSecondAggregateNoJitter(benchmark::State& state) {
+  link_sim_second(state, mac::LinkFidelity::kAggregate, 0.0);
+}
+BENCHMARK(BM_LinkSimSecondAggregateNoJitter);
+
+void BM_MonteCarloTrial(benchmark::State& state) {
+  fault::TrialSpec spec;
+  spec.scenario = core::Scenario::quadrocopter();
+  spec.faults = fault::FaultPlan::harsh();
+  spec.target_packets = 64;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fault::run_mission_trial(spec, ++seed));
+  }
+}
+BENCHMARK(BM_MonteCarloTrial);
+
+void BM_MonteCarloTrialLinkSim(benchmark::State& state) {
+  fault::TrialSpec spec;
+  spec.scenario = core::Scenario::quadrocopter();
+  spec.faults = fault::FaultPlan::harsh();
+  spec.target_packets = 64;
+  spec.use_link_simulator = true;  // kAggregate fidelity by default
+  spec.with_shared_link_tables();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fault::run_mission_trial(spec, ++seed));
+  }
+}
+BENCHMARK(BM_MonteCarloTrialLinkSim);
 
 void BM_StrategyTransferCurve(benchmark::State& state) {
   const auto model = core::PaperLogThroughput::quadrocopter();

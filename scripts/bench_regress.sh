@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Benchmark-regression harness for the link-simulation hot path.
+#
+# Runs bench/micro_benchmarks with --benchmark_format=json, normalizes
+# the output into a stable {name -> median real_time ns} map, and either
+# records it as the committed baseline or fails on >TOLERANCE% regression
+# of any baselined counter. The baseline also pins the headline claim:
+# the saturated kAggregate link-second must stay >= MIN_SPEEDUP x faster
+# than the kPerMpdu reference.
+#
+# Usage:
+#   scripts/bench_regress.sh --update     # (re)record BENCH_link_sim.json
+#   scripts/bench_regress.sh --check      # compare against the baseline
+#   scripts/bench_regress.sh              # run + print, no gate
+#
+# Options:
+#   --build-dir DIR    build tree containing bench/micro_benchmarks [build]
+#   --baseline FILE    baseline path [BENCH_link_sim.json]
+#   --tolerance PCT    allowed slowdown per counter in --check [25]
+#   --min-time SEC     --benchmark_min_time per benchmark [0.05]
+#   --repetitions N    --benchmark_repetitions (median is kept) [3]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+mode=run
+build_dir=build
+baseline=BENCH_link_sim.json
+tolerance=25
+min_time=0.05
+repetitions=3
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --update) mode=update ;;
+    --check) mode=check ;;
+    --build-dir) build_dir=$2; shift ;;
+    --baseline) baseline=$2; shift ;;
+    --tolerance) tolerance=$2; shift ;;
+    --min-time) min_time=$2; shift ;;
+    --repetitions) repetitions=$2; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+bin="$build_dir/bench/micro_benchmarks"
+if [[ ! -x "$bin" ]]; then
+  echo "error: $bin not built — run: cmake -B $build_dir -S . && cmake --build $build_dir --target micro_benchmarks" >&2
+  exit 2
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+"$bin" --benchmark_format=json \
+       --benchmark_min_time="$min_time" \
+       --benchmark_repetitions="$repetitions" \
+       --benchmark_report_aggregates_only=true > "$raw"
+
+MODE="$mode" BASELINE="$baseline" TOLERANCE="$tolerance" python3 - "$raw" <<'PY'
+import json, os, sys
+
+MIN_SPEEDUP = 10.0  # kPerMpdu / kAggregate saturated link-second
+SPEEDUP_NUM = "BM_LinkSimSecondPerMpdu"
+SPEEDUP_DEN = "BM_LinkSimSecondAggregate"
+
+mode = os.environ["MODE"]
+baseline_path = os.environ["BASELINE"]
+tolerance = float(os.environ["TOLERANCE"])
+
+with open(sys.argv[1]) as f:
+    raw = json.load(f)
+
+# Normalize: median real_time per benchmark, in nanoseconds.
+unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+current = {}
+for b in raw.get("benchmarks", []):
+    if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "median":
+        continue
+    name = b["run_name"] if "run_name" in b else b["name"]
+    current[name] = b["real_time"] * unit_ns.get(b.get("time_unit", "ns"), 1.0)
+
+if not current:
+    print("error: no benchmark results parsed", file=sys.stderr)
+    sys.exit(2)
+
+def speedup(times):
+    if SPEEDUP_NUM in times and SPEEDUP_DEN in times and times[SPEEDUP_DEN] > 0:
+        return times[SPEEDUP_NUM] / times[SPEEDUP_DEN]
+    return None
+
+print(f"{'benchmark':44s} {'real_time':>14s}")
+for name in sorted(current):
+    print(f"{name:44s} {current[name]:>11.0f} ns")
+sp = speedup(current)
+if sp is not None:
+    print(f"{'kAggregate speedup (saturated link-second)':44s} {sp:>10.1f} x")
+
+if mode == "update":
+    doc = {
+        "_comment": "scripts/bench_regress.sh baseline: median real_time [ns] of "
+                    "bench/micro_benchmarks. Regenerate with scripts/bench_regress.sh --update.",
+        "tolerance_pct": tolerance,
+        "min_aggregate_speedup": MIN_SPEEDUP,
+        "benchmarks": {k: round(v, 1) for k, v in sorted(current.items())},
+    }
+    with open(baseline_path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"baseline written: {baseline_path} ({len(current)} counters)")
+elif mode == "check":
+    with open(baseline_path) as f:
+        base = json.load(f)
+    base_times = base["benchmarks"]
+    tol = 1.0 + float(base.get("tolerance_pct", tolerance)) / 100.0
+    failures = []
+    print(f"\n{'counter':44s} {'baseline':>12s} {'current':>12s} {'ratio':>7s}")
+    for name, b_ns in sorted(base_times.items()):
+        if name not in current:
+            failures.append(f"{name}: missing from current run")
+            continue
+        ratio = current[name] / b_ns if b_ns > 0 else float("inf")
+        flag = "  FAIL" if ratio > tol else ""
+        print(f"{name:44s} {b_ns:>9.0f} ns {current[name]:>9.0f} ns {ratio:>6.2f}x{flag}")
+        if ratio > tol:
+            failures.append(f"{name}: {ratio:.2f}x baseline (tolerance {tol:.2f}x)")
+    min_sp = float(base.get("min_aggregate_speedup", MIN_SPEEDUP))
+    if sp is not None and sp < min_sp:
+        failures.append(f"aggregate speedup {sp:.1f}x < required {min_sp:.1f}x")
+    if failures:
+        print("\nbench_regress: FAILED")
+        for f_ in failures:
+            print(f"  - {f_}")
+        sys.exit(1)
+    print(f"\nbench_regress: OK ({len(base_times)} counters within {tol:.2f}x)")
+PY

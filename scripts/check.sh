@@ -4,7 +4,12 @@
 # (experiment engine, Monte-Carlo, RNG forking) to catch data races in
 # the parallel trial fan-out.
 #
-# Usage: scripts/check.sh [--no-sanitize] [--no-tsan]
+# Usage: scripts/check.sh [--no-sanitize] [--no-tsan] [--bench]
+#
+# --bench (opt-in) additionally runs the benchmark-regression gate
+# (scripts/bench_regress.sh --check) when the committed
+# BENCH_link_sim.json baseline exists — benchmarks are wall-clock
+# sensitive, so they never gate by default.
 #
 # Build trees:
 #   build/           normal (RelWithDebInfo by default via CMakeLists)
@@ -16,10 +21,12 @@ cd "$(dirname "$0")/.."
 
 run_sanitize=1
 run_tsan=1
+run_bench=0
 for arg in "$@"; do
   case "$arg" in
     --no-sanitize) run_sanitize=0 ;;
     --no-tsan) run_tsan=0 ;;
+    --bench) run_bench=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -30,6 +37,15 @@ echo "== normal build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "$run_bench" == "1" ]]; then
+  if [[ -f BENCH_link_sim.json ]]; then
+    echo "== benchmark regression check =="
+    scripts/bench_regress.sh --check
+  else
+    echo "== benchmark regression check skipped (no BENCH_link_sim.json) =="
+  fi
+fi
 
 if [[ "$run_sanitize" == "1" ]]; then
   echo "== sanitized build (ASan+UBSan) =="

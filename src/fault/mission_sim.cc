@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 
 #include "core/planner.h"
@@ -30,6 +31,8 @@ void TrialSpec::validate() const {
   if (retreat_after_stalls <= 0) throw ConfigError("TrialSpec: retreat_after_stalls must be > 0");
   if (target_packets == 0 && arq.datagram_bytes == 0)
     throw ConfigError("TrialSpec: target_packets and arq.datagram_bytes cannot both be 0");
+  if (use_link_simulator && (!finite(link_sim_duration_s) || link_sim_duration_s <= 0.0))
+    throw ConfigError("TrialSpec: link_sim_duration_s must be finite and > 0");
 }
 
 namespace {
@@ -84,7 +87,24 @@ class MissionTrial {
   void finalize(bool delivered);
 
   [[nodiscard]] double throughput_bps() const {
+    if (measured_throughput_bps_ >= 0.0) return measured_throughput_bps_;
     return model_.throughput_bps(result_.d_opt_m);
+  }
+
+  /// Replace the analytic s(d_opt) with a seeded PHY/MAC link-simulator
+  /// measurement at the transmit position (TrialSpec::use_link_simulator).
+  void measure_link_throughput(std::uint64_t seed) {
+    mac::LinkConfig lc;
+    lc.channel = spec_.link_channel;
+    lc.fidelity = spec_.link_fidelity;
+    // Monte-Carlo only needs the rate: skip throughput sampling.
+    lc.meter_window_s = std::numeric_limits<double>::infinity();
+    lc.shared_tables = spec_.link_tables;
+    mac::ArfRate rc;
+    mac::LinkSimulator link(lc, rc, sim::derive_seed(seed, "fault/link"));
+    const auto r =
+        link.run_saturated(spec_.link_sim_duration_s, mac::static_geometry(result_.d_opt_m));
+    measured_throughput_bps_ = r.mean_goodput_mbps() * 1e6;
   }
 
   const TrialSpec& spec_;
@@ -96,6 +116,7 @@ class MissionTrial {
   sim::Rng backoff_rng_;
   ResumableTransfer transfer_;
   TrialResult result_;
+  double measured_throughput_bps_{-1.0};  ///< < 0: use the analytic model
 
   // Approach bookkeeping: distance accrues only while moving (GPS up).
   double distance_flown_m_{0.0};
@@ -124,6 +145,7 @@ TrialResult MissionTrial::run() {
   result_.analytic_delivery_probability = decision.delivery_probability;
   result_.total_bytes = scen.mdata_bytes;
   result_.crash_distance_m = injector_.sample_crash_distance(0);
+  if (spec_.use_link_simulator) measure_link_throughput(plan_.seed);
 
   injector_.start(spec_.max_time_s);
   injector_.on_gps_change([this](bool up, double t) {

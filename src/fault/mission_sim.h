@@ -19,6 +19,7 @@
 #include "fault/fault_plan.h"
 #include "fault/injector.h"
 #include "fault/recovery.h"
+#include "mac/link.h"
 #include "net/arq.h"
 
 namespace skyferry::fault {
@@ -51,6 +52,24 @@ struct TrialSpec {
   /// transmitting, so post-approach time keeps burning failure distance.
   bool loiter_burns_distance{true};
 
+  /// Measure the transfer rate s at the transmit position with the full
+  /// PHY/MAC link simulator (one short saturated run at d_opt, seeded
+  /// per trial) instead of the analytic paper fit. Monte-Carlo uses the
+  /// fast table-driven kAggregate fidelity by default; flip
+  /// `link_fidelity` to kPerMpdu for the exchange-by-exchange reference.
+  bool use_link_simulator{false};
+  mac::LinkFidelity link_fidelity{mac::LinkFidelity::kAggregate};
+  /// Channel preset of the measured link (only read when
+  /// use_link_simulator is set).
+  phy::ChannelConfig link_channel{phy::ChannelConfig::quadrocopter()};
+  /// Simulated seconds of the per-trial saturated rate measurement.
+  double link_sim_duration_s{2.0};
+  /// Cross-trial PER-table cache (kAggregate only). Fill it with
+  /// with_shared_link_tables() before a Monte-Carlo fan-out so the
+  /// trials share one lazily built, thread-safe cache instead of each
+  /// rebuilding the tables; left empty, every trial builds its own.
+  std::shared_ptr<phy::PerTableCache> link_tables{};
+
   // Fluent construction: spec.with_scenario(...).with_faults(...).
   TrialSpec& with_scenario(core::Scenario s) {
     scenario = std::move(s);
@@ -70,6 +89,23 @@ struct TrialSpec {
   }
   TrialSpec& with_max_time(double seconds) {
     max_time_s = seconds;
+    return *this;
+  }
+  TrialSpec& with_link_simulator(bool on,
+                                 mac::LinkFidelity fidelity = mac::LinkFidelity::kAggregate) {
+    use_link_simulator = on;
+    link_fidelity = fidelity;
+    return *this;
+  }
+  TrialSpec& with_link_channel(phy::ChannelConfig ch) {
+    link_channel = ch;
+    return *this;
+  }
+  /// Call after the link channel is final (the cache is bound to it).
+  TrialSpec& with_shared_link_tables() {
+    mac::LinkConfig lc;
+    lc.channel = link_channel;
+    link_tables = mac::make_shared_per_tables(lc);
     return *this;
   }
 

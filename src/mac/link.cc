@@ -1,9 +1,22 @@
 #include "mac/link.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace skyferry::mac {
+
+namespace {
+
+/// Block ACK frame size on air (32 bytes at the basic rate).
+constexpr int kBlockAckBits = 32 * 8;
+
+/// Backstop for the (mcs, backlog) subframe cache: policies beyond this
+/// bound fall back to recomputing (no real config comes close — the HT
+/// A-MPDU cap is 64 subframes).
+constexpr int kMaxCachedSubframes = 256;
+
+}  // namespace
 
 GeometryFn static_geometry(double distance_m, double relative_speed_mps) {
   return [distance_m, relative_speed_mps](double) {
@@ -11,12 +24,79 @@ GeometryFn static_geometry(double distance_m, double relative_speed_mps) {
   };
 }
 
+std::shared_ptr<phy::PerTableCache> make_shared_per_tables(const LinkConfig& cfg) {
+  return std::make_shared<phy::PerTableCache>(
+      phy::ErrorModel(cfg.error, cfg.channel.spatial_correlation), cfg.per_table);
+}
+
 LinkSimulator::LinkSimulator(LinkConfig cfg, RateController& rate_control, std::uint64_t seed)
     : cfg_(cfg),
       rc_(rate_control),
       channel_(cfg.channel, sim::derive_seed(seed, "channel")),
       error_model_(cfg.error, cfg.channel.spatial_correlation),
-      rng_(sim::derive_seed(seed, "mac")) {}
+      rng_(sim::derive_seed(seed, "mac")),
+      tables_(error_model_, cfg.per_table),
+      table_src_(cfg_.shared_tables ? cfg_.shared_tables.get() : &tables_) {
+  if (cfg_.ampdu.max_subframes <= kMaxCachedSubframes) {
+    subframes_cache_.assign(
+        static_cast<std::size_t>(phy::kNumMcs) *
+            static_cast<std::size_t>(cfg_.ampdu.max_subframes + 1),
+        -1);
+    exchange_cache_.assign(static_cast<std::size_t>(phy::kNumMcs) *
+                               static_cast<std::size_t>(cfg_.ampdu.max_subframes + 1) *
+                               static_cast<std::size_t>(cfg_.timing.retry_limit + 1),
+                           -1.0);
+  }
+}
+
+int LinkSimulator::cached_subframes(int mcs_index, int backlog) {
+  const int capped = std::clamp(backlog, 1, cfg_.ampdu.max_subframes);
+  if (subframes_cache_.empty()) {
+    return subframes_for(cfg_.ampdu, cfg_.mpdu, phy::mcs(mcs_index), cfg_.channel.width,
+                         cfg_.channel.gi, capped);
+  }
+  const auto idx = static_cast<std::size_t>(mcs_index) *
+                       static_cast<std::size_t>(cfg_.ampdu.max_subframes + 1) +
+                   static_cast<std::size_t>(capped);
+  if (subframes_cache_[idx] < 0) {
+    subframes_cache_[idx] = static_cast<std::int16_t>(
+        subframes_for(cfg_.ampdu, cfg_.mpdu, phy::mcs(mcs_index), cfg_.channel.width,
+                      cfg_.channel.gi, capped));
+  }
+  return subframes_cache_[idx];
+}
+
+double LinkSimulator::cached_exchange_duration(int mcs_index, int n, int retry_stage) {
+  if (exchange_cache_.empty()) {
+    return exchange_duration_s(cfg_.timing, cfg_.mpdu, phy::mcs(mcs_index), cfg_.channel.width,
+                               cfg_.channel.gi, n, retry_stage);
+  }
+  const auto idx =
+      (static_cast<std::size_t>(mcs_index) * static_cast<std::size_t>(cfg_.ampdu.max_subframes + 1) +
+       static_cast<std::size_t>(n)) *
+          static_cast<std::size_t>(cfg_.timing.retry_limit + 1) +
+      static_cast<std::size_t>(retry_stage);
+  if (exchange_cache_[idx] < 0.0) {
+    exchange_cache_[idx] = exchange_duration_s(cfg_.timing, cfg_.mpdu, phy::mcs(mcs_index),
+                                               cfg_.channel.width, cfg_.channel.gi, n, retry_stage);
+  }
+  return exchange_cache_[idx];
+}
+
+const phy::PerTable& LinkSimulator::data_table(const phy::McsInfo& m) {
+  // Jitter-marginalized at build time: per() then answers the per-MPDU
+  // jitter marginal in a single lookup.
+  const phy::PerTable*& slot = data_tables_[static_cast<std::size_t>(m.index)];
+  if (slot == nullptr) {
+    slot = &table_src_->table(m, cfg_.mpdu.mpdu_bits(), cfg_.per_mpdu_snr_jitter_db);
+  }
+  return *slot;
+}
+
+const phy::PerTable& LinkSimulator::ba_table() {
+  if (ba_table_ == nullptr) ba_table_ = &table_src_->table(phy::mcs(0), kBlockAckBits);
+  return *ba_table_;
+}
 
 LinkRunResult LinkSimulator::run_saturated(double duration_s, const GeometryFn& geometry) {
   return run_internal(std::numeric_limits<std::uint64_t>::max(), duration_s, geometry);
@@ -42,6 +122,18 @@ LinkRunResult LinkSimulator::run_internal(std::uint64_t payload_bytes_limit, dou
 
   const int mpdu_bits = cfg_.mpdu.mpdu_bits();
   const int payload_bits_per_mpdu = cfg_.mpdu.payload_bits();
+  const bool aggregate = cfg_.fidelity == LinkFidelity::kAggregate;
+  const double jitter_db = cfg_.per_mpdu_snr_jitter_db;
+
+  // An infinite (or non-positive) meter window disables throughput
+  // sampling entirely — Monte-Carlo consumers only want the totals.
+  const bool metering = std::isfinite(cfg_.meter_window_s) && cfg_.meter_window_s > 0.0;
+  if (metering && std::isfinite(duration_s)) {
+    const auto windows = static_cast<std::size_t>(std::min(
+        duration_s / cfg_.meter_window_s + 2.0, 1e6));
+    res.samples.reserve(windows);
+    res.transfer_curve_mb.reserve(windows);
+  }
 
   auto flush_window = [&](double now) {
     const double span = now - window_start;
@@ -66,24 +158,33 @@ LinkRunResult LinkSimulator::run_internal(std::uint64_t payload_bytes_limit, dou
           (remaining_bits + payload_bits_per_mpdu - 1) / payload_bits_per_mpdu,
           static_cast<std::uint64_t>(cfg_.ampdu.max_subframes)));
     }
-    const int n = subframes_for(cfg_.ampdu, cfg_.mpdu, m, cfg_.channel.width, cfg_.channel.gi,
-                                std::max(backlog, 1));
+    const int n = cached_subframes(mcs_index, std::max(backlog, 1));
 
     // One SNR draw governs the aggregate (all subframes share the fade);
     // per-MPDU jitter (frequency selectivity) decorrelates subframe fates.
     const double snr_db = channel_.snr_db(t, g.distance_m, g.relative_speed_mps);
 
     int delivered = 0;
-    for (int i = 0; i < n; ++i) {
-      const double mpdu_snr =
-          snr_db + cfg_.per_mpdu_snr_jitter_db * rng_.gaussian();
-      const double per = error_model_.packet_error_rate(m, mpdu_snr, mpdu_bits);
-      if (!rng_.bernoulli(per)) ++delivered;
+    if (aggregate) {
+      // Subframe fates are iid given the aggregate fade, so the
+      // delivered count is exactly Binomial(n, 1-PER) with PER the
+      // jitter-marginalized per-subframe error probability (folded into
+      // the table knots at build time).
+      const double per = data_table(m).per(snr_db);
+      delivered = static_cast<int>(rng_.binomial(static_cast<std::uint64_t>(n), 1.0 - per));
+    } else {
+      for (int i = 0; i < n; ++i) {
+        const double mpdu_snr = snr_db + jitter_db * rng_.gaussian();
+        const double per = error_model_.packet_error_rate(m, mpdu_snr, mpdu_bits);
+        if (!rng_.bernoulli(per)) ++delivered;
+      }
     }
 
     // Block ACK must survive too (32-byte frame at basic rate, same fade);
     // a lost BA voids the whole exchange for the sender.
-    const double ba_per = error_model_.packet_error_rate(phy::mcs(0), snr_db, 32 * 8);
+    const double ba_per = aggregate
+                              ? ba_table().per(snr_db)
+                              : error_model_.packet_error_rate(phy::mcs(0), snr_db, kBlockAckBits);
     if (rng_.bernoulli(ba_per)) delivered = 0;
 
     res.mpdus_attempted += static_cast<std::uint64_t>(n);
@@ -99,13 +200,12 @@ LinkRunResult LinkSimulator::run_internal(std::uint64_t payload_bytes_limit, dou
     retry_stage = (delivered == 0) ? std::min(retry_stage + 1, cfg_.timing.retry_limit)
                                    : 0;
 
-    t += exchange_duration_s(cfg_.timing, cfg_.mpdu, m, cfg_.channel.width, cfg_.channel.gi, n,
-                             retry_stage);
+    t += cached_exchange_duration(mcs_index, n, retry_stage);
 
-    if (t - window_start >= cfg_.meter_window_s) flush_window(t);
+    if (metering && t - window_start >= cfg_.meter_window_s) flush_window(t);
   }
 
-  flush_window(t);
+  if (metering) flush_window(t);
   res.duration_s = t;
   res.completed = res.payload_bits_delivered >= payload_bits_limit ||
                   payload_bits_limit == std::numeric_limits<std::uint64_t>::max();

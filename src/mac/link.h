@@ -5,14 +5,17 @@
 // measurements (Figs. 5-7) and the full-stack variant of Fig. 1.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "mac/ampdu.h"
 #include "mac/rate_control.h"
 #include "phy/channel.h"
 #include "phy/per.h"
+#include "phy/per_table.h"
 
 namespace skyferry::mac {
 
@@ -32,18 +35,49 @@ struct ThroughputSample {
   double mbps{0.0};       ///< goodput over the window
 };
 
+/// Fidelity of the subframe-fate sampling (DESIGN.md §7).
+enum class LinkFidelity {
+  /// Reference path: one Gaussian jitter + one Bernoulli per subframe,
+  /// PER from the analytic phy::ErrorModel. Exact but ~64 erfc/pow
+  /// chains per A-MPDU.
+  kPerMpdu,
+  /// Fast path: PER from a phy::PerTable lookup and the delivered count
+  /// drawn as one Binomial(n, 1-PER). With zero jitter this is the
+  /// *same distribution* as kPerMpdu (subframe fates are iid); with
+  /// jitter the shared PER is marginalized over the jitter by
+  /// Gauss-Hermite quadrature, which again reproduces the per-MPDU
+  /// delivered distribution exactly up to table/quadrature error.
+  kAggregate,
+};
+
 struct LinkConfig {
   MacTiming timing{};
   AmpduPolicy ampdu{};
   MpduFormat mpdu{};
   phy::ChannelConfig channel{};
   phy::ErrorModelConfig error{};
-  double meter_window_s{0.5};  ///< throughput sampling window
+  double meter_window_s{0.5};  ///< throughput sampling window (infinite = no sampling)
   /// Per-MPDU SNR mismatch [dB, 1-sigma]: OFDM frequency selectivity and
   /// symbol-timing jitter decorrelate subframe fates within an aggregate
   /// and soften the PER-vs-distance cliff of fixed rates.
   double per_mpdu_snr_jitter_db{2.0};
+  /// Subframe-fate sampling path; kPerMpdu keeps bit-compatibility with
+  /// the original exchange-by-exchange draws, kAggregate is the
+  /// table-driven fast path (~10x+ on a saturated link-second).
+  LinkFidelity fidelity{LinkFidelity::kPerMpdu};
+  /// SNR grid of the kAggregate lookup tables.
+  phy::PerTableConfig per_table{};
+  /// Optional cross-simulator PER-table cache (kAggregate only). When
+  /// set, simulators use it instead of a private cache, so a parallel
+  /// Monte-Carlo fan-out pays table construction once per sweep instead
+  /// of once per trial. Must have been built by make_shared_per_tables
+  /// on a config with identical `error`, `channel.spatial_correlation`
+  /// and `per_table` — mismatched caches answer with wrong PERs.
+  std::shared_ptr<phy::PerTableCache> shared_tables{};
 };
+
+/// A thread-safe PER-table cache matching `cfg`, for LinkConfig::shared_tables.
+[[nodiscard]] std::shared_ptr<phy::PerTableCache> make_shared_per_tables(const LinkConfig& cfg);
 
 /// Result of a timed run or a fixed-size transfer.
 struct LinkRunResult {
@@ -87,12 +121,26 @@ class LinkSimulator {
  private:
   LinkRunResult run_internal(std::uint64_t payload_bytes_limit, double duration_s,
                              const GeometryFn& geometry);
+  /// subframes_for(...) memoized on (mcs_index, backlog) — valid while
+  /// cfg_ is constant, which it is for the simulator's lifetime.
+  [[nodiscard]] int cached_subframes(int mcs_index, int backlog);
+  /// exchange_duration_s(...) memoized on (mcs_index, n, retry_stage).
+  [[nodiscard]] double cached_exchange_duration(int mcs_index, int n, int retry_stage);
+  /// The kAggregate PER table for data MPDUs at `m` / the Block ACK.
+  [[nodiscard]] const phy::PerTable& data_table(const phy::McsInfo& m);
+  [[nodiscard]] const phy::PerTable& ba_table();
 
   LinkConfig cfg_;
   RateController& rc_;
   phy::LinkChannel channel_;
   phy::ErrorModel error_model_;
   sim::Rng rng_;
+  phy::PerTableCache tables_;          ///< private fallback when no shared cache
+  phy::PerTableCache* table_src_;      ///< cfg_.shared_tables.get() or &tables_
+  std::array<const phy::PerTable*, phy::kNumMcs> data_tables_{};
+  const phy::PerTable* ba_table_{nullptr};
+  std::vector<std::int16_t> subframes_cache_;  ///< (mcs, backlog) -> n; -1 unset
+  std::vector<double> exchange_cache_;         ///< (mcs, n, retry) -> s; <0 unset
 };
 
 }  // namespace skyferry::mac

@@ -45,7 +45,11 @@ LinkChannel::LinkChannel(ChannelConfig cfg, std::uint64_t seed) noexcept
     : cfg_(cfg), fading_(cfg.fading, sim::Rng(seed)) {}
 
 double LinkChannel::snr_db(double t_s, double distance_m, double relative_speed_mps) noexcept {
-  return cfg_.snr_model.median_snr_db(distance_m) + fading_.sample_db(t_s, relative_speed_mps);
+  if (distance_m != median_memo_d_m_) {
+    median_memo_d_m_ = distance_m;
+    median_memo_db_ = cfg_.snr_model.median_snr_db(distance_m);
+  }
+  return median_memo_db_ + fading_.sample_db(t_s, relative_speed_mps);
 }
 
 double LinkChannel::median_snr_db(double distance_m) const noexcept {

@@ -47,6 +47,10 @@ class LinkChannel {
  private:
   ChannelConfig cfg_;
   FadingProcess fading_;
+  /// Last (distance -> median SNR) evaluation; static-geometry links ask
+  /// for the same distance every exchange, so skip the log2.
+  double median_memo_d_m_{-1.0};
+  double median_memo_db_{0.0};
 };
 
 }  // namespace skyferry::phy

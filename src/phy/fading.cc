@@ -37,11 +37,16 @@ void FadingProcess::redraw_fast(double speed_mps) noexcept {
 }
 
 double FadingProcess::sample_db(double t_s, double relative_speed_mps) noexcept {
-  // Advance slow shadowing (Gauss-Markov) by the elapsed time.
+  // Advance slow shadowing (Gauss-Markov) by the elapsed time. The
+  // transition coefficients depend only on dt, and callers step with a
+  // handful of repeating exchange durations — memoize them.
   const double dt = std::max(t_s - last_t_, 0.0);
-  const double a = std::exp(-dt / cfg_.shadowing_tau_s);
-  shadow_db_ = a * shadow_db_ +
-               cfg_.shadowing_sigma_db * std::sqrt(std::max(1.0 - a * a, 0.0)) * rng_.gaussian();
+  if (dt != shadow_dt_) {
+    shadow_dt_ = dt;
+    shadow_a_ = std::exp(-dt / cfg_.shadowing_tau_s);
+    shadow_b_ = cfg_.shadowing_sigma_db * std::sqrt(std::max(1.0 - shadow_a_ * shadow_a_, 0.0));
+  }
+  shadow_db_ = shadow_a_ * shadow_db_ + shadow_b_ * rng_.gaussian();
 
   // Attitude-event process: Poisson arrivals checked on a coarse grid,
   // each event holding a loss for an exponential duration — a banking

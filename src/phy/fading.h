@@ -63,6 +63,12 @@ class FadingProcess {
   sim::Rng rng_;
   double next_redraw_t_{-1.0};
   double last_t_{0.0};
+  /// Memoized Gauss-Markov shadowing coefficients for the last step size:
+  /// link-sim exchanges repeat the same few durations, so the exp/sqrt
+  /// pair is recomputed only when dt changes (bit-identical results).
+  double shadow_dt_{-1.0};
+  double shadow_a_{1.0};
+  double shadow_b_{0.0};
   double fast_db_{0.0};
   double shadow_db_{0.0};
   double attitude_until_{-1.0};

@@ -69,8 +69,43 @@ double ErrorModel::bit_error_rate(const McsInfo& m, double snr_db) const noexcep
   return uncoded_ber(m.modulation, s);
 }
 
+namespace {
+
+/// Effective-SNR bounds [dB] outside which the uncoded BER is saturated:
+/// above `zero_ber_db` the BER is < 1e-20 (Q(9.5)·coef), below
+/// `half_ber_db` it is >= 0.29. Both bounds are conservative inversions
+/// of the closed-form BER curves above.
+struct SaturationBounds {
+  double half_ber_db;
+  double zero_ber_db;
+};
+
+constexpr SaturationBounds saturation_bounds(Modulation m) noexcept {
+  switch (m) {
+    case Modulation::kBpsk: return {-8.2, 17.0};
+    case Modulation::kQpsk: return {-5.2, 20.0};
+    case Modulation::kQam16: return {-3.9, 27.0};
+    case Modulation::kQam64: return {-29.8, 33.1};
+  }
+  return {-1e300, 1e300};
+}
+
+}  // namespace
+
 double ErrorModel::packet_error_rate(const McsInfo& m, double snr_db, int bits) const noexcept {
-  const double ber = bit_error_rate(m, snr_db);
+  const double eff_db = effective_snr_db(m, snr_db);
+  // Saturation early-outs skip the pow/erfc/log1p chain where the result
+  // is already pinned in double precision: above zero_ber_db the PER is
+  // below bits * 1e-20 (absolute error <= ~1e-14 for any real frame);
+  // below half_ber_db the BER is >= 0.29, so for bits >= 256 the success
+  // probability (1-BER)^bits < 1e-38 and the PER rounds to exactly 1.0 —
+  // the same value the full chain returns.
+  const SaturationBounds sat = saturation_bounds(m.modulation);
+  if (eff_db >= sat.zero_ber_db) return 0.0;
+  if (eff_db <= sat.half_ber_db && bits >= 256) return 1.0;
+
+  const double s = std::pow(10.0, eff_db / 10.0);
+  const double ber = uncoded_ber(m.modulation, s);
   if (ber <= 0.0) return 0.0;
   if (ber >= 0.5) return 1.0;
   // PER = 1 - (1-BER)^bits, computed in log space for stability.

@@ -52,6 +52,8 @@ class ErrorModel {
   [[nodiscard]] double bit_error_rate(const McsInfo& m, double snr_db) const noexcept;
 
   /// Packet error rate of an MPDU of `bits` at raw channel SNR [dB].
+  /// Saturated regions (BER ≈ 0 / BER ≈ 0.5) early-out without touching
+  /// erfc/pow; see phy::PerTable for the table-driven hot path.
   [[nodiscard]] double packet_error_rate(const McsInfo& m, double snr_db, int bits) const noexcept;
 
   /// Spatial correlation of the MIMO channel in [0,1]; higher = more

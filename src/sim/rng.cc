@@ -89,6 +89,40 @@ bool Rng::bernoulli(double p) noexcept {
   return uniform() < p;
 }
 
+std::uint64_t Rng::binomial(std::uint64_t n, double p) noexcept {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  // Work with the smaller tail so the inversion walk stays short and the
+  // pmf recurrence stays well-conditioned.
+  const bool flip = p > 0.5;
+  const double q = flip ? 1.0 - p : p;
+  std::uint64_t k = 0;
+  if (n <= 64) {
+    // CDF inversion via the pmf recurrence
+    //   pmf(k+1) = pmf(k) * (n-k)/(k+1) * q/(1-q).
+    // One uniform draw per call; pmf(0) = (1-q)^n >= 2^-64 > 0, so the
+    // walk always starts on a representable mass.
+    const double r = q / (1.0 - q);
+    // exp(n*log1p(-q)) == (1-q)^n but ~2x cheaper than pow on glibc.
+    double pmf = std::exp(static_cast<double>(n) * std::log1p(-q));
+    double cdf = pmf;
+    const double u = uniform();
+    while (u >= cdf && k < n) {
+      pmf *= r * static_cast<double>(n - k) / static_cast<double>(k + 1);
+      cdf += pmf;
+      ++k;
+    }
+  } else {
+    // Normal-tail fallback with continuity correction, clamped to [0,n].
+    const double mean = static_cast<double>(n) * q;
+    const double sd = std::sqrt(mean * (1.0 - q));
+    const double draw = std::floor(mean + sd * gaussian() + 0.5);
+    const double hi = static_cast<double>(n);
+    k = static_cast<std::uint64_t>(draw < 0.0 ? 0.0 : (draw > hi ? hi : draw));
+  }
+  return flip ? n - k : k;
+}
+
 double Rng::rician_envelope(double k_factor) noexcept {
   // Complex gaussian with LoS component: normalize so E[r^2] = 1.
   // LoS amplitude nu and scatter sigma per component:

@@ -36,6 +36,14 @@ class Rng {
   /// Bernoulli trial with success probability p (clamped to [0,1]).
   bool bernoulli(double p) noexcept;
 
+  /// Binomial(n, p) draw: the number of successes in n independent
+  /// Bernoulli(p) trials, in one call. Exact CDF inversion for n <= 64
+  /// (one uniform draw — this is the aggregate-sampling fast path of the
+  /// link simulator, where n is the A-MPDU subframe count), a
+  /// continuity-corrected normal tail fallback for larger n. p is
+  /// clamped to [0, 1].
+  std::uint64_t binomial(std::uint64_t n, double p) noexcept;
+
   /// Magnitude of a Rician-fading envelope with K-factor (linear, not dB)
   /// normalized to unit mean *power* (E[r^2] = 1). K=0 degenerates to
   /// Rayleigh. Used by the PHY fading model.

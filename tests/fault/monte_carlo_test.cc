@@ -74,6 +74,40 @@ TEST(MonteCarlo, SummaryIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(MonteCarlo, SimulatedLinkSummaryIdenticalAcrossThreadCounts) {
+  // The kAggregate link simulator (shared PER-table cache included) must
+  // preserve the engine's bit-identical-across-threads guarantee.
+  const auto scen = core::Scenario::quadrocopter();
+  auto cfg = crash_only_config(scen, 150);
+  cfg.spec.faults = FaultPlan::harsh();
+  cfg.spec.with_link_simulator(true).with_shared_link_tables();
+  cfg.threads = 1;
+  const auto one = run_monte_carlo(cfg);
+  for (int threads : {2, 8}) {
+    cfg.threads = threads;
+    const auto many = run_monte_carlo(cfg);
+    EXPECT_EQ(one.empirical_delivery_probability, many.empirical_delivery_probability) << threads;
+    EXPECT_EQ(one.empirical_approach_survival, many.empirical_approach_survival) << threads;
+    EXPECT_EQ(one.mean_delivered_fraction, many.mean_delivered_fraction) << threads;
+    EXPECT_EQ(one.delivered_mb.median, many.delivered_mb.median) << threads;
+    EXPECT_EQ(one.completion_p50_s, many.completion_p50_s) << threads;
+    EXPECT_EQ(one.crashes, many.crashes) << threads;
+  }
+}
+
+TEST(MonteCarlo, SimulatedLinkStillValidatesDeliveryLaw) {
+  // Swapping the analytic s(d) for the measured link rate must not
+  // disturb the delta(d) = exp(-rho * (d0 - d)) survival validation —
+  // the crash process is independent of the throughput model.
+  const auto scen = core::Scenario::quadrocopter();
+  auto cfg = crash_only_config(scen, 2000);
+  cfg.spec.with_link_simulator(true).with_shared_link_tables();
+  const auto s = run_monte_carlo(cfg);
+  EXPECT_NEAR(s.empirical_approach_survival, s.analytic_approach_survival, 0.02);
+  EXPECT_GT(s.mean_delivered_fraction, 0.0);
+  EXPECT_GT(s.completion_p50_s, 0.0);
+}
+
 TEST(MonteCarlo, PerTrialResultsIdenticalAcrossThreadCounts) {
   const auto scen = core::Scenario::quadrocopter();
   auto cfg = crash_only_config(scen, 120);

@@ -1,0 +1,153 @@
+#include "phy/per_table.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "phy/mcs.h"
+
+namespace skyferry::phy {
+namespace {
+
+constexpr int kMpduBits = 1540 * 8;
+
+class PerTableAccuracyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PerTableAccuracyTest, ExactAtEveryKnot) {
+  const ErrorModel em({}, 0.9);
+  const McsInfo& m = mcs(GetParam());
+  const PerTable tab(em, m, kMpduBits);
+  for (int i = 0; i < tab.knots(); ++i) {
+    const double snr = tab.knot_snr_db(i);
+    // Bit-exact: the knot values ARE the analytic model.
+    EXPECT_EQ(tab.per(snr), em.packet_error_rate(m, snr, kMpduBits)) << "knot " << i;
+  }
+}
+
+TEST_P(PerTableAccuracyTest, WithinAbsoluteToleranceEverywhere) {
+  const ErrorModel em({}, 0.9);
+  const McsInfo& m = mcs(GetParam());
+  const PerTableConfig cfg;
+  const PerTable tab(em, m, kMpduBits, cfg);
+  // Dense off-knot sweep: 16 probes per grid step across the full grid.
+  double max_err = 0.0;
+  for (double snr = cfg.snr_min_db; snr <= cfg.snr_max_db; snr += cfg.step_db / 16.0) {
+    const double err = std::abs(tab.per(snr) - em.packet_error_rate(m, snr, kMpduBits));
+    max_err = std::max(max_err, err);
+  }
+  EXPECT_LE(max_err, 1e-4);  // the documented accuracy contract
+}
+
+TEST_P(PerTableAccuracyTest, MonotoneNonIncreasingInSnr) {
+  const ErrorModel em({}, 0.9);
+  const McsInfo& m = mcs(GetParam());
+  const PerTable tab(em, m, kMpduBits);
+  double prev = 1.0;
+  for (double snr = -14.0; snr <= 50.0; snr += 0.03) {
+    const double p = tab.per(snr);
+    EXPECT_LE(p, prev + 1e-12) << "snr=" << snr;
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMcs, PerTableAccuracyTest, ::testing::Range(0, kNumMcs));
+
+TEST(PerTable, ClampsOutsideGrid) {
+  const ErrorModel em({}, 0.9);
+  const PerTableConfig cfg;
+  const PerTable tab(em, mcs(3), kMpduBits, cfg);
+  EXPECT_EQ(tab.per(cfg.snr_min_db - 50.0), tab.per(cfg.snr_min_db));
+  EXPECT_EQ(tab.per(cfg.snr_max_db + 50.0), tab.per(cfg.snr_max_db));
+  // The default grid edges sit in the saturated regions for every MCS.
+  EXPECT_EQ(tab.per(cfg.snr_min_db), 1.0);
+  EXPECT_EQ(tab.per(cfg.snr_max_db), 0.0);
+}
+
+TEST(PerTable, MarginalMatchesDenseNumericIntegration) {
+  const ErrorModel em({}, 0.9);
+  const McsInfo& m = mcs(1);
+  const PerTable tab(em, m, kMpduBits);
+  const double sigma = 2.0;
+  for (double snr = 0.0; snr <= 20.0; snr += 1.0) {
+    // Riemann sum of E[per(snr + sigma*Z)] over +-6 sigma.
+    double num = 0.0, wsum = 0.0;
+    for (double z = -6.0; z <= 6.0; z += 0.01) {
+      const double w = std::exp(-0.5 * z * z);
+      num += w * em.packet_error_rate(m, snr + sigma * z, kMpduBits);
+      wsum += w;
+    }
+    num /= wsum;
+    // The 31-node Gauss-Hermite rule truncates at ~1e-3 worst-case on
+    // the steep mid-waterfall sigmoid; end-to-end accuracy is gated by
+    // the fidelity-equivalence tests in tests/mac/link_test.cc.
+    EXPECT_NEAR(tab.marginal_per(snr, sigma), num, 2.5e-3) << "snr=" << snr;
+  }
+}
+
+TEST(PerTable, MarginalZeroSigmaIsPlainLookup) {
+  const ErrorModel em({}, 0.9);
+  const PerTable tab(em, mcs(2), kMpduBits);
+  for (double snr = -5.0; snr <= 30.0; snr += 0.7) {
+    EXPECT_EQ(tab.marginal_per(snr, 0.0), tab.per(snr));
+  }
+}
+
+TEST(PerTable, MarginalizedBuildMatchesRuntimeQuadrature) {
+  // A table built with jitter_sigma_db answers per() as the plain
+  // table's marginal_per() — same quadrature, folded into the knots.
+  const ErrorModel em({}, 0.9);
+  const McsInfo& m = mcs(1);
+  const double sigma = 2.0;
+  const PerTable plain(em, m, kMpduBits);
+  const PerTable marg(em, m, kMpduBits, {}, sigma);
+  for (int i = 0; i < marg.knots(); ++i) {
+    const double snr = marg.knot_snr_db(i);
+    EXPECT_NEAR(marg.per(snr), plain.marginal_per(snr, sigma), 1e-12) << "knot " << i;
+  }
+  // Off-knot queries lerp the smooth marginal: small absolute error.
+  for (double snr = -5.0; snr <= 25.0; snr += 0.0317) {
+    EXPECT_NEAR(marg.per(snr), plain.marginal_per(snr, sigma), 2e-4) << "snr=" << snr;
+  }
+}
+
+TEST(PerTable, MarginalizedIsMonotoneNonIncreasing) {
+  const ErrorModel em({}, 0.9);
+  const PerTable marg(em, mcs(4), kMpduBits, {}, 2.0);
+  double prev = 1.0;
+  for (double snr = -14.0; snr <= 50.0; snr += 0.05) {
+    const double p = marg.per(snr);
+    EXPECT_LE(p, prev + 1e-12) << "snr=" << snr;
+    prev = p;
+  }
+}
+
+TEST(PerTableCache, BuildsLazilyAndReuses) {
+  const ErrorModel em({}, 0.9);
+  PerTableCache cache(em);
+  EXPECT_EQ(cache.size(), 0u);
+  const PerTable& a = cache.table(mcs(3), kMpduBits);
+  EXPECT_EQ(cache.size(), 1u);
+  const PerTable& b = cache.table(mcs(3), kMpduBits);
+  EXPECT_EQ(&a, &b);  // same table, not a rebuild
+  EXPECT_EQ(cache.size(), 1u);
+  std::ignore = cache.table(mcs(3), 256);             // different frame size class
+  std::ignore = cache.table(mcs(3), kMpduBits, 2.0);  // jitter-marginalized variant
+  std::ignore = cache.table(mcs(5), kMpduBits);
+  EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST(PerTableCache, TableMatchesDirectConstruction) {
+  const ErrorModel em({}, 0.85);
+  PerTableCache cache(em);
+  const PerTable direct(em, mcs(2), kMpduBits);
+  const PerTable& cached = cache.table(mcs(2), kMpduBits);
+  for (double snr = -10.0; snr <= 40.0; snr += 0.4) {
+    EXPECT_EQ(cached.per(snr), direct.per(snr));
+  }
+}
+
+}  // namespace
+}  // namespace skyferry::phy

@@ -1,5 +1,6 @@
 #include "phy/per.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -60,6 +61,36 @@ TEST_P(PerMonotonicityTest, PerDecreasesWithSnr) {
   // Extremes pin to ~1 and ~0.
   EXPECT_GT(em.packet_error_rate(m, -10.0, bits), 0.99);
   EXPECT_LT(em.packet_error_rate(m, 45.0, bits), 0.05);
+}
+
+TEST_P(PerMonotonicityTest, PerNonDecreasingInBits) {
+  // Longer frames can only fail more: PER = 1 - (1-BER)^bits.
+  const ErrorModel em({}, 0.9);
+  const McsInfo& m = mcs(GetParam());
+  for (double snr = -10.0; snr <= 45.0; snr += 1.5) {
+    double prev = 0.0;
+    for (int bits = 256; bits <= 16384; bits *= 2) {
+      const double per = em.packet_error_rate(m, snr, bits);
+      EXPECT_GE(per, prev - 1e-12) << "snr=" << snr << " bits=" << bits;
+      prev = per;
+    }
+  }
+}
+
+TEST_P(PerMonotonicityTest, SaturationEarlyOutMatchesLogDomainFormula) {
+  // The BER≈0 / BER≈0.5 early-outs must return what the full
+  // pow/erfc/log1p chain would: rebuild the PER from the (un-shortcut)
+  // public BER and compare across the whole SNR range, early-out
+  // regions included.
+  const ErrorModel em({}, 0.9);
+  const McsInfo& m = mcs(GetParam());
+  const int bits = 1540 * 8;
+  for (double snr = -20.0; snr <= 50.0; snr += 0.05) {
+    const double ber = em.bit_error_rate(m, snr);
+    const double ref = (ber <= 0.0) ? 0.0
+                                    : std::clamp(1.0 - std::exp(bits * std::log1p(-ber)), 0.0, 1.0);
+    EXPECT_NEAR(em.packet_error_rate(m, snr, bits), ref, 1e-12) << "snr=" << snr;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllMcs, PerMonotonicityTest, ::testing::Range(0, 16));

@@ -1,7 +1,9 @@
 #include "sim/rng.h"
 
+#include <algorithm>
 #include <cmath>
 #include <set>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -157,6 +159,95 @@ TEST(Fork, TrialStreamsAreStatisticallyIndependent) {
   for (int i = 0; i < kDraws; ++i)
     popcount_sum += static_cast<double>(__builtin_popcountll(a.next_u64() ^ b.next_u64()));
   EXPECT_NEAR(popcount_sum / kDraws, 32.0, 0.5);
+}
+
+TEST(Binomial, DegenerateEdges) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+    EXPECT_EQ(rng.binomial(10, 0.0), 0u);
+    EXPECT_EQ(rng.binomial(10, -0.3), 0u);
+    EXPECT_EQ(rng.binomial(10, 1.0), 10u);
+    EXPECT_EQ(rng.binomial(10, 1.7), 10u);
+  }
+}
+
+TEST(Binomial, DeterministicForSameSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(a.binomial(14, 0.3), b.binomial(14, 0.3));
+}
+
+// Chi-square goodness-of-fit of the exact inversion sampler against the
+// analytic Binomial(n, p) pmf, over the (n, p) grid the link simulator
+// exercises (small aggregates, extreme and central success rates).
+class BinomialGofTest : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(BinomialGofTest, MatchesAnalyticPmf) {
+  const auto [n, p] = GetParam();
+  const int kDraws = 200000;
+  Rng rng(static_cast<std::uint64_t>(n) * 1000003u + static_cast<std::uint64_t>(p * 1e6));
+
+  std::vector<int> counts(static_cast<std::size_t>(n) + 1, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    const auto k = rng.binomial(static_cast<std::uint64_t>(n), p);
+    ASSERT_LE(k, static_cast<std::uint64_t>(n));
+    ++counts[static_cast<std::size_t>(k)];
+  }
+
+  // Analytic pmf via the same stable recurrence family the sampler uses.
+  std::vector<double> pmf(static_cast<std::size_t>(n) + 1, 0.0);
+  pmf[0] = std::pow(1.0 - p, n);
+  for (int k = 0; k < n; ++k) {
+    pmf[static_cast<std::size_t>(k) + 1] = pmf[static_cast<std::size_t>(k)] *
+                                           (static_cast<double>(n - k) / (k + 1)) * (p / (1.0 - p));
+  }
+
+  // Pool bins with expected count < 5 into their neighbors (standard
+  // chi-square validity rule), accumulating from both tails.
+  double chi2 = 0.0;
+  int dof = -1;  // one constraint: totals match
+  double pooled_obs = 0.0, pooled_exp = 0.0;
+  for (int k = 0; k <= n; ++k) {
+    pooled_obs += counts[static_cast<std::size_t>(k)];
+    pooled_exp += pmf[static_cast<std::size_t>(k)] * kDraws;
+    if (pooled_exp >= 5.0) {
+      chi2 += (pooled_obs - pooled_exp) * (pooled_obs - pooled_exp) / pooled_exp;
+      ++dof;
+      pooled_obs = pooled_exp = 0.0;
+    }
+  }
+  if (pooled_exp > 0.0) {
+    // Trailing pool with small expectation: fold into the last bin.
+    chi2 += (pooled_obs - pooled_exp) * (pooled_obs - pooled_exp) / pooled_exp;
+    ++dof;
+  }
+  dof = std::max(dof, 1);
+
+  // Wilson-Hilferty 99.9% chi-square quantile approximation.
+  const double z = 3.0902;  // N(0,1) 99.9% quantile
+  const double h = 2.0 / (9.0 * dof);
+  const double threshold = dof * std::pow(1.0 - h + z * std::sqrt(h), 3.0);
+  EXPECT_LT(chi2, threshold) << "n=" << n << " p=" << p << " dof=" << dof;
+}
+
+INSTANTIATE_TEST_SUITE_P(GridNandP, BinomialGofTest,
+                         ::testing::Combine(::testing::Values(1, 8, 64),
+                                            ::testing::Values(0.01, 0.5, 0.99)));
+
+TEST(Binomial, LargeNNormalFallbackMoments) {
+  // n > 64 takes the normal-tail fallback: mean and variance must still
+  // match np and np(1-p) closely, and samples must stay in range.
+  Rng rng(1234);
+  const std::uint64_t n = 1000;
+  const double p = 0.2;
+  stats::RunningStats rs;
+  for (int i = 0; i < 200000; ++i) {
+    const auto k = rng.binomial(n, p);
+    ASSERT_LE(k, n);
+    rs.add(static_cast<double>(k));
+  }
+  EXPECT_NEAR(rs.mean(), n * p, 0.5);                   // se ~ 0.028
+  EXPECT_NEAR(rs.variance(), n * p * (1.0 - p), 4.0);   // ~2.5%
 }
 
 TEST(DeriveSeed, DistinctComponentsDistinctSeeds) {
