@@ -7,10 +7,12 @@
 // Engine-backed: the (scenario x rho x law) grid is an exp::Sweep with
 // one deterministic optimizer solve per point — the seeds are unused,
 // the parallelism is free, and the table order is the sweep order.
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/nonstationary.h"
 #include "core/optimizer.h"
 #include "core/scenario.h"
@@ -34,6 +36,7 @@ int main(int argc, char** argv) {
   int threads = 0;
   exp::Cli cli("ablation_failure_models");
   cli.flag("--threads", &threads, "worker threads, 0 = one per hardware thread");
+  bench::Report report(cli);
   cli.parse_or_exit(argc, argv);
   cli.print_replay_header();
 
@@ -78,6 +81,28 @@ int main(int argc, char** argv) {
                 {r.d_opt_m, r.utility, r.discount});
     }
     t.print();
+
+    // Laws agree where the discount is ~1 (baseline rho), and the
+    // exponential optimum never sits inside the Weibull one at high rho.
+    double agree_spread = 0.0;
+    double exp_dopt_hi = 0.0, weibull_dopt_hi = 0.0;
+    for (const auto& p : points) {
+      const LawRow& r = run.results[p.index][0];
+      if (p.at("rho") == rhos.front()) {
+        const LawRow& base = run.results[points[0].index][0];
+        agree_spread = std::max(agree_spread, std::abs(r.d_opt_m - base.d_opt_m));
+      }
+      if (p.at("rho") == 1e-2) {
+        if (p.at("law") == 0.0) exp_dopt_hi = r.d_opt_m;
+        if (p.at("law") == 2.0) weibull_dopt_hi = r.d_opt_m;
+      }
+    }
+    report.claim(scen.name + "_laws_agree_at_baseline_rho", agree_spread <= 10.0,
+                 "discount ~ 1 everywhere, so the law barely matters");
+    report.claim(scen.name + "_exponential_pulls_hardest_at_high_rho",
+                 exp_dopt_hi >= weibull_dopt_hi - 1e-9);
+    report.metric(scen.name + "_exp_dopt_rho1e-2_m", exp_dopt_hi,
+                  check::Tolerance::absolute(10.0));
   }
   std::printf(
       "reading: the laws agree at small rho (discount ~ 1 everywhere); at\n"
@@ -119,6 +144,16 @@ int main(int argc, char** argv) {
       t.add_row(rows[static_cast<int>(p.at("profile"))].name, {r.d_opt_m, r.utility, r.discount});
     }
     t.print();
+
+    const double hazard_dopt = run.results[points[1].index][0].d_opt_m;
+    const double linear_dopt = run.results[points[2].index][0].d_opt_m;
+    report.metric("nonstationary_hazard_zone_dopt_m", hazard_dopt,
+                  check::Tolerance::absolute(5.0),
+                  "EXPERIMENTS.md: optimum parks at the ~40 m hazard boundary");
+    report.metric("nonstationary_linear_dopt_m", linear_dopt, check::Tolerance::absolute(5.0),
+                  "EXPERIMENTS.md: rising-toward-peer profile stops at ~68 m");
+    report.claim("hazard_zone_lifts_optimum_off_floor", hazard_dopt > 30.0,
+                 "the stationary model would dive to the 20 m floor");
     std::printf(
         "reading: a hazardous close zone parks the optimum at the hazard\n"
         "boundary instead of the 20 m floor — the stationary optimum is no\n"
@@ -127,5 +162,5 @@ int main(int argc, char** argv) {
   std::printf("%s\n", total.summary_line().c_str());
   if (total.write_json("ablation_failure_models_stats.json"))
     std::printf("stats: ablation_failure_models_stats.json\n");
-  return 0;
+  return report.emit() ? 0 : 1;
 }

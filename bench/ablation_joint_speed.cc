@@ -5,6 +5,7 @@
 // (rho(v) = drain(v) / (v * T_battery)).
 #include <cstdio>
 
+#include "bench_util.h"
 #include "core/joint_optimizer.h"
 #include "core/scenario.h"
 #include "exp/cli.h"
@@ -13,6 +14,7 @@
 
 int main(int argc, char** argv) {
   skyferry::exp::Cli cli("ablation_joint_speed");
+  skyferry::bench::Report report(cli);
   cli.parse_or_exit(argc, argv);
   cli.print_replay_header();
   using namespace skyferry;
@@ -38,6 +40,12 @@ int main(int argc, char** argv) {
       csv.row(scen.name,
               std::vector<double>{mb, r.v_opt_mps, r.d_opt_m, r.utility,
                                   r.cruise_baseline.d_opt_m, r.cruise_baseline.utility, gain});
+      report.claim("joint_never_worse_" + scen.name + "_m" + io::format_number(mb),
+                   r.utility >= r.cruise_baseline.utility - 1e-12,
+                   "the speed dimension can only add utility");
+      if (scen.name == "airplane" && mb == 28.0)
+        report.metric("airplane_28mb_gain_pct", gain, check::Tolerance::relative(0.10),
+                      "EXPERIMENTS.md: up to ~61% over fixed cruise");
     }
     t.print();
   }
@@ -47,5 +55,5 @@ int main(int argc, char** argv) {
       "range-efficient speed. The gap vs the paper's fixed-cruise model is\n"
       "the value of the 'speed dimension' its conclusion points at.\n"
       "csv: ablation_joint_speed.csv\n");
-  return 0;
+  return report.emit() ? 0 : 1;
 }

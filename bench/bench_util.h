@@ -2,11 +2,22 @@
 // link measurements and boxplot collection, mirroring how the paper's
 // field measurements were aggregated. Flag parsing and replay headers
 // live in exp::Cli — every bench main() registers typed flags there.
+//
+// bench::Report / bench::emit_json give every bench a machine-readable
+// `--json <path>` output mode: the scalar claims, orderings, and sample
+// sets the bench reproduces, in check::GoldenFile format, with the
+// replay header (exact seed/threads/flags) embedded. Committed goldens
+// under golden/ are regenerated/checked by scripts/golden_regress.sh.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "check/golden.h"
+#include "exp/cli.h"
 #include "mac/link.h"
 #include "stats/quantile.h"
 
@@ -72,3 +83,71 @@ inline std::vector<double> boxplot_row(const stats::BoxplotSummary& b) {
 }
 
 }  // namespace skyferry::benchutil
+
+namespace skyferry::bench {
+
+/// Build a GoldenFile from a finished run: the Cli's replay header plus
+/// whatever the Report collected.
+[[nodiscard]] inline check::GoldenFile make_golden(const exp::Cli& cli,
+                                                   check::GoldenFile golden) {
+  golden.set_replay(cli.replay_command(), cli.flag_values());
+  return golden;
+}
+
+/// Serialize `golden` (with `cli`'s replay header embedded) to `path`.
+inline bool emit_json(const exp::Cli& cli, check::GoldenFile golden, const std::string& path) {
+  const check::GoldenFile g = make_golden(cli, std::move(golden));
+  if (!g.save(path)) {
+    std::fprintf(stderr, "%s: cannot write %s\n", cli.bench().c_str(), path.c_str());
+    return false;
+  }
+  std::printf("json: %s (%zu metrics, %zu orderings, %zu sample sets)\n", path.c_str(),
+              g.metrics().size(), g.orderings().size(), g.samples().size());
+  return true;
+}
+
+/// Per-bench collector for the machine-checkable claims. Construction
+/// registers the shared `--json <path>` flag on the Cli; metric() /
+/// ordering() / samples() record claims as the bench computes them, and
+/// emit() writes the GoldenFile when --json was passed (no-op
+/// otherwise). Claims that are *shape* indicators (who wins, what is
+/// monotone) are recorded as 0/1 metrics with exact tolerance.
+class Report {
+ public:
+  explicit Report(exp::Cli& cli) : cli_(&cli), golden_(cli.bench()) {
+    cli.flag("--json", &json_path_,
+             "write machine-readable metrics + replay header (golden format) to this path");
+  }
+
+  void metric(std::string name, double value, check::Tolerance tol = {},
+              std::string note = {}) {
+    golden_.add_metric(std::move(name), value, tol, std::move(note));
+  }
+  /// A boolean shape claim ("transmit-now is the slowest hover"), pinned
+  /// exactly.
+  void claim(std::string name, bool holds, std::string note = {}) {
+    golden_.add_metric(std::move(name), holds ? 1.0 : 0.0, check::Tolerance::exact(),
+                       std::move(note));
+  }
+  void ordering(std::string name, std::vector<std::string> ranked, std::string note = {}) {
+    golden_.add_ordering(std::move(name), std::move(ranked), std::move(note));
+  }
+  void samples(std::string name, std::vector<double> values, double ks_alpha = 1e-3,
+               std::string note = {}) {
+    golden_.add_samples(std::move(name), std::move(values), ks_alpha, std::move(note));
+  }
+
+  [[nodiscard]] bool requested() const noexcept { return !json_path_.empty(); }
+  [[nodiscard]] const check::GoldenFile& golden() const noexcept { return golden_; }
+
+  /// Write the JSON if --json was passed. Returns false only on I/O
+  /// failure; call at the end of main().
+  bool emit() const { return !requested() || emit_json(*cli_, golden_, json_path_); }
+
+ private:
+  exp::Cli* cli_;
+  std::string json_path_;
+  check::GoldenFile golden_;
+};
+
+}  // namespace skyferry::bench

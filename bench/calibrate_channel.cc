@@ -68,7 +68,7 @@ struct PlatformCal {
   std::vector<double> distances;
 };
 
-void calibrate(const PlatformCal& p, std::uint64_t seed) {
+void calibrate(const PlatformCal& p, std::uint64_t seed, bench::Report& report) {
   std::printf("\n=== %s ===\n", p.name);
   std::vector<double> snrs, gps;
   for (double snr = -4.0; snr <= 26.0; snr += 1.0) {
@@ -98,6 +98,13 @@ void calibrate(const PlatformCal& p, std::uint64_t seed) {
   const auto fit = stats::log2_fit(xs, ys);
   std::printf("suggested AerialSnrModel: a=%.2f  b=%.2f  (R^2=%.3f)\n", fit.b, -fit.a,
               fit.r_squared);
+  // The suggested constants ARE the calibration: a 10% drift in either
+  // means the PHY/MAC stack no longer reproduces the paper's fits.
+  report.metric(std::string(p.name) + "_snr_model_a", fit.b, check::Tolerance::relative(0.08),
+                "suggested AerialSnrModel intercept (dB at d=1 m)");
+  report.metric(std::string(p.name) + "_snr_model_b", -fit.a, check::Tolerance::relative(0.08),
+                "suggested AerialSnrModel slope (dB per octave of distance)");
+  report.claim(std::string(p.name) + "_inverse_fit_r2_above_0.9", fit.r_squared > 0.9);
 }
 
 }  // namespace
@@ -106,14 +113,15 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 0;
   exp::Cli cli("calibrate_channel");
   cli.flag("--seed", &seed, "master seed");
+  bench::Report report(cli);
   cli.parse_or_exit(argc, argv);
   cli.print_replay_header();
   calibrate({"quadrocopter", phy::ChannelConfig::quadrocopter(), -10.5, 73.0,
              {20, 30, 40, 50, 60, 70, 80, 90, 100}},
-            seed);
+            seed, report);
   calibrate({"airplane", phy::ChannelConfig::airplane(), -5.56, 49.0,
              {20, 40, 60, 80, 100, 140, 180, 220, 260, 300}},
-            seed);
+            seed, report);
 
   std::printf("\n=== preset distance sweep vs paper fits (current constants) ===\n");
   io::Table t2("distance sweep");
@@ -142,7 +150,16 @@ int main(int argc, char** argv) {
     const double air_sim =
         preset_median(phy::ChannelConfig::airplane(), seed + 4000 + static_cast<std::uint64_t>(d));
     t2.add_row(io::format_number(d), {quad_sim, quad_paper, air_sim, air_paper});
+    if (d == 60.0) {
+      report.metric("quad_sim_d60_mbps", quad_sim, check::Tolerance::sigmas(3.0, 0.4),
+                    "preset constants vs paper fit at the quad anchor distance");
+      report.metric("air_sim_d60_mbps", air_sim, check::Tolerance::sigmas(3.0, 0.4));
+      report.claim("quad_d60_within_15pct_of_paper",
+                   std::abs(quad_sim - quad_paper) <= 0.15 * quad_paper);
+      report.claim("air_d60_within_15pct_of_paper",
+                   std::abs(air_sim - air_paper) <= 0.15 * air_paper);
+    }
   }
   t2.print();
-  return 0;
+  return report.emit() ? 0 : 1;
 }

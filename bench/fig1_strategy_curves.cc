@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "core/strategy.h"
 #include "exp/cli.h"
 #include "io/ascii_chart.h"
@@ -18,6 +19,7 @@
 
 int main(int argc, char** argv) {
   skyferry::exp::Cli cli("fig1_strategy_curves");
+  skyferry::bench::Report report(cli);
   cli.parse_or_exit(argc, argv);
   cli.print_replay_header();
   using namespace skyferry;
@@ -58,6 +60,54 @@ int main(int argc, char** argv) {
   const double mstar = core::crossover_mdata_bytes(model, 80.0, 60.0, 4.5) / 1e6;
   std::printf("crossover d=80 vs d=60: Mdata* = %.1f MB (paper: ~15 MB measured)\n\n", mstar);
 
+  // Machine-checked Fig.-1 shape claims (EXPERIMENTS.md): the median
+  // model is deterministic, so totals carry a tight 2% drift margin —
+  // loose enough for FP churn, tight enough that a 10% calibration-slope
+  // perturbation fails the golden check.
+  {
+    double moving_total = 0.0;
+    double now_total = 0.0;
+    double slowest_hover = 0.0;
+    double argmin_d = 0.0;
+    double best_total = 1e300;
+    std::vector<std::pair<std::string, double>> hover_scores;
+    for (const auto& out : outcomes) {
+      report.metric("total_" + out.spec.label() + "_s", out.completion_time_s,
+                    check::Tolerance::relative(0.02));
+      if (out.spec.kind == core::StrategyKind::kMoveAndTransmit) {
+        moving_total = out.completion_time_s;
+        continue;
+      }
+      if (out.spec.kind == core::StrategyKind::kTransmitNow) now_total = out.completion_time_s;
+      slowest_hover = std::max(slowest_hover, out.completion_time_s);
+      hover_scores.emplace_back(out.spec.label(), out.completion_time_s);
+      if (out.spec.kind == core::StrategyKind::kShipThenTransmit &&
+          out.completion_time_s < best_total) {
+        best_total = out.completion_time_s;
+        argmin_d = out.spec.target_distance_m;
+      }
+    }
+    std::stable_sort(hover_scores.begin(), hover_scores.end(),
+                     [](const auto& a, const auto& b) { return a.second < b.second; });
+    std::vector<std::string> ranked;
+    for (const auto& [label, total] : hover_scores) ranked.push_back(label);
+    report.ordering("hover_totals_ascending", ranked,
+                    "paper Fig.1: an intermediate distance wins, transmit-now last");
+    report.metric("argmin_hover_d_m", argmin_d, check::Tolerance::absolute(20.0),
+                  "paper: best strategy in the d=40..60 near-tie");
+    report.claim("transmit_now_slowest_hover", now_total >= slowest_hover - 1e-9,
+                 "paper Fig.1: transmitting at d0=80 m loses for 20 MB");
+    report.claim("moving_dominated", [&] {
+      for (const auto& out : outcomes)
+        if (out.spec.kind == core::StrategyKind::kShipThenTransmit &&
+            moving_total < out.completion_time_s)
+          return false;
+      return true;
+    }(), "paper Fig.1: move-and-transmit loses to every ship-then-transmit strategy");
+    report.metric("crossover_d80_vs_d60_mb", mstar, check::Tolerance::relative(0.05),
+                  "paper measures ~15 MB; median-model fit gives ~9 MB");
+  }
+
   // ---- (b) full-stack curves ----------------------------------------------
   std::printf("full PHY+MAC stack (mean over 5 channel realizations):\n");
   io::Table ft("completion times (full stack)");
@@ -75,8 +125,12 @@ int main(int argc, char** argv) {
     }
     const double tx = tx_sum / 5.0;
     ft.add_row("d=" + std::to_string(static_cast<int>(d)), {tship, tx, tship + tx});
+    // Seeded full-stack runs are bit-deterministic; 5% absorbs model
+    // retuning without letting the Fig.-1 ordering drift.
+    report.metric("fullstack_total_d" + std::to_string(static_cast<int>(d)) + "_s", tship + tx,
+                  check::Tolerance::relative(0.05));
   }
   ft.print();
   std::printf("csv: fig1_strategy_curves.csv\n");
-  return 0;
+  return report.emit() ? 0 : 1;
 }

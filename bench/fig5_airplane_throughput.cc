@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 5000;
   exp::Cli cli("fig5_airplane_throughput");
   cli.flag("--seed", &seed, "master seed");
+  bench::Report report(cli);
   cli.parse_or_exit(argc, argv);
   cli.print_replay_header();
   const auto ch = phy::ChannelConfig::airplane();
@@ -36,6 +37,9 @@ int main(int argc, char** argv) {
     const auto samples =
         benchutil::autorate_samples(ch, d, 3.0, seed + static_cast<std::uint64_t>(d), 4, 60.0);
     const auto b = stats::boxplot(samples);
+    if (d == 60.0)
+      report.samples("mbps_d60", samples, 1e-3,
+                     "half-second throughput samples for distribution regression");
     auto row = benchutil::boxplot_row(b);
     t.add_row(io::format_number(d), row);
     row.insert(row.begin(), d);
@@ -59,6 +63,23 @@ int main(int argc, char** argv) {
               fit.r_squared);
   std::printf("paper:               s(d) = -5.56*log2(d) + 49.00 (R^2 = 0.90)\n");
 
+  // Machine-checked Fig.-5 shape claims (EXPERIMENTS.md): the fit of the
+  // medians, the near/far medians, and monotone decay of the curve.
+  report.metric("fit_slope", fit.a, check::Tolerance::absolute(0.5),
+                "paper: -5.56; calibrated sim: ~-4.8");
+  report.metric("fit_intercept", fit.b, check::Tolerance::absolute(3.0), "paper: 49");
+  report.claim("fit_r_squared_above_0.9", fit.r_squared > 0.9);
+  report.metric("median_d20_mbps", medians.front(), check::Tolerance::relative(0.15),
+                "near-field median, calibration anchor");
+  report.metric("median_d300_mbps", medians[medians.size() - 2],
+                check::Tolerance::sigmas(3.0, 0.2), "far-field tail");
+  report.claim("medians_decay_with_distance", [&] {
+    // Allow 1.5 Mb/s of boxplot jitter against the trend.
+    for (std::size_t i = 1; i < medians.size(); ++i)
+      if (medians[i] > medians[i - 1] + 1.5) return false;
+    return true;
+  }(), "throughput falls with distance across 20..320 m");
+
   io::GnuplotScript gp("Fig 5: airplane throughput vs distance", "d (m)", "throughput (Mb/s)");
   gp.terminal("pngcairo size 900,540", "fig5_airplane_throughput.png");
   gp.add({"fig5_airplane_throughput.csv", 1, 5, "median", "linespoints lw 2", 0, ""});
@@ -66,5 +87,5 @@ int main(int argc, char** argv) {
   gp.add({"fig5_airplane_throughput.csv", 1, 6, "q3", "lines dt 2", 0, ""});
   gp.write("fig5_airplane_throughput.gp");
   std::printf("csv: fig5_airplane_throughput.csv  plot: gnuplot fig5_airplane_throughput.gp\n");
-  return 0;
+  return report.emit() ? 0 : 1;
 }

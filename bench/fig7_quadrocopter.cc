@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 7000;
   exp::Cli cli("fig7_quadrocopter");
   cli.flag("--seed", &seed, "master seed");
+  bench::Report report(cli);
   cli.parse_or_exit(argc, argv);
   cli.print_replay_header();
   const auto ch = phy::ChannelConfig::quadrocopter();
@@ -27,12 +28,19 @@ int main(int argc, char** argv) {
   tl.columns({"d_m", "n", "whisk-", "q1", "median", "q3", "whisk+", "outliers"});
   io::Series hover_med{"hover median", {}, {}};
   for (double d = 20.0; d <= 80.0; d += 20.0) {
-    const auto b = stats::boxplot(
-        benchutil::autorate_samples(ch, d, 0.0, seed + static_cast<std::uint64_t>(d), 4, 60.0));
+    const auto samples =
+        benchutil::autorate_samples(ch, d, 0.0, seed + static_cast<std::uint64_t>(d), 4, 60.0);
+    const auto b = stats::boxplot(samples);
     tl.add_row(io::format_number(d), benchutil::boxplot_row(b));
     csv.row("hover", std::vector<double>{d, b.whisker_low, b.q1, b.median, b.q3, b.whisker_high});
     hover_med.xs.push_back(d);
     hover_med.ys.push_back(b.median);
+    // Hover medians are the paper's calibration anchors (Fig.7 left).
+    report.metric("hover_median_d" + io::format_number(d) + "_mbps", b.median,
+                  check::Tolerance::relative(0.10), "calibrated to the paper's quad fit");
+    if (d == 60.0)
+      report.samples("hover_mbps_d60", samples, 1e-3,
+                     "hover throughput distribution for KS regression");
   }
   tl.print();
 
@@ -47,8 +55,18 @@ int main(int argc, char** argv) {
     csv.row("moving", std::vector<double>{d, b.whisker_low, b.q1, b.median, b.q3, b.whisker_high});
     move_med.xs.push_back(d);
     move_med.ys.push_back(b.median);
+    report.metric("moving_median_d" + io::format_number(d) + "_mbps", b.median,
+                  check::Tolerance::sigmas(3.0, 0.4), "paper: clear drop vs hovering");
   }
   tc.print();
+
+  // The paper's center-panel claim: moving loses to hovering at every
+  // separation.
+  report.claim("moving_below_hover_everywhere", [&] {
+    for (std::size_t i = 0; i < hover_med.ys.size(); ++i)
+      if (move_med.ys[i] >= hover_med.ys[i]) return false;
+    return true;
+  }());
 
   io::AsciiChart chart_lc("hover vs moving medians", 60, 12);
   chart_lc.x_label("d (m)").y_label("Mb/s");
@@ -69,10 +87,21 @@ int main(int argc, char** argv) {
   }
   tr.print();
 
+  report.metric("speed_median_v0_mbps", speed_med.ys.front(), check::Tolerance::relative(0.10),
+                "speed sweep anchor at v=0 (matches hover d=60)");
+  report.metric("speed_median_v15_mbps", speed_med.ys.back(), check::Tolerance::absolute(0.3),
+                "paper: link collapses at high speed");
+  report.claim("throughput_collapses_with_speed", [&] {
+    // Monotone decay with 1 Mb/s jitter allowance (Fig.7 right).
+    for (std::size_t i = 1; i < speed_med.ys.size(); ++i)
+      if (speed_med.ys[i] > speed_med.ys[i - 1] + 1.0) return false;
+    return speed_med.ys.back() < 0.25 * speed_med.ys.front();
+  }());
+
   io::AsciiChart chart_r("throughput vs speed at d=60 m", 60, 12);
   chart_r.x_label("v (m/s)").y_label("Mb/s");
   chart_r.add(speed_med);
   chart_r.print();
   std::printf("csv: fig7_quadrocopter.csv\n");
-  return 0;
+  return report.emit() ? 0 : 1;
 }

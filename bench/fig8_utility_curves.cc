@@ -4,6 +4,7 @@
 // "d_opt does not change with smaller d0 until d0 reaches d_opt".
 #include <cstdio>
 
+#include "bench_util.h"
 #include "core/optimizer.h"
 #include "core/scenario.h"
 #include "exp/cli.h"
@@ -17,13 +18,14 @@ namespace {
 using namespace skyferry;
 
 void run_scenario(const core::Scenario& scen, const std::vector<double>& rhos,
-                  io::CsvWriter& csv) {
+                  io::CsvWriter& csv, bench::Report& report) {
   const auto model = scen.paper_throughput();
   io::AsciiChart chart("Figure 8: U(d), " + scen.name + " scenario", 70, 16);
   chart.x_label("d (m)").y_label("U(d)");
   io::Table t("maxima (" + scen.name + ")");
   t.columns({"rho_1/m", "d_opt_m", "U(d_opt)", "Cdelay(d_opt)_s", "discount"});
 
+  std::vector<double> dopts;
   for (double rho : rhos) {
     const uav::FailureModel failure(rho);
     const core::CommDelayModel delay(model, scen.delivery_params());
@@ -38,7 +40,17 @@ void run_scenario(const core::Scenario& scen, const std::vector<double>& rhos,
     chart.add(s);
     const auto r = core::optimize(u);
     t.add_row(io::format_number(rho), {r.d_opt_m, r.utility, r.cdelay_s, r.discount});
+    dopts.push_back(r.d_opt_m);
+    report.metric(scen.name + "_dopt_rho" + io::format_number(rho) + "_m", r.d_opt_m,
+                  check::Tolerance::absolute(15.0), "paper Fig.8: optimum moves out with rho");
   }
+  // The paper's headline Fig.-8 reading: d_opt never moves back inward
+  // as risk grows.
+  report.claim(scen.name + "_dopt_monotone_in_rho", [&] {
+    for (std::size_t i = 1; i < dopts.size(); ++i)
+      if (dopts[i] < dopts[i - 1] - 1e-9) return false;
+    return true;
+  }());
   chart.print();
   t.print();
 }
@@ -47,6 +59,7 @@ void run_scenario(const core::Scenario& scen, const std::vector<double>& rhos,
 
 int main(int argc, char** argv) {
   skyferry::exp::Cli cli("fig8_utility_curves");
+  skyferry::bench::Report report(cli);
   cli.parse_or_exit(argc, argv);
   cli.print_replay_header();
   io::CsvWriter csv("fig8_utility_curves.csv");
@@ -54,8 +67,8 @@ int main(int argc, char** argv) {
 
   const auto air = core::Scenario::airplane();
   const auto quad = core::Scenario::quadrocopter();
-  run_scenario(air, {air.rho_per_m, 1e-3, 2e-3, 5e-3, 1e-2}, csv);
-  run_scenario(quad, {quad.rho_per_m, 1e-3, 2e-3, 5e-3, 1e-2}, csv);
+  run_scenario(air, {air.rho_per_m, 1e-3, 2e-3, 5e-3, 1e-2}, csv, report);
+  run_scenario(quad, {quad.rho_per_m, 1e-3, 2e-3, 5e-3, 1e-2}, csv, report);
 
   // d0 sensitivity (paper Sec. 4, text after Fig. 8).
   std::printf("\nd0 sensitivity, airplane scenario at rho=2e-3:\n");
@@ -63,6 +76,7 @@ int main(int argc, char** argv) {
   t.columns({"d0_m", "d_opt_m", "transmit_now?"});
   const auto model = air.paper_throughput();
   const uav::FailureModel failure(2e-3);
+  bool flipped_to_now = false;
   for (double d0 : {300.0, 260.0, 220.0, 180.0, 140.0, 100.0, 60.0}) {
     core::DeliveryParams p = air.delivery_params();
     p.d0_m = d0;
@@ -71,7 +85,14 @@ int main(int argc, char** argv) {
     const auto r = core::optimize(u);
     t.add_row(io::format_number(d0),
               {r.d_opt_m, r.boundary == core::Boundary::kTransmitNow ? 1.0 : 0.0});
+    if (d0 == 300.0 || d0 == 260.0 || d0 == 220.0)
+      report.metric("d0sens_dopt_at_d0_" + io::format_number(d0), r.d_opt_m,
+                    check::Tolerance::absolute(15.0),
+                    "paper: d_opt barely moves while d0 > d_opt");
+    if (r.boundary == core::Boundary::kTransmitNow) flipped_to_now = true;
   }
+  report.claim("d0sens_flips_to_transmit_now", flipped_to_now,
+               "once d0 <= d_opt the optimizer transmits immediately");
   t.print();
 
   for (const char* scen_name : {"airplane", "quadrocopter"}) {
@@ -93,5 +114,5 @@ int main(int argc, char** argv) {
     gp.write(std::string("fig8_utility_") + scen_name + ".gp");
   }
   std::printf("csv: fig8_utility_curves.csv  plots: gnuplot fig8_utility_{airplane,quadrocopter}.gp\n");
-  return 0;
+  return report.emit() ? 0 : 1;
 }

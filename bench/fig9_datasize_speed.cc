@@ -5,6 +5,7 @@
 // at a lower achievable utility.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "core/optimizer.h"
 #include "core/scenario.h"
 #include "exp/cli.h"
@@ -14,6 +15,7 @@
 
 int main(int argc, char** argv) {
   skyferry::exp::Cli cli("fig9_datasize_speed");
+  skyferry::bench::Report report(cli);
   cli.parse_or_exit(argc, argv);
   cli.print_replay_header();
   using namespace skyferry;
@@ -32,7 +34,11 @@ int main(int argc, char** argv) {
   t.columns({"Mdata_MB", "v=3", "v=5", "v=10", "v=15", "v=20", "(d_opt per speed)"});
 
   const std::vector<double> speeds{3.0, 5.0, 10.0, 15.0, 20.0};
-  for (double mdata_mb : {5.0, 7.0, 10.0, 15.0, 25.0, 45.0}) {
+  const std::vector<double> mdatas{5.0, 7.0, 10.0, 15.0, 25.0, 45.0};
+  // grid[mi][vi] = d_opt, for the row/column monotonicity claims.
+  std::vector<std::vector<double>> grid;
+  std::vector<double> u_at_v10;
+  for (double mdata_mb : mdatas) {
     io::Series s{"M=" + io::format_number(mdata_mb) + "MB", {}, {}};
     std::vector<double> dopts;
     for (double v : speeds) {
@@ -46,15 +52,40 @@ int main(int argc, char** argv) {
       s.ys.push_back(r.utility);
       dopts.push_back(r.d_opt_m);
       csv.row({mdata_mb, v, r.d_opt_m, r.utility, r.cdelay_s});
+      if (v == 10.0) u_at_v10.push_back(r.utility);
     }
     chart.add(s);
     t.add_row("M=" + io::format_number(mdata_mb), dopts);
+    grid.push_back(dopts);
   }
   chart.print();
   t.print();
+
+  // Machine-checked Fig.-9 claims: all three of the paper's readings.
+  // Corner optima pin the grid's scale; the monotonicity claims pin its
+  // shape.
+  report.metric("dopt_m5_v3_m", grid.front().front(), check::Tolerance::absolute(15.0));
+  report.metric("dopt_m45_v20_m", grid.back().back(), check::Tolerance::absolute(15.0));
+  report.claim("dopt_decreases_with_speed", [&] {
+    for (const auto& row : grid)
+      for (std::size_t i = 1; i < row.size(); ++i)
+        if (row[i] > row[i - 1] + 1e-9) return false;
+    return true;
+  }(), "every row: faster UAVs move closer");
+  report.claim("dopt_decreases_with_mdata", [&] {
+    for (std::size_t vi = 0; vi < speeds.size(); ++vi)
+      for (std::size_t mi = 1; mi < grid.size(); ++mi)
+        if (grid[mi][vi] > grid[mi - 1][vi] + 1e-9) return false;
+    return true;
+  }(), "every column: bigger batches move closer");
+  report.claim("utility_falls_with_mdata_at_v10", [&] {
+    for (std::size_t i = 1; i < u_at_v10.size(); ++i)
+      if (u_at_v10[i] > u_at_v10[i - 1] + 1e-12) return false;
+    return true;
+  }(), "U(d_opt) falls 0.091 -> 0.031 from 5 to 45 MB at v=10");
   std::printf(
       "reading: rows show d_opt shrinking with speed; columns show larger\n"
       "batches pushing d_opt down while U(d_opt) (the chart's y) falls.\n"
       "csv: fig9_datasize_speed.csv\n");
-  return 0;
+  return report.emit() ? 0 : 1;
 }

@@ -1,0 +1,54 @@
+// Golden-file comparator: re-evaluates a candidate bench run (--json
+// output) against the committed golden using the golden's tolerances.
+// Exit 0 when every pinned claim holds, 1 on any failure, 2 on usage or
+// I/O errors. One line per check; failures are repeated at the end.
+//
+//   golden_check --golden golden/fig1.json --candidate /tmp/fig1.json
+//   golden_check --golden golden/fig1.json --candidate c.json --quiet
+#include <cstdio>
+#include <string>
+
+#include "check/golden.h"
+#include "exp/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace skyferry;
+  std::string golden_path;
+  std::string candidate_path;
+  int quiet = 0;
+  exp::Cli cli("golden_check");
+  cli.flag("--golden", &golden_path, "committed golden file")
+      .flag("--candidate", &candidate_path, "candidate --json output to validate")
+      .flag("--quiet", &quiet, "1 = print failures only");
+  cli.parse_or_exit(argc, argv);
+  if (golden_path.empty() || candidate_path.empty()) {
+    std::fprintf(stderr, "golden_check: --golden and --candidate are required\n%s",
+                 cli.usage().c_str());
+    return 2;
+  }
+
+  std::string error;
+  check::GoldenFile golden;
+  if (!check::GoldenFile::load(golden_path, &golden, &error)) {
+    std::fprintf(stderr, "golden_check: %s\n", error.c_str());
+    return 2;
+  }
+  check::GoldenFile candidate;
+  if (!check::GoldenFile::load(candidate_path, &candidate, &error)) {
+    std::fprintf(stderr, "golden_check: %s\n", error.c_str());
+    return 2;
+  }
+
+  const auto results = check::compare_golden(golden, candidate);
+  int failures = 0;
+  for (const auto& r : results) {
+    if (!r.ok) ++failures;
+    if (quiet == 0 || !r.ok)
+      std::printf("  [%s] %s: %s\n", r.ok ? "ok" : "FAIL", r.name.c_str(), r.message.c_str());
+  }
+  std::printf("%s: %zu checks, %d failed (%s)\n", golden.bench().c_str(), results.size(),
+              failures, golden_path.c_str());
+  if (failures > 0 && !golden.replay_command().empty())
+    std::printf("  golden was recorded by: %s\n", golden.replay_command().c_str());
+  return failures == 0 ? 0 : 1;
+}

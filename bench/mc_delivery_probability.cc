@@ -15,6 +15,7 @@
 // (<out>_stats.json) varies with the thread count.
 //
 // Usage: mc_delivery_probability [--trials N] [--seed S] [--threads T] [--out basename]
+#include <cmath>
 #include <cstdio>
 #include <string>
 
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
       .flag("--trials", &trials, "trials per row")
       .flag("--threads", &threads, "worker threads, 0 = one per hardware thread")
       .flag("--out", &out, "output basename for <out>.csv and <out>_stats.json");
+  bench::Report report(cli);
   cli.parse_or_exit(argc, argv);
   cli.print_replay_header();
   std::printf("# trials per row: %d\n", trials);
@@ -76,6 +78,17 @@ int main(int argc, char** argv) {
       t.add_row(l.name, {s.empirical_approach_survival, s.analytic_approach_survival,
                          s.empirical_delivery_probability, s.mean_delivered_fraction,
                          s.delivered_mb.median, s.completion_p90_s});
+      if (l.law == uav::FailureLaw::kExponential) {
+        // The paper's closed form as a regression test: empirical
+        // approach survival must track delta(d) within 3 binomial sigmas.
+        const double p = s.analytic_approach_survival;
+        const double sd = std::sqrt(std::max(p * (1.0 - p) / trials, 1e-12));
+        report.metric(scen.name + "_exp_surv_emp", s.empirical_approach_survival,
+                      check::Tolerance::sigmas(3.0, sd),
+                      "must track analytic delta(d_opt) = " + io::format_number(p));
+        report.claim(scen.name + "_emp_matches_analytic_3sigma",
+                     std::abs(s.empirical_approach_survival - p) <= 3.0 * sd + 1e-12);
+      }
       csv.row(scen.name + "/" + l.name,
               std::vector<double>{s.empirical_approach_survival, s.analytic_approach_survival,
                                   s.empirical_delivery_probability, s.mean_delivered_fraction,
@@ -115,6 +128,12 @@ int main(int argc, char** argv) {
     t.add_row("crashes", {static_cast<double>(s.crashes)});
     t.add_row("negotiation failures", {static_cast<double>(s.negotiation_failures)});
     t.print();
+
+    report.metric("harsh_mean_delivered_fraction", s.mean_delivered_fraction,
+                  check::Tolerance::sigmas(3.0, 0.02));
+    report.claim("harsh_partial_beats_all_or_nothing",
+                 s.mean_delivered_fraction > s.empirical_delivery_probability,
+                 "resumable ARQ turns crashes into partial deliveries");
   }
 
   std::printf("%s\n", total.summary_line().c_str());
@@ -132,5 +151,5 @@ int main(int argc, char** argv) {
       "stays well above P(full): resumable ARQ turns crashes into partial\n"
       "deliveries instead of losses. The CSV is byte-identical for any\n"
       "--threads; <out>_stats.json carries the wall-clock/speedup side.\n");
-  return 0;
+  return report.emit() ? 0 : 1;
 }

@@ -2,6 +2,7 @@
 // the uav::PlatformSpec presets the whole simulator runs on.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "io/table.h"
 #include "exp/cli.h"
 #include "uav/failure.h"
@@ -9,6 +10,7 @@
 
 int main(int argc, char** argv) {
   skyferry::exp::Cli cli("table1_platforms");
+  skyferry::bench::Report report(cli);
   cli.parse_or_exit(argc, argv);
   cli.print_replay_header();
   using namespace skyferry;
@@ -40,5 +42,22 @@ int main(int argc, char** argv) {
   std::printf(
       "note: the paper quotes rho as the inverse battery range but its values\n"
       "differ from Table 1's 1/range by ~2x; we ship both (DESIGN.md §1).\n");
-  return 0;
+
+  // Machine-checked claims: Table 1 is pure platform constants, so every
+  // value is pinned exactly.
+  report.claim("airplane_cannot_hover", !air.can_hover);
+  report.claim("quad_can_hover", quad.can_hover);
+  report.metric("airplane_range_m", air.range_m(), check::Tolerance::exact(),
+                "18 km battery range (30 min at 10 m/s)");
+  report.metric("quad_range_m", quad.range_m(), check::Tolerance::exact(),
+                "5.4 km battery range (20 min at 4.5 m/s)");
+  report.metric("airplane_cruise_mps", air.cruise_speed_mps, check::Tolerance::exact());
+  report.metric("quad_cruise_mps", quad.cruise_speed_mps, check::Tolerance::exact());
+  report.metric("airplane_ceiling_m", air.max_safe_altitude_m, check::Tolerance::exact());
+  report.metric("quad_ceiling_m", quad.max_safe_altitude_m, check::Tolerance::exact());
+  report.metric("paper_rho_airplane", uav::FailureModel::paper_airplane().rho(),
+                check::Tolerance::exact(), "paper-quoted 1.11e-4, not 1/range");
+  report.metric("paper_rho_quad", uav::FailureModel::paper_quadrocopter().rho(),
+                check::Tolerance::exact(), "paper-quoted 2.46e-4, not 1/range");
+  return report.emit() ? 0 : 1;
 }

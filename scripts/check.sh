@@ -1,15 +1,23 @@
 #!/usr/bin/env bash
-# Full verification: normal build + tests, then an ASan+UBSan build +
-# tests, then a TSan build running the concurrency-sensitive suites
-# (experiment engine, Monte-Carlo, RNG forking) to catch data races in
-# the parallel trial fan-out.
+# Full verification: normal build + the fast test tier, then an
+# ASan+UBSan build + tests, then a TSan build running the
+# concurrency-sensitive suites (experiment engine, Monte-Carlo, RNG
+# forking) to catch data races in the parallel trial fan-out.
 #
-# Usage: scripts/check.sh [--no-sanitize] [--no-tsan] [--bench]
+# Usage: scripts/check.sh [--all] [--golden] [--bench] [--no-sanitize] [--no-tsan]
 #
-# --bench (opt-in) additionally runs the benchmark-regression gate
-# (scripts/bench_regress.sh --check) when the committed
-# BENCH_link_sim.json baseline exists — benchmarks are wall-clock
-# sensitive, so they never gate by default.
+# Test tiers (ctest labels): fast (default, < ~30 s), slow
+# (integration/e2e), golden (paper-fidelity regression).
+#
+#   default    normal + sanitized builds, `ctest -L fast`
+#   --golden   additionally run the golden gate: ctest -L golden plus
+#              scripts/golden_regress.sh --check against golden/
+#   --bench    additionally run the benchmark-regression gate
+#              (scripts/bench_regress.sh --check) when the committed
+#              BENCH_link_sim.json baseline exists — benchmarks are
+#              wall-clock sensitive, so they never gate by default
+#   --all      everything: full ctest (fast+slow+golden), golden gate,
+#              bench gate
 #
 # Build trees:
 #   build/           normal (RelWithDebInfo by default via CMakeLists)
@@ -22,21 +30,40 @@ cd "$(dirname "$0")/.."
 run_sanitize=1
 run_tsan=1
 run_bench=0
+run_golden=0
+run_all=0
 for arg in "$@"; do
   case "$arg" in
     --no-sanitize) run_sanitize=0 ;;
     --no-tsan) run_tsan=0 ;;
     --bench) run_bench=1 ;;
+    --golden) run_golden=1 ;;
+    --all) run_all=1; run_bench=1; run_golden=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
+# Default tier: the fast label. --all drops the filter (fast+slow+golden).
+ctest_filter=(-L fast)
+if [[ "$run_all" == "1" ]]; then
+  ctest_filter=()
+fi
+
 echo "== normal build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
-ctest --test-dir build --output-on-failure -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs" "${ctest_filter[@]}"
+
+if [[ "$run_golden" == "1" ]]; then
+  echo "== golden paper-fidelity gate =="
+  if [[ "$run_all" != "1" ]]; then
+    # --all already ran the golden-labeled ctest tier above.
+    ctest --test-dir build --output-on-failure -j "$jobs" -L golden
+  fi
+  scripts/golden_regress.sh --check
+fi
 
 if [[ "$run_bench" == "1" ]]; then
   if [[ -f BENCH_link_sim.json ]]; then
@@ -51,7 +78,7 @@ if [[ "$run_sanitize" == "1" ]]; then
   echo "== sanitized build (ASan+UBSan) =="
   cmake -B build-sanitize -S . -DSKYFERRY_SANITIZE=ON >/dev/null
   cmake --build build-sanitize -j "$jobs"
-  ctest --test-dir build-sanitize --output-on-failure -j "$jobs"
+  ctest --test-dir build-sanitize --output-on-failure -j "$jobs" "${ctest_filter[@]}"
 fi
 
 if [[ "$run_tsan" == "1" ]]; then

@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# Golden paper-fidelity regression driver.
+#
+# Every figure/table bench emits its machine-checkable claims (metrics
+# with tolerances, orderings, sample sets, replay header) as JSON via
+# `--json <path>`. This script re-runs the benches and either refreshes
+# the committed goldens under golden/ (--update) or compares fresh
+# candidates against them with build/bench/golden_check (--check).
+#
+# Usage:
+#   scripts/golden_regress.sh --update [bench...]   regenerate golden/<bench>.json
+#   scripts/golden_regress.sh --check  [bench...]   re-run + compare, exit 1 on drift
+#
+# With no bench names, --check discovers from golden/*.json and --update
+# uses the canonical list below. Benches run in a scratch directory so
+# their CSV/gnuplot side outputs never land in the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD:-build}
+GOLDEN_DIR=golden
+
+# Canonical list: every bench with a bench::Report (micro_benchmarks is
+# wall-clock-sensitive and stays under scripts/bench_regress.sh instead).
+ALL_BENCHES=(
+  table1_platforms
+  fig1_strategy_curves
+  fig2_failure_tradeoff
+  fig4_gps_traces
+  fig5_airplane_throughput
+  fig6_mcs_vs_autorate
+  fig7_quadrocopter
+  fig8_utility_curves
+  fig9_datasize_speed
+  ablation_mixed_strategy
+  ablation_joint_speed
+  ablation_contention
+  ablation_dubins_shipping
+  ablation_failure_models
+  calibrate_channel
+  mc_delivery_probability
+)
+
+mode=""
+benches=()
+for arg in "$@"; do
+  case "$arg" in
+    --update) mode=update ;;
+    --check) mode=check ;;
+    -h|--help) sed -n '2,16p' "$0"; exit 0 ;;
+    --*) echo "unknown argument: $arg" >&2; exit 2 ;;
+    *) benches+=("$arg") ;;
+  esac
+done
+if [[ -z "$mode" ]]; then
+  echo "usage: scripts/golden_regress.sh --update|--check [bench...]" >&2
+  exit 2
+fi
+
+if [[ ${#benches[@]} -eq 0 ]]; then
+  if [[ "$mode" == "check" ]]; then
+    shopt -s nullglob
+    for g in "$GOLDEN_DIR"/*.json; do
+      benches+=("$(basename "$g" .json)")
+    done
+    shopt -u nullglob
+    if [[ ${#benches[@]} -eq 0 ]]; then
+      echo "no goldens under $GOLDEN_DIR/; run scripts/golden_regress.sh --update first" >&2
+      exit 2
+    fi
+  else
+    benches=("${ALL_BENCHES[@]}")
+  fi
+fi
+
+for b in "${benches[@]}"; do
+  if [[ ! -x "$BUILD/bench/$b" ]]; then
+    echo "missing $BUILD/bench/$b — build first: cmake --build $BUILD --target $b" >&2
+    exit 2
+  fi
+done
+if [[ "$mode" == "check" && ! -x "$BUILD/bench/golden_check" ]]; then
+  echo "missing $BUILD/bench/golden_check — build first" >&2
+  exit 2
+fi
+
+repo=$PWD
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
+mkdir -p "$GOLDEN_DIR"
+failed=()
+for b in "${benches[@]}"; do
+  if [[ "$mode" == "update" ]]; then
+    out="$repo/$GOLDEN_DIR/$b.json"
+  else
+    out="$scratch/$b.json"
+  fi
+  if ! (cd "$scratch" && "$repo/$BUILD/bench/$b" --json "$out" >"$scratch/$b.log" 2>&1); then
+    echo "[run-failed] $b (log follows)"
+    tail -20 "$scratch/$b.log"
+    failed+=("$b")
+    continue
+  fi
+  if [[ "$mode" == "update" ]]; then
+    echo "[updated] $GOLDEN_DIR/$b.json"
+  else
+    if "$repo/$BUILD/bench/golden_check" --quiet 1 \
+        --golden "$repo/$GOLDEN_DIR/$b.json" --candidate "$out"; then
+      echo "[ok] $b"
+    else
+      failed+=("$b")
+    fi
+  fi
+done
+
+if [[ ${#failed[@]} -gt 0 ]]; then
+  echo "golden regression FAILED for: ${failed[*]}" >&2
+  exit 1
+fi
+if [[ "$mode" == "update" ]]; then
+  echo "goldens refreshed (${#benches[@]} benches); review the diff and commit golden/"
+else
+  echo "golden regression passed (${#benches[@]} benches)"
+fi

@@ -1,0 +1,255 @@
+#include "check/golden.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "io/json.h"
+
+namespace skyferry::check {
+
+void GoldenFile::add_metric(std::string name, double value, Tolerance tol, std::string note) {
+  metrics_.push_back({std::move(name), value, tol, std::move(note)});
+}
+
+void GoldenFile::add_ordering(std::string name, std::vector<std::string> ranked,
+                              std::string note) {
+  orderings_.push_back({std::move(name), std::move(ranked), std::move(note)});
+}
+
+void GoldenFile::add_samples(std::string name, std::vector<double> values, double ks_alpha,
+                             std::string note) {
+  samples_.push_back({std::move(name), std::move(values), ks_alpha, std::move(note)});
+}
+
+const GoldenMetric* GoldenFile::find_metric(std::string_view name) const noexcept {
+  for (const auto& m : metrics_)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+const GoldenOrdering* GoldenFile::find_ordering(std::string_view name) const noexcept {
+  for (const auto& o : orderings_)
+    if (o.name == name) return &o;
+  return nullptr;
+}
+
+const GoldenSamples* GoldenFile::find_samples(std::string_view name) const noexcept {
+  for (const auto& s : samples_)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+io::Json GoldenFile::to_json() const {
+  io::Json j = io::Json::object();
+  j.set("schema", schema_);
+  j.set("bench", bench_);
+
+  io::Json replay = io::Json::object();
+  replay.set("command", replay_command_);
+  io::Json flags = io::Json::object();
+  for (const auto& [k, v] : replay_flags_) flags.set(k, v);
+  replay.set("flags", std::move(flags));
+  j.set("replay", std::move(replay));
+
+  io::Json metrics = io::Json::object();
+  for (const auto& m : metrics_) {
+    io::Json mj = io::Json::object();
+    mj.set("value", m.value);
+    if (m.tol.abs != 0.0) mj.set("abs", m.tol.abs);
+    if (m.tol.rel != 0.0) mj.set("rel", m.tol.rel);
+    if (m.tol.sigma != 0.0) {
+      mj.set("sigma", m.tol.sigma);
+      mj.set("sd", m.tol.sd);
+    }
+    if (!m.note.empty()) mj.set("note", m.note);
+    metrics.set(m.name, std::move(mj));
+  }
+  j.set("metrics", std::move(metrics));
+
+  io::Json orderings = io::Json::object();
+  for (const auto& o : orderings_) {
+    io::Json oj = io::Json::object();
+    io::Json ranked = io::Json::array();
+    for (const auto& r : o.ranked) ranked.push_back(r);
+    oj.set("ranked", std::move(ranked));
+    if (!o.note.empty()) oj.set("note", o.note);
+    orderings.set(o.name, std::move(oj));
+  }
+  j.set("orderings", std::move(orderings));
+
+  io::Json samples = io::Json::object();
+  for (const auto& s : samples_) {
+    io::Json sj = io::Json::object();
+    io::Json values = io::Json::array();
+    for (const double v : s.values) values.push_back(v);
+    sj.set("values", std::move(values));
+    sj.set("ks_alpha", s.ks_alpha);
+    if (!s.note.empty()) sj.set("note", s.note);
+    samples.set(s.name, std::move(sj));
+  }
+  j.set("samples", std::move(samples));
+  return j;
+}
+
+bool GoldenFile::from_json(const io::Json& j, GoldenFile* out, std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  if (!j.is_object()) return fail("golden: top level must be an object");
+  const io::Json* schema = j.find("schema");
+  if (!schema || !schema->is_number()) return fail("golden: missing numeric 'schema'");
+  const int version = static_cast<int>(schema->as_number());
+  if (version > kSchemaVersion)
+    return fail("golden: schema " + std::to_string(version) + " is newer than supported " +
+                std::to_string(kSchemaVersion));
+  GoldenFile g;
+  g.schema_ = version;
+  if (const io::Json* bench = j.find("bench"); bench && bench->is_string())
+    g.bench_ = bench->as_string();
+  if (const io::Json* replay = j.find("replay"); replay && replay->is_object()) {
+    if (const io::Json* cmd = replay->find("command"); cmd && cmd->is_string())
+      g.replay_command_ = cmd->as_string();
+    if (const io::Json* flags = replay->find("flags"); flags && flags->is_object()) {
+      for (const auto& [k, v] : flags->members())
+        g.replay_flags_.emplace_back(k, v.as_string());
+    }
+  }
+  if (const io::Json* metrics = j.find("metrics"); metrics && metrics->is_object()) {
+    for (const auto& [name, mj] : metrics->members()) {
+      if (!mj.is_object()) return fail("golden: metric '" + name + "' must be an object");
+      const io::Json* value = mj.find("value");
+      if (!value || !value->is_number())
+        return fail("golden: metric '" + name + "' missing numeric 'value'");
+      GoldenMetric m;
+      m.name = name;
+      m.value = value->as_number();
+      if (const io::Json* t = mj.find("abs")) m.tol.abs = t->as_number();
+      if (const io::Json* t = mj.find("rel")) m.tol.rel = t->as_number();
+      if (const io::Json* t = mj.find("sigma")) m.tol.sigma = t->as_number();
+      if (const io::Json* t = mj.find("sd")) m.tol.sd = t->as_number();
+      if (const io::Json* n = mj.find("note"); n && n->is_string()) m.note = n->as_string();
+      g.metrics_.push_back(std::move(m));
+    }
+  }
+  if (const io::Json* orderings = j.find("orderings"); orderings && orderings->is_object()) {
+    for (const auto& [name, oj] : orderings->members()) {
+      const io::Json* ranked = oj.is_object() ? oj.find("ranked") : nullptr;
+      if (!ranked || !ranked->is_array())
+        return fail("golden: ordering '" + name + "' missing 'ranked' array");
+      GoldenOrdering o;
+      o.name = name;
+      for (const auto& r : ranked->items()) o.ranked.push_back(r.as_string());
+      if (const io::Json* n = oj.find("note"); n && n->is_string()) o.note = n->as_string();
+      g.orderings_.push_back(std::move(o));
+    }
+  }
+  if (const io::Json* samples = j.find("samples"); samples && samples->is_object()) {
+    for (const auto& [name, sj] : samples->members()) {
+      const io::Json* values = sj.is_object() ? sj.find("values") : nullptr;
+      if (!values || !values->is_array())
+        return fail("golden: samples '" + name + "' missing 'values' array");
+      GoldenSamples s;
+      s.name = name;
+      for (const auto& v : values->items()) s.values.push_back(v.as_number());
+      if (const io::Json* a = sj.find("ks_alpha"); a && a->is_number())
+        s.ks_alpha = a->as_number();
+      if (const io::Json* n = sj.find("note"); n && n->is_string()) s.note = n->as_string();
+      g.samples_.push_back(std::move(s));
+    }
+  }
+  *out = std::move(g);
+  return true;
+}
+
+bool GoldenFile::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << to_json().dump(2);
+  return static_cast<bool>(out);
+}
+
+bool GoldenFile::load(const std::string& path, GoldenFile* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string parse_error;
+  const auto j = io::Json::parse(buf.str(), &parse_error);
+  if (!j) {
+    if (error) *error = path + ": " + parse_error;
+    return false;
+  }
+  if (!from_json(*j, out, error)) {
+    if (error) *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+std::vector<CheckResult> compare_golden(const GoldenFile& golden, const GoldenFile& candidate) {
+  std::vector<CheckResult> results;
+  if (golden.schema() != candidate.schema()) {
+    results.push_back({false, "schema",
+                       "schema mismatch: golden " + std::to_string(golden.schema()) +
+                           " vs candidate " + std::to_string(candidate.schema())});
+  }
+  if (!golden.bench().empty() && golden.bench() != candidate.bench()) {
+    results.push_back({false, "bench",
+                       "bench mismatch: golden '" + golden.bench() + "' vs candidate '" +
+                           candidate.bench() + "'"});
+  }
+
+  for (const auto& m : golden.metrics()) {
+    const GoldenMetric* c = candidate.find_metric(m.name);
+    if (!c) {
+      results.push_back({false, m.name, "metric missing from candidate run"});
+      continue;
+    }
+    CheckResult r = Expect(m.name, m.value, m.tol).check(c->value);
+    if (!m.note.empty()) r.message += " [" + m.note + "]";
+    results.push_back(std::move(r));
+  }
+  for (const auto& o : golden.orderings()) {
+    const GoldenOrdering* c = candidate.find_ordering(o.name);
+    if (!c) {
+      results.push_back({false, o.name, "ordering missing from candidate run"});
+      continue;
+    }
+    CheckResult r = OrderingExpect(o.name, o.ranked).check_ranked(c->ranked);
+    if (!o.note.empty()) r.message += " [" + o.note + "]";
+    results.push_back(std::move(r));
+  }
+  for (const auto& s : golden.samples()) {
+    const GoldenSamples* c = candidate.find_samples(s.name);
+    if (!c) {
+      results.push_back({false, s.name, "samples missing from candidate run"});
+      continue;
+    }
+    results.push_back(DistributionExpect(s.name, s.values).ks(c->values, s.ks_alpha));
+  }
+
+  // Entries the candidate has but the golden does not: the golden is
+  // stale — a new claim was added without re-pinning.
+  for (const auto& m : candidate.metrics()) {
+    if (!golden.find_metric(m.name))
+      results.push_back(
+          {false, m.name, "metric absent from golden (rerun golden_regress.sh --update)"});
+  }
+  for (const auto& o : candidate.orderings()) {
+    if (!golden.find_ordering(o.name))
+      results.push_back(
+          {false, o.name, "ordering absent from golden (rerun golden_regress.sh --update)"});
+  }
+  for (const auto& s : candidate.samples()) {
+    if (!golden.find_samples(s.name))
+      results.push_back(
+          {false, s.name, "samples absent from golden (rerun golden_regress.sh --update)"});
+  }
+  return results;
+}
+
+}  // namespace skyferry::check

@@ -1,0 +1,118 @@
+// GoldenFile: the committed, machine-checkable record of what a bench
+// reproduces — scalar metrics with their noise tolerances, pinned
+// orderings, and reference sample sets — plus the replay header (exact
+// seed/threads/flags) that produced it. `compare_golden` re-evaluates a
+// candidate run against the committed file using the *golden's*
+// tolerances, so every paper-shape claim in EXPERIMENTS.md is an
+// enforced invariant instead of prose.
+//
+// Schema (versioned, JSON):
+//   {
+//     "schema": 1,
+//     "bench": "fig1_strategy_curves",
+//     "replay": {"command": "fig1_strategy_curves --seed 42", "flags": {...}},
+//     "metrics":   {"name": {"value": 18.2, "rel": 0.1, "note": "..."}},
+//     "orderings": {"name": {"ranked": ["d=40", "d=60"], "note": "..."}},
+//     "samples":   {"name": {"values": [...], "ks_alpha": 0.001}}
+//   }
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "check/expect.h"
+
+namespace skyferry::io {
+class Json;
+}  // namespace skyferry::io
+
+namespace skyferry::check {
+
+struct GoldenMetric {
+  std::string name;
+  double value{0.0};
+  Tolerance tol;
+  std::string note;
+};
+
+struct GoldenOrdering {
+  std::string name;
+  std::vector<std::string> ranked;
+  std::string note;
+};
+
+struct GoldenSamples {
+  std::string name;
+  std::vector<double> values;
+  double ks_alpha{1e-3};  ///< significance for the KS comparison
+  std::string note;
+};
+
+class GoldenFile {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  GoldenFile() = default;
+  explicit GoldenFile(std::string bench) : bench_(std::move(bench)) {}
+
+  // ---- building -------------------------------------------------------------
+  void set_replay(std::string command,
+                  std::vector<std::pair<std::string, std::string>> flags) {
+    replay_command_ = std::move(command);
+    replay_flags_ = std::move(flags);
+  }
+  void add_metric(std::string name, double value, Tolerance tol = {}, std::string note = {});
+  void add_ordering(std::string name, std::vector<std::string> ranked, std::string note = {});
+  void add_samples(std::string name, std::vector<double> values, double ks_alpha = 1e-3,
+                   std::string note = {});
+
+  // ---- access ---------------------------------------------------------------
+  [[nodiscard]] int schema() const noexcept { return schema_; }
+  [[nodiscard]] const std::string& bench() const noexcept { return bench_; }
+  [[nodiscard]] const std::string& replay_command() const noexcept { return replay_command_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& replay_flags()
+      const noexcept {
+    return replay_flags_;
+  }
+  [[nodiscard]] const std::vector<GoldenMetric>& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] const std::vector<GoldenOrdering>& orderings() const noexcept {
+    return orderings_;
+  }
+  [[nodiscard]] const std::vector<GoldenSamples>& samples() const noexcept { return samples_; }
+
+  [[nodiscard]] const GoldenMetric* find_metric(std::string_view name) const noexcept;
+  [[nodiscard]] const GoldenOrdering* find_ordering(std::string_view name) const noexcept;
+  [[nodiscard]] const GoldenSamples* find_samples(std::string_view name) const noexcept;
+
+  // ---- (de)serialization ----------------------------------------------------
+  [[nodiscard]] io::Json to_json() const;
+  /// Parse; on failure returns false and sets `error`. A schema version
+  /// newer than kSchemaVersion is an error (older readers must not
+  /// silently misread newer files).
+  [[nodiscard]] static bool from_json(const io::Json& j, GoldenFile* out, std::string* error);
+
+  /// File I/O convenience (pretty-printed, trailing newline).
+  [[nodiscard]] bool save(const std::string& path) const;
+  [[nodiscard]] static bool load(const std::string& path, GoldenFile* out, std::string* error);
+
+ private:
+  int schema_{kSchemaVersion};
+  std::string bench_;
+  std::string replay_command_;
+  std::vector<std::pair<std::string, std::string>> replay_flags_;
+  std::vector<GoldenMetric> metrics_;
+  std::vector<GoldenOrdering> orderings_;
+  std::vector<GoldenSamples> samples_;
+};
+
+/// Compare a candidate run against the committed golden, metric by
+/// metric, using the golden's tolerances. Produces one CheckResult per
+/// golden entry, plus failures for entries missing on either side (a
+/// candidate metric absent from the golden means the golden is stale —
+/// rerun scripts/golden_regress.sh --update).
+[[nodiscard]] std::vector<CheckResult> compare_golden(const GoldenFile& golden,
+                                                      const GoldenFile& candidate);
+
+}  // namespace skyferry::check

@@ -121,15 +121,26 @@ std::string Cli::value_string(const Flag& f) const {
   return {};
 }
 
-void Cli::print_replay_header() const {
-  std::string line = "# " + bench_;
+std::string Cli::replay_command() const {
   std::string replay = bench_;
   for (const auto& f : flags_) {
     const std::string v = value_string(f);
-    line += "  " + f.name.substr(2) + "=" + v;
     replay += " " + f.name + " " + (v.empty() ? "''" : v);
   }
-  std::printf("%s  (replay: %s)\n", line.c_str(), replay.c_str());
+  return replay;
+}
+
+std::vector<std::pair<std::string, std::string>> Cli::flag_values() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(flags_.size());
+  for (const auto& f : flags_) out.emplace_back(f.name.substr(2), value_string(f));
+  return out;
+}
+
+void Cli::print_replay_header() const {
+  std::string line = "# " + bench_;
+  for (const auto& [name, v] : flag_values()) line += "  " + name + "=" + v;
+  std::printf("%s  (replay: %s)\n", line.c_str(), replay_command().c_str());
 }
 
 std::string Cli::usage() const {

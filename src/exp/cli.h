@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace skyferry::exp {
@@ -44,6 +45,15 @@ class Cli {
   /// "# bench seed=1 trials=2000 (replay: bench --seed 1 --trials 2000)"
   /// printed to stdout — every registered flag, current values.
   void print_replay_header() const;
+
+  /// The exact argv that reproduces the run: "bench --seed 1 --trials
+  /// 2000" — what the replay header prints and what --json outputs embed
+  /// so a golden file records the seed/threads/config that produced it.
+  [[nodiscard]] std::string replay_command() const;
+
+  /// Every registered flag's current value as (name-without-dashes,
+  /// value) pairs in registration order.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> flag_values() const;
 
   [[nodiscard]] std::string usage() const;
   [[nodiscard]] const std::string& bench() const noexcept { return bench_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "sim/rng.h"
 #include "stats/descriptive.h"
@@ -9,7 +10,13 @@
 
 namespace skyferry::stats {
 
-Ecdf::Ecdf(std::span<const double> xs) : sorted_(xs.begin(), xs.end()) {
+Ecdf::Ecdf(std::span<const double> xs) {
+  // Non-finite samples would break the sorted invariant upper_bound
+  // relies on (NaN compares unordered); the ECDF is over finite draws.
+  sorted_.reserve(xs.size());
+  for (double x : xs) {
+    if (std::isfinite(x)) sorted_.push_back(x);
+  }
   std::sort(sorted_.begin(), sorted_.end());
 }
 
@@ -20,6 +27,7 @@ double Ecdf::operator()(double x) const noexcept {
 }
 
 double Ecdf::quantile(double q) const noexcept {
+  if (std::isnan(q)) return std::numeric_limits<double>::quiet_NaN();
   if (sorted_.empty()) return 0.0;
   const double qc = std::clamp(q, 0.0, 1.0);
   const auto idx = static_cast<std::size_t>(

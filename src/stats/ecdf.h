@@ -10,6 +10,8 @@
 namespace skyferry::stats {
 
 /// Empirical cumulative distribution function over a sample.
+/// Non-finite inputs are dropped at construction (`size()` counts the
+/// kept samples).
 class Ecdf {
  public:
   explicit Ecdf(std::span<const double> xs);
@@ -17,7 +19,8 @@ class Ecdf {
   /// F(x) = fraction of samples <= x.
   [[nodiscard]] double operator()(double x) const noexcept;
 
-  /// Generalized inverse: smallest sample x with F(x) >= q, q in (0,1].
+  /// Generalized inverse: smallest sample x with F(x) >= q, q in (0,1]
+  /// (clamped; q=0 returns the minimum, NaN q returns NaN).
   [[nodiscard]] double quantile(double q) const noexcept;
 
   [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }

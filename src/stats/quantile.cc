@@ -2,13 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace skyferry::stats {
 
 double quantile_sorted(std::span<const double> xs, double q) noexcept {
+  // A NaN q would flow through clamp/floor into an undefined
+  // float->size_t cast; reject it explicitly instead.
+  if (std::isnan(q)) return std::numeric_limits<double>::quiet_NaN();
   if (xs.empty()) return 0.0;
   if (xs.size() == 1) return xs[0];
   const double qc = std::clamp(q, 0.0, 1.0);
+  // The boundaries must be exact, not interpolated: q=0 is the sample
+  // minimum and q=1 the maximum even when qc*(n-1) rounds badly.
+  if (qc == 0.0) return xs.front();
+  if (qc == 1.0) return xs.back();
   const double h = qc * static_cast<double>(xs.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(h));
   const auto hi = std::min(lo + 1, xs.size() - 1);
@@ -17,7 +25,13 @@ double quantile_sorted(std::span<const double> xs, double q) noexcept {
 }
 
 double quantile(std::span<const double> xs, double q) {
-  std::vector<double> sorted(xs.begin(), xs.end());
+  // Non-finite samples break the sort invariant (NaN comparisons are
+  // unordered) and poison every interpolated value; drop them.
+  std::vector<double> sorted;
+  sorted.reserve(xs.size());
+  for (double x : xs) {
+    if (std::isfinite(x)) sorted.push_back(x);
+  }
   std::sort(sorted.begin(), sorted.end());
   return quantile_sorted(sorted, q);
 }
@@ -26,11 +40,14 @@ double median(std::span<const double> xs) { return quantile(xs, 0.5); }
 
 BoxplotSummary boxplot(std::span<const double> xs) {
   BoxplotSummary b;
-  b.n = xs.size();
-  if (xs.empty()) return b;
-
-  std::vector<double> sorted(xs.begin(), xs.end());
+  std::vector<double> sorted;
+  sorted.reserve(xs.size());
+  for (double x : xs) {
+    if (std::isfinite(x)) sorted.push_back(x);
+  }
   std::sort(sorted.begin(), sorted.end());
+  b.n = sorted.size();
+  if (sorted.empty()) return b;
 
   b.min = sorted.front();
   b.max = sorted.back();

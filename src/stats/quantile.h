@@ -9,8 +9,10 @@
 namespace skyferry::stats {
 
 /// Linear-interpolation quantile (type-7, the default of R/NumPy/Matlab).
-/// `q` in [0,1]. Returns 0 for an empty sample. Does not require `xs`
-/// to be sorted (copies internally); use quantile_sorted to avoid the copy.
+/// `q` in [0,1] (clamped; NaN q returns NaN). Returns 0 for an empty
+/// sample; q=0/q=1 return the exact min/max. Non-finite samples are
+/// dropped. Does not require `xs` to be sorted (copies internally); use
+/// quantile_sorted to avoid the copy.
 [[nodiscard]] double quantile(std::span<const double> xs, double q);
 
 /// Same, but `xs` must already be ascending.
@@ -20,7 +22,7 @@ namespace skyferry::stats {
 
 /// Matplotlib/Tukey-style boxplot statistics: quartiles, whiskers at the
 /// most extreme data points within 1.5*IQR of the box, and the outliers
-/// beyond them.
+/// beyond them. Non-finite samples are dropped (`n` counts the kept ones).
 struct BoxplotSummary {
   std::size_t n{0};
   double min{0.0};

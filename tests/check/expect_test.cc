@@ -1,0 +1,178 @@
+#include "check/expect.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace skyferry::check {
+namespace {
+
+TEST(Tolerance, MarginIsMaxOfComponents) {
+  Tolerance t;
+  t.abs = 0.5;
+  t.rel = 0.1;
+  t.sigma = 2.0;
+  t.sd = 0.4;
+  EXPECT_DOUBLE_EQ(t.margin(100.0), 10.0);  // rel dominates
+  EXPECT_DOUBLE_EQ(t.margin(1.0), 0.8);     // sigma*sd dominates
+  EXPECT_DOUBLE_EQ(t.margin(0.0), 0.8);
+  EXPECT_DOUBLE_EQ(Tolerance::absolute(0.25).margin(1e9), 0.25);
+}
+
+TEST(Tolerance, ExactDetection) {
+  EXPECT_TRUE(Tolerance::exact().is_exact());
+  EXPECT_FALSE(Tolerance::absolute(0.1).is_exact());
+  EXPECT_FALSE(Tolerance::relative(0.1).is_exact());
+  EXPECT_FALSE(Tolerance::sigmas(3.0, 0.2).is_exact());
+  EXPECT_TRUE(Tolerance::sigmas(3.0, 0.0).is_exact());  // zero noise scale
+}
+
+TEST(Expect, ExactPassAndFail) {
+  const Expect e("flag", 1.0, Tolerance::exact());
+  EXPECT_TRUE(e.check(1.0).ok);
+  const auto r = e.check(0.0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.name, "flag");
+  EXPECT_NE(r.message.find("exact"), std::string::npos);
+}
+
+TEST(Expect, RelativeTolerance) {
+  const Expect e("delay", 18.2, Tolerance::relative(0.10));
+  EXPECT_TRUE(e.check(18.2).ok);
+  EXPECT_TRUE(e.check(19.9).ok);
+  EXPECT_FALSE(e.check(20.1).ok);
+  EXPECT_FALSE(e.check(16.0).ok);
+}
+
+TEST(Expect, SigmaTolerance) {
+  // Binomial-style: p=0.73 over n=1000 trials, 3 sigma.
+  const double sd = std::sqrt(0.73 * 0.27 / 1000.0);
+  const Expect e("p_deliver", 0.73, Tolerance::sigmas(3.0, sd));
+  EXPECT_TRUE(e.check(0.73 + 2.9 * sd).ok);
+  EXPECT_FALSE(e.check(0.73 + 3.1 * sd).ok);
+}
+
+TEST(Expect, NonFiniteActualFails) {
+  const Expect e("x", 1.0, Tolerance::relative(0.5));
+  EXPECT_FALSE(e.check(std::nan("")).ok);
+  EXPECT_FALSE(e.check(INFINITY).ok);
+}
+
+TEST(OrderingExpect, RanksAscendingByDefault) {
+  const OrderingExpect o("strategies", {"ship", "mixed", "now"});
+  EXPECT_TRUE(o.check({{"now", 24.2}, {"ship", 18.2}, {"mixed", 20.0}}).ok);
+  const auto r = o.check({{"now", 10.0}, {"ship", 18.2}, {"mixed", 20.0}});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("order flipped"), std::string::npos);
+  EXPECT_NE(r.message.find("expected [ship < mixed < now]"), std::string::npos);
+}
+
+TEST(OrderingExpect, DescendingMode) {
+  const OrderingExpect o("ev", {"d20", "d60", "d100"});
+  EXPECT_TRUE(o.check({{"d100", 0.0072}, {"d20", 0.0154}, {"d60", 0.0146}}, false).ok);
+}
+
+TEST(OrderingExpect, CheckRanked) {
+  const OrderingExpect o("rank", {"a", "b"});
+  EXPECT_TRUE(o.check_ranked({"a", "b"}).ok);
+  EXPECT_FALSE(o.check_ranked({"b", "a"}).ok);
+  EXPECT_FALSE(o.check_ranked({"a"}).ok);
+}
+
+TEST(CurveExpect, Monotone) {
+  const CurveExpect up("u", {1, 2, 3, 4}, {1.0, 2.0, 2.0, 5.0});
+  EXPECT_TRUE(up.monotone(CurveExpect::Direction::kIncreasing).ok);
+  EXPECT_FALSE(up.monotone(CurveExpect::Direction::kDecreasing).ok);
+
+  const CurveExpect noisy("n", {1, 2, 3}, {1.0, 0.95, 2.0});
+  EXPECT_FALSE(noisy.monotone(CurveExpect::Direction::kIncreasing).ok);
+  EXPECT_TRUE(noisy.monotone(CurveExpect::Direction::kIncreasing, 0.1).ok);
+}
+
+TEST(CurveExpect, ArgminWindow) {
+  // Fig.1 shape: completion time minimized at d=40, window {40, 60}.
+  const CurveExpect c("total", {20, 40, 60, 80, 100}, {21.0, 18.2, 18.9, 20.5, 24.0});
+  EXPECT_TRUE(c.argmin_in(40.0, 60.0).ok);
+  EXPECT_FALSE(c.argmin_in(60.0, 100.0).ok);
+  EXPECT_TRUE(c.argmax_in(90.0, 100.0).ok);
+}
+
+TEST(CurveExpect, CrossoverInterpolates) {
+  const CurveExpect a("a", {0, 10, 20}, {0.0, 10.0, 20.0});
+  const CurveExpect b("b", {0, 10, 20}, {12.0, 12.0, 12.0});
+  // a - b changes sign between x=10 and x=20, crossing at x=12.
+  EXPECT_TRUE(a.crossover_in(b, 11.0, 13.0).ok);
+  EXPECT_FALSE(a.crossover_in(b, 0.0, 11.0).ok);
+  const CurveExpect c("c", {0, 10, 20}, {100.0, 100.0, 100.0});
+  EXPECT_FALSE(a.crossover_in(c, 0.0, 20.0).ok);  // never cross
+}
+
+TEST(CurveExpect, MismatchedGridsFail) {
+  const CurveExpect a("a", {0, 1}, {0.0, 1.0});
+  const CurveExpect b("b", {0, 2}, {1.0, 0.0});
+  EXPECT_FALSE(a.crossover_in(b, 0.0, 2.0).ok);
+  EXPECT_FALSE(CurveExpect("e", {}, {}).argmin_in(0.0, 1.0).ok);
+  EXPECT_FALSE(CurveExpect("one", {0}, {1.0}).monotone(CurveExpect::Direction::kIncreasing).ok);
+}
+
+std::vector<double> normal_draws(std::uint64_t seed, int n, double mean, double sd) {
+  sim::Rng rng(seed);
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) v.push_back(rng.gaussian(mean, sd));
+  return v;
+}
+
+TEST(DistributionExpect, KsAcceptsSameDistribution) {
+  const DistributionExpect d("thr", normal_draws(1, 800, 10.0, 2.0));
+  const auto same = normal_draws(2, 400, 10.0, 2.0);
+  EXPECT_TRUE(d.ks(same).ok);
+}
+
+TEST(DistributionExpect, KsRejectsShiftedDistribution) {
+  const DistributionExpect d("thr", normal_draws(1, 800, 10.0, 2.0));
+  const auto shifted = normal_draws(2, 400, 13.0, 2.0);
+  EXPECT_FALSE(d.ks(shifted).ok);
+}
+
+TEST(DistributionExpect, ChiSquareAcceptsAndRejects) {
+  const DistributionExpect d("thr", normal_draws(1, 2000, 10.0, 2.0));
+  EXPECT_TRUE(d.chi_square(normal_draws(2, 1000, 10.0, 2.0)).ok);
+  EXPECT_FALSE(d.chi_square(normal_draws(2, 1000, 14.0, 2.0)).ok);
+  EXPECT_FALSE(d.chi_square(normal_draws(2, 1000, 10.0, 2.0), 1).ok);  // < 2 bins
+}
+
+TEST(DistributionExpect, EmptyInputsFail) {
+  const DistributionExpect d("thr", {});
+  EXPECT_FALSE(d.ks(std::vector<double>{1.0}).ok);
+  const DistributionExpect e("thr", {1.0, 2.0});
+  EXPECT_FALSE(e.ks(std::vector<double>{}).ok);
+}
+
+TEST(StatHelpers, NormalQuantile) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.001), -3.090232, 1e-5);
+  EXPECT_TRUE(std::isnan(normal_quantile(0.0)));
+  EXPECT_TRUE(std::isnan(normal_quantile(1.0)));
+}
+
+TEST(StatHelpers, ChiSquareCritical) {
+  // Reference values: chi2inv(0.95, k).
+  EXPECT_NEAR(chi_square_critical(0.05, 7), 14.067, 0.15);
+  EXPECT_NEAR(chi_square_critical(0.01, 10), 23.209, 0.25);
+  EXPECT_TRUE(std::isnan(chi_square_critical(0.05, 0)));
+}
+
+TEST(StatHelpers, KsCritical) {
+  // c(0.05) = 1.358 -> D_crit for n=m=100 is 1.358*sqrt(2/100).
+  EXPECT_NEAR(ks_critical(0.05, 100, 100), 1.358 * std::sqrt(0.02), 1e-3);
+  EXPECT_TRUE(std::isnan(ks_critical(0.05, 0, 10)));
+}
+
+}  // namespace
+}  // namespace skyferry::check

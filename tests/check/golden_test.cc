@@ -1,0 +1,160 @@
+#include "check/golden.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/json.h"
+
+namespace skyferry::check {
+namespace {
+
+GoldenFile sample_golden() {
+  GoldenFile g("fig1_strategy_curves");
+  g.set_replay("fig1_strategy_curves --seed 42", {{"seed", "42"}});
+  g.add_metric("total_d40_s", 18.2, Tolerance::relative(0.10), "paper Fig.1");
+  g.add_metric("now_slowest", 1.0, Tolerance::exact());
+  g.add_ordering("hover_totals", {"ship", "mixed", "now"}, "ascending total");
+  g.add_samples("mbps_d60", {8.0, 9.0, 10.0, 11.0}, 1e-3);
+  return g;
+}
+
+TEST(GoldenFile, JsonRoundTrip) {
+  const GoldenFile g = sample_golden();
+  GoldenFile back;
+  std::string error;
+  ASSERT_TRUE(GoldenFile::from_json(g.to_json(), &back, &error)) << error;
+  EXPECT_EQ(back.schema(), GoldenFile::kSchemaVersion);
+  EXPECT_EQ(back.bench(), "fig1_strategy_curves");
+  EXPECT_EQ(back.replay_command(), "fig1_strategy_curves --seed 42");
+  ASSERT_EQ(back.replay_flags().size(), 1u);
+  EXPECT_EQ(back.replay_flags()[0].first, "seed");
+
+  const GoldenMetric* m = back.find_metric("total_d40_s");
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->value, 18.2);
+  EXPECT_DOUBLE_EQ(m->tol.rel, 0.10);
+  EXPECT_EQ(m->note, "paper Fig.1");
+
+  const GoldenMetric* exact = back.find_metric("now_slowest");
+  ASSERT_NE(exact, nullptr);
+  EXPECT_TRUE(exact->tol.is_exact());
+
+  const GoldenOrdering* o = back.find_ordering("hover_totals");
+  ASSERT_NE(o, nullptr);
+  EXPECT_EQ(o->ranked, (std::vector<std::string>{"ship", "mixed", "now"}));
+
+  const GoldenSamples* s = back.find_samples("mbps_d60");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->values.size(), 4u);
+  EXPECT_DOUBLE_EQ(s->ks_alpha, 1e-3);
+}
+
+TEST(GoldenFile, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/skyferry_golden_test.json";
+  ASSERT_TRUE(sample_golden().save(path));
+  GoldenFile back;
+  std::string error;
+  ASSERT_TRUE(GoldenFile::load(path, &back, &error)) << error;
+  EXPECT_EQ(back.bench(), "fig1_strategy_curves");
+  EXPECT_EQ(back.metrics().size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(GoldenFile, LoadReportsMissingFile) {
+  GoldenFile g;
+  std::string error;
+  EXPECT_FALSE(GoldenFile::load("/nonexistent/golden.json", &g, &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(GoldenFile, RejectsNewerSchema) {
+  io::Json j = sample_golden().to_json();
+  j.set("schema", GoldenFile::kSchemaVersion + 1);
+  GoldenFile g;
+  std::string error;
+  EXPECT_FALSE(GoldenFile::from_json(j, &g, &error));
+  EXPECT_NE(error.find("newer"), std::string::npos);
+}
+
+TEST(GoldenFile, RejectsMalformedEntries) {
+  GoldenFile g;
+  std::string error;
+  const auto no_schema = io::Json::parse(R"({"bench":"x"})");
+  ASSERT_TRUE(no_schema.has_value());
+  EXPECT_FALSE(GoldenFile::from_json(*no_schema, &g, &error));
+
+  const auto bad_metric = io::Json::parse(R"({"schema":1,"metrics":{"m":{"rel":0.1}}})");
+  ASSERT_TRUE(bad_metric.has_value());
+  EXPECT_FALSE(GoldenFile::from_json(*bad_metric, &g, &error));
+  EXPECT_NE(error.find("'m'"), std::string::npos);
+
+  EXPECT_FALSE(GoldenFile::from_json(io::Json(3.0), &g, &error));
+}
+
+int count_failures(const std::vector<CheckResult>& results) {
+  int n = 0;
+  for (const auto& r : results)
+    if (!r.ok) ++n;
+  return n;
+}
+
+TEST(CompareGolden, IdenticalRunPasses) {
+  const GoldenFile g = sample_golden();
+  const auto results = compare_golden(g, g);
+  EXPECT_EQ(count_failures(results), 0) << [&] {
+    std::string all;
+    for (const auto& r : results)
+      if (!r.ok) all += r.name + ": " + r.message + "\n";
+    return all;
+  }();
+}
+
+TEST(CompareGolden, UsesGoldenTolerances) {
+  const GoldenFile g = sample_golden();
+  GoldenFile candidate("fig1_strategy_curves");
+  candidate.add_metric("total_d40_s", 19.5);  // within 10% of 18.2
+  candidate.add_metric("now_slowest", 1.0);
+  candidate.add_ordering("hover_totals", {"ship", "mixed", "now"});
+  candidate.add_samples("mbps_d60", {8.0, 9.0, 10.0, 11.0});
+  EXPECT_EQ(count_failures(compare_golden(g, candidate)), 0);
+
+  GoldenFile out_of_tol("fig1_strategy_curves");
+  out_of_tol.add_metric("total_d40_s", 25.0);  // > 10% off
+  out_of_tol.add_metric("now_slowest", 0.0);   // exact claim flipped
+  out_of_tol.add_ordering("hover_totals", {"now", "mixed", "ship"});
+  out_of_tol.add_samples("mbps_d60", {8.0, 9.0, 10.0, 11.0});
+  EXPECT_EQ(count_failures(compare_golden(g, out_of_tol)), 3);
+}
+
+TEST(CompareGolden, MissingAndStaleEntriesFail) {
+  const GoldenFile g = sample_golden();
+  GoldenFile candidate("fig1_strategy_curves");
+  candidate.add_metric("total_d40_s", 18.2);
+  candidate.add_metric("brand_new_metric", 1.0);  // not pinned in golden
+  const auto results = compare_golden(g, candidate);
+  // Missing: now_slowest, hover_totals, mbps_d60. Stale: brand_new_metric.
+  EXPECT_EQ(count_failures(results), 4);
+  bool saw_stale = false;
+  for (const auto& r : results)
+    if (r.name == "brand_new_metric") {
+      saw_stale = true;
+      EXPECT_NE(r.message.find("--update"), std::string::npos);
+    }
+  EXPECT_TRUE(saw_stale);
+}
+
+TEST(CompareGolden, BenchMismatchFails) {
+  const GoldenFile g = sample_golden();
+  GoldenFile other("fig2_failure_tradeoff");
+  const auto results = compare_golden(g, other);
+  bool saw_bench = false;
+  for (const auto& r : results)
+    if (r.name == "bench" && !r.ok) saw_bench = true;
+  EXPECT_TRUE(saw_bench);
+}
+
+}  // namespace
+}  // namespace skyferry::check

@@ -1,0 +1,91 @@
+// bench::Report — the shared --json plumbing every figure/table bench
+// uses: flag registration on the Cli, no-op without --json, golden
+// emission with the replay header embedded when --json is passed.
+#include "bench_util.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/golden.h"
+#include "exp/cli.h"
+
+namespace skyferry {
+namespace {
+
+class Args {
+ public:
+  explicit Args(std::vector<std::string> args) : store_(std::move(args)) {
+    ptrs_.push_back(const_cast<char*>("bench"));
+    for (auto& s : store_) ptrs_.push_back(s.data());
+  }
+  [[nodiscard]] int argc() const { return static_cast<int>(ptrs_.size()); }
+  [[nodiscard]] char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> store_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(BenchReport, NoJsonFlagMeansNoOutput) {
+  exp::Cli cli("some_bench");
+  bench::Report report(cli);
+  Args a({});
+  cli.parse(a.argc(), a.argv());
+  EXPECT_FALSE(report.requested());
+  EXPECT_TRUE(report.emit());  // no-op succeeds
+}
+
+TEST(BenchReport, JsonFlagParsesBothArgvForms) {
+  {
+    exp::Cli cli("some_bench");
+    bench::Report report(cli);
+    Args a({"--json", "/tmp/x.json"});
+    cli.parse(a.argc(), a.argv());
+    EXPECT_TRUE(report.requested());
+  }
+  {
+    exp::Cli cli("some_bench");
+    bench::Report report(cli);
+    Args a({"--json=/tmp/x.json"});
+    cli.parse(a.argc(), a.argv());
+    EXPECT_TRUE(report.requested());
+  }
+}
+
+TEST(BenchReport, EmitWritesGoldenWithReplayHeader) {
+  const std::string path = ::testing::TempDir() + "report_test_golden.json";
+  std::uint64_t seed = 5;
+  exp::Cli cli("some_bench");
+  cli.flag("--seed", &seed, "master seed");
+  bench::Report report(cli);
+  Args a({"--seed", "99", "--json", path});
+  cli.parse(a.argc(), a.argv());
+
+  report.metric("answer", 42.0, check::Tolerance::relative(0.1), "a note");
+  report.claim("sky_is_up", true);
+  report.ordering("ranked", {"a", "b"});
+  report.samples("draws", {1.0, 2.0, 3.0});
+  ASSERT_TRUE(report.emit());
+
+  check::GoldenFile g;
+  std::string error;
+  ASSERT_TRUE(check::GoldenFile::load(path, &g, &error)) << error;
+  std::remove(path.c_str());
+  EXPECT_EQ(g.bench(), "some_bench");
+  // The replay header must carry the parsed seed so the golden records
+  // exactly what produced it.
+  EXPECT_NE(g.replay_command().find("--seed 99"), std::string::npos) << g.replay_command();
+  ASSERT_NE(g.find_metric("answer"), nullptr);
+  EXPECT_DOUBLE_EQ(g.find_metric("answer")->value, 42.0);
+  // Boolean claims are exact-tolerance 0/1 metrics.
+  ASSERT_NE(g.find_metric("sky_is_up"), nullptr);
+  EXPECT_TRUE(g.find_metric("sky_is_up")->tol.is_exact());
+  EXPECT_NE(g.find_ordering("ranked"), nullptr);
+  EXPECT_NE(g.find_samples("draws"), nullptr);
+}
+
+}  // namespace
+}  // namespace skyferry

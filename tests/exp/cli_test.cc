@@ -110,5 +110,57 @@ TEST(Cli, UsageListsEveryFlagWithDefault) {
     EXPECT_NE(u.find(needle), std::string::npos) << needle;
 }
 
+// ---- replay round-trip ------------------------------------------------------
+
+// Split a replay command into argv tokens (no quoting: flag values in
+// this suite contain no whitespace).
+std::vector<std::string> Tokenize(const std::string& command) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : command) {
+    if (c == ' ') {
+      if (!cur.empty()) tokens.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) tokens.push_back(cur);
+  return tokens;
+}
+
+TEST(Cli, ReplayCommandRoundTripsSeedAndThreads) {
+  StdFlags first;
+  Args a({"--seed", "1234567890123", "--threads", "8", "--scale=0.125"});
+  first.cli.parse(a.argc(), a.argv());
+
+  // Feeding the replay command back through a fresh Cli must reproduce
+  // every parsed value exactly — that is what makes the header a replay.
+  auto tokens = Tokenize(first.cli.replay_command());
+  ASSERT_FALSE(tokens.empty());
+  EXPECT_EQ(tokens.front(), "bench");
+  tokens.erase(tokens.begin());
+  StdFlags second;
+  Args replay(tokens);
+  second.cli.parse(replay.argc(), replay.argv());
+  EXPECT_EQ(second.seed, first.seed);
+  EXPECT_EQ(second.trials, first.trials);
+  EXPECT_EQ(second.threads, first.threads);
+  EXPECT_DOUBLE_EQ(second.scale, first.scale);
+  EXPECT_EQ(second.out, first.out);
+}
+
+TEST(Cli, FlagValuesReflectParsedStateInRegistrationOrder) {
+  StdFlags f;
+  Args a({"--seed", "77", "--out", "y.csv"});
+  f.cli.parse(a.argc(), a.argv());
+  const auto values = f.cli.flag_values();
+  ASSERT_EQ(values.size(), 5u);
+  EXPECT_EQ(values[0], (std::pair<std::string, std::string>{"seed", "77"}));
+  EXPECT_EQ(values[1].first, "trials");
+  EXPECT_EQ(values[1].second, "2000");  // untouched default
+  EXPECT_EQ(values[4], (std::pair<std::string, std::string>{"out", "y.csv"}));
+}
+
 }  // namespace
 }  // namespace skyferry::exp

@@ -1,5 +1,7 @@
 #include "stats/ecdf.h"
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -84,6 +86,49 @@ TEST(Bootstrap, EmptySampleIsSafe) {
   const std::vector<double> xs;
   const auto ci = bootstrap_median_ci(xs);
   EXPECT_DOUBLE_EQ(ci.point, 0.0);
+}
+
+// ---- edge-case regressions (NaN rejection, boundary exactness) --------------
+
+TEST(Ecdf, EmptySampleIsSafe) {
+  const Ecdf f(std::vector<double>{});
+  EXPECT_TRUE(f.empty());
+  EXPECT_DOUBLE_EQ(f(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.quantile(0.5), 0.0);
+}
+
+TEST(Ecdf, SingleElement) {
+  const Ecdf f(std::vector<double>{4.2});
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_DOUBLE_EQ(f(4.1), 0.0);
+  EXPECT_DOUBLE_EQ(f(4.2), 1.0);
+  EXPECT_DOUBLE_EQ(f.quantile(0.0), 4.2);
+  EXPECT_DOUBLE_EQ(f.quantile(1.0), 4.2);
+}
+
+TEST(Ecdf, QuantileExactAtBoundaries) {
+  const Ecdf f(std::vector<double>{3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(f.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.quantile(1.0), 3.0);
+  // Out-of-range q clamps; NaN q is rejected.
+  EXPECT_DOUBLE_EQ(f.quantile(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.quantile(2.0), 3.0);
+  EXPECT_TRUE(std::isnan(f.quantile(std::nan(""))));
+}
+
+TEST(Ecdf, DropsNonFiniteSamples) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const Ecdf f(std::vector<double>{2.0, std::nan(""), 1.0, inf, 3.0});
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_DOUBLE_EQ(f(3.0), 1.0);  // inf no longer holds F below 1
+  EXPECT_DOUBLE_EQ(f.quantile(1.0), 3.0);
+}
+
+TEST(Ecdf, KsDistanceIgnoresNonFinite) {
+  const std::vector<double> clean{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> dirty = clean;
+  dirty.push_back(std::nan(""));
+  EXPECT_DOUBLE_EQ(Ecdf(clean).ks_distance(Ecdf(dirty)), 0.0);
 }
 
 TEST(Bootstrap, DeterministicForSeed) {

@@ -1,5 +1,7 @@
 #include "stats/quantile.h"
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -79,6 +81,48 @@ TEST(Boxplot, ConstantSample) {
   EXPECT_DOUBLE_EQ(b.median, 5.0);
   EXPECT_DOUBLE_EQ(b.whisker_low, 5.0);
   EXPECT_DOUBLE_EQ(b.whisker_high, 5.0);
+  EXPECT_TRUE(b.outliers.empty());
+}
+
+// ---- edge-case regressions (NaN rejection, boundary exactness) --------------
+
+TEST(Quantile, ExactAtBoundaries) {
+  // q=0 and q=1 must be the exact min/max, never an interpolation.
+  const std::vector<double> xs{3.0, 1.0, 4.0, 1.5, 9.0, 2.6};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 9.0);
+  // Out-of-range q clamps to the same boundaries.
+  EXPECT_DOUBLE_EQ(quantile(xs, -0.3), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.7), 9.0);
+}
+
+TEST(Quantile, NanQReturnsNan) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_TRUE(std::isnan(quantile(xs, std::nan(""))));
+  EXPECT_TRUE(std::isnan(quantile_sorted(xs, std::nan(""))));
+}
+
+TEST(Quantile, DropsNonFiniteSamples) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> xs{2.0, std::nan(""), 1.0, inf, 3.0, -inf};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 3.0);
+}
+
+TEST(Quantile, AllNonFiniteBehavesLikeEmpty) {
+  const std::vector<double> xs{std::nan(""), std::numeric_limits<double>::infinity()};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 0.0);
+}
+
+TEST(Boxplot, DropsNonFiniteSamples) {
+  const std::vector<double> xs{10.0, std::nan(""), 11.0, 12.0,
+                               std::numeric_limits<double>::infinity()};
+  const BoxplotSummary b = boxplot(xs);
+  EXPECT_EQ(b.n, 3u);
+  EXPECT_DOUBLE_EQ(b.min, 10.0);
+  EXPECT_DOUBLE_EQ(b.max, 12.0);
+  EXPECT_DOUBLE_EQ(b.median, 11.0);
   EXPECT_TRUE(b.outliers.empty());
 }
 

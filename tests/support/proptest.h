@@ -1,0 +1,101 @@
+// Minimal property-based testing support for the gtest suites: a seeded
+// per-case generator plus a FOR_ALL macro that runs a property over many
+// random cases and, on failure, reports the case index and the per-case
+// seed so the exact counterexample can be replayed (no shrinking — the
+// replay seed regenerates the same draws deterministically).
+//
+//   TEST(Dubins, NeverShorterThanEuclid) {
+//     FOR_ALL(200, 0x5EEDULL, g) {
+//       const double x = g.uniform(-500.0, 500.0);
+//       ...
+//       EXPECT_GE(path, euclid) << "x=" << x;   // failure carries g's trace
+//     }
+//   }
+//
+// FOR_ALL stops at the first failing case (one counterexample, not a
+// wall of repeats) and wraps the body in a gtest ScopedTrace naming the
+// case, so any EXPECT/ASSERT inside reports which case broke.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace skyferry::proptest {
+
+/// splitmix64 step — tiny, seedable, and plenty for test-case generation.
+[[nodiscard]] inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Iterates `trials` independently-seeded cases. Each case reseeds from
+/// (seed, case index), so a failing case replays from its reported seed
+/// regardless of how many draws earlier cases made.
+class Case {
+ public:
+  Case(std::uint64_t seed, int trials) noexcept : seed_(seed), trials_(trials) {}
+
+  /// Advance to the next case; false when done or after any failure.
+  bool next_case() {
+    if (::testing::Test::HasFailure()) return false;  // first counterexample wins
+    if (index_ >= trials_) return false;
+    ++index_;
+    state_ = seed_ + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(index_);
+    return true;
+  }
+
+  // ---- draws ---------------------------------------------------------------
+  [[nodiscard]] std::uint64_t next_u64() noexcept { return splitmix64(state_); }
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    const double u = static_cast<double>(next_u64() >> 11) * 0x1.0p-53;  // [0,1)
+    return lo + u * (hi - lo);
+  }
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] int uniform_int(int lo, int hi) noexcept {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int>(next_u64() % span);
+  }
+  /// True with probability p.
+  [[nodiscard]] bool chance(double p) noexcept { return uniform(0.0, 1.0) < p; }
+
+  // ---- reporting -----------------------------------------------------------
+  [[nodiscard]] int index() const noexcept { return index_; }
+  [[nodiscard]] std::string context() const {
+    return "FOR_ALL case " + std::to_string(index_) + "/" + std::to_string(trials_) +
+           " (base seed 0x" + hex(seed_) + ", case seed 0x" +
+           hex(seed_ + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(index_)) + ")";
+  }
+
+ private:
+  [[nodiscard]] static std::string hex(std::uint64_t v) {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string s;
+    do {
+      s.insert(s.begin(), kDigits[v & 0xF]);
+      v >>= 4;
+    } while (v != 0);
+    return s;
+  }
+
+  std::uint64_t seed_;
+  int trials_;
+  int index_{0};
+  std::uint64_t state_{0};
+};
+
+}  // namespace skyferry::proptest
+
+/// Run the following block once per random case, with `gen` (a
+/// proptest::Case) in scope. Failures inside the block are annotated
+/// with the case index and replay seed, and stop the iteration.
+#define FOR_ALL(trials, seed, gen)                                               \
+  for (::skyferry::proptest::Case gen((seed), (trials)); gen.next_case();)       \
+    if (const ::testing::ScopedTrace skyferry_proptest_trace{__FILE__, __LINE__, \
+                                                             gen.context()};     \
+        true)
