@@ -16,7 +16,7 @@
 #include "core/scenario.h"
 #include "core/strategy.h"
 #include "exp/cli.h"
-#include "exp/runner.h"
+#include "exp/supervisor.h"
 #include "io/table.h"
 #include "sim/rng.h"
 #include "uav/failure.h"
@@ -38,17 +38,23 @@ struct MonteCarloResult {
 /// risk to distance traveled, so hovering is failure-free). Trials are
 /// int, not bool: vector<bool> packs bits and parallel slot writes
 /// would race.
-MonteCarloResult reduce(const std::vector<int>& delivered, double completion_time_s) {
+MonteCarloResult reduce(const std::vector<int>& delivered, double completion_time_s,
+                        const exp::CampaignReport& report, std::size_t point_idx) {
   MonteCarloResult mc;
   int completes = 0;
-  for (const int ok : delivered) {
-    if (ok != 0) {
+  std::size_t usable = 0;
+  for (std::size_t t = 0; t < delivered.size(); ++t) {
+    // Quarantined slots hold defaults, not outcomes — leave them out.
+    if (report.quarantined > 0 && report.is_quarantined(point_idx, static_cast<int>(t)))
+      continue;
+    ++usable;
+    if (delivered[t] != 0) {
       ++completes;
     } else {
       ++mc.p_failed_before_tx;
     }
   }
-  const double n = static_cast<double>(delivered.size());
+  const double n = static_cast<double>(usable > 0 ? usable : 1);
   mc.p_full_delivery = completes / n;
   mc.p_failed_before_tx /= n;
   mc.mean_delivered_fraction = mc.p_full_delivery;
@@ -62,10 +68,20 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   int trials = 20000;
   int threads = 0;
+  std::string checkpoint;
+  bool resume = false;
+  int max_retries = 1;
+  double trial_timeout_ms = 0.0;
+  bool fail_fast = false;
   exp::Cli cli("fig2_failure_tradeoff");
   cli.flag("--seed", &seed, "master seed (forked per trial)")
       .flag("--trials", &trials, "trials per (rho, d) point")
-      .flag("--threads", &threads, "worker threads, 0 = one per hardware thread");
+      .flag("--threads", &threads, "worker threads, 0 = one per hardware thread")
+      .flag("--checkpoint", &checkpoint, "journal completed chunks to this file")
+      .flag("--resume", &resume, "skip chunks already journaled in --checkpoint")
+      .flag("--max-retries", &max_retries, "same-seed retries before quarantining a trial")
+      .flag("--trial-timeout-ms", &trial_timeout_ms, "soft per-trial deadline, 0 = off")
+      .flag("--fail-fast", &fail_fast, "abort on the first trial exception");
   bench::Report report(cli);
   cli.parse_or_exit(argc, argv);
   cli.print_replay_header();
@@ -97,13 +113,29 @@ int main(int argc, char** argv) {
   rc.threads = threads;
   rc.trials = trials;
   rc.seed = seed;
-  const auto run = exp::Runner(rc).run(points, [&](const exp::Point& p, std::uint64_t s) {
-    const uav::FailureModel failure(p.at("rho"));
-    sim::Rng rng(s);
-    // Failure strikes after a random distance of flight; delivered iff
-    // the UAV out-flies it over the shipping leg.
-    return failure.sample_failure_distance(rng) >= params.d0_m - p.at("d") ? 1 : 0;
-  });
+  exp::SupervisorOptions so;
+  so.name = "fig2_failure_tradeoff";
+  so.max_retries = max_retries;
+  so.trial_timeout_ms = trial_timeout_ms;
+  so.fail_fast = fail_fast;
+  so.checkpoint_path = checkpoint;
+  so.resume = resume;
+  const auto run =
+      exp::SupervisedRunner(rc, so).run(points, [&](const exp::Point& p, std::uint64_t s) {
+        const uav::FailureModel failure(p.at("rho"));
+        sim::Rng rng(s);
+        // Failure strikes after a random distance of flight; delivered iff
+        // the UAV out-flies it over the shipping leg.
+        return failure.sample_failure_distance(rng) >= params.d0_m - p.at("d") ? 1 : 0;
+      });
+  if (run.interrupted) {
+    std::printf(
+        "# interrupted (SIGINT/SIGTERM) — completed chunks are journaled; rerun\n"
+        "# the same command with --resume to finish.\n");
+    return 130;
+  }
+  if (run.report.quarantined > 0)
+    std::printf("%s\n", run.report.summary_line().c_str());
 
   for (std::size_t r = 0; r < rhos.size(); ++r) {
     io::Table t("rho = " + io::format_number(rhos[r]) + " [1/m]");
@@ -113,7 +145,7 @@ int main(int argc, char** argv) {
     std::vector<std::pair<std::string, double>> evs;
     for (std::size_t k = 0; k < targets.size(); ++k) {
       const std::size_t idx = r * targets.size() + k;
-      const auto mc = reduce(run.results[idx], completion_s[idx]);
+      const auto mc = reduce(run.results[idx], completion_s[idx], run.report, idx);
       const double ev = mc.mean_delay_when_complete > 0.0
                             ? mc.p_full_delivery / mc.mean_delay_when_complete
                             : 0.0;

@@ -17,7 +17,7 @@
 
 #include "bench_util.h"
 #include "exp/cli.h"
-#include "exp/runner.h"
+#include "exp/supervisor.h"
 #include "io/ascii_chart.h"
 #include "io/csv.h"
 #include "io/table.h"
@@ -63,11 +63,21 @@ int main(int argc, char** argv) {
   int trials = 4;
   int threads = 0;
   std::string out = "fig6_mcs_vs_autorate";
+  std::string checkpoint;
+  bool resume = false;
+  int max_retries = 1;
+  double trial_timeout_ms = 0.0;
+  bool fail_fast = false;
   exp::Cli cli("fig6_mcs_vs_autorate");
   cli.flag("--seed", &seed, "master seed (forked per trial)")
       .flag("--trials", &trials, "independent 60 s runs per (d, rate-control) point")
       .flag("--threads", &threads, "worker threads, 0 = one per hardware thread")
-      .flag("--out", &out, "output basename for <out>.csv and <out>_stats.json");
+      .flag("--out", &out, "output basename for <out>.csv and <out>_stats.json")
+      .flag("--checkpoint", &checkpoint, "journal chunks to <file> (main) + <file>.ablation")
+      .flag("--resume", &resume, "skip chunks already journaled in the checkpoint files")
+      .flag("--max-retries", &max_retries, "same-seed retries before quarantining a trial")
+      .flag("--trial-timeout-ms", &trial_timeout_ms, "soft per-trial deadline, 0 = off")
+      .flag("--fail-fast", &fail_fast, "abort on the first trial exception");
   bench::Report report(cli);
   cli.parse_or_exit(argc, argv);
   cli.print_replay_header();
@@ -85,9 +95,24 @@ int main(int argc, char** argv) {
   rc.trials = trials;
   rc.seed = seed;
   rc.chunk = 1;  // each trial is a whole 60 s link sim — balance, don't batch
-  auto run = exp::Runner(rc).run(points, [&](const exp::Point& p, std::uint64_t s) {
+  exp::SupervisorOptions so;
+  so.name = "fig6_mcs_vs_autorate";
+  so.max_retries = max_retries;
+  so.trial_timeout_ms = trial_timeout_ms;
+  so.fail_fast = fail_fast;
+  so.checkpoint_path = checkpoint;
+  so.resume = resume;
+  auto run = exp::SupervisedRunner(rc, so).run(points, [&](const exp::Point& p, std::uint64_t s) {
     return link_trial(ch, p.at("d"), kRelSpeed, static_cast<int>(p.at("config")), s);
   });
+  if (run.interrupted) {
+    std::printf(
+        "# interrupted (SIGINT/SIGTERM) — completed chunks are journaled; rerun\n"
+        "# the same command with --resume to finish.\n");
+    return 130;
+  }
+  if (run.report.quarantined > 0)
+    std::printf("%s\n", run.report.summary_line().c_str());
 
   io::Table t("Figure 6: best fixed MCS vs auto rate (median Mb/s)");
   t.columns({"d_m", "auto(ARF)", "mcs0", "mcs1", "mcs2", "mcs3", "mcs8", "best", "best/auto",
@@ -153,7 +178,11 @@ int main(int argc, char** argv) {
       exp::Sweep{}.axis("interval", {0.02, 0.05, 0.1, 0.3, 1.0}).cartesian();
   exp::RunnerConfig abrc = rc;
   abrc.seed = sim::derive_seed(seed, "fig6/ablation");
-  const auto ab_run = exp::Runner(abrc).run(ab_points, [&](const exp::Point& p, std::uint64_t s) {
+  exp::SupervisorOptions ab_so = so;
+  ab_so.name = "fig6_ablation";
+  if (!checkpoint.empty()) ab_so.checkpoint_path = checkpoint + ".ablation";
+  const auto ab_run =
+      exp::SupervisedRunner(abrc, ab_so).run(ab_points, [&](const exp::Point& p, std::uint64_t s) {
     mac::LinkConfig cfg;
     cfg.channel = ch;
     mac::MinstrelConfig mcfg;
@@ -165,6 +194,12 @@ int main(int argc, char** argv) {
       mbps.push_back(smp.mbps);
     return stats::median(mbps);
   });
+  if (ab_run.interrupted) {
+    std::printf(
+        "# interrupted (SIGINT/SIGTERM) during the ablation — rerun the same\n"
+        "# command with --resume to finish.\n");
+    return 130;
+  }
   io::Table ab("minstrel update interval vs achieved median");
   ab.columns({"update_interval_s", "median Mb/s"});
   for (const auto& p : ab_points) {

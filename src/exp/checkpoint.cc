@@ -1,0 +1,220 @@
+#include "exp/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+#include "exp/codec.h"
+
+namespace skyferry::exp {
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+std::uint64_t fnv1a(std::uint64_t h, std::string_view s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+const io::Json& need(const io::Json& j, const char* key) {
+  const io::Json* v = j.find(key);
+  if (v == nullptr)
+    throw CheckpointError(std::string("checkpoint: missing key '") + key + "'");
+  return *v;
+}
+
+int need_int(const io::Json& j, const char* key) {
+  const io::Json& v = need(j, key);
+  if (!v.is_number()) throw CheckpointError(std::string("checkpoint: '") + key + "' must be a number");
+  const double d = v.as_number();
+  const int i = static_cast<int>(d);
+  if (static_cast<double>(i) != d)
+    throw CheckpointError(std::string("checkpoint: '") + key + "' must be an integer");
+  return i;
+}
+
+}  // namespace
+
+std::string grid_signature(const std::vector<Point>& points) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& p : points) {
+    h = fnv1a(h, p.label());
+    h = fnv1a(h, "|");
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+void CheckpointFile::add_chunk(ChunkRecord rec) {
+  if (rec.point >= points)
+    throw CheckpointError("checkpoint: chunk point " + std::to_string(rec.point) +
+                          " out of range (grid has " + std::to_string(points) + " points)");
+  if (rec.start < 0 || rec.end <= rec.start || rec.end > trials)
+    throw CheckpointError("checkpoint: chunk trials [" + std::to_string(rec.start) + ", " +
+                          std::to_string(rec.end) + ") out of range (trials per point " +
+                          std::to_string(trials) + ")");
+  if (rec.results.size() != static_cast<std::size_t>(rec.end - rec.start))
+    throw CheckpointError("checkpoint: chunk holds " + std::to_string(rec.results.size()) +
+                          " results for " + std::to_string(rec.end - rec.start) + " trials");
+  if (has_chunk(rec.point, rec.start))
+    throw CheckpointError("checkpoint: duplicate chunk (point " + std::to_string(rec.point) +
+                          ", start " + std::to_string(rec.start) + ")");
+  chunks_.push_back(std::move(rec));
+}
+
+bool CheckpointFile::has_chunk(std::size_t point, int start) const noexcept {
+  for (const auto& c : chunks_)
+    if (c.point == point && c.start == start) return true;
+  return false;
+}
+
+std::size_t CheckpointFile::completed_trials() const noexcept {
+  std::size_t n = 0;
+  for (const auto& c : chunks_) n += static_cast<std::size_t>(c.end - c.start);
+  return n;
+}
+
+io::Json CheckpointFile::to_json() const {
+  io::Json j = io::Json::object();
+  j.set("skyferry_checkpoint", kFormatVersion);
+  j.set("name", name);
+  j.set("seed", std::to_string(seed));
+  j.set("trials", trials);
+  j.set("points", static_cast<double>(points));
+  j.set("chunk", chunk);
+  j.set("grid", grid);
+  io::Json arr = io::Json::array();
+  for (const auto& c : chunks_) {
+    io::Json cj = io::Json::object();
+    cj.set("point", static_cast<double>(c.point));
+    cj.set("start", c.start);
+    cj.set("end", c.end);
+    cj.set("results", c.results);
+    io::Json fj = io::Json::array();
+    for (const auto& f : c.failures) fj.push_back(failure_to_json(f));
+    cj.set("failures", fj);
+    arr.push_back(std::move(cj));
+  }
+  j.set("chunks", std::move(arr));
+  return j;
+}
+
+CheckpointFile CheckpointFile::from_json(const io::Json& j) {
+  if (!j.is_object()) throw CheckpointError("checkpoint: expected a JSON object");
+  const io::Json& version = need(j, "skyferry_checkpoint");
+  if (!version.is_number() || static_cast<int>(version.as_number()) != kFormatVersion)
+    throw CheckpointError("checkpoint: unsupported format version");
+  CheckpointFile f;
+  f.name = need(j, "name").as_string();
+  try {
+    f.seed = Codec<std::uint64_t>::decode(need(j, "seed"));
+  } catch (const CodecError& e) {
+    throw CheckpointError(std::string("checkpoint: bad seed: ") + e.what());
+  }
+  f.trials = need_int(j, "trials");
+  const int pts = need_int(j, "points");
+  if (pts < 0) throw CheckpointError("checkpoint: negative point count");
+  f.points = static_cast<std::size_t>(pts);
+  f.chunk = need_int(j, "chunk");
+  f.grid = need(j, "grid").as_string();
+  if (f.trials <= 0 || f.chunk <= 0)
+    throw CheckpointError("checkpoint: non-positive trials/chunk in header");
+  const io::Json& chunks = need(j, "chunks");
+  if (!chunks.is_array()) throw CheckpointError("checkpoint: 'chunks' must be an array");
+  for (const io::Json& cj : chunks.items()) {
+    if (!cj.is_object()) throw CheckpointError("checkpoint: chunk record must be an object");
+    ChunkRecord rec;
+    const int point = need_int(cj, "point");
+    if (point < 0) throw CheckpointError("checkpoint: negative chunk point");
+    rec.point = static_cast<std::size_t>(point);
+    rec.start = need_int(cj, "start");
+    rec.end = need_int(cj, "end");
+    rec.results = need(cj, "results");
+    if (!rec.results.is_array())
+      throw CheckpointError("checkpoint: chunk 'results' must be an array");
+    const io::Json& failures = need(cj, "failures");
+    if (!failures.is_array())
+      throw CheckpointError("checkpoint: chunk 'failures' must be an array");
+    for (const io::Json& fj : failures.items()) {
+      try {
+        rec.failures.push_back(failure_from_json(fj));
+      } catch (const std::exception& e) {
+        throw CheckpointError(std::string("checkpoint: bad failure record: ") + e.what());
+      }
+    }
+    f.add_chunk(std::move(rec));  // range/duplicate validation
+  }
+  return f;
+}
+
+void CheckpointFile::save_atomic(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  std::FILE* fp = std::fopen(tmp.c_str(), "wb");
+  if (fp == nullptr) throw CheckpointError("checkpoint: cannot open " + tmp + " for writing");
+  const std::string text = to_json().dump(2);
+  const bool wrote = std::fwrite(text.data(), 1, text.size(), fp) == text.size() &&
+                     std::fflush(fp) == 0;
+#ifndef _WIN32
+  // fsync before rename: the rename must never land ahead of the data.
+  const bool synced = wrote && ::fsync(::fileno(fp)) == 0;
+#else
+  const bool synced = wrote;
+#endif
+  std::fclose(fp);
+  if (!synced) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("checkpoint: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("checkpoint: cannot rename " + tmp + " -> " + path);
+  }
+}
+
+CheckpointFile CheckpointFile::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw CheckpointError("checkpoint: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  const auto j = io::Json::parse(buf.str(), &error);
+  if (!j)
+    throw CheckpointError("checkpoint: " + path + " is truncated or not valid JSON (" + error +
+                          ") — delete it to start the campaign over");
+  try {
+    return from_json(*j);
+  } catch (const CheckpointError& e) {
+    throw CheckpointError(std::string(e.what()) + " [" + path + "]");
+  } catch (const CodecError& e) {
+    throw CheckpointError("checkpoint: " + std::string(e.what()) + " [" + path + "]");
+  }
+}
+
+void CheckpointFile::require_match(std::uint64_t want_seed, int want_trials,
+                                   std::size_t want_points, const std::string& want_grid) const {
+  const auto mismatch = [&](const char* field, const std::string& have,
+                            const std::string& want) {
+    throw CheckpointError("checkpoint: " + std::string(field) + " mismatch (file has " + have +
+                          ", campaign wants " + want +
+                          ") — wrong checkpoint file, or the campaign changed; delete it to "
+                          "start over");
+  };
+  if (seed != want_seed) mismatch("seed", std::to_string(seed), std::to_string(want_seed));
+  if (trials != want_trials)
+    mismatch("trials", std::to_string(trials), std::to_string(want_trials));
+  if (points != want_points)
+    mismatch("points", std::to_string(points), std::to_string(want_points));
+  if (grid != want_grid) mismatch("grid signature", grid, want_grid);
+}
+
+}  // namespace skyferry::exp

@@ -1,0 +1,83 @@
+// Campaign persistence: chunk-granularity journaling of trial results
+// with atomic tmp+rename snapshots. The on-disk file is one strict JSON
+// document — a header binding it to the campaign (seed, trials, grid
+// signature, chunk geometry) plus one record per completed chunk with
+// its encoded results and failure records. Because every save goes
+// through write-tmp → fsync → rename, a SIGKILL at any instant leaves
+// either the previous snapshot or the new one, never a torn file; a
+// file that *is* torn (truncated copy, manual edit) fails load() with a
+// clear CheckpointError instead of half-resuming.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/run_stats.h"
+#include "exp/sweep.h"
+#include "io/json.h"
+
+namespace skyferry::exp {
+
+/// Any checkpoint problem: unreadable/truncated file, malformed JSON,
+/// header mismatch against the campaign about to resume, duplicate or
+/// out-of-range chunk records.
+struct CheckpointError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// One completed chunk: trials [start, end) of one sweep point, with the
+/// encoded result per trial and the failure records that occurred there.
+struct ChunkRecord {
+  std::size_t point{0};
+  int start{0};
+  int end{0};
+  io::Json results;                    ///< array of size end - start
+  std::vector<TrialFailure> failures;  ///< failures inside this chunk
+};
+
+/// FNV-1a over the sweep's point labels — binds a checkpoint to the grid
+/// that produced it, so resuming against a different sweep is an error,
+/// not a silent mis-merge.
+[[nodiscard]] std::string grid_signature(const std::vector<Point>& points);
+
+class CheckpointFile {
+ public:
+  // Header — the campaign identity a resume must match.
+  std::string name;        ///< campaign/bench name (informational)
+  std::uint64_t seed{0};
+  int trials{0};           ///< trials per point
+  std::size_t points{0};
+  int chunk{0};            ///< chunk geometry the journal is keyed by
+  std::string grid;        ///< grid_signature() of the sweep
+
+  /// Append a completed chunk. Throws CheckpointError on a duplicate or
+  /// an out-of-range record.
+  void add_chunk(ChunkRecord rec);
+
+  [[nodiscard]] const std::vector<ChunkRecord>& chunks() const noexcept { return chunks_; }
+  [[nodiscard]] bool has_chunk(std::size_t point, int start) const noexcept;
+  [[nodiscard]] std::size_t completed_trials() const noexcept;
+
+  [[nodiscard]] io::Json to_json() const;
+  /// Strict decode; throws CheckpointError on anything malformed.
+  [[nodiscard]] static CheckpointFile from_json(const io::Json& j);
+
+  /// Atomic snapshot: write `path`.tmp, fsync, rename over `path`.
+  /// Throws CheckpointError on any I/O failure.
+  void save_atomic(const std::string& path) const;
+  /// Load + strictly validate. Throws CheckpointError with the reason
+  /// (missing file, truncated/invalid JSON, malformed records).
+  [[nodiscard]] static CheckpointFile load(const std::string& path);
+
+  /// Reject a checkpoint that does not belong to the campaign about to
+  /// run (different seed, trial count, grid, or chunk geometry).
+  void require_match(std::uint64_t want_seed, int want_trials, std::size_t want_points,
+                     const std::string& want_grid) const;
+
+ private:
+  std::vector<ChunkRecord> chunks_;
+};
+
+}  // namespace skyferry::exp

@@ -35,6 +35,9 @@ Cli& Cli::flag(std::string name, double* target, std::string help) {
 Cli& Cli::flag(std::string name, std::string* target, std::string help) {
   return add(std::move(name), Type::kString, target, std::move(help));
 }
+Cli& Cli::flag(std::string name, bool* target, std::string help) {
+  return add(std::move(name), Type::kBool, target, std::move(help));
+}
 
 void Cli::assign(const Flag& f, std::string_view value) const {
   const std::string v(value);
@@ -68,6 +71,16 @@ void Cli::assign(const Flag& f, std::string_view value) const {
     case Type::kString:
       *static_cast<std::string*>(f.target) = v;
       return;
+    case Type::kBool: {
+      if (v == "true" || v == "1") {
+        *static_cast<bool*>(f.target) = true;
+      } else if (v == "false" || v == "0") {
+        *static_cast<bool*>(f.target) = false;
+      } else {
+        throw CliError(bench_ + ": flag " + f.name + " expects true/false/1/0, got '" + v + "'");
+      }
+      return;
+    }
   }
 }
 
@@ -90,6 +103,9 @@ void Cli::parse(int argc, char** argv) const {
       throw CliError(bench_ + ": unknown flag '" + std::string(name) + "' (see --help)");
     if (eq != std::string_view::npos) {
       assign(*match, arg.substr(eq + 1));
+    } else if (match->type == Type::kBool) {
+      // Bare `--flag` form: switch on, next token stays an argument.
+      *static_cast<bool*>(match->target) = true;
     } else {
       if (i + 1 >= argc)
         throw CliError(bench_ + ": flag " + match->name + " needs a value");
@@ -117,6 +133,8 @@ std::string Cli::value_string(const Flag& f) const {
       return io::format_number(*static_cast<const double*>(f.target));
     case Type::kString:
       return *static_cast<const std::string*>(f.target);
+    case Type::kBool:
+      return *static_cast<const bool*>(f.target) ? "true" : "false";
   }
   return {};
 }
@@ -125,7 +143,11 @@ std::string Cli::replay_command() const {
   std::string replay = bench_;
   for (const auto& f : flags_) {
     const std::string v = value_string(f);
-    replay += " " + f.name + " " + (v.empty() ? "''" : v);
+    if (f.type == Type::kBool) {
+      replay += " " + f.name + "=" + v;  // `=` form: bare --flag takes no value
+    } else {
+      replay += " " + f.name + " " + (v.empty() ? "''" : v);
+    }
   }
   return replay;
 }
@@ -145,7 +167,8 @@ void Cli::print_replay_header() const {
 
 std::string Cli::usage() const {
   std::string u = "usage: " + bench_;
-  for (const auto& f : flags_) u += " [" + f.name + " <v>]";
+  for (const auto& f : flags_)
+    u += f.type == Type::kBool ? " [" + f.name + "[=true|false]]" : " [" + f.name + " <v>]";
   u += "\n";
   for (const auto& f : flags_) {
     u += "  " + f.name + "  " + f.help + " (default " + value_string(f) + ")\n";

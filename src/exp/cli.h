@@ -33,9 +33,14 @@ class Cli {
   Cli& flag(std::string name, std::uint64_t* target, std::string help);
   Cli& flag(std::string name, double* target, std::string help);
   Cli& flag(std::string name, std::string* target, std::string help);
+  /// Boolean switch: bare `--name` sets true (no value consumed);
+  /// `--name=true/false/1/0` sets it explicitly. The replay command
+  /// always prints the `--name=value` form so it round-trips.
+  Cli& flag(std::string name, bool* target, std::string help);
 
-  /// Parse `--name value` / `--name=value` argv forms. Throws CliError;
-  /// `--help` prints usage to stdout and exits 0.
+  /// Parse `--name value` / `--name=value` argv forms (bool flags also
+  /// accept the bare `--name` form). Throws CliError; `--help` prints
+  /// usage to stdout and exits 0.
   void parse(int argc, char** argv) const;
 
   /// parse(), but report the error plus usage on stderr and exit(2)
@@ -59,7 +64,7 @@ class Cli {
   [[nodiscard]] const std::string& bench() const noexcept { return bench_; }
 
  private:
-  enum class Type { kInt, kUint64, kDouble, kString };
+  enum class Type { kInt, kUint64, kDouble, kString, kBool };
   struct Flag {
     std::string name;
     Type type;

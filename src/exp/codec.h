@@ -1,0 +1,134 @@
+// Trial-result (de)serialization for campaign checkpoints. A
+// Codec<T> specialization turns one trial result into an io::Json value
+// and back, bit-identically: doubles ride io::json_number's shortest
+// exact form (NaN/Inf as tagged strings, since JSON has no literal for
+// them), 64-bit integers as decimal strings (a double mantissa cannot
+// carry them). decode() is strict — anything malformed throws
+// CodecError instead of half-decoding — which is what lets a resumed
+// campaign trust the journal or reject it outright.
+#pragma once
+
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "io/json.h"
+
+namespace skyferry::exp {
+
+/// Thrown on any malformed value during decode (wrong type, lossy
+/// integer, unknown tag, truncated record).
+struct CodecError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Primary template is deliberately undefined: checkpointing a result
+/// type T requires an explicit Codec<T> specialization with
+///   static io::Json encode(const T&);
+///   static T decode(const io::Json&);   // throws CodecError
+template <class T>
+struct Codec;
+
+template <>
+struct Codec<double> {
+  static io::Json encode(double v) {
+    if (std::isnan(v)) return io::Json("nan");
+    if (std::isinf(v)) return io::Json(v > 0 ? "inf" : "-inf");
+    return io::Json(v);
+  }
+  static double decode(const io::Json& j) {
+    if (j.is_number()) return j.as_number();
+    if (j.is_string()) {
+      const std::string& s = j.as_string();
+      if (s == "nan") return std::numeric_limits<double>::quiet_NaN();
+      if (s == "inf") return std::numeric_limits<double>::infinity();
+      if (s == "-inf") return -std::numeric_limits<double>::infinity();
+      throw CodecError("Codec<double>: unknown tag '" + s + "'");
+    }
+    throw CodecError("Codec<double>: expected number or nan/inf tag");
+  }
+};
+
+template <>
+struct Codec<int> {
+  static io::Json encode(int v) { return io::Json(v); }
+  static int decode(const io::Json& j) {
+    if (!j.is_number()) throw CodecError("Codec<int>: expected a number");
+    const double v = j.as_number();
+    const int i = static_cast<int>(v);
+    if (static_cast<double>(i) != v)
+      throw CodecError("Codec<int>: " + io::json_number(v) + " is not an int");
+    return i;
+  }
+};
+
+template <>
+struct Codec<std::uint64_t> {
+  static io::Json encode(std::uint64_t v) { return io::Json(std::to_string(v)); }
+  static std::uint64_t decode(const io::Json& j) {
+    if (j.is_number()) {
+      // Accept small integers written as numbers (exact below 2^53).
+      const double v = j.as_number();
+      const auto u = static_cast<std::uint64_t>(v);
+      if (v < 0.0 || static_cast<double>(u) != v)
+        throw CodecError("Codec<uint64>: " + io::json_number(v) + " is not an exact uint64");
+      return u;
+    }
+    if (!j.is_string()) throw CodecError("Codec<uint64>: expected a string or number");
+    const std::string& s = j.as_string();
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (s.empty() || s[0] == '-' || end == s.c_str() || *end != '\0' || errno == ERANGE)
+      throw CodecError("Codec<uint64>: '" + s + "' is not a 64-bit integer");
+    return static_cast<std::uint64_t>(v);
+  }
+};
+
+template <>
+struct Codec<bool> {
+  static io::Json encode(bool v) { return io::Json(v); }
+  static bool decode(const io::Json& j) {
+    if (!j.is_bool()) throw CodecError("Codec<bool>: expected true/false");
+    return j.as_bool();
+  }
+};
+
+/// Encode a contiguous span of results as a JSON array.
+template <class T>
+[[nodiscard]] io::Json encode_range(const T* first, std::size_t count) {
+  io::Json arr = io::Json::array();
+  for (std::size_t i = 0; i < count; ++i) arr.push_back(Codec<T>::encode(first[i]));
+  return arr;
+}
+
+/// Decode a JSON array of exactly `count` results into `out[0..count)`.
+/// Throws CodecError on a size mismatch or any malformed element.
+template <class T>
+void decode_range(const io::Json& arr, T* out, std::size_t count) {
+  if (!arr.is_array()) throw CodecError("Codec: expected a result array");
+  if (arr.items().size() != count)
+    throw CodecError("Codec: result array has " + std::to_string(arr.items().size()) +
+                     " elements, expected " + std::to_string(count));
+  for (std::size_t i = 0; i < count; ++i) out[i] = Codec<T>::decode(arr.items()[i]);
+}
+
+// ---- field helpers for struct codecs ---------------------------------------
+// A struct codec sets named members and reads them back strictly:
+//   j.set("x", Codec<double>::encode(r.x));
+//   r.x = field<double>(j, "x");
+
+/// Strict member read: missing key or malformed value throws CodecError.
+template <class T>
+[[nodiscard]] T field(const io::Json& j, const char* key) {
+  const io::Json* v = j.find(key);
+  if (v == nullptr) throw CodecError(std::string("Codec: missing field '") + key + "'");
+  return Codec<T>::decode(*v);
+}
+
+}  // namespace skyferry::exp

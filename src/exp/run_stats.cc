@@ -1,7 +1,15 @@
 #include "exp/run_stats.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <stdexcept>
+#include <typeinfo>
+
+#if defined(__GNUG__)
+#include <cxxabi.h>
+#endif
 
 namespace skyferry::exp {
 namespace {
@@ -21,6 +29,78 @@ void escape_into(std::string& out, const std::string& s) {
 
 }  // namespace
 
+io::Json failure_to_json(const TrialFailure& f) {
+  io::Json j = io::Json::object();
+  j.set("kind", f.kind_name());
+  j.set("point", static_cast<double>(f.point));
+  j.set("trial", f.trial);
+  // 64-bit seeds do not survive a double round-trip; store as a string.
+  j.set("seed", std::to_string(f.seed));
+  j.set("attempts", f.attempts);
+  j.set("quarantined", f.quarantined);
+  j.set("type", f.type);
+  j.set("what", f.what);
+  j.set("point_label", f.point_label);
+  j.set("replay", f.replay_cmd);
+  return j;
+}
+
+TrialFailure failure_from_json(const io::Json& j) {
+  if (!j.is_object()) throw std::runtime_error("TrialFailure: expected a JSON object");
+  const auto need = [&](const char* key) -> const io::Json& {
+    const io::Json* v = j.find(key);
+    if (v == nullptr) throw std::runtime_error(std::string("TrialFailure: missing key '") + key + "'");
+    return *v;
+  };
+  TrialFailure f;
+  const std::string kind = need("kind").as_string();
+  if (kind == "crashed") {
+    f.kind = TrialFailure::Kind::kCrashed;
+  } else if (kind == "timed-out") {
+    f.kind = TrialFailure::Kind::kTimedOut;
+  } else {
+    throw std::runtime_error("TrialFailure: unknown kind '" + kind + "'");
+  }
+  const io::Json& point = need("point");
+  const io::Json& trial = need("trial");
+  if (!point.is_number() || !trial.is_number())
+    throw std::runtime_error("TrialFailure: point/trial must be numbers");
+  f.point = static_cast<std::size_t>(point.as_number());
+  f.trial = static_cast<int>(trial.as_number());
+  const std::string seed = need("seed").as_string();
+  errno = 0;
+  char* end = nullptr;
+  f.seed = std::strtoull(seed.c_str(), &end, 10);
+  if (seed.empty() || end == seed.c_str() || *end != '\0' || errno == ERANGE)
+    throw std::runtime_error("TrialFailure: seed '" + seed + "' is not a 64-bit integer");
+  f.attempts = static_cast<int>(need("attempts").as_number(1.0));
+  f.quarantined = need("quarantined").as_bool();
+  f.type = need("type").as_string();
+  f.what = need("what").as_string();
+  f.point_label = need("point_label").as_string();
+  f.replay_cmd = need("replay").as_string();
+  return f;
+}
+
+void describe_current_exception(std::string& type, std::string& what) {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+#if defined(__GNUG__)
+    int status = 0;
+    char* demangled = abi::__cxa_demangle(typeid(e).name(), nullptr, nullptr, &status);
+    type = (status == 0 && demangled != nullptr) ? demangled : typeid(e).name();
+    std::free(demangled);
+#else
+    type = typeid(e).name();
+#endif
+    what = e.what();
+  } catch (...) {
+    type = "unknown";
+    what = "non-std exception";
+  }
+}
+
 void RunStats::merge(const RunStats& other) {
   if (name.empty()) name = other.name;
   if (other.threads > threads) threads = other.threads;
@@ -30,6 +110,12 @@ void RunStats::merge(const RunStats& other) {
   chunk = other.chunk;
   wall_s += other.wall_s;
   total_trial_s += other.total_trial_s;
+  failed_trials += other.failed_trials;
+  crashed += other.crashed;
+  timed_out += other.timed_out;
+  quarantined += other.quarantined;
+  retried += other.retried;
+  failures.insert(failures.end(), other.failures.begin(), other.failures.end());
   per_point.insert(per_point.end(), other.per_point.begin(), other.per_point.end());
 
   // Derived rates from the merged totals.
@@ -49,7 +135,13 @@ std::string RunStats::summary_line() const {
                 "# stats: %d threads, %lld trials over %zu points in %.3f s "
                 "(%.0f trials/s, occupancy %.2f, speedup vs serial %.2fx)",
                 threads, total, points, wall_s, trials_per_s, occupancy, speedup_vs_serial);
-  return buf;
+  std::string line = buf;
+  if (failed_trials > 0) {
+    std::snprintf(buf, sizeof(buf), "; %d failed (crashed %d, timed-out %d, quarantined %d, %d retries)",
+                  failed_trials, crashed, timed_out, quarantined, retried);
+    line += buf;
+  }
+  return line;
 }
 
 std::string RunStats::to_json() const {
@@ -67,6 +159,16 @@ std::string RunStats::to_json() const {
   j += "  \"trials_per_s\": " + num(trials_per_s) + ",\n";
   j += "  \"occupancy\": " + num(occupancy) + ",\n";
   j += "  \"speedup_vs_serial\": " + num(speedup_vs_serial) + ",\n";
+  j += "  \"failed_trials\": " + std::to_string(failed_trials) + ",\n";
+  j += "  \"crashed\": " + std::to_string(crashed) + ",\n";
+  j += "  \"timed_out\": " + std::to_string(timed_out) + ",\n";
+  j += "  \"quarantined\": " + std::to_string(quarantined) + ",\n";
+  j += "  \"retried\": " + std::to_string(retried) + ",\n";
+  if (!failures.empty()) {
+    io::Json arr = io::Json::array();
+    for (const auto& f : failures) arr.push_back(failure_to_json(f));
+    j += "  \"failures\": " + arr.dump() + ",\n";
+  }
   j += "  \"per_point\": [";
   for (std::size_t i = 0; i < per_point.size(); ++i) {
     const auto& p = per_point[i];

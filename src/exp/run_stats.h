@@ -12,7 +12,44 @@
 #include <string>
 #include <vector>
 
+#include "io/json.h"
+
 namespace skyferry::exp {
+
+/// One failed trial in a campaign: where it ran (point/trial/seed), what
+/// went wrong, how often it was attempted, and the exact command that
+/// replays it. The campaign-level taxonomy (crashed / timed-out /
+/// quarantined) is counted in RunStats and the full records ride in the
+/// stats.json sidecar so a post-mortem never starts from a log grep.
+struct TrialFailure {
+  /// What ended the trial: a thrown exception or the deadline watchdog.
+  enum class Kind { kCrashed, kTimedOut };
+
+  Kind kind{Kind::kCrashed};
+  std::size_t point{0};
+  int trial{0};
+  std::uint64_t seed{0};      ///< the forked per-trial seed (replays the trial)
+  int attempts{1};            ///< total attempts, retries included
+  bool quarantined{false};    ///< no usable result — the slot holds a default value
+  std::string type;           ///< exception type name ("std::runtime_error", ...)
+  std::string what;           ///< exception message / watchdog note
+  std::string point_label;    ///< Point::label() for human-readable reports
+  std::string replay_cmd;     ///< working shell command reproducing the trial
+
+  [[nodiscard]] const char* kind_name() const noexcept {
+    return kind == Kind::kCrashed ? "crashed" : "timed-out";
+  }
+};
+
+/// JSON (de)serialization of a failure record — used by both the
+/// stats.json sidecar and the campaign checkpoint journal.
+[[nodiscard]] io::Json failure_to_json(const TrialFailure& f);
+/// Strict decode; throws std::runtime_error on a malformed record.
+[[nodiscard]] TrialFailure failure_from_json(const io::Json& j);
+
+/// Describe the in-flight exception (call inside a catch block):
+/// demangled dynamic type name into `type`, message into `what`.
+void describe_current_exception(std::string& type, std::string& what);
 
 /// Trial-latency quantiles for one sweep point [ms].
 struct PointStats {
@@ -39,6 +76,14 @@ struct RunStats {
   /// total_trial_s / wall_s — the measured parallel speedup vs running
   /// the same trials back to back on one thread.
   double speedup_vs_serial{0.0};
+
+  // Failure taxonomy (supervised campaigns; all zero on a clean run).
+  int failed_trials{0};   ///< trials that crashed or timed out at least once
+  int crashed{0};         ///< trials whose attempts threw
+  int timed_out{0};       ///< trials flagged by the deadline watchdog
+  int quarantined{0};     ///< trials with no usable result after retries
+  int retried{0};         ///< extra same-seed attempts made
+  std::vector<TrialFailure> failures;  ///< sorted by (point, trial)
 
   std::vector<PointStats> per_point;
 

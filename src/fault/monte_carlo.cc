@@ -1,8 +1,9 @@
 #include "fault/monte_carlo.h"
 
 #include <algorithm>
+#include <cmath>
 
-#include "exp/runner.h"
+#include "fault/trial_codec.h"
 
 namespace skyferry::fault {
 
@@ -18,30 +19,44 @@ MonteCarloSummary run_monte_carlo(const MonteCarloConfig& cfg) {
   out.trials = cfg.trials;
   out.seed = cfg.seed;
 
-  // Fan the trials across the pool. Each slot is written exactly once at
-  // its trial index, so the reduction below is order-deterministic no
-  // matter how the chunks were scheduled.
+  // Fan the trials across the pool under supervision. Each slot is
+  // written exactly once at its trial index, so the reduction below is
+  // order-deterministic no matter how the chunks were scheduled — and,
+  // because quarantine is seed-deterministic too, identical across a
+  // kill-and-resume.
   exp::RunnerConfig rc;
   rc.threads = cfg.threads;
   rc.trials = cfg.trials;
   rc.seed = cfg.seed;
-  auto run = exp::Runner(rc).run_trials(
-      [&cfg](const exp::Point&, std::uint64_t trial_seed) {
+  exp::SupervisorOptions so = cfg.supervision;
+  if (so.name.empty() || so.name == "campaign") so.name = "run_monte_carlo";
+  auto run = exp::SupervisedRunner(rc, so).run_trials(
+      [&cfg](const exp::Point&, std::uint64_t trial_seed, const exp::CancelToken& token) {
+        if (cfg.chaos) cfg.chaos(trial_seed, token);
+        exp::poll_cancel(token);
         return run_mission_trial(cfg.spec, trial_seed);
       });
   std::vector<TrialResult>& results = run.results[0];
   out.run_stats = std::move(run.stats);
-  out.run_stats.name = "run_monte_carlo";
+  out.report = std::move(run.report);
+  out.interrupted = run.interrupted;
+  out.quarantined = out.report.quarantined;
 
   std::vector<double> delivered_mb;
   std::vector<double> completion_s;
   delivered_mb.reserve(results.size());
 
-  long delivered = 0, survived = 0;
+  long delivered = 0, survived = 0, completed = 0;
   double frac_sum = 0.0, attempts_sum = 0.0, retries_sum = 0.0, retx_sum = 0.0;
+  bool analytic_done = false;
 
   for (std::size_t i = 0; i < results.size(); ++i) {
+    // A quarantined slot holds a default TrialResult, not a mission
+    // outcome — excluding it keeps every statistic honest; its absence
+    // is priced into delivery_ci_halfwidth below.
+    if (out.report.is_quarantined(0, static_cast<int>(i))) continue;
     const TrialResult& r = results[i];
+    ++completed;
     delivered += r.delivered_all ? 1 : 0;
     survived += r.survived_approach ? 1 : 0;
     out.crashes += r.crashed ? 1 : 0;
@@ -54,8 +69,10 @@ MonteCarloSummary run_monte_carlo(const MonteCarloConfig& cfg) {
     delivered_mb.push_back(r.delivered_bytes / 1e6);
     if (r.delivered_all) completion_s.push_back(r.completion_time_s);
 
-    if (i == 0) {
-      // The decision is deterministic, so trial 0 carries the analytic side.
+    if (!analytic_done) {
+      // The decision is deterministic, so the first usable trial carries
+      // the analytic side.
+      analytic_done = true;
       out.analytic_approach_survival =
           cfg.spec.faults.crash.enabled
               ? cfg.spec.faults.crash.model().survival(r.approach_distance_m)
@@ -65,13 +82,22 @@ MonteCarloSummary run_monte_carlo(const MonteCarloConfig& cfg) {
   }
   if (cfg.keep_trials) out.trial_results = std::move(results);
 
-  const double n = static_cast<double>(out.trials);
-  out.empirical_delivery_probability = static_cast<double>(delivered) / n;
-  out.empirical_approach_survival = static_cast<double>(survived) / n;
-  out.mean_delivered_fraction = frac_sum / n;
-  out.mean_rendezvous_attempts = attempts_sum / n;
-  out.mean_control_retries = retries_sum / n;
-  out.mean_arq_retransmissions = retx_sum / n;
+  out.completed_trials = static_cast<int>(completed);
+  const double n = static_cast<double>(completed);
+  if (completed > 0) {
+    out.empirical_delivery_probability = static_cast<double>(delivered) / n;
+    out.empirical_approach_survival = static_cast<double>(survived) / n;
+    out.mean_delivered_fraction = frac_sum / n;
+    out.mean_rendezvous_attempts = attempts_sum / n;
+    out.mean_control_retries = retries_sum / n;
+    out.mean_arq_retransmissions = retx_sum / n;
+    // Binomial 3σ over what completed, widened by the quarantined
+    // fraction: each quarantined trial could have landed either way.
+    const double p = out.empirical_delivery_probability;
+    out.delivery_ci_halfwidth = 3.0 * std::sqrt(p * (1.0 - p) / n) +
+                                static_cast<double>(out.quarantined) /
+                                    static_cast<double>(out.trials);
+  }
   out.delivered_mb = stats::boxplot(delivered_mb);
   if (!completion_s.empty()) {
     std::sort(completion_s.begin(), completion_s.end());

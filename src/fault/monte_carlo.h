@@ -7,15 +7,22 @@
 // Weibull ablation laws the gap quantifies how optimistic/pessimistic
 // the exponential assumption is.
 //
-// Trials fan out across the experiment engine (exp::Runner): per-trial
-// seeds come from sim::fork(seed, 0, trial), results reduce in trial
-// order, so the summary is bit-identical for every thread count.
+// Trials fan out across the experiment engine (exp::SupervisedRunner):
+// per-trial seeds come from sim::fork(seed, 0, trial), results reduce in
+// trial order, so the summary is bit-identical for every thread count —
+// including a campaign that was killed mid-run and resumed from its
+// checkpoint. A trial that crashes or hangs is retried/quarantined per
+// MonteCarloConfig::supervision instead of aborting the campaign; the
+// reduction then excludes quarantined slots and widens the reported
+// confidence band to cover them.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "exp/run_stats.h"
+#include "exp/supervisor.h"
 #include "fault/mission_sim.h"
 #include "stats/quantile.h"
 
@@ -30,6 +37,14 @@ struct MonteCarloConfig {
   int threads{0};
   /// Keep the per-trial results (delivered MB etc.) in the summary.
   bool keep_trials{false};
+  /// Supervision policy: retries, soft deadline, checkpoint/resume,
+  /// fail-fast, replay prefix. Defaults keep the summary bit-identical
+  /// to an unsupervised run as long as no trial fails.
+  exp::SupervisorOptions supervision{};
+  /// Test/chaos hook, called with (trial_seed, cancel_token) before each
+  /// mission trial — lets fault-injection tests make specific seeds throw
+  /// or hang cooperatively without touching the mission simulator.
+  std::function<void(std::uint64_t, const exp::CancelToken&)> chaos{};
 
   // Fluent construction: cfg.with_trials(2000).with_seed(1).
   MonteCarloConfig& with_spec(TrialSpec s) {
@@ -52,6 +67,14 @@ struct MonteCarloConfig {
     keep_trials = keep;
     return *this;
   }
+  MonteCarloConfig& with_supervision(exp::SupervisorOptions opts) {
+    supervision = std::move(opts);
+    return *this;
+  }
+  MonteCarloConfig& with_chaos(std::function<void(std::uint64_t, const exp::CancelToken&)> fn) {
+    chaos = std::move(fn);
+    return *this;
+  }
 
   /// Throws ConfigError on non-positive trials or a malformed spec
   /// (NaN distances, empty scenario, ...). run_monte_carlo calls this.
@@ -67,6 +90,10 @@ struct MonteCarloSummary {
   double empirical_approach_survival{0.0};     ///< P(reached the transmit position)
   double analytic_approach_survival{0.0};      ///< δ(d_opt) under the *injected* law
   double planner_delivery_probability{0.0};    ///< δ(d_opt) the planner assumed
+  /// Half-width of the delivery-probability band: the binomial 3σ over
+  /// the *completed* trials, widened by the quarantined fraction (a
+  /// quarantined trial could have gone either way).
+  double delivery_ci_halfwidth{0.0};
 
   // Delivered-data distribution (partial deliveries are the point).
   double mean_delivered_fraction{0.0};
@@ -85,10 +112,18 @@ struct MonteCarloSummary {
   double mean_control_retries{0.0};
   double mean_arq_retransmissions{0.0};
 
+  // Supervision outcome. Quarantined trials are excluded from every
+  // statistic above; their absence is priced into delivery_ci_halfwidth.
+  int completed_trials{0};  ///< trials with a usable result
+  int quarantined{0};       ///< trials with no usable result after retries
+  bool interrupted{false};  ///< SIGINT/SIGTERM: partial summary, resumable
+  exp::CampaignReport report;  ///< failure taxonomy + per-failure replay commands
+
   std::vector<TrialResult> trial_results;  ///< only when keep_trials
 
   /// Engine timing sidecar (wall time, trials/s, occupancy, latency
-  /// quantiles). Timing only — never feeds back into the results above.
+  /// quantiles) with the failure taxonomy folded in. Timing only — never
+  /// feeds back into the results above.
   exp::RunStats run_stats;
 };
 

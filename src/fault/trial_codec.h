@@ -1,0 +1,62 @@
+// Checkpoint codec for fault::TrialResult: every field rides the strict
+// exp::Codec primitives (doubles bit-exact with NaN/Inf tags — note
+// crash_distance_m is +inf whenever crash injection is off; 64-bit
+// counters as decimal strings), so a campaign journaled mid-run and
+// resumed merges to a bit-identical summary.
+#pragma once
+
+#include "exp/codec.h"
+#include "fault/mission_sim.h"
+
+namespace skyferry::exp {
+
+template <>
+struct Codec<fault::TrialResult> {
+  static io::Json encode(const fault::TrialResult& r) {
+    io::Json j = io::Json::object();
+    j.set("d_opt_m", Codec<double>::encode(r.d_opt_m));
+    j.set("approach_distance_m", Codec<double>::encode(r.approach_distance_m));
+    j.set("analytic_delivery_probability",
+          Codec<double>::encode(r.analytic_delivery_probability));
+    j.set("survived_approach", Codec<bool>::encode(r.survived_approach));
+    j.set("crashed", Codec<bool>::encode(r.crashed));
+    j.set("negotiation_failed", Codec<bool>::encode(r.negotiation_failed));
+    j.set("delivered_all", Codec<bool>::encode(r.delivered_all));
+    j.set("timed_out", Codec<bool>::encode(r.timed_out));
+    j.set("delivered_bytes", Codec<double>::encode(r.delivered_bytes));
+    j.set("total_bytes", Codec<double>::encode(r.total_bytes));
+    j.set("completion_time_s", Codec<double>::encode(r.completion_time_s));
+    j.set("crash_distance_m", Codec<double>::encode(r.crash_distance_m));
+    j.set("rendezvous_attempts", Codec<int>::encode(r.rendezvous_attempts));
+    j.set("control_retries", Codec<std::uint64_t>::encode(r.control_retries));
+    j.set("arq_retransmissions", Codec<std::uint64_t>::encode(r.arq_retransmissions));
+    j.set("link_outages", Codec<std::uint64_t>::encode(r.link_outages));
+    j.set("gps_dropouts", Codec<std::uint64_t>::encode(r.gps_dropouts));
+    return j;
+  }
+
+  static fault::TrialResult decode(const io::Json& j) {
+    if (!j.is_object()) throw CodecError("Codec<TrialResult>: expected an object");
+    fault::TrialResult r;
+    r.d_opt_m = field<double>(j, "d_opt_m");
+    r.approach_distance_m = field<double>(j, "approach_distance_m");
+    r.analytic_delivery_probability = field<double>(j, "analytic_delivery_probability");
+    r.survived_approach = field<bool>(j, "survived_approach");
+    r.crashed = field<bool>(j, "crashed");
+    r.negotiation_failed = field<bool>(j, "negotiation_failed");
+    r.delivered_all = field<bool>(j, "delivered_all");
+    r.timed_out = field<bool>(j, "timed_out");
+    r.delivered_bytes = field<double>(j, "delivered_bytes");
+    r.total_bytes = field<double>(j, "total_bytes");
+    r.completion_time_s = field<double>(j, "completion_time_s");
+    r.crash_distance_m = field<double>(j, "crash_distance_m");
+    r.rendezvous_attempts = field<int>(j, "rendezvous_attempts");
+    r.control_retries = field<std::uint64_t>(j, "control_retries");
+    r.arq_retransmissions = field<std::uint64_t>(j, "arq_retransmissions");
+    r.link_outages = field<std::uint64_t>(j, "link_outages");
+    r.gps_dropouts = field<std::uint64_t>(j, "gps_dropouts");
+    return r;
+  }
+};
+
+}  // namespace skyferry::exp

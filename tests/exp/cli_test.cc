@@ -110,6 +110,58 @@ TEST(Cli, UsageListsEveryFlagWithDefault) {
     EXPECT_NE(u.find(needle), std::string::npos) << needle;
 }
 
+// ---- bool flags -------------------------------------------------------------
+
+struct BoolFlags {
+  bool resume{false};
+  bool fail_fast{false};
+  bool verbose{true};
+  int trials{10};
+  Cli cli{"bench"};
+
+  BoolFlags() {
+    cli.flag("--resume", &resume, "resume from checkpoint")
+        .flag("--fail-fast", &fail_fast, "abort on first failure")
+        .flag("--verbose", &verbose, "narrate")
+        .flag("--trials", &trials, "trials");
+  }
+};
+
+TEST(Cli, BareBoolFlagSetsTrueWithoutConsumingNextToken) {
+  BoolFlags f;
+  Args a({"--resume", "--trials", "7"});
+  f.cli.parse(a.argc(), a.argv());
+  EXPECT_TRUE(f.resume);
+  EXPECT_EQ(f.trials, 7);  // "--trials" was NOT eaten as --resume's value
+}
+
+TEST(Cli, BoolEqualsFormsParse) {
+  BoolFlags f;
+  Args a({"--resume=true", "--fail-fast=1", "--verbose=false"});
+  f.cli.parse(a.argc(), a.argv());
+  EXPECT_TRUE(f.resume);
+  EXPECT_TRUE(f.fail_fast);
+  EXPECT_FALSE(f.verbose);
+  BoolFlags g;
+  Args b({"--fail-fast=0"});
+  g.cli.parse(b.argc(), b.argv());
+  EXPECT_FALSE(g.fail_fast);
+}
+
+TEST(Cli, BoolRejectsNonBooleanValues) {
+  BoolFlags f;
+  Args a({"--resume=yes"});
+  EXPECT_THROW(f.cli.parse(a.argc(), a.argv()), CliError);
+}
+
+TEST(Cli, BoolUsageAndValueStrings) {
+  BoolFlags f;
+  EXPECT_NE(f.cli.usage().find("[--resume[=true|false]]"), std::string::npos);
+  const auto values = f.cli.flag_values();
+  EXPECT_EQ(values[0], (std::pair<std::string, std::string>{"resume", "false"}));
+  EXPECT_EQ(values[2], (std::pair<std::string, std::string>{"verbose", "true"}));
+}
+
 // ---- replay round-trip ------------------------------------------------------
 
 // Split a replay command into argv tokens (no quoting: flag values in
@@ -148,6 +200,27 @@ TEST(Cli, ReplayCommandRoundTripsSeedAndThreads) {
   EXPECT_EQ(second.threads, first.threads);
   EXPECT_DOUBLE_EQ(second.scale, first.scale);
   EXPECT_EQ(second.out, first.out);
+}
+
+TEST(Cli, ReplayCommandRoundTripsBoolFlags) {
+  // Bool flags print as --name=value in the replay command, so feeding
+  // it back never mis-parses the next token as a value.
+  BoolFlags first;
+  Args a({"--fail-fast", "--verbose=false", "--trials", "3"});
+  first.cli.parse(a.argc(), a.argv());
+  const std::string cmd = first.cli.replay_command();
+  EXPECT_NE(cmd.find("--fail-fast=true"), std::string::npos);
+  EXPECT_NE(cmd.find("--verbose=false"), std::string::npos);
+
+  auto tokens = Tokenize(cmd);
+  tokens.erase(tokens.begin());
+  BoolFlags second;
+  Args replay(tokens);
+  second.cli.parse(replay.argc(), replay.argv());
+  EXPECT_EQ(second.resume, first.resume);
+  EXPECT_EQ(second.fail_fast, first.fail_fast);
+  EXPECT_EQ(second.verbose, first.verbose);
+  EXPECT_EQ(second.trials, first.trials);
 }
 
 TEST(Cli, FlagValuesReflectParsedStateInRegistrationOrder) {

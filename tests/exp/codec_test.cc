@@ -1,0 +1,321 @@
+// Round-trip and adversarial-input coverage for the checkpoint codec
+// path: Codec<T> primitives (NaN/Inf doubles, 64-bit seeds), the
+// TrialResult struct codec, and CheckpointFile's strict load — a
+// truncated or tampered journal must be rejected with a clear error,
+// never half-resumed.
+#include "exp/codec.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "exp/checkpoint.h"
+#include "exp/sweep.h"
+#include "fault/trial_codec.h"
+
+namespace skyferry::exp {
+namespace {
+
+// ---- primitive codecs ------------------------------------------------------
+
+TEST(Codec, DoubleRoundTripsBitExactIncludingNanAndInf) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0 / 3.0,
+                           -1.75e-308,
+                           6.02214076e23,
+                           std::numeric_limits<double>::max(),
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()};
+  for (const double v : values) {
+    // Through the in-memory Json value AND through its text form — the
+    // checkpoint file round-trips text, not objects.
+    const io::Json j = Codec<double>::encode(v);
+    const auto parsed = io::Json::parse(j.dump());
+    ASSERT_TRUE(parsed.has_value()) << v;
+    const double back = Codec<double>::decode(*parsed);
+    EXPECT_EQ(std::memcmp(&v, &back, sizeof v), 0) << "value " << v;
+  }
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(Codec<double>::decode(Codec<double>::encode(nan))));
+}
+
+TEST(Codec, DoubleRejectsUnknownTags) {
+  EXPECT_THROW(Codec<double>::decode(io::Json("fast")), CodecError);
+  EXPECT_THROW(Codec<double>::decode(io::Json(true)), CodecError);
+  EXPECT_THROW(Codec<double>::decode(io::Json()), CodecError);
+}
+
+TEST(Codec, Uint64SurvivesFullRange) {
+  const std::uint64_t values[] = {0, 1, (1ULL << 53) + 1, 0xFFFFFFFFFFFFFFFFULL,
+                                  0x123456789ABCDEF0ULL};
+  for (const std::uint64_t v : values)
+    EXPECT_EQ(Codec<std::uint64_t>::decode(Codec<std::uint64_t>::encode(v)), v);
+}
+
+TEST(Codec, Uint64RejectsMalformedInputs) {
+  EXPECT_THROW(Codec<std::uint64_t>::decode(io::Json("-1")), CodecError);
+  EXPECT_THROW(Codec<std::uint64_t>::decode(io::Json("")), CodecError);
+  EXPECT_THROW(Codec<std::uint64_t>::decode(io::Json("12x")), CodecError);
+  EXPECT_THROW(Codec<std::uint64_t>::decode(io::Json("99999999999999999999999")), CodecError);
+  EXPECT_THROW(Codec<std::uint64_t>::decode(io::Json(1.5)), CodecError);
+  EXPECT_THROW(Codec<std::uint64_t>::decode(io::Json(-2.0)), CodecError);
+}
+
+TEST(Codec, IntRejectsLossyNumbers) {
+  EXPECT_EQ(Codec<int>::decode(io::Json(-7)), -7);
+  EXPECT_THROW(Codec<int>::decode(io::Json(2.5)), CodecError);
+  EXPECT_THROW(Codec<int>::decode(io::Json("7")), CodecError);
+}
+
+TEST(Codec, RangeHelpersRejectSizeMismatch) {
+  const double xs[] = {1.0, 2.0, 3.0};
+  const io::Json arr = encode_range<double>(xs, 3);
+  double out[3];
+  decode_range<double>(arr, out, 3);
+  EXPECT_EQ(out[2], 3.0);
+  EXPECT_THROW(decode_range<double>(arr, out, 2), CodecError);
+  EXPECT_THROW(decode_range<double>(io::Json(1.0), out, 1), CodecError);
+}
+
+// ---- TrialResult struct codec ----------------------------------------------
+
+TEST(Codec, TrialResultRoundTripsEveryField) {
+  fault::TrialResult r;
+  r.d_opt_m = 37.25;
+  r.approach_distance_m = 62.75;
+  r.analytic_delivery_probability = 1.0 / 3.0;
+  r.survived_approach = true;
+  r.crashed = true;
+  r.negotiation_failed = false;
+  r.delivered_all = false;
+  r.timed_out = true;
+  r.delivered_bytes = 12345678.0;
+  r.total_bytes = 28e6;
+  r.completion_time_s = 59.994;
+  r.crash_distance_m = std::numeric_limits<double>::infinity();  // crashes off
+  r.rendezvous_attempts = 3;
+  r.control_retries = (1ULL << 60) + 17;
+  r.arq_retransmissions = 42;
+  r.link_outages = 5;
+  r.gps_dropouts = 2;
+  const auto parsed = io::Json::parse(Codec<fault::TrialResult>::encode(r).dump(2));
+  ASSERT_TRUE(parsed.has_value());
+  const fault::TrialResult b = Codec<fault::TrialResult>::decode(*parsed);
+  EXPECT_EQ(b.d_opt_m, r.d_opt_m);
+  EXPECT_EQ(b.approach_distance_m, r.approach_distance_m);
+  EXPECT_EQ(b.analytic_delivery_probability, r.analytic_delivery_probability);
+  EXPECT_EQ(b.survived_approach, r.survived_approach);
+  EXPECT_EQ(b.crashed, r.crashed);
+  EXPECT_EQ(b.negotiation_failed, r.negotiation_failed);
+  EXPECT_EQ(b.delivered_all, r.delivered_all);
+  EXPECT_EQ(b.timed_out, r.timed_out);
+  EXPECT_EQ(b.delivered_bytes, r.delivered_bytes);
+  EXPECT_EQ(b.total_bytes, r.total_bytes);
+  EXPECT_EQ(b.completion_time_s, r.completion_time_s);
+  EXPECT_EQ(b.crash_distance_m, r.crash_distance_m);
+  EXPECT_EQ(b.rendezvous_attempts, r.rendezvous_attempts);
+  EXPECT_EQ(b.control_retries, r.control_retries);
+  EXPECT_EQ(b.arq_retransmissions, r.arq_retransmissions);
+  EXPECT_EQ(b.link_outages, r.link_outages);
+  EXPECT_EQ(b.gps_dropouts, r.gps_dropouts);
+}
+
+TEST(Codec, TrialResultRejectsMissingField) {
+  io::Json j = Codec<fault::TrialResult>::encode(fault::TrialResult{});
+  io::Json stripped = io::Json::object();
+  for (const auto& key : {"d_opt_m", "crashed"}) stripped.set(key, *j.find(key));
+  EXPECT_THROW(Codec<fault::TrialResult>::decode(stripped), CodecError);
+  EXPECT_THROW(Codec<fault::TrialResult>::decode(io::Json(3.0)), CodecError);
+}
+
+// ---- checkpoint file strictness --------------------------------------------
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(std::string(::testing::TempDir()) + name) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  void write(const std::string& text) const {
+    std::FILE* fp = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(fp, nullptr);
+    std::fwrite(text.data(), 1, text.size(), fp);
+    std::fclose(fp);
+  }
+
+ private:
+  std::string path_;
+};
+
+CheckpointFile sample_checkpoint() {
+  CheckpointFile f;
+  f.name = "codec_test";
+  f.seed = 0xDEADBEEFCAFEF00DULL;
+  f.trials = 8;
+  f.points = 2;
+  f.chunk = 4;
+  f.grid = grid_signature(Sweep{}.axis("x", {1.0, 2.0}).cartesian());
+  const double xs[] = {0.5, std::numeric_limits<double>::infinity(), -1.0, 2.0};
+  ChunkRecord rec;
+  rec.point = 1;
+  rec.start = 4;
+  rec.end = 8;
+  rec.results = encode_range<double>(xs, 4);
+  TrialFailure fail;
+  fail.kind = TrialFailure::Kind::kTimedOut;
+  fail.point = 1;
+  fail.trial = 6;
+  fail.seed = 0xFFFFFFFFFFFFFFFFULL;
+  fail.quarantined = true;
+  fail.type = "skyferry::exp::TrialCancelled";
+  fail.what = "watchdog";
+  fail.replay_cmd = "bench --replay-trial 18446744073709551615";
+  rec.failures.push_back(fail);
+  f.add_chunk(std::move(rec));
+  return f;
+}
+
+TEST(Checkpoint, SaveLoadRoundTripsHeaderChunksAndFailures) {
+  const TempFile file("ckpt_roundtrip.json");
+  const CheckpointFile f = sample_checkpoint();
+  f.save_atomic(file.path());
+  const CheckpointFile b = CheckpointFile::load(file.path());
+  EXPECT_EQ(b.name, f.name);
+  EXPECT_EQ(b.seed, f.seed);
+  EXPECT_EQ(b.trials, f.trials);
+  EXPECT_EQ(b.points, f.points);
+  EXPECT_EQ(b.chunk, f.chunk);
+  EXPECT_EQ(b.grid, f.grid);
+  ASSERT_EQ(b.chunks().size(), 1u);
+  EXPECT_TRUE(b.has_chunk(1, 4));
+  EXPECT_EQ(b.completed_trials(), 4u);
+  double out[4];
+  decode_range<double>(b.chunks()[0].results, out, 4);
+  EXPECT_EQ(out[1], std::numeric_limits<double>::infinity());
+  ASSERT_EQ(b.chunks()[0].failures.size(), 1u);
+  EXPECT_EQ(b.chunks()[0].failures[0].seed, 0xFFFFFFFFFFFFFFFFULL);
+  EXPECT_EQ(b.chunks()[0].failures[0].kind, TrialFailure::Kind::kTimedOut);
+}
+
+TEST(Checkpoint, EmptyGridAndZeroChunksRoundTrip) {
+  const TempFile file("ckpt_empty.json");
+  CheckpointFile f;
+  f.name = "empty";
+  f.seed = 1;
+  f.trials = 4;
+  f.points = 0;  // empty sweep: header-only checkpoint
+  f.chunk = 2;
+  f.grid = grid_signature({});
+  f.save_atomic(file.path());
+  const CheckpointFile b = CheckpointFile::load(file.path());
+  EXPECT_EQ(b.points, 0u);
+  EXPECT_EQ(b.chunks().size(), 0u);
+  EXPECT_EQ(b.completed_trials(), 0u);
+}
+
+TEST(Checkpoint, TruncatedFileIsRejectedWithClearError) {
+  const TempFile file("ckpt_truncated.json");
+  const std::string full = sample_checkpoint().to_json().dump(2);
+  // Cut the journal at several points — every prefix must be rejected,
+  // not half-resumed.
+  for (const std::size_t cut : {full.size() / 4, full.size() / 2, full.size() - 2}) {
+    file.write(full.substr(0, cut));
+    try {
+      (void)CheckpointFile::load(file.path());
+      FAIL() << "truncation at " << cut << " was accepted";
+    } catch (const CheckpointError& e) {
+      EXPECT_NE(std::string(e.what()).find("truncated or not valid JSON"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find(file.path()), std::string::npos);
+    }
+  }
+}
+
+TEST(Checkpoint, MissingFileAndGarbageAreRejected) {
+  EXPECT_THROW((void)CheckpointFile::load("/nonexistent/dir/nothing.ckpt.json"),
+               CheckpointError);
+  const TempFile file("ckpt_garbage.json");
+  file.write("not json at all {{{");
+  EXPECT_THROW((void)CheckpointFile::load(file.path()), CheckpointError);
+  file.write("{\"some\": \"object\"}");  // valid JSON, wrong shape
+  EXPECT_THROW((void)CheckpointFile::load(file.path()), CheckpointError);
+  file.write("{\"skyferry_checkpoint\": 99}");  // future format version
+  EXPECT_THROW((void)CheckpointFile::load(file.path()), CheckpointError);
+}
+
+TEST(Checkpoint, TamperedRecordsAreRejected) {
+  const auto tampered = [](const char* mutate_key, io::Json value) {
+    io::Json j = sample_checkpoint().to_json();
+    j.set(mutate_key, std::move(value));
+    return CheckpointFile::from_json(j);
+  };
+  EXPECT_THROW((void)tampered("trials", io::Json(0)), CheckpointError);
+  EXPECT_THROW((void)tampered("chunk", io::Json(2.5)), CheckpointError);
+  EXPECT_THROW((void)tampered("seed", io::Json("12junk")), CheckpointError);
+  EXPECT_THROW((void)tampered("chunks", io::Json("nope")), CheckpointError);
+  // A chunk whose results array disagrees with its [start, end) range.
+  io::Json j = sample_checkpoint().to_json();
+  io::Json chunks = io::Json::array();
+  io::Json cj = io::Json::object();
+  cj.set("point", 0);
+  cj.set("start", 0);
+  cj.set("end", 4);
+  const double one[] = {1.0};
+  cj.set("results", encode_range<double>(one, 1));
+  cj.set("failures", io::Json::array());
+  chunks.push_back(std::move(cj));
+  j.set("chunks", std::move(chunks));
+  EXPECT_THROW((void)CheckpointFile::from_json(j), CheckpointError);
+}
+
+TEST(Checkpoint, DuplicateAndOutOfRangeChunksAreRejected) {
+  CheckpointFile f = sample_checkpoint();
+  const double xs[] = {1.0, 2.0, 3.0, 4.0};
+  ChunkRecord dup;
+  dup.point = 1;
+  dup.start = 4;
+  dup.end = 8;
+  dup.results = encode_range<double>(xs, 4);
+  EXPECT_THROW(f.add_chunk(dup), CheckpointError);
+  ChunkRecord off;
+  off.point = 7;  // grid has 2 points
+  off.start = 0;
+  off.end = 4;
+  off.results = encode_range<double>(xs, 4);
+  EXPECT_THROW(f.add_chunk(off), CheckpointError);
+  ChunkRecord past;
+  past.point = 0;
+  past.start = 6;
+  past.end = 10;  // trials = 8
+  past.results = encode_range<double>(xs, 4);
+  EXPECT_THROW(f.add_chunk(past), CheckpointError);
+}
+
+TEST(Checkpoint, RequireMatchRejectsForeignCampaigns) {
+  const CheckpointFile f = sample_checkpoint();
+  EXPECT_NO_THROW(f.require_match(f.seed, f.trials, f.points, f.grid));
+  EXPECT_THROW(f.require_match(f.seed + 1, f.trials, f.points, f.grid), CheckpointError);
+  EXPECT_THROW(f.require_match(f.seed, f.trials + 1, f.points, f.grid), CheckpointError);
+  EXPECT_THROW(f.require_match(f.seed, f.trials, f.points + 1, f.grid), CheckpointError);
+  EXPECT_THROW(f.require_match(f.seed, f.trials, f.points, "0000000000000000"),
+               CheckpointError);
+}
+
+TEST(Checkpoint, GridSignatureTracksLabelsNotObjectIdentity) {
+  const auto a = Sweep{}.axis("rho", {1e-3, 2e-3}).cartesian();
+  const auto b = Sweep{}.axis("rho", {1e-3, 2e-3}).cartesian();
+  const auto c = Sweep{}.axis("rho", {1e-3, 3e-3}).cartesian();
+  EXPECT_EQ(grid_signature(a), grid_signature(b));
+  EXPECT_NE(grid_signature(a), grid_signature(c));
+  EXPECT_EQ(grid_signature({}).size(), 16u);
+}
+
+}  // namespace
+}  // namespace skyferry::exp

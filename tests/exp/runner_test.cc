@@ -71,10 +71,11 @@ TEST(Runner, TrialSeedsDependOnPointAndTrialIndex) {
       EXPECT_EQ(out.results[p][t], sim::fork(7, p, t));
 }
 
-TEST(Runner, ExceptionInTrialPropagates) {
+TEST(Runner, ExceptionInTrialPropagatesUnderFailFast) {
   RunnerConfig cfg;
   cfg.threads = 4;
   cfg.trials = 32;
+  cfg.fail_fast = true;
   const auto points = Sweep{}.cartesian();
   Runner runner(cfg);
   EXPECT_THROW(runner.run(points,
@@ -83,6 +84,41 @@ TEST(Runner, ExceptionInTrialPropagates) {
                             return 1;
                           }),
                std::runtime_error);
+}
+
+TEST(Runner, ExceptionsAreRecordedNotThrownByDefault) {
+  RunnerConfig cfg;
+  cfg.threads = 4;
+  cfg.trials = 32;
+  cfg.seed = 11;
+  const auto points = Sweep{}.cartesian();
+  const auto out = Runner(cfg).run(points, [](const Point&, std::uint64_t seed) -> int {
+    if (seed % 3 == 0) throw std::runtime_error("boom");
+    return 1;
+  });
+  // Every failing seed got a record, the rest kept their results.
+  int expect_failed = 0;
+  for (std::size_t t = 0; t < 32; ++t) {
+    const bool fails = sim::fork(11, 0, t) % 3 == 0;
+    expect_failed += fails ? 1 : 0;
+    EXPECT_EQ(out.results[0][t], fails ? 0 : 1) << "trial " << t;
+  }
+  ASSERT_GT(expect_failed, 0);  // the seed choice must actually exercise failures
+  EXPECT_EQ(out.stats.failed_trials, expect_failed);
+  EXPECT_EQ(out.stats.crashed, expect_failed);
+  EXPECT_EQ(out.stats.quarantined, expect_failed);
+  ASSERT_EQ(out.stats.failures.size(), static_cast<std::size_t>(expect_failed));
+  // Records are sorted by (point, trial), carry the forked seed and the
+  // demangled type, and the slot is flagged as quarantined.
+  for (std::size_t i = 1; i < out.stats.failures.size(); ++i)
+    EXPECT_LT(out.stats.failures[i - 1].trial, out.stats.failures[i].trial);
+  const TrialFailure& f = out.stats.failures[0];
+  EXPECT_EQ(f.seed, sim::fork(11, 0, static_cast<std::uint64_t>(f.trial)));
+  EXPECT_EQ(f.type, "std::runtime_error");
+  EXPECT_EQ(f.what, "boom");
+  EXPECT_TRUE(f.quarantined);
+  EXPECT_NE(out.stats.summary_line().find("failed"), std::string::npos);
+  EXPECT_NE(out.stats.to_json().find("\"failures\""), std::string::npos);
 }
 
 TEST(Runner, StatsAreFilledIn) {

@@ -1,9 +1,16 @@
 #include "fault/monte_carlo.h"
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <stdexcept>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
+
+#include "sim/rng.h"
 
 namespace skyferry::fault {
 namespace {
@@ -240,6 +247,125 @@ TEST(MonteCarlo, KeepTrialsRetainsPerTrialResults) {
     EXPECT_GE(r.delivered_bytes, 0.0);
     EXPECT_LE(r.delivered_bytes, r.total_bytes + 1e-9);
   }
+}
+
+// ---- supervised campaigns ---------------------------------------------------
+
+TEST(MonteCarlo, ChaosCrashesAreQuarantinedAndDeltaStaysInWidenedBand) {
+  // The ISSUE's acceptance scenario: ~1% of seeds throw; the campaign
+  // must complete, quarantine exactly the poisoned trials, report each
+  // with a replay command, and keep the delta(d) estimate inside the
+  // quarantine-widened confidence band.
+  const auto scen = core::Scenario::airplane();
+  auto cfg = crash_only_config(scen, 1000);
+  cfg.supervision.max_retries = 1;
+  cfg.supervision.replay_prefix = "mc --replay-trial";
+  cfg.chaos = [](std::uint64_t seed, const exp::CancelToken&) {
+    if (seed % 128 == 0) throw std::runtime_error("chaos crash");
+  };
+  const auto s = run_monte_carlo(cfg);
+
+  int poisoned = 0;
+  for (int t = 0; t < 1000; ++t)
+    poisoned += sim::fork(12345, 0, static_cast<std::uint64_t>(t)) % 128 == 0 ? 1 : 0;
+  ASSERT_GT(poisoned, 0);
+  EXPECT_EQ(s.quarantined, poisoned);
+  EXPECT_EQ(s.completed_trials, 1000 - poisoned);
+  ASSERT_EQ(s.report.failures.size(), static_cast<std::size_t>(poisoned));
+  for (const auto& f : s.report.failures) {
+    EXPECT_TRUE(f.quarantined);
+    EXPECT_EQ(f.seed % 128, 0u);
+    EXPECT_EQ(f.replay_cmd, "mc --replay-trial " + std::to_string(f.seed));
+  }
+  // delta(d) estimate within the widened band around the analytic value.
+  EXPECT_GE(s.delivery_ci_halfwidth,
+            static_cast<double>(poisoned) / 1000.0);  // quarantine priced in
+  EXPECT_NEAR(s.empirical_approach_survival, s.analytic_approach_survival,
+              0.02 + static_cast<double>(poisoned) / 1000.0);
+  // Taxonomy reaches the stats sidecar.
+  EXPECT_EQ(s.run_stats.quarantined, poisoned);
+  EXPECT_NE(s.run_stats.to_json().find("\"failures\""), std::string::npos);
+}
+
+TEST(MonteCarlo, ChaosHangIsCancelledNotDeadlocked) {
+  // One poisoned seed hangs cooperatively; the watchdog cancels it and
+  // the campaign completes with exactly that trial quarantined.
+  const auto scen = core::Scenario::airplane();
+  auto cfg = crash_only_config(scen, 64);
+  const std::uint64_t hung = sim::fork(12345, 0, 7);
+  cfg.supervision.trial_timeout_ms = 50.0;
+  cfg.chaos = [hung](std::uint64_t seed, const exp::CancelToken& token) {
+    if (seed == hung) {
+      while (true) {
+        exp::poll_cancel(token);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  };
+  const auto s = run_monte_carlo(cfg);
+  EXPECT_EQ(s.quarantined, 1);
+  EXPECT_EQ(s.completed_trials, 63);
+  ASSERT_EQ(s.report.failures.size(), 1u);
+  EXPECT_EQ(s.report.failures[0].kind, exp::TrialFailure::Kind::kTimedOut);
+  EXPECT_EQ(s.report.failures[0].seed, hung);
+  // The other 63 trials still validate the law loosely.
+  EXPECT_GT(s.empirical_approach_survival, 0.5);
+}
+
+TEST(MonteCarlo, SupervisedSummaryIdenticalToUnsupervisedWhenClean) {
+  // Supervision with no failures must not perturb a single number —
+  // this is what keeps the golden figures valid with supervision on.
+  const auto scen = core::Scenario::quadrocopter();
+  const auto plain = run_monte_carlo(crash_only_config(scen, 300));
+  auto cfg = crash_only_config(scen, 300);
+  cfg.supervision.max_retries = 3;
+  cfg.supervision.trial_timeout_ms = 60000.0;
+  const auto sup = run_monte_carlo(cfg);
+  EXPECT_EQ(sup.empirical_delivery_probability, plain.empirical_delivery_probability);
+  EXPECT_EQ(sup.empirical_approach_survival, plain.empirical_approach_survival);
+  EXPECT_EQ(sup.mean_delivered_fraction, plain.mean_delivered_fraction);
+  EXPECT_EQ(sup.completion_p99_s, plain.completion_p99_s);
+  EXPECT_EQ(sup.quarantined, 0);
+  EXPECT_EQ(sup.completed_trials, 300);
+}
+
+TEST(MonteCarlo, CheckpointResumeReproducesSummaryBitIdentically) {
+  const auto scen = core::Scenario::quadrocopter();
+  const std::string ckpt = std::string(::testing::TempDir()) + "mc_resume_test.ckpt.json";
+  std::remove(ckpt.c_str());
+  const auto reference = run_monte_carlo(crash_only_config(scen, 200));
+
+  // Interrupt partway, then resume at a different thread count.
+  auto cfg = crash_only_config(scen, 200);
+  cfg.threads = 2;
+  cfg.supervision.checkpoint_path = ckpt;
+  cfg.supervision.handle_signals = false;
+  cfg.supervision.flush_every = 1;
+  std::atomic<int> ran{0};
+  cfg.chaos = [&ran](std::uint64_t, const exp::CancelToken&) {
+    if (ran.fetch_add(1) == 60) exp::request_interrupt();
+  };
+  const auto partial = run_monte_carlo(cfg);
+  exp::clear_interrupt();
+  ASSERT_TRUE(partial.interrupted);
+
+  auto rcfg = crash_only_config(scen, 200);
+  rcfg.threads = 8;
+  rcfg.supervision.checkpoint_path = ckpt;
+  rcfg.supervision.handle_signals = false;
+  rcfg.supervision.resume = true;
+  const auto resumed = run_monte_carlo(rcfg);
+  std::remove(ckpt.c_str());
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_GT(resumed.report.resumed_chunks, 0u);
+  EXPECT_EQ(resumed.empirical_delivery_probability, reference.empirical_delivery_probability);
+  EXPECT_EQ(resumed.empirical_approach_survival, reference.empirical_approach_survival);
+  EXPECT_EQ(resumed.mean_delivered_fraction, reference.mean_delivered_fraction);
+  EXPECT_EQ(resumed.delivered_mb.median, reference.delivered_mb.median);
+  EXPECT_EQ(resumed.completion_p50_s, reference.completion_p50_s);
+  EXPECT_EQ(resumed.completion_p99_s, reference.completion_p99_s);
+  EXPECT_EQ(resumed.crashes, reference.crashes);
+  EXPECT_EQ(resumed.mean_arq_retransmissions, reference.mean_arq_retransmissions);
 }
 
 }  // namespace
