@@ -1,0 +1,228 @@
+// Ablation — model mismatch vs the mission resilience layer. The
+// planner decides d* from the paper's nominal s(d) fit and crash law;
+// this bench injects a *different* executed world (±50% rho, ±30%
+// throughput, a mid-flight regime shift) and runs every row twice with
+// common random numbers: a static arm that commits to the nominal d*,
+// and a resilient arm that may detect the mismatch in flight and
+// re-decide (ctrl::OnlineChannelEstimator -> core::ReDecisionPolicy ->
+// ctrl::DegradedModeController).
+//
+// The machine-checked tentpole claims, per row:
+//   - resilient mean delivered utility >= static (same seeds, same
+//     injected world — re-deciding never hurts);
+//   - the zero-mismatch row is *bit-identical* between the arms: with
+//     nothing to detect, the resilience stack is a pure observer.
+//
+// Mission geometry: quadrocopter at d0=400 m with a 10 MB batch, so the
+// now-or-later optimum is interior (d* ~ 71 m). With the paper's
+// 56.2 MB batch the transfer term pins d* to the 20 m floor and a
+// re-decision has no room to act in either direction. The rho rows run
+// at a stressed rho = 2e-3 /m where the failure term actually shapes
+// the optimum (at the paper's 2.46e-4 /m the discount is ~1 and a ±50%
+// error is decision-irrelevant).
+//
+// Determinism contract: the table and CSV are byte-identical for any
+// --threads at the same --seed (per-trial seeds are forked from trial
+// indices, reduction is in trial order). --replay-row/--replay-trial
+// re-run one mission of one row for debugging.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "exp/cli.h"
+#include "fault/monte_carlo.h"
+#include "io/csv.h"
+#include "io/table.h"
+
+namespace {
+
+using namespace skyferry;
+
+struct MismatchRow {
+  const char* name;
+  double rho_per_m;  // scenario (planner-visible) rho
+  fault::MismatchFaults mm;
+};
+
+core::Scenario row_scenario(const MismatchRow& row) {
+  auto s = core::Scenario::quadrocopter();
+  s.d0_m = 400.0;
+  s.mdata_bytes = 10.0e6;
+  s.rho_per_m = row.rho_per_m;
+  return s;
+}
+
+fault::TrialSpec row_spec(const MismatchRow& row, bool resilient) {
+  const auto scen = row_scenario(row);
+  fault::TrialSpec spec;
+  spec.scenario = scen;
+  spec.faults = fault::FaultPlan::crashes_only(scen.rho_per_m);
+  spec.faults.mismatch = row.mm;
+  spec.resilience.enabled = resilient;
+  return spec;
+}
+
+constexpr double kPaperRho = 2.46e-4;   // the paper's quadrocopter fit
+constexpr double kStressRho = 2.0e-3;   // failure term shapes the optimum
+
+std::vector<MismatchRow> grid() {
+  std::vector<MismatchRow> rows;
+  rows.push_back({"none", kPaperRho, {}});
+  {
+    fault::MismatchFaults mm;
+    mm.rho_scale = 1.5;
+    rows.push_back({"rho_x1.5", kStressRho, mm});
+  }
+  {
+    fault::MismatchFaults mm;
+    mm.rho_scale = 0.5;
+    rows.push_back({"rho_x0.5", kStressRho, mm});
+  }
+  {
+    fault::MismatchFaults mm;
+    mm.throughput_scale = 0.7;
+    rows.push_back({"tput_x0.7", kPaperRho, mm});
+  }
+  {
+    fault::MismatchFaults mm;
+    mm.throughput_scale = 1.3;
+    rows.push_back({"tput_x1.3", kPaperRho, mm});
+  }
+  {
+    fault::MismatchFaults mm;
+    mm.shift_at_fraction = 0.75;
+    mm.shifted_throughput_scale = 0.6;
+    rows.push_back({"shift@0.75_x0.6", kPaperRho, mm});
+  }
+  return rows;
+}
+
+const MismatchRow& find_row(const std::vector<MismatchRow>& rows, const std::string& name) {
+  for (const auto& r : rows)
+    if (name == r.name) return r;
+  throw fault::ConfigError("unknown row '" + name + "' (try tput_x0.7)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  int trials = 500;
+  int threads = 0;
+  std::string out = "ablation_model_mismatch";
+  std::string replay_row = "tput_x0.7";
+  std::uint64_t replay_trial = 0;
+  exp::Cli cli("ablation_model_mismatch");
+  cli.flag("--seed", &seed, "master seed (forked per trial)")
+      .flag("--trials", &trials, "trials per row and arm")
+      .flag("--threads", &threads, "worker threads, 0 = one per hardware thread")
+      .flag("--out", &out, "output basename for <out>.csv and <out>_stats.json")
+      .flag("--replay-row", &replay_row, "grid row whose spec --replay-trial uses")
+      .flag("--replay-trial", &replay_trial, "run one resilient trial with this seed and exit");
+  bench::Report report(cli);
+  cli.parse_or_exit(argc, argv);
+
+  const auto rows = grid();
+
+  if (replay_trial != 0) {
+    const auto r = fault::run_mission_trial(row_spec(find_row(rows, replay_row), true),
+                                            replay_trial);
+    std::printf("replay %s seed=%llu (resilient arm)\n", replay_row.c_str(),
+                static_cast<unsigned long long>(replay_trial));
+    std::printf("  d_opt=%.2f m  d_final=%.2f m  redecisions=%d  ship_closer=%d  mode=%d\n",
+                r.d_opt_m, r.d_final_m, r.redecisions, r.ship_closer_moves, r.final_mode);
+    std::printf("  detected=%d probes=%llu rejects=%llu  delivered=%.0f/%.0f  t=%.2f s  U=%.6f\n",
+                r.mismatch_detected, static_cast<unsigned long long>(r.probes),
+                static_cast<unsigned long long>(r.probe_rejects), r.delivered_bytes,
+                r.total_bytes, r.completion_time_s, r.delivered_utility);
+    return 0;
+  }
+
+  cli.print_replay_header();
+  std::printf("# trials per row and arm: %d\n", trials);
+
+  io::CsvWriter csv(out + ".csv");
+  csv.header({"row", "arm", "utility", "p_full", "mean_frac", "detect_frac",
+              "mean_redecisions", "mean_ship_moves", "p50_s", "p99_s"});
+  exp::RunStats total;
+  total.name = "ablation_model_mismatch";
+  total.seed = seed;
+
+  const auto run_arm = [&](const MismatchRow& row, bool resilient) {
+    const auto s = fault::run_monte_carlo(fault::MonteCarloConfig{}
+                                              .with_spec(row_spec(row, resilient))
+                                              .with_trials(trials)
+                                              .with_seed(seed)
+                                              .with_threads(threads));
+    total.merge(s.run_stats);
+    csv.row(std::string(row.name) + "/" + (resilient ? "resilient" : "static"),
+            std::vector<double>{s.mean_delivered_utility,
+                                s.empirical_delivery_probability, s.mean_delivered_fraction,
+                                s.mismatch_detected_fraction, s.mean_redecisions,
+                                s.mean_ship_closer_moves, s.completion_p50_s,
+                                s.completion_p99_s});
+    return s;
+  };
+
+  io::Table t("model-mismatch chaos: static d* vs mid-flight re-decision");
+  t.columns({"row", "U_static", "U_resilient", "gain_%", "detect", "redecide", "P(full) s->r"});
+  bool all_ge = true;
+  for (const auto& row : rows) {
+    const auto stat = run_arm(row, false);
+    const auto res = run_arm(row, true);
+    const double gain_pct =
+        stat.mean_delivered_utility > 0.0
+            ? 100.0 * (res.mean_delivered_utility / stat.mean_delivered_utility - 1.0)
+            : 0.0;
+    t.add_row(row.name,
+              {stat.mean_delivered_utility, res.mean_delivered_utility, gain_pct,
+               res.mismatch_detected_fraction, res.mean_redecisions,
+               res.empirical_delivery_probability - stat.empirical_delivery_probability});
+    const std::string tag(row.name);
+    const bool ge = res.mean_delivered_utility >= stat.mean_delivered_utility - 1e-12;
+    all_ge = all_ge && ge;
+    // The tentpole guarantee, machine-checked per grid row: with common
+    // random numbers the resilient arm never does worse than the static
+    // plan it degrades to when nothing trips.
+    report.claim(tag + "_resilient_utility_ge_static", ge);
+    report.metric(tag + "_static_utility", stat.mean_delivered_utility,
+                  check::Tolerance::relative(1e-9));
+    report.metric(tag + "_resilient_utility", res.mean_delivered_utility,
+                  check::Tolerance::relative(1e-9));
+    report.metric(tag + "_detect_fraction", res.mismatch_detected_fraction,
+                  check::Tolerance::absolute(1e-9));
+    report.metric(tag + "_mean_redecisions", res.mean_redecisions,
+                  check::Tolerance::absolute(1e-9));
+
+    if (row.mm.any()) continue;
+    // Zero-mismatch row: the resilience stack must be a pure observer —
+    // bit-identical summaries, zero re-decisions, zero detections.
+    const bool identical =
+        res.empirical_delivery_probability == stat.empirical_delivery_probability &&
+        res.empirical_approach_survival == stat.empirical_approach_survival &&
+        res.mean_delivered_fraction == stat.mean_delivered_fraction &&
+        res.mean_delivered_utility == stat.mean_delivered_utility &&
+        res.completion_p50_s == stat.completion_p50_s &&
+        res.completion_p99_s == stat.completion_p99_s;
+    report.claim("zero_mismatch_bit_identical_to_static", identical,
+                 "probes run but never perturb the mission");
+    report.claim("zero_mismatch_never_trips",
+                 res.mismatch_detected_fraction == 0.0 && res.mean_redecisions == 0.0);
+  }
+  t.print();
+  report.claim("all_rows_resilient_ge_static", all_ge);
+
+  std::printf(
+      "reading: when the executed world matches the model the resilient\n"
+      "arm is bit-identical to the static plan (the detector never trips);\n"
+      "under injected mismatch it detects in flight, re-decides d*, and\n"
+      "delivers at least the static arm's utility on every grid row —\n"
+      "online re-decision is a free option on top of the paper's static\n"
+      "now-or-later answer.\n");
+  std::printf("%s\n", total.summary_line().c_str());
+  const std::string stats_path = out + "_stats.json";
+  if (total.write_json(stats_path)) std::printf("csv: %s.csv  stats: %s\n", out.c_str(), stats_path.c_str());
+  return report.emit() ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/optimizer.h"
+#include "core/redecide.h"
 #include "core/scenario.h"
 #include "core/strategy.h"
 #include "fault/mission_sim.h"
@@ -45,6 +46,36 @@ void BM_OptimizeBruteForce(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OptimizeBruteForce);
+
+// One full mid-flight re-decision: trigger ladder + re-estimated model +
+// re-optimization at the reduced in-flight grid. This runs inside a
+// probe tick of a live mission, so bench_regress.sh pins it under an
+// absolute 10 us ceiling on top of the relative regression gate.
+void BM_ReDecision(benchmark::State& state) {
+  const auto scen = core::Scenario::quadrocopter();
+  const auto model = scen.paper_throughput();
+  ctrl::ChannelEstimate est;
+  est.a = model.a() * 0.6;
+  est.b = model.b() * 0.6;
+  est.gain = 0.6;
+  est.r_squared = 0.98;
+  est.samples = 32;
+  est.confidence = 0.7;
+  core::ReDecisionInput in;
+  in.current_d_m = 90.0;
+  in.target_d_m = 58.0;
+  in.min_distance_m = scen.min_distance_m;
+  in.speed_mps = scen.speed_mps;
+  in.mdata_bytes = scen.mdata_bytes;
+  in.divergence = 30.0;
+  in.channel = est;
+  in.nominal_rho = scen.rho_per_m;
+  for (auto _ : state) {
+    core::ReDecisionPolicy policy({}, model);
+    benchmark::DoNotOptimize(policy.consider(in));
+  }
+}
+BENCHMARK(BM_ReDecision);
 
 void BM_PacketErrorRate(benchmark::State& state) {
   const phy::ErrorModel em({}, 0.9);

@@ -6,7 +6,10 @@
 # records it as the committed baseline or fails on >TOLERANCE% regression
 # of any baselined counter. The baseline also pins the headline claim:
 # the saturated kAggregate link-second must stay >= MIN_SPEEDUP x faster
-# than the kPerMpdu reference.
+# than the kPerMpdu reference, and CEILING_NS pins absolute budgets for
+# latency-contract counters (a relative gate would let a slow-but-stable
+# baseline hide a blown contract — BM_ReDecision must fit in a probe
+# tick, so it gets a hard 10 us ceiling).
 #
 # Usage:
 #   scripts/bench_regress.sh --update     # (re)record BENCH_link_sim.json
@@ -64,6 +67,9 @@ import json, os, sys
 MIN_SPEEDUP = 10.0  # kPerMpdu / kAggregate saturated link-second
 SPEEDUP_NUM = "BM_LinkSimSecondPerMpdu"
 SPEEDUP_DEN = "BM_LinkSimSecondAggregate"
+# Absolute real-time ceilings [ns], enforced in --update and --check:
+# these are latency contracts, not regression baselines.
+CEILING_NS = {"BM_ReDecision": 10_000.0}
 
 mode = os.environ["MODE"]
 baseline_path = os.environ["BASELINE"]
@@ -97,12 +103,30 @@ sp = speedup(current)
 if sp is not None:
     print(f"{'kAggregate speedup (saturated link-second)':44s} {sp:>10.1f} x")
 
+def ceiling_failures(times, ceilings):
+    out = []
+    for name, cap in sorted(ceilings.items()):
+        if name not in times:
+            out.append(f"{name}: ceiling counter missing from current run")
+        elif times[name] > cap:
+            out.append(f"{name}: {times[name]:.0f} ns over absolute ceiling {cap:.0f} ns")
+    return out
+
 if mode == "update":
+    # Refuse to bake a blown latency contract into the baseline.
+    over = ceiling_failures(current, CEILING_NS)
+    if over:
+        print("bench_regress: refusing to record baseline over a ceiling")
+        for f_ in over:
+            print(f"  - {f_}")
+        sys.exit(1)
     doc = {
         "_comment": "scripts/bench_regress.sh baseline: median real_time [ns] of "
-                    "bench/micro_benchmarks. Regenerate with scripts/bench_regress.sh --update.",
+                    "bench/micro_benchmarks. Regenerate with scripts/bench_regress.sh --update. "
+                    "ceiling_ns entries are absolute latency contracts checked on every run.",
         "tolerance_pct": tolerance,
         "min_aggregate_speedup": MIN_SPEEDUP,
+        "ceiling_ns": CEILING_NS,
         "benchmarks": {k: round(v, 1) for k, v in sorted(current.items())},
     }
     with open(baseline_path, "w") as f:
@@ -128,6 +152,7 @@ elif mode == "check":
     min_sp = float(base.get("min_aggregate_speedup", MIN_SPEEDUP))
     if sp is not None and sp < min_sp:
         failures.append(f"aggregate speedup {sp:.1f}x < required {min_sp:.1f}x")
+    failures += ceiling_failures(current, base.get("ceiling_ns", CEILING_NS))
     if failures:
         print("\nbench_regress: FAILED")
         for f_ in failures:

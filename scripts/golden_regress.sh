@@ -38,6 +38,7 @@ ALL_BENCHES=(
   ablation_contention
   ablation_dubins_shipping
   ablation_failure_models
+  ablation_model_mismatch
   calibrate_channel
   mc_delivery_probability
 )

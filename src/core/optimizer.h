@@ -3,6 +3,8 @@
 // grid-scan first and refine the best bracket with golden-section search.
 #pragma once
 
+#include <functional>
+
 #include "core/utility.h"
 
 namespace skyferry::core {
@@ -52,6 +54,16 @@ struct OptimizeResult {
 
 /// Maximize a utility function over [d_min, d0].
 [[nodiscard]] OptimizeResult optimize(const UtilityFunction& u, OptimizeOptions opt = {});
+
+/// Maximize an arbitrary objective over the same [d_min, d0] interval as
+/// `base`, with the same grid-scan + golden-section schedule as
+/// optimize(). The result's `utility` is the objective value at the
+/// optimum; `cdelay_s`/`discount` still describe `base` there. Used by
+/// the mid-flight re-decision policy, whose objective folds the
+/// transfer-loiter failure exposure into the paper's approach-only U(d).
+[[nodiscard]] OptimizeResult optimize_objective(const UtilityFunction& base,
+                                                const std::function<double(double)>& objective,
+                                                OptimizeOptions opt = {});
 
 /// Brute-force argmax on a fine grid (reference implementation used by
 /// the property tests to validate `optimize`).

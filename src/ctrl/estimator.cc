@@ -1,10 +1,18 @@
 #include "ctrl/estimator.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace skyferry::ctrl {
 
-void DistanceEstimator::update(const Telemetry& telemetry) {
+bool DistanceEstimator::update(const Telemetry& telemetry) {
+  // A corrupted fix (NaN/Inf coordinates or timestamp) must not poison
+  // the filter: reject and count, like sim::Simulator's NaN-time guard.
+  if (!std::isfinite(telemetry.t_s) || !std::isfinite(telemetry.position.lat_deg) ||
+      !std::isfinite(telemetry.position.lon_deg) || !std::isfinite(telemetry.position.alt_m)) {
+    ++rejected_;
+    return false;
+  }
   const geo::Vec3 z = frame_.to_enu(telemetry.position);
   auto it = peers_.find(telemetry.uav_id);
   if (it == peers_.end()) {
@@ -12,8 +20,9 @@ void DistanceEstimator::update(const Telemetry& telemetry) {
     e.position = z;
     e.velocity = {};
     e.updated_t_s = telemetry.t_s;
+    e.samples = 1;
     peers_.emplace(telemetry.uav_id, e);
-    return;
+    return true;
   }
   PeerEstimate& e = it->second;
   const double dt = std::max(telemetry.t_s - e.updated_t_s, 1e-3);
@@ -23,6 +32,8 @@ void DistanceEstimator::update(const Telemetry& telemetry) {
   e.position = predicted + innovation * cfg_.alpha;
   e.velocity += innovation * (cfg_.beta / dt);
   e.updated_t_s = telemetry.t_s;
+  ++e.samples;
+  return true;
 }
 
 std::optional<PeerEstimate> DistanceEstimator::estimate(const std::string& uav_id,
@@ -52,6 +63,9 @@ std::optional<double> DistanceEstimator::closing_speed(const std::string& a,
   const auto ea = estimate(a, now_s);
   const auto eb = estimate(b, now_s);
   if (!ea || !eb) return std::nullopt;
+  // One fix has no velocity: the filter's zero-initialized one would be
+  // a garbage closing speed, so report "no estimate" instead.
+  if (ea->samples < 2 || eb->samples < 2) return std::nullopt;
   const geo::Vec3 dp = eb->position - ea->position;
   const double dist = dp.norm();
   if (dist < 1e-6) return 0.0;

@@ -6,6 +6,7 @@
 // rate of change (closing speed).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -28,6 +29,9 @@ struct PeerEstimate {
   geo::Vec3 position;
   geo::Vec3 velocity;
   double updated_t_s{0.0};
+  /// Accepted fixes folded into this estimate. One fix pins the
+  /// position but carries no velocity information.
+  std::uint32_t samples{0};
 };
 
 class DistanceEstimator {
@@ -36,7 +40,10 @@ class DistanceEstimator {
       : cfg_(cfg), frame_(frame) {}
 
   /// Ingest one telemetry message (timestamped at transmission).
-  void update(const Telemetry& telemetry);
+  /// Non-finite positions/timestamps are rejected and counted (a
+  /// corrupted GPS fix must not poison the filter state) — returns
+  /// false for a rejected message.
+  bool update(const Telemetry& telemetry);
 
   /// Latest (extrapolated to `now_s`) estimate for a peer; nullopt when
   /// unknown or stale.
@@ -49,15 +56,21 @@ class DistanceEstimator {
                                                double now_s) const;
 
   /// Estimated closing speed between two peers [m/s] (< 0 = approaching).
+  /// Tagged "no estimate" (nullopt) until *both* peers have at least two
+  /// accepted fixes — a one-sample window has no velocity, and reporting
+  /// the filter's zero-initialized one would be a garbage estimate.
   [[nodiscard]] std::optional<double> closing_speed(const std::string& a, const std::string& b,
                                                     double now_s) const;
 
   [[nodiscard]] std::size_t tracked_peers() const noexcept { return peers_.size(); }
+  /// Telemetry messages rejected for non-finite position/timestamp.
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
 
  private:
   EstimatorConfig cfg_;
   geo::LocalFrame frame_;
   std::unordered_map<std::string, PeerEstimate> peers_;
+  std::uint64_t rejected_{0};
 };
 
 }  // namespace skyferry::ctrl

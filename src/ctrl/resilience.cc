@@ -1,0 +1,170 @@
+#include "ctrl/resilience.h"
+
+#include <cmath>
+
+#include "stats/regression.h"
+
+namespace skyferry::ctrl {
+
+OnlineChannelEstimator::OnlineChannelEstimator(ChannelEstimatorConfig cfg, double nominal_a,
+                                               double nominal_b, double scale) noexcept
+    : cfg_(cfg), nominal_a_(nominal_a), nominal_b_(nominal_b), scale_(scale) {
+  if (cfg_.window == 0) cfg_.window = 1;
+  if (cfg_.min_samples < 2) cfg_.min_samples = 2;
+  if (cfg_.noise_rel <= 0.0) cfg_.noise_rel = 0.12;
+  buf_.reserve(cfg_.window);
+}
+
+double OnlineChannelEstimator::nominal_bps(double distance_m) const noexcept {
+  if (distance_m <= 0.0) return 0.0;
+  return std::max(0.0, scale_ * (nominal_a_ * std::log2(distance_m) + nominal_b_));
+}
+
+bool OnlineChannelEstimator::add_sample(double distance_m, double throughput_bps) noexcept {
+  if (!std::isfinite(distance_m) || distance_m <= 0.0 || !std::isfinite(throughput_bps) ||
+      throughput_bps < 0.0) {
+    ++rejected_;
+    return false;
+  }
+  ++accepted_;
+  const double pred = nominal_bps(distance_m);
+  // A sample where the nominal model and the world agree the link is
+  // dead (both zero, e.g. beyond max range) carries no information about
+  // the model's *shape*: keep it out of the fit window so the windowed
+  // re-fit reflects the live region only. It still counts as accepted
+  // and passes through the (no-op, z = 0) divergence update below.
+  if (pred > 0.0 || throughput_bps > 0.0) {
+    if (buf_.size() < cfg_.window) {
+      buf_.push_back({distance_m, throughput_bps});
+    } else {
+      buf_[next_] = {distance_m, throughput_bps};
+      next_ = (next_ + 1) % cfg_.window;
+    }
+  }
+
+  // Divergence update: z-score of the log-ratio against the nominal
+  // prediction. A dead observation against a live prediction (or vice
+  // versa) is maximal surprise; clamp instead of letting log(0) poison
+  // the CUSUM state.
+  double log_ratio;
+  if (pred <= 0.0 && throughput_bps <= 0.0) {
+    log_ratio = 0.0;  // both models agree the link is dead here
+  } else if (pred <= 0.0 || throughput_bps <= 0.0) {
+    log_ratio = (throughput_bps > pred) ? 2.0 : -2.0;
+  } else {
+    log_ratio = std::clamp(std::log(throughput_bps / pred), -2.0, 2.0);
+  }
+  const double z = log_ratio / cfg_.noise_rel;
+  ewma_ = (1.0 - cfg_.ewma_alpha) * ewma_ + cfg_.ewma_alpha * z;
+  cusum_pos_ = std::max(0.0, cusum_pos_ + z - cfg_.cusum_k);
+  cusum_neg_ = std::max(0.0, cusum_neg_ - z - cfg_.cusum_k);
+  return true;
+}
+
+std::optional<ChannelEstimate> OnlineChannelEstimator::estimate() const {
+  if (buf_.size() < cfg_.min_samples) return std::nullopt;  // tagged no-estimate
+
+  std::vector<double> xs, ys;
+  xs.reserve(buf_.size());
+  ys.reserve(buf_.size());
+  double log_gain_sum = 0.0;
+  std::size_t gain_n = 0;
+  for (const auto& s : buf_) {
+    xs.push_back(s.distance_m);
+    ys.push_back(s.throughput_bps / scale_);
+    const double pred = nominal_bps(s.distance_m);
+    if (pred > 0.0 && s.throughput_bps > 0.0) {
+      log_gain_sum += std::log(s.throughput_bps / pred);
+      ++gain_n;
+    }
+  }
+  const auto fit = stats::log2_fit(xs, ys);
+
+  ChannelEstimate e;
+  e.a = fit.a;
+  e.b = fit.b;
+  e.gain = gain_n > 0 ? std::exp(log_gain_sum / static_cast<double>(gain_n)) : 1.0;
+  e.r_squared = std::clamp(fit.r_squared, 0.0, 1.0);
+  e.samples = buf_.size();
+
+  // Residual sigma of log(obs / fit) — the fit's own confidence band.
+  double ss = 0.0;
+  std::size_t res_n = 0;
+  for (const auto& s : buf_) {
+    const double f = scale_ * fit(s.distance_m);
+    if (f > 0.0 && s.throughput_bps > 0.0) {
+      const double r = std::log(s.throughput_bps / f);
+      ss += r * r;
+      ++res_n;
+    }
+  }
+  e.stderr_rel = res_n > 1 ? std::sqrt(ss / static_cast<double>(res_n - 1)) : 0.0;
+  const double n = static_cast<double>(buf_.size());
+  e.confidence = e.r_squared * (n / (n + 8.0));
+  return e;
+}
+
+void OnlineChannelEstimator::rearm() noexcept {
+  buf_.clear();
+  next_ = 0;
+  ewma_ = 0.0;
+  cusum_pos_ = 0.0;
+  cusum_neg_ = 0.0;
+}
+
+bool HazardRateEstimator::add_sample(double rho_per_m) noexcept {
+  if (!std::isfinite(rho_per_m) || rho_per_m < 0.0) {
+    ++rejected_;
+    return false;
+  }
+  ewma_ = (accepted_ == 0) ? rho_per_m : (1.0 - cfg_.alpha) * ewma_ + cfg_.alpha * rho_per_m;
+  ++accepted_;
+  return true;
+}
+
+std::optional<double> HazardRateEstimator::rho() const noexcept {
+  if (accepted_ < cfg_.min_samples) return std::nullopt;  // tagged no-estimate
+  return ewma_;
+}
+
+double HazardRateEstimator::relative_error_vs(double nominal_rho) const noexcept {
+  const auto r = rho();
+  if (!r) return 0.0;
+  if (nominal_rho <= 0.0) return *r > 0.0 ? 1.0 : 0.0;
+  return std::abs(*r / nominal_rho - 1.0);
+}
+
+const char* to_string(ResilienceMode m) noexcept {
+  switch (m) {
+    case ResilienceMode::kNominal: return "nominal";
+    case ResilienceMode::kReEstimated: return "re-estimated";
+    case ResilienceMode::kConservative: return "conservative";
+  }
+  return "?";
+}
+
+ResilienceMode DegradedModeController::update(const HealthSignals& h) noexcept {
+  ResilienceMode want = ResilienceMode::kNominal;
+
+  const bool model_mismatch = h.divergence >= cfg_.divergence_threshold ||
+                              h.rho_rel_error >= cfg_.rho_rel_threshold;
+  if (model_mismatch) {
+    // A mismatch we can re-estimate is a re-decision; one we cannot
+    // trust the estimator on is a reason to stop gambling and transmit.
+    want = h.estimator_confidence >= cfg_.min_confidence ? ResilienceMode::kReEstimated
+                                                         : ResilienceMode::kConservative;
+  }
+  if (h.control_retry_fraction >= cfg_.control_retry_threshold ||
+      h.battery_fraction <= cfg_.battery_floor_fraction) {
+    want = ResilienceMode::kConservative;
+  }
+
+  // Forward-only ladder: degrade, never recover mid-mission.
+  if (static_cast<int>(want) > static_cast<int>(mode_)) {
+    mode_ = want;
+    ++transitions_;
+  }
+  return mode_;
+}
+
+}  // namespace skyferry::ctrl

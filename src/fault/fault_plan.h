@@ -53,11 +53,37 @@ struct GpsDropoutFaults {
   }
 };
 
+/// Parameter-mismatch chaos axis: the *world* deviates from the models
+/// the planner decided with. Unlike the event faults below, nothing here
+/// is ever visible to the planner — the nominal s(d)/ρ stay what the
+/// scenario says; the mismatch scales what the simulation *executes*
+/// (the actual transfer rate and the actual crash draw). This is the
+/// knob the resilience layer is measured against: ±50% ρ error, ±30%
+/// throughput-model error, and a mid-approach regime shift.
+struct MismatchFaults {
+  /// Actual crash rate = plan ρ × rho_scale.
+  double rho_scale{1.0};
+  /// Actual transfer rate = model s(d) × throughput_scale (before the
+  /// regime shift).
+  double throughput_scale{1.0};
+  /// Regime shift: once the scout has flown this fraction of
+  /// (d0 − d_min), the throughput scale switches to
+  /// shifted_throughput_scale. 1.0 (the default) means "never".
+  double shift_at_fraction{1.0};
+  double shifted_throughput_scale{1.0};
+
+  [[nodiscard]] bool any() const noexcept {
+    return rho_scale != 1.0 || throughput_scale != 1.0 ||
+           (shift_at_fraction < 1.0 && shifted_throughput_scale != 1.0);
+  }
+};
+
 struct FaultPlan {
   CrashFaults crash;
   LinkOutageFaults link_outage;
   ControlLossFaults control_loss;
   GpsDropoutFaults gps_dropout;
+  MismatchFaults mismatch;
   std::uint64_t seed{1};
 
   /// Nothing injected — a trial under this plan is the deterministic

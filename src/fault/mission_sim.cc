@@ -4,12 +4,34 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <optional>
 
 #include "core/planner.h"
 #include "ctrl/messages.h"
 #include "sim/simulator.h"
 
 namespace skyferry::fault {
+
+void ResilienceSpec::validate() const {
+  auto finite = [](double v) { return std::isfinite(v); };
+  if (!enabled) return;
+  if (!finite(probe_interval_s) || probe_interval_s <= 0.0)
+    throw ConfigError("ResilienceSpec: probe_interval_s must be finite and > 0");
+  if (!finite(probe_noise_rel) || probe_noise_rel < 0.0)
+    throw ConfigError("ResilienceSpec: probe_noise_rel must be finite and >= 0");
+  if (!finite(rho_noise_rel) || rho_noise_rel < 0.0)
+    throw ConfigError("ResilienceSpec: rho_noise_rel must be finite and >= 0");
+  if (!finite(ship_closer_fraction) || ship_closer_fraction <= 0.0 || ship_closer_fraction > 1.0)
+    throw ConfigError("ResilienceSpec: ship_closer_fraction must be in (0, 1]");
+  if (max_ship_closer_moves < 0)
+    throw ConfigError("ResilienceSpec: max_ship_closer_moves must be >= 0");
+  if (!finite(estimator.cusum_h) || estimator.cusum_h <= 0.0)
+    throw ConfigError("ResilienceSpec: estimator.cusum_h must be finite and > 0");
+  if (!finite(redecision.divergence_threshold) || redecision.divergence_threshold <= 0.0)
+    throw ConfigError("ResilienceSpec: redecision.divergence_threshold must be finite and > 0");
+  if (retry_budget.max_attempts <= 0)
+    throw ConfigError("ResilienceSpec: retry_budget.max_attempts must be > 0");
+}
 
 void TrialSpec::validate() const {
   auto finite = [](double v) { return std::isfinite(v); };
@@ -33,6 +55,16 @@ void TrialSpec::validate() const {
     throw ConfigError("TrialSpec: target_packets and arq.datagram_bytes cannot both be 0");
   if (use_link_simulator && (!finite(link_sim_duration_s) || link_sim_duration_s <= 0.0))
     throw ConfigError("TrialSpec: link_sim_duration_s must be finite and > 0");
+  const MismatchFaults& mm = faults.mismatch;
+  if (!finite(mm.rho_scale) || mm.rho_scale < 0.0)
+    throw ConfigError("TrialSpec: faults.mismatch.rho_scale must be finite and >= 0");
+  if (!finite(mm.throughput_scale) || mm.throughput_scale < 0.0)
+    throw ConfigError("TrialSpec: faults.mismatch.throughput_scale must be finite and >= 0");
+  if (!finite(mm.shifted_throughput_scale) || mm.shifted_throughput_scale < 0.0)
+    throw ConfigError("TrialSpec: faults.mismatch.shifted_throughput_scale must be finite and >= 0");
+  if (!finite(mm.shift_at_fraction) || mm.shift_at_fraction < 0.0 || mm.shift_at_fraction > 1.0)
+    throw ConfigError("TrialSpec: faults.mismatch.shift_at_fraction must be in [0, 1]");
+  resilience.validate();
 }
 
 namespace {
@@ -64,12 +96,26 @@ class MissionTrial {
         plan_([&] {
           FaultPlan p = spec.faults;
           p.seed = seed;
+          // The mismatch axis scales the *executed* crash law; the
+          // planner keeps deciding with the nominal scenario rho.
+          if (p.crash.enabled) p.crash.rho_per_m *= p.mismatch.rho_scale;
           return p;
         }()),
         injector_(sim_, plan_),
         control_(sim_, make_control_cfg(plan_)),
         backoff_rng_(sim::derive_seed(plan_.seed, "fault/backoff")),
-        transfer_(size_arq(spec, spec.scenario.mdata_bytes), spec.scenario.mdata_bytes) {}
+        probe_rng_(sim::derive_seed(plan_.seed, "resilience/probe")),
+        transfer_(size_arq(spec, spec.scenario.mdata_bytes), spec.scenario.mdata_bytes) {
+    if (spec_.resilience.enabled) {
+      chan_est_.emplace(spec_.resilience.estimator, model_.a(), model_.b());
+      hazard_est_.emplace(spec_.resilience.hazard);
+      mode_ctl_.emplace(spec_.resilience.degradation);
+      redecide_.emplace(spec_.resilience.redecision, model_);
+      net::RetryBudgetConfig rb = spec_.resilience.retry_budget;
+      if (!std::isfinite(rb.deadline_s)) rb.deadline_s = spec_.max_time_s;
+      retry_budget_ = net::RetryBudget(rb);
+    }
+  }
 
   TrialResult run();
 
@@ -86,14 +132,56 @@ class MissionTrial {
   void crash();
   void finalize(bool delivered);
 
-  [[nodiscard]] double throughput_bps() const {
-    if (measured_throughput_bps_ >= 0.0) return measured_throughput_bps_;
-    return model_.throughput_bps(result_.d_opt_m);
+  // Resilience hooks (all no-ops unless spec.resilience.enabled).
+  void probe_tick();
+  void divert_to(double new_target_d_m);
+  void ship_closer();
+  [[nodiscard]] bool can_ship_closer() const {
+    return spec_.resilience.enabled &&
+           result_.ship_closer_moves < spec_.resilience.max_ship_closer_moves &&
+           result_.d_final_m > spec_.scenario.min_distance_m + 1e-6;
   }
 
-  /// Replace the analytic s(d_opt) with a seeded PHY/MAC link-simulator
+  /// Approach distance actually covered so far, including the live
+  /// movement segment (if one is in flight).
+  [[nodiscard]] double total_flown_m() const {
+    double flown = distance_flown_m_;
+    if (approaching_ && arrival_event_ != 0) {
+      const double covered =
+          std::max(0.0, sim_.now() - segment_start_t_) * spec_.scenario.speed_mps;
+      flown += std::min(covered, remaining_approach_m_);
+    }
+    return flown;
+  }
+
+  [[nodiscard]] double current_distance_m() const {
+    if (!approaching_) return result_.d_final_m;
+    return std::max(spec_.scenario.d0_m - total_flown_m(), spec_.scenario.min_distance_m);
+  }
+
+  /// Executed-world throughput multiplier (the mismatch chaos axis). The
+  /// regime shift latches once the flown fraction of the planned
+  /// approach crosses shift_at_fraction.
+  [[nodiscard]] double tput_mismatch_scale() const {
+    const MismatchFaults& mm = plan_.mismatch;
+    if (mm.shift_at_fraction >= 1.0) return mm.throughput_scale;
+    const double span = std::max(spec_.scenario.d0_m - spec_.scenario.min_distance_m, 1e-9);
+    return total_flown_m() >= mm.shift_at_fraction * span ? mm.shifted_throughput_scale
+                                                          : mm.throughput_scale;
+  }
+
+  /// Rate the world actually delivers at distance d (mismatch applied).
+  [[nodiscard]] double actual_throughput_bps(double distance_m) const {
+    const double base = measured_throughput_bps_ >= 0.0 ? measured_throughput_bps_
+                                                        : model_.throughput_bps(distance_m);
+    return base * tput_mismatch_scale();
+  }
+
+  [[nodiscard]] double throughput_bps() const { return actual_throughput_bps(result_.d_final_m); }
+
+  /// Replace the analytic s(d) with a seeded PHY/MAC link-simulator
   /// measurement at the transmit position (TrialSpec::use_link_simulator).
-  void measure_link_throughput(std::uint64_t seed) {
+  void measure_link_throughput(std::uint64_t seed, double distance_m) {
     mac::LinkConfig lc;
     lc.channel = spec_.link_channel;
     lc.fidelity = spec_.link_fidelity;
@@ -102,8 +190,7 @@ class MissionTrial {
     lc.shared_tables = spec_.link_tables;
     mac::ArfRate rc;
     mac::LinkSimulator link(lc, rc, sim::derive_seed(seed, "fault/link"));
-    const auto r =
-        link.run_saturated(spec_.link_sim_duration_s, mac::static_geometry(result_.d_opt_m));
+    const auto r = link.run_saturated(spec_.link_sim_duration_s, mac::static_geometry(distance_m));
     measured_throughput_bps_ = r.mean_goodput_mbps() * 1e6;
   }
 
@@ -114,9 +201,17 @@ class MissionTrial {
   FaultInjector injector_;
   ctrl::ControlChannel control_;
   sim::Rng backoff_rng_;
+  sim::Rng probe_rng_;
   ResumableTransfer transfer_;
   TrialResult result_;
   double measured_throughput_bps_{-1.0};  ///< < 0: use the analytic model
+
+  // Resilience stack (engaged only when spec.resilience.enabled).
+  std::optional<ctrl::OnlineChannelEstimator> chan_est_;
+  std::optional<ctrl::HazardRateEstimator> hazard_est_;
+  std::optional<ctrl::DegradedModeController> mode_ctl_;
+  std::optional<core::ReDecisionPolicy> redecide_;
+  net::RetryBudget retry_budget_;
 
   // Approach bookkeeping: distance accrues only while moving (GPS up).
   double distance_flown_m_{0.0};
@@ -141,11 +236,12 @@ TrialResult MissionTrial::run() {
   const core::Decision decision = planner.decide(scen.delivery_params());
 
   result_.d_opt_m = decision.strategy.target_distance_m;
+  result_.d_final_m = result_.d_opt_m;  // resilience may move this
   result_.approach_distance_m = scen.d0_m - result_.d_opt_m;
   result_.analytic_delivery_probability = decision.delivery_probability;
   result_.total_bytes = scen.mdata_bytes;
   result_.crash_distance_m = injector_.sample_crash_distance(0);
-  if (spec_.use_link_simulator) measure_link_throughput(plan_.seed);
+  if (spec_.use_link_simulator) measure_link_throughput(plan_.seed, result_.d_opt_m);
 
   injector_.start(spec_.max_time_s);
   injector_.on_gps_change([this](bool up, double t) {
@@ -173,9 +269,92 @@ TrialResult MissionTrial::run() {
 void MissionTrial::begin_approach() {
   remaining_approach_m_ = std::max(result_.approach_distance_m, 0.0);
   approaching_ = true;
+  if (spec_.resilience.enabled) {
+    sim::schedule_periodic(sim_, spec_.resilience.probe_interval_s, [this] {
+      if (done_ || !approaching_) return false;
+      probe_tick();
+      return !done_ && approaching_;
+    });
+  }
   if (injector_.gps_up()) {
     resume_approach();
   }  // else: the first gps-up flip starts the movement
+}
+
+void MissionTrial::probe_tick() {
+  const ResilienceSpec& rs = spec_.resilience;
+  const double d = current_distance_m();
+  // Unbiased lognormal probe noise: E[obs] equals the executed rate.
+  const double sn = rs.probe_noise_rel;
+  const double obs = model_.throughput_bps(d) * tput_mismatch_scale() *
+                     std::exp(probe_rng_.gaussian(-0.5 * sn * sn, sn));
+  ++result_.probes;
+  if (!chan_est_->add_sample(d, obs)) ++result_.probe_rejects;
+  if (plan_.crash.enabled) {
+    // Battery-drain telemetry observes the executed rho directly (the
+    // paper's rho is the inverse battery-limited range).
+    const double sr = rs.rho_noise_rel;
+    hazard_est_->add_sample(plan_.crash.rho_per_m *
+                            std::exp(probe_rng_.gaussian(-0.5 * sr * sr, sr)));
+  }
+
+  ctrl::HealthSignals h;
+  const auto est = chan_est_->estimate();
+  // A window below min_samples is tagged "no estimate": too early to
+  // judge the model, so only mission-risk signals may step the ladder.
+  h.divergence = est ? chan_est_->divergence() : 0.0;
+  h.rho_rel_error = hazard_est_->relative_error_vs(spec_.scenario.rho_per_m);
+  h.estimator_confidence = est ? est->confidence : 1.0;
+  h.control_retry_fraction =
+      static_cast<double>(control_.reliable_retries()) /
+      std::max(1.0, static_cast<double>(result_.rendezvous_attempts + 1));
+  const ctrl::ResilienceMode mode = mode_ctl_->update(h);
+  result_.final_mode = static_cast<int>(mode);
+  if (h.divergence >= rs.degradation.divergence_threshold ||
+      h.rho_rel_error >= rs.degradation.rho_rel_threshold) {
+    result_.mismatch_detected = true;
+  }
+
+  if (mode == ctrl::ResilienceMode::kConservative) {
+    divert_to(d);  // model untrustworthy or mission at risk: transmit now
+    return;
+  }
+  if (mode != ctrl::ResilienceMode::kReEstimated) return;
+
+  core::ReDecisionInput in;
+  in.current_d_m = d;
+  in.target_d_m = result_.d_final_m;
+  in.min_distance_m = spec_.scenario.min_distance_m;
+  in.speed_mps = spec_.scenario.speed_mps;
+  in.mdata_bytes = result_.total_bytes;
+  in.elapsed_s = sim_.now();
+  in.divergence = h.divergence;
+  in.rho_rel_error = h.rho_rel_error;
+  in.channel = est;
+  in.rho_hat = hazard_est_->rho();
+  in.nominal_rho = spec_.scenario.rho_per_m;
+  const core::ReDecision rd = redecide_->consider(in);
+  if (rd.redecided) {
+    result_.redecisions = redecide_->redecisions();
+    chan_est_->rearm();  // the old window was explained by the old model
+    divert_to(rd.target_d_m);
+  }
+}
+
+void MissionTrial::divert_to(double new_target_d_m) {
+  if (done_ || !approaching_) return;
+  if (arrival_event_) pause_approach(sim_.now());  // fold live progress in
+  const double cur_d =
+      std::max(spec_.scenario.d0_m - distance_flown_m_, spec_.scenario.min_distance_m);
+  const double target = std::clamp(new_target_d_m, spec_.scenario.min_distance_m, cur_d);
+  result_.d_final_m = target;
+  remaining_approach_m_ = std::max(cur_d - target, 0.0);
+  if (remaining_approach_m_ <= 1e-9) {
+    remaining_approach_m_ = 0.0;
+    arrive();
+  } else if (injector_.gps_up()) {
+    resume_approach();
+  }  // else: the next gps-up flip resumes toward the new target
 }
 
 void MissionTrial::resume_approach() {
@@ -222,6 +401,11 @@ void MissionTrial::arrive() {
       crash();
     });
   }
+  // A diverted mission transmits from d_final, not d_opt: re-measure the
+  // link-simulated rate at the actual transmit position.
+  if (spec_.use_link_simulator && result_.d_final_m != result_.d_opt_m) {
+    measure_link_throughput(sim::derive_seed(plan_.seed, "resilience/meas"), result_.d_final_m);
+  }
   negotiate();
 }
 
@@ -229,8 +413,8 @@ void MissionTrial::negotiate() {
   ctrl::TransmitCommand cmd;
   cmd.uav_id = "scout0";
   cmd.peer_id = "collector";
-  cmd.transmit_distance_m = result_.d_opt_m;
-  const double d = result_.d_opt_m;
+  cmd.transmit_distance_m = result_.d_final_m;
+  const double d = result_.d_final_m;
   control_.send_reliable(
       cmd, [d] { return d; },
       [this](const ctrl::ControlMessage&, double) {
@@ -305,18 +489,71 @@ void MissionTrial::on_stall_tick() {
 
 void MissionTrial::retreat_and_backoff() {
   const int attempt = transfer_.attempts() - 1;
+  const bool resilient = spec_.resilience.enabled;
   if (spec_.retreat_backoff.exhausted(attempt)) {
+    // Backoff ladder spent. A resilient mission aborts-and-ships-closer
+    // instead of giving up: less range, more rate.
+    if (can_ship_closer()) {
+      ship_closer();
+      return;
+    }
     finalize(false);
     return;
+  }
+  const double delay = spec_.retreat_backoff.delay_s(attempt, backoff_rng_);
+  if (resilient) {
+    const double s = throughput_bps();
+    if (s <= 0.0 && can_ship_closer()) {
+      ship_closer();  // dead rate at this distance: retrying is hopeless
+      return;
+    }
+    const double left_bytes = std::max(transfer_.total_bytes() - transfer_.delivered_bytes(), 0.0);
+    const double est_s =
+        s > 0.0 ? left_bytes * 8.0 / s : std::numeric_limits<double>::infinity();
+    if (!retry_budget_.allow(sim_.now(), delay, est_s)) {
+      if (can_ship_closer()) {
+        ship_closer();
+        return;
+      }
+      finalize(false);
+      return;
+    }
+    retry_budget_.consume();
   }
   result_.arq_retransmissions = transfer_.sender().retransmissions();
   transfer_.suspend();
   transferring_ = false;
   ++stall_generation_;
   data_busy_until_ = 0.0;
-  sim_.schedule(spec_.retreat_backoff.delay_s(attempt, backoff_rng_), [this] {
+  sim_.schedule(delay, [this] {
     if (done_) return;
     negotiate();  // re-negotiate the rendezvous, then resume the transfer
+  });
+}
+
+void MissionTrial::ship_closer() {
+  result_.arq_retransmissions = transfer_.sender().retransmissions();
+  transfer_.suspend();
+  transferring_ = false;
+  ++stall_generation_;
+  data_busy_until_ = 0.0;
+  ++result_.ship_closer_moves;
+  const double floor = spec_.scenario.min_distance_m;
+  const double new_d = std::max(
+      floor, result_.d_final_m - spec_.resilience.ship_closer_fraction * (result_.d_final_m - floor));
+  // Flying closer takes real time — and, while a loiter crash deadline is
+  // pending, burns the same failure distance per second as loitering, so
+  // the pending crash event stays correct.
+  const double move_s = std::max(result_.d_final_m - new_d, 0.0) / spec_.scenario.speed_mps;
+  sim_.schedule(move_s, [this, new_d] {
+    if (done_) return;
+    result_.d_final_m = new_d;
+    if (spec_.use_link_simulator) {
+      measure_link_throughput(sim::derive_seed(plan_.seed, "resilience/meas") +
+                                  static_cast<std::uint64_t>(result_.ship_closer_moves),
+                              new_d);
+    }
+    negotiate();
   });
 }
 
@@ -339,6 +576,10 @@ void MissionTrial::finalize(bool delivered) {
   if (delivered) result_.delivered_bytes = result_.total_bytes;
   result_.completion_time_s = sim_.now();
   result_.control_retries = control_.reliable_retries();
+  if (mode_ctl_) result_.final_mode = static_cast<int>(mode_ctl_->mode());
+  const double frac =
+      result_.total_bytes > 0.0 ? result_.delivered_bytes / result_.total_bytes : 0.0;
+  result_.delivered_utility = result_.completion_time_s > 0.0 ? frac / result_.completion_time_s : 0.0;
 }
 
 }  // namespace

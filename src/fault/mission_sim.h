@@ -14,13 +14,16 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/redecide.h"
 #include "core/scenario.h"
 #include "ctrl/control_channel.h"
+#include "ctrl/resilience.h"
 #include "fault/fault_plan.h"
 #include "fault/injector.h"
 #include "fault/recovery.h"
 #include "mac/link.h"
 #include "net/arq.h"
+#include "net/retry_budget.h"
 
 namespace skyferry::fault {
 
@@ -31,9 +34,48 @@ struct ConfigError : std::invalid_argument {
   using std::invalid_argument::invalid_argument;
 };
 
+/// In-flight resilience stack of one mission (disabled by default — a
+/// trial with resilience off is bit-identical to the pre-resilience
+/// simulator). When enabled, the scout probes the channel and its
+/// battery-derived failure rate at `probe_interval_s` while approaching,
+/// feeds a ctrl::OnlineChannelEstimator / HazardRateEstimator, steps the
+/// ctrl::DegradedModeController ladder, and lets core::ReDecisionPolicy
+/// re-target the transmit position when the divergence detector trips.
+/// Transfers run under a deadline-aware net::RetryBudget with an
+/// abort-and-ship-closer fallback when the budget is exhausted.
+struct ResilienceSpec {
+  bool enabled{false};
+  /// Observation cadence while approaching [s]. Sized so a quadrocopter
+  /// at 4.5 m/s collects the estimator's min_samples window well before
+  /// the re-decision commit point.
+  double probe_interval_s{1.0};
+  /// Lognormal sigma of one throughput probe (relative, unbiased).
+  double probe_noise_rel{0.10};
+  /// Lognormal sigma of one battery-derived rho observation.
+  double rho_noise_rel{0.10};
+  ctrl::ChannelEstimatorConfig estimator{};
+  ctrl::HazardEstimatorConfig hazard{};
+  ctrl::DegradationConfig degradation{};
+  core::ReDecisionConfig redecision{};
+  /// Transfer retry governor. A non-finite deadline_s is replaced by the
+  /// trial's max_time_s at mission start.
+  net::RetryBudgetConfig retry_budget{};
+  /// Abort-and-ship-closer: each fallback move closes this fraction of
+  /// the remaining gap to the anti-collision floor.
+  double ship_closer_fraction{0.5};
+  int max_ship_closer_moves{3};
+
+  /// Throws ConfigError on NaN/non-positive cadences or fractions
+  /// outside their domain.
+  void validate() const;
+};
+
 struct TrialSpec {
   core::Scenario scenario{core::Scenario::quadrocopter()};
   FaultPlan faults{};
+  /// Mission resilience stack (estimator → re-decision → degradation
+  /// ladder); off by default.
+  ResilienceSpec resilience{};
   /// ARQ transfer config. datagram_bytes == 0 auto-sizes the datagram so
   /// the batch is ~`target_packets` packets (keeps trials cheap without
   /// changing the delivered-bytes resolution materially).
@@ -77,6 +119,14 @@ struct TrialSpec {
   }
   TrialSpec& with_faults(FaultPlan p) {
     faults = p;
+    return *this;
+  }
+  TrialSpec& with_resilience(ResilienceSpec r) {
+    resilience = r;
+    return *this;
+  }
+  TrialSpec& with_mismatch(MismatchFaults m) {
+    faults.mismatch = m;
     return *this;
   }
   TrialSpec& with_arq(net::ArqConfig c) {
@@ -137,6 +187,20 @@ struct TrialResult {
   std::uint64_t arq_retransmissions{0};
   std::uint64_t link_outages{0};
   std::uint64_t gps_dropouts{0};
+
+  // Resilience accounting. d_final_m == d_opt_m and everything else at
+  // its zero default when the resilience stack is off (or never acted).
+  double d_final_m{0.0};  ///< distance actually transmitted from
+  int redecisions{0};
+  int ship_closer_moves{0};
+  int final_mode{0};  ///< ctrl::ResilienceMode at mission end, as int
+  bool mismatch_detected{false};
+  std::uint64_t probes{0};
+  std::uint64_t probe_rejects{0};
+  /// (delivered_bytes/total_bytes) / completion_time_s — the
+  /// fraction-per-second payoff both arms of the mismatch ablation are
+  /// scored on; 0 when nothing landed or no time elapsed.
+  double delivered_utility{0.0};
 };
 
 /// Run one seeded trial. `seed` overrides spec.faults.seed, so a caller

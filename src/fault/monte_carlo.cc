@@ -48,6 +48,8 @@ MonteCarloSummary run_monte_carlo(const MonteCarloConfig& cfg) {
 
   long delivered = 0, survived = 0, completed = 0;
   double frac_sum = 0.0, attempts_sum = 0.0, retries_sum = 0.0, retx_sum = 0.0;
+  double utility_sum = 0.0, redecide_sum = 0.0, ship_sum = 0.0;
+  long mismatch_detected = 0, conservative = 0;
   bool analytic_done = false;
 
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -66,17 +68,23 @@ MonteCarloSummary run_monte_carlo(const MonteCarloConfig& cfg) {
     attempts_sum += r.rendezvous_attempts;
     retries_sum += static_cast<double>(r.control_retries);
     retx_sum += static_cast<double>(r.arq_retransmissions);
+    utility_sum += r.delivered_utility;
+    redecide_sum += r.redecisions;
+    ship_sum += r.ship_closer_moves;
+    mismatch_detected += r.mismatch_detected ? 1 : 0;
+    conservative += (r.final_mode == 2) ? 1 : 0;
     delivered_mb.push_back(r.delivered_bytes / 1e6);
     if (r.delivered_all) completion_s.push_back(r.completion_time_s);
 
     if (!analytic_done) {
       // The decision is deterministic, so the first usable trial carries
-      // the analytic side.
+      // the analytic side. The mismatch rho scale is part of the
+      // *injected* law the empirical survival is compared against.
       analytic_done = true;
+      CrashFaults injected = cfg.spec.faults.crash;
+      injected.rho_per_m *= cfg.spec.faults.mismatch.rho_scale;
       out.analytic_approach_survival =
-          cfg.spec.faults.crash.enabled
-              ? cfg.spec.faults.crash.model().survival(r.approach_distance_m)
-              : 1.0;
+          injected.enabled ? injected.model().survival(r.approach_distance_m) : 1.0;
       out.planner_delivery_probability = r.analytic_delivery_probability;
     }
   }
@@ -91,6 +99,11 @@ MonteCarloSummary run_monte_carlo(const MonteCarloConfig& cfg) {
     out.mean_rendezvous_attempts = attempts_sum / n;
     out.mean_control_retries = retries_sum / n;
     out.mean_arq_retransmissions = retx_sum / n;
+    out.mean_delivered_utility = utility_sum / n;
+    out.mean_redecisions = redecide_sum / n;
+    out.mean_ship_closer_moves = ship_sum / n;
+    out.mismatch_detected_fraction = static_cast<double>(mismatch_detected) / n;
+    out.conservative_mode_fraction = static_cast<double>(conservative) / n;
     // Binomial 3σ over what completed, widened by the quarantined
     // fraction: each quarantined trial could have landed either way.
     const double p = out.empirical_delivery_probability;

@@ -112,6 +112,15 @@ struct MonteCarloSummary {
   double mean_control_retries{0.0};
   double mean_arq_retransmissions{0.0};
 
+  // Resilience accounting (all zero with the resilience stack off).
+  /// Mean delivered utility (delivered fraction / completion time) — the
+  /// metric the model-mismatch ablation compares static vs resilient on.
+  double mean_delivered_utility{0.0};
+  double mean_redecisions{0.0};
+  double mean_ship_closer_moves{0.0};
+  double mismatch_detected_fraction{0.0};
+  double conservative_mode_fraction{0.0};
+
   // Supervision outcome. Quarantined trials are excluded from every
   // statistic above; their absence is priced into delivery_ci_halfwidth.
   int completed_trials{0};  ///< trials with a usable result

@@ -6,10 +6,18 @@
 namespace skyferry::fault {
 
 double BackoffPolicy::delay_s(int attempt, sim::Rng& rng) const noexcept {
-  const double base =
-      std::min(initial_s * std::pow(multiplier, std::max(attempt, 0)), max_s);
+  // Cap the exponent before exponentiation: with multiplier >= 1 the
+  // deterministic delay saturates at max_s long before 2^64, and an
+  // uncapped pow(multiplier, INT_MAX) overflows to inf (which a NaN
+  // multiplier would propagate). 64 doublings overflow any sane
+  // initial_s/max_s ratio, so the cap is behavior-preserving.
+  const int a = std::clamp(attempt, 0, 64);
+  const double cap = std::max(max_s, 0.0);
+  double base = std::min(initial_s * std::pow(multiplier, a), cap);
+  if (!std::isfinite(base) || base < 0.0) base = cap;
   const double j = std::clamp(jitter_fraction, 0.0, 1.0);
-  return base * rng.uniform(1.0 - j, 1.0 + j);
+  // Clamp after jittering too: the +j side must not escape the cap.
+  return std::clamp(base * rng.uniform(1.0 - j, 1.0 + j), 0.0, cap);
 }
 
 ResumableTransfer::ResumableTransfer(net::ArqConfig cfg, double total_bytes) noexcept

@@ -23,6 +23,11 @@ struct BackoffPolicy {
   /// two UAVs backing off from the same collision do not re-collide.
   double jitter_fraction{0.1};
 
+  /// Jittered delay before retry #attempt. The exponent is capped
+  /// before exponentiation can overflow (a huge attempt number saturates
+  /// at max_s instead of producing inf), negative attempts clamp to 0,
+  /// and the jittered result is clamped so the upward jitter can never
+  /// exceed max_s. Always finite and within [0, max_s].
   [[nodiscard]] double delay_s(int attempt, sim::Rng& rng) const noexcept;
   [[nodiscard]] bool exhausted(int attempt) const noexcept { return attempt >= max_attempts; }
 };

@@ -32,6 +32,14 @@ struct Codec<fault::TrialResult> {
     j.set("arq_retransmissions", Codec<std::uint64_t>::encode(r.arq_retransmissions));
     j.set("link_outages", Codec<std::uint64_t>::encode(r.link_outages));
     j.set("gps_dropouts", Codec<std::uint64_t>::encode(r.gps_dropouts));
+    j.set("d_final_m", Codec<double>::encode(r.d_final_m));
+    j.set("redecisions", Codec<int>::encode(r.redecisions));
+    j.set("ship_closer_moves", Codec<int>::encode(r.ship_closer_moves));
+    j.set("final_mode", Codec<int>::encode(r.final_mode));
+    j.set("mismatch_detected", Codec<bool>::encode(r.mismatch_detected));
+    j.set("probes", Codec<std::uint64_t>::encode(r.probes));
+    j.set("probe_rejects", Codec<std::uint64_t>::encode(r.probe_rejects));
+    j.set("delivered_utility", Codec<double>::encode(r.delivered_utility));
     return j;
   }
 
@@ -55,6 +63,14 @@ struct Codec<fault::TrialResult> {
     r.arq_retransmissions = field<std::uint64_t>(j, "arq_retransmissions");
     r.link_outages = field<std::uint64_t>(j, "link_outages");
     r.gps_dropouts = field<std::uint64_t>(j, "gps_dropouts");
+    r.d_final_m = field<double>(j, "d_final_m");
+    r.redecisions = field<int>(j, "redecisions");
+    r.ship_closer_moves = field<int>(j, "ship_closer_moves");
+    r.final_mode = field<int>(j, "final_mode");
+    r.mismatch_detected = field<bool>(j, "mismatch_detected");
+    r.probes = field<std::uint64_t>(j, "probes");
+    r.probe_rejects = field<std::uint64_t>(j, "probe_rejects");
+    r.delivered_utility = field<double>(j, "delivered_utility");
     return r;
   }
 };

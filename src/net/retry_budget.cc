@@ -1,0 +1,19 @@
+#include "net/retry_budget.h"
+
+#include <cmath>
+
+namespace skyferry::net {
+
+bool RetryBudget::allow(double now_s, double backoff_s, double attempt_estimate_s) const noexcept {
+  if (attempts_exhausted()) return false;
+  if (!std::isfinite(cfg_.deadline_s)) return true;
+  if (!std::isfinite(now_s)) return false;
+  double start = now_s;
+  if (std::isfinite(backoff_s) && backoff_s > 0.0) start += backoff_s;
+  double finish = start;
+  if (std::isfinite(attempt_estimate_s) && attempt_estimate_s > 0.0)
+    finish += attempt_estimate_s;
+  return finish + cfg_.headroom_s <= cfg_.deadline_s;
+}
+
+}  // namespace skyferry::net

@@ -1,0 +1,50 @@
+// Deadline-aware retry budget for mission-critical transfers. The ARQ
+// layer retransmits forever and the retreat/backoff loop retries forever
+// — neither knows the mission has a clock. RetryBudget is the per-mission
+// governor: a bounded number of transfer attempts and, before each one,
+// a check that the backoff plus a realistic estimate of the attempt
+// itself still fits before the deadline. When the budget says no, the
+// caller falls back (the mission simulator's abort-and-ship-closer
+// ladder) instead of burning the remaining mission time on hopeless
+// retries.
+#pragma once
+
+#include <limits>
+
+namespace skyferry::net {
+
+struct RetryBudgetConfig {
+  /// Transfer attempts (first attempt included) across the mission.
+  int max_attempts{10};
+  /// Absolute mission deadline [s]; +inf disables the deadline test.
+  double deadline_s{std::numeric_limits<double>::infinity()};
+  /// Safety margin kept free before the deadline.
+  double headroom_s{0.0};
+};
+
+class RetryBudget {
+ public:
+  explicit RetryBudget(RetryBudgetConfig cfg = {}) noexcept : cfg_(cfg) {}
+
+  /// Would one more attempt, started after `backoff_s` of waiting and
+  /// expected to take `attempt_estimate_s`, both fit the budget and
+  /// finish before the deadline? Non-finite or negative estimates are
+  /// treated as "unknown" (only the attempt count gates).
+  [[nodiscard]] bool allow(double now_s, double backoff_s, double attempt_estimate_s) const noexcept;
+
+  /// Record one spent attempt.
+  void consume() noexcept { ++used_; }
+
+  [[nodiscard]] int used() const noexcept { return used_; }
+  [[nodiscard]] int remaining() const noexcept {
+    return used_ >= cfg_.max_attempts ? 0 : cfg_.max_attempts - used_;
+  }
+  [[nodiscard]] bool attempts_exhausted() const noexcept { return remaining() == 0; }
+  [[nodiscard]] const RetryBudgetConfig& config() const noexcept { return cfg_; }
+
+ private:
+  RetryBudgetConfig cfg_;
+  int used_{0};
+};
+
+}  // namespace skyferry::net

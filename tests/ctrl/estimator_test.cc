@@ -1,5 +1,7 @@
 #include "ctrl/estimator.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "geo/gps.h"
@@ -117,6 +119,37 @@ TEST(DistanceEstimator, PlannerLoopUsesEstimatedD0) {
   const auto d0 = est.distance("relay", "ferry", 20.0);
   ASSERT_TRUE(d0.has_value());
   EXPECT_NEAR(*d0, 100.0, 6.0);
+}
+
+
+TEST(DistanceEstimator, RejectsNonFiniteTelemetryAndCountsIt) {
+  const geo::LocalFrame frame(kOrigin);
+  DistanceEstimator est({}, frame);
+  auto bad_t = make_telemetry(frame, "u1", 0.0, {1.0, 2.0, 3.0});
+  bad_t.t_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(est.update(bad_t));
+  auto bad_pos = make_telemetry(frame, "u1", 1.0, {1.0, 2.0, 3.0});
+  bad_pos.position.lat_deg = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(est.update(bad_pos));
+  EXPECT_EQ(est.rejected(), 2u);
+  // A corrupted fix never creates or perturbs a track.
+  EXPECT_EQ(est.tracked_peers(), 0u);
+  EXPECT_TRUE(est.update(make_telemetry(frame, "u1", 2.0, {1.0, 2.0, 3.0})));
+  EXPECT_EQ(est.tracked_peers(), 1u);
+}
+
+TEST(DistanceEstimator, ClosingSpeedIsNoEstimateUntilBothTracksHaveVelocity) {
+  const geo::LocalFrame frame(kOrigin);
+  DistanceEstimator est({}, frame);
+  est.update(make_telemetry(frame, "a", 0.0, {0.0, 0.0, 10.0}));
+  est.update(make_telemetry(frame, "b", 0.0, {100.0, 0.0, 10.0}));
+  // One fix each: the zero-initialized filter velocity would be a
+  // garbage closing speed, so the estimator reports "no estimate".
+  EXPECT_FALSE(est.closing_speed("a", "b", 0.5).has_value());
+  est.update(make_telemetry(frame, "a", 1.0, {5.0, 0.0, 10.0}));
+  EXPECT_FALSE(est.closing_speed("a", "b", 1.0).has_value());  // b still single-fix
+  est.update(make_telemetry(frame, "b", 1.0, {100.0, 0.0, 10.0}));
+  EXPECT_TRUE(est.closing_speed("a", "b", 1.0).has_value());
 }
 
 }  // namespace

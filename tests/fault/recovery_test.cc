@@ -1,6 +1,7 @@
 #include "fault/recovery.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -34,6 +35,43 @@ TEST(BackoffPolicy, JitterStaysInBand) {
     const double d = p.delay_s(0, rng);
     EXPECT_GE(d, 3.0);
     EXPECT_LE(d, 5.0);
+  }
+}
+
+
+TEST(BackoffPolicy, HugeAttemptNumberStaysFiniteAndCapped) {
+  // Regression: pow(multiplier, INT_MAX) used to overflow to inf. The
+  // exponent is capped before exponentiation, so any attempt number
+  // saturates at max_s.
+  BackoffPolicy p;
+  p.initial_s = 1.0;
+  p.multiplier = 2.0;
+  p.max_s = 60.0;
+  p.jitter_fraction = 0.0;
+  sim::Rng rng(3);
+  for (int attempt : {64, 65, 1000, std::numeric_limits<int>::max()}) {
+    const double d = p.delay_s(attempt, rng);
+    EXPECT_TRUE(std::isfinite(d)) << attempt;
+    EXPECT_DOUBLE_EQ(d, 60.0) << attempt;
+  }
+  EXPECT_DOUBLE_EQ(p.delay_s(-5, rng), 1.0);  // negative clamps to attempt 0
+}
+
+TEST(BackoffPolicy, JitteredDelayAtMaxAttemptsStaysWithinBaseAndCap) {
+  // At saturation the deterministic delay equals max_s; the upward
+  // jitter must be clamped back inside [.. , max_s] while the downward
+  // jitter keeps its (1 - j) band.
+  BackoffPolicy p;
+  p.initial_s = 1.0;
+  p.multiplier = 2.0;
+  p.max_s = 30.0;
+  p.max_attempts = 6;
+  p.jitter_fraction = 0.25;
+  sim::Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const double d = p.delay_s(p.max_attempts, rng);
+    EXPECT_GE(d, 30.0 * 0.75);
+    EXPECT_LE(d, 30.0);
   }
 }
 

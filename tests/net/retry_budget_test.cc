@@ -1,0 +1,62 @@
+#include "net/retry_budget.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace skyferry::net {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(RetryBudget, AttemptCountGates) {
+  RetryBudgetConfig cfg;
+  cfg.max_attempts = 2;
+  RetryBudget budget(cfg);
+  EXPECT_TRUE(budget.allow(0.0, 1.0, 1.0));
+  budget.consume();
+  EXPECT_TRUE(budget.allow(0.0, 1.0, 1.0));
+  budget.consume();
+  EXPECT_FALSE(budget.allow(0.0, 1.0, 1.0));
+  EXPECT_TRUE(budget.attempts_exhausted());
+  EXPECT_EQ(budget.used(), 2);
+  EXPECT_EQ(budget.remaining(), 0);
+}
+
+TEST(RetryBudget, NoDeadlineAlwaysFitsTheClock) {
+  RetryBudget budget;  // deadline defaults to +inf
+  EXPECT_TRUE(budget.allow(1e9, 1e6, 1e6));
+}
+
+TEST(RetryBudget, DeadlineRejectsAttemptsThatCannotFinish) {
+  RetryBudgetConfig cfg;
+  cfg.deadline_s = 100.0;
+  RetryBudget budget(cfg);
+  EXPECT_TRUE(budget.allow(50.0, 10.0, 30.0));    // finishes at 90
+  EXPECT_FALSE(budget.allow(50.0, 10.0, 50.0));   // would finish at 110
+  EXPECT_FALSE(budget.allow(101.0, 0.0, 0.0));    // already past the deadline
+}
+
+TEST(RetryBudget, HeadroomReservesMarginBeforeTheDeadline) {
+  RetryBudgetConfig cfg;
+  cfg.deadline_s = 100.0;
+  cfg.headroom_s = 20.0;
+  RetryBudget budget(cfg);
+  EXPECT_TRUE(budget.allow(50.0, 10.0, 15.0));   // 75 + 20 <= 100
+  EXPECT_FALSE(budget.allow(50.0, 10.0, 30.0));  // 90 + 20 > 100
+}
+
+TEST(RetryBudget, UnknownEstimateOnlyGatesOnAttempts) {
+  // A non-finite or negative attempt estimate means "unknown": the
+  // deadline test cannot price it, so only the attempt count gates.
+  RetryBudgetConfig cfg;
+  cfg.deadline_s = 100.0;
+  RetryBudget budget(cfg);
+  EXPECT_TRUE(budget.allow(50.0, 10.0, kInf));
+  EXPECT_TRUE(budget.allow(50.0, 10.0, -1.0));
+  // ... but a backoff alone that blows the deadline still rejects.
+  EXPECT_FALSE(budget.allow(95.0, 10.0, kInf));
+}
+
+}  // namespace
+}  // namespace skyferry::net
