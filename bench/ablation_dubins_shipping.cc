@@ -7,16 +7,17 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "core/optimizer.h"
 #include "core/scenario.h"
 #include "exp/cli.h"
 #include "geo/dubins.h"
 #include "geo/geodesy.h"
 #include "io/table.h"
+#include "policy/api.h"
 
 int main(int argc, char** argv) {
   skyferry::exp::Cli cli("ablation_dubins_shipping");
   skyferry::bench::Report report(cli);
+  skyferry::bench::PolicyTableFlag policy_flag(cli);
   cli.parse_or_exit(argc, argv);
   cli.print_replay_header();
   using namespace skyferry;
@@ -59,12 +60,18 @@ int main(int argc, char** argv) {
               2.0 * M_PI * r / v);
   io::Table t2("optimum with re-positioning cost");
   t2.columns({"rho_1/m", "d_opt (base)", "d_opt (with detour)", "U ratio"});
+  const auto model = scen.paper_throughput();
+  policy::DecisionService service(model);
+  policy_flag.install_into(service);
   for (double rho : {1.11e-4, 1e-3, 5e-3}) {
-    const auto model = scen.paper_throughput();
     const uav::FailureModel failure(rho);
-    const core::CommDelayModel delay(model, scen.delivery_params());
-    const core::UtilityFunction u(delay, failure);
-    const auto base = core::optimize(u);
+    policy::Query q;
+    q.d0_m = scen.d0_m;
+    q.speed_mps = scen.delivery_params().speed_mps;
+    q.mdata_bytes = scen.mdata_bytes;
+    q.min_distance_m = scen.delivery_params().min_distance_m;
+    q.rho_per_m = rho;
+    const auto base = service.decide_one(q);
 
     // Detour-adjusted utility: constant extra ship time when moving.
     const double detour_s = 2.0 * M_PI * r / v;

@@ -14,11 +14,11 @@
 
 #include "bench_util.h"
 #include "core/nonstationary.h"
-#include "core/optimizer.h"
 #include "core/scenario.h"
 #include "exp/cli.h"
 #include "exp/runner.h"
 #include "io/table.h"
+#include "policy/api.h"
 
 namespace {
 
@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   exp::Cli cli("ablation_failure_models");
   cli.flag("--threads", &threads, "worker threads, 0 = one per hardware thread");
   bench::Report report(cli);
+  bench::PolicyTableFlag policy_flag(cli);
   cli.parse_or_exit(argc, argv);
   cli.print_replay_header();
 
@@ -54,6 +55,8 @@ int main(int argc, char** argv) {
   for (std::size_t si = 0; si < 2; ++si) {
     const auto& scen = scenarios[si];
     const auto model = scen.paper_throughput();
+    policy::DecisionService service(model);
+    policy_flag.install_into(service);
     const std::vector<double> rhos{scen.rho_per_m, 1e-3, 5e-3, 1e-2};
     const auto points = exp::Sweep{}
                             .axis("rho", rhos)
@@ -62,11 +65,17 @@ int main(int argc, char** argv) {
     exp::RunnerConfig rc;
     rc.threads = threads;
     rc.trials = 1;  // the solve is deterministic; the sweep is the work
+    // One shared service, decide_one() from every worker thread — the
+    // service's decide path is const and race-free by design.
     auto run = exp::Runner(rc).run(points, [&](const exp::Point& p, std::uint64_t) {
-      const uav::FailureModel failure(p.at("rho"), laws[static_cast<int>(p.at("law"))].law);
-      const core::CommDelayModel delay(model, scen.delivery_params());
-      const core::UtilityFunction u(delay, failure);
-      const auto r = core::optimize(u);
+      policy::Query q;
+      q.d0_m = scen.d0_m;
+      q.speed_mps = scen.delivery_params().speed_mps;
+      q.mdata_bytes = scen.mdata_bytes;
+      q.min_distance_m = scen.delivery_params().min_distance_m;
+      q.rho_per_m = p.at("rho");
+      q.law = laws[static_cast<int>(p.at("law"))].law;
+      const auto r = service.decide_one(q);
       return LawRow{r.d_opt_m, r.utility, r.discount};
     });
     total.merge(run.stats);

@@ -5,16 +5,20 @@
 // (rho(v) = drain(v) / (v * T_battery)).
 #include <cstdio>
 
+#include <vector>
+
 #include "bench_util.h"
 #include "core/joint_optimizer.h"
 #include "core/scenario.h"
 #include "exp/cli.h"
 #include "io/csv.h"
 #include "io/table.h"
+#include "policy/api.h"
 
 int main(int argc, char** argv) {
   skyferry::exp::Cli cli("ablation_joint_speed");
   skyferry::bench::Report report(cli);
+  skyferry::bench::PolicyTableFlag policy_flag(cli);
   cli.parse_or_exit(argc, argv);
   cli.print_replay_header();
   using namespace skyferry;
@@ -22,26 +26,52 @@ int main(int argc, char** argv) {
   csv.header({"platform", "mdata_mb", "v_opt", "d_opt", "utility", "cruise_d_opt",
               "cruise_utility", "gain_pct"});
 
+  const std::vector<double> mbs{1.0, 5.0, 15.0, 28.0, 45.0, 56.2};
   for (const auto& scen : {core::Scenario::airplane(), core::Scenario::quadrocopter()}) {
     const auto model = scen.paper_throughput();
+    policy::DecisionService service(model);
+    policy_flag.install_into(service);
     io::Table t("joint speed+distance optimum, " + scen.name + " (cruise v=" +
                 io::format_number(scen.platform.cruise_speed_mps) + " m/s)");
     t.columns({"Mdata_MB", "v_opt_mps", "d_opt_m", "U", "U@cruise", "gain_%"});
-    for (double mb : {1.0, 5.0, 15.0, 28.0, 45.0, 56.2}) {
-      core::DeliveryParams p = scen.delivery_params();
-      p.mdata_bytes = mb * 1e6;
-      const auto r = core::optimize_joint(model, scen.platform, p);
-      const double gain =
-          r.cruise_baseline.utility > 0.0
-              ? (r.utility / r.cruise_baseline.utility - 1.0) * 100.0
-              : 0.0;
+
+    // Per batch size, a (joint, cruise-baseline) query pair: the joint
+    // query sweeps the speed envelope with the battery-derived rho(v);
+    // the paired fixed-speed query at cruise with rho(cruise) reproduces
+    // optimize_joint's cruise_baseline through the same front door.
+    const double cruise = scen.platform.cruise_speed_mps;
+    std::vector<policy::Query> queries(2 * mbs.size());
+    for (std::size_t i = 0; i < mbs.size(); ++i) {
+      policy::Query& qj = queries[2 * i];
+      qj.d0_m = scen.d0_m;
+      qj.mdata_bytes = mbs[i] * 1e6;
+      qj.min_distance_m = scen.delivery_params().min_distance_m;
+      qj.objective = policy::Objective::kJointSpeed;
+      qj.platform = &scen.platform;
+      policy::Query& qc = queries[2 * i + 1];
+      qc.d0_m = scen.d0_m;
+      qc.speed_mps = cruise;
+      qc.mdata_bytes = mbs[i] * 1e6;
+      qc.min_distance_m = scen.delivery_params().min_distance_m;
+      qc.rho_per_m = core::rho_for_speed(scen.platform, cruise);
+    }
+    std::vector<policy::Decision> answers(queries.size());
+    service.decide(queries, answers);
+
+    for (std::size_t i = 0; i < mbs.size(); ++i) {
+      const double mb = mbs[i];
+      const auto& r = answers[2 * i];
+      const auto& cruise_r = answers[2 * i + 1];
+      const double gain = cruise_r.utility > 0.0
+                              ? (r.utility / cruise_r.utility - 1.0) * 100.0
+                              : 0.0;
       t.add_row(io::format_number(mb),
-                {r.v_opt_mps, r.d_opt_m, r.utility, r.cruise_baseline.utility, gain});
+                {r.v_opt_mps, r.d_opt_m, r.utility, cruise_r.utility, gain});
       csv.row(scen.name,
               std::vector<double>{mb, r.v_opt_mps, r.d_opt_m, r.utility,
-                                  r.cruise_baseline.d_opt_m, r.cruise_baseline.utility, gain});
+                                  cruise_r.d_opt_m, cruise_r.utility, gain});
       report.claim("joint_never_worse_" + scen.name + "_m" + io::format_number(mb),
-                   r.utility >= r.cruise_baseline.utility - 1e-12,
+                   r.utility >= cruise_r.utility - 1e-12,
                    "the speed dimension can only add utility");
       if (scen.name == "airplane" && mb == 28.0)
         report.metric("airplane_28mb_gain_pct", gain, check::Tolerance::relative(0.10),

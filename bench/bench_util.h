@@ -19,6 +19,8 @@
 #include "check/golden.h"
 #include "exp/cli.h"
 #include "mac/link.h"
+#include "policy/service.h"
+#include "policy/table.h"
 #include "stats/quantile.h"
 
 namespace skyferry::benchutil {
@@ -148,6 +150,35 @@ class Report {
   exp::Cli* cli_;
   std::string json_path_;
   check::GoldenFile golden_;
+};
+
+/// Shared `--policy-table <path>` flag for the deciding benches: every
+/// "now or later?" solve flows through one policy::DecisionService, and
+/// passing a compiled table swaps the exact backend for the O(1) lookup
+/// without touching the bench's own code. Default (no flag) keeps the
+/// exact solver, so the committed goldens are what they always were.
+class PolicyTableFlag {
+ public:
+  explicit PolicyTableFlag(exp::Cli& cli) {
+    cli.flag("--policy-table", &path_,
+             "compiled policy table (.json) to serve eligible decisions from; "
+             "empty = exact optimizer");
+  }
+
+  /// Load + install the table into `service` when the flag was passed.
+  /// Throws on a corrupt/mismatched file — a silent exact fallback would
+  /// misreport what the bench measured.
+  void install_into(policy::DecisionService& service) const {
+    if (path_.empty()) return;
+    service.install_table(policy::PolicyTable::load(path_));
+    std::printf("policy-table: %s installed (exact fallback outside its domain)\n",
+                path_.c_str());
+  }
+
+  [[nodiscard]] bool requested() const noexcept { return !path_.empty(); }
+
+ private:
+  std::string path_;
 };
 
 }  // namespace skyferry::bench

@@ -5,21 +5,24 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "core/optimizer.h"
 #include "core/scenario.h"
 #include "exp/cli.h"
 #include "io/ascii_chart.h"
 #include "io/csv.h"
 #include "io/gnuplot.h"
 #include "io/table.h"
+#include "policy/api.h"
 
 namespace {
 
 using namespace skyferry;
 
 void run_scenario(const core::Scenario& scen, const std::vector<double>& rhos,
-                  io::CsvWriter& csv, bench::Report& report) {
+                  io::CsvWriter& csv, bench::Report& report,
+                  const bench::PolicyTableFlag& policy_flag) {
   const auto model = scen.paper_throughput();
+  policy::DecisionService service(model);
+  policy_flag.install_into(service);
   io::AsciiChart chart("Figure 8: U(d), " + scen.name + " scenario", 70, 16);
   chart.x_label("d (m)").y_label("U(d)");
   io::Table t("maxima (" + scen.name + ")");
@@ -38,7 +41,13 @@ void run_scenario(const core::Scenario& scen, const std::vector<double>& rhos,
               std::vector<double>{pt.d_m, pt.utility, pt.discount, pt.cdelay_s});
     }
     chart.add(s);
-    const auto r = core::optimize(u);
+    policy::Query q;
+    q.d0_m = scen.d0_m;
+    q.speed_mps = scen.delivery_params().speed_mps;
+    q.mdata_bytes = scen.mdata_bytes;
+    q.min_distance_m = scen.delivery_params().min_distance_m;
+    q.rho_per_m = rho;
+    const auto r = service.decide_one(q);
     t.add_row(io::format_number(rho), {r.d_opt_m, r.utility, r.cdelay_s, r.discount});
     dopts.push_back(r.d_opt_m);
     report.metric(scen.name + "_dopt_rho" + io::format_number(rho) + "_m", r.d_opt_m,
@@ -60,6 +69,7 @@ void run_scenario(const core::Scenario& scen, const std::vector<double>& rhos,
 int main(int argc, char** argv) {
   skyferry::exp::Cli cli("fig8_utility_curves");
   skyferry::bench::Report report(cli);
+  skyferry::bench::PolicyTableFlag policy_flag(cli);
   cli.parse_or_exit(argc, argv);
   cli.print_replay_header();
   io::CsvWriter csv("fig8_utility_curves.csv");
@@ -67,22 +77,32 @@ int main(int argc, char** argv) {
 
   const auto air = core::Scenario::airplane();
   const auto quad = core::Scenario::quadrocopter();
-  run_scenario(air, {air.rho_per_m, 1e-3, 2e-3, 5e-3, 1e-2}, csv, report);
-  run_scenario(quad, {quad.rho_per_m, 1e-3, 2e-3, 5e-3, 1e-2}, csv, report);
+  run_scenario(air, {air.rho_per_m, 1e-3, 2e-3, 5e-3, 1e-2}, csv, report, policy_flag);
+  run_scenario(quad, {quad.rho_per_m, 1e-3, 2e-3, 5e-3, 1e-2}, csv, report, policy_flag);
 
-  // d0 sensitivity (paper Sec. 4, text after Fig. 8).
+  // d0 sensitivity (paper Sec. 4, text after Fig. 8). One batch of
+  // queries differing only in d0, answered in one decide() call.
   std::printf("\nd0 sensitivity, airplane scenario at rho=2e-3:\n");
   io::Table t("d_opt vs d0");
   t.columns({"d0_m", "d_opt_m", "transmit_now?"});
   const auto model = air.paper_throughput();
-  const uav::FailureModel failure(2e-3);
+  policy::DecisionService service(model);
+  policy_flag.install_into(service);
+  const std::vector<double> d0s{300.0, 260.0, 220.0, 180.0, 140.0, 100.0, 60.0};
+  std::vector<policy::Query> queries(d0s.size());
+  for (std::size_t i = 0; i < d0s.size(); ++i) {
+    queries[i].d0_m = d0s[i];
+    queries[i].speed_mps = air.delivery_params().speed_mps;
+    queries[i].mdata_bytes = air.mdata_bytes;
+    queries[i].min_distance_m = air.delivery_params().min_distance_m;
+    queries[i].rho_per_m = 2e-3;
+  }
+  std::vector<policy::Decision> answers(queries.size());
+  service.decide(queries, answers);
   bool flipped_to_now = false;
-  for (double d0 : {300.0, 260.0, 220.0, 180.0, 140.0, 100.0, 60.0}) {
-    core::DeliveryParams p = air.delivery_params();
-    p.d0_m = d0;
-    const core::CommDelayModel delay(model, p);
-    const core::UtilityFunction u(delay, failure);
-    const auto r = core::optimize(u);
+  for (std::size_t i = 0; i < d0s.size(); ++i) {
+    const double d0 = d0s[i];
+    const auto& r = answers[i];
     t.add_row(io::format_number(d0),
               {r.d_opt_m, r.boundary == core::Boundary::kTransmitNow ? 1.0 : 0.0});
     if (d0 == 300.0 || d0 == 260.0 || d0 == 220.0)

@@ -6,22 +6,24 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "core/optimizer.h"
 #include "core/scenario.h"
 #include "exp/cli.h"
 #include "io/ascii_chart.h"
 #include "io/csv.h"
 #include "io/table.h"
+#include "policy/api.h"
 
 int main(int argc, char** argv) {
   skyferry::exp::Cli cli("fig9_datasize_speed");
   skyferry::bench::Report report(cli);
+  skyferry::bench::PolicyTableFlag policy_flag(cli);
   cli.parse_or_exit(argc, argv);
   cli.print_replay_header();
   using namespace skyferry;
   const auto scen = core::Scenario::airplane();
   const auto model = scen.paper_throughput();
-  const uav::FailureModel failure(scen.rho_per_m);
+  policy::DecisionService service(model);
+  policy_flag.install_into(service);
 
   io::CsvWriter csv("fig9_datasize_speed.csv");
   csv.header({"mdata_mb", "v_mps", "d_opt_m", "utility", "cdelay_s"});
@@ -35,19 +37,35 @@ int main(int argc, char** argv) {
 
   const std::vector<double> speeds{3.0, 5.0, 10.0, 15.0, 20.0};
   const std::vector<double> mdatas{5.0, 7.0, 10.0, 15.0, 25.0, 45.0};
+
+  // The whole Mdata x speed grid is one flat batch through the decision
+  // service — the shape the compiled-table path serves at O(1) per cell.
+  std::vector<policy::Query> queries;
+  queries.reserve(mdatas.size() * speeds.size());
+  for (double mdata_mb : mdatas) {
+    for (double v : speeds) {
+      policy::Query q;
+      q.d0_m = scen.d0_m;
+      q.speed_mps = v;
+      q.mdata_bytes = mdata_mb * 1e6;
+      q.min_distance_m = scen.delivery_params().min_distance_m;
+      q.rho_per_m = scen.rho_per_m;
+      queries.push_back(q);
+    }
+  }
+  std::vector<policy::Decision> answers(queries.size());
+  service.decide(queries, answers);
+
   // grid[mi][vi] = d_opt, for the row/column monotonicity claims.
   std::vector<std::vector<double>> grid;
   std::vector<double> u_at_v10;
-  for (double mdata_mb : mdatas) {
+  for (std::size_t mi = 0; mi < mdatas.size(); ++mi) {
+    const double mdata_mb = mdatas[mi];
     io::Series s{"M=" + io::format_number(mdata_mb) + "MB", {}, {}};
     std::vector<double> dopts;
-    for (double v : speeds) {
-      core::DeliveryParams p = scen.delivery_params();
-      p.mdata_bytes = mdata_mb * 1e6;
-      p.speed_mps = v;
-      const core::CommDelayModel delay(model, p);
-      const core::UtilityFunction u(delay, failure);
-      const auto r = core::optimize(u);
+    for (std::size_t vi = 0; vi < speeds.size(); ++vi) {
+      const double v = speeds[vi];
+      const auto& r = answers[mi * speeds.size() + vi];
       s.xs.push_back(r.d_opt_m);
       s.ys.push_back(r.utility);
       dopts.push_back(r.d_opt_m);

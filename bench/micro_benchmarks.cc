@@ -9,6 +9,8 @@
 // and fails on >25% regression of any baselined counter.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "core/optimizer.h"
 #include "core/redecide.h"
 #include "core/scenario.h"
@@ -17,6 +19,8 @@
 #include "geo/geodesy.h"
 #include "mac/link.h"
 #include "phy/per_table.h"
+#include "policy/compiler.h"
+#include "policy/service.h"
 #include "sim/simulator.h"
 
 namespace {
@@ -76,6 +80,45 @@ void BM_ReDecision(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ReDecision);
+
+// The compiled-policy hot path: a 1024-query batch through
+// DecisionService::decide with every query served by the table backend
+// (O(1) 4-D interpolation + one exact utility evaluation at d*). The
+// service contract is >= 1e6 decisions/s on one core — amortized <= 1 us
+// per decision — which bench_regress.sh pins as an absolute ceiling on
+// top of the relative regression gate. The table is compiled once at
+// setup (a few hundred exact solves on the thread pool); the measured
+// loop performs zero steady-state allocations.
+void BM_PolicyDecideBatch(benchmark::State& state) {
+  policy::CompilerConfig cfg;
+  cfg.d0 = {60.0, 300.0, 7};
+  cfg.speed = {2.0, 20.0, 5};
+  cfg.mdata = {5e6, 6e7, 5, true};
+  cfg.rho = {1e-4, 5e-3, 7, true};
+  const auto scen = core::Scenario::airplane();
+  const auto model = scen.paper_throughput();
+  policy::DecisionService service(model);
+  service.install_table(policy::Compiler(cfg).compile());
+
+  constexpr std::size_t kBatch = 1024;
+  std::vector<policy::Query> queries(kBatch);
+  std::vector<policy::Decision> answers(kBatch);
+  sim::Rng rng(7);
+  for (auto& q : queries) {
+    q.d0_m = rng.uniform(60.0, 300.0);
+    q.speed_mps = rng.uniform(2.0, 20.0);
+    q.mdata_bytes = rng.uniform(5e6, 6e7);
+    q.rho_per_m = rng.uniform(1e-4, 5e-3);
+  }
+  for (auto _ : state) {
+    service.decide(std::span<const policy::Query>(queries),
+                   std::span<policy::Decision>(answers));
+    benchmark::DoNotOptimize(answers.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kBatch);
+  if (service.counters().exact != 0) state.SkipWithError("query escaped the table path");
+}
+BENCHMARK(BM_PolicyDecideBatch);
 
 void BM_PacketErrorRate(benchmark::State& state) {
   const phy::ErrorModel em({}, 0.9);

@@ -69,7 +69,9 @@ SPEEDUP_NUM = "BM_LinkSimSecondPerMpdu"
 SPEEDUP_DEN = "BM_LinkSimSecondAggregate"
 # Absolute real-time ceilings [ns], enforced in --update and --check:
 # these are latency contracts, not regression baselines.
-CEILING_NS = {"BM_ReDecision": 10_000.0}
+# BM_PolicyDecideBatch decides 1024 queries per iteration; its ceiling is
+# the >= 1e6 decisions/s service contract (<= 1 us/decision amortized).
+CEILING_NS = {"BM_ReDecision": 10_000.0, "BM_PolicyDecideBatch": 1_024_000.0}
 
 mode = os.environ["MODE"]
 baseline_path = os.environ["BASELINE"]

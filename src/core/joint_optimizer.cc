@@ -32,12 +32,15 @@ JointOptimizeResult optimize_joint(const ThroughputModel& model,
     const CommDelayModel delay(model, p);
     const UtilityFunction u(delay, failure);
     const OptimizeResult r = optimize(u, opts.distance_opts);
+    best.evaluations += r.evaluations;
     if (r.utility > best.utility) {
       best.utility = r.utility;
       best.d_opt_m = r.d_opt_m;
       best.v_opt_mps = v;
       best.cdelay_s = r.cdelay_s;
       best.rho_at_v = failure.rho();
+      best.discount = r.discount;
+      best.boundary = r.boundary;
     }
   }
 

@@ -27,6 +27,14 @@ struct JointOptimizeResult {
   double utility{0.0};
   double cdelay_s{0.0};
   double rho_at_v{0.0};
+  /// Survival probability and interval classification of the winning
+  /// (d, v) — the inner optimizer's decomposition at v_opt, carried so
+  /// the decision service can serve joint answers with the same fields
+  /// as fixed-speed ones.
+  double discount{0.0};
+  Boundary boundary{Boundary::kInterior};
+  /// Utility evaluations summed over the whole speed grid.
+  int evaluations{0};
   /// The fixed-speed result at the platform's cruise speed, for
   /// comparison (what the base model would have chosen).
   OptimizeResult cruise_baseline{};

@@ -38,18 +38,6 @@ struct OptimizeResult {
   double discount{0.0};
   Boundary boundary{Boundary::kInterior};
   int evaluations{0};
-
-  // Deprecated shims for the pre-enum flag API.
-  [[deprecated("use boundary == Boundary::kInterior")]] [[nodiscard]] bool interior() const noexcept {
-    return boundary == Boundary::kInterior;
-  }
-  [[deprecated("use boundary == Boundary::kTransmitNow")]] [[nodiscard]] bool transmit_now()
-      const noexcept {
-    return boundary == Boundary::kTransmitNow;
-  }
-  [[deprecated("use boundary == Boundary::kAtFloor")]] [[nodiscard]] bool at_floor() const noexcept {
-    return boundary == Boundary::kAtFloor;
-  }
 };
 
 /// Maximize a utility function over [d_min, d0].

@@ -23,6 +23,10 @@
 #include "core/throughput_model.h"
 #include "ctrl/resilience.h"
 
+namespace skyferry::policy {
+class DecisionService;
+}
+
 namespace skyferry::core {
 
 struct ReDecisionConfig {
@@ -117,10 +121,20 @@ class ReDecisionPolicy {
   [[nodiscard]] ReDecision consider(const ReDecisionInput& in);
 
   /// The unconditional re-optimization (no trigger gate, no mutation) —
-  /// the hot path BM_ReDecision measures and a decision service would
-  /// batch. Returns the optimizer result on the re-estimated models over
-  /// [min_distance, current_d].
+  /// the hot path BM_ReDecision measures, flowing through the decision
+  /// service's exact backend (the re-estimated model forces it: the
+  /// policy table only knows nominal physics). Returns the optimizer
+  /// result on the re-estimated models over [min_distance, current_d].
   [[nodiscard]] OptimizeResult redecide_now(const ReDecisionInput& in) const;
+
+  /// Route re-decisions through an externally owned DecisionService
+  /// (shared counters/telemetry); nullptr restores the stack-local
+  /// service. Either way the answers are bit-identical to the direct
+  /// optimizer calls this class used to make.
+  ReDecisionPolicy& route_through(const policy::DecisionService* service) noexcept {
+    service_ = service;
+    return *this;
+  }
 
   [[nodiscard]] int redecisions() const noexcept { return redecisions_; }
   [[nodiscard]] const ReDecisionConfig& config() const noexcept { return cfg_; }
@@ -128,6 +142,7 @@ class ReDecisionPolicy {
  private:
   ReDecisionConfig cfg_;
   const PaperLogThroughput& nominal_;
+  const policy::DecisionService* service_{nullptr};
   int redecisions_{0};
   double last_redecide_d_m_{-1.0};  ///< < 0: never re-decided
 };

@@ -1,0 +1,86 @@
+// skyferry_policy_compile — the offline step of the decision service:
+// sweep the decision domain, bake the optimal-d* table, audit its
+// accuracy against the exact solver, and write the versioned table file
+// that skyferry_decide (and any bench's --policy-table flag) serves.
+#include <cstdio>
+#include <string>
+
+#include "exp/cli.h"
+#include "io/format.h"
+#include "policy/compiler.h"
+
+using namespace skyferry;
+
+int main(int argc, char** argv) {
+  std::string out = "policy_table.json";
+  std::string platform = "airplane";
+  policy::CompilerConfig cfg;
+  int validate_samples = 200;
+  // The regret gate is the primary contract (second-order in grid
+  // spacing; the default grid audits at ~0.7%). The distance gate only
+  // applies to samples that blew the regret plateau — the argmax is
+  // ill-conditioned where utility is flat, so d* displacement alone is
+  // not an error — making it a safety net against a broken table.
+  double max_d_err_m = 35.0;
+  double max_regret = 0.02;
+  std::uint64_t seed = 1;
+
+  exp::Cli cli("skyferry_policy_compile");
+  cli.flag("--out", &out, "table file to write")
+      .flag("--platform", &platform, "throughput fit: airplane | quadrocopter")
+      .flag("--min-distance", &cfg.min_distance_m, "anti-collision floor [m]")
+      .flag("--d0-lo", &cfg.d0.lo, "d0 axis: low edge [m]")
+      .flag("--d0-hi", &cfg.d0.hi, "d0 axis: high edge [m]")
+      .flag("--d0-n", &cfg.d0.n, "d0 axis: knot count")
+      .flag("--v-lo", &cfg.speed.lo, "speed axis: low edge [m/s]")
+      .flag("--v-hi", &cfg.speed.hi, "speed axis: high edge [m/s]")
+      .flag("--v-n", &cfg.speed.n, "speed axis: knot count")
+      .flag("--mdata-lo", &cfg.mdata.lo, "Mdata axis: low edge [bytes] (log-spaced)")
+      .flag("--mdata-hi", &cfg.mdata.hi, "Mdata axis: high edge [bytes]")
+      .flag("--mdata-n", &cfg.mdata.n, "Mdata axis: knot count")
+      .flag("--rho-lo", &cfg.rho.lo, "rho axis: low edge [1/m] (log-spaced)")
+      .flag("--rho-hi", &cfg.rho.hi, "rho axis: high edge [1/m]")
+      .flag("--rho-n", &cfg.rho.n, "rho axis: knot count")
+      .flag("--grid-points", &cfg.optimize.grid_points, "exact-solver grid points per knot")
+      .flag("--threads", &cfg.threads, "compile workers (<=0: hardware threads)")
+      .flag("--validate", &validate_samples, "random accuracy-audit samples (0 skips)")
+      .flag("--max-d-err", &max_d_err_m,
+            "fail if |d*_served - d*_exact| exceeds this [m] off the utility plateau")
+      .flag("--max-regret", &max_regret,
+            "fail if the served decision's relative utility regret exceeds this")
+      .flag("--seed", &seed, "audit sampling seed");
+  cli.parse_or_exit(argc, argv);
+  cli.print_replay_header();
+
+  if (platform == "quadrocopter") {
+    cfg.model = {-10.5, 73.0, 1e6, 20.0, "paper-quadrocopter"};
+  } else if (platform != "airplane") {
+    std::fprintf(stderr, "unknown --platform '%s' (want airplane or quadrocopter)\n",
+                 platform.c_str());
+    return 2;
+  }
+
+  const policy::Compiler compiler(cfg);
+  const policy::PolicyTable table = compiler.compile();
+  table.save_atomic(out);
+  std::printf("compiled %zu knots (%s, floor %s m) -> %s (checksum %s)\n", table.knots(),
+              table.model().name.c_str(), io::format_number(table.min_distance_m()).c_str(),
+              out.c_str(), table.checksum().c_str());
+
+  if (validate_samples > 0) {
+    const policy::ValidationReport rep =
+        policy::Compiler::validate(table, validate_samples, seed);
+    std::printf(
+        "audit: %d samples  max|d*err| %s m  max U rel err %s  boundary mismatches %d "
+        "(knife-edge %d)\n",
+        rep.samples, io::format_number(rep.max_d_err_m).c_str(),
+        io::format_number(rep.max_utility_rel_err).c_str(), rep.boundary_mismatches,
+        rep.boundary_knife_edges);
+    if (rep.max_d_err_m > max_d_err_m || rep.max_utility_rel_err > max_regret ||
+        rep.boundary_mismatches > 0) {
+      std::fprintf(stderr, "audit FAILED: refine the grid (--d0-n/--v-n/--mdata-n/--rho-n)\n");
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,162 @@
+#include "policy/compiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/delay.h"
+#include "core/throughput_model.h"
+#include "core/utility.h"
+#include "exp/runner.h"
+#include "exp/sweep.h"
+#include "policy/api.h"
+#include "uav/failure.h"
+
+namespace skyferry::policy {
+namespace {
+
+std::vector<double> knot_values(const AxisSpec& spec) {
+  Axis ax{"", spec.lo, spec.hi, spec.n, spec.log10_spaced};
+  std::vector<double> v(static_cast<std::size_t>(std::max(spec.n, 2)));
+  for (int i = 0; i < static_cast<int>(v.size()); ++i) v[static_cast<std::size_t>(i)] = ax.knot(i);
+  return v;
+}
+
+struct Knot {
+  double d_opt{0.0};
+  double utility{0.0};
+};
+
+core::OptimizeResult solve_exact(const TableModelSpec& spec, double min_distance_m,
+                                 core::OptimizeOptions opt, double d0, double speed, double mdata,
+                                 double rho) {
+  const core::PaperLogThroughput model(spec.a, spec.b, spec.name, spec.scale,
+                                       spec.min_distance_m);
+  const uav::FailureModel failure(rho);
+  const core::DeliveryParams params{d0, speed, mdata, min_distance_m};
+  const core::CommDelayModel delay(model, params);
+  const core::UtilityFunction u(delay, failure);
+  return core::optimize(u, opt);
+}
+
+}  // namespace
+
+PolicyTable Compiler::compile() const {
+  exp::Sweep sweep;
+  // Axis order == PolicyTable::kAxisNames == flattened-index order:
+  // cartesian() enumerates first axis slowest, exactly the table's
+  // ((i0·N1 + i1)·N2 + i2)·N3 + i3 layout, so point.index IS the flat
+  // knot index.
+  sweep.axis(PolicyTable::kAxisNames[0], knot_values(cfg_.d0));
+  sweep.axis(PolicyTable::kAxisNames[1], knot_values(cfg_.speed));
+  sweep.axis(PolicyTable::kAxisNames[2], knot_values(cfg_.mdata));
+  sweep.axis(PolicyTable::kAxisNames[3], knot_values(cfg_.rho));
+  const std::vector<exp::Point> points = sweep.cartesian();
+
+  exp::RunnerConfig rc;
+  rc.threads = cfg_.threads;
+  rc.trials = 1;
+  rc.fail_fast = true;  // a knot that cannot be solved must not bake a silent 0
+  exp::Runner runner(rc);
+  const auto run = runner.run(points, [this](const exp::Point& pt, std::uint64_t) {
+    const core::OptimizeResult r = solve_exact(
+        cfg_.model, cfg_.min_distance_m, cfg_.optimize, pt.at(PolicyTable::kAxisNames[0]),
+        pt.at(PolicyTable::kAxisNames[1]), pt.at(PolicyTable::kAxisNames[2]),
+        pt.at(PolicyTable::kAxisNames[3]));
+    return Knot{r.d_opt_m, r.utility};
+  });
+
+  std::vector<double> d_opt(points.size()), utility(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    d_opt[points[p].index] = run.results[p][0].d_opt;
+    utility[points[p].index] = run.results[p][0].utility;
+  }
+
+  std::array<Axis, 4> axes = {
+      Axis{PolicyTable::kAxisNames[0], cfg_.d0.lo, cfg_.d0.hi, cfg_.d0.n, cfg_.d0.log10_spaced},
+      Axis{PolicyTable::kAxisNames[1], cfg_.speed.lo, cfg_.speed.hi, cfg_.speed.n,
+           cfg_.speed.log10_spaced},
+      Axis{PolicyTable::kAxisNames[2], cfg_.mdata.lo, cfg_.mdata.hi, cfg_.mdata.n,
+           cfg_.mdata.log10_spaced},
+      Axis{PolicyTable::kAxisNames[3], cfg_.rho.lo, cfg_.rho.hi, cfg_.rho.n,
+           cfg_.rho.log10_spaced},
+  };
+  return PolicyTable(std::move(axes), cfg_.model, cfg_.min_distance_m, cfg_.optimize,
+                     std::move(d_opt), std::move(utility));
+}
+
+ValidationReport Compiler::validate(const PolicyTable& table, int samples, std::uint64_t seed) {
+  ValidationReport rep;
+  rep.samples = std::max(samples, 0);
+  sim::Rng rng(seed);
+  const auto& axes = table.axes();
+  const auto sample_axis = [&rng](const Axis& ax) {
+    if (ax.log10_spaced)
+      return std::pow(10.0, rng.uniform(std::log10(ax.lo), std::log10(ax.hi)));
+    return rng.uniform(ax.lo, ax.hi);
+  };
+  for (int s = 0; s < rep.samples; ++s) {
+    const double d0 = sample_axis(axes[0]);
+    const double v = sample_axis(axes[1]);
+    const double mdata = sample_axis(axes[2]);
+    const double rho = sample_axis(axes[3]);
+
+    const core::OptimizeResult exact = solve_exact(table.model(), table.min_distance_m(),
+                                                   table.compiled_with(), d0, v, mdata, rho);
+
+    // Reproduce the serving path (DecisionService::decide_table): the
+    // interpolated d*, the cell's min/max corner d*, and the interval
+    // ends compete on exact utility, so a blend that fell into the
+    // valley between two tied modes is repaired before it is graded.
+    const core::PaperLogThroughput model(table.model().a, table.model().b, table.model().name,
+                                         table.model().scale, table.model().min_distance_m);
+    const uav::FailureModel failure(rho);
+    const core::DeliveryParams params{d0, v, mdata, table.min_distance_m()};
+    const core::CommDelayModel delay(model, params);
+    const core::UtilityFunction u(delay, failure);
+    const PolicyTable::DOptCandidates cand = table.lookup_d_opt_candidates(d0, v, mdata, rho);
+    double d_served = std::clamp(cand.blend, table.min_distance_m(), d0);
+    double u_served = u(d_served);
+    for (const double c : {cand.lo, cand.hi, d0, table.min_distance_m()}) {
+      const double dc = std::clamp(c, table.min_distance_m(), d0);
+      if (dc == d_served) continue;
+      const double uc = u(dc);
+      if (uc > u_served) {
+        d_served = dc;
+        u_served = uc;
+      }
+    }
+
+    // Utility regret is the primary contract: second-order away from
+    // mode ties, and at a tie both modes are near-equal by definition.
+    const double regret =
+        exact.utility > 0.0 ? std::abs(u_served / exact.utility - 1.0) : 0.0;
+    rep.max_utility_rel_err = std::max(rep.max_utility_rel_err, regret);
+
+    const double d_err = std::abs(d_served - exact.d_opt_m);
+    const bool on_plateau = regret <= ValidationReport::kPlateauRegret;
+    // The either-or guarantee: d* accuracy is only demanded where the
+    // optimum is sharp. On a plateau the argmax is ill-conditioned —
+    // far-apart distances earn near-equal utility — so those samples
+    // are already covered by the regret bound above.
+    if (!on_plateau) rep.max_d_err_m = std::max(rep.max_d_err_m, d_err);
+
+    const core::Boundary b_served = classify_boundary(d_served, table.min_distance_m(), d0);
+    if (b_served != exact.boundary) {
+      // A mismatch at the knife edge — the exact optimum sits closer to
+      // an interval end than the table's own d* error, or the two modes
+      // are tied in utility — is a property of the threshold, not a
+      // wrong decision; a mode difference with a real utility gap is.
+      const double margin =
+          std::min(exact.d_opt_m - table.min_distance_m(), d0 - exact.d_opt_m);
+      if (on_plateau || margin <= d_err + 1e-3 * std::max(d0 - table.min_distance_m(), 1.0)) {
+        ++rep.boundary_knife_edges;
+      } else {
+        ++rep.boundary_mismatches;
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace skyferry::policy

@@ -1,0 +1,66 @@
+// skyferry_decide — the decision service as a long-running process: load
+// a compiled policy table (or run exact-only), then serve the stdin/
+// stdout line protocol so campaign scripts stream batched decisions
+// through one warm process. `--query "<d0> <v> <mdata> <rho>"` answers
+// one decision and exits (the quick-start's middle command).
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/throughput_model.h"
+#include "exp/cli.h"
+#include "policy/server.h"
+
+using namespace skyferry;
+
+int main(int argc, char** argv) {
+  std::string table_path;
+  std::string platform = "airplane";
+  std::string query;
+  bool banner = true;
+  policy::ServerOptions options;
+
+  exp::Cli cli("skyferry_decide");
+  cli.flag("--policy-table", &table_path, "compiled table (skyferry_policy_compile output); empty = exact-only")
+      .flag("--platform", &platform, "exact-backend throughput fit: airplane | quadrocopter")
+      .flag("--query", &query, "one-shot: decide '<d0> <v> <mdata> <rho> [min_d]' and exit")
+      .flag("--min-distance", &options.defaults.min_distance_m,
+            "default anti-collision floor [m] for queries that omit it")
+      .flag("--banner", &banner, "echo the protocol banner before serving");
+  cli.parse_or_exit(argc, argv);
+
+  core::PaperLogThroughput model = platform == "quadrocopter"
+                                       ? core::PaperLogThroughput::quadrocopter()
+                                       : core::PaperLogThroughput::airplane();
+  if (platform != "airplane" && platform != "quadrocopter") {
+    std::fprintf(stderr, "unknown --platform '%s' (want airplane or quadrocopter)\n",
+                 platform.c_str());
+    return 2;
+  }
+
+  policy::DecisionService service(model);
+  if (!table_path.empty()) {
+    try {
+      policy::PolicyTable table = policy::PolicyTable::load(table_path);
+      // Serve the exact fallback against the model the table was
+      // compiled for, so in-domain and out-of-domain answers describe
+      // the same physics.
+      model = core::PaperLogThroughput(table.model().a, table.model().b, table.model().name,
+                                       table.model().scale, table.model().min_distance_m);
+      service.install_table(std::move(table));
+    } catch (const policy::TableError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+
+  options.banner = banner && query.empty();
+  const policy::LineServer server(service, options);
+  if (!query.empty()) {
+    std::istringstream one(query + "\n");
+    return server.run(one, std::cout) == 1 ? 0 : 1;
+  }
+  server.run(std::cin, std::cout);
+  return 0;
+}

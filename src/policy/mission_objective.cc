@@ -1,0 +1,36 @@
+#include "policy/mission_objective.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skyferry::policy {
+
+double expected_mission_utility(const core::CommDelayModel& delay, double rho, double speed_mps,
+                                double elapsed_s, double d_m) {
+  using core::CommDelayModel;
+  const double A = delay.tship_s(d_m);
+  const double T = delay.ttx_s(d_m);
+  if (!(A >= 0.0) || A == CommDelayModel::kInfiniteDelay) return 0.0;
+  if (!(T >= 0.0) || T == CommDelayModel::kInfiniteDelay) return 0.0;
+  const double base = elapsed_s + A;
+  if (!(base + T > 0.0)) return 0.0;
+  const double lam = std::max(rho, 0.0) * speed_mps;
+  const double full = std::exp(-lam * T) / (base + T);
+  double partial = 0.0;
+  if (lam > 0.0 && T > 0.0) {
+    static constexpr double kNode[2] = {0.3399810435848563, 0.8611363115940526};
+    static constexpr double kWeight[2] = {0.6521451548625461, 0.3478548451374538};
+    const double half = 0.5 * T;
+    double sum = 0.0;
+    for (int i = 0; i < 2; ++i) {
+      const double tau_lo = half * (1.0 - kNode[i]);
+      const double tau_hi = half * (1.0 + kNode[i]);
+      sum += kWeight[i] * (std::exp(-lam * tau_lo) * (tau_lo / T) / (base + tau_lo) +
+                           std::exp(-lam * tau_hi) * (tau_hi / T) / (base + tau_hi));
+    }
+    partial = lam * half * sum;
+  }
+  return std::exp(-lam * A) * (full + partial);
+}
+
+}  // namespace skyferry::policy

@@ -1,0 +1,35 @@
+// The mid-flight re-decision objective, shared by core::ReDecisionPolicy
+// and the DecisionService's Objective::kMissionRealized backend. It used
+// to live in redecide.cc's anonymous namespace; the unified decision API
+// needs the identical function (bit-identical, not re-derived), so it is
+// exported here.
+#pragma once
+
+#include "core/delay.h"
+
+namespace skyferry::policy {
+
+/// Expected realized mission utility of transmitting at d, under the
+/// (re-)estimated models. The mission metric scores delivered fraction
+/// over total elapsed time, with partial credit for bytes already across
+/// when a crash ends the transfer — so the in-flight objective must be
+/// its expectation, not the paper's approach-only U(d): the approach-only
+/// form prices the flight *to* d but neither the failure distance the
+/// loiter keeps burning while transmitting nor the partial credit a
+/// mid-transfer crash still collects.
+///
+/// With hazard ρ per meter at speed v (λ = ρ·v per second), approach
+/// A = tship(d), transfer T = ttx(d), and t0 seconds already flown
+/// (sunk, but in the metric's denominator):
+///
+///   E[U] = e^{−λA} · [ e^{−λT}/(t0+A+T)
+///            + ∫₀ᵀ λ e^{−λτ} · (τ/T)/(t0+A+τ) dτ ]
+///
+/// The crash-mid-transfer integral has no closed form; with λT ≪ 1 and
+/// T ≪ t0+A at mission scales the integrand is almost linear in τ, so a
+/// 4-point Gauss–Legendre rule is accurate to ~1e-9 relative — and this
+/// sits in the optimizer's inner loop under BM_ReDecision's 10 µs ceiling.
+[[nodiscard]] double expected_mission_utility(const core::CommDelayModel& delay, double rho,
+                                              double speed_mps, double elapsed_s, double d_m);
+
+}  // namespace skyferry::policy

@@ -5,59 +5,11 @@
 
 #include "core/delay.h"
 #include "core/utility.h"
+#include "policy/mission_objective.h"
+#include "policy/service.h"
 #include "uav/failure.h"
 
 namespace skyferry::core {
-namespace {
-
-// Expected realized mission utility of transmitting at d, under the
-// (re-)estimated models. The mission metric scores delivered fraction
-// over total elapsed time, with partial credit for bytes already across
-// when a crash ends the transfer — so the in-flight objective must be
-// its expectation, not the paper's approach-only U(d): the approach-only
-// form prices the flight *to* d but neither the failure distance the
-// loiter keeps burning while transmitting nor the partial credit a
-// mid-transfer crash still collects.
-//
-// With hazard ρ per meter at speed v (λ = ρ·v per second), approach
-// A = tship(d), transfer T = ttx(d), and t0 seconds already flown
-// (sunk, but in the metric's denominator):
-//
-//   E[U] = e^{−λA} · [ e^{−λT}/(t0+A+T)
-//            + ∫₀ᵀ λ e^{−λτ} · (τ/T)/(t0+A+τ) dτ ]
-//
-// The crash-mid-transfer integral has no closed form; with λT ≪ 1 and
-// T ≪ t0+A at mission scales the integrand is almost linear in τ, so a
-// 4-point Gauss–Legendre rule is accurate to ~1e-9 relative — and this
-// sits in the optimizer's inner loop under BM_ReDecision's 10 µs ceiling.
-double expected_mission_utility(const CommDelayModel& delay, double rho, double speed_mps,
-                                double elapsed_s, double d_m) {
-  const double A = delay.tship_s(d_m);
-  const double T = delay.ttx_s(d_m);
-  if (!(A >= 0.0) || A == CommDelayModel::kInfiniteDelay) return 0.0;
-  if (!(T >= 0.0) || T == CommDelayModel::kInfiniteDelay) return 0.0;
-  const double base = elapsed_s + A;
-  if (!(base + T > 0.0)) return 0.0;
-  const double lam = std::max(rho, 0.0) * speed_mps;
-  const double full = std::exp(-lam * T) / (base + T);
-  double partial = 0.0;
-  if (lam > 0.0 && T > 0.0) {
-    static constexpr double kNode[2] = {0.3399810435848563, 0.8611363115940526};
-    static constexpr double kWeight[2] = {0.6521451548625461, 0.3478548451374538};
-    const double half = 0.5 * T;
-    double sum = 0.0;
-    for (int i = 0; i < 2; ++i) {
-      const double tau_lo = half * (1.0 - kNode[i]);
-      const double tau_hi = half * (1.0 + kNode[i]);
-      sum += kWeight[i] * (std::exp(-lam * tau_lo) * (tau_lo / T) / (base + tau_lo) +
-                           std::exp(-lam * tau_hi) * (tau_hi / T) / (base + tau_hi));
-    }
-    partial = lam * half * sum;
-  }
-  return std::exp(-lam * A) * (full + partial);
-}
-
-}  // namespace
 
 PaperLogThroughput reestimated_model(const PaperLogThroughput& nominal,
                                      const ctrl::ChannelEstimate& est, double min_confidence) {
@@ -78,18 +30,25 @@ OptimizeResult ReDecisionPolicy::redecide_now(const ReDecisionInput& in) const {
       in.channel ? reestimated_model(nominal_, *in.channel, cfg_.min_confidence)
                  : PaperLogThroughput{nominal_.a(), nominal_.b(), "nominal"};
   const double rho = in.rho_hat.value_or(in.nominal_rho);
-  const uav::FailureModel failure(std::max(rho, 0.0));
-  const DeliveryParams params{in.current_d_m, in.speed_mps, in.mdata_bytes, in.min_distance_m};
-  const CommDelayModel delay(model, params);
-  const UtilityFunction u(delay, failure);
-  if (!cfg_.mission_objective) return optimize(u, cfg_.optimize);
-  const double rho_eff = std::max(rho, 0.0);
-  return optimize_objective(
-      u,
-      [&](double d) {
-        return expected_mission_utility(delay, rho_eff, in.speed_mps, in.elapsed_s, d);
-      },
-      cfg_.optimize);
+
+  policy::Query q;
+  q.d0_m = in.current_d_m;
+  q.speed_mps = in.speed_mps;
+  q.mdata_bytes = in.mdata_bytes;
+  q.min_distance_m = in.min_distance_m;
+  // Pre-clamped exactly as the direct FailureModel(max(rho, 0)) call
+  // did, so the service's reconstruction and the mission objective's
+  // rho_eff both see the identical value.
+  q.rho_per_m = std::max(rho, 0.0);
+  q.objective = cfg_.mission_objective ? policy::Objective::kMissionRealized
+                                       : policy::Objective::kPaperUtility;
+  q.elapsed_s = in.elapsed_s;
+  q.model = &model;  // re-estimated physics: always the exact backend
+  q.optimize = cfg_.optimize;
+
+  if (service_ != nullptr) return policy::to_optimize_result(service_->decide_one(q));
+  const policy::DecisionService local(model);
+  return policy::to_optimize_result(local.decide_one(q));
 }
 
 ReDecision ReDecisionPolicy::consider(const ReDecisionInput& in) {
@@ -155,7 +114,8 @@ ReDecision ReDecisionPolicy::consider(const ReDecisionInput& in) {
       cfg_.mission_objective
           // Same yardstick as the candidate side, or the gate would
           // compare apples (E[realized U]) to oranges (approach-only U).
-          ? expected_mission_utility(delay, failure.rho(), in.speed_mps, in.elapsed_s, hold_d)
+          ? policy::expected_mission_utility(delay, failure.rho(), in.speed_mps, in.elapsed_s,
+                                             hold_d)
           : u(hold_d);
   out.predicted_gain_rel =
       hold_utility > 0.0 ? opt.utility / hold_utility - 1.0

@@ -1,0 +1,109 @@
+#include "policy/server.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "io/json.h"
+
+namespace skyferry::policy {
+namespace {
+
+/// Parse "<d0> <v> <mdata> <rho> [min_d]" into a query stamped from the
+/// template. Returns false with a message on any malformed field.
+bool parse_query(const std::string& line, const Query& defaults, Query* out, std::string* err) {
+  std::istringstream fields(line);
+  Query q = defaults;
+  if (!(fields >> q.d0_m >> q.speed_mps >> q.mdata_bytes >> q.rho_per_m)) {
+    *err = "expected: <d0> <v> <mdata> <rho> [min_d]";
+    return false;
+  }
+  double min_d;
+  if (fields >> min_d) q.min_distance_m = min_d;
+  std::string extra;
+  if (fields >> extra) {
+    *err = "trailing garbage '" + extra + "'";
+    return false;
+  }
+  *out = q;
+  return true;
+}
+
+}  // namespace
+
+std::string format_decision(const Decision& d) {
+  std::string out = "ok ";
+  out += io::json_number(d.d_opt_m);
+  out += ' ';
+  out += io::json_number(d.utility);
+  out += ' ';
+  out += io::json_number(d.cdelay_s);
+  out += ' ';
+  out += io::json_number(d.discount);
+  out += ' ';
+  out += core::to_string(d.boundary);
+  out += ' ';
+  out += to_string(d.backend);
+  return out;
+}
+
+std::size_t LineServer::run(std::istream& in, std::ostream& out) const {
+  if (opt_.banner) {
+    out << "# skyferry_decide ready (table=" << (service_.has_table() ? "yes" : "no")
+        << "); line: <d0> <v> <mdata> <rho> [min_d] | begin | end | stats | quit\n";
+  }
+  std::size_t served = 0;
+  bool batching = false;
+  std::vector<Query> batch;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line == "quit") break;
+    if (line == "stats") {
+      const DecisionService::Counters c = service_.counters();
+      out << "stats table=" << c.table << " exact=" << c.exact << '\n';
+      continue;
+    }
+    if (line == "begin") {
+      if (batching) {
+        out << "err already batching\n";
+        continue;
+      }
+      batching = true;
+      batch.clear();
+      continue;
+    }
+    if (line == "end") {
+      if (!batching) {
+        out << "err no open batch\n";
+        continue;
+      }
+      std::vector<Decision> answers(batch.size());
+      service_.decide(batch, answers);
+      for (const Decision& d : answers) out << format_decision(d) << '\n';
+      served += answers.size();
+      batching = false;
+      batch.clear();
+      out.flush();
+      continue;
+    }
+    Query q;
+    std::string err;
+    if (!parse_query(line, opt_.defaults, &q, &err)) {
+      out << "err " << err << '\n';
+      continue;
+    }
+    if (batching) {
+      batch.push_back(q);
+      continue;
+    }
+    out << format_decision(service_.decide_one(q)) << '\n';
+    ++served;
+    out.flush();
+  }
+  if (batching) out << "err eof inside open batch (" << batch.size() << " queries dropped)\n";
+  return served;
+}
+
+}  // namespace skyferry::policy

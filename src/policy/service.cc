@@ -1,0 +1,141 @@
+#include "policy/service.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/delay.h"
+#include "core/joint_optimizer.h"
+#include "core/utility.h"
+#include "policy/mission_objective.h"
+#include "uav/failure.h"
+
+namespace skyferry::policy {
+
+void DecisionService::install_table(PolicyTable table) {
+  table_model_.emplace(table.model().a, table.model().b, table.model().name,
+                       table.model().scale, table.model().min_distance_m);
+  table_.emplace(std::move(table));
+}
+
+bool DecisionService::table_eligible(const Query& q) const noexcept {
+  if (!table_) return false;
+  if (q.objective != Objective::kPaperUtility) return false;
+  if (q.law != uav::FailureLaw::kExponential) return false;
+  if (q.model != nullptr) return false;
+  if (q.min_distance_m != table_->min_distance_m()) return false;
+  return table_->covers(q.d0_m, q.speed_mps, q.mdata_bytes, q.rho_per_m);
+}
+
+Decision DecisionService::decide_table(const Query& q) const noexcept {
+  // U is stationary at the optimum, so serving the *exact* decomposition
+  // at the interpolated d* keeps the utility error second-order and the
+  // (d*, U, Cdelay, δ) tuple self-consistent. The argmax surface is not
+  // continuous, though: where two utility modes tie (interior optimum
+  // vs transmit-now at d0, interior vs the anti-collision floor) the
+  // blended d* lands in the valley between them. The cell's min/max
+  // corner d* carry each mode's own optimum and the interval ends carry
+  // the boundary modes, so all five candidates — one exact evaluation
+  // each, still O(1) — compete and the best is served.
+  const PolicyTable::DOptCandidates cand =
+      table_->lookup_d_opt_candidates(q.d0_m, q.speed_mps, q.mdata_bytes, q.rho_per_m);
+  const core::DeliveryParams params{q.d0_m, q.speed_mps, q.mdata_bytes, q.min_distance_m};
+  const core::CommDelayModel delay(*table_model_, params);
+  const uav::FailureModel failure(q.rho_per_m);
+  const core::UtilityFunction u(delay, failure);
+  double d = std::clamp(cand.blend, q.min_distance_m, q.d0_m);
+  core::UtilityPoint p = u.evaluate(d);
+  int evals = 1;
+  for (const double c : {cand.lo, cand.hi, q.d0_m, q.min_distance_m}) {
+    const double dc = std::clamp(c, q.min_distance_m, q.d0_m);
+    if (dc == d) continue;
+    const core::UtilityPoint pc = u.evaluate(dc);
+    ++evals;
+    if (pc.utility > p.utility) {
+      d = dc;
+      p = pc;
+    }
+  }
+
+  Decision out;
+  out.d_opt_m = d;
+  out.v_opt_mps = q.speed_mps;
+  out.utility = p.utility;
+  out.cdelay_s = p.cdelay_s;
+  out.discount = p.discount;
+  out.rho_per_m = q.rho_per_m;
+  out.boundary = classify_boundary(d, q.min_distance_m, q.d0_m);
+  out.backend = Backend::kTable;
+  out.evaluations = evals;
+  return out;
+}
+
+Decision DecisionService::decide_exact(const Query& q) const {
+  const core::ThroughputModel& model = q.model != nullptr ? *q.model : model_;
+  Decision out;
+  out.backend = Backend::kExact;
+  out.v_opt_mps = q.speed_mps;
+
+  if (q.objective == Objective::kJointSpeed) {
+    if (q.platform == nullptr)
+      throw std::invalid_argument("policy: kJointSpeed query without a platform");
+    core::JointOptimizeOptions jopt;
+    jopt.speed_grid_points = q.joint_speed_grid;
+    jopt.distance_opts = q.optimize;
+    jopt.min_speed_mps = q.joint_min_speed_mps;
+    const core::DeliveryParams params{q.d0_m, q.speed_mps, q.mdata_bytes, q.min_distance_m};
+    const core::JointOptimizeResult r = core::optimize_joint(model, *q.platform, params, jopt);
+    out.d_opt_m = r.d_opt_m;
+    out.v_opt_mps = r.v_opt_mps;
+    out.utility = r.utility;
+    out.cdelay_s = r.cdelay_s;
+    out.discount = r.discount;
+    out.rho_per_m = r.rho_at_v;
+    out.boundary = r.boundary;
+    out.evaluations = r.evaluations;
+    return out;
+  }
+
+  const uav::FailureModel failure(q.rho_per_m, q.law, q.weibull_shape);
+  const core::DeliveryParams params{q.d0_m, q.speed_mps, q.mdata_bytes, q.min_distance_m};
+  const core::CommDelayModel delay(model, params);
+  const core::UtilityFunction u(delay, failure);
+
+  core::OptimizeResult r;
+  if (q.objective == Objective::kMissionRealized) {
+    r = core::optimize_objective(
+        u,
+        [&](double d) {
+          return expected_mission_utility(delay, q.rho_per_m, q.speed_mps, q.elapsed_s, d);
+        },
+        q.optimize);
+  } else {
+    r = core::optimize(u, q.optimize);
+  }
+  out.d_opt_m = r.d_opt_m;
+  out.utility = r.utility;
+  out.cdelay_s = r.cdelay_s;
+  out.discount = r.discount;
+  out.rho_per_m = failure.rho();
+  out.boundary = r.boundary;
+  out.evaluations = r.evaluations;
+  return out;
+}
+
+Decision DecisionService::decide_one(const Query& q) const {
+  if (table_eligible(q)) {
+    table_hits_.fetch_add(1, std::memory_order_relaxed);
+    return decide_table(q);
+  }
+  exact_calls_.fetch_add(1, std::memory_order_relaxed);
+  return decide_exact(q);
+}
+
+void DecisionService::decide(std::span<const Query> queries, std::span<Decision> out) const {
+  if (queries.size() != out.size())
+    throw std::invalid_argument("policy: decide() spans must have equal size (" +
+                                std::to_string(queries.size()) + " queries, " +
+                                std::to_string(out.size()) + " slots)");
+  for (std::size_t i = 0; i < queries.size(); ++i) out[i] = decide_one(queries[i]);
+}
+
+}  // namespace skyferry::policy

@@ -1,0 +1,81 @@
+// The single front door for every "now or later?" decision. Callers
+// build Query PODs and call decide() on a batch; the service routes each
+// query to the compiled PolicyTable (O(1) interpolation, the fleet-scale
+// hot path) when one is installed and covers it, and to the exact
+// optimizer otherwise. With no table installed the service *is* the
+// exact solver behind a uniform API — bit-identical to calling
+// core::optimize / optimize_objective / optimize_joint directly, which
+// is what lets the planner, the mid-flight re-decision, and the fig
+// benches route through it without regenerating a single golden.
+//
+// Thread safety: decide() is const and safe to call concurrently from
+// any number of threads on one shared service (the TSan tree proves it);
+// install_table() is a setup-time operation and must not race decide().
+// The table path performs zero steady-state allocations: every model
+// object it needs lives on the stack (the model name strings are under
+// the SSO threshold) and the answers land in caller-provided slots.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "core/throughput_model.h"
+#include "policy/api.h"
+#include "policy/table.h"
+
+namespace skyferry::policy {
+
+class DecisionService {
+ public:
+  /// `model` answers queries without a per-query override and must
+  /// outlive the service.
+  explicit DecisionService(const core::ThroughputModel& model) noexcept : model_(model) {}
+
+  /// Install the compiled policy (setup time, not concurrent with
+  /// decide()). Queries outside the table's domain, or with any exact-
+  /// only feature (other objective, non-exponential law, model override,
+  /// different floor), still fall back to the exact solver.
+  void install_table(PolicyTable table);
+  [[nodiscard]] bool has_table() const noexcept { return table_.has_value(); }
+  [[nodiscard]] const PolicyTable* table() const noexcept {
+    return table_ ? &*table_ : nullptr;
+  }
+
+  /// Answer queries[i] into out[i]. The spans must have equal size;
+  /// throws std::invalid_argument otherwise (and for a kJointSpeed query
+  /// without a platform). Safe to call concurrently.
+  void decide(std::span<const Query> queries, std::span<Decision> out) const;
+
+  /// Single-query convenience over the same path.
+  [[nodiscard]] Decision decide_one(const Query& q) const;
+
+  /// True when `q` would be answered by the table path right now.
+  [[nodiscard]] bool table_eligible(const Query& q) const noexcept;
+
+  struct Counters {
+    std::uint64_t table{0};
+    std::uint64_t exact{0};
+  };
+  [[nodiscard]] Counters counters() const noexcept {
+    return {table_hits_.load(std::memory_order_relaxed),
+            exact_calls_.load(std::memory_order_relaxed)};
+  }
+
+  [[nodiscard]] const core::ThroughputModel& model() const noexcept { return model_; }
+
+ private:
+  [[nodiscard]] Decision decide_table(const Query& q) const noexcept;
+  [[nodiscard]] Decision decide_exact(const Query& q) const;
+
+  const core::ThroughputModel& model_;
+  std::optional<PolicyTable> table_;
+  /// The table's own throughput model, rebuilt once at install so the
+  /// hot path evaluates U against exactly what the compiler solved.
+  std::optional<core::PaperLogThroughput> table_model_;
+  mutable std::atomic<std::uint64_t> table_hits_{0};
+  mutable std::atomic<std::uint64_t> exact_calls_{0};
+};
+
+}  // namespace skyferry::policy

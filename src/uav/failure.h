@@ -38,6 +38,7 @@ class FailureModel {
 
   [[nodiscard]] double rho() const noexcept { return rho_; }
   [[nodiscard]] FailureLaw law() const noexcept { return law_; }
+  [[nodiscard]] double weibull_shape() const noexcept { return shape_; }
 
   /// Draw the distance-to-failure for a flight leg (for event-driven
   /// failure injection in mission simulations).
