@@ -1,0 +1,187 @@
+// Fleet-scale sweep — how far past the paper's two-UAV experiments the
+// batched engine carries the "now or later?" policy. Spawns n missions
+// (n in {10, 100, 1000, 5000} by default) across a grid of receiver
+// cells, each mission ferrying to its policy-chosen transmit distance
+// and delivering through shared-channel contention, and reports the
+// wall-clock cost per simulated UAV-step and the real-time factor.
+//
+// The headline contract (DESIGN.md §12): 1000 UAVs simulate faster than
+// real time on one core. `--check` turns that into an exit code so the
+// CI tier can pin it (ctest entry fleet_scale_realtime).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/scenario.h"
+#include "exp/cli.h"
+#include "fleet/engine.h"
+#include "io/table.h"
+#include "policy/table.h"
+
+namespace {
+
+struct ScaleRow {
+  int n{0};
+  double wall_s{0.0};
+  double per_uav_step_ns{0.0};
+  double realtime_factor{0.0};
+  skyferry::fleet::FleetTotals totals{};
+};
+
+// Mission layout: groups of six UAVs share one receiver cell (enough to
+// exceed max_tx_per_cell and exercise the scheduler), receivers sit on
+// a 500 m grid so distinct groups land in distinct contention cells,
+// and spawns stagger so arrivals trickle in instead of one burst.
+ScaleRow run_scale(int n, double duration_s, skyferry::fleet::SchedulerPolicy policy,
+                   int threads, std::uint64_t seed, const std::string& table_path) {
+  using namespace skyferry;
+  fleet::FleetConfig cfg;
+  cfg.policy = policy;
+  cfg.threads = threads;
+  fleet::FleetEngine eng(cfg, seed);
+  if (!table_path.empty()) eng.install_policy_table(policy::PolicyTable::load(table_path));
+
+  constexpr int kPerGroup = 6;
+  constexpr double kGridM = 500.0;
+  const int groups = (n + kPerGroup - 1) / kPerGroup;
+  const int width = 1 + static_cast<int>(std::sqrt(static_cast<double>(groups)));
+  for (int i = 0; i < n; ++i) {
+    const int g = i / kPerGroup;
+    const int slot = i % kPerGroup;
+    fleet::MissionSpec spec;
+    spec.receiver_pos = {kGridM * (g % width), kGridM * (g / width), 10.0};
+    spec.start_pos = spec.receiver_pos + geo::Vec3{150.0 + 25.0 * slot, 0.0, 0.0};
+    spec.mdata_bytes = 8.0e6;
+    spec.rho_per_m = 1.0e-4;
+    spec.deadline_s = 90.0;
+    spec.spawn_t_s = 0.2 * (i % 50);
+    eng.add_mission(spec);
+  }
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  eng.run_until(duration_s);
+  const auto wall1 = std::chrono::steady_clock::now();
+
+  ScaleRow row;
+  row.n = n;
+  row.wall_s = std::chrono::duration<double>(wall1 - wall0).count();
+  const double steps = duration_s / cfg.dt_s;
+  row.per_uav_step_ns = row.wall_s * 1e9 / (steps * n);
+  row.realtime_factor = duration_s / row.wall_s;
+  row.totals = eng.totals();
+  return row;
+}
+
+// Deadline-weighted utility of a contended single-channel cell under a
+// given transmit scheduler: six missions whose arrival order runs
+// *against* their urgency (earlier spawn => later deadline), one
+// transmitter admitted per sweep. Seeded and wall-clock free, so the
+// urgent-beats-FIFO ordering is golden-pinnable.
+double contended_deadline_utility(skyferry::fleet::SchedulerPolicy policy,
+                                  std::uint64_t seed) {
+  using namespace skyferry;
+  fleet::FleetConfig cfg;
+  cfg.policy = policy;
+  cfg.cell_size_m = 1.0e6;
+  cfg.max_tx_per_cell = 1;
+  fleet::FleetEngine eng(cfg, seed);
+  for (int i = 0; i < 6; ++i) {
+    fleet::MissionSpec spec;
+    // Spawn on the transmit point so admission order alone decides
+    // fates: arrival (spawn) order runs against urgency — the earliest
+    // arrivals have the latest deadlines, so FIFO starves the urgent.
+    spec.receiver_pos = {0.0, static_cast<double>(i), 10.0};
+    spec.start_pos = {30.0, static_cast<double>(i), 10.0};
+    spec.fixed_target_distance_m = 30.0;
+    spec.mdata_bytes = 8.0e6;
+    spec.rho_per_m = 0.0;
+    spec.spawn_t_s = 0.05 * i;
+    spec.deadline_s = 20.0 - 3.0 * i;
+    eng.add_mission(spec);
+  }
+  eng.run_until(40.0);
+  return eng.totals().deadline_weighted_utility;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  skyferry::exp::Cli cli("fleet_scale");
+  skyferry::bench::Report report(cli);
+  std::uint64_t seed = 20260809;
+  int n = 0;  // 0 = sweep {10, 100, 1000, 5000}
+  int threads = 1;
+  double duration = 120.0;
+  std::string policy_name = "fifo";
+  std::string table_path;
+  bool check = false;
+  cli.flag("--seed", &seed, "fleet RNG seed")
+      .flag("--n", &n, "fleet size; 0 sweeps {10, 100, 1000, 5000}")
+      .flag("--threads", &threads, "sweep worker threads (results are thread-count invariant)")
+      .flag("--duration", &duration, "simulated seconds per fleet size")
+      .flag("--policy", &policy_name, "transmit scheduler: fifo | urgent | buffer")
+      .flag("--policy-table", &table_path,
+            "compiled policy table (.json) for the batched decide path; empty = exact")
+      .flag("--check", &check,
+            "exit nonzero unless every measured n <= 1000 simulates faster than real time");
+  cli.parse_or_exit(argc, argv);
+  cli.print_replay_header();
+  using namespace skyferry;
+
+  fleet::SchedulerPolicy policy{};
+  if (!fleet::parse_policy(policy_name, policy)) {
+    std::fprintf(stderr, "fleet_scale: unknown --policy '%s'\n", policy_name.c_str());
+    return 2;
+  }
+
+  std::vector<int> sizes = n > 0 ? std::vector<int>{n} : std::vector<int>{10, 100, 1000, 5000};
+  io::Table t("fleet scale sweep (" + std::string(fleet::to_string(policy)) + ", " +
+              io::format_number(threads) + " thread(s), " + io::format_number(duration) +
+              " s simulated)");
+  t.columns({"n", "wall_s", "ns/UAV-step", "x real time", "done", "failed", "deadline util"});
+
+  bool realtime_ok = true;
+  for (const int size : sizes) {
+    const ScaleRow r = run_scale(size, duration, policy, threads, seed, table_path);
+    t.add_row(io::format_number(r.n),
+              {r.wall_s, r.per_uav_step_ns, r.realtime_factor,
+               static_cast<double>(r.totals.completed), static_cast<double>(r.totals.failed),
+               r.totals.deadline_weighted_utility});
+    if (size <= 1000 && r.realtime_factor <= 1.0) realtime_ok = false;
+    if (size == 1000) {
+      report.metric("completed_n1000", static_cast<double>(r.totals.completed),
+                    check::Tolerance::exact(), "seeded: completions are deterministic");
+    }
+  }
+  t.print();
+
+  // Scheduler ordering under contention (wall-clock free, golden-pinned;
+  // the faster-than-real-time contract stays with --check / ctest since
+  // it is machine-dependent).
+  const double u_fifo =
+      contended_deadline_utility(fleet::SchedulerPolicy::kFifo, seed);
+  const double u_urgent =
+      contended_deadline_utility(fleet::SchedulerPolicy::kUrgentFirst, seed);
+  std::printf("contended cell deadline utility: fifo %.4f vs urgent-first %.4f\n", u_fifo,
+              u_urgent);
+  report.metric("deadline_utility_fifo", u_fifo, check::Tolerance::exact(),
+                "seeded contended-cell fixture");
+  report.metric("deadline_utility_urgent", u_urgent, check::Tolerance::exact(),
+                "seeded contended-cell fixture");
+  report.claim("urgent_first_beats_fifo_on_deadline_utility", u_urgent > u_fifo,
+               "EXPERIMENTS.md: earliest-deadline admission wins when arrivals run "
+               "against urgency");
+  std::printf(
+      "reading: per-UAV-step cost stays flat as the fleet grows — the\n"
+      "SoA sweeps amortize, and idle winners cost a clock compare, so\n"
+      "scale buys throughput instead of event-queue churn.\n");
+
+  if (check && !realtime_ok) {
+    std::fprintf(stderr, "fleet_scale: --check failed — slower than real time\n");
+    return 1;
+  }
+  return report.emit() ? 0 : 1;
+}

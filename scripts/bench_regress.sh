@@ -4,12 +4,12 @@
 # Runs bench/micro_benchmarks with --benchmark_format=json, normalizes
 # the output into a stable {name -> median real_time ns} map, and either
 # records it as the committed baseline or fails on >TOLERANCE% regression
-# of any baselined counter. The baseline also pins the headline claim:
-# the saturated kAggregate link-second must stay >= MIN_SPEEDUP x faster
-# than the kPerMpdu reference, and CEILING_NS pins absolute budgets for
-# latency-contract counters (a relative gate would let a slow-but-stable
-# baseline hide a blown contract — BM_ReDecision must fit in a probe
-# tick, so it gets a hard 10 us ceiling).
+# of any baselined counter. The baseline also pins the headline claims:
+# SPEEDUPS requires counter ratios (kAggregate vs kPerMpdu link-second,
+# batched fleet step vs event-driven airnet step), and CEILING_NS pins
+# absolute budgets for latency-contract counters (a relative gate would
+# let a slow-but-stable baseline hide a blown contract — BM_ReDecision
+# must fit in a probe tick, so it gets a hard 10 us ceiling).
 #
 # Usage:
 #   scripts/bench_regress.sh --update     # (re)record BENCH_link_sim.json
@@ -64,14 +64,27 @@ trap 'rm -f "$raw"' EXIT
 MODE="$mode" BASELINE="$baseline" TOLERANCE="$tolerance" python3 - "$raw" <<'PY'
 import json, os, sys
 
-MIN_SPEEDUP = 10.0  # kPerMpdu / kAggregate saturated link-second
-SPEEDUP_NUM = "BM_LinkSimSecondPerMpdu"
-SPEEDUP_DEN = "BM_LinkSimSecondAggregate"
+# Required numerator/denominator speedups, checked whenever both
+# counters are present:
+#   - kPerMpdu / kAggregate saturated link-second >= 10x (PR 3)
+#   - event-driven airnet step / batched fleet step at n=1000 >= 20x
+#     (DESIGN.md §12 — the fleet engine's reason to exist)
+SPEEDUPS = [
+    ("aggregate link-second", "BM_LinkSimSecondPerMpdu", "BM_LinkSimSecondAggregate", 10.0),
+    ("fleet vs event-driven step @1k", "BM_AirnetStep1k", "BM_FleetStep1k", 20.0),
+]
 # Absolute real-time ceilings [ns], enforced in --update and --check:
 # these are latency contracts, not regression baselines.
 # BM_PolicyDecideBatch decides 1024 queries per iteration; its ceiling is
 # the >= 1e6 decisions/s service contract (<= 1 us/decision amortized).
-CEILING_NS = {"BM_ReDecision": 10_000.0, "BM_PolicyDecideBatch": 1_024_000.0}
+# BM_FleetStep1k advances 1000 saturated UAVs by one 50 ms sweep; the
+# 25 us ceiling keeps ~2000x headroom on the faster-than-real-time
+# contract while sitting ~4x above the measured median.
+CEILING_NS = {
+    "BM_ReDecision": 10_000.0,
+    "BM_PolicyDecideBatch": 1_024_000.0,
+    "BM_FleetStep1k": 25_000.0,
+}
 
 mode = os.environ["MODE"]
 baseline_path = os.environ["BASELINE"]
@@ -93,17 +106,19 @@ if not current:
     print("error: no benchmark results parsed", file=sys.stderr)
     sys.exit(2)
 
-def speedup(times):
-    if SPEEDUP_NUM in times and SPEEDUP_DEN in times and times[SPEEDUP_DEN] > 0:
-        return times[SPEEDUP_NUM] / times[SPEEDUP_DEN]
-    return None
+def speedups(times):
+    out = []
+    for label, num, den, floor in SPEEDUPS:
+        if num in times and den in times and times[den] > 0:
+            out.append((label, times[num] / times[den], floor))
+    return out
 
 print(f"{'benchmark':44s} {'real_time':>14s}")
 for name in sorted(current):
     print(f"{name:44s} {current[name]:>11.0f} ns")
-sp = speedup(current)
-if sp is not None:
-    print(f"{'kAggregate speedup (saturated link-second)':44s} {sp:>10.1f} x")
+sps = speedups(current)
+for label, sp, floor in sps:
+    print(f"{f'speedup ({label})':44s} {sp:>10.1f} x  (floor {floor:.0f}x)")
 
 def ceiling_failures(times, ceilings):
     out = []
@@ -114,20 +129,32 @@ def ceiling_failures(times, ceilings):
             out.append(f"{name}: {times[name]:.0f} ns over absolute ceiling {cap:.0f} ns")
     return out
 
+def speedup_failures(times, pairs):
+    out = []
+    for label, num, den, floor in pairs:
+        if num not in times or den not in times:
+            out.append(f"speedup ({label}): counter {num} or {den} missing")
+        elif times[den] <= 0 or times[num] / times[den] < float(floor):
+            got = times[num] / times[den] if times[den] > 0 else float("inf")
+            out.append(f"speedup ({label}): {got:.1f}x < required {float(floor):.1f}x")
+    return out
+
 if mode == "update":
-    # Refuse to bake a blown latency contract into the baseline.
-    over = ceiling_failures(current, CEILING_NS)
+    # Refuse to bake a blown latency or speedup contract into the baseline.
+    over = ceiling_failures(current, CEILING_NS) + speedup_failures(current, SPEEDUPS)
     if over:
-        print("bench_regress: refusing to record baseline over a ceiling")
+        print("bench_regress: refusing to record baseline over a contract")
         for f_ in over:
             print(f"  - {f_}")
         sys.exit(1)
     doc = {
         "_comment": "scripts/bench_regress.sh baseline: median real_time [ns] of "
                     "bench/micro_benchmarks. Regenerate with scripts/bench_regress.sh --update. "
-                    "ceiling_ns entries are absolute latency contracts checked on every run.",
+                    "ceiling_ns entries are absolute latency contracts and speedups entries "
+                    "[label, numerator, denominator, floor] required ratios, both checked on "
+                    "every run.",
         "tolerance_pct": tolerance,
-        "min_aggregate_speedup": MIN_SPEEDUP,
+        "speedups": [list(s) for s in SPEEDUPS],
         "ceiling_ns": CEILING_NS,
         "benchmarks": {k: round(v, 1) for k, v in sorted(current.items())},
     }
@@ -151,9 +178,7 @@ elif mode == "check":
         print(f"{name:44s} {b_ns:>9.0f} ns {current[name]:>9.0f} ns {ratio:>6.2f}x{flag}")
         if ratio > tol:
             failures.append(f"{name}: {ratio:.2f}x baseline (tolerance {tol:.2f}x)")
-    min_sp = float(base.get("min_aggregate_speedup", MIN_SPEEDUP))
-    if sp is not None and sp < min_sp:
-        failures.append(f"aggregate speedup {sp:.1f}x < required {min_sp:.1f}x")
+    failures += speedup_failures(current, base.get("speedups", SPEEDUPS))
     failures += ceiling_failures(current, base.get("ceiling_ns", CEILING_NS))
     if failures:
         print("\nbench_regress: FAILED")

@@ -41,6 +41,7 @@ ALL_BENCHES=(
   ablation_model_mismatch
   calibrate_channel
   mc_delivery_probability
+  fleet_scale
 )
 
 mode=""

@@ -1,0 +1,589 @@
+#include "fleet/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <future>
+#include <string>
+
+#include "exp/thread_pool.h"
+#include "mac/timing.h"
+
+namespace skyferry::fleet {
+
+namespace {
+/// Fixed work-chunk size for every parallel sweep. Chunk boundaries
+/// depend only on the mission count — never on the thread count — and
+/// every chunk writes disjoint UAV rows, so results are bit-identical
+/// for any FleetConfig::threads.
+constexpr std::size_t kChunk = 256;
+}  // namespace
+
+/// All per-UAV state as parallel contiguous columns. One row = one
+/// mission's UAV. Hot sweep loops touch only the columns they need.
+struct FleetEngine::Soa {
+  // Kinematics.
+  std::vector<double> px, py, pz;        ///< position [m]
+  std::vector<double> vx, vy, vz;        ///< velocity [m/s]
+  std::vector<double> tx, ty, tz;        ///< transmit-point target [m]
+  std::vector<double> speed;             ///< cruise speed [m/s]
+  // Mission geometry & decision.
+  std::vector<double> rx, ry, rz;        ///< receiver position [m]
+  std::vector<double> d0;                ///< start distance to receiver [m]
+  std::vector<double> d_star;            ///< chosen transmit distance [m]
+  std::vector<double> utility;
+  std::vector<std::uint8_t> backend;     ///< policy::Backend of the decision
+  std::vector<double> rho;               ///< failure rate [1/m]
+  std::vector<double> deadline;          ///< delivery deadline [s]
+  std::vector<double> spawn_t;
+  std::vector<double> fixed_target;      ///< >=0: bypass the decision service
+  // Transfer progress.
+  std::vector<std::uint64_t> total_bytes, delivered_bytes, by_deadline_bytes;
+  std::vector<std::uint64_t> mpdus_att, mpdus_del;
+  std::vector<double> tx_clock;          ///< per-UAV exchange clock [s]
+  std::vector<double> arrived_t, completed_t;
+  std::vector<double> battery;           ///< remaining endurance [s]
+  std::vector<std::uint8_t> phase;       ///< fleet::Phase
+  std::vector<std::uint8_t> active;      ///< 0 until the spawn event fires
+  // Kinematics scratch (batched mode pass 1 -> pass 2 handoff).
+  std::vector<std::uint8_t> arriving;
+  // Per-UAV stochastic state (independent streams; order-insensitive).
+  std::vector<sim::Rng> rng;
+  std::vector<phy::LinkChannel> channel;
+  std::vector<mac::ArfRate> arf;
+};
+
+FleetEngine::FleetEngine(FleetConfig cfg, std::uint64_t seed)
+    : cfg_(cfg),
+      seed_(seed),
+      model_(cfg.scenario.paper_throughput()),
+      service_(model_),
+      soa_(std::make_unique<Soa>()),
+      tables_(phy::ErrorModel(cfg.error, cfg.channel.spatial_correlation), cfg.per_table) {
+  if (cfg_.threads != 1) pool_ = std::make_unique<exp::ThreadPool>(cfg_.threads);
+
+  // Prefetch every PER table and freeze the airtime memos up front so
+  // the sweep loops are pure loads: no mutexes, no mac:: recomputation.
+  phy::PerTableCache* src = cfg_.shared_tables ? cfg_.shared_tables.get() : &tables_;
+  for (int m = 0; m < phy::kNumMcs; ++m) {
+    data_tables_[static_cast<std::size_t>(m)] =
+        &src->table(phy::mcs(m), cfg_.mpdu.mpdu_bits(), cfg_.per_mpdu_snr_jitter_db);
+  }
+  ba_table_ = &src->table(phy::mcs(0), 32 * 8, 0.0);
+
+  payload_per_mpdu_ = cfg_.mpdu.payload_bits() / 8;
+  const int max_n = cfg_.ampdu.max_subframes;
+  subframes_memo_.resize(static_cast<std::size_t>(phy::kNumMcs) * max_n);
+  exchange_memo_.resize(static_cast<std::size_t>(phy::kNumMcs) * max_n * 2);
+  frame_airtime_s_.resize(phy::kNumMcs);
+  for (int m = 0; m < phy::kNumMcs; ++m) {
+    const phy::McsInfo& info = phy::mcs(m);
+    for (int backlog = 1; backlog <= max_n; ++backlog) {
+      subframes_memo_[static_cast<std::size_t>(m) * max_n + backlog - 1] =
+          static_cast<std::int16_t>(mac::subframes_for(cfg_.ampdu, cfg_.mpdu, info,
+                                                       cfg_.channel.width, cfg_.channel.gi,
+                                                       backlog));
+    }
+    for (int n = 1; n <= max_n; ++n) {
+      for (int retry = 0; retry < 2; ++retry) {
+        exchange_memo_[(static_cast<std::size_t>(m) * max_n + n - 1) * 2 + retry] =
+            mac::exchange_duration_s(cfg_.timing, cfg_.mpdu, info, cfg_.channel.width,
+                                     cfg_.channel.gi, n, retry);
+      }
+    }
+    frame_airtime_s_[static_cast<std::size_t>(m)] = mac::ampdu_duration_s(
+        cfg_.mpdu, info, cfg_.channel.width, cfg_.channel.gi, max_n);
+  }
+  ba_airtime_s_ = mac::block_ack_duration_s(cfg_.channel.width);
+}
+
+FleetEngine::~FleetEngine() = default;
+
+void FleetEngine::install_policy_table(policy::PolicyTable table) {
+  service_.install_table(std::move(table));
+}
+
+int FleetEngine::add_mission(const MissionSpec& spec) {
+  const auto i = static_cast<std::uint32_t>(count_++);
+  Soa& s = *soa_;
+  const core::Scenario& sc = cfg_.scenario;
+  const double speed = spec.speed_mps > 0.0 ? spec.speed_mps : sc.speed_mps;
+  const double mdata = spec.mdata_bytes > 0.0 ? spec.mdata_bytes : sc.mdata_bytes;
+  const double rho = spec.rho_per_m >= 0.0 ? spec.rho_per_m : sc.rho_per_m;
+
+  s.px.push_back(spec.start_pos.x);
+  s.py.push_back(spec.start_pos.y);
+  s.pz.push_back(spec.start_pos.z);
+  s.vx.push_back(0.0);
+  s.vy.push_back(0.0);
+  s.vz.push_back(0.0);
+  // Target provisionally = start; the spawn-time decision moves it.
+  s.tx.push_back(spec.start_pos.x);
+  s.ty.push_back(spec.start_pos.y);
+  s.tz.push_back(spec.start_pos.z);
+  s.speed.push_back(speed);
+  s.rx.push_back(spec.receiver_pos.x);
+  s.ry.push_back(spec.receiver_pos.y);
+  s.rz.push_back(spec.receiver_pos.z);
+  s.d0.push_back(geo::distance(spec.start_pos, spec.receiver_pos));
+  s.d_star.push_back(0.0);
+  s.utility.push_back(0.0);
+  s.backend.push_back(static_cast<std::uint8_t>(policy::Backend::kExact));
+  s.rho.push_back(rho);
+  s.deadline.push_back(spec.deadline_s);
+  s.spawn_t.push_back(spec.spawn_t_s);
+  s.fixed_target.push_back(spec.fixed_target_distance_m);
+  s.total_bytes.push_back(static_cast<std::uint64_t>(mdata));
+  s.delivered_bytes.push_back(0);
+  s.by_deadline_bytes.push_back(0);
+  s.mpdus_att.push_back(0);
+  s.mpdus_del.push_back(0);
+  s.tx_clock.push_back(spec.spawn_t_s);
+  s.arrived_t.push_back(0.0);
+  s.completed_t.push_back(0.0);
+  s.battery.push_back(cfg_.battery_autonomy_s);
+  s.phase.push_back(static_cast<std::uint8_t>(Phase::kFerry));
+  s.active.push_back(0);
+  s.arriving.push_back(0);
+  s.rng.emplace_back(sim::fork(seed_, i, 0));
+  s.channel.emplace_back(cfg_.channel,
+                         sim::derive_seed(seed_, "fleet/ch/" + std::to_string(i)));
+  s.arf.emplace_back(mac::ArfConfig{}, cfg_.channel.width, cfg_.channel.gi);
+
+  sim_.schedule_at(spec.spawn_t_s, [this, i] { spawn(i); });
+  return static_cast<int>(i);
+}
+
+void FleetEngine::spawn(std::uint32_t i) {
+  soa_->active[i] = 1;
+  ferrying_.fetch_add(1, std::memory_order_relaxed);
+  pending_decisions_.push_back(i);
+}
+
+void FleetEngine::decide_pending() {
+  if (pending_decisions_.empty()) return;
+  Soa& s = *soa_;
+
+  // Batch every decision-service mission into one decide() span; fixed-
+  // target missions bypass the service entirely.
+  thread_local std::vector<policy::Query> queries;
+  thread_local std::vector<policy::Decision> decisions;
+  thread_local std::vector<std::uint32_t> queried;
+  queries.clear();
+  decisions.clear();
+  queried.clear();
+  for (const std::uint32_t i : pending_decisions_) {
+    if (s.fixed_target[i] >= 0.0) continue;
+    policy::Query q;
+    q.d0_m = s.d0[i];
+    q.speed_mps = s.speed[i];
+    q.mdata_bytes = static_cast<double>(s.total_bytes[i]);
+    q.min_distance_m = cfg_.scenario.min_distance_m;
+    q.rho_per_m = s.rho[i];
+    queries.push_back(q);
+    queried.push_back(i);
+  }
+  if (!queries.empty()) {
+    decisions.resize(queries.size());
+    service_.decide(queries, decisions);
+  }
+
+  std::size_t qi = 0;
+  for (const std::uint32_t i : pending_decisions_) {
+    double d_star;
+    if (s.fixed_target[i] >= 0.0) {
+      d_star = std::min(s.fixed_target[i], s.d0[i]);
+    } else {
+      const policy::Decision& dec = decisions[qi++];
+      d_star = std::clamp(dec.d_opt_m, 0.0, s.d0[i]);
+      s.utility[i] = dec.utility;
+      s.backend[i] = static_cast<std::uint8_t>(dec.backend);
+    }
+    s.d_star[i] = d_star;
+    // Transmit point: on the start->receiver line, d_star short of the
+    // receiver. A zero-length leg transmits from the spawn point.
+    if (s.d0[i] > 0.0) {
+      const double f = d_star / s.d0[i];
+      s.tx[i] = s.rx[i] + (s.px[i] - s.rx[i]) * f;
+      s.ty[i] = s.ry[i] + (s.py[i] - s.ry[i]) * f;
+      s.tz[i] = s.rz[i] + (s.pz[i] - s.rz[i]) * f;
+    }
+    // The paper's failure model: distance-to-failure ~ Exp(rho), drawn
+    // once at spawn. Only a crash inside the ferry leg matters; the
+    // (rare) event rides the discrete simulator, not the sweep loops.
+    if (s.rho[i] > 0.0 && s.speed[i] > 0.0) {
+      const double ferry_m = s.d0[i] - d_star;
+      const double fail_m = s.rng[i].exponential(s.rho[i]);
+      if (fail_m < ferry_m) {
+        sim_.schedule_at(s.spawn_t[i] + fail_m / s.speed[i], [this, i] {
+          Soa& soa = *soa_;
+          if (soa.active[i] && soa.phase[i] == static_cast<std::uint8_t>(Phase::kFerry)) {
+            soa.phase[i] = static_cast<std::uint8_t>(Phase::kFailed);
+            soa.vx[i] = soa.vy[i] = soa.vz[i] = 0.0;
+            ferrying_.fetch_sub(1, std::memory_order_relaxed);
+          }
+        });
+      }
+    }
+  }
+  pending_decisions_.clear();
+}
+
+template <class Fn>
+void FleetEngine::parallel_for(std::size_t n, const Fn& fn) {
+  if (!pool_ || n <= kChunk) {
+    fn(0, n);
+    return;
+  }
+  thread_local std::vector<std::future<void>> futs;
+  futs.clear();
+  for (std::size_t b = 0; b < n; b += kChunk) {
+    const std::size_t e = std::min(b + kChunk, n);
+    futs.push_back(pool_->submit([&fn, b, e] { fn(b, e); }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+void FleetEngine::step_kinematics(double t0) {
+  Soa& s = *soa_;
+  const double dt = cfg_.dt_s;
+  const auto kFerryU8 = static_cast<std::uint8_t>(Phase::kFerry);
+
+  // Both modes compute the identical per-UAV FP expressions; only the
+  // loop structure differs (per-column passes vs one fused loop), so
+  // trajectories are bit-identical between them and across threads.
+  // Once every live mission has landed on its transmit point there is no
+  // motion to integrate and the whole sweep is skipped.
+  const bool anyone_ferrying = ferrying_.load(std::memory_order_relaxed) > 0;
+  if (!anyone_ferrying) {
+    // fall through to the battery pass below
+  } else if (cfg_.kinematics == KinematicsMode::kBatched) {
+    parallel_for(count_, [&](std::size_t b, std::size_t e) {
+      // Pass 1: headings and arrival flags.
+      for (std::size_t i = b; i < e; ++i) {
+        if (!s.active[i] || s.phase[i] != kFerryU8) { s.arriving[i] = 2; continue; }
+        const double dx = s.tx[i] - s.px[i];
+        const double dy = s.ty[i] - s.py[i];
+        const double dz = s.tz[i] - s.pz[i];
+        const double dist = std::sqrt(dx * dx + dy * dy + dz * dz);
+        if (dist <= s.speed[i] * dt) {
+          s.arriving[i] = 1;
+          s.arrived_t[i] = t0 + (s.speed[i] > 0.0 ? dist / s.speed[i] : 0.0);
+        } else {
+          s.arriving[i] = 0;
+          const double k = s.speed[i] / dist;
+          s.vx[i] = dx * k;
+          s.vy[i] = dy * k;
+          s.vz[i] = dz * k;
+        }
+      }
+      // Pass 2: integrate movers.
+      for (std::size_t i = b; i < e; ++i) {
+        if (s.arriving[i] != 0) continue;
+        s.px[i] += s.vx[i] * dt;
+        s.py[i] += s.vy[i] * dt;
+        s.pz[i] += s.vz[i] * dt;
+      }
+      // Pass 3: land arrivals on the transmit point.
+      for (std::size_t i = b; i < e; ++i) {
+        if (s.arriving[i] != 1) continue;
+        s.px[i] = s.tx[i];
+        s.py[i] = s.ty[i];
+        s.pz[i] = s.tz[i];
+        s.vx[i] = s.vy[i] = s.vz[i] = 0.0;
+        s.phase[i] = static_cast<std::uint8_t>(Phase::kTransmit);
+        s.tx_clock[i] = s.arrived_t[i];
+        ferrying_.fetch_sub(1, std::memory_order_relaxed);
+        tx_set_dirty_.store(true, std::memory_order_relaxed);
+      }
+    });
+  } else {
+    parallel_for(count_, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        if (!s.active[i] || s.phase[i] != kFerryU8) continue;
+        const double dx = s.tx[i] - s.px[i];
+        const double dy = s.ty[i] - s.py[i];
+        const double dz = s.tz[i] - s.pz[i];
+        const double dist = std::sqrt(dx * dx + dy * dy + dz * dz);
+        if (dist <= s.speed[i] * dt) {
+          s.arrived_t[i] = t0 + (s.speed[i] > 0.0 ? dist / s.speed[i] : 0.0);
+          s.px[i] = s.tx[i];
+          s.py[i] = s.ty[i];
+          s.pz[i] = s.tz[i];
+          s.vx[i] = s.vy[i] = s.vz[i] = 0.0;
+          s.phase[i] = static_cast<std::uint8_t>(Phase::kTransmit);
+          s.tx_clock[i] = s.arrived_t[i];
+          ferrying_.fetch_sub(1, std::memory_order_relaxed);
+          tx_set_dirty_.store(true, std::memory_order_relaxed);
+        } else {
+          const double k = s.speed[i] / dist;
+          s.vx[i] = dx * k;
+          s.vy[i] = dy * k;
+          s.vz[i] = dz * k;
+          s.px[i] += s.vx[i] * dt;
+          s.py[i] += s.vy[i] * dt;
+          s.pz[i] += s.vz[i] * dt;
+        }
+      }
+    });
+  }
+
+  // Endurance drain (skipped entirely for the default infinite battery).
+  if (std::isfinite(cfg_.battery_autonomy_s)) {
+    parallel_for(count_, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        if (!s.active[i]) continue;
+        const auto ph = static_cast<Phase>(s.phase[i]);
+        if (ph != Phase::kFerry && ph != Phase::kTransmit) continue;
+        s.battery[i] -= dt;
+        if (s.battery[i] < 0.0) {
+          s.phase[i] = static_cast<std::uint8_t>(Phase::kFailed);
+          s.vx[i] = s.vy[i] = s.vz[i] = 0.0;
+          if (ph == Phase::kFerry) ferrying_.fetch_sub(1, std::memory_order_relaxed);
+          tx_set_dirty_.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+}
+
+void FleetEngine::step_transfers(double t0) {
+  Soa& s = *soa_;
+  const auto kTransmitU8 = static_cast<std::uint8_t>(Phase::kTransmit);
+
+  // The transmit set is stable between phase transitions (transmitters
+  // hover at their d* points), so the bucketing + admission below is
+  // skipped entirely until something arrives, completes or fails. The
+  // maximize-buffer policy re-ranks on live backlogs, so a contended
+  // cell forces a re-selection every sweep under it.
+  const bool rebuild =
+      tx_set_dirty_.load(std::memory_order_relaxed) ||
+      (winners_contended_ && cfg_.policy == SchedulerPolicy::kMaximizeBuffer);
+  if (!rebuild) {
+    // Idle-skip: exchanges are contiguous-airtime, so each winner's
+    // clock tells exactly when its next exchange starts. If the earliest
+    // one lies beyond this sweep's window (contention-stretched
+    // exchanges can span hundreds of sweeps) there is nothing to
+    // simulate.
+    if (!winners_.empty() && t0 + cfg_.dt_s > next_fire_s_) run_winners(t0);
+    return;
+  }
+  tx_set_dirty_.store(false, std::memory_order_relaxed);
+
+  // 1. Bucket live transmitters into shared-channel ground cells.
+  cell_keys_.clear();
+  const double inv_cell = 1.0 / std::max(cfg_.cell_size_m, 1e-6);
+  for (std::uint32_t i = 0; i < count_; ++i) {
+    if (!s.active[i] || s.phase[i] != kTransmitU8) continue;
+    const auto cx = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(std::floor(s.px[i] * inv_cell)));
+    const auto cy = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(std::floor(s.py[i] * inv_cell)));
+    cell_keys_.emplace_back((static_cast<std::uint64_t>(cx) << 32) | cy, i);
+  }
+  winners_.clear();
+  winner_eff_row_.clear();
+  winners_contended_ = false;
+  if (cell_keys_.empty()) return;
+  if (!std::is_sorted(cell_keys_.begin(), cell_keys_.end())) {
+    std::sort(cell_keys_.begin(), cell_keys_.end());
+  }
+
+  // 2. Per cell: admit up to max_tx_per_cell transmitters (the
+  //    scheduler's "now or later?" under contention) and attach the
+  //    cell's Bianchi efficiency row.
+  std::size_t g0 = 0;
+  while (g0 < cell_keys_.size()) {
+    std::size_t g1 = g0 + 1;
+    while (g1 < cell_keys_.size() && cell_keys_[g1].first == cell_keys_[g0].first) ++g1;
+    const auto gsize = static_cast<int>(g1 - g0);
+    const int n_tx = std::min(gsize, std::max(cfg_.max_tx_per_cell, 1));
+
+    // Efficiency row for n_tx stations, memoized across sweeps.
+    std::uint32_t row = 0;
+    for (; row < eff_memo_.size(); ++row) {
+      if (eff_memo_[row].first == n_tx) break;
+    }
+    if (row == eff_memo_.size()) {
+      std::array<double, phy::kNumMcs> eff{};
+      for (int m = 0; m < phy::kNumMcs; ++m) {
+        eff[static_cast<std::size_t>(m)] =
+            n_tx > 1 ? mac::analyze_contention(n_tx, cfg_.timing,
+                                               frame_airtime_s_[static_cast<std::size_t>(m)],
+                                               ba_airtime_s_)
+                           .efficiency_vs_single
+                     : 1.0;
+      }
+      eff_memo_.emplace_back(n_tx, eff);
+    }
+
+    if (gsize <= cfg_.max_tx_per_cell) {
+      for (std::size_t g = g0; g < g1; ++g) winners_.push_back(cell_keys_[g].second);
+    } else {
+      winners_contended_ = true;
+      cell_candidates_.clear();
+      for (std::size_t g = g0; g < g1; ++g) {
+        const std::uint32_t i = cell_keys_[g].second;
+        cell_candidates_.push_back(TxCandidate{i, s.arrived_t[i], s.deadline[i],
+                                               s.total_bytes[i] - s.delivered_bytes[i]});
+      }
+      select_transmitters(cfg_.policy, cell_candidates_, cfg_.max_tx_per_cell, winners_);
+    }
+    winner_eff_row_.resize(winners_.size(), row);
+    g0 = g1;
+  }
+  run_winners(t0);
+}
+
+// Run every admitted transmitter's exchange micro-loop. Disjoint rows,
+// per-UAV RNG/channel/ARF state: embarrassingly parallel. Each chunk
+// records the earliest next exchange-start it saw into its own
+// chunk_min_ slot (fixed kChunk boundaries, so the serial reduction is
+// thread-count independent); the reduced watermark drives the idle-skip.
+void FleetEngine::run_winners(double t0) {
+  const double t1 = t0 + cfg_.dt_s;
+  const std::size_t n = winners_.size();
+  chunk_min_.assign(std::max<std::size_t>((n + kChunk - 1) / kChunk, 1),
+                    std::numeric_limits<double>::infinity());
+  parallel_for(n, [&](std::size_t b, std::size_t e) {
+    double low = std::numeric_limits<double>::infinity();
+    for (std::size_t w = b; w < e; ++w) {
+      low = std::min(low, run_exchanges(winners_[w], winner_eff_row_[w], t1));
+    }
+    chunk_min_[b / kChunk] = low;
+  });
+  next_fire_s_ = *std::min_element(chunk_min_.begin(), chunk_min_.end());
+}
+
+double FleetEngine::run_exchanges(std::uint32_t i, std::uint32_t eff_row, double t1) {
+  constexpr double kNever = std::numeric_limits<double>::infinity();
+  Soa& s = *soa_;
+  // A memoized winner may have left kTransmit since the set was built.
+  if (s.phase[i] != static_cast<std::uint8_t>(Phase::kTransmit)) return kNever;
+  const auto& eff = eff_memo_[eff_row].second;
+  const int max_n = cfg_.ampdu.max_subframes;
+  const double d = s.d_star[i];
+
+  // A deferred transmitter re-syncs its exchange clock to real time; a
+  // mid-exchange one (clock already past the sweep start) keeps it.
+  double t = std::max(s.tx_clock[i], t1 - cfg_.dt_s);
+
+  // Same exchange grammar as airnet::AerialNetwork::exchange(), on the
+  // kAggregate fast path: jitter-marginalized PER table + one binomial
+  // per aggregate instead of 64 erfc/Bernoulli chains (PR 3 established
+  // the distributional equivalence). Exchanges occupy contiguous
+  // airtime, so the clock alone decides eligibility: run every exchange
+  // that starts inside this sweep's window.
+  while (t < t1) {
+    const int mcs = cfg_.fixed_mcs >= 0 ? cfg_.fixed_mcs : s.arf[i].select_mcs(t);
+    const phy::PerTable& table = *data_tables_[static_cast<std::size_t>(mcs)];
+    const std::uint64_t remaining = s.total_bytes[i] - s.delivered_bytes[i];
+    const int backlog = static_cast<int>(std::min<std::uint64_t>(
+        (remaining + static_cast<std::uint64_t>(payload_per_mpdu_) - 1) /
+            static_cast<std::uint64_t>(payload_per_mpdu_),
+        static_cast<std::uint64_t>(max_n)));
+    const int n = subframes_memo_[static_cast<std::size_t>(mcs) * max_n +
+                                  std::max(backlog, 1) - 1];
+
+    const double snr_db = s.channel[i].snr_db(t, d, 0.0);
+    const double per = table.per(snr_db);
+    auto delivered = static_cast<int>(s.rng[i].binomial(static_cast<std::uint64_t>(n),
+                                                        1.0 - per));
+    if (s.rng[i].bernoulli(ba_table_->per(snr_db))) delivered = 0;
+
+    s.mpdus_att[i] += static_cast<std::uint64_t>(n);
+    s.mpdus_del[i] += static_cast<std::uint64_t>(delivered);
+    s.delivered_bytes[i] = std::min<std::uint64_t>(
+        s.total_bytes[i],
+        s.delivered_bytes[i] +
+            static_cast<std::uint64_t>(delivered) *
+                static_cast<std::uint64_t>(payload_per_mpdu_));
+    if (t <= s.deadline[i]) s.by_deadline_bytes[i] = s.delivered_bytes[i];
+    s.arf[i].report(t, mac::TxFeedback{mcs, n, delivered});
+
+    if (s.delivered_bytes[i] >= s.total_bytes[i]) {
+      s.phase[i] = static_cast<std::uint8_t>(Phase::kDone);
+      s.completed_t[i] = t;
+      s.tx_clock[i] = t;
+      tx_set_dirty_.store(true, std::memory_order_relaxed);
+      return kNever;
+    }
+
+    double dur = exchange_memo_[(static_cast<std::size_t>(mcs) * max_n + n - 1) * 2 +
+                                (delivered == 0 ? 1 : 0)];
+    const double e = eff[static_cast<std::size_t>(mcs)];
+    if (e > 1e-6) dur /= e;
+    if (delivered == 0 && mcs == 0) dur = std::max(dur, cfg_.stall_retry_s);
+    t += dur;
+  }
+  s.tx_clock[i] = t;
+  return t;
+}
+
+void FleetEngine::step() {
+  const double t0 = now_;
+  sim_.run_until(t0);  // spawn / fault events due by the sweep start
+  decide_pending();
+  step_kinematics(t0);
+  step_transfers(t0);
+  now_ = t0 + cfg_.dt_s;
+}
+
+void FleetEngine::run_until(double t_s) {
+  while (now_ + cfg_.dt_s <= t_s + 1e-12) step();
+  sim_.run_until(now_);
+}
+
+MissionStatus FleetEngine::mission(int idx) const {
+  assert(idx >= 0 && static_cast<std::size_t>(idx) < count_);
+  const Soa& s = *soa_;
+  const auto i = static_cast<std::size_t>(idx);
+  MissionStatus st;
+  st.phase = static_cast<Phase>(s.phase[i]);
+  st.d_star_m = s.d_star[i];
+  st.utility = s.utility[i];
+  st.backend = static_cast<policy::Backend>(s.backend[i]);
+  st.bytes_total = s.total_bytes[i];
+  st.bytes_delivered = s.delivered_bytes[i];
+  st.bytes_by_deadline = s.by_deadline_bytes[i];
+  st.mpdus_attempted = s.mpdus_att[i];
+  st.mpdus_delivered = s.mpdus_del[i];
+  st.spawn_t_s = s.spawn_t[i];
+  st.arrived_t_s = s.arrived_t[i];
+  st.completed_t_s = s.completed_t[i];
+  return st;
+}
+
+geo::Vec3 FleetEngine::position(int idx) const {
+  assert(idx >= 0 && static_cast<std::size_t>(idx) < count_);
+  const Soa& s = *soa_;
+  const auto i = static_cast<std::size_t>(idx);
+  return {s.px[i], s.py[i], s.pz[i]};
+}
+
+FleetTotals FleetEngine::totals() const {
+  const Soa& s = *soa_;
+  FleetTotals t;
+  t.missions = count_;
+  double completion_sum = 0.0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    switch (static_cast<Phase>(s.phase[i])) {
+      case Phase::kFerry: ++t.ferrying; break;
+      case Phase::kTransmit: ++t.transmitting; break;
+      case Phase::kDone:
+        ++t.completed;
+        completion_sum += s.completed_t[i] - s.spawn_t[i];
+        break;
+      case Phase::kFailed: ++t.failed; break;
+    }
+    t.bytes_delivered += s.delivered_bytes[i];
+    if (s.total_bytes[i] > 0) {
+      t.deadline_weighted_utility += static_cast<double>(s.by_deadline_bytes[i]) /
+                                     static_cast<double>(s.total_bytes[i]);
+    }
+  }
+  if (t.completed > 0) t.mean_completion_s = completion_sum / static_cast<double>(t.completed);
+  return t;
+}
+
+}  // namespace skyferry::fleet

@@ -1,0 +1,249 @@
+// Fleet-scale batched simulation engine (DESIGN.md §12).
+//
+// airnet::AerialNetwork answers the system question for a handful of
+// vehicles, but it pays an event-driven price per UAV: every exchange is
+// a heap-scheduled std::function, every vehicle a heap-allocated
+// uav::Uav ticked through the full autopilot stack, every subframe an
+// erfc chain. FleetEngine is the same physics reorganized for throughput:
+// all per-UAV state lives in structure-of-arrays form (positions,
+// velocities, battery, buffered Mdata, transfer progress as parallel
+// contiguous arrays) and the fleet advances in fixed-dt batched sweeps —
+// vectorizable point-mass kinematics, per-cell DCF contention from
+// mac::analyze_contention, and A-MPDU exchanges on the kAggregate fast
+// path (jitter-marginalized phy::PerTable + one binomial draw per
+// aggregate, distributionally equivalent to airnet's per-MPDU loop).
+//
+// The "now or later?" question is answered where it scales: newly
+// spawned missions are batched into one policy::DecisionService::decide
+// span call (O(1) table interpolation per mission when a compiled
+// PolicyTable is installed). Rare discrete events — mission arrivals and
+// exponential in-flight failures — stay on sim::Simulator and are
+// bridged into the sweep loop, so the event queue holds O(missions)
+// entries instead of O(exchanges).
+//
+// Determinism contract: results are bit-identical across
+// FleetConfig::threads (fixed 256-UAV chunking, disjoint writes,
+// per-UAV counter-based RNG streams) and across the batched/scalar
+// kinematics modes (same FP expression order, different loop structure).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/scenario.h"
+#include "fleet/scheduler.h"
+#include "geo/vec3.h"
+#include "mac/ampdu.h"
+#include "mac/contention.h"
+#include "mac/rate_control.h"
+#include "phy/channel.h"
+#include "phy/per_table.h"
+#include "policy/service.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace skyferry::exp {
+class ThreadPool;
+}
+
+namespace skyferry::fleet {
+
+/// Mission lifecycle. kFerry -> kTransmit -> kDone, with kFailed
+/// reachable from kFerry (crash) or anywhere (battery exhaustion).
+enum class Phase : std::uint8_t { kFerry, kTransmit, kDone, kFailed };
+
+/// Loop structure of the kinematics sweep. Both modes evaluate the same
+/// floating-point expressions per UAV and are bit-identical; kBatched
+/// splits the sweep into per-array passes over the SoA columns so the
+/// compiler can vectorize, kScalar fuses everything per UAV (the
+/// reference for the determinism suite).
+enum class KinematicsMode : std::uint8_t { kBatched, kScalar };
+
+struct FleetConfig {
+  /// Sweep step; matches airnet::NetworkConfig::kinematics_dt_s so the
+  /// equivalence suite compares like with like.
+  double dt_s{0.05};
+  mac::MacTiming timing{};
+  mac::AmpduPolicy ampdu{};
+  mac::MpduFormat mpdu{};
+  phy::ChannelConfig channel{phy::ChannelConfig::quadrocopter()};
+  phy::ErrorModelConfig error{};
+  double per_mpdu_snr_jitter_db{2.0};
+  /// SNR grid of the aggregate-path PER tables.
+  phy::PerTableConfig per_table{};
+  /// Optional cross-engine PER-table cache (same contract as
+  /// mac::LinkConfig::shared_tables); nullptr = private cache.
+  std::shared_ptr<phy::PerTableCache> shared_tables{};
+  /// Back off this long when an exchange delivers nothing at MCS 0.
+  double stall_retry_s{0.5};
+
+  /// Shared-channel cell edge [m]: transmitters whose positions fall in
+  /// the same cell_size_m x cell_size_m ground cell contend for one
+  /// channel. Make it huge for a single global collision domain.
+  double cell_size_m{200.0};
+  /// Concurrent transmitters a cell admits per sweep; the scheduler
+  /// defers the rest to a later sweep.
+  int max_tx_per_cell{4};
+  SchedulerPolicy policy{SchedulerPolicy::kFifo};
+
+  /// Worker threads for the sweep loops (<=0: one per hardware thread,
+  /// 1: inline). Bit-identical results for any value.
+  int threads{1};
+  KinematicsMode kinematics{KinematicsMode::kBatched};
+  /// Pin every transmitter to this MCS (0..15); negative = per-UAV ARF.
+  int fixed_mcs{-1};
+  /// Flight endurance [s]; a UAV whose clock runs past it fails. The
+  /// battery column drains at 1 s/s from spawn.
+  double battery_autonomy_s{std::numeric_limits<double>::infinity()};
+
+  /// Supplies the throughput model behind DecisionService and the
+  /// default mission parameters (speed, Mdata, rho, d0, d_min).
+  core::Scenario scenario{core::Scenario::quadrocopter()};
+};
+
+/// One mission: a UAV holding `mdata_bytes` at `start_pos` that must
+/// deliver to the receiver at `receiver_pos`. Fields <= 0 (or empty)
+/// default from FleetConfig::scenario.
+struct MissionSpec {
+  geo::Vec3 start_pos{};
+  geo::Vec3 receiver_pos{};
+  double speed_mps{0.0};      ///< <=0: scenario speed
+  double mdata_bytes{0.0};    ///< <=0: scenario Mdata
+  double rho_per_m{-1.0};     ///< <0: scenario rho (0 disables failures)
+  double deadline_s{std::numeric_limits<double>::infinity()};
+  double spawn_t_s{0.0};
+  /// >=0: fly to exactly this distance from the receiver and transmit
+  /// there, skipping the DecisionService (equivalence/unit tests).
+  double fixed_target_distance_m{-1.0};
+};
+
+struct MissionStatus {
+  Phase phase{Phase::kFerry};
+  double d_star_m{0.0};         ///< chosen transmit distance
+  double utility{0.0};          ///< decision utility (0 for fixed targets)
+  policy::Backend backend{policy::Backend::kExact};
+  std::uint64_t bytes_total{0};
+  std::uint64_t bytes_delivered{0};
+  /// Bytes whose delivering exchange finished by deadline_s — the
+  /// numerator of the deadline-weighted utility.
+  std::uint64_t bytes_by_deadline{0};
+  std::uint64_t mpdus_attempted{0};
+  std::uint64_t mpdus_delivered{0};
+  double spawn_t_s{0.0};
+  double arrived_t_s{0.0};      ///< reached the transmit point (0 if not yet)
+  double completed_t_s{0.0};    ///< last byte landed (0 if not yet)
+};
+
+struct FleetTotals {
+  std::size_t missions{0};
+  std::size_t ferrying{0};
+  std::size_t transmitting{0};
+  std::size_t completed{0};
+  std::size_t failed{0};
+  std::uint64_t bytes_delivered{0};
+  /// Mean spawn-to-completion time over completed missions [s].
+  double mean_completion_s{0.0};
+  /// Sum over missions of bytes_by_deadline / bytes_total — the metric
+  /// the urgent-first scheduler maximizes under contention.
+  double deadline_weighted_utility{0.0};
+};
+
+class FleetEngine {
+ public:
+  FleetEngine(FleetConfig cfg, std::uint64_t seed);
+  ~FleetEngine();
+
+  FleetEngine(const FleetEngine&) = delete;
+  FleetEngine& operator=(const FleetEngine&) = delete;
+
+  /// Register a mission; it spawns (and takes its distance decision) at
+  /// spec.spawn_t_s. Returns the mission index.
+  int add_mission(const MissionSpec& spec);
+
+  /// Compiled policy for the batched decide path (setup time only).
+  void install_policy_table(policy::PolicyTable table);
+
+  /// Advance the fleet to absolute time t_s in dt_s sweeps.
+  void run_until(double t_s);
+  /// One dt_s sweep (the benchmark hook).
+  void step();
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t mission_count() const noexcept { return count_; }
+  [[nodiscard]] MissionStatus mission(int i) const;
+  [[nodiscard]] geo::Vec3 position(int i) const;
+  [[nodiscard]] FleetTotals totals() const;
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] const policy::DecisionService& service() const noexcept { return service_; }
+  [[nodiscard]] const FleetConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Soa;
+
+  void spawn(std::uint32_t i);
+  void decide_pending();
+  void step_kinematics(double t0);
+  void step_transfers(double t0);
+  void run_winners(double t0);
+  /// Returns the winner's next exchange-start time (+inf once the
+  /// mission left kTransmit) — the input to the idle-skip watermark.
+  double run_exchanges(std::uint32_t i, std::uint32_t eff_row, double t1);
+  template <class Fn>
+  void parallel_for(std::size_t n, const Fn& fn);
+
+  FleetConfig cfg_;
+  std::uint64_t seed_;
+  core::PaperLogThroughput model_;
+  policy::DecisionService service_;
+  sim::Simulator sim_;
+  double now_{0.0};
+  std::size_t count_{0};
+
+  std::unique_ptr<Soa> soa_;
+  std::unique_ptr<exp::ThreadPool> pool_;
+
+  /// Aggregate-path PER tables (prefetched so sweeps never touch the
+  /// cache mutex) and airtime memos, all immutable after construction.
+  phy::PerTableCache tables_;
+  std::array<const phy::PerTable*, phy::kNumMcs> data_tables_{};
+  const phy::PerTable* ba_table_{nullptr};
+  std::vector<std::int16_t> subframes_memo_;   ///< (mcs, backlog-1) -> n
+  std::vector<double> exchange_memo_;          ///< (mcs, n-1, retry) -> s
+  std::vector<double> frame_airtime_s_;        ///< full-aggregate airtime per mcs
+  double ba_airtime_s_{0.0};
+  int payload_per_mpdu_{0};
+
+  /// Per-sweep contention efficiency memo: (station count -> per-MCS
+  /// efficiency row), filled serially before the parallel transfer pass.
+  std::vector<std::pair<int, std::array<double, phy::kNumMcs>>> eff_memo_;
+
+  std::vector<std::uint32_t> pending_decisions_;
+  // step_transfers scratch (member to avoid per-sweep allocation). The
+  // winner set is memoized across sweeps: transmitters hover, so cell
+  // membership only changes on a phase transition, which raises
+  // tx_set_dirty_ (atomic: arrivals/completions flip it from inside
+  // parallel chunks; the flag's value is thread-count independent).
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> cell_keys_;
+  std::vector<TxCandidate> cell_candidates_;
+  std::vector<std::uint32_t> winners_;
+  std::vector<std::uint32_t> winner_eff_row_;
+  std::atomic<bool> tx_set_dirty_{true};
+  bool winners_contended_{false};
+  /// Earliest next exchange-start over the memoized winners: a sweep
+  /// whose window ends before it has nothing to simulate and skips the
+  /// transfer pass outright (contention-stretched exchanges can span
+  /// hundreds of sweeps).
+  double next_fire_s_{-std::numeric_limits<double>::infinity()};
+  std::vector<double> chunk_min_;  ///< per-chunk watermark scratch
+  /// Live kFerry count; the kinematics sweep is skipped at zero.
+  /// Atomic: arrivals decrement from inside parallel chunks. The value
+  /// is a pure count, identical for every thread count.
+  std::atomic<std::int64_t> ferrying_{0};
+};
+
+}  // namespace skyferry::fleet

@@ -1,0 +1,61 @@
+#include "fleet/scheduler.h"
+
+#include <algorithm>
+
+namespace skyferry::fleet {
+
+const char* to_string(SchedulerPolicy p) noexcept {
+  switch (p) {
+    case SchedulerPolicy::kFifo: return "fifo";
+    case SchedulerPolicy::kUrgentFirst: return "urgent";
+    case SchedulerPolicy::kMaximizeBuffer: return "buffer";
+  }
+  return "?";
+}
+
+bool parse_policy(std::string_view name, SchedulerPolicy& out) noexcept {
+  if (name == "fifo") { out = SchedulerPolicy::kFifo; return true; }
+  if (name == "urgent") { out = SchedulerPolicy::kUrgentFirst; return true; }
+  if (name == "buffer") { out = SchedulerPolicy::kMaximizeBuffer; return true; }
+  return false;
+}
+
+namespace {
+
+/// Strict-weak order per policy, uav index as the final tie-break so the
+/// winner set is unique regardless of the caller's candidate order.
+bool before(SchedulerPolicy policy, const TxCandidate& a, const TxCandidate& b) noexcept {
+  switch (policy) {
+    case SchedulerPolicy::kFifo:
+      if (a.arrived_t_s != b.arrived_t_s) return a.arrived_t_s < b.arrived_t_s;
+      break;
+    case SchedulerPolicy::kUrgentFirst:
+      if (a.deadline_s != b.deadline_s) return a.deadline_s < b.deadline_s;
+      break;
+    case SchedulerPolicy::kMaximizeBuffer:
+      if (a.backlog_bytes != b.backlog_bytes) return a.backlog_bytes > b.backlog_bytes;
+      break;
+  }
+  return a.uav < b.uav;
+}
+
+}  // namespace
+
+void select_transmitters(SchedulerPolicy policy, std::span<const TxCandidate> candidates,
+                         int max_tx, std::vector<std::uint32_t>& out) {
+  if (max_tx <= 0 || candidates.empty()) return;
+  const std::size_t k = std::min<std::size_t>(static_cast<std::size_t>(max_tx),
+                                              candidates.size());
+  // Sort candidate *positions*, not the span: the engine hands a view of
+  // its per-cell scratch and expects it untouched.
+  thread_local std::vector<std::uint32_t> order;
+  order.resize(candidates.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+                    order.end(), [&](std::uint32_t x, std::uint32_t y) {
+                      return before(policy, candidates[x], candidates[y]);
+                    });
+  for (std::size_t i = 0; i < k; ++i) out.push_back(candidates[order[i]].uav);
+}
+
+}  // namespace skyferry::fleet

@@ -1,0 +1,50 @@
+// Cell-level transmit admission for the fleet engine. When more UAVs
+// want the channel in one shared-channel cell than the cell can carry
+// without collapsing (FleetConfig::max_tx_per_cell), a Scheduler policy
+// picks which ones transmit this sweep and which ones defer — the
+// fleet-scale version of "now or later?" at the MAC layer, complementing
+// the per-mission distance decision made by policy::DecisionService.
+//
+// Selection is pure and deterministic: same candidates, same winners, on
+// every platform and thread count. Ties always break toward the lower
+// UAV index so golden-pinned orderings survive refactors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace skyferry::fleet {
+
+enum class SchedulerPolicy : std::uint8_t {
+  /// First come, first served: earliest arrival at its transmit point wins.
+  kFifo,
+  /// Earliest deadline first: the mission closest to missing its
+  /// delivery deadline wins — maximizes deadline-weighted utility under
+  /// contention.
+  kUrgentFirst,
+  /// Largest buffered Mdata first: drain the biggest backlog while the
+  /// channel is good.
+  kMaximizeBuffer,
+};
+
+[[nodiscard]] const char* to_string(SchedulerPolicy p) noexcept;
+/// Parse "fifo" / "urgent" / "buffer" (exact match); returns false and
+/// leaves `out` untouched on anything else.
+[[nodiscard]] bool parse_policy(std::string_view name, SchedulerPolicy& out) noexcept;
+
+/// One UAV asking for the channel in its cell this sweep.
+struct TxCandidate {
+  std::uint32_t uav{0};
+  double arrived_t_s{0.0};    ///< when it reached its transmit point
+  double deadline_s{0.0};     ///< mission delivery deadline (+inf if none)
+  std::uint64_t backlog_bytes{0};
+};
+
+/// Append the winning UAV indices (at most `max_tx`, in selection order)
+/// to `out`. `candidates` is not reordered. max_tx <= 0 admits nobody.
+void select_transmitters(SchedulerPolicy policy, std::span<const TxCandidate> candidates,
+                         int max_tx, std::vector<std::uint32_t>& out);
+
+}  // namespace skyferry::fleet

@@ -1,0 +1,78 @@
+#include "fleet/scheduler.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace skyferry::fleet {
+namespace {
+
+std::vector<std::uint32_t> pick(SchedulerPolicy p, const std::vector<TxCandidate>& c,
+                                int max_tx) {
+  std::vector<std::uint32_t> out;
+  select_transmitters(p, c, max_tx, out);
+  return out;
+}
+
+TEST(Scheduler, FifoPicksEarliestArrivals) {
+  const std::vector<TxCandidate> c = {
+      {0, 30.0, 100.0, 50}, {1, 10.0, 100.0, 50}, {2, 20.0, 100.0, 50}};
+  EXPECT_EQ(pick(SchedulerPolicy::kFifo, c, 2), (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(Scheduler, UrgentPicksEarliestDeadlines) {
+  const std::vector<TxCandidate> c = {
+      {0, 0.0, 300.0, 50}, {1, 0.0, 100.0, 50}, {2, 0.0, 200.0, 50}};
+  EXPECT_EQ(pick(SchedulerPolicy::kUrgentFirst, c, 2), (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(Scheduler, BufferPicksLargestBacklogs) {
+  const std::vector<TxCandidate> c = {
+      {0, 0.0, 100.0, 10}, {1, 0.0, 100.0, 99}, {2, 0.0, 100.0, 50}};
+  EXPECT_EQ(pick(SchedulerPolicy::kMaximizeBuffer, c, 2), (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(Scheduler, TiesBreakTowardLowerUavIndex) {
+  const std::vector<TxCandidate> c = {
+      {7, 1.0, 1.0, 5}, {3, 1.0, 1.0, 5}, {5, 1.0, 1.0, 5}};
+  for (auto p : {SchedulerPolicy::kFifo, SchedulerPolicy::kUrgentFirst,
+                 SchedulerPolicy::kMaximizeBuffer}) {
+    EXPECT_EQ(pick(p, c, 2), (std::vector<std::uint32_t>{3, 5})) << to_string(p);
+  }
+}
+
+TEST(Scheduler, WinnersIndependentOfCandidateOrder) {
+  std::vector<TxCandidate> c = {
+      {0, 5.0, 50.0, 10}, {1, 3.0, 80.0, 70}, {2, 9.0, 20.0, 30}, {3, 1.0, 90.0, 90}};
+  const auto baseline = pick(SchedulerPolicy::kUrgentFirst, c, 2);
+  std::sort(c.begin(), c.end(),
+            [](const TxCandidate& a, const TxCandidate& b) { return a.uav > b.uav; });
+  EXPECT_EQ(pick(SchedulerPolicy::kUrgentFirst, c, 2), baseline);
+}
+
+TEST(Scheduler, AdmitsEveryoneWhenUnderCapacity) {
+  const std::vector<TxCandidate> c = {{0, 1.0, 1.0, 1}, {1, 2.0, 2.0, 2}};
+  EXPECT_EQ(pick(SchedulerPolicy::kFifo, c, 8).size(), 2u);
+}
+
+TEST(Scheduler, DegenerateInputs) {
+  const std::vector<TxCandidate> c = {{0, 1.0, 1.0, 1}};
+  EXPECT_TRUE(pick(SchedulerPolicy::kFifo, c, 0).empty());
+  EXPECT_TRUE(pick(SchedulerPolicy::kFifo, c, -3).empty());
+  EXPECT_TRUE(pick(SchedulerPolicy::kFifo, {}, 4).empty());
+}
+
+TEST(Scheduler, PolicyNamesRoundTrip) {
+  for (auto p : {SchedulerPolicy::kFifo, SchedulerPolicy::kUrgentFirst,
+                 SchedulerPolicy::kMaximizeBuffer}) {
+    SchedulerPolicy parsed{};
+    ASSERT_TRUE(parse_policy(to_string(p), parsed));
+    EXPECT_EQ(parsed, p);
+  }
+  SchedulerPolicy parsed{};
+  EXPECT_FALSE(parse_policy("nonsense", parsed));
+}
+
+}  // namespace
+}  // namespace skyferry::fleet

@@ -1,0 +1,105 @@
+// Property tests for the Bianchi contention solver. The fleet engine
+// applies analyze_contention per shared-channel cell (one call per
+// distinct (station count, MCS) pair per sweep, memoized), so these pin
+// the properties that path relies on across the whole station range a
+// cell can reach — not just the single n=2 point the ablation exercises.
+#include "mac/contention.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mac/ampdu.h"
+
+namespace skyferry::mac {
+namespace {
+
+struct Fixture {
+  MacTiming timing{};
+  double frame_s{0.0};
+  double ack_s{0.0};
+
+  explicit Fixture(int mcs = 3) {
+    MpduFormat f;
+    frame_s = ampdu_duration_s(f, phy::mcs(mcs), phy::ChannelWidth::kCw40MHz,
+                               phy::GuardInterval::kShort400ns, 14);
+    ack_s = block_ack_duration_s(phy::ChannelWidth::kCw40MHz);
+  }
+};
+
+/// Bianchi's tau(p) — duplicated from the solver so the residual check
+/// is against the published closed form, not the implementation's own
+/// internals.
+double tau_of_p(double p, const MacTiming& timing) {
+  const int w = timing.cw_min + 1;
+  int m = 0;
+  while ((w << m) - 1 < timing.cw_max) ++m;
+  if (std::abs(1.0 - 2.0 * p) < 1e-6) {
+    return 4.0 / (2.0 * (w + 1.0) + static_cast<double>(w) * m);
+  }
+  return 2.0 * (1.0 - 2.0 * p) /
+         ((1.0 - 2.0 * p) * (w + 1.0) + p * w * (1.0 - std::pow(2.0 * p, m)));
+}
+
+TEST(ContentionProperty, EfficiencyIsOneAtSingleStation) {
+  for (int mcs : {0, 3, 7, 15}) {
+    Fixture f(mcs);
+    const auto r = analyze_contention(1, f.timing, f.frame_s, f.ack_s);
+    EXPECT_DOUBLE_EQ(r.efficiency_vs_single, 1.0) << "mcs " << mcs;
+    EXPECT_DOUBLE_EQ(r.collision_probability, 0.0) << "mcs " << mcs;
+  }
+}
+
+TEST(ContentionProperty, EfficiencyMonotonicallyNonIncreasingInN) {
+  // Every additional contender can only shrink a station's share. Swept
+  // densely over the cell sizes the fleet scheduler can admit, at the
+  // frame airtimes of a slow and a fast MCS.
+  for (int mcs : {0, 7, 15}) {
+    Fixture f(mcs);
+    double prev = 1.0 + 1e-12;
+    for (int n = 1; n <= 128; ++n) {
+      const auto r = analyze_contention(n, f.timing, f.frame_s, f.ack_s);
+      EXPECT_LE(r.efficiency_vs_single, prev) << "mcs " << mcs << " n " << n;
+      EXPECT_GT(r.efficiency_vs_single, 0.0) << "mcs " << mcs << " n " << n;
+      prev = r.efficiency_vs_single;
+    }
+  }
+}
+
+TEST(ContentionProperty, FixedPointResidualBelow1e9) {
+  // The returned p must satisfy Bianchi's coupled equations
+  // p = 1 - (1 - tau(p))^(n-1) to high accuracy — a sloppily converged
+  // fixed point would silently bias every fleet cell's throughput.
+  Fixture f;
+  for (int n = 2; n <= 1024; n = n < 16 ? n + 1 : n * 2) {
+    const auto r = analyze_contention(n, f.timing, f.frame_s, f.ack_s);
+    const double tau = tau_of_p(r.collision_probability, f.timing);
+    const double residual =
+        std::abs(r.collision_probability - (1.0 - std::pow(1.0 - tau, n - 1)));
+    EXPECT_LT(residual, 1e-9) << "n " << n;
+    EXPECT_NEAR(r.tau, tau, 1e-12) << "n " << n;
+  }
+}
+
+TEST(ContentionProperty, ProbabilitiesStayInRange) {
+  Fixture f;
+  for (int n = 1; n <= 512; n = n < 8 ? n + 1 : n * 2) {
+    const auto r = analyze_contention(n, f.timing, f.frame_s, f.ack_s);
+    EXPECT_GT(r.tau, 0.0) << n;
+    EXPECT_LT(r.tau, 1.0) << n;
+    EXPECT_GE(r.collision_probability, 0.0) << n;
+    EXPECT_LT(r.collision_probability, 1.0) << n;
+  }
+}
+
+TEST(ContentionProperty, NonPositiveStationCountClampsToOne) {
+  Fixture f;
+  for (int n : {0, -1, -100}) {
+    const auto r = analyze_contention(n, f.timing, f.frame_s, f.ack_s);
+    EXPECT_EQ(r.stations, 1) << n;
+    EXPECT_DOUBLE_EQ(r.efficiency_vs_single, 1.0) << n;
+  }
+}
+
+}  // namespace
+}  // namespace skyferry::mac

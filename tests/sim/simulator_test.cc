@@ -134,6 +134,95 @@ TEST(SchedulePeriodic, RepeatsUntilFalse) {
   EXPECT_DOUBLE_EQ(sim.now(), 5.0);
 }
 
+TEST(Simulator, CancelAfterExecutionFailsAndKeepsPendingSane) {
+  // Regression: cancelling an id that already executed used to record a
+  // cancelled placeholder that never surfaced, making pending() =
+  // queue_size - cancelled_count underflow to a huge size_t. Ids are now
+  // generation-checked, so the stale cancel is a counted-for-nothing no-op.
+  Simulator sim;
+  int ran = 0;
+  const EventId a = sim.schedule(1.0, [&] { ++ran; });
+  sim.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(sim.cancel(a));  // already executed
+  EXPECT_EQ(sim.pending(), 0u);
+
+  // Cancel-then-run-then-cancel: the second cancel must also fail, and
+  // pending() must stay exact throughout.
+  const EventId b = sim.schedule(1.0, [&] { ++ran; });
+  const EventId c = sim.schedule(2.0, [&] { ++ran; });
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_TRUE(sim.cancel(b));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_FALSE(sim.cancel(b));
+  EXPECT_FALSE(sim.cancel(c));
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, StaleIdCannotCancelRecycledSlot) {
+  // After an event executes (or is cancelled), its storage slot is
+  // recycled for new events. The old id must not be able to cancel the
+  // slot's next tenant.
+  Simulator sim;
+  const EventId old_id = sim.schedule(1.0, [] {});
+  sim.run();
+  bool ran = false;
+  sim.schedule(1.0, [&] { ran = true; });  // reuses the freed slot
+  EXPECT_FALSE(sim.cancel(old_id));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, PreResetIdsAreDeadAfterReset) {
+  // reset() retires every slot generation: ids issued before the reset
+  // can neither cancel nor corrupt pending() afterwards.
+  Simulator sim;
+  const EventId a = sim.schedule(5.0, [] {});
+  sim.reset();
+  EXPECT_FALSE(sim.cancel(a));
+  EXPECT_EQ(sim.pending(), 0u);
+  bool ran = false;
+  sim.schedule(1.0, [&] { ran = true; });
+  EXPECT_FALSE(sim.cancel(a));  // still dead, even with the slot re-let
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, CancelStormKeepsAccountingExact) {
+  // Interleaved schedule/cancel/execute churn: pending() must equal the
+  // live count at every step and never wrap.
+  Simulator sim;
+  std::vector<EventId> ids;
+  int ran = 0;
+  for (int round = 0; round < 10; ++round) {
+    ids.clear();
+    for (int i = 0; i < 20; ++i) {
+      ids.push_back(sim.schedule(1.0 + i, [&] { ++ran; }));
+    }
+    EXPECT_EQ(sim.pending(), 20u);
+    for (int i = 0; i < 20; i += 2) EXPECT_TRUE(sim.cancel(ids[static_cast<std::size_t>(i)]));
+    for (int i = 0; i < 20; i += 2) EXPECT_FALSE(sim.cancel(ids[static_cast<std::size_t>(i)]));
+    EXPECT_EQ(sim.pending(), 10u);
+    sim.run();
+    EXPECT_EQ(sim.pending(), 0u);
+  }
+  EXPECT_EQ(ran, 100);
+}
+
+TEST(Simulator, ReserveDoesNotDisturbSemantics) {
+  Simulator sim;
+  sim.reserve(64);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
 TEST(Simulator, ManyEventsStressOrder) {
   Simulator sim;
   double last = -1.0;
