@@ -19,6 +19,7 @@
 #include "fault/mission_sim.h"
 #include "fleet/engine.h"
 #include "geo/geodesy.h"
+#include "link/multilink.h"
 #include "mac/link.h"
 #include "phy/per_table.h"
 #include "policy/compiler.h"
@@ -121,6 +122,22 @@ void BM_PolicyDecideBatch(benchmark::State& state) {
   if (service.counters().exact != 0) state.SkipWithError("query escaped the table path");
 }
 BENCHMARK(BM_PolicyDecideBatch);
+
+// One full joint (link, d) decision over all four backends: 5 searches
+// (4 single + 1 joint at the elected link) plus the dominance-net
+// evaluation — the spawn-time cost of a multi-link fleet mission.
+void BM_MultiLinkDecide(benchmark::State& state) {
+  const link::LinkSet set({link::LinkBackendConfig::wifi_80211n(),
+                           link::LinkBackendConfig::cellular(), link::LinkBackendConfig::mesh(),
+                           link::LinkBackendConfig::leo()});
+  const std::vector<const link::LinkBackend*> views = set.views();
+  const uav::FailureModel failure(1e-3);
+  const link::MultiLinkParams p{1500.0, 10.0, 5e7, 20.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(link::optimize_multilink(views, p, failure));
+  }
+}
+BENCHMARK(BM_MultiLinkDecide);
 
 void BM_PacketErrorRate(benchmark::State& state) {
   const phy::ErrorModel em({}, 0.9);

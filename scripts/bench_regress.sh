@@ -84,6 +84,10 @@ CEILING_NS = {
     "BM_ReDecision": 10_000.0,
     "BM_PolicyDecideBatch": 1_024_000.0,
     "BM_FleetStep1k": 25_000.0,
+    # A joint (link, d) decision over four backends runs five exact
+    # optimizer searches plus the dominance net (~0.4 ms); it must stay
+    # well under a spawn tick so fleets decide exactly, no table needed.
+    "BM_MultiLinkDecide": 1_500_000.0,
 }
 
 mode = os.environ["MODE"]

@@ -42,6 +42,7 @@ ALL_BENCHES=(
   calibrate_channel
   mc_delivery_probability
   fleet_scale
+  fig_multilink
 )
 
 mode=""

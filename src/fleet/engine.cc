@@ -37,6 +37,9 @@ struct FleetEngine::Soa {
   std::vector<double> deadline;          ///< delivery deadline [s]
   std::vector<double> spawn_t;
   std::vector<double> fixed_target;      ///< >=0: bypass the decision service
+  // Multi-link decisions (legacy path leaves these at -1 / 0).
+  std::vector<std::int32_t> burst_link;  ///< elected burst link (LinkSet index)
+  std::vector<std::uint64_t> trickle;    ///< background bytes credited at arrival
   // Transfer progress.
   std::vector<std::uint64_t> total_bytes, delivered_bytes, by_deadline_bytes;
   std::vector<std::uint64_t> mpdus_att, mpdus_del;
@@ -61,6 +64,7 @@ FleetEngine::FleetEngine(FleetConfig cfg, std::uint64_t seed)
       soa_(std::make_unique<Soa>()),
       tables_(phy::ErrorModel(cfg.error, cfg.channel.spatial_correlation), cfg.per_table) {
   if (cfg_.threads != 1) pool_ = std::make_unique<exp::ThreadPool>(cfg_.threads);
+  if (cfg_.links != nullptr && !cfg_.links->empty()) service_.install_links(cfg_.links);
 
   // Prefetch every PER table and freeze the airtime memos up front so
   // the sweep loops are pure loads: no mutexes, no mac:: recomputation.
@@ -133,6 +137,8 @@ int FleetEngine::add_mission(const MissionSpec& spec) {
   s.deadline.push_back(spec.deadline_s);
   s.spawn_t.push_back(spec.spawn_t_s);
   s.fixed_target.push_back(spec.fixed_target_distance_m);
+  s.burst_link.push_back(-1);
+  s.trickle.push_back(0);
   s.total_bytes.push_back(static_cast<std::uint64_t>(mdata));
   s.delivered_bytes.push_back(0);
   s.by_deadline_bytes.push_back(0);
@@ -165,12 +171,17 @@ void FleetEngine::decide_pending() {
   Soa& s = *soa_;
 
   // Batch every decision-service mission into one decide() span; fixed-
-  // target missions bypass the service entirely.
+  // target missions bypass the service entirely. With a link set
+  // installed the same batch routes through decide_multilink — joint
+  // (link, d) election plus the trickle/burst split per mission.
+  const bool multilink = cfg_.links != nullptr && !cfg_.links->empty();
   thread_local std::vector<policy::Query> queries;
   thread_local std::vector<policy::Decision> decisions;
+  thread_local std::vector<policy::MultiLinkDecision> ml_decisions;
   thread_local std::vector<std::uint32_t> queried;
   queries.clear();
   decisions.clear();
+  ml_decisions.clear();
   queried.clear();
   for (const std::uint32_t i : pending_decisions_) {
     if (s.fixed_target[i] >= 0.0) continue;
@@ -184,8 +195,13 @@ void FleetEngine::decide_pending() {
     queried.push_back(i);
   }
   if (!queries.empty()) {
-    decisions.resize(queries.size());
-    service_.decide(queries, decisions);
+    if (multilink) {
+      ml_decisions.resize(queries.size());
+      service_.decide_multilink(queries, ml_decisions);
+    } else {
+      decisions.resize(queries.size());
+      service_.decide(queries, decisions);
+    }
   }
 
   std::size_t qi = 0;
@@ -193,6 +209,17 @@ void FleetEngine::decide_pending() {
     double d_star;
     if (s.fixed_target[i] >= 0.0) {
       d_star = std::min(s.fixed_target[i], s.d0[i]);
+    } else if (multilink) {
+      const policy::MultiLinkDecision& dec = ml_decisions[qi++];
+      d_star = std::clamp(dec.decision.d_opt_m, 0.0, s.d0[i]);
+      s.utility[i] = dec.decision.utility;
+      s.backend[i] = static_cast<std::uint8_t>(dec.decision.backend);
+      s.burst_link[i] = dec.burst_link;
+      // The background trickle is credited the moment the UAV lands on
+      // its transmit point (the split already assumed the ferry window).
+      s.trickle[i] = std::min(
+          s.total_bytes[i],
+          static_cast<std::uint64_t>(std::max(dec.trickle_bytes, 0.0)));
     } else {
       const policy::Decision& dec = decisions[qi++];
       d_star = std::clamp(dec.d_opt_m, 0.0, s.d0[i]);
@@ -227,6 +254,24 @@ void FleetEngine::decide_pending() {
     }
   }
   pending_decisions_.clear();
+}
+
+// Multi-link missions ship the background-trickle bytes during the
+// ferry leg; the credit lands atomically (from the fleet's point of
+// view) at arrival. Touches only row i, so both kinematics arrival
+// sites may call it from inside parallel chunks. A mission whose
+// trickle covers the whole batch completes on the spot — the arrival
+// site already decremented ferrying_ and raised tx_set_dirty_.
+void FleetEngine::credit_trickle(std::uint32_t i) {
+  Soa& s = *soa_;
+  const std::uint64_t credit =
+      std::min(s.trickle[i], s.total_bytes[i] - s.delivered_bytes[i]);
+  s.delivered_bytes[i] += credit;
+  if (s.arrived_t[i] <= s.deadline[i]) s.by_deadline_bytes[i] = s.delivered_bytes[i];
+  if (s.delivered_bytes[i] >= s.total_bytes[i]) {
+    s.phase[i] = static_cast<std::uint8_t>(Phase::kDone);
+    s.completed_t[i] = s.arrived_t[i];
+  }
 }
 
 template <class Fn>
@@ -295,6 +340,7 @@ void FleetEngine::step_kinematics(double t0) {
         s.tx_clock[i] = s.arrived_t[i];
         ferrying_.fetch_sub(1, std::memory_order_relaxed);
         tx_set_dirty_.store(true, std::memory_order_relaxed);
+        if (s.trickle[i] > 0) credit_trickle(static_cast<std::uint32_t>(i));
       }
     });
   } else {
@@ -315,6 +361,7 @@ void FleetEngine::step_kinematics(double t0) {
           s.tx_clock[i] = s.arrived_t[i];
           ferrying_.fetch_sub(1, std::memory_order_relaxed);
           tx_set_dirty_.store(true, std::memory_order_relaxed);
+          if (s.trickle[i] > 0) credit_trickle(static_cast<std::uint32_t>(i));
         } else {
           const double k = s.speed[i] / dist;
           s.vx[i] = dx * k;
@@ -551,6 +598,8 @@ MissionStatus FleetEngine::mission(int idx) const {
   st.spawn_t_s = s.spawn_t[i];
   st.arrived_t_s = s.arrived_t[i];
   st.completed_t_s = s.completed_t[i];
+  st.burst_link = s.burst_link[i];
+  st.trickle_bytes = s.trickle[i];
   return st;
 }
 

@@ -36,6 +36,7 @@
 
 #include "core/scenario.h"
 #include "fleet/scheduler.h"
+#include "link/multilink.h"
 #include "geo/vec3.h"
 #include "mac/ampdu.h"
 #include "mac/contention.h"
@@ -103,6 +104,13 @@ struct FleetConfig {
   /// Supplies the throughput model behind DecisionService and the
   /// default mission parameters (speed, Mdata, rho, d0, d_min).
   core::Scenario scenario{core::Scenario::quadrocopter()};
+
+  /// Optional multi-backend link set. When set (and non-empty), spawn
+  /// decisions route through DecisionService::decide_multilink — joint
+  /// (link, d) selection with background trickle credited on arrival at
+  /// the transmit point. nullptr keeps the legacy single-802.11n decide
+  /// path bit-identical (the differential suite pins this).
+  std::shared_ptr<const link::LinkSet> links{};
 };
 
 /// One mission: a UAV holding `mdata_bytes` at `start_pos` that must
@@ -136,6 +144,10 @@ struct MissionStatus {
   double spawn_t_s{0.0};
   double arrived_t_s{0.0};      ///< reached the transmit point (0 if not yet)
   double completed_t_s{0.0};    ///< last byte landed (0 if not yet)
+  /// Multi-link decisions only: elected burst link (LinkSet index; -1
+  /// on the legacy path) and the background bytes credited on arrival.
+  std::int32_t burst_link{-1};
+  std::uint64_t trickle_bytes{0};
 };
 
 struct FleetTotals {
@@ -187,6 +199,9 @@ class FleetEngine {
 
   void spawn(std::uint32_t i);
   void decide_pending();
+  /// Credit the mission's background-trickle bytes at arrival (called
+  /// from both kinematics arrival sites; touches only row i).
+  void credit_trickle(std::uint32_t i);
   void step_kinematics(double t0);
   void step_transfers(double t0);
   void run_winners(double t0);

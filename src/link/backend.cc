@@ -1,0 +1,592 @@
+#include "link/backend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "exp/codec.h"
+#include "mac/rate_control.h"
+#include "phy/mcs.h"
+#include "sim/rng.h"
+
+namespace skyferry::link {
+namespace {
+
+void req(bool ok, const std::string& what) {
+  if (!ok) throw ConfigError("LinkBackendConfig: " + what);
+}
+
+bool finite(double v) noexcept { return std::isfinite(v); }
+
+// ---- decision-layer rate curves -------------------------------------------
+
+/// Cellular: peak/(1 + (d/half)^2) floored at `floor` out to the cell
+/// range — the long-range trickle rate that never collapses to zero
+/// inside coverage.
+class CellularThroughput final : public core::ThroughputModel {
+ public:
+  explicit CellularThroughput(const LinkBackendConfig& c) noexcept
+      : peak_(c.cell_peak_bps), floor_(c.cell_floor_bps), half_(c.cell_half_m),
+        range_(c.cell_max_range_m), min_d_(c.min_distance_m), name_(c.name) {}
+
+  [[nodiscard]] double throughput_bps(double distance_m) const noexcept override {
+    const double d = std::max(distance_m, min_d_);
+    if (d > range_) return 0.0;
+    const double x = d / half_;
+    return std::max(peak_ / (1.0 + x * x), floor_);
+  }
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] double max_range_m() const noexcept override { return range_; }
+
+ private:
+  double peak_, floor_, half_, range_, min_d_;
+  std::string name_;
+};
+
+/// Aerial mesh: one shared channel per hop, so the end-to-end rate is
+/// the per-hop rate divided by the hop count ceil(d / hop_m); routes
+/// longer than max_hops do not form.
+class MeshThroughput final : public core::ThroughputModel {
+ public:
+  explicit MeshThroughput(const LinkBackendConfig& c) noexcept
+      : hop_rate_(c.mesh_hop_rate_bps), hop_m_(c.mesh_hop_m), max_hops_(c.mesh_max_hops),
+        min_d_(c.min_distance_m), name_(c.name) {}
+
+  [[nodiscard]] double throughput_bps(double distance_m) const noexcept override {
+    const double d = std::max(distance_m, min_d_);
+    const double hops = std::max(std::ceil(d / hop_m_), 1.0);
+    if (hops > static_cast<double>(max_hops_)) return 0.0;
+    return hop_rate_ / hops;
+  }
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] double max_range_m() const noexcept override {
+    return static_cast<double>(max_hops_) * hop_m_;
+  }
+
+ private:
+  double hop_rate_, hop_m_;
+  int max_hops_;
+  double min_d_;
+  std::string name_;
+};
+
+/// LEO: a flat rate wherever the constellation covers — distance to the
+/// ground station is irrelevant at mission geometry; availability (the
+/// outage process) is what varies.
+class LeoThroughput final : public core::ThroughputModel {
+ public:
+  explicit LeoThroughput(const LinkBackendConfig& c) noexcept
+      : rate_(c.leo_rate_bps), range_(c.leo_max_range_m), name_(c.name) {}
+
+  [[nodiscard]] double throughput_bps(double distance_m) const noexcept override {
+    return distance_m > range_ ? 0.0 : rate_;
+  }
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] double max_range_m() const noexcept override { return range_; }
+
+ private:
+  double rate_, range_;
+  std::string name_;
+};
+
+// ---- sessions --------------------------------------------------------------
+
+std::unique_ptr<mac::RateController> make_wifi_controller(const LinkBackendConfig& cfg,
+                                                          std::uint64_t seed) {
+  switch (cfg.wifi_rate_control) {
+    case WifiRateControl::kFixedMcs:
+      return std::make_unique<mac::FixedMcs>(cfg.mcs_index);
+    case WifiRateControl::kArf:
+      return std::make_unique<mac::ArfRate>(mac::ArfConfig{}, cfg.mac.channel.width,
+                                            cfg.mac.channel.gi);
+    case WifiRateControl::kMinstrel:
+      break;
+  }
+  mac::MinstrelConfig mc;
+  mc.timing = cfg.mac.timing;
+  mc.ampdu = cfg.mac.ampdu;
+  mc.mpdu = cfg.mac.mpdu;
+  mc.width = cfg.mac.channel.width;
+  mc.gi = cfg.mac.channel.gi;
+  return std::make_unique<mac::MinstrelHt>(mc, sim::derive_seed(seed, "minstrel"));
+}
+
+/// The 802.11n session IS the legacy simulator: same config, same seed,
+/// same RNG stream consumption — the differential suite pins run
+/// results bit-identical to a directly constructed mac::LinkSimulator.
+class WifiSession final : public LinkSession {
+ public:
+  WifiSession(const LinkBackendConfig& cfg, std::uint64_t seed)
+      : rc_(make_wifi_controller(cfg, seed)), sim_(cfg.mac, *rc_, seed) {}
+
+  mac::LinkRunResult run_transfer(std::uint64_t payload_bytes, double max_duration_s,
+                                  const mac::GeometryFn& geometry) override {
+    return sim_.run_transfer(payload_bytes, max_duration_s, geometry);
+  }
+  mac::LinkRunResult run_saturated(double duration_s, const mac::GeometryFn& geometry) override {
+    return sim_.run_saturated(duration_s, geometry);
+  }
+
+ private:
+  std::unique_ptr<mac::RateController> rc_;
+  mac::LinkSimulator sim_;
+};
+
+/// Frame-burst ARQ loop for cellular/mesh/LEO: each round sends up to
+/// `frames_per_burst` frames at the decision-layer rate, draws one
+/// aggregate fade, samples frame fates per the configured fidelity
+/// (kAggregate: one Binomial from the jitter-marginalized PER table —
+/// the same fast path as the 802.11n simulator; kPerMpdu: analytic PER
+/// per frame), pays one RTT of ARQ turnaround, and stalls through
+/// outage segments. Lost frames stay in the backlog.
+class GenericSession final : public LinkSession {
+ public:
+  GenericSession(const LinkBackendConfig& cfg, const core::ThroughputModel& model,
+                 std::shared_ptr<phy::PerTableCache> tables, std::uint64_t seed)
+      : cfg_(cfg),
+        model_(model),
+        tables_(std::move(tables)),
+        em_(cfg.error, cfg.spatial_correlation),
+        outage_(cfg.outage, sim::derive_seed(seed, "outage")),
+        rng_(sim::derive_seed(seed, "frames")) {}
+
+  mac::LinkRunResult run_transfer(std::uint64_t payload_bytes, double max_duration_s,
+                                  const mac::GeometryFn& geometry) override {
+    return run(payload_bytes * 8ULL, max_duration_s, geometry);
+  }
+  mac::LinkRunResult run_saturated(double duration_s, const mac::GeometryFn& geometry) override {
+    return run(0, duration_s, geometry);
+  }
+
+ private:
+  mac::LinkRunResult run(std::uint64_t bits_needed, double time_limit_s,
+                         const mac::GeometryFn& geometry) {
+    const phy::McsInfo& m = phy::mcs(cfg_.mcs_index);
+    const std::uint64_t frame_bits = static_cast<std::uint64_t>(cfg_.frame_bits);
+    const bool saturated = bits_needed == 0;
+
+    mac::LinkRunResult r;
+    double t = cfg_.session_setup_s;
+    std::uint64_t delivered_bits = 0;
+
+    while (saturated || delivered_bits < bits_needed) {
+      if (t >= time_limit_s) {
+        r.completed = saturated;
+        t = time_limit_s;
+        break;
+      }
+      if (!outage_.is_up(t)) {
+        t = std::min(outage_.segment_end_s(t), time_limit_s);
+        continue;
+      }
+      const mac::Geometry g = geometry(t);
+      const double rate = model_.throughput_bps(g.distance_m);
+      if (rate <= 0.0) {
+        // Out of range; idle one ARQ turnaround and let geometry move.
+        t += std::max(cfg_.rtt_s, 1e-2);
+        continue;
+      }
+      std::uint64_t n = static_cast<std::uint64_t>(cfg_.frames_per_burst);
+      if (!saturated) {
+        const std::uint64_t backlog = (bits_needed - delivered_bits + frame_bits - 1) / frame_bits;
+        n = std::min(n, backlog);
+      }
+      const double snr = snr_db_at(g.distance_m) + rng_.gaussian(0.0, cfg_.snr_fade_sigma_db);
+      std::uint64_t got = 0;
+      if (cfg_.fidelity == mac::LinkFidelity::kAggregate) {
+        const double per =
+            tables_->table(m, cfg_.frame_bits, cfg_.snr_jitter_db).per(snr);
+        got = rng_.binomial(n, 1.0 - per);
+      } else {
+        for (std::uint64_t i = 0; i < n; ++i) {
+          const double fsnr = snr + rng_.gaussian(0.0, cfg_.snr_jitter_db);
+          if (!rng_.bernoulli(em_.packet_error_rate(m, fsnr, cfg_.frame_bits))) ++got;
+        }
+      }
+      r.mpdus_attempted += n;
+      r.mpdus_delivered += got;
+      ++r.exchanges;
+      delivered_bits += got * frame_bits;
+      t += static_cast<double>(n * frame_bits) / rate + cfg_.rtt_s;
+    }
+
+    r.duration_s = t;
+    r.payload_bits_delivered = saturated ? delivered_bits : std::min(delivered_bits, bits_needed);
+    return r;
+  }
+
+  [[nodiscard]] double snr_db_at(double distance_m) const noexcept {
+    const double d = std::max(distance_m, cfg_.min_distance_m);
+    return cfg_.snr_ref_db -
+           cfg_.snr_slope_db_per_decade * std::log10(d / cfg_.snr_ref_distance_m);
+  }
+
+  LinkBackendConfig cfg_;
+  const core::ThroughputModel& model_;
+  std::shared_ptr<phy::PerTableCache> tables_;
+  phy::ErrorModel em_;
+  OutageProcess outage_;
+  sim::Rng rng_;
+};
+
+// ---- backends --------------------------------------------------------------
+
+std::shared_ptr<phy::PerTableCache> session_tables(const LinkBackendConfig& cfg) {
+  if (cfg.shared_tables) return cfg.shared_tables;
+  return std::make_shared<phy::PerTableCache>(phy::ErrorModel(cfg.error, cfg.spatial_correlation),
+                                              cfg.per_table);
+}
+
+class WifiBackend final : public LinkBackend {
+ public:
+  explicit WifiBackend(LinkBackendConfig cfg)
+      : LinkBackend(std::move(cfg)),
+        model_(cfg_.wifi_a, cfg_.wifi_b, cfg_.name, cfg_.wifi_scale, cfg_.min_distance_m),
+        tables_(session_tables(cfg_)) {}
+
+  [[nodiscard]] const core::ThroughputModel& throughput() const noexcept override {
+    return model_;
+  }
+  [[nodiscard]] double frame_per(double snr_db) const override {
+    return tables_->table(phy::mcs(cfg_.mcs_index), cfg_.frame_bits, cfg_.snr_jitter_db)
+        .per(snr_db);
+  }
+  [[nodiscard]] std::unique_ptr<LinkSession> make_session(std::uint64_t seed) const override {
+    return std::make_unique<WifiSession>(cfg_, seed);
+  }
+
+ private:
+  core::PaperLogThroughput model_;
+  std::shared_ptr<phy::PerTableCache> tables_;
+};
+
+class GenericBackend final : public LinkBackend {
+ public:
+  GenericBackend(LinkBackendConfig cfg, std::unique_ptr<core::ThroughputModel> model)
+      : LinkBackend(std::move(cfg)), model_(std::move(model)), tables_(session_tables(cfg_)) {}
+
+  [[nodiscard]] const core::ThroughputModel& throughput() const noexcept override {
+    return *model_;
+  }
+  [[nodiscard]] double frame_per(double snr_db) const override {
+    return tables_->table(phy::mcs(cfg_.mcs_index), cfg_.frame_bits, cfg_.snr_jitter_db)
+        .per(snr_db);
+  }
+  [[nodiscard]] std::unique_ptr<LinkSession> make_session(std::uint64_t seed) const override {
+    return std::make_unique<GenericSession>(cfg_, *model_, tables_, seed);
+  }
+
+ private:
+  std::unique_ptr<core::ThroughputModel> model_;
+  std::shared_ptr<phy::PerTableCache> tables_;
+};
+
+}  // namespace
+
+const char* to_string(BackendKind k) noexcept {
+  switch (k) {
+    case BackendKind::kWifi80211n:
+      return "wifi-802.11n";
+    case BackendKind::kCellular:
+      return "cellular";
+    case BackendKind::kMesh:
+      return "mesh";
+    case BackendKind::kLeo:
+      return "leo";
+  }
+  return "?";
+}
+
+BackendKind backend_kind_from_tag(const std::string& tag) {
+  for (BackendKind k : {BackendKind::kWifi80211n, BackendKind::kCellular, BackendKind::kMesh,
+                        BackendKind::kLeo}) {
+    if (tag == to_string(k)) return k;
+  }
+  throw ConfigError("LinkBackendConfig: unknown backend kind '" + tag + "'");
+}
+
+double LinkBackend::snr_db_at(double distance_m) const noexcept {
+  const double d = std::max(distance_m, cfg_.min_distance_m);
+  return cfg_.snr_ref_db -
+         cfg_.snr_slope_db_per_decade * std::log10(d / cfg_.snr_ref_distance_m);
+}
+
+LinkBackendConfig LinkBackendConfig::wifi_80211n() {
+  LinkBackendConfig c;  // defaults are the paper's airplane 802.11n link
+  return c;
+}
+
+LinkBackendConfig LinkBackendConfig::cellular() {
+  LinkBackendConfig c;
+  c.kind = BackendKind::kCellular;
+  c.name = "cellular";
+  // LTE-ish A2G: multi-second bearer setup, tens of ms RTT, near-always
+  // up; the rate floor is what makes the trickle-now path worth it.
+  c.session_setup_s = 2.0;
+  c.rtt_s = 0.05;
+  c.outage = {0.99, 20.0};
+  c.mcs_index = 2;
+  c.snr_ref_db = 30.0;
+  c.snr_slope_db_per_decade = 18.0;
+  return c;
+}
+
+LinkBackendConfig LinkBackendConfig::mesh() {
+  LinkBackendConfig c;
+  c.kind = BackendKind::kMesh;
+  c.name = "mesh";
+  c.rtt_s = 0.008;  // per-hop forwarding adds up, still LAN-ish
+  c.outage = {0.97, 10.0};
+  c.mcs_index = 3;
+  return c;
+}
+
+LinkBackendConfig LinkBackendConfig::leo() {
+  LinkBackendConfig c;
+  c.kind = BackendKind::kLeo;
+  c.name = "leo";
+  // High RTT, handover/weather outages: availability well below 1 is
+  // the defining property, not the rate.
+  c.session_setup_s = 5.0;
+  c.rtt_s = 0.6;
+  c.outage = {0.85, 45.0};
+  c.mcs_index = 1;
+  c.snr_ref_db = 25.0;
+  c.snr_slope_db_per_decade = 0.0;  // distance to gateway ~ constant
+  return c;
+}
+
+void LinkBackendConfig::validate() const {
+  req(!name.empty(), "name must be non-empty");
+  req(finite(wifi_a) && finite(wifi_b), "wifi fit coefficients must be finite");
+  req(finite(wifi_scale) && wifi_scale > 0.0, "wifi_scale must be finite and > 0");
+  req(finite(cell_peak_bps) && cell_peak_bps > 0.0, "cell_peak_bps must be finite and > 0");
+  req(finite(cell_floor_bps) && cell_floor_bps >= 0.0,
+      "cell_floor_bps must be finite and >= 0");
+  req(cell_floor_bps <= cell_peak_bps, "cell_floor_bps must not exceed cell_peak_bps");
+  req(finite(cell_half_m) && cell_half_m > 0.0, "cell_half_m must be finite and > 0");
+  req(finite(cell_max_range_m) && cell_max_range_m > 0.0,
+      "cell_max_range_m must be finite and > 0");
+  req(finite(mesh_hop_rate_bps) && mesh_hop_rate_bps > 0.0,
+      "mesh_hop_rate_bps must be finite and > 0");
+  req(finite(mesh_hop_m) && mesh_hop_m > 0.0, "mesh_hop_m must be finite and > 0");
+  req(mesh_max_hops >= 1, "mesh_max_hops must be >= 1");
+  req(finite(leo_rate_bps) && leo_rate_bps > 0.0, "leo_rate_bps must be finite and > 0");
+  req(finite(leo_max_range_m) && leo_max_range_m > 0.0,
+      "leo_max_range_m must be finite and > 0");
+  req(finite(min_distance_m) && min_distance_m > 0.0, "min_distance_m must be finite and > 0");
+  req(finite(session_setup_s) && session_setup_s >= 0.0,
+      "session_setup_s must be finite and >= 0");
+  req(finite(rtt_s) && rtt_s >= 0.0, "rtt_s must be finite and >= 0");
+  req(finite(outage.availability) && outage.availability > 0.0 && outage.availability <= 1.0,
+      "outage.availability must be in (0, 1]");
+  if (!outage.always_up()) {
+    req(finite(outage.mean_outage_s) && outage.mean_outage_s > 0.0,
+        "outage.mean_outage_s must be finite and > 0 when availability < 1");
+  }
+  req(mcs_index >= 0 && mcs_index < phy::kNumMcs, "mcs_index out of range");
+  req(frame_bits > 0, "frame_bits must be > 0");
+  req(frames_per_burst >= 1, "frames_per_burst must be >= 1");
+  req(finite(snr_ref_db), "snr_ref_db must be finite");
+  req(finite(snr_ref_distance_m) && snr_ref_distance_m > 0.0,
+      "snr_ref_distance_m must be finite and > 0");
+  req(finite(snr_slope_db_per_decade) && snr_slope_db_per_decade >= 0.0,
+      "snr_slope_db_per_decade must be finite and >= 0");
+  req(finite(snr_fade_sigma_db) && snr_fade_sigma_db >= 0.0,
+      "snr_fade_sigma_db must be finite and >= 0");
+  req(finite(snr_jitter_db) && snr_jitter_db >= 0.0, "snr_jitter_db must be finite and >= 0");
+  req(finite(spatial_correlation) && spatial_correlation >= 0.0 && spatial_correlation <= 1.0,
+      "spatial_correlation must be in [0, 1]");
+  req(finite(per_table.snr_min_db) && finite(per_table.snr_max_db) &&
+          per_table.snr_min_db < per_table.snr_max_db,
+      "per_table SNR range must be finite with min < max");
+  req(finite(per_table.step_db) && per_table.step_db > 0.0,
+      "per_table.step_db must be finite and > 0");
+  for (double g : {error.coding_gain_half_db, error.coding_gain_two_thirds_db,
+                   error.coding_gain_three_quarters_db, error.coding_gain_five_sixths_db,
+                   error.stbc_gain_db, error.sdm_power_split_db,
+                   error.sdm_max_correlation_penalty_db}) {
+    req(finite(g), "error-model gains must be finite");
+  }
+  if (shared_tables) {
+    req(shared_tables->fingerprint() ==
+            phy::table_fingerprint(error, spatial_correlation, per_table),
+        "shared_tables was built for a different (error model, spatial correlation, SNR grid) "
+        "— a mismatched cache answers with silently wrong PERs");
+  }
+  if (kind == BackendKind::kWifi80211n && mac.shared_tables) {
+    req(mac.shared_tables->fingerprint() ==
+            phy::table_fingerprint(mac.error, mac.channel.spatial_correlation, mac.per_table),
+        "mac.shared_tables does not match mac (error, channel.spatial_correlation, per_table) "
+        "— build it with mac::make_shared_per_tables on this config");
+  }
+}
+
+namespace {
+
+const char* fidelity_tag(mac::LinkFidelity f) noexcept {
+  return f == mac::LinkFidelity::kAggregate ? "aggregate" : "per-mpdu";
+}
+const char* rate_control_tag(WifiRateControl rc) noexcept {
+  switch (rc) {
+    case WifiRateControl::kFixedMcs:
+      return "fixed-mcs";
+    case WifiRateControl::kArf:
+      return "arf";
+    case WifiRateControl::kMinstrel:
+      return "minstrel";
+  }
+  return "?";
+}
+
+}  // namespace
+
+io::Json LinkBackendConfig::to_json() const {
+  using exp::Codec;
+  io::Json j = io::Json::object();
+  j.set("kind", to_string(kind));
+  j.set("name", name);
+  const auto d = [&j](const char* key, double v) { j.set(key, Codec<double>::encode(v)); };
+  d("wifi_a", wifi_a);
+  d("wifi_b", wifi_b);
+  d("wifi_scale", wifi_scale);
+  d("cell_peak_bps", cell_peak_bps);
+  d("cell_floor_bps", cell_floor_bps);
+  d("cell_half_m", cell_half_m);
+  d("cell_max_range_m", cell_max_range_m);
+  d("mesh_hop_rate_bps", mesh_hop_rate_bps);
+  d("mesh_hop_m", mesh_hop_m);
+  j.set("mesh_max_hops", Codec<int>::encode(mesh_max_hops));
+  d("leo_rate_bps", leo_rate_bps);
+  d("leo_max_range_m", leo_max_range_m);
+  d("min_distance_m", min_distance_m);
+  d("session_setup_s", session_setup_s);
+  d("rtt_s", rtt_s);
+  d("availability", outage.availability);
+  d("mean_outage_s", outage.mean_outage_s);
+  j.set("mcs_index", Codec<int>::encode(mcs_index));
+  j.set("frame_bits", Codec<int>::encode(frame_bits));
+  d("snr_ref_db", snr_ref_db);
+  d("snr_ref_distance_m", snr_ref_distance_m);
+  d("snr_slope_db_per_decade", snr_slope_db_per_decade);
+  d("snr_fade_sigma_db", snr_fade_sigma_db);
+  d("snr_jitter_db", snr_jitter_db);
+  j.set("frames_per_burst", Codec<int>::encode(frames_per_burst));
+  j.set("fidelity", fidelity_tag(fidelity));
+  d("error_coding_gain_half_db", error.coding_gain_half_db);
+  d("error_coding_gain_two_thirds_db", error.coding_gain_two_thirds_db);
+  d("error_coding_gain_three_quarters_db", error.coding_gain_three_quarters_db);
+  d("error_coding_gain_five_sixths_db", error.coding_gain_five_sixths_db);
+  d("error_stbc_gain_db", error.stbc_gain_db);
+  d("error_sdm_power_split_db", error.sdm_power_split_db);
+  d("error_sdm_max_correlation_penalty_db", error.sdm_max_correlation_penalty_db);
+  d("spatial_correlation", spatial_correlation);
+  d("per_table_snr_min_db", per_table.snr_min_db);
+  d("per_table_snr_max_db", per_table.snr_max_db);
+  d("per_table_step_db", per_table.step_db);
+  j.set("wifi_rate_control", rate_control_tag(wifi_rate_control));
+  return j;
+}
+
+LinkBackendConfig LinkBackendConfig::from_json(const io::Json& j) {
+  if (!j.is_object()) throw ConfigError("LinkBackendConfig: expected a JSON object");
+  LinkBackendConfig c;
+  try {
+    const io::Json* kind = j.find("kind");
+    if (kind == nullptr || !kind->is_string())
+      throw ConfigError("LinkBackendConfig: missing 'kind' tag");
+    c.kind = backend_kind_from_tag(kind->as_string());
+    const io::Json* name = j.find("name");
+    if (name == nullptr || !name->is_string())
+      throw ConfigError("LinkBackendConfig: missing 'name'");
+    c.name = name->as_string();
+    using exp::field;
+    c.wifi_a = field<double>(j, "wifi_a");
+    c.wifi_b = field<double>(j, "wifi_b");
+    c.wifi_scale = field<double>(j, "wifi_scale");
+    c.cell_peak_bps = field<double>(j, "cell_peak_bps");
+    c.cell_floor_bps = field<double>(j, "cell_floor_bps");
+    c.cell_half_m = field<double>(j, "cell_half_m");
+    c.cell_max_range_m = field<double>(j, "cell_max_range_m");
+    c.mesh_hop_rate_bps = field<double>(j, "mesh_hop_rate_bps");
+    c.mesh_hop_m = field<double>(j, "mesh_hop_m");
+    c.mesh_max_hops = field<int>(j, "mesh_max_hops");
+    c.leo_rate_bps = field<double>(j, "leo_rate_bps");
+    c.leo_max_range_m = field<double>(j, "leo_max_range_m");
+    c.min_distance_m = field<double>(j, "min_distance_m");
+    c.session_setup_s = field<double>(j, "session_setup_s");
+    c.rtt_s = field<double>(j, "rtt_s");
+    c.outage.availability = field<double>(j, "availability");
+    c.outage.mean_outage_s = field<double>(j, "mean_outage_s");
+    c.mcs_index = field<int>(j, "mcs_index");
+    c.frame_bits = field<int>(j, "frame_bits");
+    c.snr_ref_db = field<double>(j, "snr_ref_db");
+    c.snr_ref_distance_m = field<double>(j, "snr_ref_distance_m");
+    c.snr_slope_db_per_decade = field<double>(j, "snr_slope_db_per_decade");
+    c.snr_fade_sigma_db = field<double>(j, "snr_fade_sigma_db");
+    c.snr_jitter_db = field<double>(j, "snr_jitter_db");
+    c.frames_per_burst = field<int>(j, "frames_per_burst");
+    c.error.coding_gain_half_db = field<double>(j, "error_coding_gain_half_db");
+    c.error.coding_gain_two_thirds_db = field<double>(j, "error_coding_gain_two_thirds_db");
+    c.error.coding_gain_three_quarters_db =
+        field<double>(j, "error_coding_gain_three_quarters_db");
+    c.error.coding_gain_five_sixths_db = field<double>(j, "error_coding_gain_five_sixths_db");
+    c.error.stbc_gain_db = field<double>(j, "error_stbc_gain_db");
+    c.error.sdm_power_split_db = field<double>(j, "error_sdm_power_split_db");
+    c.error.sdm_max_correlation_penalty_db =
+        field<double>(j, "error_sdm_max_correlation_penalty_db");
+    c.spatial_correlation = field<double>(j, "spatial_correlation");
+    c.per_table.snr_min_db = field<double>(j, "per_table_snr_min_db");
+    c.per_table.snr_max_db = field<double>(j, "per_table_snr_max_db");
+    c.per_table.step_db = field<double>(j, "per_table_step_db");
+  } catch (const exp::CodecError& e) {
+    throw ConfigError(std::string("LinkBackendConfig: ") + e.what());
+  }
+  const io::Json* fid = j.find("fidelity");
+  if (fid == nullptr || !fid->is_string())
+    throw ConfigError("LinkBackendConfig: missing 'fidelity' tag");
+  if (fid->as_string() == "aggregate") {
+    c.fidelity = mac::LinkFidelity::kAggregate;
+  } else if (fid->as_string() == "per-mpdu") {
+    c.fidelity = mac::LinkFidelity::kPerMpdu;
+  } else {
+    throw ConfigError("LinkBackendConfig: unknown fidelity '" + fid->as_string() + "'");
+  }
+  const io::Json* rc = j.find("wifi_rate_control");
+  if (rc == nullptr || !rc->is_string())
+    throw ConfigError("LinkBackendConfig: missing 'wifi_rate_control' tag");
+  if (rc->as_string() == "fixed-mcs") {
+    c.wifi_rate_control = WifiRateControl::kFixedMcs;
+  } else if (rc->as_string() == "arf") {
+    c.wifi_rate_control = WifiRateControl::kArf;
+  } else if (rc->as_string() == "minstrel") {
+    c.wifi_rate_control = WifiRateControl::kMinstrel;
+  } else {
+    throw ConfigError("LinkBackendConfig: unknown wifi_rate_control '" + rc->as_string() + "'");
+  }
+  c.validate();
+  return c;
+}
+
+std::unique_ptr<LinkBackend> make_backend(LinkBackendConfig cfg) {
+  cfg.validate();
+  switch (cfg.kind) {
+    case BackendKind::kWifi80211n:
+      return std::make_unique<WifiBackend>(std::move(cfg));
+    case BackendKind::kCellular: {
+      auto model = std::make_unique<CellularThroughput>(cfg);
+      return std::make_unique<GenericBackend>(std::move(cfg), std::move(model));
+    }
+    case BackendKind::kMesh: {
+      auto model = std::make_unique<MeshThroughput>(cfg);
+      return std::make_unique<GenericBackend>(std::move(cfg), std::move(model));
+    }
+    case BackendKind::kLeo: {
+      auto model = std::make_unique<LeoThroughput>(cfg);
+      return std::make_unique<GenericBackend>(std::move(cfg), std::move(model));
+    }
+  }
+  throw ConfigError("LinkBackendConfig: unknown backend kind");
+}
+
+}  // namespace skyferry::link

@@ -1,0 +1,353 @@
+#include "link/multilink.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "exp/codec.h"
+
+namespace skyferry::link {
+namespace {
+
+constexpr double kGolden = 0.6180339887498949;  // 1/phi — optimizer.cc's constant
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Trapezoid segments of the path-mean rate. Deterministic and fixed so
+/// decisions are reproducible; 8 segments resolve every backend's
+/// piecewise curve well enough for a trickle *estimate* (the sim layer,
+/// not this planner, is the ground truth for delivered bytes).
+constexpr int kPathSegments = 8;
+
+struct SearchOut {
+  double d{0.0};
+  double val{0.0};
+  int evals{0};
+};
+
+/// Verbatim replay of core/optimizer.cc's search schedule (coarse grid
+/// scan + golden-section refinement in the best bracket + keep the
+/// better of {grid best, refined mid}). The schedule — not just the
+/// final argmax — must match so that a single-802.11n-backend run
+/// evaluates the identical FP expression at the identical points and
+/// lands on the bit-identical decision (tests/link/multilink_contract).
+template <class F>
+SearchOut search(double lo, double hi, F&& f, const core::OptimizeOptions& opt) {
+  SearchOut out;
+  if (hi <= lo) {
+    out.d = hi;
+    out.val = f(hi);
+    out.evals = 1;
+    return out;
+  }
+  const int n = std::max(opt.grid_points, 8);
+  double best_d = lo;
+  double best_u = -1.0;
+  int best_i = 0;
+  int evals = 0;
+  for (int i = 0; i < n; ++i) {
+    const double d = lo + (hi - lo) * i / (n - 1);
+    const double val = f(d);
+    ++evals;
+    if (val > best_u) {
+      best_u = val;
+      best_d = d;
+      best_i = i;
+    }
+  }
+  double a = lo + (hi - lo) * std::max(best_i - 1, 0) / (n - 1);
+  double b = lo + (hi - lo) * std::min(best_i + 1, n - 1) / (n - 1);
+  double x1 = b - kGolden * (b - a);
+  double x2 = a + kGolden * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  evals += 2;
+  for (int i = 0; i < opt.max_refine_iters && (b - a) > opt.tolerance_m; ++i) {
+    if (f1 < f2) {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kGolden * (b - a);
+      f2 = f(x2);
+    } else {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kGolden * (b - a);
+      f1 = f(x1);
+    }
+    ++evals;
+  }
+  const double mid = 0.5 * (a + b);
+  const double refined = f(mid);
+  ++evals;
+  const bool take_mid = refined >= best_u;
+  out.d = take_mid ? mid : best_d;
+  out.val = take_mid ? refined : best_u;
+  out.evals = evals;
+  return out;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, std::string_view s) noexcept {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+double trickle_bytes(const LinkBackend& bk, double d_m, const MultiLinkParams& p) {
+  const double tship = d_m >= p.d0_m ? 0.0 : (p.d0_m - d_m) / p.speed_mps;
+  const double window = tship - bk.config().session_setup_s;
+  if (window <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (int i = 0; i <= kPathSegments; ++i) {
+    const double x = d_m + (p.d0_m - d_m) * i / kPathSegments;
+    const double s = bk.rate_bps(std::max(x, p.min_distance_m));
+    acc += (i == 0 || i == kPathSegments) ? 0.5 * s : s;
+  }
+  const double mean_rate_bps = acc / kPathSegments;
+  return bk.availability() * window * mean_rate_bps / 8.0;
+}
+
+namespace {
+
+/// The burst link's delay decomposition at (d, burst_bytes). The FP
+/// expression is core::CommDelayModel/UtilityFunction verbatim, plus
+/// the availability discount on the rate (·1.0 for 802.11n — exact
+/// identity) and the fixed session latency (+0.0 for 802.11n).
+struct BurstEval {
+  double tship_s{0.0};
+  double ttx_s{kInf};
+  double cdelay_s{kInf};
+  double discount{0.0};
+  double utility{0.0};
+};
+
+BurstEval eval_burst(const LinkBackend& bk, double d_m, double burst_bytes,
+                     const MultiLinkParams& p, const uav::FailureModel& failure) {
+  BurstEval e;
+  e.tship_s = d_m >= p.d0_m ? 0.0 : (p.d0_m - d_m) / p.speed_mps;
+  const double dc = std::max(d_m, p.min_distance_m);
+  const double s = bk.rate_bps(dc) * bk.availability();
+  e.ttx_s = s <= 0.0 ? kInf : burst_bytes * 8.0 / s;
+  e.cdelay_s = e.tship_s + e.ttx_s + bk.latency_s();
+  e.discount = failure.discount(p.d0_m, d_m);
+  e.utility = (e.cdelay_s > 0.0 && e.cdelay_s != kInf) ? e.discount / e.cdelay_s : 0.0;
+  return e;
+}
+
+core::Boundary classify(double d, double lo, double hi) noexcept {
+  const double eps = 1e-6 * std::max(hi - lo, 1.0);
+  if (d >= hi - eps) return core::Boundary::kTransmitNow;
+  if (d <= lo + eps) return core::Boundary::kAtFloor;
+  return core::Boundary::kInterior;
+}
+
+core::OptimizeResult to_result(const BurstEval& e, double d, double lo, double hi, int evals) {
+  core::OptimizeResult r;
+  r.d_opt_m = d;
+  r.utility = e.utility;
+  r.cdelay_s = e.cdelay_s;
+  r.discount = e.discount;
+  r.boundary = classify(d, lo, hi);
+  r.evaluations = evals;
+  return r;
+}
+
+}  // namespace
+
+MultiLinkResult optimize_multilink(const std::vector<const LinkBackend*>& links,
+                                   const MultiLinkParams& p, const uav::FailureModel& failure,
+                                   core::OptimizeOptions opt, int forced_burst_link) {
+  MultiLinkResult r;
+  const int n_links = static_cast<int>(links.size());
+  if (n_links == 0) return r;
+  r.single.resize(static_cast<std::size_t>(n_links));
+  r.trickle_by_link.assign(static_cast<std::size_t>(n_links), 0.0);
+
+  const double lo = p.min_distance_m;
+  const double hi = p.d0_m;
+
+  // Joint trickle at distance d when link j bursts: every other link
+  // ships in the background during the ferry leg, capped at the batch.
+  const auto joint_trickle = [&](int j, double d) {
+    double total = 0.0;
+    for (int k = 0; k < n_links; ++k) {
+      if (k == j) continue;
+      total += trickle_bytes(*links[static_cast<std::size_t>(k)], d, p);
+    }
+    return std::min(total, p.mdata_bytes);
+  };
+  const auto joint_utility = [&](int j, double d) {
+    const double burst = p.mdata_bytes - joint_trickle(j, d);
+    return eval_burst(*links[static_cast<std::size_t>(j)], d, burst, p, failure).utility;
+  };
+
+  // Pass 1: each link alone — the legacy "now or later?" problem on
+  // that link's own rate/latency/availability profile.
+  for (int j = 0; j < n_links; ++j) {
+    const LinkBackend& bk = *links[static_cast<std::size_t>(j)];
+    const SearchOut s = search(
+        lo, hi, [&](double d) { return eval_burst(bk, d, p.mdata_bytes, p, failure).utility; },
+        opt);
+    r.single[static_cast<std::size_t>(j)] =
+        to_result(eval_burst(bk, s.d, p.mdata_bytes, p, failure), s.d, lo, hi, s.evals);
+  }
+
+  // Pass 2: elect the burst link. With one link (or a singleton forced
+  // election) the joint objective IS the single objective — reuse the
+  // pass-1 result verbatim, which is what makes the single-backend
+  // configuration bit-identical to core::optimize().
+  int best_j = -1;
+  SearchOut best{};
+  for (int j = 0; j < n_links; ++j) {
+    if (forced_burst_link >= 0 && j != forced_burst_link) continue;
+    SearchOut cand;
+    if (n_links == 1) {
+      const core::OptimizeResult& s = r.single[static_cast<std::size_t>(j)];
+      cand = {s.d_opt_m, s.utility, s.evaluations};
+    } else {
+      cand = search(lo, hi, [&](double d) { return joint_utility(j, d); }, opt);
+      // Dominance net: the joint objective dominates the single one
+      // pointwise, but the two searches can refine into different
+      // brackets — evaluating the joint objective at the single-link
+      // optimum guarantees result-level dominance too.
+      const double d_single = r.single[static_cast<std::size_t>(j)].d_opt_m;
+      const double v_single = joint_utility(j, d_single);
+      ++cand.evals;
+      if (v_single > cand.val) {
+        cand.d = d_single;
+        cand.val = v_single;
+      }
+    }
+    if (best_j < 0 || cand.val > best.val) {
+      best_j = j;
+      best = cand;
+    }
+  }
+
+  if (best_j < 0) return r;  // forced index out of range
+  r.burst_link = best_j;
+  const LinkBackend& burst_bk = *links[static_cast<std::size_t>(best_j)];
+  for (int k = 0; k < n_links; ++k) {
+    if (k == best_j || n_links == 1) continue;
+    r.trickle_by_link[static_cast<std::size_t>(k)] =
+        trickle_bytes(*links[static_cast<std::size_t>(k)], best.d, p);
+  }
+  r.trickle_bytes = n_links == 1 ? 0.0 : joint_trickle(best_j, best.d);
+  r.burst_bytes = p.mdata_bytes - r.trickle_bytes;
+  r.decision =
+      to_result(eval_burst(burst_bk, best.d, r.burst_bytes, p, failure), best.d, lo, hi, best.evals);
+  return r;
+}
+
+// ---- LinkSet ---------------------------------------------------------------
+
+LinkSet::LinkSet(std::vector<LinkBackendConfig> configs) : configs_(std::move(configs)) {
+  backends_.reserve(configs_.size());
+  for (const LinkBackendConfig& c : configs_) backends_.push_back(make_backend(c));
+}
+
+std::vector<const LinkBackend*> LinkSet::views() const {
+  std::vector<const LinkBackend*> v;
+  v.reserve(backends_.size());
+  for (const auto& b : backends_) v.push_back(b.get());
+  return v;
+}
+
+std::string LinkSet::checksum() const {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const LinkBackendConfig& c : configs_) {
+    h = fnv1a(h, c.to_json().dump());
+    h = fnv1a(h, "|");
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+io::Json LinkSet::to_json() const {
+  io::Json j = io::Json::object();
+  j.set("skyferry_link_set", kFormatVersion);
+  io::Json arr = io::Json::array();
+  for (const LinkBackendConfig& c : configs_) arr.push_back(c.to_json());
+  j.set("links", std::move(arr));
+  j.set("checksum", checksum());
+  return j;
+}
+
+LinkSet LinkSet::from_json(const io::Json& j) {
+  if (!j.is_object()) throw ConfigError("link set: expected a JSON object");
+  const io::Json* version = j.find("skyferry_link_set");
+  if (version == nullptr || !version->is_number() ||
+      static_cast<int>(version->as_number()) != kFormatVersion) {
+    throw ConfigError("link set: unsupported format version (want " +
+                      std::to_string(kFormatVersion) + ")");
+  }
+  const io::Json* arr = j.find("links");
+  if (arr == nullptr || !arr->is_array()) throw ConfigError("link set: missing 'links' array");
+  std::vector<LinkBackendConfig> configs;
+  configs.reserve(arr->items().size());
+  for (const io::Json& lj : arr->items()) configs.push_back(LinkBackendConfig::from_json(lj));
+  LinkSet set(std::move(configs));
+  const io::Json* want = j.find("checksum");
+  if (want == nullptr || !want->is_string()) throw ConfigError("link set: missing checksum");
+  const std::string have = set.checksum();
+  if (want->as_string() != have) {
+    throw ConfigError("link set: checksum mismatch (file says " + want->as_string() +
+                      ", content hashes to " + have +
+                      ") — the link set was tampered with or corrupted");
+  }
+  return set;
+}
+
+void LinkSet::save_atomic(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  std::FILE* fp = std::fopen(tmp.c_str(), "wb");
+  if (fp == nullptr) throw ConfigError("link set: cannot open " + tmp + " for writing");
+  const std::string text = to_json().dump(1);
+  const bool wrote =
+      std::fwrite(text.data(), 1, text.size(), fp) == text.size() && std::fflush(fp) == 0;
+#ifndef _WIN32
+  // fsync before rename: the rename must never land ahead of the data.
+  const bool synced = wrote && ::fsync(::fileno(fp)) == 0;
+#else
+  const bool synced = wrote;
+#endif
+  std::fclose(fp);
+  if (!synced) {
+    std::remove(tmp.c_str());
+    throw ConfigError("link set: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw ConfigError("link set: cannot rename " + tmp + " -> " + path);
+  }
+}
+
+LinkSet LinkSet::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ConfigError("link set: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  const auto j = io::Json::parse(buf.str(), &error);
+  if (!j) throw ConfigError("link set: " + path + " is truncated or not valid JSON (" + error + ")");
+  try {
+    return from_json(*j);
+  } catch (const ConfigError& e) {
+    throw ConfigError(std::string(e.what()) + " [" + path + "]");
+  }
+}
+
+}  // namespace skyferry::link

@@ -1,0 +1,121 @@
+// Joint (link, d) selection: "ship a trickle now over cellular while
+// ferrying the bulk for the 802.11n burst."
+//
+// One link is elected the *burst* link: the UAV ferries to distance d
+// and pushes the remaining batch through it, exactly the paper's
+// delayed-gratification tradeoff. Every *other* enabled link trickles
+// in the background during the ferry leg: a link with availability a,
+// session setup T_setup and rate curve s(x) moves
+//
+//   trickle_bytes = a · max(Tship − T_setup, 0) · mean s along the path / 8
+//
+// (deterministic trapezoid mean over the flown [d, d0] segment), which
+// shrinks the burst to Mdata − Σ trickle and therefore Ttx. The joint
+// objective for burst link j is the paper's U(d) with that smaller
+// burst plus j's fixed session latency, discounted by j's availability:
+//
+//   U_j(d) = exp(−ρ(d0−d)) / (Tship + burst·8/(s_j(d)·a_j) + latency_j)
+//
+// Two exact contracts, both enforced by tests/link/:
+//  - *Bit-identity*: with a single 802.11n backend (latency 0,
+//    availability 1) the trickle sum is empty, so U_j(d) reduces to the
+//    identical FP expression core::UtilityFunction evaluates, and the
+//    search below replays core::optimize()'s exact schedule — the
+//    decision matches the legacy single-link path bit for bit.
+//  - *Dominance*: trickling never hurts. U_joint_j(d) ≥ U_single_j(d)
+//    pointwise even in floating point (the trickle only shrinks the
+//    Ttx numerator, and IEEE −, ·, / are monotone), and the optimizer
+//    additionally evaluates each joint objective at its link's
+//    single-link optimum, so the returned utility is ≥ the best
+//    single-link utility on every input.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "io/json.h"
+#include "link/backend.h"
+#include "uav/failure.h"
+
+namespace skyferry::link {
+
+/// An owning, validated collection of link backends with a strict
+/// checksummed on-disk format (the policy::PolicyTable idiom: versioned
+/// JSON, exact-double codec, FNV-1a content tag; tampered or truncated
+/// files fail load()).
+class LinkSet {
+ public:
+  static constexpr int kFormatVersion = 1;
+
+  LinkSet() = default;
+  /// Validates and builds every backend; throws ConfigError.
+  explicit LinkSet(std::vector<LinkBackendConfig> configs);
+
+  [[nodiscard]] std::size_t size() const noexcept { return backends_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return backends_.empty(); }
+  [[nodiscard]] const LinkBackend& backend(std::size_t i) const noexcept { return *backends_[i]; }
+  [[nodiscard]] const std::vector<LinkBackendConfig>& configs() const noexcept { return configs_; }
+  /// Non-owning views in index order, the shape optimize_multilink takes.
+  [[nodiscard]] std::vector<const LinkBackend*> views() const;
+
+  // ---- on-disk format -------------------------------------------------------
+  [[nodiscard]] io::Json to_json() const;
+  /// Strict decode: version mismatch, missing fields, unknown backend
+  /// tags, or a checksum mismatch all throw ConfigError.
+  [[nodiscard]] static LinkSet from_json(const io::Json& j);
+  /// tmp + fsync + rename (exp::Checkpoint crash-safety contract).
+  void save_atomic(const std::string& path) const;
+  [[nodiscard]] static LinkSet load(const std::string& path);
+  /// FNV-1a over the compact-encoded link configs.
+  [[nodiscard]] std::string checksum() const;
+
+ private:
+  std::vector<LinkBackendConfig> configs_;
+  std::vector<std::unique_ptr<LinkBackend>> backends_;
+};
+
+/// The decision inputs (mirrors core::DeliveryParams plus ρ's model).
+struct MultiLinkParams {
+  double d0_m{0.0};
+  double speed_mps{1.0};
+  double mdata_bytes{0.0};
+  double min_distance_m{20.0};
+};
+
+/// One joint decision: which link bursts, where, and what each
+/// background link trickled by then.
+struct MultiLinkResult {
+  /// The burst decision at the elected link: d*, joint utility,
+  /// Cdelay/discount decomposition, boundary classification — the same
+  /// shape core::optimize() returns.
+  core::OptimizeResult decision{};
+  int burst_link{-1};            ///< index into the link list; -1 if none usable
+  double trickle_bytes{0.0};     ///< Σ background bytes at d*
+  double burst_bytes{0.0};       ///< Mdata − trickle_bytes
+  std::vector<double> trickle_by_link;  ///< per link; 0 at the burst link
+  /// Per-link single-link decisions (no background trickle), for
+  /// dominance checks and the fig_multilink comparison.
+  std::vector<core::OptimizeResult> single;
+};
+
+/// Background trickle of `bk` while ferrying from d0 to d at speed v:
+/// availability · max(Tship − setup, 0) · path-mean rate / 8. Exposed
+/// for tests and the fleet engine's arrival credit.
+[[nodiscard]] double trickle_bytes(const LinkBackend& bk, double d_m, const MultiLinkParams& p);
+
+/// Joint (link, d) optimization over `links`. `forced_burst_link` pins
+/// the burst election to one index (-1 = elect the best). A link whose
+/// rate curve is dead on the whole [min_d, d0] interval scores utility
+/// 0 and loses the election to any live link; with an empty `links`
+/// list (or an out-of-range forced index) the result has
+/// burst_link == -1 and zero utility.
+[[nodiscard]] MultiLinkResult optimize_multilink(const std::vector<const LinkBackend*>& links,
+                                                 const MultiLinkParams& p,
+                                                 const uav::FailureModel& failure,
+                                                 core::OptimizeOptions opt = {},
+                                                 int forced_burst_link = -1);
+
+}  // namespace skyferry::link

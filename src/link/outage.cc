@@ -1,0 +1,61 @@
+#include "link/outage.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/rng.h"
+
+namespace skyferry::link {
+
+OutageProcess::OutageProcess(const OutageConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(sim::derive_seed(seed, "link-outage")) {
+  if (cfg_.always_up()) {
+    seg_end_ = std::numeric_limits<double>::infinity();
+    return;
+  }
+  // Stationary start: P(up at t=0) = availability, and the residual life
+  // of the segment containing 0 is again exponential (memorylessness),
+  // so every instant — not just large t — sees the configured
+  // availability. The chi-square property test leans on this.
+  up_ = rng_.bernoulli(cfg_.availability);
+  const double mean = up_ ? cfg_.mean_up_s() : cfg_.mean_outage_s;
+  seg_end_ = rng_.exponential(1.0 / mean);
+}
+
+void OutageProcess::advance_to(double t_s) {
+  while (t_s >= seg_end_) {
+    up_ = !up_;
+    seg_start_ = seg_end_;
+    const double mean = up_ ? cfg_.mean_up_s() : cfg_.mean_outage_s;
+    seg_end_ += rng_.exponential(1.0 / mean);
+  }
+}
+
+bool OutageProcess::is_up(double t_s) {
+  if (cfg_.always_up()) return true;
+  advance_to(t_s);
+  return up_;
+}
+
+double OutageProcess::segment_end_s(double t_s) {
+  if (cfg_.always_up()) return std::numeric_limits<double>::infinity();
+  advance_to(t_s);
+  return seg_end_;
+}
+
+double OutageProcess::up_seconds(double t0_s, double t1_s) {
+  if (cfg_.always_up()) return std::max(0.0, t1_s - t0_s);
+  if (t1_s <= t0_s) return 0.0;
+  advance_to(t0_s);
+  double acc = 0.0;
+  double cursor = t0_s;
+  while (cursor < t1_s) {
+    const double upto = std::min(seg_end_, t1_s);
+    if (up_) acc += upto - cursor;
+    cursor = upto;
+    if (cursor < t1_s) advance_to(cursor);
+  }
+  return acc;
+}
+
+}  // namespace skyferry::link

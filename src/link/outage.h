@@ -1,0 +1,83 @@
+// Per-backend link-outage process: a seeded two-state (up/down)
+// alternating renewal process, the link-level twin of the fault layer's
+// fault::LinkOutageFaults. Up segments last Exp(mean_up), outages
+// Exp(mean_outage); the initial state is drawn from the stationary
+// distribution, so the probability of being up at *any* instant equals
+// the configured availability exactly (what the chi-square property
+// test pins over 10^3 seeds).
+//
+// Cellular and 802.11n links are near-always-up in the measurement
+// papers; LEO availability is weather/handover-driven and materially
+// below 1 — which is why the decision layer discounts a backend's rate
+// by its availability and the sim layer stalls transfers during the
+// sampled outage windows.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_plan.h"
+#include "sim/rng.h"
+
+namespace skyferry::link {
+
+/// Long-run outage statistics of one backend.
+struct OutageConfig {
+  /// Stationary fraction of time the link is usable, in (0, 1].
+  double availability{1.0};
+  /// Mean duration of one outage [s]; ignored at availability == 1.
+  double mean_outage_s{30.0};
+
+  [[nodiscard]] bool always_up() const noexcept { return availability >= 1.0; }
+
+  /// Mean up-segment duration implied by (availability, mean_outage_s).
+  [[nodiscard]] double mean_up_s() const noexcept {
+    return availability * mean_outage_s / (1.0 - availability);
+  }
+
+  /// The fault layer's equivalent injection parameters: outages arrive
+  /// Poisson at 1/mean_up while the link is up and last
+  /// Exp(mean_outage_s) — the exact renewal process
+  /// fault::FaultInjector arms for its link-outage axis.
+  [[nodiscard]] fault::LinkOutageFaults fault_model() const noexcept {
+    if (always_up()) return {};
+    return {1.0 / mean_up_s(), mean_outage_s};
+  }
+  /// Inverse bridge: the availability implied by a fault-plan outage
+  /// axis (1 when the axis is disabled).
+  [[nodiscard]] static OutageConfig from_fault(const fault::LinkOutageFaults& f) noexcept {
+    if (!f.enabled()) return {1.0, 30.0};
+    const double mean_up = 1.0 / f.rate_per_s;
+    return {mean_up / (mean_up + f.mean_duration_s), f.mean_duration_s};
+  }
+};
+
+/// One seeded realization of the outage process. Queries must be
+/// time-monotone (the segment walk only moves forward), which every
+/// simulation loop satisfies.
+class OutageProcess {
+ public:
+  OutageProcess(const OutageConfig& cfg, std::uint64_t seed);
+
+  /// Link state at absolute time t (monotone in successive calls).
+  [[nodiscard]] bool is_up(double t_s);
+
+  /// End of the segment containing t (+inf when always up): the sim
+  /// loop's "retry at" time during an outage.
+  [[nodiscard]] double segment_end_s(double t_s);
+
+  /// Seconds of up-time inside [t0, t1] (monotone windows).
+  [[nodiscard]] double up_seconds(double t0_s, double t1_s);
+
+  [[nodiscard]] const OutageConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void advance_to(double t_s);
+
+  OutageConfig cfg_;
+  sim::Rng rng_;
+  double seg_start_{0.0};
+  double seg_end_{0.0};
+  bool up_{true};
+};
+
+}  // namespace skyferry::link

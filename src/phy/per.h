@@ -61,6 +61,8 @@ class ErrorModel {
   [[nodiscard]] double spatial_correlation() const noexcept { return spatial_correlation_; }
   void set_spatial_correlation(double c) noexcept;
 
+  [[nodiscard]] const ErrorModelConfig& config() const noexcept { return cfg_; }
+
  private:
   [[nodiscard]] double coding_gain_db(CodingRate r) const noexcept;
 

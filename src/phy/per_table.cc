@@ -106,6 +106,34 @@ double PerTable::marginal_per(double snr_db, double sigma_db) const noexcept {
   return acc * kInvSqrtPi;
 }
 
+std::uint64_t table_fingerprint(const ErrorModelConfig& error, double spatial_correlation,
+                                const PerTableConfig& grid) noexcept {
+  // FNV-1a over the raw bit patterns: bit-equal configs (the shared-
+  // cache contract) hash equal; any tweaked tunable flips the tag.
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(error.coding_gain_half_db);
+  mix(error.coding_gain_two_thirds_db);
+  mix(error.coding_gain_three_quarters_db);
+  mix(error.coding_gain_five_sixths_db);
+  mix(error.stbc_gain_db);
+  mix(error.sdm_power_split_db);
+  mix(error.sdm_max_correlation_penalty_db);
+  mix(spatial_correlation);
+  mix(grid.snr_min_db);
+  mix(grid.snr_max_db);
+  mix(grid.step_db);
+  return h;
+}
+
 const PerTable& PerTableCache::table(const McsInfo& m, int bits, double jitter_sigma_db) {
   const auto key = std::make_tuple(m.index, bits, jitter_sigma_db > 0.0 ? jitter_sigma_db : 0.0);
   const std::lock_guard<std::mutex> lock(mu_);

@@ -15,6 +15,7 @@
 // regions for every 802.11n MCS.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <tuple>
@@ -35,6 +36,17 @@ struct PerTableConfig {
   /// whole grid is ~30 KB per curve.
   double step_db{0.015625};
 };
+
+/// FNV-1a fingerprint of everything that determines a PER table's
+/// values: the error-model tunables, the spatial correlation, and the
+/// SNR grid. Two caches with equal fingerprints answer every (MCS, bits,
+/// jitter) query identically, so a shared cache (mac::LinkConfig::
+/// shared_tables, link::LinkBackendConfig) can be *checked* against a
+/// consumer's config instead of trusting the caller — a mismatched
+/// cache answers with silently wrong PERs.
+[[nodiscard]] std::uint64_t table_fingerprint(const ErrorModelConfig& error,
+                                              double spatial_correlation,
+                                              const PerTableConfig& grid) noexcept;
 
 /// One frozen SNR->PER curve for a fixed (MCS, frame bits) pair.
 ///
@@ -94,6 +106,10 @@ class PerTableCache {
     return tables_.size();
   }
   [[nodiscard]] const PerTableConfig& config() const noexcept { return cfg_; }
+  /// table_fingerprint() of this cache's frozen (error model, grid).
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return table_fingerprint(em_.config(), em_.spatial_correlation(), cfg_);
+  }
 
  private:
   ErrorModel em_;

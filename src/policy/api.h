@@ -85,6 +85,11 @@ struct Query {
   /// Optimizer schedule for the exact backend (the re-decision hot path
   /// passes its reduced grid; everyone else the defaults).
   core::OptimizeOptions optimize{};
+
+  /// Multi-link queries only (DecisionService::decide_multilink): pin
+  /// the burst election to one link index of the installed LinkSet
+  /// (-1 = elect the best link jointly with d).
+  std::int32_t burst_link{-1};
 };
 
 /// One decision answer.
@@ -100,6 +105,16 @@ struct Decision {
   core::Boundary boundary{core::Boundary::kInterior};
   Backend backend{Backend::kExact};
   std::int32_t evaluations{0};
+};
+
+/// One multi-link decision answer: the burst decision in the usual
+/// Decision shape plus which link bursts and how the batch splits
+/// between the background trickle and the burst.
+struct MultiLinkDecision {
+  Decision decision{};
+  std::int32_t burst_link{-1};  ///< LinkSet index; -1 when no link set
+  double trickle_bytes{0.0};    ///< Σ background-link bytes during the ferry leg
+  double burst_bytes{0.0};      ///< Mdata − trickle_bytes, shipped at d*
 };
 
 /// View a Decision as the legacy OptimizeResult (for callers that keep

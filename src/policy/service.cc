@@ -121,6 +121,45 @@ Decision DecisionService::decide_exact(const Query& q) const {
   return out;
 }
 
+void DecisionService::install_links(std::shared_ptr<const link::LinkSet> links) {
+  links_ = std::move(links);
+  link_views_ = links_ != nullptr ? links_->views() : std::vector<const link::LinkBackend*>{};
+}
+
+MultiLinkDecision DecisionService::decide_multilink_one(const Query& q) const {
+  if (!has_links())
+    throw std::logic_error("policy: decide_multilink without an installed link set");
+  exact_calls_.fetch_add(1, std::memory_order_relaxed);
+  const uav::FailureModel failure(q.rho_per_m, q.law, q.weibull_shape);
+  const link::MultiLinkParams p{q.d0_m, q.speed_mps, q.mdata_bytes, q.min_distance_m};
+  const link::MultiLinkResult r =
+      link::optimize_multilink(link_views_, p, failure, q.optimize, q.burst_link);
+
+  MultiLinkDecision out;
+  out.decision.d_opt_m = r.decision.d_opt_m;
+  out.decision.v_opt_mps = q.speed_mps;
+  out.decision.utility = r.decision.utility;
+  out.decision.cdelay_s = r.decision.cdelay_s;
+  out.decision.discount = r.decision.discount;
+  out.decision.rho_per_m = failure.rho();
+  out.decision.boundary = r.decision.boundary;
+  out.decision.backend = Backend::kExact;
+  out.decision.evaluations = r.decision.evaluations;
+  out.burst_link = r.burst_link;
+  out.trickle_bytes = r.trickle_bytes;
+  out.burst_bytes = r.burst_bytes;
+  return out;
+}
+
+void DecisionService::decide_multilink(std::span<const Query> queries,
+                                       std::span<MultiLinkDecision> out) const {
+  if (queries.size() != out.size())
+    throw std::invalid_argument("policy: decide_multilink() spans must have equal size (" +
+                                std::to_string(queries.size()) + " queries, " +
+                                std::to_string(out.size()) + " slots)");
+  for (std::size_t i = 0; i < queries.size(); ++i) out[i] = decide_multilink_one(queries[i]);
+}
+
 Decision DecisionService::decide_one(const Query& q) const {
   if (table_eligible(q)) {
     table_hits_.fetch_add(1, std::memory_order_relaxed);

@@ -18,10 +18,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "core/throughput_model.h"
+#include "link/multilink.h"
 #include "policy/api.h"
 #include "policy/table.h"
 
@@ -51,6 +54,21 @@ class DecisionService {
   /// Single-query convenience over the same path.
   [[nodiscard]] Decision decide_one(const Query& q) const;
 
+  /// Install a validated multi-backend link set (setup time, not
+  /// concurrent with decide_multilink()). Shared so a fleet of engines
+  /// can serve one set without copies.
+  void install_links(std::shared_ptr<const link::LinkSet> links);
+  [[nodiscard]] bool has_links() const noexcept { return links_ != nullptr && !links_->empty(); }
+  [[nodiscard]] const link::LinkSet* links() const noexcept { return links_.get(); }
+
+  /// Joint (link, d) decisions over the installed link set:
+  /// link::optimize_multilink per query (q.burst_link pins the burst
+  /// election). Throws std::logic_error when no link set is installed
+  /// and std::invalid_argument on span-size mismatch. Safe to call
+  /// concurrently; counts toward the exact counter.
+  void decide_multilink(std::span<const Query> queries, std::span<MultiLinkDecision> out) const;
+  [[nodiscard]] MultiLinkDecision decide_multilink_one(const Query& q) const;
+
   /// True when `q` would be answered by the table path right now.
   [[nodiscard]] bool table_eligible(const Query& q) const noexcept;
 
@@ -70,6 +88,10 @@ class DecisionService {
   [[nodiscard]] Decision decide_exact(const Query& q) const;
 
   const core::ThroughputModel& model_;
+  std::shared_ptr<const link::LinkSet> links_;
+  /// Non-owning backend views in index order, rebuilt at install so the
+  /// hot path never allocates.
+  std::vector<const link::LinkBackend*> link_views_;
   std::optional<PolicyTable> table_;
   /// The table's own throughput model, rebuilt once at install so the
   /// hot path evaluates U against exactly what the compiler solved.

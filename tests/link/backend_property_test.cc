@@ -1,0 +1,125 @@
+// Property suite over every backend kind: rate curves non-increasing in
+// distance, PER non-increasing in SNR and non-decreasing in frame size,
+// latency finite and non-negative, and the outage process hitting its
+// configured stationary availability (chi-square over 10^3 seeds).
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "link/backend.h"
+#include "link/outage.h"
+#include "support/proptest.h"
+
+namespace skyferry {
+namespace {
+
+std::vector<link::LinkBackendConfig> preset_configs() {
+  return {link::LinkBackendConfig::wifi_80211n(), link::LinkBackendConfig::cellular(),
+          link::LinkBackendConfig::mesh(), link::LinkBackendConfig::leo()};
+}
+
+TEST(BackendProperty, RateNonIncreasingInDistance) {
+  for (const link::LinkBackendConfig& cfg : preset_configs()) {
+    const std::unique_ptr<link::LinkBackend> bk = link::make_backend(cfg);
+    SCOPED_TRACE(bk->name());
+    const double span = std::min(bk->max_range_m() * 1.2, 5e4);
+    FOR_ALL(300, 0xD157ULL, g) {
+      const double d1 = g.uniform(1.0, span);
+      const double d2 = d1 + g.uniform(0.0, span - d1 + 1.0);
+      EXPECT_GE(bk->rate_bps(d1), bk->rate_bps(d2))
+          << "rate must not increase with distance: d1=" << d1 << " d2=" << d2;
+    }
+    // Past max range the link is dead; inside it the rate is finite.
+    EXPECT_EQ(bk->rate_bps(bk->max_range_m() * 1.5), 0.0);
+    EXPECT_TRUE(std::isfinite(bk->rate_bps(cfg.min_distance_m)));
+  }
+}
+
+TEST(BackendProperty, FramePerMonotoneInSnr) {
+  for (const link::LinkBackendConfig& cfg : preset_configs()) {
+    const std::unique_ptr<link::LinkBackend> bk = link::make_backend(cfg);
+    SCOPED_TRACE(bk->name());
+    FOR_ALL(200, 0x9E12ULL, g) {
+      const double lo = g.uniform(-5.0, 45.0);
+      const double hi = lo + g.uniform(0.0, 50.0 - lo);
+      const double per_lo = bk->frame_per(lo);
+      const double per_hi = bk->frame_per(hi);
+      EXPECT_GE(per_lo, 0.0);
+      EXPECT_LE(per_lo, 1.0);
+      EXPECT_GE(per_lo + 1e-12, per_hi)
+          << "PER must not increase with SNR: snr_lo=" << lo << " snr_hi=" << hi;
+    }
+  }
+}
+
+TEST(BackendProperty, FramePerMonotoneInFrameBits) {
+  link::LinkBackendConfig small = link::LinkBackendConfig::cellular();
+  small.frame_bits = 4'000;
+  link::LinkBackendConfig big = small;
+  big.frame_bits = 32'000;
+  const std::unique_ptr<link::LinkBackend> bk_small = link::make_backend(small);
+  const std::unique_ptr<link::LinkBackend> bk_big = link::make_backend(big);
+  for (double snr = 0.0; snr <= 45.0; snr += 2.5) {
+    EXPECT_LE(bk_small->frame_per(snr), bk_big->frame_per(snr) + 1e-9)
+        << "longer frames must not be more reliable, snr=" << snr;
+  }
+}
+
+TEST(BackendProperty, LatencyFiniteAndNonNegative) {
+  for (const link::LinkBackendConfig& cfg : preset_configs()) {
+    const std::unique_ptr<link::LinkBackend> bk = link::make_backend(cfg);
+    EXPECT_TRUE(std::isfinite(bk->latency_s())) << bk->name();
+    EXPECT_GE(bk->latency_s(), 0.0) << bk->name();
+  }
+  FOR_ALL(100, 0x1A7EULL, g) {
+    link::LinkBackendConfig cfg = link::LinkBackendConfig::leo();
+    cfg.session_setup_s = g.uniform(0.0, 30.0);
+    cfg.rtt_s = g.uniform(0.0, 3.0);
+    const std::unique_ptr<link::LinkBackend> bk = link::make_backend(cfg);
+    EXPECT_TRUE(std::isfinite(bk->latency_s()));
+    EXPECT_GE(bk->latency_s(), 0.0);
+    EXPECT_EQ(bk->latency_s(), cfg.session_setup_s + 0.5 * cfg.rtt_s);
+  }
+}
+
+/// The alternating-renewal process starts stationary, so P(up at t) ==
+/// availability at *every* t. Pearson chi-square on up/down counts over
+/// 10^3 independent seeds, 1 dof; 10.83 is the p = 0.001 critical value.
+TEST(BackendProperty, OutageMatchesAvailabilityChiSquare) {
+  const link::OutageConfig cfg{0.85, 45.0};
+  constexpr int kSeeds = 1000;
+  for (const double t : {0.0, 123.0, 2'000.0}) {
+    int up = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+      link::OutageProcess p(cfg, static_cast<std::uint64_t>(s));
+      if (p.is_up(t)) ++up;
+    }
+    const double e_up = cfg.availability * kSeeds;
+    const double e_down = (1.0 - cfg.availability) * kSeeds;
+    const double o_up = up;
+    const double o_down = kSeeds - up;
+    const double chi2 = (o_up - e_up) * (o_up - e_up) / e_up +
+                        (o_down - e_down) * (o_down - e_down) / e_down;
+    EXPECT_LT(chi2, 10.83) << "t=" << t << " observed up fraction " << o_up / kSeeds;
+  }
+}
+
+TEST(BackendProperty, OutageLongRunUpFractionMatchesAvailability) {
+  const link::OutageConfig cfg{0.85, 45.0};
+  link::OutageProcess p(cfg, 99);
+  const double horizon = 1e6;
+  const double frac = p.up_seconds(0.0, horizon) / horizon;
+  EXPECT_NEAR(frac, cfg.availability, 0.02);
+}
+
+TEST(BackendProperty, AlwaysUpOutageNeverDrops) {
+  link::OutageProcess p(link::OutageConfig{1.0, 30.0}, 5);
+  for (double t = 0.0; t < 1e4; t += 997.0) EXPECT_TRUE(p.is_up(t));
+  EXPECT_EQ(p.up_seconds(0.0, 1e4), 1e4);
+}
+
+}  // namespace
+}  // namespace skyferry

@@ -1,0 +1,277 @@
+// The two exact contracts of the joint (link, d) optimizer:
+//
+//  - *Bit-identity*: one 802.11n backend reduces optimize_multilink (and
+//    DecisionService::decide_multilink) to the legacy core::optimize()
+//    path, bit for bit — every EXPECT_EQ on a double below is exact.
+//  - *Dominance*: on a randomized (d0, Mdata, rho, v) grid the joint
+//    utility is >= the best single-link utility (trickling never hurts),
+//    with exact equality when only one backend is enabled.
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/delay.h"
+#include "core/optimizer.h"
+#include "core/throughput_model.h"
+#include "core/utility.h"
+#include "fleet/engine.h"
+#include "link/multilink.h"
+#include "policy/service.h"
+#include "support/proptest.h"
+#include "uav/failure.h"
+
+namespace skyferry {
+namespace {
+
+std::shared_ptr<const link::LinkSet> full_link_set() {
+  return std::make_shared<const link::LinkSet>(std::vector<link::LinkBackendConfig>{
+      link::LinkBackendConfig::wifi_80211n(), link::LinkBackendConfig::cellular(),
+      link::LinkBackendConfig::mesh(), link::LinkBackendConfig::leo()});
+}
+
+TEST(MultiLinkContract, SingleWifiBackendBitIdenticalToCoreOptimize) {
+  const link::LinkBackendConfig cfg = link::LinkBackendConfig::wifi_80211n();
+  const link::LinkSet set({cfg});
+  const core::PaperLogThroughput model(cfg.wifi_a, cfg.wifi_b, cfg.name, cfg.wifi_scale,
+                                       cfg.min_distance_m);
+  FOR_ALL(60, 0xB171DULL, g) {
+    const link::MultiLinkParams p{g.uniform(50.0, 4000.0), g.uniform(1.0, 30.0),
+                                  g.uniform(1e5, 2e9), 20.0};
+    const uav::FailureModel failure(g.chance(0.2) ? 0.0 : g.uniform(1e-5, 5e-3));
+
+    const core::DeliveryParams params{p.d0_m, p.speed_mps, p.mdata_bytes, p.min_distance_m};
+    const core::CommDelayModel delay(model, params);
+    const core::UtilityFunction u(delay, failure);
+    const core::OptimizeResult want = core::optimize(u);
+
+    const link::MultiLinkResult got = link::optimize_multilink(set.views(), p, failure);
+    EXPECT_EQ(got.burst_link, 0);
+    EXPECT_EQ(got.trickle_bytes, 0.0);
+    EXPECT_EQ(got.burst_bytes, p.mdata_bytes);
+    EXPECT_EQ(got.decision.d_opt_m, want.d_opt_m);
+    EXPECT_EQ(got.decision.utility, want.utility);
+    EXPECT_EQ(got.decision.cdelay_s, want.cdelay_s);
+    EXPECT_EQ(got.decision.discount, want.discount);
+    EXPECT_EQ(got.decision.boundary, want.boundary);
+    EXPECT_EQ(got.decision.evaluations, want.evaluations);
+  }
+}
+
+TEST(MultiLinkContract, JointUtilityDominatesBestSingleLink) {
+  const std::shared_ptr<const link::LinkSet> set = full_link_set();
+  const std::vector<const link::LinkBackend*> views = set->views();
+  FOR_ALL(120, 0xD0F1ULL, g) {
+    const link::MultiLinkParams p{g.uniform(50.0, 5000.0), g.uniform(1.0, 30.0),
+                                  g.uniform(1e5, 5e8), 20.0};
+    const uav::FailureModel failure(g.chance(0.25) ? 0.0 : g.uniform(1e-5, 1e-2));
+    const link::MultiLinkResult r = link::optimize_multilink(views, p, failure);
+
+    ASSERT_EQ(r.single.size(), views.size());
+    double best_single = 0.0;
+    for (const core::OptimizeResult& s : r.single) best_single = std::max(best_single, s.utility);
+    EXPECT_GE(r.decision.utility, best_single)
+        << "d0=" << p.d0_m << " v=" << p.speed_mps << " M=" << p.mdata_bytes
+        << " rho=" << failure.rho();
+
+    // The split is a partition of the batch.
+    EXPECT_GE(r.trickle_bytes, 0.0);
+    EXPECT_LE(r.trickle_bytes, p.mdata_bytes);
+    EXPECT_EQ(r.burst_bytes, p.mdata_bytes - r.trickle_bytes);
+    ASSERT_GE(r.burst_link, 0);
+    ASSERT_LT(r.burst_link, static_cast<int>(views.size()));
+    EXPECT_EQ(r.trickle_by_link[static_cast<std::size_t>(r.burst_link)], 0.0);
+  }
+}
+
+TEST(MultiLinkContract, ForcedBurstElectionIsHonored) {
+  const std::shared_ptr<const link::LinkSet> set = full_link_set();
+  const std::vector<const link::LinkBackend*> views = set->views();
+  const link::MultiLinkParams p{1500.0, 10.0, 5e7, 20.0};
+  const uav::FailureModel failure(1e-3);
+  for (int j = 0; j < static_cast<int>(views.size()); ++j) {
+    const link::MultiLinkResult r = link::optimize_multilink(views, p, failure, {}, j);
+    EXPECT_EQ(r.burst_link, j);
+  }
+  // A free election picks the argmax over forced elections.
+  const link::MultiLinkResult free = link::optimize_multilink(views, p, failure);
+  for (int j = 0; j < static_cast<int>(views.size()); ++j) {
+    const link::MultiLinkResult forced = link::optimize_multilink(views, p, failure, {}, j);
+    EXPECT_GE(free.decision.utility, forced.decision.utility) << "forced=" << j;
+  }
+  // Out-of-range forced index: no usable election.
+  const link::MultiLinkResult oob = link::optimize_multilink(views, p, failure, {}, 99);
+  EXPECT_EQ(oob.burst_link, -1);
+  EXPECT_EQ(oob.decision.utility, 0.0);
+  // Empty link list: same.
+  const link::MultiLinkResult none = link::optimize_multilink({}, p, failure);
+  EXPECT_EQ(none.burst_link, -1);
+}
+
+TEST(MultiLinkContract, TrickleBytesBasics) {
+  const std::shared_ptr<const link::LinkSet> set = full_link_set();
+  const link::LinkBackend& cell = set->backend(1);
+  const link::MultiLinkParams p{2000.0, 10.0, 1e9, 20.0};
+  // No ferry leg, no trickle (and cdelay can never hit zero because of it).
+  EXPECT_EQ(link::trickle_bytes(cell, p.d0_m, p), 0.0);
+  // A real ferry leg ships a positive, finite trickle bounded by
+  // availability * window * peak rate.
+  const double tr = link::trickle_bytes(cell, 100.0, p);
+  EXPECT_GT(tr, 0.0);
+  const double window = (p.d0_m - 100.0) / p.speed_mps - cell.config().session_setup_s;
+  EXPECT_LE(tr, cell.availability() * window * cell.config().cell_peak_bps / 8.0);
+  // A session setup longer than the ferry leg leaves no window.
+  const link::MultiLinkParams quick{120.0, 100.0, 1e9, 20.0};
+  EXPECT_EQ(link::trickle_bytes(cell, 119.0, quick), 0.0);
+}
+
+// ---- DecisionService wiring -------------------------------------------------
+
+TEST(MultiLinkContract, ServiceSingletonMatchesLegacyDecide) {
+  const link::LinkBackendConfig cfg = link::LinkBackendConfig::wifi_80211n();
+  const core::PaperLogThroughput model(cfg.wifi_a, cfg.wifi_b, cfg.name, cfg.wifi_scale,
+                                       cfg.min_distance_m);
+  policy::DecisionService service(model);
+  service.install_links(std::make_shared<const link::LinkSet>(
+      std::vector<link::LinkBackendConfig>{cfg}));
+  ASSERT_TRUE(service.has_links());
+
+  FOR_ALL(40, 0x5E4EULL, g) {
+    policy::Query q;
+    q.d0_m = g.uniform(50.0, 3000.0);
+    q.speed_mps = g.uniform(1.0, 25.0);
+    q.mdata_bytes = g.uniform(1e5, 1e9);
+    q.rho_per_m = g.chance(0.2) ? 0.0 : g.uniform(1e-5, 5e-3);
+    const policy::Decision want = service.decide_one(q);
+    const policy::MultiLinkDecision got = service.decide_multilink_one(q);
+    EXPECT_EQ(got.decision.d_opt_m, want.d_opt_m);
+    EXPECT_EQ(got.decision.utility, want.utility);
+    EXPECT_EQ(got.decision.cdelay_s, want.cdelay_s);
+    EXPECT_EQ(got.decision.discount, want.discount);
+    EXPECT_EQ(got.decision.boundary, want.boundary);
+    EXPECT_EQ(got.decision.evaluations, want.evaluations);
+    EXPECT_EQ(got.burst_link, 0);
+    EXPECT_EQ(got.trickle_bytes, 0.0);
+  }
+}
+
+TEST(MultiLinkContract, ServiceBatchMatchesOneByOneAndValidates) {
+  const link::LinkBackendConfig cfg = link::LinkBackendConfig::wifi_80211n();
+  const core::PaperLogThroughput model(cfg.wifi_a, cfg.wifi_b, cfg.name, cfg.wifi_scale,
+                                       cfg.min_distance_m);
+  policy::DecisionService bare(model);
+  EXPECT_FALSE(bare.has_links());
+  policy::Query q;
+  q.d0_m = 500.0;
+  q.mdata_bytes = 1e7;
+  q.speed_mps = 10.0;
+  EXPECT_THROW((void)bare.decide_multilink_one(q), std::logic_error);
+
+  policy::DecisionService service(model);
+  service.install_links(full_link_set());
+  std::vector<policy::Query> queries(3, q);
+  queries[1].d0_m = 1500.0;
+  queries[2].burst_link = 1;
+  std::vector<policy::MultiLinkDecision> out(3);
+  service.decide_multilink(queries, out);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const policy::MultiLinkDecision one = service.decide_multilink_one(queries[i]);
+    EXPECT_EQ(out[i].decision.d_opt_m, one.decision.d_opt_m);
+    EXPECT_EQ(out[i].decision.utility, one.decision.utility);
+    EXPECT_EQ(out[i].burst_link, one.burst_link);
+    EXPECT_EQ(out[i].trickle_bytes, one.trickle_bytes);
+  }
+  EXPECT_EQ(out[2].burst_link, 1);
+
+  std::vector<policy::MultiLinkDecision> wrong(2);
+  EXPECT_THROW(service.decide_multilink(queries, wrong), std::invalid_argument);
+}
+
+/// decide_multilink is const and shared: the TSan tree runs this to
+/// prove concurrent multi-link decisions on one service are race-free.
+TEST(MultiLinkContract, ServiceConcurrentDecidesAreRaceFree) {
+  const link::LinkBackendConfig cfg = link::LinkBackendConfig::wifi_80211n();
+  const core::PaperLogThroughput model(cfg.wifi_a, cfg.wifi_b, cfg.name, cfg.wifi_scale,
+                                       cfg.min_distance_m);
+  policy::DecisionService service(model);
+  service.install_links(full_link_set());
+
+  policy::Query q;
+  q.d0_m = 1200.0;
+  q.speed_mps = 12.0;
+  q.mdata_bytes = 4e7;
+  q.rho_per_m = 1e-3;
+  const policy::MultiLinkDecision want = service.decide_multilink_one(q);
+
+  std::vector<std::thread> pool;
+  std::vector<policy::MultiLinkDecision> got(8);
+  for (int t = 0; t < 8; ++t) {
+    pool.emplace_back([&, t] { got[static_cast<std::size_t>(t)] = service.decide_multilink_one(q); });
+  }
+  for (std::thread& th : pool) th.join();
+  for (const policy::MultiLinkDecision& d : got) {
+    EXPECT_EQ(d.decision.d_opt_m, want.decision.d_opt_m);
+    EXPECT_EQ(d.decision.utility, want.decision.utility);
+    EXPECT_EQ(d.burst_link, want.burst_link);
+    EXPECT_EQ(d.trickle_bytes, want.trickle_bytes);
+  }
+}
+
+/// End-to-end smoke: a FleetEngine with FleetConfig::links set routes
+/// spawn decisions through the joint optimizer — missions report an
+/// elected burst link, trickled bytes are credited on arrival, and the
+/// run is bit-identical across thread counts. A null-links engine on
+/// the same missions keeps the legacy path (burst_link stays -1).
+TEST(MultiLinkContract, FleetEngineRoutesSpawnDecisionsThroughLinks) {
+  const auto run_fleet = [](std::shared_ptr<const link::LinkSet> links, int threads) {
+    fleet::FleetConfig cfg;
+    cfg.links = std::move(links);
+    cfg.threads = threads;
+    fleet::FleetEngine eng(cfg, /*seed=*/7);
+    for (int i = 0; i < 6; ++i) {
+      fleet::MissionSpec m;
+      m.start_pos = {150.0 + 40.0 * i, 30.0 * i, 50.0};
+      m.receiver_pos = {0.0, 0.0, 0.0};
+      m.mdata_bytes = 2e6;
+      m.rho_per_m = 0.0;
+      eng.add_mission(m);
+    }
+    eng.run_until(240.0);
+    std::vector<fleet::MissionStatus> out;
+    for (int i = 0; i < 6; ++i) out.push_back(eng.mission(i));
+    return out;
+  };
+
+  const auto multi = run_fleet(full_link_set(), 1);
+  for (const fleet::MissionStatus& st : multi) {
+    EXPECT_GE(st.burst_link, 0);
+    EXPECT_LT(st.burst_link, 4);
+    EXPECT_LE(st.trickle_bytes, st.bytes_total);
+    EXPECT_GT(st.utility, 0.0);
+  }
+  EXPECT_TRUE(std::any_of(multi.begin(), multi.end(), [](const fleet::MissionStatus& st) {
+    return st.bytes_delivered > 0;
+  })) << "multi-link fleet should make progress within the horizon";
+
+  // Thread-count bit-identity carries over to the multi-link path.
+  const auto multi8 = run_fleet(full_link_set(), 8);
+  ASSERT_EQ(multi.size(), multi8.size());
+  for (std::size_t i = 0; i < multi.size(); ++i) {
+    EXPECT_EQ(multi[i].burst_link, multi8[i].burst_link);
+    EXPECT_EQ(multi[i].trickle_bytes, multi8[i].trickle_bytes);
+    EXPECT_EQ(multi[i].d_star_m, multi8[i].d_star_m);
+    EXPECT_EQ(multi[i].bytes_delivered, multi8[i].bytes_delivered);
+    EXPECT_EQ(multi[i].completed_t_s, multi8[i].completed_t_s);
+  }
+
+  // Null links: legacy path, no election, no trickle.
+  for (const fleet::MissionStatus& st : run_fleet(nullptr, 1)) {
+    EXPECT_EQ(st.burst_link, -1);
+    EXPECT_EQ(st.trickle_bytes, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace skyferry
