@@ -6,8 +6,6 @@
 namespace skyferry::core {
 namespace {
 
-constexpr double kGolden = 0.6180339887498949;  // 1/phi
-
 OptimizeResult finish(const UtilityFunction& u, double d, int evals) {
   OptimizeResult r;
   const UtilityPoint p = u.evaluate(d);
@@ -31,70 +29,18 @@ OptimizeResult finish(const UtilityFunction& u, double d, int evals) {
   return r;
 }
 
-// Shared search: coarse grid scan, then golden-section refinement in the
-// best bracket. `f` is the scalar objective being maximized (the plain
-// paper utility for optimize(), an exposure-weighted variant for
-// optimize_objective()); the decomposition fields of the result always
-// come from `u` via finish().
+// Shared search: the golden_grid_search schedule from the header. `f`
+// is the scalar objective being maximized (the plain paper utility for
+// optimize(), an exposure-weighted variant for optimize_objective());
+// the decomposition fields of the result always come from `u` via
+// finish().
 template <class F>
 OptimizeResult search(const UtilityFunction& u, F&& f, OptimizeOptions opt, double* best_val) {
   const double lo = u.delay().params().min_distance_m;
   const double hi = u.delay().params().d0_m;
-  int evals = 0;
-
-  if (hi <= lo) {
-    if (best_val) *best_val = f(hi);
-    return finish(u, hi, 1);
-  }
-
-  // Stage 1: coarse grid scan.
-  const int n = std::max(opt.grid_points, 8);
-  double best_d = lo;
-  double best_u = -1.0;
-  int best_i = 0;
-  for (int i = 0; i < n; ++i) {
-    const double d = lo + (hi - lo) * i / (n - 1);
-    const double val = f(d);
-    ++evals;
-    if (val > best_u) {
-      best_u = val;
-      best_d = d;
-      best_i = i;
-    }
-  }
-
-  // Stage 2: golden-section refinement within the neighbors of the best
-  // grid point (U is unimodal there even if globally it is not).
-  double a = lo + (hi - lo) * std::max(best_i - 1, 0) / (n - 1);
-  double b = lo + (hi - lo) * std::min(best_i + 1, n - 1) / (n - 1);
-  double x1 = b - kGolden * (b - a);
-  double x2 = a + kGolden * (b - a);
-  double f1 = f(x1);
-  double f2 = f(x2);
-  evals += 2;
-  for (int i = 0; i < opt.max_refine_iters && (b - a) > opt.tolerance_m; ++i) {
-    if (f1 < f2) {
-      a = x1;
-      x1 = x2;
-      f1 = f2;
-      x2 = a + kGolden * (b - a);
-      f2 = f(x2);
-    } else {
-      b = x2;
-      x2 = x1;
-      f2 = f1;
-      x1 = b - kGolden * (b - a);
-      f1 = f(x1);
-    }
-    ++evals;
-  }
-  const double mid = 0.5 * (a + b);
-  // Keep whichever of {grid best, refined mid} is actually better.
-  const double refined = f(mid);
-  ++evals;
-  const bool take_mid = refined >= best_u;
-  if (best_val) *best_val = take_mid ? refined : best_u;
-  return finish(u, take_mid ? mid : best_d, evals);
+  const ScalarSearchResult s = golden_grid_search(lo, hi, f, opt);
+  if (best_val) *best_val = s.val;
+  return finish(u, s.d, s.evals);
 }
 
 }  // namespace

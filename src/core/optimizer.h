@@ -3,6 +3,7 @@
 // grid-scan first and refine the best bracket with golden-section search.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 
 #include "core/utility.h"
@@ -14,6 +15,89 @@ struct OptimizeOptions {
   double tolerance_m{0.01};
   int max_refine_iters{80};
 };
+
+/// Scalar outcome of the shared search schedule below.
+struct ScalarSearchResult {
+  double d{0.0};    ///< argmax
+  double val{0.0};  ///< objective value at d
+  int evals{0};     ///< objective evaluations spent
+};
+
+namespace detail {
+inline constexpr double kGoldenRatioInv = 0.6180339887498949;  // 1/phi
+}
+
+/// The exact search schedule behind optimize(): coarse grid scan over
+/// [lo, hi], golden-section refinement inside the best grid bracket,
+/// keep the better of {grid best, refined mid}. Header-level template so
+/// every maximizer that promises bit-identical decisions against
+/// optimize() — core::optimize itself, core::optimize_objective,
+/// link::optimize_multilink — instantiates this single definition and
+/// evaluates the identical FP expressions at the identical points.
+/// Degenerate hi <= lo intervals collapse to one evaluation at hi.
+template <class F>
+ScalarSearchResult golden_grid_search(double lo, double hi, F&& f, const OptimizeOptions& opt) {
+  ScalarSearchResult out;
+  if (hi <= lo) {
+    out.d = hi;
+    out.val = f(hi);
+    out.evals = 1;
+    return out;
+  }
+
+  // Stage 1: coarse grid scan.
+  const int n = std::max(opt.grid_points, 8);
+  double best_d = lo;
+  double best_u = -1.0;
+  int best_i = 0;
+  int evals = 0;
+  for (int i = 0; i < n; ++i) {
+    const double d = lo + (hi - lo) * i / (n - 1);
+    const double val = f(d);
+    ++evals;
+    if (val > best_u) {
+      best_u = val;
+      best_d = d;
+      best_i = i;
+    }
+  }
+
+  // Stage 2: golden-section refinement within the neighbors of the best
+  // grid point (the objective is unimodal there even if globally it is
+  // not).
+  double a = lo + (hi - lo) * std::max(best_i - 1, 0) / (n - 1);
+  double b = lo + (hi - lo) * std::min(best_i + 1, n - 1) / (n - 1);
+  double x1 = b - detail::kGoldenRatioInv * (b - a);
+  double x2 = a + detail::kGoldenRatioInv * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  evals += 2;
+  for (int i = 0; i < opt.max_refine_iters && (b - a) > opt.tolerance_m; ++i) {
+    if (f1 < f2) {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + detail::kGoldenRatioInv * (b - a);
+      f2 = f(x2);
+    } else {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - detail::kGoldenRatioInv * (b - a);
+      f1 = f(x1);
+    }
+    ++evals;
+  }
+  const double mid = 0.5 * (a + b);
+  // Keep whichever of {grid best, refined mid} is actually better.
+  const double refined = f(mid);
+  ++evals;
+  const bool take_mid = refined >= best_u;
+  out.d = take_mid ? mid : best_d;
+  out.val = take_mid ? refined : best_u;
+  out.evals = evals;
+  return out;
+}
 
 /// Where the optimum landed relative to the feasible interval [d_min, d0].
 /// Exactly one of the three holds — which the former trio of mutually

@@ -37,9 +37,14 @@ struct FleetEngine::Soa {
   std::vector<double> deadline;          ///< delivery deadline [s]
   std::vector<double> spawn_t;
   std::vector<double> fixed_target;      ///< >=0: bypass the decision service
-  // Multi-link decisions (legacy path leaves these at -1 / 0).
+  // Multi-link decisions (legacy path leaves these at -1 / 0 / null).
   std::vector<std::int32_t> burst_link;  ///< elected burst link (LinkSet index)
   std::vector<std::uint64_t> trickle;    ///< background bytes credited at arrival
+  std::vector<double> session_setup;     ///< elected link's setup latency [s]
+  /// Seeded outage realization of a non-wifi elected link (null when the
+  /// link is always-up or the election went to wifi). Row-local state:
+  /// only run_generic_exchanges on row i touches it.
+  std::vector<std::unique_ptr<link::OutageProcess>> outage;
   // Transfer progress.
   std::vector<std::uint64_t> total_bytes, delivered_bytes, by_deadline_bytes;
   std::vector<std::uint64_t> mpdus_att, mpdus_del;
@@ -64,7 +69,21 @@ FleetEngine::FleetEngine(FleetConfig cfg, std::uint64_t seed)
       soa_(std::make_unique<Soa>()),
       tables_(phy::ErrorModel(cfg.error, cfg.channel.spatial_correlation), cfg.per_table) {
   if (cfg_.threads != 1) pool_ = std::make_unique<exp::ThreadPool>(cfg_.threads);
-  if (cfg_.links != nullptr && !cfg_.links->empty()) service_.install_links(cfg_.links);
+  if (cfg_.links != nullptr && !cfg_.links->empty()) {
+    service_.install_links(cfg_.links);
+    link_is_wifi_.resize(cfg_.links->size());
+    for (std::size_t j = 0; j < cfg_.links->size(); ++j) {
+      link_is_wifi_[j] =
+          cfg_.links->backend(j).kind() == link::BackendKind::kWifi80211n ? 1 : 0;
+    }
+    // Identity efficiency row for non-wifi transmitters: they do not
+    // share the 802.11n channel, so they never pay DCF contention. A
+    // one-station wifi cell computes the same all-ones row, so this
+    // prepopulation is value-identical either way.
+    std::array<double, phy::kNumMcs> ones{};
+    ones.fill(1.0);
+    eff_memo_.emplace_back(1, ones);
+  }
 
   // Prefetch every PER table and freeze the airtime memos up front so
   // the sweep loops are pure loads: no mutexes, no mac:: recomputation.
@@ -139,6 +158,8 @@ int FleetEngine::add_mission(const MissionSpec& spec) {
   s.fixed_target.push_back(spec.fixed_target_distance_m);
   s.burst_link.push_back(-1);
   s.trickle.push_back(0);
+  s.session_setup.push_back(0.0);
+  s.outage.emplace_back(nullptr);
   s.total_bytes.push_back(static_cast<std::uint64_t>(mdata));
   s.delivered_bytes.push_back(0);
   s.by_deadline_bytes.push_back(0);
@@ -220,6 +241,18 @@ void FleetEngine::decide_pending() {
       s.trickle[i] = std::min(
           s.total_bytes[i],
           static_cast<std::uint64_t>(std::max(dec.trickle_bytes, 0.0)));
+      // A non-wifi election bursts through the backend's own ARQ loop:
+      // pay its session setup at arrival and realize its outage process
+      // (seeded per mission, so transfers stay thread-count identical).
+      if (dec.burst_link >= 0 && !link_is_wifi_[static_cast<std::size_t>(dec.burst_link)]) {
+        const link::LinkBackendConfig& lc =
+            cfg_.links->backend(static_cast<std::size_t>(dec.burst_link)).config();
+        s.session_setup[i] = lc.session_setup_s;
+        if (!lc.outage.always_up()) {
+          s.outage[i] = std::make_unique<link::OutageProcess>(
+              lc.outage, sim::derive_seed(seed_, "fleet/outage/" + std::to_string(i)));
+        }
+      }
     } else {
       const policy::Decision& dec = decisions[qi++];
       d_star = std::clamp(dec.d_opt_m, 0.0, s.d0[i]);
@@ -337,7 +370,9 @@ void FleetEngine::step_kinematics(double t0) {
         s.pz[i] = s.tz[i];
         s.vx[i] = s.vy[i] = s.vz[i] = 0.0;
         s.phase[i] = static_cast<std::uint8_t>(Phase::kTransmit);
-        s.tx_clock[i] = s.arrived_t[i];
+        // +0.0 on the wifi/legacy paths — bit-identical; a non-wifi
+        // burst pays its session setup before the first ARQ round.
+        s.tx_clock[i] = s.arrived_t[i] + s.session_setup[i];
         ferrying_.fetch_sub(1, std::memory_order_relaxed);
         tx_set_dirty_.store(true, std::memory_order_relaxed);
         if (s.trickle[i] > 0) credit_trickle(static_cast<std::uint32_t>(i));
@@ -358,7 +393,7 @@ void FleetEngine::step_kinematics(double t0) {
           s.pz[i] = s.tz[i];
           s.vx[i] = s.vy[i] = s.vz[i] = 0.0;
           s.phase[i] = static_cast<std::uint8_t>(Phase::kTransmit);
-          s.tx_clock[i] = s.arrived_t[i];
+          s.tx_clock[i] = s.arrived_t[i] + s.session_setup[i];
           ferrying_.fetch_sub(1, std::memory_order_relaxed);
           tx_set_dirty_.store(true, std::memory_order_relaxed);
           if (s.trickle[i] > 0) credit_trickle(static_cast<std::uint32_t>(i));
@@ -417,21 +452,30 @@ void FleetEngine::step_transfers(double t0) {
   }
   tx_set_dirty_.store(false, std::memory_order_relaxed);
 
-  // 1. Bucket live transmitters into shared-channel ground cells.
+  // 1. Bucket live transmitters into shared-channel ground cells. A
+  //    non-wifi burst election does not occupy the 802.11n channel:
+  //    it skips cell contention and is admitted outright with the
+  //    identity efficiency row (index 0, prepopulated in the ctor).
   cell_keys_.clear();
+  winners_.clear();
+  winner_eff_row_.clear();
+  winners_contended_ = false;
   const double inv_cell = 1.0 / std::max(cfg_.cell_size_m, 1e-6);
   for (std::uint32_t i = 0; i < count_; ++i) {
     if (!s.active[i] || s.phase[i] != kTransmitU8) continue;
+    const std::int32_t bl = s.burst_link[i];
+    if (bl >= 0 && !link_is_wifi_[static_cast<std::size_t>(bl)]) {
+      winners_.push_back(i);
+      winner_eff_row_.push_back(0);
+      continue;
+    }
     const auto cx = static_cast<std::uint32_t>(
         static_cast<std::int64_t>(std::floor(s.px[i] * inv_cell)));
     const auto cy = static_cast<std::uint32_t>(
         static_cast<std::int64_t>(std::floor(s.py[i] * inv_cell)));
     cell_keys_.emplace_back((static_cast<std::uint64_t>(cx) << 32) | cy, i);
   }
-  winners_.clear();
-  winner_eff_row_.clear();
-  winners_contended_ = false;
-  if (cell_keys_.empty()) return;
+  if (cell_keys_.empty() && winners_.empty()) return;
   if (!std::is_sorted(cell_keys_.begin(), cell_keys_.end())) {
     std::sort(cell_keys_.begin(), cell_keys_.end());
   }
@@ -507,6 +551,12 @@ double FleetEngine::run_exchanges(std::uint32_t i, std::uint32_t eff_row, double
   Soa& s = *soa_;
   // A memoized winner may have left kTransmit since the set was built.
   if (s.phase[i] != static_cast<std::uint8_t>(Phase::kTransmit)) return kNever;
+  // A non-wifi burst election transfers over the elected backend, not
+  // the 802.11n MAC/PHY (whose PER at, say, a cellular-range d* is ~1).
+  const std::int32_t bl = s.burst_link[i];
+  if (bl >= 0 && !link_is_wifi_[static_cast<std::size_t>(bl)]) {
+    return run_generic_exchanges(i, t1);
+  }
   const auto& eff = eff_memo_[eff_row].second;
   const int max_n = cfg_.ampdu.max_subframes;
   const double d = s.d_star[i];
@@ -562,6 +612,63 @@ double FleetEngine::run_exchanges(std::uint32_t i, std::uint32_t eff_row, double
     if (e > 1e-6) dur /= e;
     if (delivered == 0 && mcs == 0) dur = std::max(dur, cfg_.stall_retry_s);
     t += dur;
+  }
+  s.tx_clock[i] = t;
+  return t;
+}
+
+// GenericSession's frame-burst ARQ grammar folded into the sweep loop:
+// each round sends up to frames_per_burst frames at the backend's
+// decision-layer rate, draws one aggregate fade, samples delivered
+// frames as one Binomial from the jitter-marginalized PER table
+// (kAggregate fast path), pays one RTT, and stalls through sampled
+// outage segments. The UAV hovers at d*, so the rate is a constant of
+// the mission. All state is row-local (per-UAV RNG + outage stream):
+// thread-count bit-identity carries over unchanged.
+double FleetEngine::run_generic_exchanges(std::uint32_t i, double t1) {
+  constexpr double kNever = std::numeric_limits<double>::infinity();
+  Soa& s = *soa_;
+  const link::LinkBackend& bk = cfg_.links->backend(static_cast<std::size_t>(s.burst_link[i]));
+  const link::LinkBackendConfig& lc = bk.config();
+  const double d = std::max(s.d_star[i], lc.min_distance_m);
+  const double rate_bps = bk.rate_bps(d);
+  double t = std::max(s.tx_clock[i], t1 - cfg_.dt_s);
+  if (rate_bps <= 0.0) {
+    // Every election scored zero (d* beyond all ranges): the mission
+    // honestly cannot deliver; back off so sweeps stay cheap.
+    s.tx_clock[i] = std::max(t, t1) + cfg_.stall_retry_s;
+    return s.tx_clock[i];
+  }
+
+  const auto frame_bits = static_cast<std::uint64_t>(lc.frame_bits);
+  const std::uint64_t frame_bytes = std::max<std::uint64_t>(frame_bits / 8, 1);
+  const double snr_mean_db = bk.snr_db_at(d);
+  while (t < t1) {
+    if (s.outage[i] != nullptr && !s.outage[i]->is_up(t)) {
+      t = s.outage[i]->segment_end_s(t);
+      continue;
+    }
+    const std::uint64_t remaining = s.total_bytes[i] - s.delivered_bytes[i];
+    const std::uint64_t backlog = (remaining + frame_bytes - 1) / frame_bytes;
+    const std::uint64_t n =
+        std::min(backlog, static_cast<std::uint64_t>(lc.frames_per_burst));
+    const double snr = snr_mean_db + s.rng[i].gaussian(0.0, lc.snr_fade_sigma_db);
+    const std::uint64_t got = s.rng[i].binomial(n, 1.0 - bk.frame_per(snr));
+
+    s.mpdus_att[i] += n;
+    s.mpdus_del[i] += got;
+    s.delivered_bytes[i] =
+        std::min(s.total_bytes[i], s.delivered_bytes[i] + got * frame_bytes);
+    if (t <= s.deadline[i]) s.by_deadline_bytes[i] = s.delivered_bytes[i];
+
+    if (s.delivered_bytes[i] >= s.total_bytes[i]) {
+      s.phase[i] = static_cast<std::uint8_t>(Phase::kDone);
+      s.completed_t[i] = t;
+      s.tx_clock[i] = t;
+      tx_set_dirty_.store(true, std::memory_order_relaxed);
+      return kNever;
+    }
+    t += static_cast<double>(n * frame_bits) / rate_bps + lc.rtt_s;
   }
   s.tx_clock[i] = t;
   return t;

@@ -108,7 +108,12 @@ struct FleetConfig {
   /// Optional multi-backend link set. When set (and non-empty), spawn
   /// decisions route through DecisionService::decide_multilink — joint
   /// (link, d) selection with background trickle credited on arrival at
-  /// the transmit point. nullptr keeps the legacy single-802.11n decide
+  /// the transmit point. Burst transfers honor the election: a wifi
+  /// winner runs the 802.11n A-MPDU micro-loop below, any other winner
+  /// runs the elected backend's frame-burst ARQ loop (its rate curve,
+  /// PER table, RTT and outage process — GenericSession's grammar on
+  /// row-local state), so a cellular/LEO election beyond wifi range
+  /// actually delivers. nullptr keeps the legacy single-802.11n decide
   /// path bit-identical (the differential suite pins this).
   std::shared_ptr<const link::LinkSet> links{};
 };
@@ -208,6 +213,10 @@ class FleetEngine {
   /// Returns the winner's next exchange-start time (+inf once the
   /// mission left kTransmit) — the input to the idle-skip watermark.
   double run_exchanges(std::uint32_t i, std::uint32_t eff_row, double t1);
+  /// Burst transfer over a non-wifi elected backend: frame-burst ARQ
+  /// rounds at the backend's rate curve / PER table / RTT, gated by its
+  /// per-mission outage process. Same return contract as run_exchanges.
+  double run_generic_exchanges(std::uint32_t i, double t1);
   template <class Fn>
   void parallel_for(std::size_t n, const Fn& fn);
 
@@ -236,6 +245,11 @@ class FleetEngine {
   /// Per-sweep contention efficiency memo: (station count -> per-MCS
   /// efficiency row), filled serially before the parallel transfer pass.
   std::vector<std::pair<int, std::array<double, phy::kNumMcs>>> eff_memo_;
+
+  /// Per-LinkSet-index "is the 802.11n backend" flag (empty on the
+  /// legacy path); non-wifi burst elections bypass cell contention and
+  /// route through run_generic_exchanges.
+  std::vector<std::uint8_t> link_is_wifi_;
 
   std::vector<std::uint32_t> pending_decisions_;
   // step_transfers scratch (member to avoid per-sweep allocation). The

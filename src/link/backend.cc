@@ -164,6 +164,12 @@ class GenericSession final : public LinkSession {
     const phy::McsInfo& m = phy::mcs(cfg_.mcs_index);
     const std::uint64_t frame_bits = static_cast<std::uint64_t>(cfg_.frame_bits);
     const bool saturated = bits_needed == 0;
+    // Callers normally bound the run with a finite time limit. Under an
+    // infinite one, a geometry that never comes back in range would
+    // otherwise idle forever — cap continuous out-of-range idling and
+    // bail out incomplete instead.
+    constexpr double kMaxOutOfRangeIdleS = 3600.0;
+    double out_of_range_since = -1.0;
 
     mac::LinkRunResult r;
     double t = cfg_.session_setup_s;
@@ -182,10 +188,16 @@ class GenericSession final : public LinkSession {
       const mac::Geometry g = geometry(t);
       const double rate = model_.throughput_bps(g.distance_m);
       if (rate <= 0.0) {
+        if (out_of_range_since < 0.0) out_of_range_since = t;
+        if (!std::isfinite(time_limit_s) && t - out_of_range_since > kMaxOutOfRangeIdleS) {
+          r.completed = false;
+          break;
+        }
         // Out of range; idle one ARQ turnaround and let geometry move.
         t += std::max(cfg_.rtt_s, 1e-2);
         continue;
       }
+      out_of_range_since = -1.0;
       std::uint64_t n = static_cast<std::uint64_t>(cfg_.frames_per_burst);
       if (!saturated) {
         const std::uint64_t backlog = (bits_needed - delivered_bits + frame_bits - 1) / frame_bits;

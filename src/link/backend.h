@@ -161,6 +161,9 @@ class LinkSession {
 
   /// Deliver exactly `payload_bytes`; stops at `max_duration_s` with
   /// completed=false. Same contract as mac::LinkSimulator::run_transfer.
+  /// Prefer a finite `max_duration_s`; under an infinite one a session
+  /// whose geometry stays out of range bails out incomplete after one
+  /// hour of continuous simulated idling rather than looping forever.
   virtual mac::LinkRunResult run_transfer(std::uint64_t payload_bytes, double max_duration_s,
                                           const mac::GeometryFn& geometry) = 0;
 

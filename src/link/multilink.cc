@@ -17,7 +17,6 @@
 namespace skyferry::link {
 namespace {
 
-constexpr double kGolden = 0.6180339887498949;  // 1/phi — optimizer.cc's constant
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// Trapezoid segments of the path-mean rate. Deterministic and fixed so
@@ -26,74 +25,13 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// not this planner, is the ground truth for delivered bytes).
 constexpr int kPathSegments = 8;
 
-struct SearchOut {
-  double d{0.0};
-  double val{0.0};
-  int evals{0};
-};
-
-/// Verbatim replay of core/optimizer.cc's search schedule (coarse grid
-/// scan + golden-section refinement in the best bracket + keep the
-/// better of {grid best, refined mid}). The schedule — not just the
-/// final argmax — must match so that a single-802.11n-backend run
-/// evaluates the identical FP expression at the identical points and
-/// lands on the bit-identical decision (tests/link/multilink_contract).
-template <class F>
-SearchOut search(double lo, double hi, F&& f, const core::OptimizeOptions& opt) {
-  SearchOut out;
-  if (hi <= lo) {
-    out.d = hi;
-    out.val = f(hi);
-    out.evals = 1;
-    return out;
-  }
-  const int n = std::max(opt.grid_points, 8);
-  double best_d = lo;
-  double best_u = -1.0;
-  int best_i = 0;
-  int evals = 0;
-  for (int i = 0; i < n; ++i) {
-    const double d = lo + (hi - lo) * i / (n - 1);
-    const double val = f(d);
-    ++evals;
-    if (val > best_u) {
-      best_u = val;
-      best_d = d;
-      best_i = i;
-    }
-  }
-  double a = lo + (hi - lo) * std::max(best_i - 1, 0) / (n - 1);
-  double b = lo + (hi - lo) * std::min(best_i + 1, n - 1) / (n - 1);
-  double x1 = b - kGolden * (b - a);
-  double x2 = a + kGolden * (b - a);
-  double f1 = f(x1);
-  double f2 = f(x2);
-  evals += 2;
-  for (int i = 0; i < opt.max_refine_iters && (b - a) > opt.tolerance_m; ++i) {
-    if (f1 < f2) {
-      a = x1;
-      x1 = x2;
-      f1 = f2;
-      x2 = a + kGolden * (b - a);
-      f2 = f(x2);
-    } else {
-      b = x2;
-      x2 = x1;
-      f2 = f1;
-      x1 = b - kGolden * (b - a);
-      f1 = f(x1);
-    }
-    ++evals;
-  }
-  const double mid = 0.5 * (a + b);
-  const double refined = f(mid);
-  ++evals;
-  const bool take_mid = refined >= best_u;
-  out.d = take_mid ? mid : best_d;
-  out.val = take_mid ? refined : best_u;
-  out.evals = evals;
-  return out;
-}
+/// The single definition of core::optimize()'s search schedule. Sharing
+/// the template — not keeping a copy in sync — is what guarantees a
+/// single-802.11n-backend run evaluates the identical FP expression at
+/// the identical points and lands on the bit-identical decision
+/// (tests/link/multilink_contract).
+using core::golden_grid_search;
+using SearchOut = core::ScalarSearchResult;
 
 std::uint64_t fnv1a(std::uint64_t h, std::string_view s) noexcept {
   for (const char c : s) {
@@ -197,7 +135,7 @@ MultiLinkResult optimize_multilink(const std::vector<const LinkBackend*>& links,
   // that link's own rate/latency/availability profile.
   for (int j = 0; j < n_links; ++j) {
     const LinkBackend& bk = *links[static_cast<std::size_t>(j)];
-    const SearchOut s = search(
+    const SearchOut s = golden_grid_search(
         lo, hi, [&](double d) { return eval_burst(bk, d, p.mdata_bytes, p, failure).utility; },
         opt);
     r.single[static_cast<std::size_t>(j)] =
@@ -217,7 +155,7 @@ MultiLinkResult optimize_multilink(const std::vector<const LinkBackend*>& links,
       const core::OptimizeResult& s = r.single[static_cast<std::size_t>(j)];
       cand = {s.d_opt_m, s.utility, s.evaluations};
     } else {
-      cand = search(lo, hi, [&](double d) { return joint_utility(j, d); }, opt);
+      cand = golden_grid_search(lo, hi, [&](double d) { return joint_utility(j, d); }, opt);
       // Dominance net: the joint objective dominates the single one
       // pointwise, but the two searches can refine into different
       // brackets — evaluating the joint objective at the single-link
@@ -239,12 +177,21 @@ MultiLinkResult optimize_multilink(const std::vector<const LinkBackend*>& links,
   if (best_j < 0) return r;  // forced index out of range
   r.burst_link = best_j;
   const LinkBackend& burst_bk = *links[static_cast<std::size_t>(best_j)];
+  // Per-link trickles, rescaled proportionally when the Mdata cap binds
+  // so they always sum to the reported total (the raw sum replays
+  // joint_trickle's accumulation order, keeping trickle_bytes exact).
+  double raw_sum = 0.0;
   for (int k = 0; k < n_links; ++k) {
     if (k == best_j || n_links == 1) continue;
-    r.trickle_by_link[static_cast<std::size_t>(k)] =
-        trickle_bytes(*links[static_cast<std::size_t>(k)], best.d, p);
+    const double tr = trickle_bytes(*links[static_cast<std::size_t>(k)], best.d, p);
+    r.trickle_by_link[static_cast<std::size_t>(k)] = tr;
+    raw_sum += tr;
   }
-  r.trickle_bytes = n_links == 1 ? 0.0 : joint_trickle(best_j, best.d);
+  r.trickle_bytes = n_links == 1 ? 0.0 : std::min(raw_sum, p.mdata_bytes);
+  if (raw_sum > p.mdata_bytes && raw_sum > 0.0) {
+    const double scale = p.mdata_bytes / raw_sum;
+    for (double& v : r.trickle_by_link) v *= scale;
+  }
   r.burst_bytes = p.mdata_bytes - r.trickle_bytes;
   r.decision =
       to_result(eval_burst(burst_bk, best.d, r.burst_bytes, p, failure), best.d, lo, hi, best.evals);

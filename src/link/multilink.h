@@ -95,7 +95,9 @@ struct MultiLinkResult {
   int burst_link{-1};            ///< index into the link list; -1 if none usable
   double trickle_bytes{0.0};     ///< Σ background bytes at d*
   double burst_bytes{0.0};       ///< Mdata − trickle_bytes
-  std::vector<double> trickle_by_link;  ///< per link; 0 at the burst link
+  /// Per-link trickle split; 0 at the burst link. Rescaled so it sums
+  /// to trickle_bytes (up to FP rounding) when the Mdata cap binds.
+  std::vector<double> trickle_by_link;
   /// Per-link single-link decisions (no background trickle), for
   /// dominance checks and the fig_multilink comparison.
   std::vector<core::OptimizeResult> single;

@@ -4,6 +4,7 @@
 // configured stationary availability (chi-square over 10^3 seeds).
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -119,6 +120,20 @@ TEST(BackendProperty, AlwaysUpOutageNeverDrops) {
   link::OutageProcess p(link::OutageConfig{1.0, 30.0}, 5);
   for (double t = 0.0; t < 1e4; t += 997.0) EXPECT_TRUE(p.is_up(t));
   EXPECT_EQ(p.up_seconds(0.0, 1e4), 1e4);
+}
+
+/// An unbounded run against a geometry that never comes back in range
+/// must terminate (incomplete) instead of idling forever: the session
+/// caps continuous out-of-range idling when max_duration_s is infinite.
+TEST(BackendProperty, UnboundedTransferOutOfRangeTerminates) {
+  const link::LinkBackendConfig cfg = link::LinkBackendConfig::mesh();
+  const std::unique_ptr<link::LinkBackend> bk = link::make_backend(cfg);
+  const double far = bk->max_range_m() * 4.0;  // mesh routes never form here
+  const mac::LinkRunResult r = bk->make_session(17)->run_transfer(
+      1'000'000, std::numeric_limits<double>::infinity(), mac::static_geometry(far));
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.payload_bits_delivered, 0u);
+  EXPECT_TRUE(std::isfinite(r.duration_s));
 }
 
 }  // namespace

@@ -83,6 +83,11 @@ TEST(MultiLinkContract, JointUtilityDominatesBestSingleLink) {
     ASSERT_GE(r.burst_link, 0);
     ASSERT_LT(r.burst_link, static_cast<int>(views.size()));
     EXPECT_EQ(r.trickle_by_link[static_cast<std::size_t>(r.burst_link)], 0.0);
+    // The per-link split always sums to the reported total, including
+    // when the Mdata cap binds (the vector is rescaled proportionally).
+    double split_sum = 0.0;
+    for (const double v : r.trickle_by_link) split_sum += v;
+    EXPECT_NEAR(split_sum, r.trickle_bytes, 1e-9 * std::max(1.0, r.trickle_bytes));
   }
 }
 
@@ -271,6 +276,46 @@ TEST(MultiLinkContract, FleetEngineRoutesSpawnDecisionsThroughLinks) {
     EXPECT_EQ(st.burst_link, -1);
     EXPECT_EQ(st.trickle_bytes, 0u);
   }
+}
+
+/// The burst *simulation* honors the election. A contact far beyond
+/// wifi range elects a non-wifi link, and the transfer must run over
+/// that backend's rate/PER model — before this was wired through, the
+/// fleet reported a non-wifi decision yet simulated the burst over the
+/// 802.11n MAC at PER ~1, stalling the mission forever.
+TEST(MultiLinkContract, FleetSimulatesBurstOverElectedBackend) {
+  const auto run_fleet = [](int threads) {
+    fleet::FleetConfig cfg;
+    // wifi (dead past ~450 m) + LEO (distance-independent rate): at
+    // d0 = 3 km the election must leave wifi.
+    cfg.links = std::make_shared<const link::LinkSet>(std::vector<link::LinkBackendConfig>{
+        link::LinkBackendConfig::wifi_80211n(), link::LinkBackendConfig::leo()});
+    cfg.threads = threads;
+    fleet::FleetEngine eng(cfg, /*seed=*/11);
+    fleet::MissionSpec m;
+    m.start_pos = {3000.0, 0.0, 50.0};
+    m.receiver_pos = {0.0, 0.0, 0.0};
+    m.mdata_bytes = 2e6;
+    m.rho_per_m = 1e-3;
+    eng.add_mission(m);
+    eng.run_until(600.0);
+    return eng.mission(0);
+  };
+
+  const fleet::MissionStatus st = run_fleet(1);
+  EXPECT_EQ(st.burst_link, 1) << "3 km contact must elect the LEO link over dead wifi";
+  EXPECT_EQ(st.phase, fleet::Phase::kDone)
+      << "the elected backend must actually deliver the burst";
+  EXPECT_EQ(st.bytes_delivered, st.bytes_total);
+  EXPECT_GT(st.mpdus_attempted, 0u);
+  EXPECT_GT(st.completed_t_s, st.arrived_t_s) << "LEO session setup + ARQ rounds take time";
+
+  // Row-local generic transfers keep thread-count bit-identity.
+  const fleet::MissionStatus st8 = run_fleet(8);
+  EXPECT_EQ(st.bytes_delivered, st8.bytes_delivered);
+  EXPECT_EQ(st.completed_t_s, st8.completed_t_s);
+  EXPECT_EQ(st.mpdus_attempted, st8.mpdus_attempted);
+  EXPECT_EQ(st.mpdus_delivered, st8.mpdus_delivered);
 }
 
 }  // namespace
