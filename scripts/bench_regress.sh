@@ -88,7 +88,15 @@ CEILING_NS = {
     # optimizer searches plus the dominance net (~0.4 ms); it must stay
     # well under a spawn tick so fleets decide exactly, no table needed.
     "BM_MultiLinkDecide": 1_500_000.0,
+    # BM_EventQueue churns a binary heap through the allocator; its
+    # median swings ~1.5x between otherwise-identical machines (cache
+    # and allocator layout, not code), so it is exempt from the
+    # relative gate below and pinned by a ~4x-median ceiling instead.
+    "BM_EventQueue": 250_000.0,
 }
+# Counters whose medians are machine-speed-sensitive: recorded in the
+# baseline for reference, gated only by their CEILING_NS contract.
+RELATIVE_EXEMPT = {"BM_EventQueue"}
 
 mode = os.environ["MODE"]
 baseline_path = os.environ["BASELINE"]
@@ -178,9 +186,10 @@ elif mode == "check":
             failures.append(f"{name}: missing from current run")
             continue
         ratio = current[name] / b_ns if b_ns > 0 else float("inf")
-        flag = "  FAIL" if ratio > tol else ""
+        exempt = name in RELATIVE_EXEMPT
+        flag = "  ceiling-gated" if exempt else ("  FAIL" if ratio > tol else "")
         print(f"{name:44s} {b_ns:>9.0f} ns {current[name]:>9.0f} ns {ratio:>6.2f}x{flag}")
-        if ratio > tol:
+        if ratio > tol and not exempt:
             failures.append(f"{name}: {ratio:.2f}x baseline (tolerance {tol:.2f}x)")
     failures += speedup_failures(current, base.get("speedups", SPEEDUPS))
     failures += ceiling_failures(current, base.get("ceiling_ns", CEILING_NS))

@@ -86,7 +86,7 @@ if [[ "$run_tsan" == "1" ]]; then
   cmake -B build-tsan -S . -DSKYFERRY_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$jobs" --target exp_tests fault_tests sim_tests ctrl_tests core_tests net_tests policy_tests fleet_tests link_tests
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|Sweep|Runner|Cli|MonteCarlo|MissionTrial|Fork|Rng|Checkpoint|Codec|Resilience|ReDecision|Mismatch|RetryBudget|Compiler|DecisionService|Fleet|MultiLink|BackendEquivalence'
+    -R 'ThreadPool|Sweep|Runner|Cli|MonteCarlo|MissionTrial|Fork|Rng|Checkpoint|Codec|Resilience|ReDecision|Mismatch|RetryBudget|Compiler|DecisionService|Fleet|MultiLink|BackendEquivalence|Chaos|OutageExtreme'
 fi
 
 echo "== all checks passed =="

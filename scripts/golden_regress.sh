@@ -39,6 +39,7 @@ ALL_BENCHES=(
   ablation_dubins_shipping
   ablation_failure_models
   ablation_model_mismatch
+  ablation_link_chaos
   calibrate_channel
   mc_delivery_probability
   fleet_scale

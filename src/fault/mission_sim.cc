@@ -64,6 +64,11 @@ void TrialSpec::validate() const {
     throw ConfigError("TrialSpec: faults.mismatch.shifted_throughput_scale must be finite and >= 0");
   if (!finite(mm.shift_at_fraction) || mm.shift_at_fraction < 0.0 || mm.shift_at_fraction > 1.0)
     throw ConfigError("TrialSpec: faults.mismatch.shift_at_fraction must be in [0, 1]");
+  try {
+    link_chaos.validate();
+  } catch (const std::invalid_argument& e) {
+    throw ConfigError(std::string("TrialSpec: ") + e.what());
+  }
   resilience.validate();
 }
 
@@ -106,6 +111,12 @@ class MissionTrial {
         backoff_rng_(sim::derive_seed(plan_.seed, "fault/backoff")),
         probe_rng_(sim::derive_seed(plan_.seed, "resilience/probe")),
         transfer_(size_arq(spec, spec.scenario.mdata_bytes), spec.scenario.mdata_bytes) {
+    // Chaos forks from the trial seed (not the plan's own), so a seed
+    // sweep varies the chaos realization together with everything else.
+    // An empty plan constructs nothing and draws nothing.
+    if (spec_.link_chaos.any()) {
+      chaos_.emplace(spec_.link_chaos.link(0), sim::derive_seed(plan_.seed, "chaos/mission"));
+    }
     if (spec_.resilience.enabled) {
       chan_est_.emplace(spec_.resilience.estimator, model_.a(), model_.b());
       hazard_est_.emplace(spec_.resilience.hazard);
@@ -128,6 +139,7 @@ class MissionTrial {
   void begin_transfer_attempt();
   void pump();
   void on_stall_tick();
+  void on_setup_failure();
   void retreat_and_backoff();
   void crash();
   void finalize(bool delivered);
@@ -205,6 +217,13 @@ class MissionTrial {
   ResumableTransfer transfer_;
   TrialResult result_;
   double measured_throughput_bps_{-1.0};  ///< < 0: use the analytic model
+  /// Link-chaos overlay on the data link (engaged only when the spec's
+  /// plan has any axis on; single-link trials read link(0)).
+  std::optional<LinkChaosStream> chaos_;
+  /// Was the link down (baseline outage or injected blackout) when the
+  /// last stall window was declared? Distinguishes "starved by outage"
+  /// from a plain time limit in the failure taxonomy.
+  bool stalled_in_outage_{false};
 
   // Resilience stack (engaged only when spec.resilience.enabled).
   std::optional<ctrl::OnlineChannelEstimator> chan_est_;
@@ -257,6 +276,10 @@ TrialResult MissionTrial::run() {
   sim_.run_until(spec_.max_time_s);
   if (!done_) {
     result_.timed_out = true;
+    if (result_.incomplete_reason == mac::IncompleteReason::kNone) {
+      result_.incomplete_reason = stalled_in_outage_ ? mac::IncompleteReason::kStarvedByOutage
+                                                     : mac::IncompleteReason::kTimeLimit;
+    }
     finalize(false);
   }
   for (const auto& ev : injector_.log()) {
@@ -419,6 +442,13 @@ void MissionTrial::negotiate() {
       cmd, [d] { return d; },
       [this](const ctrl::ControlMessage&, double) {
         if (done_) return;
+        // The control plane agreed, but the data-plane session setup
+        // (attach/bearer establishment) may still fail under chaos.
+        if (chaos_ && chaos_->draw_setup_failure()) {
+          on_setup_failure();
+          return;
+        }
+        if (chaos_) result_.incomplete_reason = mac::IncompleteReason::kNone;
         begin_transfer_attempt();
       },
       [this](int) {
@@ -453,14 +483,20 @@ void MissionTrial::pump() {
   }
   auto p = transfer_.sender().next_packet(sim_.now());
   if (!p) return;  // window full: wait for acks or the stall timer
-  const double s = throughput_bps();
+  // Degradation epochs scale the rate the world actually delivers.
+  const double scale = chaos_ ? chaos_->rate_scale(sim_.now()) : 1.0;
+  const double s = throughput_bps() * scale;
   if (s <= 0.0) return;  // no usable rate at this distance; stall timer retreats
   const double airtime = static_cast<double>(p->payload_bytes) * 8.0 / s;
   data_busy_until_ = sim_.now() + airtime;
   const net::Packet sent = *p;
   sim_.schedule(airtime, [this, sent] {
     if (done_ || !transferring_) return;
-    if (injector_.link_up()) {
+    if (chaos_ && chaos_->blacked_out(sim_.now())) {
+      // An injected blackout eats the packet just like a baseline
+      // outage, but is accounted separately (the chaos-loss counter).
+      ++result_.chaos_losses;
+    } else if (injector_.link_up()) {
       if (auto ack = transfer_.receiver().on_packet(sent)) {
         // The tiny selective-ack rides the same link; an outage eats it.
         if (injector_.link_up()) transfer_.sender().on_ack(*ack);
@@ -478,6 +514,7 @@ void MissionTrial::on_stall_tick() {
     return;
   }
   ++consecutive_stalls_;
+  stalled_in_outage_ = !injector_.link_up() || (chaos_ && chaos_->blacked_out(sim_.now()));
   if (consecutive_stalls_ >= spec_.retreat_after_stalls) {
     retreat_and_backoff();
     return;
@@ -485,6 +522,20 @@ void MissionTrial::on_stall_tick() {
   // Declare the in-flight window lost and push retransmissions.
   transfer_.sender().on_timeout();
   pump();
+}
+
+void MissionTrial::on_setup_failure() {
+  ++result_.chaos_setup_failures;
+  result_.incomplete_reason = mac::IncompleteReason::kSessionSetupFailed;
+  const int attempt = static_cast<int>(result_.chaos_setup_failures) - 1;
+  if (spec_.retreat_backoff.exhausted(attempt)) {
+    finalize(false);
+    return;
+  }
+  sim_.schedule(spec_.retreat_backoff.delay_s(attempt, backoff_rng_), [this] {
+    if (done_) return;
+    negotiate();
+  });
 }
 
 void MissionTrial::retreat_and_backoff() {
@@ -497,6 +548,8 @@ void MissionTrial::retreat_and_backoff() {
       ship_closer();
       return;
     }
+    result_.incomplete_reason = stalled_in_outage_ ? mac::IncompleteReason::kStarvedByOutage
+                                                   : mac::IncompleteReason::kTimeLimit;
     finalize(false);
     return;
   }
@@ -515,6 +568,8 @@ void MissionTrial::retreat_and_backoff() {
         ship_closer();
         return;
       }
+      result_.incomplete_reason = stalled_in_outage_ ? mac::IncompleteReason::kStarvedByOutage
+                                                     : mac::IncompleteReason::kTimeLimit;
       finalize(false);
       return;
     }

@@ -20,6 +20,7 @@
 #include "ctrl/resilience.h"
 #include "fault/fault_plan.h"
 #include "fault/injector.h"
+#include "fault/link_chaos.h"
 #include "fault/recovery.h"
 #include "mac/link.h"
 #include "net/arq.h"
@@ -73,6 +74,14 @@ struct ResilienceSpec {
 struct TrialSpec {
   core::Scenario scenario{core::Scenario::quadrocopter()};
   FaultPlan faults{};
+  /// Link-chaos overlay on the data link (single-link trials read
+  /// link(0)): sustained blackouts gate packet delivery, degradation
+  /// epochs scale the transfer rate, and setup failures reject a
+  /// negotiated rendezvous before the first packet. The plan's own seed
+  /// is ignored here — the chaos stream forks from the trial seed so a
+  /// seed sweep varies chaos with everything else. A default (empty)
+  /// plan draws nothing and is bit-identical to the pre-chaos trial.
+  LinkFaultPlan link_chaos{};
   /// Mission resilience stack (estimator → re-decision → degradation
   /// ladder); off by default.
   ResilienceSpec resilience{};
@@ -119,6 +128,10 @@ struct TrialSpec {
   }
   TrialSpec& with_faults(FaultPlan p) {
     faults = p;
+    return *this;
+  }
+  TrialSpec& with_link_chaos(LinkFaultPlan p) {
+    link_chaos = std::move(p);
     return *this;
   }
   TrialSpec& with_resilience(ResilienceSpec r) {
@@ -187,6 +200,16 @@ struct TrialResult {
   std::uint64_t arq_retransmissions{0};
   std::uint64_t link_outages{0};
   std::uint64_t gps_dropouts{0};
+
+  // Link-chaos accounting (all zero when TrialSpec::link_chaos is
+  // empty). `incomplete_reason` is the link-level failure taxonomy of an
+  // undelivered batch — kStarvedByOutage (the transfer died stalled in
+  // an outage/blackout) vs kTimeLimit vs kSessionSetupFailed — and
+  // kNone for delivered, crashed, or negotiation-failed missions, whose
+  // booleans already tell the story.
+  std::uint64_t chaos_losses{0};          ///< packets eaten by injected blackouts
+  std::uint64_t chaos_setup_failures{0};  ///< rendezvous setups rejected by chaos
+  mac::IncompleteReason incomplete_reason{mac::IncompleteReason::kNone};
 
   // Resilience accounting. d_final_m == d_opt_m and everything else at
   // its zero default when the resilience stack is off (or never acted).

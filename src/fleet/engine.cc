@@ -59,6 +59,16 @@ struct FleetEngine::Soa {
   std::vector<sim::Rng> rng;
   std::vector<phy::LinkChannel> channel;
   std::vector<mac::ArfRate> arf;
+  // Link-chaos state (filled only when the chaos axis is on; row-local
+  // like `outage`, so the parallel sweeps stay thread-count identical).
+  std::vector<std::unique_ptr<fault::LinkChaosStream>> chaos;  ///< elected link's streams
+  std::vector<double> down_since;        ///< continuous blackout start (-1: link usable)
+  std::vector<double> degrade_cusum;     ///< CUSUM statistic over degradation evidence
+  std::vector<std::uint8_t> setup_done;  ///< chaos attach succeeded at this transmit point
+  std::vector<std::uint8_t> want_reelect;
+  std::vector<std::int32_t> reelections;
+  std::vector<std::uint8_t> stall_reason;  ///< mac::IncompleteReason of the latest stall
+  std::vector<net::RetryBudget> rebudget;  ///< deadline-aware re-election budget
 };
 
 FleetEngine::FleetEngine(FleetConfig cfg, std::uint64_t seed)
@@ -69,6 +79,12 @@ FleetEngine::FleetEngine(FleetConfig cfg, std::uint64_t seed)
       soa_(std::make_unique<Soa>()),
       tables_(phy::ErrorModel(cfg.error, cfg.channel.spatial_correlation), cfg.per_table) {
   if (cfg_.threads != 1) pool_ = std::make_unique<exp::ThreadPool>(cfg_.threads);
+  cfg_.link_chaos.validate();
+  chaos_on_ = cfg_.link_chaos.any();
+  if (cfg_.link_chaos.storm.any()) {
+    storms_ = std::make_unique<fault::StormSchedule>(cfg_.link_chaos.storm,
+                                                     cfg_.link_chaos.seed);
+  }
   if (cfg_.links != nullptr && !cfg_.links->empty()) {
     service_.install_links(cfg_.links);
     link_is_wifi_.resize(cfg_.links->size());
@@ -172,6 +188,14 @@ int FleetEngine::add_mission(const MissionSpec& spec) {
   s.phase.push_back(static_cast<std::uint8_t>(Phase::kFerry));
   s.active.push_back(0);
   s.arriving.push_back(0);
+  s.chaos.emplace_back(nullptr);
+  s.down_since.push_back(-1.0);
+  s.degrade_cusum.push_back(0.0);
+  s.setup_done.push_back(0);
+  s.want_reelect.push_back(0);
+  s.reelections.push_back(0);
+  s.stall_reason.push_back(static_cast<std::uint8_t>(mac::IncompleteReason::kNone));
+  s.rebudget.emplace_back();
   s.rng.emplace_back(sim::fork(seed_, i, 0));
   s.channel.emplace_back(cfg_.channel,
                          sim::derive_seed(seed_, "fleet/ch/" + std::to_string(i)));
@@ -283,6 +307,21 @@ void FleetEngine::decide_pending() {
             ferrying_.fetch_sub(1, std::memory_order_relaxed);
           }
         });
+      }
+    }
+    // Realize the elected link's chaos streams (its own seed axis, so
+    // chaos never perturbs the mission/frame RNG streams) and arm the
+    // deadline-aware re-election budget.
+    if (chaos_on_) {
+      const auto jl = static_cast<std::size_t>(std::max(s.burst_link[i], std::int32_t{0}));
+      s.chaos[i] = std::make_unique<fault::LinkChaosStream>(
+          cfg_.link_chaos.link(jl),
+          sim::derive_seed(cfg_.link_chaos.seed, "fleet/chaos/" + std::to_string(i) + "/" +
+                                                    std::to_string(jl) + "/r0"));
+      if (cfg_.reelection.enabled) {
+        net::RetryBudgetConfig rb = cfg_.reelection.retry_budget;
+        rb.deadline_s = std::min(rb.deadline_s, s.deadline[i]);
+        s.rebudget[i] = net::RetryBudget(rb);
       }
     }
   }
@@ -565,6 +604,14 @@ double FleetEngine::run_exchanges(std::uint32_t i, std::uint32_t eff_row, double
   // mid-exchange one (clock already past the sweep start) keeps it.
   double t = std::max(s.tx_clock[i], t1 - cfg_.dt_s);
 
+  if (chaos_on_ && !s.setup_done[i]) {
+    t = chaos_setup(i, t);
+    if (!s.setup_done[i]) {
+      s.tx_clock[i] = std::max(t, t1);
+      return s.tx_clock[i];
+    }
+  }
+
   // Same exchange grammar as airnet::AerialNetwork::exchange(), on the
   // kAggregate fast path: jitter-marginalized PER table + one binomial
   // per aggregate instead of 64 erfc/Bernoulli chains (PR 3 established
@@ -572,6 +619,19 @@ double FleetEngine::run_exchanges(std::uint32_t i, std::uint32_t eff_row, double
   // airtime, so the clock alone decides eligibility: run every exchange
   // that starts inside this sweep's window.
   while (t < t1) {
+    if (chaos_on_) {
+      const double ce = chaos_gate_end(i, t);
+      if (ce > t) {
+        if (s.want_reelect[i]) {
+          // Detection costs the trigger window; the serial end-of-sweep
+          // pass decides where (and on which link) to go from here.
+          s.tx_clock[i] = t + cfg_.reelection.blackout_trigger_s;
+          return s.tx_clock[i];
+        }
+        t = ce;
+        continue;
+      }
+    }
     const int mcs = cfg_.fixed_mcs >= 0 ? cfg_.fixed_mcs : s.arf[i].select_mcs(t);
     const phy::PerTable& table = *data_tables_[static_cast<std::size_t>(mcs)];
     const std::uint64_t remaining = s.total_bytes[i] - s.delivered_bytes[i];
@@ -611,6 +671,13 @@ double FleetEngine::run_exchanges(std::uint32_t i, std::uint32_t eff_row, double
     const double e = eff[static_cast<std::size_t>(mcs)];
     if (e > 1e-6) dur /= e;
     if (delivered == 0 && mcs == 0) dur = std::max(dur, cfg_.stall_retry_s);
+    if (chaos_on_ && s.chaos[i] != nullptr) {
+      // A degradation epoch stretches the exchange airtime by 1/scale
+      // and feeds the CUSUM that arms re-election.
+      const double scale = s.chaos[i]->rate_scale(t);
+      if (scale < 1.0) dur /= scale;
+      update_degrade_cusum(i, scale);
+    }
     t += dur;
   }
   s.tx_clock[i] = t;
@@ -636,8 +703,17 @@ double FleetEngine::run_generic_exchanges(std::uint32_t i, double t1) {
   if (rate_bps <= 0.0) {
     // Every election scored zero (d* beyond all ranges): the mission
     // honestly cannot deliver; back off so sweeps stay cheap.
+    s.stall_reason[i] = static_cast<std::uint8_t>(mac::IncompleteReason::kOutOfRange);
     s.tx_clock[i] = std::max(t, t1) + cfg_.stall_retry_s;
     return s.tx_clock[i];
+  }
+
+  if (chaos_on_ && !s.setup_done[i]) {
+    t = chaos_setup(i, t);
+    if (!s.setup_done[i]) {
+      s.tx_clock[i] = std::max(t, t1);
+      return s.tx_clock[i];
+    }
   }
 
   const auto frame_bits = static_cast<std::uint64_t>(lc.frame_bits);
@@ -645,8 +721,20 @@ double FleetEngine::run_generic_exchanges(std::uint32_t i, double t1) {
   const double snr_mean_db = bk.snr_db_at(d);
   while (t < t1) {
     if (s.outage[i] != nullptr && !s.outage[i]->is_up(t)) {
+      s.stall_reason[i] = static_cast<std::uint8_t>(mac::IncompleteReason::kStarvedByOutage);
       t = s.outage[i]->segment_end_s(t);
       continue;
+    }
+    if (chaos_on_) {
+      const double ce = chaos_gate_end(i, t);
+      if (ce > t) {
+        if (s.want_reelect[i]) {
+          s.tx_clock[i] = t + cfg_.reelection.blackout_trigger_s;
+          return s.tx_clock[i];
+        }
+        t = ce;
+        continue;
+      }
     }
     const std::uint64_t remaining = s.total_bytes[i] - s.delivered_bytes[i];
     const std::uint64_t backlog = (remaining + frame_bytes - 1) / frame_bytes;
@@ -668,18 +756,226 @@ double FleetEngine::run_generic_exchanges(std::uint32_t i, double t1) {
       tx_set_dirty_.store(true, std::memory_order_relaxed);
       return kNever;
     }
-    t += static_cast<double>(n * frame_bits) / rate_bps + lc.rtt_s;
+    double round_rate = rate_bps;
+    if (chaos_on_ && s.chaos[i] != nullptr) {
+      const double scale = s.chaos[i]->rate_scale(t);
+      if (scale < 1.0) round_rate *= scale;
+      update_degrade_cusum(i, scale);
+    }
+    t += static_cast<double>(n * frame_bits) / round_rate + lc.rtt_s;
   }
   s.tx_clock[i] = t;
   return t;
+}
+
+// ---- link-chaos sweeps and the re-election ladder ---------------------------
+
+bool FleetEngine::reelect_armed(std::uint32_t i) const {
+  const Soa& s = *soa_;
+  return cfg_.reelection.enabled && !s.want_reelect[i] &&
+         s.reelections[i] < cfg_.reelection.max_reelections;
+}
+
+double FleetEngine::chaos_gate_end(std::uint32_t i, double t) {
+  Soa& s = *soa_;
+  double end = t;
+  if (s.chaos[i] != nullptr && s.chaos[i]->blacked_out(t)) {
+    const double be = s.chaos[i]->blackout_end_s(t);
+    if (s.down_since[i] < 0.0) s.down_since[i] = t;
+    s.stall_reason[i] = static_cast<std::uint8_t>(mac::IncompleteReason::kStarvedByOutage);
+    if (reelect_armed(i) && be - s.down_since[i] >= cfg_.reelection.blackout_trigger_s) {
+      s.want_reelect[i] = 1;
+    }
+    end = be;
+  } else {
+    s.down_since[i] = -1.0;
+  }
+  if (storms_ != nullptr) {
+    const double inv_cell = 1.0 / std::max(cfg_.cell_size_m, 1e-6);
+    const auto cx = static_cast<std::int64_t>(std::floor(s.px[i] * inv_cell));
+    const auto cy = static_cast<std::int64_t>(std::floor(s.py[i] * inv_cell));
+    if (storms_->storming(t, cx, cy)) {
+      s.stall_reason[i] = static_cast<std::uint8_t>(mac::IncompleteReason::kStarvedByOutage);
+      end = std::max(end, storms_->storm_end_s(t, cx, cy));
+    }
+  }
+  return end;
+}
+
+double FleetEngine::chaos_setup(std::uint32_t i, double t) {
+  constexpr int kMaxSetupAttempts = 8;
+  Soa& s = *soa_;
+  if (s.chaos[i] == nullptr || s.chaos[i]->config().setup_fail_p <= 0.0) {
+    s.setup_done[i] = 1;
+    return t;
+  }
+  // Wifi has no bearer to re-attach; model a re-association backoff.
+  const double setup_s =
+      s.session_setup[i] > 0.0 ? s.session_setup[i] : cfg_.stall_retry_s;
+  int fails = 0;
+  while (fails < kMaxSetupAttempts && s.chaos[i]->draw_setup_failure()) {
+    ++fails;
+    t += setup_s;
+  }
+  if (fails >= kMaxSetupAttempts) {
+    // A full failure run: flag for re-election (when armed) and retry
+    // the attach from the next sweep window otherwise.
+    s.stall_reason[i] = static_cast<std::uint8_t>(mac::IncompleteReason::kSessionSetupFailed);
+    if (reelect_armed(i)) s.want_reelect[i] = 1;
+  } else {
+    s.setup_done[i] = 1;
+  }
+  return t;
+}
+
+void FleetEngine::update_degrade_cusum(std::uint32_t i, double scale) {
+  Soa& s = *soa_;
+  const ReElectionConfig& re = cfg_.reelection;
+  s.degrade_cusum[i] =
+      std::max(0.0, s.degrade_cusum[i] + (1.0 - scale) - re.degrade_cusum_k);
+  if (s.degrade_cusum[i] > re.degrade_cusum_h && reelect_armed(i)) s.want_reelect[i] = 1;
+}
+
+void FleetEngine::retarget(std::uint32_t i, double t, double d_new) {
+  Soa& s = *soa_;
+  const double dx = s.px[i] - s.rx[i];
+  const double dy = s.py[i] - s.ry[i];
+  const double dz = s.pz[i] - s.rz[i];
+  const double cur_d = std::sqrt(dx * dx + dy * dy + dz * dz);
+  s.d_star[i] = std::min(d_new, cur_d);
+  if (cur_d > 0.0 && s.d_star[i] < cur_d - 1e-9) {
+    const double f = s.d_star[i] / cur_d;
+    s.tx[i] = s.rx[i] + dx * f;
+    s.ty[i] = s.ry[i] + dy * f;
+    s.tz[i] = s.rz[i] + dz * f;
+    s.phase[i] = static_cast<std::uint8_t>(Phase::kFerry);
+    s.arriving[i] = 0;
+    ferrying_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Already there: restart the exchange clock after the new attach.
+    s.tx_clock[i] = t + s.session_setup[i];
+  }
+  tx_set_dirty_.store(true, std::memory_order_relaxed);
+}
+
+void FleetEngine::commit_reelection(std::uint32_t i, double t, int j,
+                                    const policy::MultiLinkDecision& dec) {
+  Soa& s = *soa_;
+  const auto jl = static_cast<std::size_t>(j);
+  const link::LinkBackendConfig& lc = cfg_.links->backend(jl).config();
+  const bool wifi = link_is_wifi_[jl] != 0;
+  s.burst_link[i] = j;
+  s.session_setup[i] = wifi ? 0.0 : lc.session_setup_s;
+  s.outage[i].reset();
+  if (!wifi && !lc.outage.always_up()) {
+    s.outage[i] = std::make_unique<link::OutageProcess>(
+        lc.outage, sim::derive_seed(seed_, "fleet/outage/" + std::to_string(i) + "/r" +
+                                               std::to_string(s.reelections[i])));
+  }
+  s.chaos[i] = std::make_unique<fault::LinkChaosStream>(
+      cfg_.link_chaos.link(jl),
+      sim::derive_seed(cfg_.link_chaos.seed,
+                       "fleet/chaos/" + std::to_string(i) + "/" + std::to_string(jl) + "/r" +
+                           std::to_string(s.reelections[i])));
+  s.setup_done[i] = 0;
+  s.down_since[i] = -1.0;
+  s.degrade_cusum[i] = 0.0;
+  s.utility[i] = dec.decision.utility;
+  s.backend[i] = static_cast<std::uint8_t>(dec.decision.backend);
+  // The new election's background trickle is credited if (and when) the
+  // re-ferry leg lands; retarget zeroes nothing the ladder still needs.
+  s.trickle[i] = std::min(
+      s.total_bytes[i] - s.delivered_bytes[i],
+      static_cast<std::uint64_t>(std::max(dec.trickle_bytes, 0.0)));
+  retarget(i, t, std::max(dec.decision.d_opt_m, cfg_.scenario.min_distance_m));
+}
+
+void FleetEngine::fallback_ship_closer(std::uint32_t i, double t) {
+  Soa& s = *soa_;
+  const double dx = s.px[i] - s.rx[i];
+  const double dy = s.py[i] - s.ry[i];
+  const double dz = s.pz[i] - s.rz[i];
+  const double cur_d = std::sqrt(dx * dx + dy * dy + dz * dz);
+  const double floor_d = cfg_.scenario.min_distance_m;
+  const double d_new =
+      floor_d + (std::max(cur_d, floor_d) - floor_d) *
+                    (1.0 - std::clamp(cfg_.reelection.ship_closer_fraction, 0.0, 1.0));
+  // No trickle on the fallback rung: the ferry-closer leg keeps the
+  // current (chaotic) link, whose credit the election already spent.
+  s.trickle[i] = 0;
+  s.setup_done[i] = 0;
+  s.down_since[i] = -1.0;
+  s.degrade_cusum[i] = 0.0;
+  retarget(i, t, d_new);
+}
+
+void FleetEngine::process_reelections(double t) {
+  Soa& s = *soa_;
+  const auto kTransmitU8 = static_cast<std::uint8_t>(Phase::kTransmit);
+  const bool multilink = cfg_.links != nullptr && !cfg_.links->empty();
+  for (std::uint32_t i = 0; i < count_; ++i) {
+    if (!s.want_reelect[i]) continue;
+    s.want_reelect[i] = 0;
+    if (s.phase[i] != kTransmitU8) continue;
+    if (s.reelections[i] >= cfg_.reelection.max_reelections) continue;
+    const std::uint64_t residual = s.total_bytes[i] - s.delivered_bytes[i];
+    if (residual == 0) continue;
+    // Every processed trigger — commit, reject or fallback — spends one
+    // rung of the cap, so a link that stays hostile cannot thrash.
+    ++s.reelections[i];
+
+    const double dx = s.px[i] - s.rx[i];
+    const double dy = s.py[i] - s.ry[i];
+    const double dz = s.pz[i] - s.rz[i];
+    const double cur_d = std::sqrt(dx * dx + dy * dy + dz * dz);
+
+    policy::Query q;
+    q.d0_m = std::max(cur_d, cfg_.scenario.min_distance_m);
+    q.speed_mps = s.speed[i];
+    q.mdata_bytes = static_cast<double>(residual);
+    q.min_distance_m = cfg_.scenario.min_distance_m;
+    q.rho_per_m = s.rho[i];
+
+    int best_j = -1;
+    policy::MultiLinkDecision stay{};
+    policy::MultiLinkDecision best{};
+    if (multilink) {
+      const std::int32_t cur_j = std::max(s.burst_link[i], std::int32_t{0});
+      q.burst_link = cur_j;
+      stay = service_.decide_multilink_one(q);
+      for (std::int32_t j = 0; j < static_cast<std::int32_t>(cfg_.links->size()); ++j) {
+        if (j == cur_j) continue;
+        q.burst_link = j;
+        const policy::MultiLinkDecision cand = service_.decide_multilink_one(q);
+        if (cand.decision.utility > best.decision.utility) {
+          best = cand;
+          best_j = j;
+        }
+      }
+    }
+    const bool budget_ok =
+        s.rebudget[i].allow(t, 0.0, best_j >= 0 ? best.decision.cdelay_s : 0.0);
+    if (best_j >= 0 && budget_ok && best.decision.utility > 0.0 &&
+        best.decision.utility >=
+            (1.0 + cfg_.reelection.commit_margin) * stay.decision.utility) {
+      s.rebudget[i].consume();
+      commit_reelection(i, t, best_j, best);
+    } else {
+      fallback_ship_closer(i, t);
+    }
+  }
 }
 
 void FleetEngine::step() {
   const double t0 = now_;
   sim_.run_until(t0);  // spawn / fault events due by the sweep start
   decide_pending();
+  // Storm windows are sampled serially before any parallel sweep; the
+  // workers only read them.
+  if (storms_ != nullptr) storms_->ensure_horizon(t0, t0 + cfg_.dt_s);
   step_kinematics(t0);
   step_transfers(t0);
+  if (chaos_on_ && cfg_.reelection.enabled) process_reelections(t0 + cfg_.dt_s);
   now_ = t0 + cfg_.dt_s;
 }
 
@@ -707,6 +1003,8 @@ MissionStatus FleetEngine::mission(int idx) const {
   st.completed_t_s = s.completed_t[i];
   st.burst_link = s.burst_link[i];
   st.trickle_bytes = s.trickle[i];
+  st.reelections = s.reelections[i];
+  st.stall_reason = static_cast<mac::IncompleteReason>(s.stall_reason[i]);
   return st;
 }
 
@@ -736,6 +1034,18 @@ FleetTotals FleetEngine::totals() const {
     if (s.total_bytes[i] > 0) {
       t.deadline_weighted_utility += static_cast<double>(s.by_deadline_bytes[i]) /
                                      static_cast<double>(s.total_bytes[i]);
+    }
+    t.reelections += static_cast<std::uint64_t>(s.reelections[i]);
+    switch (static_cast<mac::IncompleteReason>(s.stall_reason[i])) {
+      case mac::IncompleteReason::kStarvedByOutage:
+      case mac::IncompleteReason::kSessionSetupFailed:
+        ++t.stalled_by_link;
+        break;
+      case mac::IncompleteReason::kOutOfRange:
+        ++t.stalled_out_of_range;
+        break;
+      default:
+        break;
     }
   }
   if (t.completed > 0) t.mean_completion_s = completion_sum / static_cast<double>(t.completed);

@@ -35,12 +35,14 @@
 #include <vector>
 
 #include "core/scenario.h"
+#include "fault/link_chaos.h"
 #include "fleet/scheduler.h"
 #include "link/multilink.h"
 #include "geo/vec3.h"
 #include "mac/ampdu.h"
 #include "mac/contention.h"
 #include "mac/rate_control.h"
+#include "net/retry_budget.h"
 #include "phy/channel.h"
 #include "phy/per_table.h"
 #include "policy/service.h"
@@ -63,6 +65,39 @@ enum class Phase : std::uint8_t { kFerry, kTransmit, kDone, kFailed };
 /// compiler can vectorize, kScalar fuses everything per UAV (the
 /// reference for the determinism suite).
 enum class KinematicsMode : std::uint8_t { kBatched, kScalar };
+
+/// Mid-mission re-election guard ladder (DESIGN.md §14). Triggers are
+/// driven exclusively by injected link-chaos evidence (sustained
+/// blackouts past blackout_trigger_s, degradation past a CUSUM bound,
+/// repeated session-setup failures), so a zero-chaos fleet never
+/// re-elects and stays byte-identical with this enabled or not. Every
+/// processed trigger walks the ladder: re-election cap -> deadline-
+/// aware retry budget -> commit margin over re-running decide_multilink
+/// from the current position with the residual batch -> fallback
+/// ferry-closer-and-ship on the current link.
+struct ReElectionConfig {
+  bool enabled{false};
+  /// Processed triggers (commits, rejects and fallbacks alike) a
+  /// mission may spend before it rides out the chaos where it stands.
+  int max_reelections{2};
+  /// A blackout whose remaining span (from first contact) reaches this
+  /// is "sustained" and trips the trigger.
+  double blackout_trigger_s{15.0};
+  /// CUSUM over per-round degradation evidence (1 - rate_scale):
+  /// statistic += evidence - k, clamped at 0; trips at h. The k/h
+  /// grammar is ctrl::CusumDetector's (ctrl/resilience.h).
+  double degrade_cusum_k{0.15};
+  double degrade_cusum_h{3.0};
+  /// Switch links only when the best alternative beats re-optimizing
+  /// the current link by this relative margin.
+  double commit_margin{0.05};
+  /// Deadline awareness: attempts and headroom gating each switch; the
+  /// mission's own deadline tightens deadline_s when finite.
+  net::RetryBudgetConfig retry_budget{};
+  /// Fallback rung: ferry this fraction of the gap toward the distance
+  /// floor and ship from there on the current link.
+  double ship_closer_fraction{0.5};
+};
 
 struct FleetConfig {
   /// Sweep step; matches airnet::NetworkConfig::kinematics_dt_s so the
@@ -116,6 +151,16 @@ struct FleetConfig {
   /// actually delivers. nullptr keeps the legacy single-802.11n decide
   /// path bit-identical (the differential suite pins this).
   std::shared_ptr<const link::LinkSet> links{};
+
+  /// Seeded link-chaos axis (fault/link_chaos.h): per-link blackouts,
+  /// degradation epochs and setup failures indexed by LinkSet position
+  /// (link 0 on the legacy path), plus regional storms over the same
+  /// ground cells the contention scheduler uses. A default (empty) plan
+  /// is byte-identical to today's chaos-free engine: no extra RNG
+  /// draws, no extra branches taken.
+  fault::LinkFaultPlan link_chaos{};
+  /// Mid-mission re-election ladder; inert without chaos.
+  ReElectionConfig reelection{};
 };
 
 /// One mission: a UAV holding `mdata_bytes` at `start_pos` that must
@@ -153,6 +198,11 @@ struct MissionStatus {
   /// on the legacy path) and the background bytes credited on arrival.
   std::int32_t burst_link{-1};
   std::uint64_t trickle_bytes{0};
+  /// Chaos campaigns: processed re-election triggers and the failure
+  /// taxonomy of the mission's latest stall (kNone when it never
+  /// stalled) — "starved by outage" vs "out of range" vs "setup failed".
+  std::int32_t reelections{0};
+  mac::IncompleteReason stall_reason{mac::IncompleteReason::kNone};
 };
 
 struct FleetTotals {
@@ -167,6 +217,11 @@ struct FleetTotals {
   /// Sum over missions of bytes_by_deadline / bytes_total — the metric
   /// the urgent-first scheduler maximizes under contention.
   double deadline_weighted_utility{0.0};
+  /// Chaos campaign counters: total processed re-election triggers and
+  /// missions whose latest stall carries each taxonomy tag.
+  std::uint64_t reelections{0};
+  std::size_t stalled_by_link{0};   ///< kStarvedByOutage
+  std::size_t stalled_out_of_range{0};  ///< kOutOfRange
 };
 
 class FleetEngine {
@@ -217,6 +272,31 @@ class FleetEngine {
   /// rounds at the backend's rate curve / PER table / RTT, gated by its
   /// per-mission outage process. Same return contract as run_exchanges.
   double run_generic_exchanges(std::uint32_t i, double t1);
+  /// Chaos gate for one transfer round: elected-link blackout or a
+  /// regional storm over this UAV's cell stalls it. Returns the stall
+  /// end (== t when clear). Per-link blackouts arm the re-election
+  /// trigger; storms hit every link at once, so they do not. Row-local
+  /// except for const reads of the serially-extended storm schedule.
+  double chaos_gate_end(std::uint32_t i, double t);
+  /// One-time chaos attach at the transmit point: each failed draw
+  /// burns a setup interval before the retry; a full failure run flags
+  /// the link for re-election. Returns the advanced clock.
+  double chaos_setup(std::uint32_t i, double t);
+  /// Per-round degradation CUSUM update (evidence = 1 - rate_scale).
+  void update_degrade_cusum(std::uint32_t i, double scale);
+  [[nodiscard]] bool reelect_armed(std::uint32_t i) const;
+  /// Serial end-of-sweep pass consuming want_reelect flags: the guard
+  /// ladder (cap, retry budget, commit margin over decide_multilink on
+  /// the residual batch, ferry-closer fallback). Serial by design so
+  /// decide ordering — and therefore every downstream draw — is
+  /// thread-count independent.
+  void process_reelections(double t);
+  void commit_reelection(std::uint32_t i, double t, int j, const policy::MultiLinkDecision& dec);
+  void fallback_ship_closer(std::uint32_t i, double t);
+  /// Point the mission at distance d_new along its current line to the
+  /// receiver: re-ferry when strictly closer, else restart the exchange
+  /// clock in place after the (new) session setup.
+  void retarget(std::uint32_t i, double t, double d_new);
   template <class Fn>
   void parallel_for(std::size_t n, const Fn& fn);
 
@@ -273,6 +353,15 @@ class FleetEngine {
   /// Atomic: arrivals decrement from inside parallel chunks. The value
   /// is a pure count, identical for every thread count.
   std::atomic<std::int64_t> ferrying_{0};
+
+  /// True when cfg_.link_chaos has any active axis. Every chaos branch
+  /// in the sweeps hides behind it, which is what keeps the zero-chaos
+  /// configuration byte-identical to the pre-chaos engine.
+  bool chaos_on_{false};
+  /// Regional storm schedule (null without a storm axis). Windows are
+  /// extended serially at the top of each step; the parallel sweeps
+  /// only perform const queries against them.
+  std::unique_ptr<fault::StormSchedule> storms_;
 };
 
 }  // namespace skyferry::fleet

@@ -142,13 +142,16 @@ class WifiSession final : public LinkSession {
 class GenericSession final : public LinkSession {
  public:
   GenericSession(const LinkBackendConfig& cfg, const core::ThroughputModel& model,
-                 std::shared_ptr<phy::PerTableCache> tables, std::uint64_t seed)
+                 std::shared_ptr<phy::PerTableCache> tables, std::uint64_t seed,
+                 const fault::LinkChaosConfig& chaos = {})
       : cfg_(cfg),
         model_(model),
         tables_(std::move(tables)),
         em_(cfg.error, cfg.spatial_correlation),
         outage_(cfg.outage, sim::derive_seed(seed, "outage")),
-        rng_(sim::derive_seed(seed, "frames")) {}
+        rng_(sim::derive_seed(seed, "frames")),
+        chaos_(chaos, sim::derive_seed(seed, "chaos")),
+        chaos_on_(chaos.any()) {}
 
   mac::LinkRunResult run_transfer(std::uint64_t payload_bytes, double max_duration_s,
                                   const mac::GeometryFn& geometry) override {
@@ -165,32 +168,67 @@ class GenericSession final : public LinkSession {
     const std::uint64_t frame_bits = static_cast<std::uint64_t>(cfg_.frame_bits);
     const bool saturated = bits_needed == 0;
     // Callers normally bound the run with a finite time limit. Under an
-    // infinite one, a geometry that never comes back in range would
-    // otherwise idle forever — cap continuous out-of-range idling and
-    // bail out incomplete instead.
+    // infinite one, a geometry that never comes back in range — or a
+    // link held down without a break — would otherwise idle forever;
+    // cap continuous idling and bail out incomplete with the matching
+    // taxonomy tag instead.
     constexpr double kMaxOutOfRangeIdleS = 3600.0;
+    constexpr double kMaxLinkDownIdleS = 3600.0;
+    constexpr int kMaxSetupAttempts = 8;
     double out_of_range_since = -1.0;
+    double down_since = -1.0;
+    bool clipped_in_stall = false;
 
     mac::LinkRunResult r;
     double t = cfg_.session_setup_s;
     std::uint64_t delivered_bits = 0;
 
+    // Injected session-setup failures: each failed attach burns one
+    // setup interval plus an RTT of signaling before the retry.
+    if (chaos_on_ && chaos_.config().setup_fail_p > 0.0) {
+      int attempts = 0;
+      while (chaos_.draw_setup_failure()) {
+        if (++attempts >= kMaxSetupAttempts) {
+          r.completed = false;
+          r.incomplete_reason = mac::IncompleteReason::kSessionSetupFailed;
+          r.duration_s = std::min(t, time_limit_s);
+          return r;
+        }
+        t += cfg_.session_setup_s + cfg_.rtt_s;
+      }
+    }
+
     while (saturated || delivered_bits < bits_needed) {
       if (t >= time_limit_s) {
         r.completed = saturated;
+        if (!r.completed)
+          r.incomplete_reason = clipped_in_stall ? mac::IncompleteReason::kStarvedByOutage
+                                                 : mac::IncompleteReason::kTimeLimit;
         t = time_limit_s;
         break;
       }
-      if (!outage_.is_up(t)) {
-        t = std::min(outage_.segment_end_s(t), time_limit_s);
+      const bool outage_down = !outage_.is_up(t);
+      if (outage_down || (chaos_on_ && chaos_.blacked_out(t))) {
+        if (down_since < 0.0) down_since = t;
+        const double end = outage_down ? outage_.segment_end_s(t) : chaos_.blackout_end_s(t);
+        if (!std::isfinite(time_limit_s) && end - down_since > kMaxLinkDownIdleS) {
+          r.completed = false;
+          r.incomplete_reason = mac::IncompleteReason::kStarvedByOutage;
+          t = down_since + kMaxLinkDownIdleS;
+          break;
+        }
+        if (end >= time_limit_s) clipped_in_stall = true;
+        t = std::min(end, time_limit_s);
         continue;
       }
+      down_since = -1.0;
       const mac::Geometry g = geometry(t);
       const double rate = model_.throughput_bps(g.distance_m);
       if (rate <= 0.0) {
         if (out_of_range_since < 0.0) out_of_range_since = t;
         if (!std::isfinite(time_limit_s) && t - out_of_range_since > kMaxOutOfRangeIdleS) {
           r.completed = false;
+          r.incomplete_reason = mac::IncompleteReason::kOutOfRange;
           break;
         }
         // Out of range; idle one ARQ turnaround and let geometry move.
@@ -219,7 +257,9 @@ class GenericSession final : public LinkSession {
       r.mpdus_delivered += got;
       ++r.exchanges;
       delivered_bits += got * frame_bits;
-      t += static_cast<double>(n * frame_bits) / rate + cfg_.rtt_s;
+      // A degradation epoch stretches the burst airtime by 1/scale.
+      const double scale = chaos_on_ ? chaos_.rate_scale(t) : 1.0;
+      t += static_cast<double>(n * frame_bits) / (rate * scale) + cfg_.rtt_s;
     }
 
     r.duration_s = t;
@@ -239,6 +279,8 @@ class GenericSession final : public LinkSession {
   phy::ErrorModel em_;
   OutageProcess outage_;
   sim::Rng rng_;
+  fault::LinkChaosStream chaos_;
+  bool chaos_on_;
 };
 
 // ---- backends --------------------------------------------------------------
@@ -263,6 +305,7 @@ class WifiBackend final : public LinkBackend {
     return tables_->table(phy::mcs(cfg_.mcs_index), cfg_.frame_bits, cfg_.snr_jitter_db)
         .per(snr_db);
   }
+  using LinkBackend::make_session;
   [[nodiscard]] std::unique_ptr<LinkSession> make_session(std::uint64_t seed) const override {
     return std::make_unique<WifiSession>(cfg_, seed);
   }
@@ -284,8 +327,13 @@ class GenericBackend final : public LinkBackend {
     return tables_->table(phy::mcs(cfg_.mcs_index), cfg_.frame_bits, cfg_.snr_jitter_db)
         .per(snr_db);
   }
+  using LinkBackend::make_session;
   [[nodiscard]] std::unique_ptr<LinkSession> make_session(std::uint64_t seed) const override {
     return std::make_unique<GenericSession>(cfg_, *model_, tables_, seed);
+  }
+  [[nodiscard]] std::unique_ptr<LinkSession> make_session(
+      std::uint64_t seed, const fault::LinkChaosConfig& chaos) const override {
+    return std::make_unique<GenericSession>(cfg_, *model_, tables_, seed, chaos);
   }
 
  private:

@@ -34,6 +34,7 @@
 #include <string>
 
 #include "core/throughput_model.h"
+#include "fault/link_chaos.h"
 #include "io/json.h"
 #include "link/outage.h"
 #include "mac/link.h"
@@ -162,8 +163,11 @@ class LinkSession {
   /// Deliver exactly `payload_bytes`; stops at `max_duration_s` with
   /// completed=false. Same contract as mac::LinkSimulator::run_transfer.
   /// Prefer a finite `max_duration_s`; under an infinite one a session
-  /// whose geometry stays out of range bails out incomplete after one
-  /// hour of continuous simulated idling rather than looping forever.
+  /// whose geometry stays out of range — or whose link is held down for
+  /// an hour straight — bails out incomplete rather than looping
+  /// forever. Incomplete runs carry a mac::IncompleteReason taxonomy
+  /// tag (time limit vs out of range vs starved by outage vs setup
+  /// failure) so chaos campaigns can tell the failure modes apart.
   virtual mac::LinkRunResult run_transfer(std::uint64_t payload_bytes, double max_duration_s,
                                           const mac::GeometryFn& geometry) = 0;
 
@@ -209,6 +213,20 @@ class LinkBackend {
   /// A seeded transfer session. Sessions derived from distinct seeds
   /// draw independent streams; same seed → bit-identical run.
   [[nodiscard]] virtual std::unique_ptr<LinkSession> make_session(std::uint64_t seed) const = 0;
+
+  /// A chaos-overlaid session: `chaos` (fault/link_chaos.h) layers
+  /// seeded blackouts, degradation epochs and setup failures on top of
+  /// the backend's own outage process, forked from the same `seed`. A
+  /// disabled chaos config yields a session bit-identical to
+  /// make_session(seed) — the chaos streams own separate forked RNGs,
+  /// so the frame/fade stream is untouched either way. The 802.11n
+  /// backend returns its plain full-MAC session here: its consumers
+  /// (the fleet sweep, fault::MissionSim) apply chaos at the call site.
+  [[nodiscard]] virtual std::unique_ptr<LinkSession> make_session(
+      std::uint64_t seed, const fault::LinkChaosConfig& chaos) const {
+    (void)chaos;
+    return make_session(seed);
+  }
 
  protected:
   explicit LinkBackend(LinkBackendConfig cfg) : cfg_(std::move(cfg)) {}

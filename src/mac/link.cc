@@ -209,6 +209,7 @@ LinkRunResult LinkSimulator::run_internal(std::uint64_t payload_bytes_limit, dou
   res.duration_s = t;
   res.completed = res.payload_bits_delivered >= payload_bits_limit ||
                   payload_bits_limit == std::numeric_limits<std::uint64_t>::max();
+  if (!res.completed) res.incomplete_reason = IncompleteReason::kTimeLimit;
   return res;
 }
 

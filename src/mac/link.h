@@ -79,6 +79,34 @@ struct LinkConfig {
 /// A thread-safe PER-table cache matching `cfg`, for LinkConfig::shared_tables.
 [[nodiscard]] std::shared_ptr<phy::PerTableCache> make_shared_per_tables(const LinkConfig& cfg);
 
+/// Why an incomplete run ended — the failure taxonomy chaos campaigns
+/// use to tell "starved by outage" from "out of range" from "the clock
+/// simply ran out". Only meaningful when completed == false.
+enum class IncompleteReason : std::uint8_t {
+  kNone,               ///< completed, or incomplete with no finer diagnosis
+  kTimeLimit,          ///< the transfer hit max_duration_s while the link was live
+  kOutOfRange,         ///< geometry stayed beyond the rate curve's range
+  kStarvedByOutage,    ///< outage / injected blackout held the link down
+  kSessionSetupFailed  ///< repeated session-setup (attach) failures
+};
+
+/// Stable log tag for an IncompleteReason.
+[[nodiscard]] constexpr const char* to_string(IncompleteReason r) noexcept {
+  switch (r) {
+    case IncompleteReason::kTimeLimit:
+      return "time-limit";
+    case IncompleteReason::kOutOfRange:
+      return "out-of-range";
+    case IncompleteReason::kStarvedByOutage:
+      return "starved-by-outage";
+    case IncompleteReason::kSessionSetupFailed:
+      return "session-setup-failed";
+    case IncompleteReason::kNone:
+      break;
+  }
+  return "none";
+}
+
 /// Result of a timed run or a fixed-size transfer.
 struct LinkRunResult {
   double duration_s{0.0};
@@ -91,6 +119,8 @@ struct LinkRunResult {
   /// per meter window — the exact series of the paper's Figure 1.
   std::vector<ThroughputSample> transfer_curve_mb;
   bool completed{true};  ///< false if a transfer hit the time limit
+  /// Failure taxonomy for incomplete runs (kNone when completed).
+  IncompleteReason incomplete_reason{IncompleteReason::kNone};
 
   [[nodiscard]] double mean_goodput_mbps() const noexcept {
     return duration_s > 0.0 ? static_cast<double>(payload_bits_delivered) / duration_s / 1e6

@@ -93,6 +93,28 @@ struct Query {
 };
 
 /// One decision answer.
+/// Why a multi-link decision was answered by the single-link fallback
+/// instead of the joint optimizer. kNone on the normal path; a tagged
+/// fallback means the batch kept flowing instead of erroring out.
+enum class FallbackReason : std::uint8_t {
+  kNone,
+  kNoLinkSet,      ///< no (or an empty) LinkSet installed at decide time
+  kInvalidBackend  ///< forced burst index out of range, or a backend failed validate()
+};
+
+/// Stable log tag for a FallbackReason.
+[[nodiscard]] constexpr const char* to_string(FallbackReason r) noexcept {
+  switch (r) {
+    case FallbackReason::kNoLinkSet:
+      return "no-link-set";
+    case FallbackReason::kInvalidBackend:
+      return "invalid-backend";
+    case FallbackReason::kNone:
+      break;
+  }
+  return "none";
+}
+
 struct Decision {
   double d_opt_m{0.0};
   double v_opt_mps{0.0};  ///< == query speed unless Objective::kJointSpeed
@@ -105,6 +127,8 @@ struct Decision {
   core::Boundary boundary{core::Boundary::kInterior};
   Backend backend{Backend::kExact};
   std::int32_t evaluations{0};
+  /// Multi-link graceful degradation tag (kNone outside fallbacks).
+  FallbackReason fallback_reason{FallbackReason::kNone};
 };
 
 /// One multi-link decision answer: the burst decision in the usual

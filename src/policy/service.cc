@@ -123,12 +123,38 @@ Decision DecisionService::decide_exact(const Query& q) const {
 
 void DecisionService::install_links(std::shared_ptr<const link::LinkSet> links) {
   links_ = std::move(links);
-  link_views_ = links_ != nullptr ? links_->views() : std::vector<const link::LinkBackend*>{};
+  links_invalid_ = false;
+  if (links_ != nullptr) {
+    for (const link::LinkBackendConfig& c : links_->configs()) {
+      try {
+        c.validate();
+      } catch (const link::ConfigError&) {
+        links_invalid_ = true;
+        break;
+      }
+    }
+  }
+  link_views_ = links_valid() ? links_->views() : std::vector<const link::LinkBackend*>{};
+}
+
+MultiLinkDecision DecisionService::decide_multilink_fallback(const Query& q,
+                                                             FallbackReason why) const {
+  exact_calls_.fetch_add(1, std::memory_order_relaxed);
+  MultiLinkDecision out;
+  out.decision = decide_exact(q);
+  out.decision.fallback_reason = why;
+  out.burst_link = -1;
+  out.trickle_bytes = 0.0;
+  out.burst_bytes = q.mdata_bytes;
+  return out;
 }
 
 MultiLinkDecision DecisionService::decide_multilink_one(const Query& q) const {
-  if (!has_links())
-    throw std::logic_error("policy: decide_multilink without an installed link set");
+  if (!has_links() || links_invalid_)
+    return decide_multilink_fallback(
+        q, links_invalid_ ? FallbackReason::kInvalidBackend : FallbackReason::kNoLinkSet);
+  if (q.burst_link < -1 || q.burst_link >= static_cast<std::int32_t>(link_views_.size()))
+    return decide_multilink_fallback(q, FallbackReason::kInvalidBackend);
   exact_calls_.fetch_add(1, std::memory_order_relaxed);
   const uav::FailureModel failure(q.rho_per_m, q.law, q.weibull_shape);
   const link::MultiLinkParams p{q.d0_m, q.speed_mps, q.mdata_bytes, q.min_distance_m};

@@ -54,18 +54,26 @@ class DecisionService {
   /// Single-query convenience over the same path.
   [[nodiscard]] Decision decide_one(const Query& q) const;
 
-  /// Install a validated multi-backend link set (setup time, not
-  /// concurrent with decide_multilink()). Shared so a fleet of engines
-  /// can serve one set without copies.
+  /// Install a multi-backend link set (setup time, not concurrent with
+  /// decide_multilink()). Shared so a fleet of engines can serve one
+  /// set without copies. Every backend config is revalidated here: a
+  /// set with any backend whose validate() fails is kept for
+  /// inspection via links() but treated as unusable, so decisions fall
+  /// back instead of optimizing over a poisoned backend.
   void install_links(std::shared_ptr<const link::LinkSet> links);
   [[nodiscard]] bool has_links() const noexcept { return links_ != nullptr && !links_->empty(); }
+  [[nodiscard]] bool links_valid() const noexcept { return has_links() && !links_invalid_; }
   [[nodiscard]] const link::LinkSet* links() const noexcept { return links_.get(); }
 
   /// Joint (link, d) decisions over the installed link set:
   /// link::optimize_multilink per query (q.burst_link pins the burst
-  /// election). Throws std::logic_error when no link set is installed
-  /// and std::invalid_argument on span-size mismatch. Safe to call
-  /// concurrently; counts toward the exact counter.
+  /// election). Degrades gracefully instead of erroring the batch: a
+  /// missing/empty/invalid link set, or a pinned q.burst_link outside
+  /// the installed set, answers that query with the single-link exact
+  /// optimum tagged via Decision::fallback_reason (burst_link -1, the
+  /// whole batch as burst bytes). Throws std::invalid_argument only on
+  /// span-size mismatch. Safe to call concurrently; counts toward the
+  /// exact counter.
   void decide_multilink(std::span<const Query> queries, std::span<MultiLinkDecision> out) const;
   [[nodiscard]] MultiLinkDecision decide_multilink_one(const Query& q) const;
 
@@ -86,9 +94,14 @@ class DecisionService {
  private:
   [[nodiscard]] Decision decide_table(const Query& q) const noexcept;
   [[nodiscard]] Decision decide_exact(const Query& q) const;
+  /// The graceful-degradation path: single-link exact optimum, tagged.
+  [[nodiscard]] MultiLinkDecision decide_multilink_fallback(const Query& q,
+                                                            FallbackReason why) const;
 
   const core::ThroughputModel& model_;
   std::shared_ptr<const link::LinkSet> links_;
+  /// Set at install when any backend config fails validate().
+  bool links_invalid_{false};
   /// Non-owning backend views in index order, rebuilt at install so the
   /// hot path never allocates.
   std::vector<const link::LinkBackend*> link_views_;

@@ -1,0 +1,312 @@
+// Seeded link-chaos layer (fault/link_chaos.h): determinism of the
+// per-link streams and the fleet-wide storm schedule, long-run epoch
+// fractions against the configured renewal statistics, config
+// validation, and the chaos axis of fault::MissionSim — an empty plan
+// is bit-identical to the pre-chaos trial, a hostile plan surfaces in
+// the chaos counters and the failure taxonomy.
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/link_chaos.h"
+#include "fault/mission_sim.h"
+#include "sim/rng.h"
+
+namespace skyferry {
+namespace {
+
+using fault::LinkChaosConfig;
+using fault::LinkChaosStream;
+using fault::LinkFaultPlan;
+using fault::LinkStormConfig;
+using fault::StormSchedule;
+
+LinkChaosConfig all_axes() {
+  LinkChaosConfig c;
+  c.blackout_rate_per_hour = 60.0;
+  c.blackout_mean_s = 30.0;
+  c.degrade_rate_per_hour = 40.0;
+  c.degrade_mean_s = 45.0;
+  c.degrade_rate_scale = 0.25;
+  c.setup_fail_p = 0.3;
+  return c;
+}
+
+TEST(LinkChaos, DefaultConfigIsNoChaos) {
+  EXPECT_FALSE(LinkChaosConfig{}.any());
+  EXPECT_FALSE(LinkStormConfig{}.any());
+  EXPECT_FALSE(LinkFaultPlan{}.any());
+  EXPECT_FALSE(LinkFaultPlan::none().any());
+  EXPECT_TRUE(LinkFaultPlan::harsh(3).any());
+  EXPECT_NO_THROW(LinkFaultPlan::harsh(3).validate());
+}
+
+TEST(LinkChaos, DisabledAxesNeverFire) {
+  LinkChaosStream s({}, 0xabcdef);
+  for (double t = 0.0; t < 5000.0; t += 7.3) {
+    EXPECT_FALSE(s.blacked_out(t));
+    EXPECT_EQ(s.rate_scale(t), 1.0);
+    EXPECT_FALSE(s.draw_setup_failure());
+  }
+}
+
+TEST(LinkChaos, SameSeedSameRealization) {
+  const LinkChaosConfig cfg = all_axes();
+  LinkChaosStream a(cfg, 42), b(cfg, 42);
+  for (double t = 0.0; t < 20000.0; t += 1.7) {
+    ASSERT_EQ(a.blacked_out(t), b.blacked_out(t)) << "t=" << t;
+    ASSERT_EQ(a.rate_scale(t), b.rate_scale(t)) << "t=" << t;
+  }
+  for (int i = 0; i < 200; ++i) ASSERT_EQ(a.draw_setup_failure(), b.draw_setup_failure());
+}
+
+TEST(LinkChaos, DistinctSeedsDecorrelate) {
+  const LinkChaosConfig cfg = all_axes();
+  LinkChaosStream a(cfg, 1), b(cfg, 2);
+  int differ = 0;
+  for (double t = 0.0; t < 50000.0; t += 3.1)
+    differ += a.blacked_out(t) != b.blacked_out(t);
+  EXPECT_GT(differ, 100);
+}
+
+// Alternating renewal with quiet gaps Exp(rate) and epochs Exp(1/mean):
+// the long-run active fraction is mean / (gap_mean + mean).
+TEST(LinkChaos, LongRunBlackoutFractionMatchesRenewalStatistics) {
+  LinkChaosConfig cfg;
+  cfg.blackout_rate_per_hour = 60.0;  // gap mean 60 s
+  cfg.blackout_mean_s = 30.0;
+  const double expected = 30.0 / (60.0 + 30.0);
+  double active = 0.0, total = 0.0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    LinkChaosStream s(cfg, seed);
+    for (double t = 0.0; t < 100000.0; t += 0.5) {
+      active += s.blacked_out(t) ? 1.0 : 0.0;
+      total += 1.0;
+    }
+  }
+  EXPECT_NEAR(active / total, expected, 0.02);
+}
+
+TEST(LinkChaos, SetupFailureFrequencyMatchesProbability) {
+  LinkChaosConfig cfg;
+  cfg.setup_fail_p = 0.3;
+  LinkChaosStream s(cfg, 7);
+  int fails = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) fails += s.draw_setup_failure();
+  EXPECT_NEAR(static_cast<double>(fails) / kDraws, 0.3, 0.02);
+}
+
+TEST(LinkChaos, ValidateRejectsBadValues) {
+  LinkChaosConfig c;
+  c.blackout_rate_per_hour = -1.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = {};
+  c.degrade_rate_scale = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = {};
+  c.degrade_rate_scale = 1.5;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = {};
+  c.setup_fail_p = 2.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = {};
+  c.blackout_mean_s = std::nan("");
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  LinkStormConfig st;
+  st.cell_hit_fraction = -0.1;
+  EXPECT_THROW(st.validate(), std::invalid_argument);
+
+  LinkFaultPlan p;
+  p.links.resize(2);
+  p.links[1].setup_fail_p = 42.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(LinkChaos, PlanLinkFallsBackToDisabledPastConfiguredList) {
+  LinkFaultPlan p;
+  p.links.resize(1);
+  p.links[0].setup_fail_p = 0.5;
+  EXPECT_TRUE(p.link(0).any());
+  EXPECT_FALSE(p.link(1).any());
+  EXPECT_FALSE(p.link(17).any());
+}
+
+TEST(StormChaos, SameSeedSameSchedule) {
+  const LinkStormConfig cfg{30.0, 60.0, 0.5};
+  StormSchedule a(cfg, 99), b(cfg, 99);
+  a.ensure_horizon(0.0, 20000.0);
+  b.ensure_horizon(0.0, 20000.0);
+  for (double t = 0.0; t < 20000.0; t += 11.0)
+    for (std::int64_t c = -3; c <= 3; ++c)
+      ASSERT_EQ(a.storming(t, c, -c), b.storming(t, c, -c)) << "t=" << t << " cell=" << c;
+}
+
+TEST(StormChaos, ZeroHitFractionNeverStorms) {
+  StormSchedule s({60.0, 120.0, 0.0}, 5);
+  s.ensure_horizon(0.0, 50000.0);
+  for (double t = 0.0; t < 50000.0; t += 9.0) EXPECT_FALSE(s.storming(t, 0, 0));
+}
+
+// cell_hit_fraction == 1: every cell drowns in every window — full
+// spatial correlation — and the time covered matches the M/G/inf
+// busy fraction 1 - exp(-lambda * mean).
+TEST(StormChaos, FullHitFractionCorrelatesAllCellsAndMatchesCoverage) {
+  const LinkStormConfig cfg{30.0, 60.0, 1.0};
+  StormSchedule s(cfg, 321);
+  const double horizon = 40000.0;
+  s.ensure_horizon(0.0, horizon);
+  double storming = 0.0, total = 0.0;
+  for (double t = 0.0; t < horizon; t += 1.0) {
+    const bool here = s.storming(t, 0, 0);
+    ASSERT_EQ(here, s.storming(t, 12, -7)) << "t=" << t;
+    ASSERT_EQ(here, s.storming(t, -400, 913)) << "t=" << t;
+    storming += here ? 1.0 : 0.0;
+    total += 1.0;
+  }
+  const double lambda = 30.0 / 3600.0;
+  const double expected = 1.0 - std::exp(-lambda * 60.0);
+  EXPECT_NEAR(storming / total, expected, 0.05);
+}
+
+// Fractional hit: each window hits a cell independently with prob f, so
+// a single cell sees a thinned Poisson process with coverage
+// 1 - exp(-lambda * mean * f). Averaged over many cells.
+TEST(StormChaos, FractionalHitThinsCoveragePerCell) {
+  const double f = 0.5;
+  const LinkStormConfig cfg{60.0, 60.0, f};
+  StormSchedule s(cfg, 777);
+  const double horizon = 8000.0;
+  s.ensure_horizon(0.0, horizon);
+  double storming = 0.0, total = 0.0;
+  for (std::int64_t cell = 0; cell < 64; ++cell) {
+    for (double t = 0.0; t < horizon; t += 2.0) {
+      storming += s.storming(t, cell, 3 * cell + 1) ? 1.0 : 0.0;
+      total += 1.0;
+    }
+  }
+  const double lambda = 60.0 / 3600.0;
+  const double expected = 1.0 - std::exp(-lambda * 60.0 * f);
+  EXPECT_NEAR(storming / total, expected, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// The MissionSim chaos axis.
+
+fault::TrialSpec base_spec() {
+  fault::TrialSpec spec;
+  spec.max_time_s = 3600.0;
+  return spec;
+}
+
+void expect_trials_identical(const fault::TrialResult& a, const fault::TrialResult& b) {
+  EXPECT_EQ(a.d_opt_m, b.d_opt_m);
+  EXPECT_EQ(a.delivered_bytes, b.delivered_bytes);
+  EXPECT_EQ(a.completion_time_s, b.completion_time_s);
+  EXPECT_EQ(a.delivered_all, b.delivered_all);
+  EXPECT_EQ(a.crashed, b.crashed);
+  EXPECT_EQ(a.rendezvous_attempts, b.rendezvous_attempts);
+  EXPECT_EQ(a.arq_retransmissions, b.arq_retransmissions);
+  EXPECT_EQ(a.chaos_losses, b.chaos_losses);
+  EXPECT_EQ(a.chaos_setup_failures, b.chaos_setup_failures);
+  EXPECT_EQ(a.incomplete_reason, b.incomplete_reason);
+}
+
+// An empty chaos plan must not perturb the trial at all — same RNG
+// stream consumption, bit-identical result. Also holds for a plan with
+// configured-but-disabled links (any() == false).
+TEST(MissionChaos, EmptyPlanBitIdenticalToNoChaos) {
+  const fault::TrialSpec plain = base_spec();
+  fault::TrialSpec empty = base_spec();
+  empty.with_link_chaos(fault::LinkFaultPlan::none());
+  fault::TrialSpec disabled = base_spec();
+  fault::LinkFaultPlan p;
+  p.links.resize(3);  // all axes off
+  disabled.with_link_chaos(p);
+
+  for (std::uint64_t seed : {1ULL, 17ULL, 20260809ULL}) {
+    const fault::TrialResult a = fault::run_mission_trial(plain, seed);
+    expect_trials_identical(a, fault::run_mission_trial(empty, seed));
+    expect_trials_identical(a, fault::run_mission_trial(disabled, seed));
+    EXPECT_EQ(a.chaos_losses, 0u);
+    EXPECT_EQ(a.chaos_setup_failures, 0u);
+    EXPECT_EQ(a.incomplete_reason, mac::IncompleteReason::kNone);
+  }
+}
+
+TEST(MissionChaos, SameSeedSameChaosTrial) {
+  fault::TrialSpec spec = base_spec();
+  spec.with_link_chaos(fault::LinkFaultPlan::harsh(1));
+  expect_trials_identical(fault::run_mission_trial(spec, 99),
+                          fault::run_mission_trial(spec, 99));
+}
+
+// A near-permanent blackout starves the transfer: packets are eaten by
+// the chaos gate, the stall machinery exhausts its retreats, and the
+// undelivered batch carries the starved-by-outage tag.
+TEST(MissionChaos, PermanentBlackoutStarvesAndTags) {
+  fault::TrialSpec spec = base_spec();
+  fault::LinkFaultPlan p;
+  p.links.resize(1);
+  p.links[0].blackout_rate_per_hour = 3.6e6;  // first gap ~1 ms
+  p.links[0].blackout_mean_s = 1e9;           // never ends
+  spec.with_link_chaos(p);
+
+  const fault::TrialResult r = fault::run_mission_trial(spec, 7);
+  EXPECT_FALSE(r.delivered_all);
+  EXPECT_GT(r.chaos_losses, 0u);
+  EXPECT_EQ(r.incomplete_reason, mac::IncompleteReason::kStarvedByOutage);
+  EXPECT_EQ(r.delivered_bytes, 0.0);
+}
+
+// Certain setup failure: every negotiated rendezvous is rejected before
+// the first packet, the backoff ladder runs dry, and the trial reports
+// the session-setup taxonomy with zero bytes moved.
+TEST(MissionChaos, CertainSetupFailureExhaustsBackoffAndTags) {
+  fault::TrialSpec spec = base_spec();
+  fault::LinkFaultPlan p;
+  p.links.resize(1);
+  p.links[0].setup_fail_p = 1.0;
+  spec.with_link_chaos(p);
+
+  const fault::TrialResult r = fault::run_mission_trial(spec, 11);
+  EXPECT_FALSE(r.delivered_all);
+  EXPECT_GT(r.chaos_setup_failures, 0u);
+  EXPECT_EQ(r.incomplete_reason, mac::IncompleteReason::kSessionSetupFailed);
+  EXPECT_EQ(r.delivered_bytes, 0.0);
+}
+
+// Degradation epochs slow the transfer but cannot kill it: with every
+// other axis off the batch still lands, later than the clean run.
+TEST(MissionChaos, DegradationDelaysButDelivers) {
+  fault::TrialSpec clean = base_spec();
+  fault::TrialSpec degraded = base_spec();
+  fault::LinkFaultPlan p;
+  p.links.resize(1);
+  p.links[0].degrade_rate_per_hour = 3.6e6;  // effectively always degraded
+  p.links[0].degrade_mean_s = 1e9;
+  p.links[0].degrade_rate_scale = 0.25;
+  degraded.with_link_chaos(p);
+
+  const fault::TrialResult a = fault::run_mission_trial(clean, 3);
+  const fault::TrialResult b = fault::run_mission_trial(degraded, 3);
+  ASSERT_TRUE(a.delivered_all);
+  ASSERT_TRUE(b.delivered_all);
+  EXPECT_GT(b.completion_time_s, a.completion_time_s);
+  EXPECT_EQ(b.incomplete_reason, mac::IncompleteReason::kNone);
+}
+
+TEST(MissionChaos, ValidateRejectsBadPlan) {
+  fault::TrialSpec spec = base_spec();
+  fault::LinkFaultPlan p;
+  p.links.resize(1);
+  p.links[0].degrade_rate_scale = -1.0;
+  spec.with_link_chaos(p);
+  EXPECT_THROW(spec.validate(), fault::ConfigError);
+}
+
+}  // namespace
+}  // namespace skyferry

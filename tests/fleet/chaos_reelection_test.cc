@@ -1,0 +1,125 @@
+// Fleet-level link chaos and mid-mission re-election: the guard ladder
+// must be a pure observer without chaos evidence (bit-identical totals,
+// zero re-elections, for any thread count), never lose to riding out
+// injected chaos under common random numbers, respect its trigger cap,
+// and keep the whole chaos realization thread-count invariant.
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/link_chaos.h"
+#include "fleet/engine.h"
+#include "link/multilink.h"
+
+namespace skyferry {
+namespace {
+
+constexpr std::uint64_t kSeed = 20260809;
+
+fault::LinkFaultPlan wifi_blackout_plan() {
+  fault::LinkFaultPlan p;
+  p.links.resize(1);
+  p.links[0].blackout_rate_per_hour = 60.0;
+  p.links[0].blackout_mean_s = 30.0;
+  return p;
+}
+
+/// The ablation bench's layout at test scale: multi-link elections in
+/// 802.11n range, staggered spawns, shared receiver cells.
+fleet::FleetTotals run_fleet(const fault::LinkFaultPlan& plan, bool reelect, int threads,
+                             int max_reelections = 2, int n = 9, double duration_s = 400.0) {
+  fleet::FleetConfig cfg;
+  cfg.threads = threads;
+  cfg.links = std::make_shared<const link::LinkSet>(std::vector<link::LinkBackendConfig>{
+      link::LinkBackendConfig::wifi_80211n(), link::LinkBackendConfig::cellular(),
+      link::LinkBackendConfig::mesh(), link::LinkBackendConfig::leo()});
+  cfg.link_chaos = plan;
+  cfg.reelection.enabled = reelect;
+  cfg.reelection.max_reelections = max_reelections;
+  fleet::FleetEngine eng(cfg, kSeed);
+  for (int i = 0; i < n; ++i) {
+    fleet::MissionSpec spec;
+    spec.receiver_pos = {500.0 * (i / 3), 0.0, 10.0};
+    spec.start_pos = spec.receiver_pos + geo::Vec3{150.0 + 30.0 * (i % 3), 0.0, 0.0};
+    spec.mdata_bytes = 4.0e8;
+    spec.rho_per_m = 1.0e-4;
+    spec.deadline_s = 120.0;
+    spec.spawn_t_s = 0.5 * (i % 4);
+    eng.add_mission(spec);
+  }
+  eng.run_until(duration_s);
+  return eng.totals();
+}
+
+void expect_totals_identical(const fleet::FleetTotals& a, const fleet::FleetTotals& b) {
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.bytes_delivered, b.bytes_delivered);
+  EXPECT_EQ(a.mean_completion_s, b.mean_completion_s);
+  EXPECT_EQ(a.deadline_weighted_utility, b.deadline_weighted_utility);
+  EXPECT_EQ(a.reelections, b.reelections);
+  EXPECT_EQ(a.stalled_by_link, b.stalled_by_link);
+  EXPECT_EQ(a.stalled_out_of_range, b.stalled_out_of_range);
+}
+
+// Without chaos evidence no trigger can arm: enabling re-election must
+// not move a single bit, and no trigger may fire.
+TEST(FleetChaos, ZeroChaosReelectionIsPureObserver) {
+  const fleet::FleetTotals off = run_fleet(fault::LinkFaultPlan::none(), false, 1);
+  const fleet::FleetTotals on = run_fleet(fault::LinkFaultPlan::none(), true, 1);
+  expect_totals_identical(off, on);
+  EXPECT_EQ(on.reelections, 0u);
+  EXPECT_EQ(on.stalled_by_link, 0u);
+}
+
+TEST(FleetChaos, ZeroChaosBitIdenticalAcrossThreads) {
+  const fleet::FleetTotals t1 = run_fleet(fault::LinkFaultPlan::none(), true, 1);
+  expect_totals_identical(t1, run_fleet(fault::LinkFaultPlan::none(), true, 2));
+  expect_totals_identical(t1, run_fleet(fault::LinkFaultPlan::none(), true, 8));
+}
+
+// The whole chaos realization — storm windows, per-mission streams,
+// re-election decisions — is seeded and sweep-synchronous, so totals
+// must not depend on the worker count.
+TEST(FleetChaos, ChaosRunBitIdenticalAcrossThreads) {
+  fault::LinkFaultPlan plan = fault::LinkFaultPlan::harsh(4);
+  const fleet::FleetTotals t1 = run_fleet(plan, true, 1);
+  expect_totals_identical(t1, run_fleet(plan, true, 2));
+  expect_totals_identical(t1, run_fleet(plan, true, 8));
+}
+
+// Common random numbers, same injected chaos: the guard ladder makes
+// re-election a free option — it never does worse than riding it out.
+TEST(FleetChaos, ReelectionNeverLosesUnderBlackouts) {
+  const fault::LinkFaultPlan plan = wifi_blackout_plan();
+  const fleet::FleetTotals st = run_fleet(plan, false, 1);
+  const fleet::FleetTotals re = run_fleet(plan, true, 1);
+  EXPECT_GE(re.deadline_weighted_utility, st.deadline_weighted_utility - 1e-12);
+  EXPECT_GT(re.reelections, 0u);
+}
+
+TEST(FleetChaos, ReelectionCapBoundsTriggers) {
+  const fault::LinkFaultPlan plan = fault::LinkFaultPlan::harsh(4);
+  constexpr int kMissions = 9;
+  const fleet::FleetTotals one = run_fleet(plan, true, 1, /*max_reelections=*/1, kMissions);
+  EXPECT_LE(one.reelections, static_cast<std::uint64_t>(kMissions));
+  const fleet::FleetTotals zero = run_fleet(plan, true, 1, /*max_reelections=*/0, kMissions);
+  EXPECT_EQ(zero.reelections, 0u);
+}
+
+// Chaos without re-election still surfaces in the taxonomy counters:
+// the static arm reports where its missions starved.
+TEST(FleetChaos, StaticArmReportsLinkStalls) {
+  fault::LinkFaultPlan p;
+  p.links.resize(1);
+  p.links[0].blackout_rate_per_hour = 120.0;
+  p.links[0].blackout_mean_s = 60.0;
+  const fleet::FleetTotals st = run_fleet(p, false, 1);
+  EXPECT_GT(st.stalled_by_link, 0u);
+}
+
+}  // namespace
+}  // namespace skyferry

@@ -172,7 +172,16 @@ TEST(MultiLinkContract, ServiceBatchMatchesOneByOneAndValidates) {
   q.d0_m = 500.0;
   q.mdata_bytes = 1e7;
   q.speed_mps = 10.0;
-  EXPECT_THROW((void)bare.decide_multilink_one(q), std::logic_error);
+  // Graceful degradation: no installed link set answers with the
+  // single-link exact optimum, tagged — not an exception.
+  const policy::MultiLinkDecision fb = bare.decide_multilink_one(q);
+  EXPECT_EQ(fb.decision.fallback_reason, policy::FallbackReason::kNoLinkSet);
+  EXPECT_EQ(fb.burst_link, -1);
+  EXPECT_EQ(fb.trickle_bytes, 0.0);
+  EXPECT_EQ(fb.burst_bytes, q.mdata_bytes);
+  const policy::Decision exact = bare.decide_one(q);
+  EXPECT_EQ(fb.decision.d_opt_m, exact.d_opt_m);
+  EXPECT_EQ(fb.decision.utility, exact.utility);
 
   policy::DecisionService service(model);
   service.install_links(full_link_set());
